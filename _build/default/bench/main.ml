@@ -1,0 +1,725 @@
+(* The benchmark harness: regenerates every table of the paper's
+   evaluation (Tables 3-1 .. 3-5), the §3.5.3 DFSTrace comparison, and
+   the DESIGN.md ablations; finally runs Bechamel wall-clock
+   measurements of the implementation itself.
+
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe table3.2 ...    -- selected sections
+
+   Virtual-time numbers are deterministic; wall-clock numbers are not.
+   EXPERIMENTS.md records the paper-vs-measured comparison. *)
+
+open Abi
+module Itoolkit = Toolkit (* alias: [open Bechamel] below shadows Toolkit *)
+
+(* --- common helpers ------------------------------------------------------- *)
+
+let fresh () =
+  let k = Kernel.create () in
+  Kernel.populate_standard k;
+  k
+
+let host_rename k src dst =
+  let fs = Kernel.fs k in
+  let root = Vfs.Fs.root_ino fs in
+  match Vfs.Fs.rename fs Vfs.Fs.root_cred ~cwd:root ~src dst with
+  | Ok () -> ()
+  | Error e -> failwith (Printf.sprintf "rename %s: %s" src (Errno.name e))
+
+type run_result = {
+  seconds : float;
+  calls : int;
+  status : int;
+}
+
+let finish k status =
+  { seconds = Kernel.elapsed_seconds k;
+    calls = Kernel.total_syscalls k;
+    status }
+
+(* The four agent configurations of Tables 3-2/3-3. *)
+type variant = V_none | V_timex | V_trace | V_union
+
+let variant_name = function
+  | V_none -> "none"
+  | V_timex -> "timex"
+  | V_trace -> "trace"
+  | V_union -> "union"
+
+(* Install the variant's agent inside the running session.  [mounts]
+   configures the union agent for the workload's tree. *)
+let install_variant variant ~mounts =
+  match variant with
+  | V_none -> ()
+  | V_timex ->
+    Itoolkit.Loader.install
+      (Agents.Timex.create ~offset_seconds:3600 ())
+      ~argv:[||]
+  | V_trace ->
+    (match
+       Libc.Unistd.open_ "/trace.out"
+         Flags.Open.(o_wronly lor o_creat lor o_trunc)
+         0o644
+     with
+     | Ok fd -> Itoolkit.Loader.install (Agents.Trace.create ~fd ()) ~argv:[||]
+     | Error _ -> Itoolkit.Loader.install (Agents.Trace.create ()) ~argv:[||])
+  | V_union ->
+    Itoolkit.Loader.install (Agents.Union.create ~mounts ()) ~argv:[||]
+
+(* --- Table 3-1: sizes of agents ------------------------------------------- *)
+
+let repo_root = lazy (Option.value ~default:"." (Sim.Loc.find_repo_root ()))
+
+let count_sources files =
+  List.fold_left
+    (fun acc rel ->
+      let path = Filename.concat (Lazy.force repo_root) rel in
+      if Sys.file_exists path then Sim.Loc.add acc (Sim.Loc.count_file path)
+      else acc)
+    Sim.Loc.zero files
+
+let toolkit_lower_sources =
+  [ "lib/core/downlink.ml"; "lib/core/boilerplate.ml"; "lib/core/numeric.ml";
+    "lib/core/symbolic.ml"; "lib/core/loader.ml"; "lib/core/toolkit.ml" ]
+
+let toolkit_full_sources =
+  toolkit_lower_sources @ [ "lib/core/objects.ml"; "lib/core/sets.ml" ]
+
+let table3_1 () =
+  Report.print_title
+    "Table 3-1: sizes of agents (statements; paper counted semicolons)";
+  let lower = count_sources toolkit_lower_sources in
+  let full = count_sources toolkit_full_sources in
+  let agent_rows =
+    [ "timex", [ "lib/agents/timex.ml" ], lower, (2467, 35);
+      "trace", [ "lib/agents/trace.ml" ], lower, (2467, 1348);
+      "union",
+      [ "lib/agents/union.ml"; "lib/agents/merged_dir.ml" ],
+      full,
+      (3977, 166) ]
+  in
+  let rows =
+    List.map
+      (fun (name, files, tk, (paper_tk, paper_agent)) ->
+        let a = count_sources files in
+        [ name;
+          string_of_int tk.Sim.Loc.statements;
+          string_of_int a.Sim.Loc.statements;
+          string_of_int a.Sim.Loc.lines;
+          string_of_int (tk.Sim.Loc.statements + a.Sim.Loc.statements);
+          Printf.sprintf "%d / %d" paper_tk paper_agent ])
+      agent_rows
+  in
+  Report.print_table
+    ~headers:
+      [ "agent"; "toolkit stmts"; "agent stmts"; "agent lines"; "total";
+        "paper (toolkit/agent)" ]
+    rows;
+  Report.print_note
+    "The shape to check: agent code stays proportional to new\n\
+     functionality (timex tiny, union small); trace alone grows with\n\
+     the size of the system interface.";
+  let trace = count_sources [ "lib/agents/trace.ml" ] in
+  let timex = count_sources [ "lib/agents/timex.ml" ] in
+  let union =
+    count_sources [ "lib/agents/union.ml"; "lib/agents/merged_dir.ml" ]
+  in
+  Printf.printf
+    "ratios: trace/timex = %.1fx (paper %.1fx), union/timex = %.1fx (paper %.1fx)\n"
+    (float_of_int trace.Sim.Loc.statements
+     /. float_of_int timex.Sim.Loc.statements)
+    (1348.0 /. 35.0)
+    (float_of_int union.Sim.Loc.statements
+     /. float_of_int timex.Sim.Loc.statements)
+    (166.0 /. 35.0)
+
+(* --- Table 3-2: formatting a document -------------------------------------- *)
+
+let run_scribe variant =
+  let k = fresh () in
+  Workloads.Scribe.setup k;
+  let mounts =
+    [ { Agents.Union.point = "/doc"; members = [ "/doc.main"; "/doc.inc" ] } ]
+  in
+  if variant = V_union then begin
+    (* split the document tree so the union agent has real work: the
+       chapters live in a second member directory *)
+    Kernel.mkdir_p k "/doc.inc";
+    List.iter
+      (fun i ->
+        let name = Printf.sprintf "chapter%d.mss" i in
+        if Kernel.exists k ("/doc/" ^ name) then
+          host_rename k ("/doc/" ^ name) ("/doc.inc/" ^ name))
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+    host_rename k "/doc" "/doc.main"
+  end;
+  let status =
+    Kernel.boot k ~name:"scribe-session" (fun () ->
+      install_variant variant ~mounts;
+      Workloads.Scribe.body ())
+  in
+  finish k status
+
+let table3_2 () =
+  Report.print_title "Table 3-2: time to format the dissertation";
+  let paper = [ V_none, 128.9; V_timex, 129.4; V_trace, 132.4; V_union, 133.9 ] in
+  let base = ref 0.0 in
+  let rows =
+    List.map
+      (fun (v, paper_secs) ->
+        let r = run_scribe v in
+        if v = V_none then base := r.seconds;
+        [ variant_name v;
+          Report.secs r.seconds;
+          Report.pct !base r.seconds;
+          string_of_int r.calls;
+          Printf.sprintf "%.1f (%s)" paper_secs
+            (Report.pct 128.9 paper_secs);
+          (if r.status = 0 then "ok" else "FAILED") ])
+      paper
+  in
+  Report.print_table
+    ~headers:
+      [ "agent"; "virtual s"; "slowdown"; "syscalls"; "paper s (slowdown)";
+        "status" ]
+    rows
+
+(* --- Table 3-3: make 8 programs --------------------------------------------- *)
+
+let run_make variant =
+  let k = fresh () in
+  Workloads.Make_cc.setup k;
+  let mounts =
+    [ { Agents.Union.point = "/proj"; members = [ "/objdir"; "/srcdir" ] } ]
+  in
+  if variant = V_union then begin
+    Kernel.mkdir_p k "/objdir";
+    host_rename k "/proj" "/srcdir"
+  end;
+  let status =
+    Kernel.boot k ~name:"make-session" (fun () ->
+      install_variant variant ~mounts;
+      Workloads.Make_cc.body ())
+  in
+  finish k status
+
+let table3_3 () =
+  Report.print_title "Table 3-3: time to make 8 programs";
+  let paper = [ V_none, 16.0; V_timex, 19.0; V_union, 29.0; V_trace, 33.0 ] in
+  let base = ref 0.0 in
+  let rows =
+    List.map
+      (fun (v, paper_secs) ->
+        let r = run_make v in
+        if v = V_none then base := r.seconds;
+        [ variant_name v;
+          Report.secs r.seconds;
+          Report.pct !base r.seconds;
+          string_of_int r.calls;
+          Printf.sprintf "%.1f (%s)" paper_secs (Report.pct 16.0 paper_secs);
+          (if r.status = 0 then "ok" else "FAILED") ])
+      paper
+  in
+  Report.print_table
+    ~headers:
+      [ "agent"; "virtual s"; "slowdown"; "syscalls"; "paper s (slowdown)";
+        "status" ]
+    rows;
+  Report.print_note
+    "Ordering to check: none < timex << union < trace, with the\n\
+     process-heavy workload amplifying every agent's cost."
+
+(* --- micro-measurement machinery --------------------------------------------- *)
+
+(* Per-operation virtual cost: run a session performing [iters]
+   repetitions and an identical session performing none; the
+   difference divided by [iters] isolates the call. *)
+let measure_virtual ?(iters = 200) ~with_agent ~prepare op =
+  let session n =
+    let k = fresh () in
+    Kernel.write_file k ~path:"/m/big" (String.make ((iters + 2) * 1024) 'd');
+    Kernel.mkdir_p k "/usr/lib/pkg/deep/sub";
+    Kernel.write_file k ~path:"/usr/lib/pkg/deep/sub/leaf" "x";
+    Kernel.Registry.register "btrue" (fun ~argv:_ ~envp:_ () -> 0);
+    Kernel.install_image k ~path:"/bin/btrue" ~image:"btrue";
+    let _ =
+      Kernel.boot k ~name:"micro" (fun () ->
+        if with_agent then
+          Itoolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||];
+        let ctx = prepare () in
+        for _ = 1 to n do
+          op ctx
+        done;
+        0)
+    in
+    Kernel.elapsed_seconds k *. 1e6
+  in
+  let full = session iters in
+  let empty = session 0 in
+  (full -. empty) /. float_of_int iters
+
+type micro_op = {
+  op_name : string;
+  prepare : unit -> int;  (* a context descriptor, e.g. an open fd *)
+  run : int -> unit;
+  paper_without : string;
+  paper_with : string;
+}
+
+let micro_ops =
+  let ignore_res (_ : Value.res) = () in
+  [ { op_name = "getpid()";
+      prepare = (fun () -> 0);
+      run = (fun _ -> ignore (Libc.Unistd.getpid ()));
+      paper_without = "25";
+      paper_with = "~165-235" };
+    { op_name = "gettimeofday()";
+      prepare = (fun () -> 0);
+      run = (fun _ -> ignore (Libc.Unistd.gettimeofday ()));
+      paper_without = "47";
+      paper_with = "~187-257" };
+    { op_name = "fstat()";
+      prepare =
+        (fun () ->
+          match Libc.Unistd.open_ "/m/big" Flags.Open.o_rdonly 0 with
+          | Ok fd -> fd
+          | Error _ -> -1);
+      run = (fun fd -> ignore (Libc.Unistd.fstat fd));
+      paper_without = "(garbled)";
+      paper_with = "(garbled)" };
+    { op_name = "read() 1K of data";
+      prepare =
+        (fun () ->
+          match Libc.Unistd.open_ "/m/big" Flags.Open.o_rdonly 0 with
+          | Ok fd -> fd
+          | Error _ -> -1);
+      run =
+        (let buf = Bytes.create 1024 in
+         fun fd -> ignore (Libc.Unistd.read fd buf 1024));
+      paper_without = "370";
+      paper_with = "~510-580" };
+    { op_name = "stat() 6-component";
+      prepare = (fun () -> 0);
+      run =
+        (fun _ -> ignore (Libc.Unistd.stat "/usr/lib/pkg/deep/sub/leaf"));
+      paper_without = "892";
+      paper_with = "~1030-1100" };
+    { op_name = "fork(),wait(),_exit()";
+      prepare = (fun () -> 0);
+      run =
+        (fun _ ->
+          match Libc.Unistd.fork ~child:(fun () -> 0) with
+          | Ok pid -> ignore (Libc.Unistd.waitpid pid 0)
+          | Error _ -> ());
+      paper_without = "~10000 (prose)";
+      paper_with = "~20000 (prose)" };
+    { op_name = "execve() (fork+exec+wait)";
+      prepare = (fun () -> 0);
+      run =
+        (fun _ ->
+          ignore_res
+            (match
+               Libc.Spawn.run "/bin/btrue" [| "btrue" |]
+             with
+             | Ok _ -> Value.ret 0
+             | Error e -> Error e));
+      paper_without = "~20000 (prose)";
+      paper_with = "~40000 (prose)" } ]
+
+let table3_5 () =
+  Report.print_title
+    "Table 3-5: per-system-call cost without / with the null symbolic agent (us)";
+  let rows =
+    List.map
+      (fun op ->
+        let iters =
+          if op.op_name = "fork(),wait(),_exit()"
+             || op.op_name = "execve() (fork+exec+wait)"
+          then 40
+          else 200
+        in
+        let without =
+          measure_virtual ~iters ~with_agent:false ~prepare:op.prepare op.run
+        in
+        let with_agent =
+          measure_virtual ~iters ~with_agent:true ~prepare:op.prepare op.run
+        in
+        [ op.op_name;
+          Report.us without;
+          Report.us with_agent;
+          Report.us (with_agent -. without);
+          op.paper_without;
+          op.paper_with ])
+      micro_ops
+  in
+  Report.print_table
+    ~headers:
+      [ "operation"; "without"; "with agent"; "toolkit overhead";
+        "paper w/o"; "paper w/" ]
+    rows;
+  Report.print_note
+    "Check: simple calls pay a flat 140-210us symbolic-layer toll;\n\
+     fork/execve roughly double (the from-scratch reimplementation)."
+
+(* --- Table 3-4: low-level operations ------------------------------------------ *)
+
+let wall_us f ~iters =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e6
+
+let table3_4 () =
+  Report.print_title "Table 3-4: low-level operations";
+  (* virtual-model constants *)
+  let model_rows =
+    [ [ "intercept and return from syscall";
+        string_of_int Cost_model.intercept_us; "30" ];
+      [ "htg_unix_syscall() overhead";
+        string_of_int Cost_model.htg_overhead_us; "37" ];
+      [ "symbolic decode (3 args)";
+        string_of_int (Cost_model.symbolic_decode_us ~nargs:3); "(in 140-210 band)" ] ]
+  in
+  Report.print_table
+    ~headers:[ "operation (virtual model)"; "charged us"; "paper us" ]
+    model_rows;
+  (* wall-clock equivalents of the paper's call-dispatch rows *)
+  let f x = x + 1 in
+  let f = Sys.opaque_identity f in
+  let obj =
+    object
+      method m x = x + 1
+    end
+  in
+  let obj = Sys.opaque_identity obj in
+  let acc = ref 0 in
+  let call_us = wall_us ~iters:2_000_000 (fun () -> acc := f !acc) in
+  let virt_us = wall_us ~iters:2_000_000 (fun () -> acc := obj#m !acc) in
+  (* per-trap wall cost, inside a live simulation *)
+  let traps_per_session = 512 in
+  let session with_agent =
+    let k = fresh () in
+    let _ =
+      Kernel.boot k ~name:"wall" (fun () ->
+        if with_agent then
+          Itoolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||];
+        for _ = 1 to traps_per_session do
+          ignore (Libc.Unistd.getpid ())
+        done;
+        0)
+    in
+    ()
+  in
+  let direct_us =
+    wall_us ~iters:20 (fun () -> session false) /. float_of_int traps_per_session
+  in
+  let intercepted_us =
+    wall_us ~iters:20 (fun () -> session true) /. float_of_int traps_per_session
+  in
+  Report.print_table
+    ~headers:[ "operation (wall clock, this machine)"; "measured us"; "paper us (25MHz 486)" ]
+    [ [ "OCaml function call + result";
+        Printf.sprintf "%.4f" call_us;
+        Printf.sprintf "%.2f (C call)" Cost_model.paper_c_call_us ];
+      [ "OCaml method call + result";
+        Printf.sprintf "%.4f" virt_us;
+        Printf.sprintf "%.2f (C++ virtual)" Cost_model.paper_virtual_call_us ];
+      [ "simulated trap, direct"; Printf.sprintf "%.2f" direct_us; "n/a" ];
+      [ "simulated trap, intercepted (null agent)";
+        Printf.sprintf "%.2f" intercepted_us; "30 + call" ] ]
+
+(* --- DFSTrace comparison (§3.5.3) ----------------------------------------------- *)
+
+let run_afs mode =
+  let k = fresh () in
+  Workloads.Afs_bench.setup k;
+  (match mode with
+   | `Kernel_hook -> ignore (Agents.Dfs_kernel.install k)
+   | `Base | `Agent -> ());
+  let status =
+    Kernel.boot k ~name:"afs" (fun () ->
+      (match mode with
+       | `Agent ->
+         let agent = Agents.Dfs_trace.create () in
+         Itoolkit.Loader.install agent ~argv:[| "log=/dfs.log" |]
+       | `Base | `Kernel_hook -> ());
+      Workloads.Afs_bench.body ())
+  in
+  finish k status
+
+let dfstrace () =
+  Report.print_title
+    "DFSTrace (3.5.3): in-kernel vs agent-based file-reference tracing";
+  let base = run_afs `Base in
+  let hook = run_afs `Kernel_hook in
+  let agent = run_afs `Agent in
+  Report.print_table
+    ~headers:[ "configuration"; "virtual s"; "slowdown"; "paper slowdown" ]
+    [ [ "no tracing"; Report.secs base.seconds; "-"; "-" ];
+      [ "kernel-based (hook)"; Report.secs hook.seconds;
+        Report.pct base.seconds hook.seconds; "3.0%" ];
+      [ "agent-based (dfs_trace)"; Report.secs agent.seconds;
+        Report.pct base.seconds agent.seconds; "64%" ] ];
+  let agent_impl =
+    count_sources [ "lib/agents/dfs_trace.ml"; "lib/agents/dfs_record.ml" ]
+  in
+  let kernel_impl =
+    count_sources [ "lib/agents/dfs_kernel.ml"; "lib/agents/dfs_record.ml" ]
+  in
+  Printf.printf
+    "implementation size: kernel-based %d stmts, agent-based %d stmts\n\
+     (paper: 1627 vs 1584 -- the two implementations are the same size class)\n"
+    kernel_impl.Sim.Loc.statements agent_impl.Sim.Loc.statements
+
+(* --- ablations ---------------------------------------------------------------------- *)
+
+let ablations () =
+  Report.print_title "Ablation 1: selective vs full-vector interception (make)";
+  let selective = run_make V_timex in
+  let full =
+    let k = fresh () in
+    Workloads.Make_cc.setup k;
+    let status =
+      Kernel.boot k ~name:"make-full" (fun () ->
+        let a = Agents.Timex.create ~offset_seconds:3600 () in
+        a#register_interest_all;
+        Itoolkit.Loader.install a ~argv:[||];
+        Workloads.Make_cc.body ())
+    in
+    finish k status
+  in
+  let base = run_make V_none in
+  Report.print_table
+    ~headers:[ "interception"; "virtual s"; "slowdown" ]
+    [ [ "none"; Report.secs base.seconds; "-" ];
+      [ "selective (gettimeofday + minimum)"; Report.secs selective.seconds;
+        Report.pct base.seconds selective.seconds ];
+      [ "full vector (every call pays 30us + decode)";
+        Report.secs full.seconds; Report.pct base.seconds full.seconds ] ];
+  Report.print_note
+    "Pay-per-use: calls not intercepted cost nothing (paper 3.4.3).";
+
+  Report.print_title "Ablation 2: cost of handling a call at each layer";
+  let layer_session make_agent =
+    measure_virtual ~iters:300 ~with_agent:false
+      ~prepare:(fun () ->
+        (match make_agent with
+         | Some mk -> Itoolkit.Loader.install (mk ()) ~argv:[||]
+         | None -> ());
+        0)
+      (fun _ -> ignore (Libc.Unistd.getpid ()))
+  in
+  let numeric_null () =
+    let a = new Itoolkit.numeric_syscall in
+    a#register_interest_all;
+    a
+  in
+  let symbolic_null () =
+    (Agents.Time_symbolic.create () :> Itoolkit.Numeric.numeric_syscall)
+  in
+  let pathname_null () =
+    let a = new Itoolkit.pathname_set in
+    a#register_interest_all;
+    (a :> Itoolkit.Numeric.numeric_syscall)
+  in
+  Report.print_table
+    ~headers:[ "layer"; "getpid() us" ]
+    [ [ "no agent"; Report.us (layer_session None) ];
+      [ "numeric layer (pass-through)";
+        Report.us (layer_session (Some numeric_null)) ];
+      [ "symbolic layer (decode + dispatch)";
+        Report.us (layer_session (Some symbolic_null)) ];
+      [ "pathname/descriptor layers";
+        Report.us (layer_session (Some pathname_null)) ] ];
+
+  Report.print_title "Ablation 3: stacked agents (nested interposition)";
+  let stack_cost depth =
+    measure_virtual ~iters:300 ~with_agent:false
+      ~prepare:(fun () ->
+        for _ = 1 to depth do
+          Itoolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||]
+        done;
+        0)
+      (fun _ -> ignore (Libc.Unistd.getpid ()))
+  in
+  Report.print_table
+    ~headers:[ "stacked null agents"; "getpid() us" ]
+    (List.map
+       (fun d -> [ string_of_int d; Report.us (stack_cost d) ])
+       [ 0; 1; 2; 3; 4 ]);
+  Report.print_note
+    "Each level adds one interception + one htg crossing (~67us+decode),\n\
+     the Figure 1-3/1-4 stacking cost.";
+
+  Report.print_title
+    "Ablation 4: what observation costs (make under observation agents)";
+  let observed ?(argv = [||]) mk =
+    let k = fresh () in
+    Workloads.Make_cc.setup k;
+    let status =
+      Kernel.boot k ~name:"make-obs" (fun () ->
+        Itoolkit.Loader.install (mk ()) ~argv;
+        Workloads.Make_cc.body ())
+    in
+    finish k status
+  in
+  let base = run_make V_none in
+  let null =
+    observed (fun () ->
+      (Agents.Time_symbolic.create () :> Itoolkit.Numeric.numeric_syscall))
+  in
+  let counting =
+    observed (fun () ->
+      (Agents.Syscount.create () :> Itoolkit.Numeric.numeric_syscall))
+  in
+  let recording =
+    observed (fun () ->
+      (Agents.Record_replay.create_recorder ()
+        :> Itoolkit.Numeric.numeric_syscall))
+  in
+  let dfs =
+    observed ~argv:[| "log=/dfs.log" |] (fun () ->
+      (Agents.Dfs_trace.create () :> Itoolkit.Numeric.numeric_syscall))
+  in
+  Report.print_table
+    ~headers:[ "observation agent"; "virtual s"; "slowdown" ]
+    [ [ "none"; Report.secs base.seconds; "-" ];
+      [ "null (intercept only)"; Report.secs null.seconds;
+        Report.pct base.seconds null.seconds ];
+      [ "syscount (numeric layer)"; Report.secs counting.seconds;
+        Report.pct base.seconds counting.seconds ];
+      [ "recorder (journal inputs)"; Report.secs recording.seconds;
+        Report.pct base.seconds recording.seconds ];
+      [ "dfs_trace (stamped records)"; Report.secs dfs.seconds;
+        Report.pct base.seconds dfs.seconds ] ];
+  Report.print_note
+    "Observation gets more expensive with the work done per call:\n\
+     counting < journaling < per-record timestamps and log writes."
+
+(* --- Bechamel wall-clock groups -------------------------------------------------------- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let quick_session body =
+    Staged.stage (fun () ->
+      let k = fresh () in
+      let _ = Kernel.boot k ~name:"bench" body in
+      ())
+  in
+  let t31 =
+    Test.make ~name:"table3.1/statement-count"
+      (Staged.stage (fun () ->
+         ignore (count_sources toolkit_full_sources)))
+  in
+  let t32 =
+    Test.make ~name:"table3.2/scribe-quick-session"
+      (Staged.stage (fun () ->
+         let k = fresh () in
+         Workloads.Scribe.setup ~params:Workloads.Scribe.quick_params k;
+         let _ =
+           Kernel.boot k ~name:"bench" (fun () ->
+             Workloads.Scribe.body ~params:Workloads.Scribe.quick_params ())
+         in
+         ()))
+  in
+  let t33 =
+    Test.make ~name:"table3.3/make-quick-session"
+      (Staged.stage (fun () ->
+         let k = fresh () in
+         Workloads.Make_cc.setup ~params:Workloads.Make_cc.quick_params k;
+         let _ =
+           Kernel.boot k ~name:"bench" (fun () -> Workloads.Make_cc.body ())
+         in
+         ()))
+  in
+  let t34 =
+    Test.make ~name:"table3.4/trap-roundtrip"
+      (quick_session (fun () ->
+         for _ = 1 to 64 do
+           ignore (Libc.Unistd.getpid ())
+         done;
+         0))
+  in
+  let t35 =
+    Test.make ~name:"table3.5/intercepted-trap"
+      (quick_session (fun () ->
+         Itoolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||];
+         for _ = 1 to 64 do
+           ignore (Libc.Unistd.getpid ())
+         done;
+         0))
+  in
+  let tdfs =
+    Test.make ~name:"dfstrace/afs-quick-under-agent"
+      (Staged.stage (fun () ->
+         let k = fresh () in
+         Workloads.Afs_bench.setup ~params:Workloads.Afs_bench.quick_params k;
+         let _ =
+           Kernel.boot k ~name:"bench" (fun () ->
+             Itoolkit.Loader.install (Agents.Dfs_trace.create ())
+               ~argv:[| "log=/dfs.log" |];
+             Workloads.Afs_bench.body ~params:Workloads.Afs_bench.quick_params ())
+         in
+         ()))
+  in
+  Test.make_grouped ~name:"interpose"
+    [ t31; t32; t33; t34; t35; tdfs ]
+
+let wallclock () =
+  Report.print_title "Bechamel wall-clock benchmarks (one per table)";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Measure.run |]
+  in
+  let instance = Bechamel.Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 1.0) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (bechamel_tests ()) in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (v :: _) -> Printf.sprintf "%.0f ns" v
+        | Some [] | None -> "n/a"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  Report.print_table
+    ~headers:[ "benchmark"; "wall time / run" ]
+    (List.sort compare !rows)
+
+(* --- driver -------------------------------------------------------------------------------- *)
+
+let sections =
+  [ "table3.1", table3_1;
+    "table3.2", table3_2;
+    "table3.3", table3_3;
+    "table3.4", table3_4;
+    "table3.5", table3_5;
+    "dfstrace", dfstrace;
+    "ablations", ablations;
+    "wallclock", wallclock ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  Printf.printf
+    "Interposition Agents (Jones, SOSP '93) -- benchmark reproduction\n";
+  Printf.printf
+    "virtual time: deterministic, cost model calibrated to the paper\n";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+        Printf.printf "unknown section %S (have: %s)\n" name
+          (String.concat ", " (List.map fst sections)))
+    requested

@@ -1,0 +1,40 @@
+(* Plain-text table rendering for the benchmark reports. *)
+
+let print_title title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let print_note note = Printf.printf "%s\n" note
+
+let print_table ~headers rows =
+  let ncols = List.length headers in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  measure headers;
+  List.iter measure rows;
+  let line ch =
+    Printf.printf "+%s+\n"
+      (String.concat "+"
+         (Array.to_list (Array.map (fun w -> String.make (w + 2) ch) widths)))
+  in
+  let print_row row =
+    let cells =
+      List.mapi (fun i cell -> Printf.sprintf " %-*s " widths.(i) cell) row
+    in
+    Printf.printf "|%s|\n" (String.concat "|" cells)
+  in
+  line '-';
+  print_row headers;
+  line '-';
+  List.iter print_row rows;
+  line '-'
+
+let pct base v =
+  if base <= 0.0 then "-"
+  else Printf.sprintf "%+.1f%%" ((v -. base) /. base *. 100.0)
+
+let secs v = Printf.sprintf "%.1f" v
+let us v = Printf.sprintf "%.0f" v

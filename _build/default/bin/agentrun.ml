@@ -1,0 +1,352 @@
+(* agentrun: boot a simulated 4.3BSD machine and run a program under a
+   (possibly stacked) list of interposition agents.
+
+     agentrun -a trace -- ls -l /etc
+     agentrun -a timex:86400 -- sh -c "echo hi | wc"
+     agentrun --setup make-split -a union:/proj=/objdir:/srcdir -- make
+     agentrun -a sandbox:emulate -a syscount -- rm /etc/motd
+
+   Agents are installed left to right: the last one listed is the one
+   closest to the application (sees its calls first). *)
+
+open Abi
+
+let log_err fmt = Printf.eprintf fmt
+
+(* --- agent specification parsing -------------------------------------- *)
+
+type spec = string  (* "name" or "name:args" *)
+
+let split_spec (s : spec) =
+  match String.index_opt s ':' with
+  | None -> s, ""
+  | Some i ->
+    String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1)
+
+(* Returns an installer to run inside the session, and a reporter to
+   run (inside the session, before exit) for agents with output. *)
+let build_agent k (s : spec) :
+  (unit -> unit) * (unit -> unit) =
+  let name, arg = split_spec s in
+  let install_plain a = Toolkit.Loader.install a ~argv:[||] in
+  match name with
+  | "null" | "time_symbolic" ->
+    (fun () -> install_plain (Agents.Time_symbolic.create ())), ignore
+  | "timex" ->
+    let offset =
+      Option.value ~default:3600 (int_of_string_opt arg)
+    in
+    (fun () -> install_plain (Agents.Timex.create ~offset_seconds:offset ())),
+    ignore
+  | "trace" ->
+    (fun () ->
+       let agent =
+         match
+           if arg = "" then Error Errno.EINVAL
+           else
+             Libc.Unistd.open_ arg
+               Flags.Open.(o_wronly lor o_creat lor o_trunc)
+               0o644
+         with
+         | Ok fd -> Agents.Trace.create ~fd ()
+         | Error _ -> Agents.Trace.create ()  (* stderr *)
+       in
+       install_plain agent),
+    ignore
+  | "syscount" ->
+    let agent = Agents.Syscount.create () in
+    (fun () -> install_plain agent),
+    (fun () -> agent#write_report ~fd:2)
+  | "union" ->
+    (match Agents.Union.create ~mounts:[] () with
+     | agent ->
+       (fun () ->
+          Toolkit.Loader.install agent
+            ~argv:(if arg = "" then [||] else [| arg |])),
+       ignore)
+  | "sandbox" ->
+    let policy =
+      if arg = "emulate" then
+        { Agents.Sandbox.default_policy with emulate_denied = true }
+      else Agents.Sandbox.default_policy
+    in
+    let agent = Agents.Sandbox.create policy in
+    (fun () -> install_plain agent),
+    (fun () ->
+       match agent#violations with
+       | [] -> ignore (Libc.Unistd.write 2 "sandbox: no violations\n")
+       | vs ->
+         ignore
+           (Libc.Unistd.write 2
+              (Printf.sprintf "sandbox: %d violation(s):\n%s"
+                 (List.length vs)
+                 (String.concat ""
+                    (List.map (fun v -> "  - " ^ v ^ "\n") vs)))))
+  | "txn" ->
+    let decide () = if arg = "abort" then `Abort else `Commit in
+    let agent = Agents.Txn.create ~decide () in
+    (fun () -> install_plain agent), ignore
+  | "crypt" ->
+    let key, subtree =
+      match String.index_opt arg '@' with
+      | Some i ->
+        ( Option.value ~default:42
+            (int_of_string_opt (String.sub arg 0 i)),
+          String.sub arg (i + 1) (String.length arg - i - 1) )
+      | None -> 42, (if arg = "" then "/vault" else arg)
+    in
+    (fun () ->
+       install_plain (Agents.Crypt.create ~key ~subtrees:[ subtree ])),
+    ignore
+  | "compress" ->
+    let subtree = if arg = "" then "/arch" else arg in
+    (fun () ->
+       install_plain (Agents.Compress.create ~subtrees:[ subtree ])),
+    ignore
+  | "remap" | "vos" ->
+    (fun () -> install_plain (Agents.Remap.create ())), ignore
+  | "synthfs" ->
+    let mount = if arg = "" then "/proc" else arg in
+    let agent = Agents.Synthfs.create ~mount () in
+    (* a host-bridged generator: the synthetic file reads the real
+       process table of the simulated machine *)
+    agent#register_file "ps" (fun () ->
+      let b = Buffer.create 128 in
+      Buffer.add_string b "  PID  PPID  PGRP NAME\n";
+      List.iter
+        (fun (p : Kernel.Proc.t) ->
+          Buffer.add_string b
+            (Printf.sprintf "%5d %5d %5d %s\n" p.pid p.ppid p.pgrp p.name))
+        (Kernel.Kstate.live_procs k);
+      Buffer.contents b);
+    (fun () -> install_plain agent), ignore
+  | "faultinject" ->
+    let rate =
+      match float_of_string_opt arg with
+      | Some r when r >= 0.0 && r <= 1.0 -> r
+      | _ -> 0.1
+    in
+    let agent =
+      Agents.Faultinject.create
+        { Agents.Faultinject.default_config with failure_rate = rate }
+    in
+    (fun () -> install_plain agent),
+    (fun () ->
+       ignore
+         (Libc.Unistd.write 2
+            (Printf.sprintf "faultinject: %d fault(s) injected\n"
+               agent#total_injected)))
+  | "dfs_trace" ->
+    (fun () ->
+       Toolkit.Loader.install (Agents.Dfs_trace.create ())
+         ~argv:[| (if arg = "" then "log=/dfstrace.log" else "log=" ^ arg) |]),
+    ignore
+  | other -> invalid_arg (Printf.sprintf "unknown agent %S" other)
+
+let known_agents =
+  "null, timex[:OFFSET], trace[:FILE], syscount, union:/PT=/M1:/M2, \
+   sandbox[:emulate], txn[:abort], crypt[:KEY@PATH], compress[:PATH], \
+   remap, dfs_trace[:FILE], synthfs[:MOUNT], faultinject[:RATE]"
+
+(* --- filesystem setups -------------------------------------------------- *)
+
+let apply_setup k = function
+  | "scribe" -> Workloads.Scribe.setup k
+  | "make" -> Workloads.Make_cc.setup k
+  | "make-split" ->
+    (* sources in /srcdir, build products in /objdir: the layout for
+       union:/proj=/objdir:/srcdir *)
+    Workloads.Make_cc.setup k;
+    Kernel.mkdir_p k "/objdir";
+    let fs = Kernel.fs k in
+    let root = Vfs.Fs.root_ino fs in
+    ignore (Vfs.Fs.rename fs Vfs.Fs.root_cred ~cwd:root ~src:"/proj" "/srcdir")
+  | "afs" -> Workloads.Afs_bench.setup k
+  | "demo" ->
+    Kernel.mkdir_p k "/home/user";
+    Kernel.write_file k ~path:"/home/user/hello.txt" "hello from the inside\n";
+    Kernel.mkdir_p k "/vault";
+    Kernel.mkdir_p k "/arch"
+  | other -> invalid_arg (Printf.sprintf "unknown setup %S" other)
+
+(* --- the run ---------------------------------------------------------------- *)
+
+let resolve_prog name =
+  if String.contains name '/' then name else "/bin/" ^ name
+
+let read_host_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_host_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+let run agents setups stats feed record replay prog_args =
+  match prog_args with
+  | [] ->
+    log_err "agentrun: no program given\n";
+    2
+  | prog :: _ ->
+    let k = Kernel.create () in
+    Kernel.populate_standard k;
+    Workloads.Progs.install_all k;
+    Workloads.Scribe.register ();
+    Workloads.Make_cc.register ();
+    (try List.iter (apply_setup k) ("demo" :: setups) with
+     | Invalid_argument msg ->
+       log_err "agentrun: %s\n" msg;
+       exit 2);
+    if feed <> "" then Kernel.feed_console k (feed ^ "\n");
+    Kernel.echo_console_to k print_string;
+    let installers_reporters =
+      try List.map (build_agent k) agents with
+      | Invalid_argument msg ->
+        log_err "agentrun: %s (known: %s)\n" msg known_agents;
+        exit 2
+    in
+    (* --record / --replay wrap the whole stack *)
+    let recorder =
+      if record <> "" then Some (Agents.Record_replay.create_recorder ())
+      else None
+    in
+    let installers_reporters =
+      (match replay with
+       | "" -> []
+       | path ->
+         let journal =
+           try read_host_file path with
+           | Sys_error msg ->
+             log_err "agentrun: --replay: %s\n" msg;
+             exit 2
+         in
+         let replayer = Agents.Record_replay.create_replayer ~journal in
+         [ (fun () -> Toolkit.Loader.install replayer ~argv:[||]),
+           (fun () ->
+              if replayer#desyncs > 0 then
+                ignore
+                  (Libc.Unistd.write 2
+                     (Printf.sprintf "replay: %d desync(s)\n"
+                        replayer#desyncs))) ])
+      @ (match recorder with
+         | Some r ->
+           [ (fun () -> Toolkit.Loader.install r ~argv:[||]), ignore ]
+         | None -> [])
+      @ installers_reporters
+    in
+    let path = resolve_prog prog in
+    let argv = Array.of_list prog_args in
+    let status =
+      Kernel.boot k ~name:"agentrun" (fun () ->
+        List.iter (fun (install, _) -> install ()) installers_reporters;
+        (* reports must be emitted inside the session, before exit *)
+        let code =
+          match
+            Libc.Spawn.run path argv
+          with
+          | Ok st when Flags.Wait.wifexited st -> Flags.Wait.wexitstatus st
+          | Ok st when Flags.Wait.wifsignaled st ->
+            ignore
+              (Libc.Unistd.write 2
+                 (Printf.sprintf "agentrun: program killed by %s\n"
+                    (Signal.name (Flags.Wait.wtermsig st))));
+            128 + Flags.Wait.wtermsig st
+          | Ok _ -> 126
+          | Error e ->
+            ignore
+              (Libc.Unistd.write 2
+                 (Printf.sprintf "agentrun: %s: %s\n" path
+                    (Errno.message e)));
+            127
+        in
+        List.iter (fun (_, report) -> report ()) installers_reporters;
+        code)
+    in
+    (match recorder with
+     | Some r ->
+       (try write_host_file record r#journal with
+        | Sys_error msg -> log_err "agentrun: --record: %s\n" msg);
+       if stats then
+         Printf.eprintf "[agentrun] recorded %d journal entries to %s\n"
+           r#entries record
+     | None -> ());
+    if stats then
+      Printf.eprintf
+        "[agentrun] virtual time %.3fs, %d syscalls, exit status 0x%x\n"
+        (Kernel.elapsed_seconds k)
+        (Kernel.total_syscalls k)
+        status;
+    if Flags.Wait.wifexited status then Flags.Wait.wexitstatus status
+    else 128
+
+(* --- cmdliner ------------------------------------------------------------------- *)
+
+open Cmdliner
+
+let agents_arg =
+  let doc =
+    "Interpose this agent (repeatable; stacked in order, last is \
+     closest to the application).  Known agents: " ^ known_agents
+  in
+  Arg.(value & opt_all string [] & info [ "a"; "agent" ] ~docv:"AGENT" ~doc)
+
+let setup_arg =
+  let doc =
+    "Populate the filesystem for a workload before running \
+     (scribe, make, make-split, afs; repeatable)."
+  in
+  Arg.(value & opt_all string [] & info [ "setup" ] ~docv:"WORKLOAD" ~doc)
+
+let stats_arg =
+  let doc = "Print virtual-time and syscall statistics at the end." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let feed_arg =
+  let doc = "Feed this line to the simulated console's input queue." in
+  Arg.(value & opt string "" & info [ "feed" ] ~docv:"TEXT" ~doc)
+
+let record_arg =
+  let doc =
+    "Record the program's input system calls into a journal file \
+     (host path) for later --replay."
+  in
+  Arg.(value & opt string "" & info [ "record" ] ~docv:"FILE" ~doc)
+
+let replay_arg =
+  let doc =
+    "Replay input system calls from a journal recorded with --record; \
+     the program re-observes the original run's inputs."
+  in
+  Arg.(value & opt string "" & info [ "replay" ] ~docv:"FILE" ~doc)
+
+let prog_arg =
+  let doc = "Program and its arguments (searched in /bin)." in
+  Arg.(value & pos_all string [] & info [] ~docv:"PROG" ~doc)
+
+let cmd =
+  let doc = "run programs on a simulated 4.3BSD under interposition agents" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "agentrun boots an in-memory 4.3BSD-style kernel (with /bin \
+         utilities, a make+cc toolchain and a scribe formatter \
+         available), installs the requested interposition agents built \
+         with the toolkit from the SOSP '93 paper, and execs the given \
+         program under them.";
+      `S Manpage.s_examples;
+      `Pre
+        "  agentrun -a trace -- ls -l /etc\n\
+        \  agentrun --setup make-split -a union:/proj=/objdir:/srcdir --stats -- make\n\
+        \  agentrun -a sandbox:emulate -a syscount -- rm /etc/motd" ]
+  in
+  Cmd.v
+    (Cmd.info "agentrun" ~version:"1.0" ~doc ~man)
+    Term.(
+      const run $ agents_arg $ setup_arg $ stats_arg $ feed_arg
+      $ record_arg $ replay_arg $ prog_arg)
+
+let () = exit (Cmd.eval' cmd)

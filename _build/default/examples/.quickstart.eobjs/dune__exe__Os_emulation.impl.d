@@ -1,0 +1,1 @@
+examples/os_emulation.ml: Abi Agents Errno Flags Kernel Libc Printf Signal Toolkit Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abi Agents Kernel Libc Printf Toolkit Workloads

@@ -1,0 +1,1 @@
+examples/record_replay.ml: Abi Agents Kernel Libc Printf String Toolkit

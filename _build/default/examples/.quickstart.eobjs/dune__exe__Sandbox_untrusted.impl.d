@@ -1,0 +1,1 @@
+examples/sandbox_untrusted.ml: Abi Agents Errno Flags Kernel Libc List Option Printf Signal Toolkit

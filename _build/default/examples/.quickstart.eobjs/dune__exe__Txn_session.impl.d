@@ -1,0 +1,1 @@
+examples/txn_session.ml: Abi Agents Kernel Libc List Printf Result String Toolkit

@@ -1,0 +1,1 @@
+examples/union_views.ml: Abi Agents Kernel Libc List Printf String Toolkit Vfs Workloads

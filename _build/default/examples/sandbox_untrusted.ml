@@ -1,0 +1,76 @@
+(* A protected environment for untrusted binaries (paper §1.4).
+
+   A "malicious" program tries to read credentials, deface the motd,
+   delete files, fork-bomb and kill init.  Run twice: once under a
+   strict sandbox (denials are hard errors) and once in emulation mode,
+   where destructive operations pretend to succeed so the malware runs
+   to completion while mutating nothing — and the agent keeps the
+   audit trail.
+
+     dune exec examples/sandbox_untrusted.exe *)
+
+open Abi
+
+let malware ~argv:_ ~envp:_ () =
+  let say fmt = Libc.Stdio.printf fmt in
+  say "[malware] starting up\n";
+  (match Libc.Stdio.read_file "/etc/passwd" with
+   | Ok _ -> say "[malware] got /etc/passwd!\n"
+   | Error e -> say "[malware] /etc/passwd: %s\n" (Errno.message e));
+  (match Libc.Stdio.write_file "/etc/motd" "OWNED\n" with
+   | Ok () -> say "[malware] defaced the motd\n"
+   | Error e -> say "[malware] deface failed: %s\n" (Errno.message e));
+  (match Libc.Unistd.unlink "/etc/motd" with
+   | Ok () -> say "[malware] deleted the motd (so I believe)\n"
+   | Error e -> say "[malware] delete failed: %s\n" (Errno.message e));
+  (match Libc.Unistd.fork ~child:(fun () -> 0) with
+   | Ok _ -> say "[malware] spawned a child\n"
+   | Error e -> say "[malware] fork failed: %s\n" (Errno.message e));
+  (match Libc.Unistd.kill 1 Signal.sigkill with
+   | Ok () -> say "[malware] killed init!\n"
+   | Error e -> say "[malware] kill init failed: %s\n" (Errno.message e));
+  say "[malware] done\n";
+  0
+
+let run_with title policy =
+  Printf.printf "\n== %s ==\n" title;
+  let k = Kernel.create () in
+  Kernel.populate_standard k;
+  Kernel.write_file k ~path:"/etc/passwd" "root:*:0:0::/:/bin/sh\n";
+  Kernel.Registry.register "malware" malware;
+  Kernel.install_image k ~path:"/tmp/malware" ~image:"malware";
+  let agent = Agents.Sandbox.create policy in
+  let status =
+    Kernel.boot k ~name:"sandbox-demo" (fun () ->
+      Toolkit.Loader.install agent ~argv:[||];
+      match Libc.Spawn.run "/tmp/malware" [| "malware" |] with
+      | Ok st -> Flags.Wait.wexitstatus st
+      | Error e ->
+        Libc.Stdio.eprintf "could not run malware: %s\n" (Errno.message e);
+        1)
+  in
+  print_string (Kernel.console_output k);
+  let code = if Flags.Wait.wifexited status then Flags.Wait.wexitstatus status else 128 in
+  Printf.printf "-- exit %d; motd content now: %S\n" code
+    (Option.value ~default:"<gone>" (Kernel.read_file k "/etc/motd"));
+  Printf.printf "-- audit trail (%d violations):\n"
+    (List.length agent#violations);
+  List.iter (fun v -> Printf.printf "   %s\n" v) agent#violations
+
+let () =
+  let base =
+    { Agents.Sandbox.readable = [ "/tmp"; "/dev"; "/bin"; "/etc/motd" ];
+      writable = [ "/tmp/scratch" ];
+      executable = [ "/tmp" ];
+      max_children = 1;  (* the launcher itself needs one fork *)
+      max_write_bytes = 4096;
+      allow_kill_outside = false;
+      emulate_denied = false }
+  in
+  run_with "strict sandbox: denials are errors" base;
+  run_with "emulating sandbox: malware believes it succeeded"
+    { base with emulate_denied = true };
+  print_endline
+    "\nIn both runs the machine is unharmed; in the second the malware\n\
+     cannot tell (paper: \"monitors and emulates the actions they\n\
+     take, possibly without actually performing them\")."

@@ -1,0 +1,78 @@
+(* Transactional software environments (paper §1.4): run an unmodified
+   program so that all of its filesystem side effects are provisional,
+   then choose commit or abort at the end of the session — including a
+   nested transaction inside an outer one.
+
+     dune exec examples/txn_session.exe *)
+
+let show_fs k title paths =
+  Printf.printf "%s\n" title;
+  List.iter
+    (fun p ->
+      Printf.printf "  %-18s %s\n" p
+        (match Kernel.read_file k p with
+         | Some content -> Printf.sprintf "%S" (String.trim content)
+         | None -> "<absent>"))
+    paths
+
+let session ~decide k =
+  Kernel.boot k ~name:"txn-demo" (fun () ->
+    let txn = Agents.Txn.create ~decide () in
+    Toolkit.Loader.install txn ~argv:[||];
+    (* the "application": ordinary file work, no knowledge of txn *)
+    ignore (Libc.Stdio.write_file "/tmp/notes" "rewritten inside txn\n");
+    ignore (Libc.Stdio.write_file "/tmp/report" "fresh file\n");
+    ignore (Libc.Unistd.unlink "/tmp/junk");
+    (* inside the session everything looks committed already *)
+    Libc.Stdio.print "inside the session:\n";
+    List.iter
+      (fun p ->
+        Libc.Stdio.printf "  %-18s %s\n" p
+          (match Libc.Stdio.read_file p with
+           | Ok c -> Printf.sprintf "%S" (String.trim c)
+           | Error e -> "<" ^ Abi.Errno.message e ^ ">"))
+      [ "/tmp/notes"; "/tmp/report"; "/tmp/junk" ];
+    0)
+
+let fresh () =
+  let k = Kernel.create () in
+  Kernel.populate_standard k;
+  Kernel.write_file k ~path:"/tmp/notes" "original notes\n";
+  Kernel.write_file k ~path:"/tmp/junk" "delete me\n";
+  k
+
+let paths = [ "/tmp/notes"; "/tmp/report"; "/tmp/junk" ]
+
+let () =
+  print_endline "== run 1: the user answers COMMIT ==";
+  let k = fresh () in
+  show_fs k "before:" paths;
+  let _ = session ~decide:(fun () -> `Commit) k in
+  print_string (Kernel.console_output k);
+  show_fs k "after commit:" paths;
+
+  print_endline "\n== run 2: the user answers ABORT ==";
+  let k = fresh () in
+  show_fs k "before:" paths;
+  let _ = session ~decide:(fun () -> `Abort) k in
+  print_string (Kernel.console_output k);
+  show_fs k "after abort:" paths;
+
+  print_endline "\n== run 3: nested transactions ==";
+  let k = fresh () in
+  let _ =
+    Kernel.boot k ~name:"nested" (fun () ->
+      let outer = Agents.Txn.create ~decide:(fun () -> `Abort) () in
+      Toolkit.Loader.install outer ~argv:[||];
+      let inner = Agents.Txn.create () in
+      Toolkit.Loader.run_under inner (fun () ->
+        ignore (Libc.Stdio.write_file "/tmp/notes" "inner change\n");
+        inner#commit);
+      (* the inner commit is only as durable as the outer transaction *)
+      Libc.Stdio.printf "outer sees: %s"
+        (Result.value ~default:"?" (Libc.Stdio.read_file "/tmp/notes"));
+      0)
+  in
+  print_string (Kernel.console_output k);
+  show_fs k "after outer abort (inner commit was swallowed):"
+    [ "/tmp/notes" ]

@@ -1,0 +1,1 @@
+lib/abi/call.ml: Array Bytes Errno Flags Format Get Signal Stat Sysno Value

@@ -1,0 +1,1 @@
+lib/abi/call.mli: Bytes Errno Format Stat Value

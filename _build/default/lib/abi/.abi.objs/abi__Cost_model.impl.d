@@ -1,0 +1,1 @@
+lib/abi/cost_model.ml: Bytes Call Cost_model_base List String

@@ -1,0 +1,1 @@
+lib/abi/cost_model_base.ml:

@@ -1,0 +1,1 @@
+lib/abi/dirent.ml: Bytes Int32 List String

@@ -1,0 +1,1 @@
+lib/abi/dirent.mli: Bytes

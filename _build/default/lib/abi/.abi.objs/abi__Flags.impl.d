@@ -1,0 +1,1 @@
+lib/abi/flags.ml: Bytes Format List String

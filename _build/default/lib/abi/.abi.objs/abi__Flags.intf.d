@@ -1,0 +1,1 @@
+lib/abi/flags.mli: Format

@@ -1,0 +1,1 @@
+lib/abi/signal.ml: Array Printf String

@@ -1,0 +1,1 @@
+lib/abi/stat.ml: Flags Format

@@ -1,0 +1,1 @@
+lib/abi/sysno.ml: List Printf

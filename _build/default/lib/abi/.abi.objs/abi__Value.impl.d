@@ -1,0 +1,1 @@
+lib/abi/value.ml: Array Bytes Errno Format Hashtbl Result Stat String

@@ -1,0 +1,1 @@
+lib/abi/value.mli: Bytes Errno Format Stat

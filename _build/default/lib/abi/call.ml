@@ -1,0 +1,432 @@
+open Value
+
+type t =
+  | Exit of int
+  | Fork of (unit -> int)
+  | Read of int * Bytes.t * int
+  | Write of int * string
+  | Open of string * int * int
+  | Close of int
+  | Wait4 of int * int
+  | Creat of string * int
+  | Link of string * string
+  | Unlink of string
+  | Execve of string * string array * string array
+  | Chdir of string
+  | Fchdir of int
+  | Mknod of string * int * int
+  | Chmod of string * int
+  | Chown of string * int * int
+  | Sbrk of int
+  | Lseek of int * int * int
+  | Getpid
+  | Setuid of int
+  | Getuid
+  | Geteuid
+  | Alarm of int
+  | Access of string * int
+  | Sync
+  | Kill of int * int
+  | Stat of string * Stat.t option ref
+  | Getppid
+  | Lstat of string * Stat.t option ref
+  | Dup of int
+  | Pipe
+  | Socketpair
+  | Getegid
+  | Sigaction of int * handler option * handler option ref option
+  | Getgid
+  | Sigprocmask of int * int
+  | Sigpending
+  | Sigsuspend of int
+  | Ioctl of int * int * Bytes.t
+  | Symlink of string * string
+  | Readlink of string * Bytes.t
+  | Umask of int
+  | Fstat of int * Stat.t option ref
+  | Getpagesize
+  | Getpgrp
+  | Setpgrp of int * int
+  | Getdtablesize
+  | Dup2 of int * int
+  | Fcntl of int * int * int
+  | Fsync of int
+  | Select of int * int * int
+  | Gettimeofday of (int * int) option ref
+  | Getrusage of (int * int) option ref
+  | Settimeofday of int * int
+  | Rename of string * string
+  | Truncate of string * int
+  | Ftruncate of int * int
+  | Mkdir of string * int
+  | Rmdir of string
+  | Utimes of string * int * int
+  | Getdirentries of int * Bytes.t
+  | Sleepus of int
+  | Getcwd of Bytes.t
+
+let number = function
+  | Exit _ -> Sysno.sys_exit
+  | Fork _ -> Sysno.sys_fork
+  | Read _ -> Sysno.sys_read
+  | Write _ -> Sysno.sys_write
+  | Open _ -> Sysno.sys_open
+  | Close _ -> Sysno.sys_close
+  | Wait4 _ -> Sysno.sys_wait4
+  | Creat _ -> Sysno.sys_creat
+  | Link _ -> Sysno.sys_link
+  | Unlink _ -> Sysno.sys_unlink
+  | Execve _ -> Sysno.sys_execve
+  | Chdir _ -> Sysno.sys_chdir
+  | Fchdir _ -> Sysno.sys_fchdir
+  | Mknod _ -> Sysno.sys_mknod
+  | Chmod _ -> Sysno.sys_chmod
+  | Chown _ -> Sysno.sys_chown
+  | Sbrk _ -> Sysno.sys_sbrk
+  | Lseek _ -> Sysno.sys_lseek
+  | Getpid -> Sysno.sys_getpid
+  | Setuid _ -> Sysno.sys_setuid
+  | Getuid -> Sysno.sys_getuid
+  | Geteuid -> Sysno.sys_geteuid
+  | Alarm _ -> Sysno.sys_alarm
+  | Access _ -> Sysno.sys_access
+  | Sync -> Sysno.sys_sync
+  | Kill _ -> Sysno.sys_kill
+  | Stat _ -> Sysno.sys_stat
+  | Getppid -> Sysno.sys_getppid
+  | Lstat _ -> Sysno.sys_lstat
+  | Dup _ -> Sysno.sys_dup
+  | Pipe -> Sysno.sys_pipe
+  | Socketpair -> Sysno.sys_socketpair
+  | Getegid -> Sysno.sys_getegid
+  | Sigaction _ -> Sysno.sys_sigaction
+  | Getgid -> Sysno.sys_getgid
+  | Sigprocmask _ -> Sysno.sys_sigprocmask
+  | Sigpending -> Sysno.sys_sigpending
+  | Sigsuspend _ -> Sysno.sys_sigsuspend
+  | Ioctl _ -> Sysno.sys_ioctl
+  | Symlink _ -> Sysno.sys_symlink
+  | Readlink _ -> Sysno.sys_readlink
+  | Umask _ -> Sysno.sys_umask
+  | Fstat _ -> Sysno.sys_fstat
+  | Getpagesize -> Sysno.sys_getpagesize
+  | Getpgrp -> Sysno.sys_getpgrp
+  | Setpgrp _ -> Sysno.sys_setpgrp
+  | Getdtablesize -> Sysno.sys_getdtablesize
+  | Dup2 _ -> Sysno.sys_dup2
+  | Fcntl _ -> Sysno.sys_fcntl
+  | Fsync _ -> Sysno.sys_fsync
+  | Select _ -> Sysno.sys_select
+  | Gettimeofday _ -> Sysno.sys_gettimeofday
+  | Getrusage _ -> Sysno.sys_getrusage
+  | Settimeofday _ -> Sysno.sys_settimeofday
+  | Rename _ -> Sysno.sys_rename
+  | Truncate _ -> Sysno.sys_truncate
+  | Ftruncate _ -> Sysno.sys_ftruncate
+  | Mkdir _ -> Sysno.sys_mkdir
+  | Rmdir _ -> Sysno.sys_rmdir
+  | Utimes _ -> Sysno.sys_utimes
+  | Getdirentries _ -> Sysno.sys_getdirentries
+  | Sleepus _ -> Sysno.sys_sleepus
+  | Getcwd _ -> Sysno.sys_getcwd
+
+let name c = Sysno.name (number c)
+
+let encode c =
+  let args =
+    match c with
+    | Exit code -> [| Int code |]
+    | Fork body -> [| Body body |]
+    | Read (fd, buf, n) -> [| Int fd; Buf buf; Int n |]
+    | Write (fd, data) -> [| Int fd; Str data |]
+    | Open (p, flags, mode) -> [| Str p; Int flags; Int mode |]
+    | Close fd -> [| Int fd |]
+    | Wait4 (pid, opts) -> [| Int pid; Int opts |]
+    | Creat (p, mode) -> [| Str p; Int mode |]
+    | Link (p, q) -> [| Str p; Str q |]
+    | Unlink p -> [| Str p |]
+    | Execve (p, argv, envp) -> [| Str p; Strs argv; Strs envp |]
+    | Chdir p -> [| Str p |]
+    | Fchdir fd -> [| Int fd |]
+    | Mknod (p, mode, dev) -> [| Str p; Int mode; Int dev |]
+    | Chmod (p, mode) -> [| Str p; Int mode |]
+    | Chown (p, uid, gid) -> [| Str p; Int uid; Int gid |]
+    | Sbrk n -> [| Int n |]
+    | Lseek (fd, off, whence) -> [| Int fd; Int off; Int whence |]
+    | Getpid -> [||]
+    | Setuid u -> [| Int u |]
+    | Getuid -> [||]
+    | Geteuid -> [||]
+    | Alarm s -> [| Int s |]
+    | Access (p, m) -> [| Str p; Int m |]
+    | Sync -> [||]
+    | Kill (pid, s) -> [| Int pid; Int s |]
+    | Stat (p, r) -> [| Str p; Stat_ref r |]
+    | Getppid -> [||]
+    | Lstat (p, r) -> [| Str p; Stat_ref r |]
+    | Dup fd -> [| Int fd |]
+    | Pipe -> [||]
+    | Socketpair -> [||]
+    | Getegid -> [||]
+    | Sigaction (s, h, o) ->
+      [| Int s;
+         (match h with Some h -> Handler h | None -> Nil);
+         (match o with Some r -> Handler_ref r | None -> Nil) |]
+    | Getgid -> [||]
+    | Sigprocmask (how, m) -> [| Int how; Int m |]
+    | Sigpending -> [||]
+    | Sigsuspend m -> [| Int m |]
+    | Ioctl (fd, op, b) -> [| Int fd; Int op; Buf b |]
+    | Symlink (tgt, p) -> [| Str tgt; Str p |]
+    | Readlink (p, b) -> [| Str p; Buf b |]
+    | Umask m -> [| Int m |]
+    | Fstat (fd, r) -> [| Int fd; Stat_ref r |]
+    | Getpagesize -> [||]
+    | Getpgrp -> [||]
+    | Setpgrp (pid, pgrp) -> [| Int pid; Int pgrp |]
+    | Getdtablesize -> [||]
+    | Dup2 (o, n) -> [| Int o; Int n |]
+    | Fcntl (fd, cmd, arg) -> [| Int fd; Int cmd; Int arg |]
+    | Fsync fd -> [| Int fd |]
+    | Select (r, w, tmo) -> [| Int r; Int w; Int tmo |]
+    | Gettimeofday r -> [| Tv_ref r |]
+    | Getrusage r -> [| Tv_ref r |]
+    | Settimeofday (s, us) -> [| Int s; Int us |]
+    | Rename (p, q) -> [| Str p; Str q |]
+    | Truncate (p, len) -> [| Str p; Int len |]
+    | Ftruncate (fd, len) -> [| Int fd; Int len |]
+    | Mkdir (p, mode) -> [| Str p; Int mode |]
+    | Rmdir p -> [| Str p |]
+    | Utimes (p, a, m) -> [| Str p; Int a; Int m |]
+    | Getdirentries (fd, b) -> [| Int fd; Buf b |]
+    | Sleepus us -> [| Int us |]
+    | Getcwd b -> [| Buf b |]
+  in
+  { num = number c; args }
+
+let decode (w : wire) : (t, Errno.t) result =
+  let module G = Get in
+  let n = w.num in
+  if n = Sysno.sys_exit then
+    let* code = G.int w 0 in Ok (Exit code)
+  else if n = Sysno.sys_fork then
+    let* body = G.body w 0 in Ok (Fork body)
+  else if n = Sysno.sys_read then
+    let* fd = G.int w 0 in
+    let* buf = G.buf w 1 in
+    let* cnt = G.int w 2 in
+    Ok (Read (fd, buf, cnt))
+  else if n = Sysno.sys_write then
+    let* fd = G.int w 0 in
+    let* data = G.str w 1 in
+    Ok (Write (fd, data))
+  else if n = Sysno.sys_open then
+    let* p = G.str w 0 in
+    let* flags = G.int w 1 in
+    let* mode = G.int w 2 in
+    Ok (Open (p, flags, mode))
+  else if n = Sysno.sys_close then
+    let* fd = G.int w 0 in Ok (Close fd)
+  else if n = Sysno.sys_wait4 then
+    let* pid = G.int w 0 in
+    let* opts = G.int w 1 in
+    Ok (Wait4 (pid, opts))
+  else if n = Sysno.sys_creat then
+    let* p = G.str w 0 in
+    let* mode = G.int w 1 in
+    Ok (Creat (p, mode))
+  else if n = Sysno.sys_link then
+    let* p = G.str w 0 in
+    let* q = G.str w 1 in
+    Ok (Link (p, q))
+  else if n = Sysno.sys_unlink then
+    let* p = G.str w 0 in Ok (Unlink p)
+  else if n = Sysno.sys_execve then
+    let* p = G.str w 0 in
+    let* argv = G.strs w 1 in
+    let* envp = G.strs w 2 in
+    Ok (Execve (p, argv, envp))
+  else if n = Sysno.sys_chdir then
+    let* p = G.str w 0 in Ok (Chdir p)
+  else if n = Sysno.sys_fchdir then
+    let* fd = G.int w 0 in Ok (Fchdir fd)
+  else if n = Sysno.sys_mknod then
+    let* p = G.str w 0 in
+    let* mode = G.int w 1 in
+    let* dev = G.int w 2 in
+    Ok (Mknod (p, mode, dev))
+  else if n = Sysno.sys_chmod then
+    let* p = G.str w 0 in
+    let* mode = G.int w 1 in
+    Ok (Chmod (p, mode))
+  else if n = Sysno.sys_chown then
+    let* p = G.str w 0 in
+    let* uid = G.int w 1 in
+    let* gid = G.int w 2 in
+    Ok (Chown (p, uid, gid))
+  else if n = Sysno.sys_sbrk then
+    let* d = G.int w 0 in Ok (Sbrk d)
+  else if n = Sysno.sys_lseek then
+    let* fd = G.int w 0 in
+    let* off = G.int w 1 in
+    let* whence = G.int w 2 in
+    Ok (Lseek (fd, off, whence))
+  else if n = Sysno.sys_getpid then Ok Getpid
+  else if n = Sysno.sys_setuid then
+    let* u = G.int w 0 in Ok (Setuid u)
+  else if n = Sysno.sys_getuid then Ok Getuid
+  else if n = Sysno.sys_geteuid then Ok Geteuid
+  else if n = Sysno.sys_alarm then
+    let* s = G.int w 0 in Ok (Alarm s)
+  else if n = Sysno.sys_access then
+    let* p = G.str w 0 in
+    let* m = G.int w 1 in
+    Ok (Access (p, m))
+  else if n = Sysno.sys_sync then Ok Sync
+  else if n = Sysno.sys_kill then
+    let* pid = G.int w 0 in
+    let* s = G.int w 1 in
+    Ok (Kill (pid, s))
+  else if n = Sysno.sys_stat then
+    let* p = G.str w 0 in
+    let* r = G.stat_ref w 1 in
+    Ok (Stat (p, r))
+  else if n = Sysno.sys_getppid then Ok Getppid
+  else if n = Sysno.sys_lstat then
+    let* p = G.str w 0 in
+    let* r = G.stat_ref w 1 in
+    Ok (Lstat (p, r))
+  else if n = Sysno.sys_dup then
+    let* fd = G.int w 0 in Ok (Dup fd)
+  else if n = Sysno.sys_pipe then Ok Pipe
+  else if n = Sysno.sys_socketpair then Ok Socketpair
+  else if n = Sysno.sys_getegid then Ok Getegid
+  else if n = Sysno.sys_sigaction then
+    let* s = G.int w 0 in
+    let* h = G.handler_opt w 1 in
+    let* o = G.handler_ref_opt w 2 in
+    Ok (Sigaction (s, h, o))
+  else if n = Sysno.sys_getgid then Ok Getgid
+  else if n = Sysno.sys_sigprocmask then
+    let* how = G.int w 0 in
+    let* m = G.int w 1 in
+    Ok (Sigprocmask (how, m))
+  else if n = Sysno.sys_sigpending then Ok Sigpending
+  else if n = Sysno.sys_sigsuspend then
+    let* m = G.int w 0 in Ok (Sigsuspend m)
+  else if n = Sysno.sys_ioctl then
+    let* fd = G.int w 0 in
+    let* op = G.int w 1 in
+    let* b = G.buf w 2 in
+    Ok (Ioctl (fd, op, b))
+  else if n = Sysno.sys_symlink then
+    let* tgt = G.str w 0 in
+    let* p = G.str w 1 in
+    Ok (Symlink (tgt, p))
+  else if n = Sysno.sys_readlink then
+    let* p = G.str w 0 in
+    let* b = G.buf w 1 in
+    Ok (Readlink (p, b))
+  else if n = Sysno.sys_umask then
+    let* m = G.int w 0 in Ok (Umask m)
+  else if n = Sysno.sys_fstat then
+    let* fd = G.int w 0 in
+    let* r = G.stat_ref w 1 in
+    Ok (Fstat (fd, r))
+  else if n = Sysno.sys_getpagesize then Ok Getpagesize
+  else if n = Sysno.sys_getpgrp then Ok Getpgrp
+  else if n = Sysno.sys_setpgrp then
+    let* pid = G.int w 0 in
+    let* pgrp = G.int w 1 in
+    Ok (Setpgrp (pid, pgrp))
+  else if n = Sysno.sys_getdtablesize then Ok Getdtablesize
+  else if n = Sysno.sys_dup2 then
+    let* o = G.int w 0 in
+    let* d = G.int w 1 in
+    Ok (Dup2 (o, d))
+  else if n = Sysno.sys_fcntl then
+    let* fd = G.int w 0 in
+    let* cmd = G.int w 1 in
+    let* arg = G.int w 2 in
+    Ok (Fcntl (fd, cmd, arg))
+  else if n = Sysno.sys_fsync then
+    let* fd = G.int w 0 in Ok (Fsync fd)
+  else if n = Sysno.sys_select then
+    let* rmask = G.int w 0 in
+    let* wmask = G.int w 1 in
+    let* tmo = G.int w 2 in
+    Ok (Select (rmask, wmask, tmo))
+  else if n = Sysno.sys_gettimeofday then
+    let* r = G.tv_ref w 0 in Ok (Gettimeofday r)
+  else if n = Sysno.sys_getrusage then
+    let* r = G.tv_ref w 0 in Ok (Getrusage r)
+  else if n = Sysno.sys_settimeofday then
+    let* s = G.int w 0 in
+    let* us = G.int w 1 in
+    Ok (Settimeofday (s, us))
+  else if n = Sysno.sys_rename then
+    let* p = G.str w 0 in
+    let* q = G.str w 1 in
+    Ok (Rename (p, q))
+  else if n = Sysno.sys_truncate then
+    let* p = G.str w 0 in
+    let* len = G.int w 1 in
+    Ok (Truncate (p, len))
+  else if n = Sysno.sys_ftruncate then
+    let* fd = G.int w 0 in
+    let* len = G.int w 1 in
+    Ok (Ftruncate (fd, len))
+  else if n = Sysno.sys_mkdir then
+    let* p = G.str w 0 in
+    let* mode = G.int w 1 in
+    Ok (Mkdir (p, mode))
+  else if n = Sysno.sys_rmdir then
+    let* p = G.str w 0 in Ok (Rmdir p)
+  else if n = Sysno.sys_utimes then
+    let* p = G.str w 0 in
+    let* a = G.int w 1 in
+    let* m = G.int w 2 in
+    Ok (Utimes (p, a, m))
+  else if n = Sysno.sys_getdirentries then
+    let* fd = G.int w 0 in
+    let* b = G.buf w 1 in
+    Ok (Getdirentries (fd, b))
+  else if n = Sysno.sys_sleepus then
+    let* us = G.int w 0 in Ok (Sleepus us)
+  else if n = Sysno.sys_getcwd then
+    let* b = G.buf w 0 in Ok (Getcwd b)
+  else Error Errno.ENOSYS
+
+let pathname_of = function
+  | Open (p, _, _) | Creat (p, _) | Link (p, _) | Unlink p
+  | Execve (p, _, _) | Chdir p | Mknod (p, _, _) | Chmod (p, _)
+  | Chown (p, _, _) | Access (p, _) | Stat (p, _) | Lstat (p, _)
+  | Symlink (_, p) | Readlink (p, _) | Rename (p, _) | Truncate (p, _)
+  | Mkdir (p, _) | Rmdir p | Utimes (p, _, _) -> Some p
+  | _ -> None
+
+let descriptor_of = function
+  | Read (fd, _, _) | Write (fd, _) | Close fd | Fchdir fd
+  | Lseek (fd, _, _) | Dup fd | Dup2 (fd, _) | Ioctl (fd, _, _)
+  | Fstat (fd, _) | Fcntl (fd, _, _) | Fsync fd | Ftruncate (fd, _)
+  | Getdirentries (fd, _) -> Some fd
+  | _ -> None
+
+let pp ppf c =
+  let w = encode c in
+  Format.fprintf ppf "%s(" (name c);
+  (match c with
+   | Open (p, flags, mode) ->
+     Format.fprintf ppf "%S, %a, 0%o" p Flags.Open.pp flags mode
+   | Kill (pid, s) ->
+     Format.fprintf ppf "%d, %s" pid (Signal.name s)
+   | Sigaction (s, h, _) ->
+     Format.fprintf ppf "%s, %a" (Signal.name s) Value.pp
+       (match h with Some h -> Handler h | None -> Nil)
+   | _ ->
+     Array.iteri
+       (fun i v ->
+         if i > 0 then Format.fprintf ppf ", ";
+         Value.pp ppf v)
+       w.args);
+  Format.fprintf ppf ")"

@@ -1,0 +1,97 @@
+(** Typed (symbolic) view of the system interface.
+
+    Applications and the kernel agree on this typed representation; the
+    interception boundary between them, however, is the untyped numeric
+    {!Value.wire} form.  {!encode} and {!decode} convert between the
+    two, and are shared by the C-library stubs, the kernel's syscall
+    entry, and the toolkit's [bsd_numeric_syscall] decoding object —
+    one definition of the ABI, three users. *)
+
+type t =
+  | Exit of int
+  | Fork of (unit -> int)
+      (** [Fork body]: the child's program text.  In the original, fork
+          duplicates the address space; here the caller supplies the
+          child's continuation explicitly (see DESIGN.md). *)
+  | Read of int * Bytes.t * int          (** fd, buffer, byte count *)
+  | Write of int * string                (** fd, data *)
+  | Open of string * int * int           (** path, flags, mode *)
+  | Close of int
+  | Wait4 of int * int                   (** pid (-1 = any), options *)
+  | Creat of string * int
+  | Link of string * string
+  | Unlink of string
+  | Execve of string * string array * string array
+  | Chdir of string
+  | Fchdir of int
+  | Mknod of string * int * int          (** path, mode, dev *)
+  | Chmod of string * int
+  | Chown of string * int * int
+  | Sbrk of int
+  | Lseek of int * int * int             (** fd, offset, whence *)
+  | Getpid
+  | Setuid of int
+  | Getuid
+  | Geteuid
+  | Alarm of int                         (** seconds; 0 cancels *)
+  | Access of string * int
+  | Sync
+  | Kill of int * int                    (** pid (or -pgrp), signal *)
+  | Stat of string * Stat.t option ref
+  | Getppid
+  | Lstat of string * Stat.t option ref
+  | Dup of int
+  | Pipe
+  | Socketpair
+      (** a connected bidirectional pair; both descriptors returned *)
+  | Getegid
+  | Sigaction of int * Value.handler option * Value.handler option ref option
+  | Getgid
+  | Sigprocmask of int * int             (** how, mask; old mask in r0 *)
+  | Sigpending
+  | Sigsuspend of int
+  | Ioctl of int * int * Bytes.t
+  | Symlink of string * string           (** target, linkpath *)
+  | Readlink of string * Bytes.t
+  | Umask of int
+  | Fstat of int * Stat.t option ref
+  | Getpagesize
+  | Getpgrp
+  | Setpgrp of int * int                 (** pid (0 = self), pgrp *)
+  | Getdtablesize
+  | Dup2 of int * int
+  | Fcntl of int * int * int             (** fd, cmd, arg *)
+  | Fsync of int
+  | Select of int * int * int
+      (** read-fd bitmask, write-fd bitmask, timeout in µs (-1 =
+          forever); returns ready read mask in r0, write mask in r1 *)
+  | Gettimeofday of (int * int) option ref
+  | Getrusage of (int * int) option ref
+      (** out: (user µs, system µs) of the calling process *)
+  | Settimeofday of int * int
+  | Rename of string * string
+  | Truncate of string * int
+  | Ftruncate of int * int
+  | Mkdir of string * int
+  | Rmdir of string
+  | Utimes of string * int * int         (** path, atime, mtime (sec) *)
+  | Getdirentries of int * Bytes.t       (** r0 = bytes, r1 = new basep *)
+  | Sleepus of int
+  | Getcwd of Bytes.t
+
+val number : t -> int
+val name : t -> string
+
+val encode : t -> Value.wire
+val decode : Value.wire -> (t, Errno.t) result
+(** [decode w] fails with [ENOSYS] for an unknown number and [EFAULT]
+    for arguments of the wrong shape. *)
+
+val pathname_of : t -> string option
+(** The (first) pathname argument, if the call takes one. *)
+
+val descriptor_of : t -> int option
+(** The descriptor argument, if the call takes one. *)
+
+val pp : Format.formatter -> t -> unit
+(** trace(1)-style rendering: [open("/etc/motd", O_RDONLY, 0)]. *)

@@ -1,0 +1,6 @@
+(* Shared base constants of the cost model, kept separate so both the
+   cost functions and the benchmark reporting can cite them. *)
+
+let trivial_us = 25      (* getpid-class calls (Table 3-5 prose) *)
+let rw_base_us = 62      (* read/write fixed cost before data movement *)
+let namei_base_us = 70   (* pathname translation fixed cost *)

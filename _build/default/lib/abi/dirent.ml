@@ -1,0 +1,51 @@
+type t = { d_ino : int; d_name : string }
+
+let header_len = 8
+
+let align4 n = (n + 3) land lnot 3
+
+let reclen e = align4 (header_len + String.length e.d_name)
+
+let fits buf ~pos e = pos + reclen e <= Bytes.length buf
+
+let encode buf ~pos e =
+  let rl = reclen e in
+  if pos + rl > Bytes.length buf then
+    invalid_arg "Dirent.encode: buffer too small";
+  let nl = String.length e.d_name in
+  Bytes.set_int32_le buf pos (Int32.of_int e.d_ino);
+  Bytes.set_uint16_le buf (pos + 4) rl;
+  Bytes.set_uint16_le buf (pos + 6) nl;
+  Bytes.blit_string e.d_name 0 buf (pos + header_len) nl;
+  (* zero the padding so encodings are deterministic *)
+  for i = pos + header_len + nl to pos + rl - 1 do
+    Bytes.set buf i '\000'
+  done;
+  pos + rl
+
+let decode buf ~pos ~limit =
+  if pos + header_len > limit then None
+  else
+    let ino = Int32.to_int (Bytes.get_int32_le buf pos) in
+    let rl = Bytes.get_uint16_le buf (pos + 4) in
+    let nl = Bytes.get_uint16_le buf (pos + 6) in
+    if rl < header_len + nl || pos + rl > limit then None
+    else
+      let name = Bytes.sub_string buf (pos + header_len) nl in
+      Some ({ d_ino = ino; d_name = name }, pos + rl)
+
+let encode_list buf entries =
+  let rec go pos = function
+    | [] -> pos, []
+    | e :: rest when fits buf ~pos e -> go (encode buf ~pos e) rest
+    | rest -> pos, rest
+  in
+  go 0 entries
+
+let decode_all buf ~len =
+  let rec go pos acc =
+    match decode buf ~pos ~limit:len with
+    | Some (e, next) -> go next (e :: acc)
+    | None -> List.rev acc
+  in
+  go 0 []

@@ -1,0 +1,53 @@
+(** 4.3BSD error numbers.
+
+    The subset of [<errno.h>] actually producible by the simulated
+    kernel, with the historical BSD numbering so that numeric-layer
+    agents observe authentic values. *)
+
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | EIO
+  | ENXIO
+  | E2BIG
+  | ENOEXEC
+  | EBADF
+  | ECHILD
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EBUSY
+  | EEXIST
+  | EXDEV
+  | ENODEV
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | ENFILE
+  | EMFILE
+  | ENOTTY
+  | EFBIG
+  | ENOSPC
+  | ESPIPE
+  | EROFS
+  | EMLINK
+  | EPIPE
+  | ERANGE
+  | EWOULDBLOCK
+  | ENAMETOOLONG
+  | ENOTEMPTY
+  | ELOOP
+  | ENOSYS
+
+val to_int : t -> int
+val of_int : int -> t option
+val name : t -> string
+(** Symbolic name, e.g. ["ENOENT"]. *)
+
+val message : t -> string
+(** [strerror]-style description. *)
+
+val pp : Format.formatter -> t -> unit

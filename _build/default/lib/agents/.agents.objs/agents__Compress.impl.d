@@ -1,0 +1,1 @@
+lib/agents/compress.ml: Abi Buffer Bytes Call Errno Flags List Rle Stat String Toolkit Value Vfs

@@ -1,0 +1,1 @@
+lib/agents/compress.mli: Toolkit

@@ -1,0 +1,1 @@
+lib/agents/crypt.ml: Abi Bytes Call Char Flags Int64 List Stat String Toolkit Value

@@ -1,0 +1,1 @@
+lib/agents/crypt.mli: Bytes Toolkit

@@ -1,0 +1,1 @@
+lib/agents/dfs_kernel.ml: Abi Call Dfs_record Errno Kernel List Sim String Value

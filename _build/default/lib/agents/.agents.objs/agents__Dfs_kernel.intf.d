@@ -1,0 +1,1 @@
+lib/agents/dfs_kernel.mli: Dfs_record Kernel

@@ -1,0 +1,1 @@
+lib/agents/dfs_record.ml: Buffer Char Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/agents/dfs_trace.ml: Abi Array Call Dfs_record Errno Flags String Toolkit Value

@@ -1,0 +1,1 @@
+lib/agents/dfs_trace.mli: Toolkit

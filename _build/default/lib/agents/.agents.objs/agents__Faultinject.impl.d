@@ -1,0 +1,1 @@
+lib/agents/faultinject.ml: Abi Errno Hashtbl List Option Sim Sysno Toolkit Value

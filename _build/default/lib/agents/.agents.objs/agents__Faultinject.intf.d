@@ -1,0 +1,1 @@
+lib/agents/faultinject.mli: Abi Toolkit

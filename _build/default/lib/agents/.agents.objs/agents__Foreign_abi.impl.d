@@ -1,0 +1,1 @@
+lib/agents/foreign_abi.ml: Abi Errno Kernel Result Sysno Value

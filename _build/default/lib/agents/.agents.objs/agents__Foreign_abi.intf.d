@@ -1,0 +1,1 @@
+lib/agents/foreign_abi.mli: Abi Bytes

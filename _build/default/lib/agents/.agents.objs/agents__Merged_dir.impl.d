@@ -1,0 +1,1 @@
+lib/agents/merged_dir.ml: Abi Call Dirent Flags Hashtbl List Toolkit Value

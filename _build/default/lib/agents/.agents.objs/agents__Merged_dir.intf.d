@@ -1,0 +1,1 @@
+lib/agents/merged_dir.mli: Toolkit

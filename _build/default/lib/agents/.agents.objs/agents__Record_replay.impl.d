@@ -1,0 +1,1 @@
+lib/agents/record_replay.ml: Abi Buffer Bytes Char Errno Hashtbl Kernel List Option Printf Queue Stat String Sysno Toolkit Value

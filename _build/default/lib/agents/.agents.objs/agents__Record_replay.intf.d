@@ -1,0 +1,1 @@
+lib/agents/record_replay.mli: Toolkit

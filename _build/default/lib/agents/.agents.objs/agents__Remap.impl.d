@@ -1,0 +1,1 @@
+lib/agents/remap.ml: Abi Foreign_abi List Toolkit

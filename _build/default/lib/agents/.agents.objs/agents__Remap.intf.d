@@ -1,0 +1,1 @@
+lib/agents/remap.mli: Toolkit

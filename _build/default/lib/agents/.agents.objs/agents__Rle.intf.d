@@ -1,0 +1,1 @@
+lib/agents/rle.mli:

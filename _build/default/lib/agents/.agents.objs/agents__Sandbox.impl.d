@@ -1,0 +1,1 @@
+lib/agents/sandbox.ml: Abi Call Errno Flags Hashtbl List Printf Signal String Toolkit Value

@@ -1,0 +1,1 @@
+lib/agents/sandbox.mli: Toolkit

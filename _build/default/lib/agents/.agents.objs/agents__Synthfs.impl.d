@@ -1,0 +1,1 @@
+lib/agents/synthfs.ml: Abi Bytes Call Errno Flags Hashtbl List Merged_dir Printf Stat String Toolkit Value Vfs

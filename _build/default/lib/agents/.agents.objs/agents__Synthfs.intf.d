@@ -1,0 +1,1 @@
+lib/agents/synthfs.mli: Toolkit

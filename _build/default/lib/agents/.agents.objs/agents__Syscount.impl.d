@@ -1,0 +1,1 @@
+lib/agents/syscount.ml: Abi Array Buffer Call List Printf Signal Sysno Toolkit Value

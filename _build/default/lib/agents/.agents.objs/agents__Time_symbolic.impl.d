@@ -1,0 +1,1 @@
+lib/agents/time_symbolic.ml: Toolkit

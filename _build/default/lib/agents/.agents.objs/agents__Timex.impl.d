@@ -1,0 +1,1 @@
+lib/agents/timex.ml: Abi Array Toolkit

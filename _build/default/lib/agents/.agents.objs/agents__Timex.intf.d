@@ -1,0 +1,1 @@
+lib/agents/timex.mli: Toolkit

@@ -1,0 +1,1 @@
+lib/agents/trace.ml: Abi Array Bytes Call Flags Format Hashtbl Printf Signal String Toolkit Value

@@ -1,0 +1,1 @@
+lib/agents/trace.mli: Toolkit

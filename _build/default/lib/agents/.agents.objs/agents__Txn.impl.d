@@ -1,0 +1,1 @@
+lib/agents/txn.ml: Abi Bytes Call Dirent Errno Filename Flags Hashtbl List Merged_dir Option Printf Result String Toolkit Value

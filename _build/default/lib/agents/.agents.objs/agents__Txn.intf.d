@@ -1,0 +1,1 @@
+lib/agents/txn.mli: Toolkit

@@ -1,0 +1,1 @@
+lib/agents/union.ml: Abi Array Call Cost_model Flags List Merged_dir String Toolkit

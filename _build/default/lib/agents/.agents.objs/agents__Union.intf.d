@@ -1,0 +1,1 @@
+lib/agents/union.mli: Toolkit

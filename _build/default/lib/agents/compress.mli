@@ -1,0 +1,19 @@
+(** Transparent data compression (§1.4).
+
+    Files under the configured subtrees are stored run-length encoded
+    (with an ["RLE1\n"] header); the agent materialises the plaintext
+    in memory at open, serves reads, writes, seeks and truncates
+    against it, and writes the re-encoded stream back at close.
+    Unmodified programs see plain data; the bytes on "disk" are
+    compressed.  Files without the header are treated as legacy
+    plaintext and become compressed on their next modification. *)
+
+val header : string
+
+class agent : subtrees:string list -> object
+  inherit Toolkit.Sets.descriptor_set
+
+  method files_handled : int
+end
+
+val create : subtrees:string list -> agent

@@ -1,0 +1,23 @@
+(** The dfs_trace agent (§3.5.3): file-reference tracing compatible
+    with the Coda project's DFSTrace tools, rebuilt as an interposition
+    agent instead of 26 modified kernel files.
+
+    Every pathname-referencing operation emits one {!Dfs_record}
+    record; opens are paired with closes carrying the bytes read and
+    written through the descriptor.  Records are written to the log
+    immediately (not buffered across operations), each stamped with the
+    caller's pid and the time of day obtained through real system
+    calls — the per-record cost that makes the agent-based collector
+    measurably slower than the in-kernel one, reproducing the paper's
+    comparison. *)
+
+class agent : object
+  inherit Toolkit.pathname_set
+
+  method set_log_fd : int -> unit
+  method records_emitted : int
+end
+
+val create : unit -> agent
+(** [init] accepts [[| "log=<path>" |]] (default [/tmp/dfstrace.log]);
+    the log is opened through the agent's own down path. *)

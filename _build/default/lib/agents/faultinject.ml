@@ -1,0 +1,50 @@
+open Abi
+
+type config = {
+  seed : int;
+  failure_rate : float;
+  errno : Errno.t;
+  candidates : int list;
+}
+
+let default_config = {
+  seed = 1;
+  failure_rate = 0.1;
+  errno = Errno.EIO;
+  candidates = [ Sysno.sys_read; Sysno.sys_write; Sysno.sys_open ];
+}
+
+class agent (config : config) =
+  object (self)
+    inherit Toolkit.numeric_syscall as super
+
+    val rng = Sim.Rng.create config.seed
+    val counts : (int, int) Hashtbl.t = Hashtbl.create 8
+
+    method! agent_name = "faultinject"
+
+    method injected =
+      Hashtbl.fold (fun num n acc -> (num, n) :: acc) counts []
+      |> List.sort compare
+
+    method total_injected =
+      Hashtbl.fold (fun _ n acc -> acc + n) counts 0
+
+    method! init _argv = List.iter self#register_interest config.candidates
+
+    method! syscall w =
+      let num = w.Value.num in
+      if
+        List.mem num config.candidates
+        && config.failure_rate > 0.0
+        && float_of_int (Sim.Rng.int rng 1_000_000)
+           < config.failure_rate *. 1e6
+      then begin
+        Hashtbl.replace counts num
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts num));
+        Error config.errno
+      end
+      else super#syscall w
+  end
+
+let create config = new agent config

@@ -1,0 +1,30 @@
+(** Fault injection by interposition — the testing-tool species of the
+    paper's "monitoring and emulating schemes" (§1.4): make a program's
+    environment hostile without touching the program or the kernel.
+
+    A deterministic PRNG decides, per intercepted call, whether to fail
+    it with a configured errno instead of performing it.  Only the
+    chosen call numbers are candidates; everything else passes through.
+    The injected failures are recorded, so a test can assert both that
+    faults were exercised and which calls absorbed them. *)
+
+type config = {
+  seed : int;
+  failure_rate : float;     (** probability per candidate call, 0..1 *)
+  errno : Abi.Errno.t;      (** what the victim sees *)
+  candidates : int list;    (** syscall numbers eligible for injection *)
+}
+
+val default_config : config
+(** seed 1, rate 0.1, [EIO], on read/write/open. *)
+
+class agent : config -> object
+  inherit Toolkit.numeric_syscall
+
+  method injected : (int * int) list
+  (** (syscall number, count) of faults injected so far. *)
+
+  method total_injected : int
+end
+
+val create : config -> agent

@@ -1,0 +1,106 @@
+open Abi
+
+class merged_directory (dl : Toolkit.Downlink.t) ~(extra_paths : string list)
+  ~(hide : string -> bool) ?(extra_names : string list = []) () =
+  object (self)
+    inherit Toolkit.directory dl as super
+
+    val seen : (string, unit) Hashtbl.t = Hashtbl.create 16
+    val mutable extras : (int * Toolkit.directory) list option = None
+    val mutable remaining_extras : (int * Toolkit.directory) list = []
+    val mutable remaining_names : string list = extra_names
+    val mutable in_extras = false
+
+    method private ensure_extras =
+      match extras with
+      | Some e -> e
+      | None ->
+        let opened =
+          List.filter_map
+            (fun path ->
+              match
+                Toolkit.Downlink.down_call dl
+                  (Call.Open (path, Flags.Open.o_rdonly, 0))
+              with
+              | Ok { Value.r0 = xfd; _ } ->
+                (* keep internal descriptors out of exec'd children *)
+                ignore
+                  (Toolkit.Downlink.down_call dl
+                     (Call.Fcntl
+                        (xfd, Flags.Fcntl.f_setfd, Flags.Fcntl.fd_cloexec)));
+                Some (xfd, new Toolkit.directory dl)
+              | Error _ -> None)
+            extra_paths
+        in
+        extras <- Some opened;
+        remaining_extras <- opened;
+        opened
+
+    method private accept (e : Dirent.t) ~from_extra =
+      let name = e.Dirent.d_name in
+      if hide name then None
+      else if from_extra && (name = "." || name = "..") then None
+      else if Hashtbl.mem seen name then None
+      else begin
+        Hashtbl.replace seen name ();
+        Some e
+      end
+
+    method! next_direntry ~fd =
+      let rec step () =
+        if not in_extras then
+          match super#next_direntry ~fd with
+          | Some e ->
+            (match self#accept e ~from_extra:false with
+             | Some e -> Some e
+             | None -> step ())
+          | None ->
+            ignore self#ensure_extras;
+            in_extras <- true;
+            step ()
+        else
+          match remaining_extras with
+          | (xfd, xdir) :: rest ->
+            (match xdir#next_direntry ~fd:xfd with
+             | Some e ->
+               (match self#accept e ~from_extra:true with
+                | Some e -> Some e
+                | None -> step ())
+             | None ->
+               remaining_extras <- rest;
+               step ())
+          | [] ->
+            (match remaining_names with
+             | name :: rest ->
+               remaining_names <- rest;
+               (match
+                  self#accept { Dirent.d_ino = 0; d_name = name }
+                    ~from_extra:true
+                with
+                | Some e -> Some e
+                | None -> step ())
+             | [] -> None)
+      in
+      step ()
+
+    method! rewind ~fd =
+      Hashtbl.reset seen;
+      in_extras <- false;
+      remaining_names <- extra_names;
+      (match extras with
+       | Some opened ->
+         remaining_extras <- opened;
+         List.iter (fun (xfd, xdir) -> ignore (xdir#rewind ~fd:xfd)) opened
+       | None -> ());
+      super#rewind ~fd
+
+    method! on_last_close =
+      (match extras with
+       | Some opened ->
+         List.iter
+           (fun (xfd, _) ->
+             ignore (Toolkit.Downlink.down_call dl (Call.Close xfd)))
+           opened
+       | None -> ());
+      extras <- None
+  end

@@ -1,0 +1,19 @@
+(** A directory object presenting the merged contents of several
+    underlying directories — the machinery behind the union agent's
+    union directories and the transactional agent's overlay listings.
+
+    Iteration order: the (primary) opened directory first, then each
+    extra path in order.  Duplicate names are suppressed (first source
+    wins); names matching [hide] are invisible; [extra_names] appear at
+    the end (used for overlay entries that exist nowhere on disk).
+    "." and ".." are taken from the primary only. *)
+
+class merged_directory :
+  Toolkit.Downlink.t
+  -> extra_paths:string list
+  -> hide:(string -> bool)
+  -> ?extra_names:string list
+  -> unit
+  -> object
+       inherit Toolkit.directory
+     end

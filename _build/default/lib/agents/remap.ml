@@ -1,0 +1,24 @@
+class agent =
+  object (self)
+    inherit Toolkit.numeric_syscall as super
+
+    val mutable translated = 0
+
+    method! agent_name = "remap"
+    method calls_translated = translated
+
+    method! init _argv =
+      List.iter self#register_interest Foreign_abi.numbers
+
+    method! syscall w =
+      if List.mem w.Abi.Value.num Foreign_abi.numbers then
+        match Foreign_abi.to_native w with
+        | Ok native ->
+          translated <- translated + 1;
+          (* fork and execve still need the boilerplate treatment *)
+          super#syscall native
+        | Error e -> Error e
+      else super#syscall w
+  end
+
+let create () = new agent

@@ -1,0 +1,14 @@
+(** The OS-emulation agent: runs binaries of the foreign
+    {!Foreign_abi} system ("VOS") on the native kernel by translating
+    each foreign trap to its native equivalent at the numeric layer —
+    the paper's "emulation of other operating systems" example, and a
+    direct use of the layer-0 facility of remapping one range of
+    system call numbers onto another. *)
+
+class agent : object
+  inherit Toolkit.numeric_syscall
+
+  method calls_translated : int
+end
+
+val create : unit -> agent

@@ -1,0 +1,47 @@
+(** A protected environment for running untrusted binaries (§1.4).
+
+    The sandbox confines the filesystem view to allow-listed prefixes
+    (paths outside them appear not to exist), restricts mutation to a
+    writable subset, bounds total bytes written, limits process
+    creation, confines [kill] to the process's own descendants, and
+    restricts [execve] to an allow-list.  In emulation mode the
+    destructive calls a policy denies are {e pretended} to succeed —
+    "monitors and emulates the actions they take, possibly without
+    actually performing them" — so malware-style probes run to
+    completion while mutating nothing.
+
+    Every denial is recorded; [violations] is the audit trail. *)
+
+type policy = {
+  readable : string list;
+  (** Path prefixes visible at all; [[]] means everything. *)
+  writable : string list;
+  (** Prefixes where mutation is allowed; [[]] means nowhere. *)
+  executable : string list;
+  (** Prefixes execve may load from; [[]] means nowhere. *)
+  max_children : int;      (** forks permitted; 0 = none *)
+  max_write_bytes : int;   (** total write budget; -1 = unlimited *)
+  allow_kill_outside : bool;
+  emulate_denied : bool;
+  (** Pretend denied destructive operations succeeded. *)
+}
+
+val open_policy : policy
+(** Everything permitted (useful as a base to restrict from). *)
+
+val default_policy : policy
+(** Read anywhere, write only under [/tmp], exec nothing, no forks,
+    1 MiB write budget, no outside kills, no emulation. *)
+
+class agent : policy -> object
+  inherit Toolkit.pathname_set
+
+  method policy : policy
+  method violations : string list
+  (** Oldest first. *)
+
+  method bytes_written : int
+  method children_spawned : int
+end
+
+val create : policy -> agent

@@ -1,0 +1,27 @@
+(** System call and resource usage monitoring at the numeric layer
+    (§2.4: "demonstrates the ability to intercept the full system call
+    interface").
+
+    Counts every system call by number, and every delivered signal by
+    number, without decoding anything — the cheapest possible
+    whole-interface agent, and the demonstration that an agent can be
+    written purely against the numeric layer. *)
+
+class agent : object
+  inherit Toolkit.numeric_syscall
+
+  method counts : (int * int) list
+  (** (syscall number, occurrences), ascending, zeros omitted. *)
+
+  method count_of : int -> int
+  method signal_counts : (int * int) list
+  method total : int
+
+  method report : string
+  (** A human-readable table. *)
+
+  method write_report : fd:int -> unit
+  (** Write {!report} down to a descriptor (e.g. stderr). *)
+end
+
+val create : unit -> agent

@@ -1,0 +1,8 @@
+class agent =
+  object (self)
+    inherit Toolkit.symbolic_syscall
+    method! agent_name = "time_symbolic"
+    method! init _argv = self#register_interest_all
+  end
+
+let create () = new agent

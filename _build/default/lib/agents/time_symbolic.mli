@@ -1,0 +1,10 @@
+(** The null symbolic agent of Table 3-5 ("time_symbolic" in the
+    paper): intercepts every system call, decodes it, dispatches to the
+    per-call virtual method — and takes the default action.  Exists to
+    measure the minimum per-call toolkit overhead. *)
+
+class agent : object
+  inherit Toolkit.symbolic_syscall
+end
+
+val create : unit -> agent

@@ -1,0 +1,28 @@
+class agent =
+  object (self)
+    inherit Toolkit.symbolic_syscall as super
+
+    val mutable offset = 0
+    method offset_seconds = offset
+
+    method! agent_name = "timex"
+
+    method! init argv =
+      self#register_interest Abi.Sysno.sys_gettimeofday;
+      if Array.length argv > 0 then
+        match int_of_string_opt argv.(0) with
+        | Some n -> offset <- n
+        | None -> ()
+
+    method! sys_gettimeofday r =
+      let ret = super#sys_gettimeofday r in
+      (match ret, !r with
+       | Ok _, Some (sec, usec) -> r := Some (sec + offset, usec)
+       | (Ok _ | Error _), _ -> ());
+      ret
+  end
+
+let create ?(offset_seconds = 0) () =
+  let a = new agent in
+  a#init [| string_of_int offset_seconds |];
+  a

@@ -1,0 +1,14 @@
+(** The timex agent (§3.3.1): changes the apparent time of day for the
+    programs running under it by offsetting the result of
+    [gettimeofday].  The whole agent is a derived [sys_gettimeofday]
+    and an [init] that parses the desired offset — the paper's 35-
+    statement example. *)
+
+class agent : object
+  inherit Toolkit.symbolic_syscall
+  method offset_seconds : int
+end
+
+val create : ?offset_seconds:int -> unit -> agent
+(** The offset may also be given to [init] as [[| "+<seconds>" |]] (or
+    a bare integer string), as the loader would. *)

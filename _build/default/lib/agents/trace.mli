@@ -1,0 +1,24 @@
+(** The trace agent (§3.3.2): prints every system call made and every
+    signal received by its client processes, in strace(1) style.
+
+    Built, as in the paper, from a derived version of {e each} symbolic
+    system call method — the per-call code is what makes this agent's
+    size proportional to the size of the system interface (Table 3-1).
+    Every traced call produces exactly two [write]s on the trace
+    descriptor: one as the call starts, one as it returns (the paper's
+    two-writes-per-call behaviour that drives its overhead numbers).
+    Trace output is not buffered across calls, so it survives the
+    client being killed. *)
+
+class agent : object
+  inherit Toolkit.symbolic_syscall
+
+  method set_output : int -> unit
+  (** Trace to this descriptor (default 2). *)
+
+  method calls_traced : int
+end
+
+val create : ?fd:int -> unit -> agent
+(** [init] also accepts an [[| "fd=<n>" |]] argument, as the loader
+    would pass. *)

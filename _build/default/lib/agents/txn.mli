@@ -1,0 +1,39 @@
+(** The transactional software environment of §1.4: run unmodified
+    programs so that all persistent side effects (filesystem writes,
+    creations, deletions) are buffered, appear to have happened, and
+    are atomically committed — or discarded — when the session ends.
+
+    Mechanism: a shadow tree (under [/tmp]) populated copy-on-write.
+    Every mutating pathname operation is redirected into the shadow;
+    reads prefer the shadow; deletions are recorded as whiteouts and
+    hidden from [stat]/[open]/directory listings.  On the session
+    leader's [exit] the agent consults its decision function and either
+    replays the shadow tree onto the real filesystem or removes it.
+
+    Nesting (§1.4's nested transactions) needs no extra code: stack a
+    second txn agent and its shadow operations flow through the outer
+    agent's overlay like any other application writes. *)
+
+type decision = [ `Commit | `Abort ]
+
+class agent : ?decide:(unit -> decision) -> unit -> object
+  inherit Toolkit.pathname_set
+
+  method commit : unit
+  (** Replay the overlay onto the real filesystem (in-process). *)
+
+  method abort : unit
+  (** Discard the overlay (in-process). *)
+
+  method finished : bool
+  (** A commit or abort has already happened. *)
+
+  method shadow_root : string
+  method deleted_paths : string list
+  (** Current whiteouts, sorted (for tests and inspection). *)
+end
+
+val create : ?decide:(unit -> decision) -> unit -> agent
+(** [decide] is consulted when the session leader exits; default
+    commits.  An interactive front end can prompt the user here —
+    the "commit or abort choice at the end of such a session". *)

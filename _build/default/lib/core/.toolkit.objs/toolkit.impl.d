@@ -1,0 +1,1 @@
+lib/core/toolkit.ml: Boilerplate Downlink Loader Numeric Objects Sets Symbolic

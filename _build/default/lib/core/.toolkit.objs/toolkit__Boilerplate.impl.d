@@ -1,0 +1,1 @@
+lib/core/boilerplate.ml: Abi Array Buffer Bytes Call Cost_model Downlink Errno Flags Kernel Signal Value

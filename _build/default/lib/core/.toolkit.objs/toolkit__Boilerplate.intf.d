@@ -1,0 +1,1 @@
+lib/core/boilerplate.mli: Abi Downlink

@@ -1,0 +1,1 @@
+lib/core/downlink.ml: Abi Array Call Kernel List Sysno Value

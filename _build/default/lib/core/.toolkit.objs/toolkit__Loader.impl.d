@@ -1,0 +1,1 @@
+lib/core/loader.ml: Abi Boilerplate Call Downlink Errno Fun Kernel List Numeric Printf Sysno

@@ -1,0 +1,1 @@
+lib/core/numeric.ml: Abi Boilerplate Cost_model Downlink Kernel List Sysno Value

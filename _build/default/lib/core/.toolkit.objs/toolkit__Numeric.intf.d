@@ -1,0 +1,1 @@
+lib/core/numeric.mli: Abi Downlink

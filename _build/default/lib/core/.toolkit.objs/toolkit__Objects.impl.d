@@ -1,0 +1,1 @@
+lib/core/objects.ml: Abi Boilerplate Bytes Call Cost_model Dirent Downlink Errno Flags Value

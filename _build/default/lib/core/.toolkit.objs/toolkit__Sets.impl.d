@@ -1,0 +1,1 @@
+lib/core/sets.ml: Abi Array Boilerplate Cost_model Errno Flags Objects Symbolic Value

@@ -1,0 +1,1 @@
+lib/core/sets.mli: Abi Objects Symbolic

@@ -1,0 +1,1 @@
+lib/core/symbolic.ml: Abi Array Boilerplate Call Cost_model Errno Kernel Numeric Value

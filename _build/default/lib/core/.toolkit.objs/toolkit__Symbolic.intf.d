@@ -1,0 +1,1 @@
+lib/core/symbolic.mli: Abi Bytes Numeric

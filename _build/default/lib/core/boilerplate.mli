@@ -1,0 +1,28 @@
+(** Shared boilerplate under every agent: the operations the toolkit
+    must provide no matter which layer an agent is written at.
+
+    The centrepiece is the reimplementation of [execve] (§3.5.2 of the
+    paper): the kernel's own [execve] would clear the address space —
+    and with it the interception vector, i.e. the agent — so the
+    toolkit performs each of its steps from lower-level primitives
+    (permission check, reading the program file, closing close-on-exec
+    descriptors, resetting caught signals) and finally loads the new
+    image {e keeping} the emulation state.  [fork] similarly needs
+    per-child bookkeeping: the child must run the agent's [init_child]
+    before the application's code. *)
+
+val do_fork :
+  Downlink.t -> init_child:(unit -> unit) -> (unit -> int)
+  -> Abi.Value.res
+(** Fork through the down path with the child body wrapped so that
+    [init_child] runs first in the child.  Charges the paper's ≈10 ms
+    fork bookkeeping cost. *)
+
+val do_execve :
+  Downlink.t -> string -> string array -> string array -> Abi.Value.res
+(** The toolkit execve: on success it never returns (the process is
+    running the new image, agent still installed); on failure returns
+    the errno, exactly like the system call. *)
+
+val charge : int -> unit
+(** Charge toolkit bookkeeping time to the virtual clock. *)

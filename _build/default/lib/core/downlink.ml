@@ -1,0 +1,42 @@
+open Abi
+
+type t = {
+  mutable prev : (Value.wire -> Value.res) option array;
+  mutable prev_sig : (int -> unit) option;
+}
+
+let create () =
+  { prev = Array.make (Sysno.max_sysno + 1) None; prev_sig = None }
+
+let capture t ~numbers =
+  List.iter
+    (fun n ->
+      if n >= 0 && n < Array.length t.prev then
+        t.prev.(n) <- Kernel.Uspace.task_get_emulation n)
+    numbers;
+  t.prev_sig <- Kernel.Uspace.task_get_emulation_signal ()
+
+let captured_handler t n =
+  if n >= 0 && n < Array.length t.prev then t.prev.(n) else None
+
+let captured_signal t = t.prev_sig
+
+let down t (w : Value.wire) =
+  let prev =
+    if w.num >= 0 && w.num < Array.length t.prev then t.prev.(w.num)
+    else None
+  in
+  match prev with
+  | Some handler -> handler w
+  | None -> Kernel.Uspace.htg_unix_syscall w
+
+let down_call t c = down t (Call.encode c)
+
+let down_signal t s =
+  match t.prev_sig with
+  | Some interposer -> interposer s
+  | None ->
+    let proc = Kernel.Uspace.self () in
+    (match Kernel.Proc.handler proc s with
+     | Value.H_fn f -> f s
+     | Value.H_default | Value.H_ignore -> ())

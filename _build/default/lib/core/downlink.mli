@@ -1,0 +1,36 @@
+(** The agent's path to the next-lower instance of the system
+    interface.
+
+    When an agent is installed, the loader captures — per intercepted
+    syscall number — whatever handler was installed before it (another
+    agent's, for stacked configurations like Figure 1-3/1-4 and nested
+    transactions).  Calling {!down} routes to that handler, or to the
+    kernel via [htg_unix_syscall] when the agent is the lowest one.
+    The incoming-signal path chains the same way. *)
+
+type t
+
+val create : unit -> t
+
+val capture : t -> numbers:int list -> unit
+(** Record the current emulation handlers for [numbers] (and the
+    current signal interposer) as this agent's down path.  Must run in
+    the target process, before the agent's own handlers are
+    installed. *)
+
+val down : t -> Abi.Value.wire -> Abi.Value.res
+(** Invoke the next-lower system interface instance. *)
+
+val down_call : t -> Abi.Call.t -> Abi.Value.res
+(** Typed convenience over {!down}. *)
+
+val captured_handler : t -> int -> (Abi.Value.wire -> Abi.Value.res) option
+(** What {!capture} recorded for one number (used by the loader to
+    restore state on uninstall). *)
+
+val captured_signal : t -> (int -> unit) option
+
+val down_signal : t -> int -> unit
+(** Deliver a signal to the next level up the stack towards the
+    application: the previously installed interposer if any, else the
+    application's own handler for that signal. *)

@@ -1,0 +1,48 @@
+open Abi
+
+class numeric_syscall =
+  object (self)
+    val dl = Downlink.create ()
+    val mutable interests : int list = []
+
+    method downlink = dl
+    method down c = Downlink.down_call dl c
+    method agent_name = "agent"
+
+    method register_interest n =
+      (* any number inside the interception vector may be registered —
+         including numbers the native interface does not define, which
+         is how foreign-ABI emulation agents catch their calls *)
+      if n >= 0 && n <= Sysno.max_sysno && not (List.mem n interests)
+      then interests <- n :: interests
+
+    method register_interest_range lo hi =
+      for n = lo to hi do
+        self#register_interest n
+      done
+
+    method register_interest_all =
+      List.iter self#register_interest Sysno.all
+
+    method interests = List.sort compare interests
+
+    method init (_argv : string array) = ()
+    method init_child = ()
+
+    method syscall (w : Value.wire) : Value.res =
+      Kernel.Uspace.cpu_work Cost_model.numeric_dispatch_us;
+      if w.num = Sysno.sys_fork then
+        match Value.Get.body w 0 with
+        | Ok body ->
+          Boilerplate.do_fork dl ~init_child:(fun () -> self#init_child) body
+        | Error e -> Error e
+      else if w.num = Sysno.sys_execve then
+        match
+          Value.Get.str w 0, Value.Get.strs w 1, Value.Get.strs w 2
+        with
+        | Ok path, Ok argv, Ok envp -> Boilerplate.do_execve dl path argv envp
+        | (Error e, _, _) | (_, Error e, _) | (_, _, Error e) -> Error e
+      else Downlink.down dl w
+
+    method signal_handler (s : int) = Downlink.down_signal dl s
+  end

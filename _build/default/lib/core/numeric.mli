@@ -1,0 +1,48 @@
+(** The numeric system call layer — the lowest toolkit layer agents
+    derive from (the paper's [numeric_syscall] class).
+
+    The system interface appears as a single entry point accepting a
+    syscall number and a vector of untyped arguments.  The default
+    implementation of every operation is pass-through: an agent built
+    directly on this class overrides [syscall] (and, if interested,
+    [signal_handler]), registers the numbers it wants with
+    [register_interest], and inherits correct behaviour for everything
+    else — including surviving [fork] and [execve], which the
+    boilerplate beneath this class takes care of. *)
+
+class numeric_syscall : object
+  method syscall : Abi.Value.wire -> Abi.Value.res
+  (** Called for every intercepted system call.  The default
+      implementation handles the fork/execve boilerplate and passes
+      everything else down unchanged. *)
+
+  method signal_handler : int -> unit
+  (** Called for every incoming signal the application has a handler
+      for.  Default: forward to the next level up. *)
+
+  method init : string array -> unit
+  (** One-time initialisation with the agent's own argument vector,
+      called by the loader after installation. *)
+
+  method init_child : unit
+  (** Runs in a freshly forked child before any application code. *)
+
+  method register_interest : int -> unit
+  method register_interest_range : int -> int -> unit
+  (** Inclusive range of syscall numbers. *)
+
+  method register_interest_all : unit
+
+  method interests : int list
+  (** The numbers registered so far (the loader adds the boilerplate
+      minimum — fork, execve, exit — itself). *)
+
+  method downlink : Downlink.t
+  (** The agent's path to the next-lower interface instance. *)
+
+  method down : Abi.Call.t -> Abi.Value.res
+  (** Typed pass-down convenience. *)
+
+  method agent_name : string
+  (** For diagnostics; default ["agent"]. *)
+end

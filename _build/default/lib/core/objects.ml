@@ -1,0 +1,145 @@
+open Abi
+
+class open_object (dl : Downlink.t) =
+  object
+    val mutable refs = 1
+    method retain = refs <- refs + 1
+    method release =
+      refs <- refs - 1;
+      refs
+    method on_last_close = ()
+
+    method read ~fd buf cnt = Downlink.down_call dl (Call.Read (fd, buf, cnt))
+    method write ~fd data = Downlink.down_call dl (Call.Write (fd, data))
+    method lseek ~fd off whence =
+      Downlink.down_call dl (Call.Lseek (fd, off, whence))
+    method fstat ~fd r = Downlink.down_call dl (Call.Fstat (fd, r))
+    method getdirentries ~fd buf =
+      Downlink.down_call dl (Call.Getdirentries (fd, buf))
+    method ftruncate ~fd len = Downlink.down_call dl (Call.Ftruncate (fd, len))
+    method fsync ~fd = Downlink.down_call dl (Call.Fsync fd)
+    method ioctl ~fd op buf = Downlink.down_call dl (Call.Ioctl (fd, op, buf))
+    method close ~fd = Downlink.down_call dl (Call.Close fd)
+  end
+
+class directory (dl : Downlink.t) =
+  object (self)
+    inherit open_object dl as super
+
+    val iobuf = Bytes.create 512
+    val mutable pending : Dirent.t list = []
+    val mutable lookahead : Dirent.t option = None
+    val mutable at_eof = false
+    val mutable index = 0  (* logical entry index, the basep we report *)
+
+    method next_direntry ~fd : Dirent.t option =
+      Boilerplate.charge Cost_model.directory_layer_us;
+      match pending with
+      | e :: rest ->
+        pending <- rest;
+        Some e
+      | [] ->
+        if at_eof then None
+        else begin
+          (match super#getdirentries ~fd iobuf with
+           | Ok { Value.r0 = 0; _ } | Error _ -> at_eof <- true
+           | Ok { Value.r0 = n; _ } ->
+             pending <- Dirent.decode_all iobuf ~len:n);
+          if at_eof then None else self#next_direntry ~fd
+        end
+
+    method rewind ~fd : Value.res =
+      pending <- [];
+      lookahead <- None;
+      at_eof <- false;
+      index <- 0;
+      super#lseek ~fd 0 Flags.Seek.set
+
+    (* The public byte-stream view, rebuilt from the iterator so that a
+       derived next_direntry changes what readdir sees. *)
+    method! getdirentries ~fd buf =
+      let next () =
+        match lookahead with
+        | Some e ->
+          lookahead <- None;
+          Some e
+        | None -> self#next_direntry ~fd
+      in
+      let rec fill pos count =
+        match next () with
+        | None -> pos, count
+        | Some e ->
+          if Dirent.fits buf ~pos e then
+            fill (Dirent.encode buf ~pos e) (count + 1)
+          else begin
+            lookahead <- Some e;
+            pos, count
+          end
+      in
+      let bytes, consumed = fill 0 0 in
+      if bytes = 0 && lookahead <> None then Error Errno.EINVAL
+      else begin
+        index <- index + consumed;
+        Ok { Value.r0 = bytes; r1 = index }
+      end
+
+    method! lseek ~fd off whence =
+      if off = 0 && whence = Flags.Seek.set then self#rewind ~fd
+      else super#lseek ~fd off whence
+  end
+
+class descriptor ~(fd : int) (oo : open_object) =
+  object
+    method fd = fd
+    method open_object = oo
+
+    method dup_onto ~fd:nfd =
+      oo#retain;
+      new descriptor ~fd:nfd oo
+
+    method read buf cnt = oo#read ~fd buf cnt
+    method write data = oo#write ~fd data
+    method lseek off whence = oo#lseek ~fd off whence
+    method fstat r = oo#fstat ~fd r
+    method getdirentries buf = oo#getdirentries ~fd buf
+    method ftruncate len = oo#ftruncate ~fd len
+    method fsync = oo#fsync ~fd
+    method ioctl op buf = oo#ioctl ~fd op buf
+
+    method close =
+      let res = oo#close ~fd in
+      if oo#release = 0 then oo#on_last_close;
+      res
+  end
+
+class pathname (dl : Downlink.t) (path : string) =
+  object
+    method path = path
+    method open_ flags mode = Downlink.down_call dl (Call.Open (path, flags, mode))
+    method creat mode = Downlink.down_call dl (Call.Creat (path, mode))
+    method stat r = Downlink.down_call dl (Call.Stat (path, r))
+    method lstat r = Downlink.down_call dl (Call.Lstat (path, r))
+    method access bits = Downlink.down_call dl (Call.Access (path, bits))
+    method chmod mode = Downlink.down_call dl (Call.Chmod (path, mode))
+    method chown uid gid = Downlink.down_call dl (Call.Chown (path, uid, gid))
+    method utimes atime mtime =
+      Downlink.down_call dl (Call.Utimes (path, atime, mtime))
+    method truncate len = Downlink.down_call dl (Call.Truncate (path, len))
+    method readlink buf = Downlink.down_call dl (Call.Readlink (path, buf))
+    method unlink = Downlink.down_call dl (Call.Unlink path)
+    method rmdir = Downlink.down_call dl (Call.Rmdir path)
+    method mkdir mode = Downlink.down_call dl (Call.Mkdir (path, mode))
+    method mknod mode dev = Downlink.down_call dl (Call.Mknod (path, mode, dev))
+    method chdir = Downlink.down_call dl (Call.Chdir path)
+
+    method link_to (newpn : pathname) =
+      Downlink.down_call dl (Call.Link (path, newpn#path))
+
+    method rename_to (newpn : pathname) =
+      Downlink.down_call dl (Call.Rename (path, newpn#path))
+
+    method symlink ~target =
+      Downlink.down_call dl (Call.Symlink (target, path))
+
+    method execve argv envp = Boilerplate.do_execve dl path argv envp
+  end

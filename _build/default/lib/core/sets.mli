@@ -1,0 +1,44 @@
+(** The name-space layers: the descriptor name space
+    ([descriptor_set]) and the filesystem name space ([pathname_set]).
+
+    [descriptor_set] tracks which toolkit object each descriptor
+    number refers to and routes descriptor-using system calls through
+    it.  Untracked descriptors (inherited across an exec, say) pass
+    through unchanged.
+
+    [pathname_set] routes every pathname-using call through [getpn],
+    the pathname-resolution chokepoint: the default implementation of
+    each such call resolves its string to a {!Objects.pathname} and
+    invokes the corresponding method on it.  An agent that rearranges
+    the name space (the union-directory agent) overrides [getpn]; an
+    agent that collects name-reference data (dfs_trace) taps it. *)
+
+class descriptor_set : object
+  inherit Symbolic.symbolic_syscall
+
+  method descriptor_of : int -> Objects.descriptor option
+  method install_descriptor : int -> Objects.descriptor -> unit
+  method drop_descriptor : int -> unit
+
+  method make_open_object :
+    fd:int -> path:string option -> flags:int -> Objects.open_object
+  (** Factory for the object behind a newly opened descriptor;
+      override to substitute derived open objects (e.g. encrypting
+      files, merged directories). *)
+
+  method track_new_fd :
+    path:string option -> flags:int -> Abi.Value.res -> Abi.Value.res
+  (** Wrap a call that produced a new descriptor: on success, create
+      and install its descriptor object. *)
+end
+
+class pathname_set : object
+  inherit descriptor_set
+
+  method getpn : string -> (Objects.pathname, Abi.Errno.t) result
+  (** Resolve a pathname string to a pathname object.  Default:
+      {!make_pathname} on the string unchanged. *)
+
+  method make_pathname : string -> Objects.pathname
+  (** Factory; override to substitute derived pathname objects. *)
+end

@@ -1,0 +1,49 @@
+(** The interposition toolkit (library root).
+
+    The layers, bottom to top, mirroring Figure 2-1 of the paper:
+
+    - {!Downlink} / {!Boilerplate} / {!Loader} — the boilerplate
+      layers: interception plumbing, the fork and execve
+      reimplementations, agent installation and stacking.
+    - {!Numeric} — the numeric system call layer
+      ([numeric_syscall]).
+    - {!Symbolic} — the symbolic system call layer
+      ([symbolic_syscall], one method per 4.3BSD call).
+    - {!Sets} and {!Objects} — the abstraction layers: the descriptor
+      name space ([descriptor_set], [descriptor], [open_object]), the
+      filesystem name space ([pathname_set], [pathname] with the
+      [getpn] chokepoint), and secondary objects ([directory] with
+      [next_direntry]).
+
+    Agents derive from whichever layer suits them and inherit default
+    (pass-through) behaviour for the entire rest of the system
+    interface. *)
+
+module Boilerplate = Boilerplate
+module Downlink = Downlink
+module Loader = Loader
+module Numeric = Numeric
+module Objects = Objects
+module Sets = Sets
+module Symbolic = Symbolic
+
+(** Convenience aliases so agents can write
+    [inherit Toolkit.symbolic_syscall]. *)
+
+class numeric_syscall = Numeric.numeric_syscall
+class symbolic_syscall = Symbolic.symbolic_syscall
+class descriptor_set = Sets.descriptor_set
+class pathname_set = Sets.pathname_set
+class open_object = Objects.open_object
+class directory = Objects.directory
+class pathname = Objects.pathname
+
+(** The paper's Figure 2-1 class names, for readers coming from the
+    paper: [bsd_numeric_syscall] is the numeric→symbolic decode map
+    (folded into {!Symbolic.symbolic_syscall}'s [syscall] method);
+    [desc_symbolic_syscall]/[path_symbolic_syscall] are the
+    descriptor- and pathname-aware symbolic layers. *)
+
+class bsd_numeric_syscall = Symbolic.symbolic_syscall
+class desc_symbolic_syscall = Sets.descriptor_set
+class path_symbolic_syscall = Sets.pathname_set

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Abi Dev Events File Kstate Proc Registry Sim Syscalls Uspace Vfs

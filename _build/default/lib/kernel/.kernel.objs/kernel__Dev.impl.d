@@ -1,0 +1,1 @@
+lib/kernel/dev.ml: Buffer Bytes List String

@@ -1,0 +1,1 @@
+lib/kernel/dev.mli: Bytes

@@ -1,0 +1,1 @@
+lib/kernel/events.mli: Abi Effect

@@ -1,0 +1,1 @@
+lib/kernel/file.ml: Abi Vfs

@@ -1,0 +1,1 @@
+lib/kernel/kstate.ml: Abi Array Call Dev Effect Errno Events File Flags Hashtbl List Proc Queue Signal Sim Value Vfs

@@ -1,0 +1,1 @@
+lib/kernel/kstate.mli: Abi Dev Events File Hashtbl Proc Queue Sim Vfs

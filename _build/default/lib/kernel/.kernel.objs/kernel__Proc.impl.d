@@ -1,0 +1,1 @@
+lib/kernel/proc.ml: Abi Array Effect Events File Option Vfs

@@ -1,0 +1,1 @@
+lib/kernel/proc.mli: Abi Effect Events File Vfs

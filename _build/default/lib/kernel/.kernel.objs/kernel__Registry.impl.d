@@ -1,0 +1,1 @@
+lib/kernel/registry.ml: Hashtbl List String

@@ -1,0 +1,1 @@
+lib/kernel/syscalls.ml: Abi Array Bytes Call Dev Dirent Errno Events File Flags Hashtbl Int32 Kstate List Proc Registry Result Signal Sim Stat String Value Vfs

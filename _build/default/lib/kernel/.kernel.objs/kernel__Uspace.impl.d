@@ -1,0 +1,1 @@
+lib/kernel/uspace.ml: Abi Array Call Cost_model Effect Events List Proc Value

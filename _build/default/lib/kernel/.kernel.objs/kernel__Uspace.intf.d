@@ -1,0 +1,1 @@
+lib/kernel/uspace.mli: Abi Events Proc

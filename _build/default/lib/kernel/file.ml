@@ -1,0 +1,44 @@
+type pipe = {
+  pipe_id : int;
+  buf : Vfs.Pipebuf.t;
+}
+
+type kind =
+  | Vnode of Vfs.Inode.t
+  | Pipe_read of pipe
+  | Pipe_write of pipe
+  | Fifo_read of Vfs.Inode.t * Vfs.Pipebuf.t
+  | Fifo_write of Vfs.Inode.t * Vfs.Pipebuf.t
+  | Sock of { rx : pipe; tx : pipe }
+
+type t = {
+  id : int;
+  kind : kind;
+  mutable offset : int;
+  mutable flags : int;
+  mutable refs : int;
+}
+
+let make ~id kind ~flags = { id; kind; offset = 0; flags; refs = 1 }
+
+let is_readable t =
+  match t.kind with
+  | Pipe_read _ | Fifo_read _ | Sock _ -> true
+  | Pipe_write _ | Fifo_write _ -> false
+  | Vnode _ -> Abi.Flags.Open.readable t.flags
+
+let is_writable t =
+  match t.kind with
+  | Pipe_write _ | Fifo_write _ | Sock _ -> true
+  | Pipe_read _ | Fifo_read _ -> false
+  | Vnode _ -> Abi.Flags.Open.writable t.flags
+
+let inode t =
+  match t.kind with
+  | Vnode i | Fifo_read (i, _) | Fifo_write (i, _) -> Some i
+  | Pipe_read _ | Pipe_write _ | Sock _ -> None
+
+type fd_entry = {
+  file : t;
+  mutable cloexec : bool;
+}

@@ -1,0 +1,43 @@
+(** Kernel open-file objects — the system-wide "file table".
+
+    One [t] per successful [open]/[pipe]; descriptors in different
+    processes may share an entry (after [fork] or [dup]), in which case
+    they share the seek offset, exactly as in BSD. *)
+
+(** An anonymous pipe with its two wait queues' identity. *)
+type pipe = {
+  pipe_id : int;
+  buf : Vfs.Pipebuf.t;
+}
+
+type kind =
+  | Vnode of Vfs.Inode.t             (** regular file, directory, device *)
+  | Pipe_read of pipe
+  | Pipe_write of pipe
+  | Fifo_read of Vfs.Inode.t * Vfs.Pipebuf.t
+  | Fifo_write of Vfs.Inode.t * Vfs.Pipebuf.t
+  | Sock of { rx : pipe; tx : pipe }
+      (** one end of a connected socketpair: reads drain [rx], writes
+          fill [tx]; the peer holds the same pipes crossed *)
+
+type t = {
+  id : int;                          (** unique open-file id *)
+  kind : kind;
+  mutable offset : int;              (** byte offset, or entry index for
+                                         directory reads *)
+  mutable flags : int;               (** open flags; F_SETFL updates *)
+  mutable refs : int;                (** descriptor references *)
+}
+
+val make : id:int -> kind -> flags:int -> t
+
+val is_readable : t -> bool
+val is_writable : t -> bool
+
+val inode : t -> Vfs.Inode.t option
+
+(** A slot in a process descriptor table. *)
+type fd_entry = {
+  file : t;
+  mutable cloexec : bool;
+}

@@ -1,0 +1,478 @@
+module Dev = Dev
+module Events = Events
+module File = File
+module Kstate = Kstate
+module Proc = Proc
+module Registry = Registry
+module Syscalls = Syscalls
+module Uspace = Uspace
+
+open Abi
+
+type t = Kstate.t
+
+let log_src = Logs.Src.create "kernel" ~doc:"simulated kernel"
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* --- fibre plumbing ------------------------------------------------------ *)
+
+let discard k =
+  try Effect.Deep.discontinue k Events.Process_killed
+  with Events.Process_killed -> () | _ -> ()
+
+(* Resume a continuation with liveness re-checked at run time: the
+   process may have been killed while its resumption sat in the run
+   queue. *)
+let enqueue_resume (t : t) (proc : Proc.t) k v =
+  Kstate.enqueue t (fun () ->
+    match proc.state with
+    | Proc.Runnable ->
+      Proc.Cur.set (Some proc);
+      Effect.Deep.continue k v;
+      Proc.Cur.set None
+    | Proc.Zombie | Proc.Reaped -> discard k
+    | Proc.Parked _ | Proc.Stopped _ -> discard k)
+
+(* Terminal (default-action) signals left pending by
+   collect_deliverable: decide the process's fate at a trap boundary. *)
+let pending_terminal (proc : Proc.t) =
+  let result = ref `None in
+  (try
+     for s = 1 to Signal.max_signal do
+       if Signal.Mask.mem proc.sigs.pending s
+          && (s = Signal.sigkill || s = Signal.sigstop
+              || not (Signal.Mask.mem proc.sigs.mask s))
+       then begin
+         let dispo =
+           if s = Signal.sigkill then `Terminate
+           else if s = Signal.sigstop then `Stop
+           else
+             match Proc.handler proc s with
+             | Value.H_default ->
+               (match Signal.default_action s with
+                | Signal.Terminate -> `Terminate
+                | Signal.Stop -> `Stop
+                | Signal.Ignore | Signal.Continue -> `Other)
+             | Value.H_ignore | Value.H_fn _ -> `Other
+         in
+         match dispo with
+         | `Terminate ->
+           result := `Kill (s, Flags.Wait.sig_status s);
+           raise Exit
+         | `Stop ->
+           result := `Stop s;
+           raise Exit
+         | `Other -> ()
+       end
+     done
+   with Exit -> ());
+  !result
+
+(* Deliver a reply to a process at a trap boundary, honouring pending
+   terminal signals and stops. *)
+let finish_reply (t : t) (proc : Proc.t) k (reply : Events.trap_reply) =
+  let deliver = reply.deliver @ Kstate.collect_deliverable t proc in
+  let reply = { reply with deliver } in
+  match pending_terminal proc with
+  | `Kill (s, status) ->
+    proc.sigs.pending <- Signal.Mask.remove proc.sigs.pending s;
+    Kstate.do_exit t proc status;
+    discard k
+  | `Stop s ->
+    proc.sigs.pending <- Signal.Mask.remove proc.sigs.pending s;
+    proc.state <- Proc.Stopped { sk = k; reply };
+    (match Kstate.proc t proc.ppid with
+     | Some parent ->
+       Kstate.post_signal t parent Signal.sigchld;
+       Kstate.wake_key t (Kstate.K_child parent.pid)
+     | None -> ())
+  | `None -> enqueue_resume t proc k reply
+
+let keys_of_cond (cond : Proc.cond) : Kstate.wait_key list =
+  match cond with
+  | Proc.On_child -> []          (* keyed by the waiter itself *)
+  | Proc.On_pipe_read i -> [ Kstate.K_pipe_r i ]
+  | Proc.On_pipe_write i -> [ Kstate.K_pipe_w i ]
+  | Proc.On_fifo_read i -> [ Kstate.K_fifo_r i ]
+  | Proc.On_fifo_write i -> [ Kstate.K_fifo_w i ]
+  | Proc.On_time _ -> []         (* woken by the timer wheel *)
+  | Proc.On_signal -> []         (* woken by signal posting *)
+  | Proc.On_select s ->
+    List.map (fun i -> Kstate.K_pipe_r i) s.rpipes
+    @ List.map (fun i -> Kstate.K_pipe_w i) s.wpipes
+    @ List.map (fun i -> Kstate.K_fifo_r i) s.rfifos
+    @ List.map (fun i -> Kstate.K_fifo_w i) s.wfifos
+
+let base_cost (via : Events.via) call =
+  Cost_model.syscall_us call
+  + (match via with
+     | Events.Htg -> Cost_model.htg_overhead_us
+     | Events.App -> 0)
+
+let rec process_trap (t : t) (proc : Proc.t) (w : Value.wire)
+    (via : Events.via) k ~first =
+  (* a deferred fatal signal takes effect at syscall entry, before the
+     call can park the process out of its reach *)
+  match pending_terminal proc with
+  | `Kill (s, status) ->
+    proc.sigs.pending <- Signal.Mask.remove proc.sigs.pending s;
+    Kstate.do_exit t proc status;
+    discard k
+  | `Stop _ | `None ->
+  match Call.decode w with
+  | Error e ->
+    if first then Kstate.charge t Cost_model_base.trivial_us;
+    finish_reply t proc k { Events.res = Error e; deliver = [] }
+  | Ok call ->
+    if first then begin
+      let cost = base_cost via call in
+      proc.stime_us <- proc.stime_us + cost;
+      Kstate.charge t cost
+    end;
+    let pre_mask = proc.sigs.mask in
+    let outcome = Syscalls.dispatch t proc call in
+    (match outcome with
+     | Kstate.Done res ->
+       Kstate.run_trace_hook t proc call res;
+       finish_reply t proc k { Events.res; deliver = [] }
+     | Kstate.Block cond ->
+       let saved_mask =
+         match cond with
+         | Proc.On_signal -> Some pre_mask
+         | Proc.On_child | Proc.On_pipe_read _ | Proc.On_pipe_write _
+         | Proc.On_fifo_read _ | Proc.On_fifo_write _ | Proc.On_time _
+         | Proc.On_select _ ->
+           None
+       in
+       proc.state <- Proc.Parked { k; wire = w; via; cond; saved_mask };
+       (match cond with
+        | Proc.On_child -> Kstate.sleep_on t (Kstate.K_child proc.pid) proc.pid
+        | _ ->
+          List.iter
+            (fun key -> Kstate.sleep_on t key proc.pid)
+            (keys_of_cond cond))
+     | Kstate.Exited -> ()  (* _exit never returns: abandon the fibre *)
+     | Kstate.Exec spec ->
+       start_exec t proc spec)
+
+and start_exec (t : t) (proc : Proc.t) (spec : Events.exec_spec) =
+  if not spec.keep_emulation then proc.emul <- Proc.fresh_emulation ();
+  t.hooks.spawn proc spec.exec_body
+
+(* --- the fibre root ------------------------------------------------------- *)
+
+let run_fiber (t : t) (proc : Proc.t) (body : unit -> int) =
+  let open Effect.Deep in
+  (* crt0 semantics: a body that returns exits via the exit system
+     call, so interposition agents observe every termination; the
+     [retc] below is only a backstop should an agent swallow it *)
+  let body () =
+    let code = body () in
+    ignore (Uspace.syscall (Abi.Call.Exit code));
+    code
+  in
+  match_with body ()
+    { retc =
+        (fun status -> Kstate.do_exit t proc (Flags.Wait.exit_status status));
+      exnc =
+        (fun e ->
+          match e with
+          | Events.Process_killed -> ()
+          | Events.Process_exit code ->
+            Kstate.do_exit t proc (Flags.Wait.exit_status code)
+          | e ->
+            Log.warn (fun m ->
+              m "pid %d (%s): uncaught exception %s" proc.pid proc.name
+                (Printexc.to_string e));
+            Kstate.do_exit t proc (Flags.Wait.sig_status Signal.sigabrt));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Events.Trap (w, via) ->
+            Some (fun (k : (a, unit) continuation) ->
+              Proc.Cur.set None;
+              process_trap t proc w via k ~first:true)
+          | Events.Cpu us ->
+            Some (fun (k : (a, unit) continuation) ->
+              Proc.Cur.set None;
+              proc.utime_us <- proc.utime_us + us;
+              Kstate.charge t us;
+              let deliver = Kstate.collect_deliverable t proc in
+              (match pending_terminal proc with
+               | `Kill (s, status) ->
+                 proc.sigs.pending <-
+                   Signal.Mask.remove proc.sigs.pending s;
+                 Kstate.do_exit t proc status;
+                 discard k
+               | `Stop _ | `None ->
+                 (* stops at a pure compute point are deferred to the
+                    next trap *)
+                 enqueue_resume t proc k deliver))
+          | Events.Exec_load spec ->
+            Some (fun (k : (a, unit) continuation) ->
+              Proc.Cur.set None;
+              ignore (k : (a, unit) continuation);
+              start_exec t proc spec)
+          | Events.Set_emulation (numbers, handler) ->
+            Some (fun (k : (a, unit) continuation) ->
+              Proc.Cur.set None;
+              List.iter
+                (fun n ->
+                  if n >= 0 && n < Array.length proc.emul.vector then
+                    proc.emul.vector.(n) <- handler)
+                numbers;
+              enqueue_resume t proc k ())
+          | Events.Get_emulation n ->
+            Some (fun (k : (a, unit) continuation) ->
+              Proc.Cur.set None;
+              let h =
+                if n >= 0 && n < Array.length proc.emul.vector then
+                  proc.emul.vector.(n)
+                else None
+              in
+              enqueue_resume t proc k h)
+          | Events.Set_emulation_signal h ->
+            Some (fun (k : (a, unit) continuation) ->
+              Proc.Cur.set None;
+              proc.emul.sig_emul <- h;
+              enqueue_resume t proc k ())
+          | Events.Get_emulation_signal ->
+            Some (fun (k : (a, unit) continuation) ->
+              Proc.Cur.set None;
+              enqueue_resume t proc k proc.emul.sig_emul)
+          | _ -> None) }
+
+let enqueue_start (t : t) (proc : Proc.t) (body : unit -> int) =
+  Kstate.enqueue t (fun () ->
+    match proc.state with
+    | Proc.Runnable ->
+      Proc.Cur.set (Some proc);
+      run_fiber t proc body;
+      Proc.Cur.set None
+    | Proc.Zombie | Proc.Reaped | Proc.Parked _ | Proc.Stopped _ -> ())
+
+let retry (t : t) (proc : Proc.t) =
+  match proc.state with
+  | Proc.Parked park ->
+    proc.state <- Proc.Runnable;
+    Kstate.enqueue t (fun () ->
+      match proc.state with
+      | Proc.Runnable ->
+        process_trap t proc park.wire park.via park.k ~first:false
+      | Proc.Zombie | Proc.Reaped -> discard park.k
+      | Proc.Parked _ | Proc.Stopped _ -> ())
+  | Proc.Runnable | Proc.Stopped _ | Proc.Zombie | Proc.Reaped -> ()
+
+(* --- the scheduler --------------------------------------------------------- *)
+
+let fire_timer (t : t) (ev : Kstate.timer_event) =
+  match ev with
+  | Kstate.T_alarm pid ->
+    (match Kstate.proc t pid with
+     | Some proc ->
+       proc.alarm_at <- None;
+       Kstate.post_signal t proc Signal.sigalrm
+     | None -> ())
+  | Kstate.T_wake pid ->
+    (match Kstate.proc t pid with
+     | Some proc ->
+       (match proc.state with
+        | Proc.Parked ({ cond = Proc.On_time _; _ } as park) ->
+          proc.state <- Proc.Runnable;
+          finish_reply t proc park.k
+            { Events.res = Value.ret 0; deliver = [] }
+        | Proc.Runnable | Proc.Parked _ | Proc.Stopped _
+        | Proc.Zombie | Proc.Reaped -> ())
+     | None -> ())
+  | Kstate.T_select pid ->
+    (match Kstate.proc t pid with
+     | Some proc ->
+       (match proc.state with
+        | Proc.Parked ({ cond = Proc.On_select _; _ } as park) ->
+          (* timeout: no descriptors ready *)
+          proc.state <- Proc.Runnable;
+          finish_reply t proc park.k
+            { Events.res = Value.ret 0 ~r1:0; deliver = [] }
+        | Proc.Runnable | Proc.Parked _ | Proc.Stopped _
+        | Proc.Zombie | Proc.Reaped -> ())
+     | None -> ())
+
+let kill_stragglers (t : t) =
+  let stragglers =
+    List.filter
+      (fun (p : Proc.t) ->
+        match p.state with
+        | Proc.Parked _ | Proc.Stopped _ -> true
+        | Proc.Runnable | Proc.Zombie | Proc.Reaped -> false)
+      (Kstate.live_procs t)
+  in
+  List.iter
+    (fun (p : Proc.t) ->
+      Log.warn (fun m ->
+        m "deadlock: killing pid %d (%s)" p.pid p.name);
+      t.deadlock_kills <- t.deadlock_kills + 1;
+      match p.state with
+      | Proc.Parked park ->
+        Kstate.do_exit t p (Flags.Wait.sig_status Signal.sigkill);
+        discard park.k
+      | Proc.Stopped st ->
+        Kstate.do_exit t p (Flags.Wait.sig_status Signal.sigkill);
+        discard st.sk
+      | Proc.Runnable | Proc.Zombie | Proc.Reaped -> ())
+    stragglers;
+  stragglers <> []
+
+let rec sched_loop (t : t) =
+  (* timers whose deadline virtual time has already passed fire at
+     every scheduling point, so runnable (even spinning) processes
+     cannot starve them *)
+  match Kstate.next_timer t with
+  | Some (at, ev) when at <= Sim.Clock.now_us t.clock ->
+    Kstate.pop_timer t;
+    fire_timer t ev;
+    sched_loop t
+  | timer ->
+    match Queue.take_opt t.runq with
+    | Some thunk ->
+      thunk ();
+      sched_loop t
+    | None ->
+      match timer with
+      | Some (at, ev) ->
+        Kstate.pop_timer t;
+        Sim.Clock.advance_to t.clock at;
+        fire_timer t ev;
+        sched_loop t
+      | None -> if kill_stragglers t then sched_loop t
+
+(* --- creation and boot ------------------------------------------------------ *)
+
+let create () =
+  let t = Kstate.create () in
+  t.hooks <-
+    { Kstate.spawn = (fun proc body -> enqueue_start t proc body);
+      retry = (fun proc -> retry t proc) };
+  t
+
+let open_tty_fds (t : t) (proc : Proc.t) =
+  match Vfs.Fs.resolve t.fs Vfs.Fs.root_cred ~cwd:proc.cwd "/dev/tty" with
+  | Error _ -> ()
+  | Ok inode ->
+    let mkfd flags =
+      let file = Kstate.new_file t (File.Vnode inode) ~flags in
+      ignore (Kstate.install_fd t proc file)
+    in
+    mkfd Flags.Open.o_rdonly;
+    mkfd Flags.Open.o_wronly;
+    mkfd Flags.Open.o_wronly
+
+let boot (t : t) ~name body =
+  let pid = Kstate.alloc_pid t in
+  let proc =
+    Proc.create ~pid ~ppid:0 ~pgrp:pid ~name
+      ~cred:Vfs.Fs.root_cred ~cwd:(Vfs.Fs.root_ino t.fs)
+  in
+  Kstate.add_proc t proc;
+  open_tty_fds t proc;
+  enqueue_start t proc body;
+  sched_loop t;
+  proc.exit_status
+
+(* --- host-side filesystem helpers -------------------------------------------- *)
+
+let fs (t : t) = t.fs
+let clock (t : t) = t.clock
+
+let mkdir_p (t : t) path =
+  let comps = List.filter (fun s -> s <> "") (String.split_on_char '/' path) in
+  let root = Vfs.Fs.root_ino t.fs in
+  ignore
+    (List.fold_left
+       (fun prefix comp ->
+         let dir = prefix ^ "/" ^ comp in
+         (match
+            Vfs.Fs.mkdir t.fs Vfs.Fs.root_cred ~cwd:root dir ~perm:0o755
+          with
+          | Ok _ | Error Errno.EEXIST -> ()
+          | Error e ->
+            invalid_arg
+              (Printf.sprintf "mkdir_p %s: %s" dir (Errno.name e)));
+         dir)
+       "" comps)
+
+let write_file (t : t) ~path ?(perm = 0o644) content =
+  mkdir_p t (Filename.dirname path);
+  let root = Vfs.Fs.root_ino t.fs in
+  match
+    Vfs.Fs.open_lookup t.fs Vfs.Fs.root_cred ~cwd:root path
+      ~flags:Flags.Open.(o_wronly lor o_creat lor o_trunc)
+      ~perm
+  with
+  | Error e ->
+    invalid_arg (Printf.sprintf "write_file %s: %s" path (Errno.name e))
+  | Ok (inode, _) ->
+    (match inode.Vfs.Inode.kind with
+     | Vfs.Inode.Reg data ->
+       ignore (Vfs.Filedata.write data ~pos:0 content);
+       inode.Vfs.Inode.perm <- perm
+     | _ -> invalid_arg "write_file: not a regular file")
+
+let read_file (t : t) path =
+  let root = Vfs.Fs.root_ino t.fs in
+  match Vfs.Fs.resolve t.fs Vfs.Fs.root_cred ~cwd:root path with
+  | Error _ -> None
+  | Ok inode ->
+    (match inode.Vfs.Inode.kind with
+     | Vfs.Inode.Reg data -> Some (Vfs.Filedata.to_string data)
+     | _ -> None)
+
+let exists (t : t) path =
+  let root = Vfs.Fs.root_ino t.fs in
+  Result.is_ok (Vfs.Fs.resolve t.fs Vfs.Fs.root_cred ~cwd:root path)
+
+let install_image (t : t) ~path ~image =
+  write_file t ~path ~perm:0o755 (Registry.file_content image)
+
+let populate_standard (t : t) =
+  let root = Vfs.Fs.root_ino t.fs in
+  mkdir_p t "/dev";
+  mkdir_p t "/tmp";
+  mkdir_p t "/bin";
+  mkdir_p t "/usr/bin";
+  mkdir_p t "/etc";
+  mkdir_p t "/home";
+  (match Vfs.Fs.resolve t.fs Vfs.Fs.root_cred ~cwd:root "/tmp" with
+   | Ok inode -> inode.Vfs.Inode.perm <- 0o1777
+   | Error _ -> ());
+  let dev path rdev =
+    match
+      Vfs.Fs.mkchardev t.fs Vfs.Fs.root_cred ~cwd:root path ~perm:0o666 ~rdev
+    with
+    | Ok _ | Error Errno.EEXIST -> ()
+    | Error e ->
+      invalid_arg (Printf.sprintf "mknod %s: %s" path (Errno.name e))
+  in
+  dev "/dev/null" Dev.rdev_null;
+  dev "/dev/zero" Dev.rdev_zero;
+  dev "/dev/tty" Dev.rdev_tty;
+  dev "/dev/console" Dev.rdev_console;
+  write_file t ~path:"/etc/motd"
+    "4.3 BSD UNIX (simulated) -- interposition agents welcome\n"
+
+(* --- console and misc --------------------------------------------------------- *)
+
+let console_output (t : t) = Dev.Console.contents t.console
+let clear_console (t : t) = Dev.Console.clear t.console
+let feed_console (t : t) s = Dev.Console.feed t.console s
+let echo_console_to (t : t) f = Dev.Console.set_echo t.console f
+
+let elapsed_seconds (t : t) = Sim.Clock.seconds t.clock
+let total_syscalls = Kstate.total_syscalls
+let deadlock_kills (t : t) = t.deadlock_kills
+
+let post_signal (t : t) ~pid s =
+  match Kstate.proc t pid with
+  | Some proc -> Kstate.post_signal t proc s
+  | None -> ()
+
+let set_trace_hook = Kstate.set_trace_hook

@@ -1,0 +1,79 @@
+(** The simulated Mach 2.5 / 4.3BSD kernel: scheduler, boot and the
+    host-side API.
+
+    A kernel instance owns a virtual clock, a filesystem, a console and
+    a process table.  [boot] starts pid 1 on a program body and runs
+    the cooperative scheduler until every process has terminated (or is
+    hopelessly deadlocked, in which case the stragglers are killed and
+    counted in [deadlock_kills]).
+
+    Simulated processes are OCaml fibres; they interact with the kernel
+    exclusively through the effects in {!Events}, performed by the
+    stubs in {!Uspace} (applications normally go through {!Libc} on top
+    of those). *)
+
+(** {1 Submodules}
+
+    The library's public face: re-exported here because this module is
+    the library root. *)
+
+module Dev = Dev
+module Events = Events
+module File = File
+module Kstate = Kstate
+module Proc = Proc
+module Registry = Registry
+module Syscalls = Syscalls
+module Uspace = Uspace
+
+type t = Kstate.t
+
+val create : unit -> t
+
+(** {1 Running} *)
+
+val boot : t -> name:string -> (unit -> int) -> int
+(** [boot t ~name body] runs [body] as pid 1 (with stdin/stdout/stderr
+    connected to [/dev/tty] when it exists) and drives the scheduler to
+    quiescence.  Returns pid 1's wait status (see {!Abi.Flags.Wait}).
+    A kernel can be booted once. *)
+
+(** {1 Host-side filesystem setup}
+
+    These run outside any simulated process, with root credentials. *)
+
+val populate_standard : t -> unit
+(** Create [/dev] (null, zero, tty, console), [/tmp], [/bin], [/usr],
+    [/etc] with a motd, and [/home]. *)
+
+val install_image : t -> path:string -> image:string -> unit
+(** Write an executable file whose content names a {!Registry} image;
+    creates parent directories as needed. *)
+
+val mkdir_p : t -> string -> unit
+val write_file : t -> path:string -> ?perm:int -> string -> unit
+val read_file : t -> string -> string option
+val exists : t -> string -> bool
+
+(** {1 Console} *)
+
+val console_output : t -> string
+val clear_console : t -> unit
+val feed_console : t -> string -> unit
+val echo_console_to : t -> (string -> unit) -> unit
+
+(** {1 Introspection and host-side control} *)
+
+val clock : t -> Sim.Clock.t
+val fs : t -> Vfs.Fs.t
+val elapsed_seconds : t -> float
+val total_syscalls : t -> int
+val deadlock_kills : t -> int
+val post_signal : t -> pid:int -> int -> unit
+(** Inject a signal from outside the simulation (like a console ^C). *)
+
+val set_trace_hook :
+  t -> ?cost_us:int
+  -> (Proc.t -> Abi.Call.t -> Abi.Value.res -> unit) option -> unit
+(** The in-kernel tracing hook used by the DFSTrace comparison: when
+    set, it observes every dispatched call at [cost_us] µs apiece. *)

@@ -1,0 +1,131 @@
+(** Kernel state and the operations on it that do not involve running
+    fibres: the process and file tables, wait queues, timers, signal
+    posting and process exit.  The scheduler and syscall dispatcher sit
+    on top ({!Kernel}, {!Syscalls}). *)
+
+type wait_key =
+  | K_child of int        (** parent pid *)
+  | K_pipe_r of int
+  | K_pipe_w of int
+  | K_fifo_r of int       (** fifo ino *)
+  | K_fifo_w of int
+  | K_signal of int       (** pid in sigsuspend *)
+
+type timer_event =
+  | T_wake of int         (** pid sleeping *)
+  | T_alarm of int        (** pid to receive SIGALRM *)
+  | T_select of int       (** pid's select timeout *)
+
+(** Result of dispatching one system call. *)
+type outcome =
+  | Done of Abi.Value.res
+  | Block of Proc.cond    (** park the caller; retried on wake *)
+  | Exited                (** the caller is gone; abandon the fibre *)
+  | Exec of Events.exec_spec
+      (** replace the caller's program text; abandon the fibre *)
+
+(** Functions supplied by the scheduler layer at start-up. *)
+type hooks = {
+  spawn : Proc.t -> (unit -> int) -> unit;
+      (** enqueue a fresh fibre for an (already registered) process *)
+  retry : Proc.t -> unit;
+      (** make a parked process re-attempt its system call *)
+}
+
+type t = {
+  clock : Sim.Clock.t;
+  fs : Vfs.Fs.t;
+  console : Dev.Console.t;
+  devs : Dev.table;
+  procs : (int, Proc.t) Hashtbl.t;
+  runq : (unit -> unit) Queue.t;
+  waitqs : (wait_key, int list ref) Hashtbl.t;
+  mutable timers : (int * timer_event) list;  (** sorted by time *)
+  mutable next_pid : int;
+  mutable next_file_id : int;
+  mutable next_pipe_id : int;
+  mutable tod_offset_us : int;   (** settimeofday adjustment *)
+  mutable hooks : hooks;
+  mutable trace_hook : (Proc.t -> Abi.Call.t -> Abi.Value.res -> unit) option;
+  mutable trace_hook_cost_us : int;
+  mutable retired_syscalls : int;
+  mutable deadlock_kills : int;
+}
+
+val create : unit -> t
+
+val charge : t -> int -> unit
+val now_us : t -> int
+(** Virtual wall time including the [settimeofday] offset. *)
+
+val cred : Proc.t -> Vfs.Fs.cred
+
+(* --- process table --- *)
+
+val proc : t -> int -> Proc.t option
+val alloc_pid : t -> int
+val add_proc : t -> Proc.t -> unit
+val children : t -> Proc.t -> Proc.t list
+val live_procs : t -> Proc.t list
+val total_syscalls : t -> int
+
+(* --- wait queues and timers --- *)
+
+val enqueue : t -> (unit -> unit) -> unit
+val sleep_on : t -> wait_key -> int -> unit
+val wake_key : t -> wait_key -> unit
+(** Retry every parked process on the queue (liveness is re-checked). *)
+
+val add_timer : t -> at:int -> timer_event -> unit
+val cancel_timers_for : t -> int -> unit
+val cancel_select_timers : t -> int -> unit
+val has_select_timer : t -> int -> bool
+val next_timer : t -> (int * timer_event) option
+val pop_timer : t -> unit
+
+(* --- open files and descriptors --- *)
+
+val new_file : t -> File.kind -> flags:int -> File.t
+val new_pipe : t -> File.t * File.t
+(** Read end, write end. *)
+
+val new_socketpair : t -> File.t * File.t
+(** Two connected bidirectional endpoints. *)
+
+val install_fd : t -> Proc.t -> ?cloexec:bool -> ?from:int -> File.t
+  -> (int, Abi.Errno.t) result
+(** Place an (already referenced) file in the lowest free slot. *)
+
+val retain_file : File.t -> unit
+val release_file : t -> File.t -> unit
+(** Drop one reference; at zero, release inode / pipe endpoints and
+    wake the peer end. *)
+
+val close_fd : t -> Proc.t -> int -> (unit, Abi.Errno.t) result
+
+(* --- signals --- *)
+
+val post_signal : t -> Proc.t -> int -> unit
+(** Make a signal pending and act on it as far as the target's state
+    allows (terminate, stop, continue, or interrupt a sleep). *)
+
+val collect_deliverable : t -> Proc.t -> int list
+(** Drain pending, unmasked, user-handled signals (clearing their
+    pending bits) and apply default actions for the rest.  May
+    terminate or stop [Runnable] processes as a side effect; the caller
+    must re-check the process state afterwards. *)
+
+val wake_parked_with : t -> Proc.t -> Proc.park -> Events.trap_reply -> unit
+(** Resume a parked process with an explicit reply (used by timers). *)
+
+val do_exit : t -> Proc.t -> int -> unit
+(** Terminate with the given wait-status: close descriptors, zombify,
+    reparent children to pid 1, notify and wake the parent. *)
+
+(* --- tracing hooks (the in-kernel DFSTrace comparator) --- *)
+
+val set_trace_hook :
+  t -> ?cost_us:int -> (Proc.t -> Abi.Call.t -> Abi.Value.res -> unit) option
+  -> unit
+
+val run_trace_hook : t -> Proc.t -> Abi.Call.t -> Abi.Value.res -> unit

@@ -1,0 +1,104 @@
+(** Process table entries. *)
+
+(** Why a parked process is asleep. *)
+type cond =
+  | On_child                    (** wait4: any child state change *)
+  | On_pipe_read of int         (** pipe id *)
+  | On_pipe_write of int
+  | On_fifo_read of int         (** fifo inode number *)
+  | On_fifo_write of int
+  | On_time of int              (** absolute virtual deadline, µs *)
+  | On_signal
+  | On_select of {
+      rpipes : int list;   (* pipe/sock ids awaited for readability *)
+      wpipes : int list;   (* pipe/sock ids awaited for writability *)
+      rfifos : int list;   (* fifo inos awaited for readability *)
+      wfifos : int list;   (* fifo inos awaited for writability *)
+    }                   (** sigsuspend *)
+
+type park = {
+  k : (Events.trap_reply, unit) Effect.Deep.continuation;
+  wire : Abi.Value.wire;
+  via : Events.via;
+  cond : cond;
+  saved_mask : int option;      (** sigsuspend restores this mask *)
+}
+
+type stopped = {
+  sk : (Events.trap_reply, unit) Effect.Deep.continuation;
+  reply : Events.trap_reply;
+}
+
+type state =
+  | Runnable
+  | Parked of park
+  | Stopped of stopped
+  | Zombie
+  | Reaped
+
+(** Per-process signal state. *)
+type sigstate = {
+  mutable handlers : Abi.Value.handler array;  (** index 1..31 *)
+  mutable mask : int;
+  mutable pending : int;
+}
+
+(** The in-address-space interception state — what
+    [task_set_emulation] manipulates.  Copied on [fork] (the address
+    space, and so the agent, goes with the child); cleared by a raw
+    [execve]. *)
+type emulation = {
+  mutable vector : (Abi.Value.wire -> Abi.Value.res) option array;
+  mutable sig_emul : (int -> unit) option;
+}
+
+type t = {
+  pid : int;
+  mutable ppid : int;
+  mutable pgrp : int;
+  mutable name : string;
+  mutable cred : Vfs.Fs.cred;
+  mutable cwd : int;            (** inode number *)
+  mutable umask : int;
+  mutable fds : File.fd_entry option array;
+  sigs : sigstate;
+  mutable emul : emulation;
+  mutable state : state;
+  mutable exit_status : int;    (** wait-status encoding, valid in Zombie *)
+  mutable alarm_at : int option;
+  mutable syscall_count : int;  (** total traps, for accounting *)
+  mutable utime_us : int;       (** virtual user time (cpu_work, agent work) *)
+  mutable stime_us : int;       (** virtual system time (in-kernel call cost) *)
+}
+
+val fd_table_size : int
+
+val fresh_emulation : unit -> emulation
+
+val create :
+  pid:int -> ppid:int -> pgrp:int -> name:string -> cred:Vfs.Fs.cred
+  -> cwd:int -> t
+
+val fork_copy : t -> pid:int -> name:string -> t
+(** Child copy: shares open files (references bumped by the caller),
+    copies cwd/umask/credentials/signal dispositions/emulation vector;
+    pending signals are not inherited. *)
+
+val fd : t -> int -> File.fd_entry option
+(** Bounds-checked descriptor lookup. *)
+
+val alloc_fd : ?from:int -> t -> int option
+(** Lowest free descriptor ≥ [from] (default 0). *)
+
+val handler : t -> int -> Abi.Value.handler
+
+val set_handler : t -> int -> Abi.Value.handler -> unit
+
+(** Process-wide access to the currently running process, set by the
+    scheduler before resuming a fibre.  The user-space stubs use it to
+    consult the emulation vector without entering the kernel. *)
+module Cur : sig
+  val get : unit -> t option
+  val get_exn : unit -> t
+  val set : t option -> unit
+end

@@ -1,0 +1,23 @@
+type image = argv:string array -> envp:string array -> unit -> int
+
+let images : (string, image) Hashtbl.t = Hashtbl.create 32
+
+let register name image = Hashtbl.replace images name image
+let lookup name = Hashtbl.find_opt images name
+
+let registered () =
+  List.sort compare
+    (Hashtbl.fold (fun name _ acc -> name :: acc) images [])
+
+let magic = "#!IMAGE "
+
+let file_content name = magic ^ name ^ "\n"
+
+let image_of_content content =
+  let ml = String.length magic in
+  if String.length content > ml && String.sub content 0 ml = magic then begin
+    match String.index_opt content '\n' with
+    | Some nl -> Some (String.sub content ml (nl - ml))
+    | None -> Some (String.sub content ml (String.length content - ml))
+  end
+  else None

@@ -1,0 +1,29 @@
+(** The executable-image registry.
+
+    The original runs unmodified binaries; our "binaries" are OCaml
+    closures registered here by name.  An executable file in the
+    simulated filesystem contains the marker line [#!IMAGE <name>];
+    [execve] reads the file, extracts the name and builds the process
+    body from the registered image.  Programs therefore live in the
+    filesystem with real permission bits, and agents can interpose on
+    the [open]/[read] the kernel (or the toolkit's reimplemented
+    execve) performs to load them. *)
+
+type image = argv:string array -> envp:string array -> unit -> int
+(** Builds a program body from its argument and environment vectors.
+    The body returns the process exit code. *)
+
+val register : string -> image -> unit
+(** Idempotent by name: later registrations replace earlier ones. *)
+
+val lookup : string -> image option
+
+val registered : unit -> string list
+(** Sorted names, for diagnostics. *)
+
+val file_content : string -> string
+(** The file content marking an executable image, [#!IMAGE <name>\n]. *)
+
+val image_of_content : string -> string option
+(** Parse {!file_content}; [None] if the file is not an executable
+    image (the kernel then fails [execve] with [ENOEXEC]). *)

@@ -1,0 +1,850 @@
+open Abi
+open Kstate
+
+let ( let* ) = Result.bind
+
+let done_ret ?r1 v = Done (Value.ret ?r1 v)
+let fail e = Done (Error e)
+
+let of_unit = function
+  | Ok () -> done_ret 0
+  | Error e -> fail e
+
+(* --- descriptor helpers ------------------------------------------------- *)
+
+let fd_entry (p : Proc.t) fd =
+  match Proc.fd p fd with
+  | Some e -> Ok e
+  | None -> Error Errno.EBADF
+
+let fd_file p fd =
+  let* e = fd_entry p fd in
+  Ok e.File.file
+
+let driver t (inode : Vfs.Inode.t) =
+  match inode.kind with
+  | Vfs.Inode.Chardev rdev ->
+    (match Dev.lookup t.devs rdev with
+     | Some ops -> Ok ops
+     | None -> Error Errno.ENXIO)
+  | _ -> Error Errno.ENODEV
+
+(* --- read --------------------------------------------------------------- *)
+
+let nonblocking (f : File.t) = f.flags land Flags.Open.o_nonblock <> 0
+
+let pipe_read t (f : File.t) buf cnt ~(buffer : Vfs.Pipebuf.t) ~wake ~cond =
+  let n = Vfs.Pipebuf.read buffer buf ~off:0 ~len:cnt in
+  if n > 0 then begin
+    wake_key t wake;
+    done_ret n
+  end
+  else if Vfs.Pipebuf.writers buffer = 0 then done_ret 0 (* EOF *)
+  else if nonblocking f then fail Errno.EWOULDBLOCK
+  else Block cond
+
+let do_read t (p : Proc.t) fd buf cnt =
+  if cnt < 0 then fail Errno.EINVAL
+  else
+    match fd_file p fd with
+    | Error e -> fail e
+    | Ok f ->
+      if not (File.is_readable f) then fail Errno.EBADF
+      else begin
+        let cnt = min cnt (Bytes.length buf) in
+        match f.kind with
+        | File.Vnode inode ->
+          (match inode.kind with
+           | Vfs.Inode.Reg data ->
+             let n = Vfs.Filedata.read data ~pos:f.offset buf ~off:0 ~len:cnt in
+             f.offset <- f.offset + n;
+             Vfs.Fs.touch_atime t.fs inode;
+             done_ret n
+           | Vfs.Inode.Dir _ -> fail Errno.EISDIR
+           | Vfs.Inode.Chardev _ ->
+             (match driver t inode with
+              | Error e -> fail e
+              | Ok ops -> done_ret (ops.Dev.read buf ~off:0 ~len:cnt))
+           | Vfs.Inode.Symlink _ -> fail Errno.EINVAL
+           | Vfs.Inode.Fifo _ -> fail Errno.EBADF)
+        | File.Pipe_read pipe ->
+          pipe_read t f buf cnt ~buffer:pipe.buf
+            ~wake:(K_pipe_w pipe.pipe_id)
+            ~cond:(Proc.On_pipe_read pipe.pipe_id)
+        | File.Fifo_read (inode, buffer) ->
+          pipe_read t f buf cnt ~buffer
+            ~wake:(K_fifo_w inode.ino)
+            ~cond:(Proc.On_fifo_read inode.ino)
+        | File.Sock { rx; _ } ->
+          pipe_read t f buf cnt ~buffer:rx.buf
+            ~wake:(K_pipe_w rx.pipe_id)
+            ~cond:(Proc.On_pipe_read rx.pipe_id)
+        | File.Pipe_write _ | File.Fifo_write _ -> fail Errno.EBADF
+      end
+
+(* --- write -------------------------------------------------------------- *)
+
+let pipe_write t (p : Proc.t) (f : File.t) data ~(buffer : Vfs.Pipebuf.t)
+    ~wake ~cond =
+  if Vfs.Pipebuf.readers buffer = 0 then begin
+    post_signal t p Signal.sigpipe;
+    fail Errno.EPIPE
+  end
+  else begin
+    let n = Vfs.Pipebuf.write buffer data ~pos:0 in
+    if n > 0 then begin
+      wake_key t wake;
+      done_ret n
+    end
+    else if nonblocking f then fail Errno.EWOULDBLOCK
+    else Block cond
+  end
+
+let do_write t (p : Proc.t) fd data =
+  match fd_file p fd with
+  | Error e -> fail e
+  | Ok f ->
+    if not (File.is_writable f) then fail Errno.EBADF
+    else begin
+      match f.kind with
+      | File.Vnode inode ->
+        (match inode.kind with
+         | Vfs.Inode.Reg filedata ->
+           let pos =
+             if f.flags land Flags.Open.o_append <> 0
+             then Vfs.Filedata.size filedata
+             else f.offset
+           in
+           let n = Vfs.Filedata.write filedata ~pos data in
+           f.offset <- pos + n;
+           Vfs.Fs.touch_mtime t.fs inode;
+           done_ret n
+         | Vfs.Inode.Chardev _ ->
+           (match driver t inode with
+            | Error e -> fail e
+            | Ok ops -> done_ret (ops.Dev.write data))
+         | Vfs.Inode.Dir _ -> fail Errno.EISDIR
+         | Vfs.Inode.Symlink _ | Vfs.Inode.Fifo _ -> fail Errno.EBADF)
+      | File.Pipe_write pipe ->
+        pipe_write t p f data ~buffer:pipe.buf
+          ~wake:(K_pipe_r pipe.pipe_id)
+          ~cond:(Proc.On_pipe_write pipe.pipe_id)
+      | File.Fifo_write (inode, buffer) ->
+        pipe_write t p f data ~buffer
+          ~wake:(K_fifo_r inode.ino)
+          ~cond:(Proc.On_fifo_write inode.ino)
+      | File.Sock { tx; _ } ->
+        pipe_write t p f data ~buffer:tx.buf
+          ~wake:(K_pipe_r tx.pipe_id)
+          ~cond:(Proc.On_pipe_write tx.pipe_id)
+      | File.Pipe_read _ | File.Fifo_read _ -> fail Errno.EBADF
+    end
+
+(* --- open / close ------------------------------------------------------- *)
+
+let do_open t (p : Proc.t) path flags mode =
+  let perm = mode land lnot p.umask land 0o7777 in
+  match
+    Vfs.Fs.open_lookup t.fs (cred p) ~cwd:p.cwd path ~flags ~perm
+  with
+  | Error e -> fail e
+  | Ok (inode, _created) ->
+    let kind_result =
+      match inode.Vfs.Inode.kind with
+      | Vfs.Inode.Fifo buffer ->
+        (match Flags.Open.accmode flags with
+         | 0 -> Ok (File.Fifo_read (inode, buffer))
+         | 1 -> Ok (File.Fifo_write (inode, buffer))
+         | _ -> Error Errno.EINVAL)  (* no O_RDWR fifos here *)
+      | Vfs.Inode.Reg _ | Vfs.Inode.Dir _ | Vfs.Inode.Chardev _ ->
+        Ok (File.Vnode inode)
+      | Vfs.Inode.Symlink _ -> Error Errno.ELOOP
+    in
+    (match kind_result with
+     | Error e -> fail e
+     | Ok kind ->
+       let file = new_file t kind ~flags in
+       (match install_fd t p file with
+        | Ok fd -> done_ret fd
+        | Error e ->
+          release_file t file;
+          fail e))
+
+(* --- seek, dup, fcntl ---------------------------------------------------- *)
+
+let do_lseek (p : Proc.t) fd off whence =
+  match fd_file p fd with
+  | Error e -> fail e
+  | Ok f ->
+    match f.kind with
+    | File.Pipe_read _ | File.Pipe_write _ | File.Sock _
+    | File.Fifo_read _ | File.Fifo_write _ -> fail Errno.ESPIPE
+    | File.Vnode inode ->
+      let size = Vfs.Inode.size inode in
+      let base =
+        if whence = Flags.Seek.set then Some 0
+        else if whence = Flags.Seek.cur then Some f.offset
+        else if whence = Flags.Seek.end_ then Some size
+        else None
+      in
+      match base with
+      | None -> fail Errno.EINVAL
+      | Some b ->
+        let pos = b + off in
+        if pos < 0 then fail Errno.EINVAL
+        else begin
+          f.offset <- pos;
+          done_ret pos
+        end
+
+let do_dup t (p : Proc.t) fd ~from =
+  match fd_entry p fd with
+  | Error e -> fail e
+  | Ok e ->
+    retain_file e.File.file;
+    (match install_fd t p ~from e.File.file with
+     | Ok nfd -> done_ret nfd
+     | Error err ->
+       release_file t e.File.file;
+       fail err)
+
+let do_dup2 t (p : Proc.t) ofd nfd =
+  match fd_entry p ofd with
+  | Error e -> fail e
+  | Ok e ->
+    if nfd < 0 || nfd >= Array.length p.fds then fail Errno.EBADF
+    else if ofd = nfd then done_ret nfd
+    else begin
+      (match Proc.fd p nfd with
+       | Some old ->
+         p.fds.(nfd) <- None;
+         release_file t old.File.file
+       | None -> ());
+      retain_file e.File.file;
+      p.fds.(nfd) <- Some { File.file = e.File.file; cloexec = false };
+      done_ret nfd
+    end
+
+let do_fcntl t (p : Proc.t) fd cmd arg =
+  match fd_entry p fd with
+  | Error e -> fail e
+  | Ok e ->
+    if cmd = Flags.Fcntl.f_dupfd then do_dup t p fd ~from:arg
+    else if cmd = Flags.Fcntl.f_getfd then
+      done_ret (if e.File.cloexec then Flags.Fcntl.fd_cloexec else 0)
+    else if cmd = Flags.Fcntl.f_setfd then begin
+      e.File.cloexec <- arg land Flags.Fcntl.fd_cloexec <> 0;
+      done_ret 0
+    end
+    else if cmd = Flags.Fcntl.f_getfl then done_ret e.File.file.flags
+    else if cmd = Flags.Fcntl.f_setfl then begin
+      let changeable = Flags.Open.o_append lor Flags.Open.o_nonblock in
+      let f = e.File.file in
+      f.flags <- f.flags land lnot changeable lor (arg land changeable);
+      done_ret 0
+    end
+    else fail Errno.EINVAL
+
+(* --- directories --------------------------------------------------------- *)
+
+let do_getdirentries t (p : Proc.t) fd buf =
+  match fd_file p fd with
+  | Error e -> fail e
+  | Ok f ->
+    match f.kind with
+    | File.Vnode inode when Vfs.Inode.is_dir inode ->
+      let entries = Vfs.Inode.dir_entries inode in
+      let total = List.length entries in
+      let index = min f.offset total in
+      let remaining = List.filteri (fun i _ -> i >= index) entries in
+      let dirents =
+        List.map
+          (fun (name, ino) -> { Dirent.d_ino = ino; d_name = name })
+          remaining
+      in
+      let written, leftover = Dirent.encode_list buf dirents in
+      if written = 0 && leftover <> [] then fail Errno.EINVAL
+      else begin
+        let consumed = List.length dirents - List.length leftover in
+        f.offset <- index + consumed;
+        Vfs.Fs.touch_atime t.fs inode;
+        Done (Value.ret written ~r1:f.offset)
+      end
+    | File.Vnode _ | File.Pipe_read _ | File.Pipe_write _ | File.Sock _
+    | File.Fifo_read _ | File.Fifo_write _ -> fail Errno.ENOTDIR
+
+(* --- stat family ---------------------------------------------------------- *)
+
+let fill_stat r st = r := Some st
+
+let do_fstat t (p : Proc.t) fd r =
+  match fd_file p fd with
+  | Error e -> fail e
+  | Ok f ->
+    match f.kind with
+    | File.Vnode inode | File.Fifo_read (inode, _)
+    | File.Fifo_write (inode, _) ->
+      fill_stat r (Vfs.Fs.stat_inode t.fs inode);
+      done_ret 0
+    | File.Pipe_read pipe | File.Pipe_write pipe ->
+      let st =
+        { Stat.zero with
+          st_dev = 0;
+          st_ino = 0x10000 + pipe.pipe_id;
+          st_mode = Flags.Mode.ififo lor 0o600;
+          st_nlink = 1;
+          st_size = Vfs.Pipebuf.available pipe.buf }
+      in
+      fill_stat r st;
+      done_ret 0
+    | File.Sock { rx; _ } ->
+      let st =
+        { Stat.zero with
+          st_dev = 0;
+          st_ino = 0x20000 + rx.pipe_id;
+          st_mode = Flags.Mode.ifsock lor 0o600;
+          st_nlink = 1;
+          st_size = Vfs.Pipebuf.available rx.buf }
+      in
+      fill_stat r st;
+      done_ret 0
+
+(* --- ioctl ----------------------------------------------------------------- *)
+
+let do_ioctl t (p : Proc.t) fd op buf =
+  match fd_file p fd with
+  | Error e -> fail e
+  | Ok f ->
+    let set_int32 v =
+      if Bytes.length buf >= 4 then begin
+        Bytes.set_int32_le buf 0 (Int32.of_int v);
+        done_ret 0
+      end
+      else fail Errno.EFAULT
+    in
+    if op = Flags.Ioctl.fionread then
+      match f.kind with
+      | File.Pipe_read pipe -> set_int32 (Vfs.Pipebuf.available pipe.buf)
+      | File.Fifo_read (_, buffer) -> set_int32 (Vfs.Pipebuf.available buffer)
+      | File.Sock { rx; _ } -> set_int32 (Vfs.Pipebuf.available rx.buf)
+      | File.Vnode inode ->
+        (match inode.kind with
+         | Vfs.Inode.Reg data ->
+           set_int32 (max 0 (Vfs.Filedata.size data - f.offset))
+         | _ -> fail Errno.ENOTTY)
+      | File.Pipe_write _ | File.Fifo_write _ -> fail Errno.EINVAL
+    else begin
+      let tty_ops =
+        match f.kind with
+        | File.Vnode inode ->
+          (match driver t inode with
+           | Ok ops when ops.Dev.isatty -> Some ops
+           | Ok _ | Error _ -> None)
+        | _ -> None
+      in
+      if op = Flags.Ioctl.tiocisatty then
+        match tty_ops with
+        | Some _ -> done_ret 1
+        | None -> fail Errno.ENOTTY
+      else if op = Flags.Ioctl.tiocgwinsz then
+        match tty_ops with
+        | Some _ ->
+          if Bytes.length buf >= 4 then begin
+            Bytes.set_uint16_le buf 0 24;
+            Bytes.set_uint16_le buf 2 80;
+            done_ret 0
+          end
+          else fail Errno.EFAULT
+        | None -> fail Errno.ENOTTY
+      else fail Errno.EINVAL
+    end
+
+(* --- process management ----------------------------------------------------- *)
+
+let do_fork t (p : Proc.t) body =
+  let pid = alloc_pid t in
+  let child = Proc.fork_copy p ~pid ~name:p.name in
+  (* shared open files gain one reference per inherited descriptor *)
+  Array.iter
+    (function
+      | Some (e : File.fd_entry) -> retain_file e.file
+      | None -> ())
+    child.fds;
+  add_proc t child;
+  t.hooks.spawn child body;
+  Done (Value.ret pid ~r1:1)
+
+let do_wait4 t (p : Proc.t) pid options =
+  let kids = children t p in
+  if kids = [] then fail Errno.ECHILD
+  else begin
+    let matches (c : Proc.t) =
+      if pid > 0 then c.pid = pid
+      else if pid = 0 then c.pgrp = p.pgrp
+      else if pid = -1 then true
+      else c.pgrp = -pid
+    in
+    let candidates = List.filter matches kids in
+    if candidates = [] then fail Errno.ECHILD
+    else
+      match
+        List.find_opt (fun (c : Proc.t) -> c.state = Proc.Zombie) candidates
+      with
+      | Some z ->
+        z.state <- Proc.Reaped;
+        Hashtbl.remove t.procs z.pid;
+        Done (Value.ret z.pid ~r1:z.exit_status)
+      | None ->
+        let stopped =
+          if options land Flags.Wait.wuntraced <> 0 then
+            List.find_opt
+              (fun (c : Proc.t) ->
+                match c.state with Proc.Stopped _ -> true | _ -> false)
+              candidates
+          else None
+        in
+        (match stopped with
+         | Some s ->
+           Done (Value.ret s.pid ~r1:(Flags.Wait.stop_status Signal.sigstop))
+         | None ->
+           if options land Flags.Wait.wnohang <> 0 then done_ret 0
+           else Block Proc.On_child)
+  end
+
+let may_signal (p : Proc.t) (q : Proc.t) =
+  p.cred.uid = 0 || p.cred.uid = q.cred.uid
+
+let do_kill t (p : Proc.t) pid s =
+  if s < 0 || s > Signal.max_signal then fail Errno.EINVAL
+  else begin
+    let targets =
+      if pid > 0 then
+        match proc t pid with
+        | Some q when q.state <> Proc.Reaped && q.state <> Proc.Zombie ->
+          [ q ]
+        | Some _ | None -> []
+      else begin
+        let pgrp =
+          if pid = 0 then p.pgrp
+          else if pid < -1 then -pid
+          else (* -1: everybody except init and self *) -1
+        in
+        Hashtbl.fold
+          (fun _ (q : Proc.t) acc ->
+            let live =
+              q.state <> Proc.Reaped && q.state <> Proc.Zombie
+            in
+            let selected =
+              if pgrp = -1 then q.pid <> 1 && q.pid <> p.pid
+              else q.pgrp = pgrp
+            in
+            if live && selected then q :: acc else acc)
+          t.procs []
+      end
+    in
+    match targets with
+    | [] -> fail Errno.ESRCH
+    | _ ->
+      if List.for_all (fun q -> not (may_signal p q)) targets then
+        fail Errno.EPERM
+      else begin
+        if s <> 0 then
+          List.iter
+            (fun q -> if may_signal p q then post_signal t q s)
+            targets;
+        done_ret 0
+      end
+  end
+
+let do_execve t (p : Proc.t) path argv envp =
+  let c = cred p in
+  match Vfs.Fs.resolve t.fs c ~cwd:p.cwd path with
+  | Error e -> fail e
+  | Ok inode ->
+    if not (Vfs.Fs.access_ok t.fs c inode Flags.Access.x_ok) then
+      fail Errno.EACCES
+    else begin
+      match inode.Vfs.Inode.kind with
+      | Vfs.Inode.Dir _ -> fail Errno.EACCES
+      | Vfs.Inode.Symlink _ | Vfs.Inode.Chardev _ | Vfs.Inode.Fifo _ ->
+        fail Errno.EACCES
+      | Vfs.Inode.Reg data ->
+        match Registry.image_of_content (Vfs.Filedata.to_string data) with
+        | None -> fail Errno.ENOEXEC
+        | Some image_name ->
+          match Registry.lookup image_name with
+          | None -> fail Errno.ENOEXEC
+          | Some image ->
+            let body = image ~argv ~envp in
+            (* destructive half: this exec will happen *)
+            Array.iteri
+              (fun i entry ->
+                match entry with
+                | Some (e : File.fd_entry) when e.cloexec ->
+                  p.fds.(i) <- None;
+                  release_file t e.file
+                | Some _ | None -> ())
+              p.fds;
+            for s = 1 to Signal.max_signal do
+              match p.sigs.handlers.(s) with
+              | Value.H_fn _ -> p.sigs.handlers.(s) <- Value.H_default
+              | Value.H_default | Value.H_ignore -> ()
+            done;
+            p.alarm_at <- None;
+            cancel_timers_for t p.pid;
+            let exec_name =
+              if Array.length argv > 0 then argv.(0) else image_name
+            in
+            p.name <- exec_name;
+            Exec
+              { Events.exec_name;
+                exec_body = body;
+                keep_emulation = false }
+    end
+
+(* --- signals ------------------------------------------------------------------ *)
+
+let do_sigaction (p : Proc.t) s newh oldref =
+  if not (Signal.is_valid s) then fail Errno.EINVAL
+  else if (s = Signal.sigkill || s = Signal.sigstop) && newh <> None then
+    fail Errno.EINVAL
+  else begin
+    (match oldref with
+     | Some r -> r := Some (Proc.handler p s)
+     | None -> ());
+    (match newh with
+     | Some h -> Proc.set_handler p s h
+     | None -> ());
+    done_ret 0
+  end
+
+let do_sigprocmask (p : Proc.t) how m =
+  let old = p.sigs.mask in
+  let m = Signal.Mask.sanitize m in
+  if how = Flags.Sighow.sig_block then
+    p.sigs.mask <- Signal.Mask.union old m
+  else if how = Flags.Sighow.sig_unblock then
+    p.sigs.mask <- old land lnot m
+  else if how = Flags.Sighow.sig_setmask then p.sigs.mask <- m
+  else ();
+  if how < 1 || how > 3 then fail Errno.EINVAL else done_ret old
+
+(* --- clock ----------------------------------------------------------------------- *)
+
+let do_alarm t (p : Proc.t) sec =
+  let now = Sim.Clock.now_us t.clock in
+  let remaining =
+    match p.alarm_at with
+    | Some at when at > now -> (at - now + 999_999) / 1_000_000
+    | Some _ | None -> 0
+  in
+  t.timers <-
+    List.filter
+      (fun (_, ev) ->
+        match ev with
+        | T_alarm pid -> pid <> p.pid
+        | T_wake _ | T_select _ -> true)
+      t.timers;
+  if sec > 0 then begin
+    let at = now + (sec * 1_000_000) in
+    p.alarm_at <- Some at;
+    add_timer t ~at (T_alarm p.pid)
+  end
+  else p.alarm_at <- None;
+  done_ret remaining
+
+let do_sleepus t (p : Proc.t) us =
+  if us <= 0 then done_ret 0
+  else begin
+    let at = Sim.Clock.now_us t.clock + us in
+    add_timer t ~at (T_wake p.pid);
+    Block (Proc.On_time at)
+  end
+
+(* --- select ---------------------------------------------------------------- *)
+
+let rec mask_fds mask fd acc =
+  if fd > 62 then List.rev acc
+  else
+    mask_fds mask (fd + 1)
+      (if mask land (1 lsl fd) <> 0 then fd :: acc else acc)
+
+let fds_of_mask mask = mask_fds mask 0 []
+
+let do_select t (p : Proc.t) rmask wmask tmo =
+  let exception Bad_fd in
+  let ready_r = ref 0 in
+  let ready_w = ref 0 in
+  let rpipes = ref [] in
+  let wpipes = ref [] in
+  let rfifos = ref [] in
+  let wfifos = ref [] in
+  let buf_read_ready (b : Vfs.Pipebuf.t) =
+    Vfs.Pipebuf.available b > 0 || Vfs.Pipebuf.writers b = 0
+  in
+  let buf_write_ready (b : Vfs.Pipebuf.t) =
+    Vfs.Pipebuf.room b > 0 || Vfs.Pipebuf.readers b = 0
+  in
+  match
+    List.iter
+      (fun fd ->
+        match Proc.fd p fd with
+        | None -> raise Bad_fd
+        | Some e ->
+          (match e.File.file.kind with
+           | File.Vnode _ -> ready_r := !ready_r lor (1 lsl fd)
+           | File.Pipe_read pipe ->
+             if buf_read_ready pipe.buf then
+               ready_r := !ready_r lor (1 lsl fd)
+             else rpipes := pipe.pipe_id :: !rpipes
+           | File.Fifo_read (inode, b) ->
+             if buf_read_ready b then ready_r := !ready_r lor (1 lsl fd)
+             else rfifos := inode.ino :: !rfifos
+           | File.Sock { rx; _ } ->
+             if buf_read_ready rx.buf then
+               ready_r := !ready_r lor (1 lsl fd)
+             else rpipes := rx.pipe_id :: !rpipes
+           | File.Pipe_write _ | File.Fifo_write _ ->
+             (* never readable: permanently not ready *)
+             ()))
+      (fds_of_mask rmask);
+    List.iter
+      (fun fd ->
+        match Proc.fd p fd with
+        | None -> raise Bad_fd
+        | Some e ->
+          (match e.File.file.kind with
+           | File.Vnode _ -> ready_w := !ready_w lor (1 lsl fd)
+           | File.Pipe_write pipe ->
+             if buf_write_ready pipe.buf then
+               ready_w := !ready_w lor (1 lsl fd)
+             else wpipes := pipe.pipe_id :: !wpipes
+           | File.Fifo_write (inode, b) ->
+             if buf_write_ready b then ready_w := !ready_w lor (1 lsl fd)
+             else wfifos := inode.ino :: !wfifos
+           | File.Sock { tx; _ } ->
+             if buf_write_ready tx.buf then
+               ready_w := !ready_w lor (1 lsl fd)
+             else wpipes := tx.pipe_id :: !wpipes
+           | File.Pipe_read _ | File.Fifo_read _ -> ()))
+      (fds_of_mask wmask)
+  with
+  | exception Bad_fd -> fail Errno.EBADF
+  | () ->
+    if !ready_r <> 0 || !ready_w <> 0 then begin
+      cancel_select_timers t p.pid;
+      Done (Value.ret !ready_r ~r1:!ready_w)
+    end
+    else if tmo = 0 then Done (Value.ret 0 ~r1:0)
+    else begin
+      (* arm the timeout once; retries keep the original deadline *)
+      if tmo > 0 && not (has_select_timer t p.pid) then
+        add_timer t
+          ~at:(Sim.Clock.now_us t.clock + tmo)
+          (T_select p.pid);
+      Block
+        (Proc.On_select
+           { rpipes = !rpipes; wpipes = !wpipes; rfifos = !rfifos;
+             wfifos = !wfifos })
+    end
+
+(* --- the dispatcher -------------------------------------------------------------- *)
+
+let dispatch t (p : Proc.t) (call : Call.t) : outcome =
+  let c = cred p in
+  let cwd = p.cwd in
+  let fs = t.fs in
+  match call with
+  | Call.Exit code ->
+    do_exit t p (Flags.Wait.exit_status code);
+    Exited
+  | Call.Fork body -> do_fork t p body
+  | Call.Read (fd, buf, cnt) -> do_read t p fd buf cnt
+  | Call.Write (fd, data) -> do_write t p fd data
+  | Call.Open (path, flags, mode) -> do_open t p path flags mode
+  | Call.Creat (path, mode) ->
+    do_open t p path
+      Flags.Open.(o_wronly lor o_creat lor o_trunc)
+      mode
+  | Call.Close fd -> of_unit (close_fd t p fd)
+  | Call.Wait4 (pid, options) -> do_wait4 t p pid options
+  | Call.Link (existing, path) ->
+    of_unit (Vfs.Fs.link fs c ~cwd ~existing path)
+  | Call.Unlink path -> of_unit (Vfs.Fs.unlink fs c ~cwd path)
+  | Call.Execve (path, argv, envp) -> do_execve t p path argv envp
+  | Call.Chdir path ->
+    (match Vfs.Fs.chdir_lookup fs c ~cwd path with
+     | Ok inode ->
+       p.cwd <- inode.Vfs.Inode.ino;
+       done_ret 0
+     | Error e -> fail e)
+  | Call.Fchdir fd ->
+    (match fd_file p fd with
+     | Error e -> fail e
+     | Ok f ->
+       (match f.kind with
+        | File.Vnode inode when Vfs.Inode.is_dir inode ->
+          p.cwd <- inode.ino;
+          done_ret 0
+        | _ -> fail Errno.ENOTDIR))
+  | Call.Mknod (path, mode, rdev) ->
+    if p.cred.uid <> 0 && Flags.Mode.is_chr mode then fail Errno.EPERM
+    else begin
+      let perm = mode land lnot p.umask land 0o7777 in
+      if Flags.Mode.is_chr mode then
+        (match Vfs.Fs.mkchardev fs c ~cwd path ~perm ~rdev with
+         | Ok _ -> done_ret 0
+         | Error e -> fail e)
+      else if Flags.Mode.is_fifo mode then
+        (match Vfs.Fs.mkfifo fs c ~cwd path ~perm with
+         | Ok _ -> done_ret 0
+         | Error e -> fail e)
+      else fail Errno.EINVAL
+    end
+  | Call.Chmod (path, mode) ->
+    of_unit (Vfs.Fs.chmod fs c ~cwd path ~perm:mode)
+  | Call.Chown (path, uid, gid) ->
+    of_unit (Vfs.Fs.chown fs c ~cwd path ~uid ~gid)
+  | Call.Sbrk _ -> done_ret 0
+  | Call.Lseek (fd, off, whence) -> do_lseek p fd off whence
+  | Call.Getpid -> done_ret p.pid
+  | Call.Getppid -> done_ret p.ppid
+  | Call.Setuid u ->
+    if p.cred.uid = 0 || u = p.cred.uid then begin
+      p.cred <- { p.cred with uid = u };
+      done_ret 0
+    end
+    else fail Errno.EPERM
+  | Call.Getuid | Call.Geteuid -> done_ret p.cred.uid
+  | Call.Getgid | Call.Getegid -> done_ret p.cred.gid
+  | Call.Alarm sec -> do_alarm t p sec
+  | Call.Access (path, bits) -> of_unit (Vfs.Fs.access fs c ~cwd path bits)
+  | Call.Sync -> done_ret 0
+  | Call.Kill (pid, s) -> do_kill t p pid s
+  | Call.Stat (path, r) ->
+    (match Vfs.Fs.stat_path fs c ~cwd ~follow:true path with
+     | Ok st -> fill_stat r st; done_ret 0
+     | Error e -> fail e)
+  | Call.Lstat (path, r) ->
+    (match Vfs.Fs.stat_path fs c ~cwd ~follow:false path with
+     | Ok st -> fill_stat r st; done_ret 0
+     | Error e -> fail e)
+  | Call.Fstat (fd, r) -> do_fstat t p fd r
+  | Call.Dup fd -> do_dup t p fd ~from:0
+  | Call.Dup2 (ofd, nfd) -> do_dup2 t p ofd nfd
+  | Call.Pipe ->
+    let r, w = new_pipe t in
+    (match install_fd t p r with
+     | Error e ->
+       release_file t r;
+       release_file t w;
+       fail e
+     | Ok rfd ->
+       (match install_fd t p w with
+        | Error e ->
+          ignore (close_fd t p rfd);
+          release_file t w;
+          fail e
+        | Ok wfd -> Done (Value.ret rfd ~r1:wfd)))
+  | Call.Sigaction (s, newh, oldref) -> do_sigaction p s newh oldref
+  | Call.Sigprocmask (how, m) -> do_sigprocmask p how m
+  | Call.Sigpending -> done_ret p.sigs.pending
+  | Call.Sigsuspend m ->
+    (* the saved mask is restored by the scheduler on wake *)
+    p.sigs.mask <- Signal.Mask.sanitize m;
+    Block Proc.On_signal
+  | Call.Ioctl (fd, op, buf) -> do_ioctl t p fd op buf
+  | Call.Symlink (target, path) ->
+    of_unit (Vfs.Fs.symlink fs c ~cwd ~target path)
+  | Call.Readlink (path, buf) ->
+    (match Vfs.Fs.readlink fs c ~cwd path with
+     | Ok target ->
+       let n = min (String.length target) (Bytes.length buf) in
+       Bytes.blit_string target 0 buf 0 n;
+       done_ret n
+     | Error e -> fail e)
+  | Call.Umask m ->
+    let old = p.umask in
+    p.umask <- m land 0o7777;
+    done_ret old
+  | Call.Getpagesize -> done_ret 4096
+  | Call.Getpgrp -> done_ret p.pgrp
+  | Call.Setpgrp (pid, pgrp) ->
+    if pgrp <= 0 then fail Errno.EINVAL
+    else begin
+      let target = if pid = 0 then Some p else proc t pid in
+      match target with
+      | Some q when q.pid = p.pid || q.ppid = p.pid ->
+        q.pgrp <- pgrp;
+        done_ret 0
+      | Some _ -> fail Errno.EPERM
+      | None -> fail Errno.ESRCH
+    end
+  | Call.Getdtablesize -> done_ret Proc.fd_table_size
+  | Call.Fcntl (fd, cmd, arg) -> do_fcntl t p fd cmd arg
+  | Call.Select (rmask, wmask, tmo) -> do_select t p rmask wmask tmo
+  | Call.Fsync fd ->
+    (match fd_file p fd with Ok _ -> done_ret 0 | Error e -> fail e)
+  | Call.Getrusage r ->
+    r := Some (p.utime_us, p.stime_us);
+    done_ret 0
+  | Call.Socketpair ->
+    let a, b = new_socketpair t in
+    (match install_fd t p a with
+     | Error e ->
+       release_file t a;
+       release_file t b;
+       fail e
+     | Ok afd ->
+       (match install_fd t p b with
+        | Error e ->
+          ignore (close_fd t p afd);
+          release_file t b;
+          fail e
+        | Ok bfd -> Done (Value.ret afd ~r1:bfd)))
+  | Call.Gettimeofday r ->
+    let now = now_us t in
+    r := Some (now / 1_000_000, now mod 1_000_000);
+    done_ret 0
+  | Call.Settimeofday (sec, usec) ->
+    if p.cred.uid <> 0 then fail Errno.EPERM
+    else begin
+      let target = (sec * 1_000_000) + usec in
+      t.tod_offset_us <- target - Sim.Clock.now_us t.clock;
+      done_ret 0
+    end
+  | Call.Rename (src, dst) -> of_unit (Vfs.Fs.rename fs c ~cwd ~src dst)
+  | Call.Truncate (path, len) ->
+    of_unit (Vfs.Fs.truncate fs c ~cwd path len)
+  | Call.Ftruncate (fd, len) ->
+    (match fd_file p fd with
+     | Error e -> fail e
+     | Ok f ->
+       if not (File.is_writable f) then fail Errno.EBADF
+       else if len < 0 then fail Errno.EINVAL
+       else
+         match f.kind with
+         | File.Vnode ({ kind = Vfs.Inode.Reg data; _ } as inode) ->
+           Vfs.Filedata.truncate data len;
+           Vfs.Fs.touch_mtime fs inode;
+           done_ret 0
+         | _ -> fail Errno.EINVAL)
+  | Call.Mkdir (path, mode) ->
+    let perm = mode land lnot p.umask land 0o7777 in
+    (match Vfs.Fs.mkdir fs c ~cwd path ~perm with
+     | Ok _ -> done_ret 0
+     | Error e -> fail e)
+  | Call.Rmdir path -> of_unit (Vfs.Fs.rmdir fs c ~cwd path)
+  | Call.Utimes (path, atime, mtime) ->
+    of_unit (Vfs.Fs.utimes fs c ~cwd path ~atime ~mtime)
+  | Call.Getdirentries (fd, buf) -> do_getdirentries t p fd buf
+  | Call.Sleepus us -> do_sleepus t p us
+  | Call.Getcwd buf ->
+    (match Vfs.Fs.path_of_ino fs p.cwd with
+     | Some path ->
+       if String.length path > Bytes.length buf then fail Errno.ERANGE
+       else begin
+         Bytes.blit_string path 0 buf 0 (String.length path);
+         done_ret (String.length path)
+       end
+     | None -> fail Errno.ENOENT)

@@ -1,0 +1,9 @@
+(** The system call dispatcher: one typed call in, one outcome out.
+
+    Dispatch never blocks; when a call cannot complete it returns
+    [Block cond] and the scheduler parks the caller, re-dispatching the
+    same call when the condition is woken (BSD restart semantics; the
+    calls for which a blind restart would be wrong — [sleepus] — are
+    resumed directly by the timer instead). *)
+
+val dispatch : Kstate.t -> Proc.t -> Abi.Call.t -> Kstate.outcome

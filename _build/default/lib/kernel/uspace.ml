@@ -1,0 +1,62 @@
+open Abi
+
+let self () = Proc.Cur.get_exn ()
+
+let deliver_one (proc : Proc.t) s =
+  match proc.emul.sig_emul with
+  | Some interposer -> interposer s
+  | None ->
+    match Proc.handler proc s with
+    | Value.H_fn f -> f s
+    | Value.H_default | Value.H_ignore -> ()
+
+let deliver proc sigs = List.iter (deliver_one proc) sigs
+
+let trap_wire (w : Value.wire) : Value.res =
+  let proc = self () in
+  proc.syscall_count <- proc.syscall_count + 1;
+  let vec = proc.emul.vector in
+  let handler =
+    if w.num >= 0 && w.num < Array.length vec then vec.(w.num) else None
+  in
+  match handler with
+  | Some h ->
+    let sigs = Effect.perform (Events.Cpu Cost_model.intercept_us) in
+    deliver proc sigs;
+    h w
+  | None ->
+    let reply = Effect.perform (Events.Trap (w, Events.App)) in
+    deliver proc reply.deliver;
+    reply.res
+
+let syscall c = trap_wire (Call.encode c)
+
+let htg_unix_syscall (w : Value.wire) : Value.res =
+  let proc = self () in
+  let reply = Effect.perform (Events.Trap (w, Events.Htg)) in
+  deliver proc reply.deliver;
+  reply.res
+
+let htg_syscall c = htg_unix_syscall (Call.encode c)
+
+let cpu_work us =
+  if us > 0 then begin
+    let proc = self () in
+    let sigs = Effect.perform (Events.Cpu us) in
+    deliver proc sigs
+  end
+
+let task_set_emulation ~numbers handler =
+  Effect.perform (Events.Set_emulation (numbers, handler))
+
+let task_get_emulation n = Effect.perform (Events.Get_emulation n)
+
+let task_set_emulation_signal h =
+  Effect.perform (Events.Set_emulation_signal h)
+
+let task_get_emulation_signal () =
+  Effect.perform Events.Get_emulation_signal
+
+let exec_load spec =
+  Effect.perform (Events.Exec_load spec);
+  assert false

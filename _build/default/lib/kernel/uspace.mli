@@ -1,0 +1,53 @@
+(** User-space system-call stubs: the code that would live in the
+    syscall trap path of a real process.
+
+    [trap_wire] is the moral equivalent of the trap instruction: it
+    consults the process's in-address-space emulation vector first
+    (installed by {!task_set_emulation}), so an interposition agent
+    sees the call before the kernel does.  [htg_unix_syscall] bypasses
+    the vector, letting agent code reach the underlying implementation
+    of a call it intercepts — the two primitives the paper's toolkit
+    builds on.
+
+    Signals with user handlers are delivered on the way out of traps,
+    through the agent's signal interposer when one is registered. *)
+
+val trap_wire : Abi.Value.wire -> Abi.Value.res
+(** Make a system call in numeric form.  Counts toward the calling
+    process's syscall statistics; pays the 30 µs interception cost when
+    an emulation handler is installed for the number. *)
+
+val syscall : Abi.Call.t -> Abi.Value.res
+(** Typed convenience over {!trap_wire}. *)
+
+val htg_unix_syscall : Abi.Value.wire -> Abi.Value.res
+(** Call the underlying system interface even if the number is being
+    intercepted (+37 µs, Table 3-4). *)
+
+val htg_syscall : Abi.Call.t -> Abi.Value.res
+(** Typed convenience over {!htg_unix_syscall}. *)
+
+val cpu_work : int -> unit
+(** Charge local computation to the virtual clock.  Also a signal
+    delivery point, like any trap. *)
+
+(** {1 Mach-style task primitives} *)
+
+val task_set_emulation :
+  numbers:int list -> (Abi.Value.wire -> Abi.Value.res) option -> unit
+(** Install ([Some]) or clear ([None]) the emulation handler for the
+    given system call numbers in the calling task. *)
+
+val task_get_emulation : int -> (Abi.Value.wire -> Abi.Value.res) option
+
+val task_set_emulation_signal : (int -> unit) option -> unit
+val task_get_emulation_signal : unit -> (int -> unit) option
+
+val exec_load : Events.exec_spec -> 'a
+(** Replace the calling process's program text; never returns.  With
+    [keep_emulation = true] the interception state survives, which is
+    how the toolkit's reimplemented [execve] keeps the agent alive
+    across an exec. *)
+
+val self : unit -> Proc.t
+(** The calling process (stubs run in process context). *)

@@ -1,0 +1,1 @@
+lib/libc/dirstream.ml: Abi Bytes Dirent Flags List Unistd

@@ -1,0 +1,1 @@
+lib/libc/dirstream.mli: Abi

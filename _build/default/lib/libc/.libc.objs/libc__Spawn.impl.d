@@ -1,0 +1,1 @@
+lib/libc/spawn.ml: Abi Errno Flags List Option Stdio Unistd

@@ -1,0 +1,1 @@
+lib/libc/stdio.ml: Abi Buffer Bytes Flags Printf Unistd

@@ -1,0 +1,1 @@
+lib/libc/stdio.mli: Abi

@@ -1,0 +1,1 @@
+lib/libc/unistd.ml: Abi Buffer Bytes Call Errno Flags Kernel List String Value

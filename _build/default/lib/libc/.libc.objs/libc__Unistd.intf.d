@@ -1,0 +1,1 @@
+lib/libc/unistd.mli: Abi Bytes

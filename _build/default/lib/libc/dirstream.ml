@@ -1,0 +1,52 @@
+open Abi
+
+type t = {
+  fd : int;
+  buf : Bytes.t;
+  mutable pending : Dirent.t list;
+  mutable eof : bool;
+}
+
+let opendir path =
+  match Unistd.open_ path Flags.Open.o_rdonly 0 with
+  | Error e -> Error e
+  | Ok fd -> Ok { fd; buf = Bytes.create 512; pending = []; eof = false }
+
+let refill t =
+  match Unistd.getdirentries t.fd t.buf with
+  | Error _ | Ok (0, _) -> t.eof <- true
+  | Ok (n, _) -> t.pending <- Dirent.decode_all t.buf ~len:n
+
+let rec readdir t =
+  match t.pending with
+  | e :: rest ->
+    t.pending <- rest;
+    Some e
+  | [] ->
+    if t.eof then None
+    else begin
+      refill t;
+      if t.eof then None else readdir t
+    end
+
+let closedir t = ignore (Unistd.close t.fd)
+
+let entries path =
+  match opendir path with
+  | Error e -> Error e
+  | Ok d ->
+    let rec all acc =
+      match readdir d with
+      | Some e when e.Dirent.d_name = "." || e.Dirent.d_name = ".." -> all acc
+      | Some e -> all (e :: acc)
+      | None -> List.rev acc
+    in
+    let es = all [] in
+    closedir d;
+    Ok es
+
+let names path =
+  match entries path with
+  | Error e -> Error e
+  | Ok es ->
+    Ok (List.sort compare (List.map (fun e -> e.Dirent.d_name) es))

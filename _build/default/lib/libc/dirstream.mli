@@ -1,0 +1,15 @@
+(** opendir/readdir over [getdirentries], as the C library builds it. *)
+
+type t
+
+val opendir : string -> (t, Abi.Errno.t) result
+val readdir : t -> Abi.Dirent.t option
+(** Next entry, including "." and "..". *)
+
+val closedir : t -> unit
+
+val entries : string -> (Abi.Dirent.t list, Abi.Errno.t) result
+(** The whole directory in one call, "." and ".." excluded. *)
+
+val names : string -> (string list, Abi.Errno.t) result
+(** Just the names, sorted, "." and ".." excluded. *)

@@ -1,0 +1,69 @@
+open Abi
+
+let redirect fd target =
+  if fd <> target then ignore (Unistd.dup2 fd target)
+
+let child_body ?stdin ?stdout ?stderr path argv () =
+  Option.iter (fun fd -> redirect fd 0) stdin;
+  Option.iter (fun fd -> redirect fd 1) stdout;
+  Option.iter (fun fd -> redirect fd 2) stderr;
+  match Unistd.execve path argv [||] with
+  | Ok _ -> 0
+  | Error e ->
+    Stdio.eprintf "%s: %s\n" path (Errno.message e);
+    127
+
+let spawn ?stdin ?stdout ?stderr path argv =
+  Unistd.fork ~child:(child_body ?stdin ?stdout ?stderr path argv)
+
+let run ?stdin ?stdout ?stderr path argv =
+  match spawn ?stdin ?stdout ?stderr path argv with
+  | Error e -> Error e
+  | Ok pid ->
+    (match Unistd.waitpid pid 0 with
+     | Ok (_, status) -> Ok status
+     | Error e -> Error e)
+
+let run_exit_code path argv =
+  match run path argv with
+  | Ok status when Flags.Wait.wifexited status ->
+    Flags.Wait.wexitstatus status
+  | Ok _ | Error _ -> 127
+
+let pipeline stages =
+  match stages with
+  | [] -> Ok (Flags.Wait.exit_status 0)
+  | _ ->
+    let rec start prev_read pids = function
+      | [] -> Ok (List.rev pids)
+      | (path, argv) :: rest ->
+        let is_last = rest = [] in
+        let pipe_fds = if is_last then Ok None
+          else
+            match Unistd.pipe () with
+            | Ok (r, w) -> Ok (Some (r, w))
+            | Error e -> Error e
+        in
+        (match pipe_fds with
+         | Error e -> Error e
+         | Ok fds ->
+           let stdout = Option.map snd fds in
+           (match spawn ?stdin:prev_read ?stdout path argv with
+            | Error e -> Error e
+            | Ok pid ->
+              Option.iter (fun fd -> ignore (Unistd.close fd)) prev_read;
+              Option.iter (fun (_, w) -> ignore (Unistd.close w)) fds;
+              start (Option.map fst fds) (pid :: pids) rest))
+    in
+    match start None [] stages with
+    | Error e -> Error e
+    | Ok pids ->
+      let last = List.hd pids in
+      let rec reap status = function
+        | [] -> status
+        | pid :: rest ->
+          (match Unistd.waitpid pid 0 with
+           | Ok (_, st) when pid = last -> reap (Ok st) rest
+           | Ok _ | Error _ -> reap status rest)
+      in
+      reap (Ok (Flags.Wait.exit_status 0)) pids

@@ -1,0 +1,1 @@
+lib/sim/loc.ml: Array Filename Fun List String Sys

@@ -1,0 +1,1 @@
+lib/vfs/filedata.ml: Bytes String

@@ -1,0 +1,1 @@
+lib/vfs/fs.ml: Abi Errno Filedata Flags Hashtbl Inode List Option Pipebuf Printf Result String

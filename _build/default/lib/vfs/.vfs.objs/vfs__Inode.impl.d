@@ -1,0 +1,1 @@
+lib/vfs/inode.ml: Abi Filedata Hashtbl List Pipebuf String

@@ -1,0 +1,1 @@
+lib/vfs/inode.mli: Abi Filedata Hashtbl Pipebuf

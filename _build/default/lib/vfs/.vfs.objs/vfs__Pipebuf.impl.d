@@ -1,0 +1,1 @@
+lib/vfs/pipebuf.ml: Bytes String

@@ -1,0 +1,47 @@
+type t = {
+  mutable data : Bytes.t;  (* capacity *)
+  mutable len : int;       (* logical size *)
+}
+
+let create () = { data = Bytes.create 64; len = 0 }
+
+let of_string s =
+  { data = Bytes.of_string s; len = String.length s }
+
+let to_string t = Bytes.sub_string t.data 0 t.len
+
+let size t = t.len
+
+let ensure_capacity t n =
+  if n > Bytes.length t.data then begin
+    let cap = max n (max 64 (2 * Bytes.length t.data)) in
+    let data = Bytes.create cap in
+    Bytes.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let read t ~pos buf ~off ~len =
+  if pos >= t.len || len <= 0 then 0
+  else begin
+    let n = min len (t.len - pos) in
+    Bytes.blit t.data pos buf off n;
+    n
+  end
+
+let write t ~pos data =
+  let n = String.length data in
+  let end_pos = pos + n in
+  ensure_capacity t end_pos;
+  (* zero-fill a gap left by a seek past EOF *)
+  if pos > t.len then Bytes.fill t.data t.len (pos - t.len) '\000';
+  Bytes.blit_string data 0 t.data pos n;
+  if end_pos > t.len then t.len <- end_pos;
+  n
+
+let truncate t n =
+  let n = max 0 n in
+  if n > t.len then begin
+    ensure_capacity t n;
+    Bytes.fill t.data t.len (n - t.len) '\000'
+  end;
+  t.len <- n

@@ -1,0 +1,22 @@
+(** Growable byte storage backing a regular file. *)
+
+type t
+
+val create : unit -> t
+val of_string : string -> t
+val to_string : t -> string
+
+val size : t -> int
+
+val read : t -> pos:int -> Bytes.t -> off:int -> len:int -> int
+(** [read t ~pos buf ~off ~len] copies at most [len] bytes starting at
+    file offset [pos] into [buf] at [off]; returns bytes copied (0 at
+    or past EOF). *)
+
+val write : t -> pos:int -> string -> int
+(** [write t ~pos data] writes all of [data] at [pos], growing the file
+    (zero-filling any gap, as a sparse write would); returns the number
+    of bytes written (always [String.length data]). *)
+
+val truncate : t -> int -> unit
+(** Shrink or zero-extend to the given size. *)

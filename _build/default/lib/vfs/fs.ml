@@ -1,0 +1,630 @@
+open Abi
+
+type cred = { uid : int; gid : int }
+
+let root_cred = { uid = 0; gid = 0 }
+
+type t = {
+  inodes : (int, Inode.t) Hashtbl.t;
+  opens : (int, int) Hashtbl.t;  (* ino -> open-file references *)
+  mutable next_ino : int;
+  now : unit -> int;
+  dev : int;
+}
+
+let dev t = t.dev
+let root_ino _ = 2  (* the historical UFS root inode number *)
+
+let max_symlinks = 8
+let max_name = 255
+let max_path = 1024
+
+let alloc_ino t =
+  let ino = t.next_ino in
+  t.next_ino <- ino + 1;
+  ino
+
+let new_inode t ~ino kind ~perm ~(cred : cred) =
+  let now = t.now () in
+  let inode = {
+    Inode.ino; kind; perm = perm land 0o7777; uid = cred.uid;
+    gid = cred.gid; nlink = 0; atime = now; mtime = now; ctime = now }
+  in
+  Hashtbl.replace t.inodes ino inode;
+  inode
+
+let create ?(now = fun () -> 0) () =
+  let t = {
+    inodes = Hashtbl.create 256;
+    opens = Hashtbl.create 64;
+    next_ino = 3;
+    now;
+    dev = 1;
+  } in
+  let table = Hashtbl.create 8 in
+  Hashtbl.replace table "." 2;
+  Hashtbl.replace table ".." 2;
+  let root =
+    new_inode t ~ino:2 (Inode.Dir table) ~perm:0o755 ~cred:root_cred
+  in
+  root.Inode.nlink <- 2;
+  t
+
+let get t ino = Hashtbl.find_opt t.inodes ino
+
+let get_exn t ino =
+  match get t ino with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Fs.get_exn: dangling ino %d" ino)
+
+let live_inodes t = Hashtbl.length t.inodes
+
+let open_refs t = Hashtbl.fold (fun _ n acc -> acc + n) t.opens 0
+
+let open_count t ino =
+  Option.value ~default:0 (Hashtbl.find_opt t.opens ino)
+
+let maybe_reclaim t (inode : Inode.t) =
+  if inode.nlink <= 0 && open_count t inode.ino = 0 then begin
+    Hashtbl.remove t.inodes inode.ino;
+    Hashtbl.remove t.opens inode.ino
+  end
+
+(* Walk the tree from the root, checking directory structure and
+   accumulating observed link counts; then compare against the inode
+   table. *)
+let fsck t =
+  let problems = ref [] in
+  let complain fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let observed_links : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let bump ino =
+    Hashtbl.replace observed_links ino
+      (1 + Option.value ~default:0 (Hashtbl.find_opt observed_links ino))
+  in
+  let visited : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec walk ~parent_ino ~path ino =
+    if not (Hashtbl.mem visited ino) then begin
+      Hashtbl.replace visited ino ();
+      match Hashtbl.find_opt t.inodes ino with
+      | None -> complain "%s: dangling inode %d" path ino
+      | Some inode ->
+        (match inode.Inode.kind with
+         | Inode.Dir table ->
+           (* "." and ".." *)
+           (match Hashtbl.find_opt table "." with
+            | Some self when self = ino -> ()
+            | Some self -> complain "%s: '.' points to %d" path self
+            | None -> complain "%s: missing '.'" path);
+           (match Hashtbl.find_opt table ".." with
+            | Some up when up = parent_ino -> ()
+            | Some up ->
+              complain "%s: '..' points to %d, expected %d" path up
+                parent_ino
+            | None -> complain "%s: missing '..'" path);
+           (* each entry links its target; '.' counts for self, '..'
+              for the parent *)
+           Hashtbl.iter
+             (fun name child ->
+               if name <> "." && name <> ".." then begin
+                 bump child;
+                 let child_path =
+                   if path = "/" then "/" ^ name else path ^ "/" ^ name
+                 in
+                 match Hashtbl.find_opt t.inodes child with
+                 | Some { Inode.kind = Inode.Dir _; _ } ->
+                   walk ~parent_ino:ino ~path:child_path child
+                 | Some _ -> ()
+                 | None ->
+                   complain "%s: dangling entry (inode %d)" child_path
+                     child
+               end)
+             table
+         | Inode.Reg _ | Inode.Symlink _ | Inode.Chardev _ | Inode.Fifo _
+           -> complain "%s: walked into a non-directory" path)
+    end
+  in
+  let root = root_ino t in
+  bump root;  (* the root's ".." self-link stands in for a parent *)
+  walk ~parent_ino:root ~path:"/" root;
+  (* directory nlink = 2 + number of subdirectories; add those now *)
+  Hashtbl.iter
+    (fun ino () ->
+      match Hashtbl.find_opt t.inodes ino with
+      | Some { Inode.kind = Inode.Dir table; _ } ->
+        bump ino;  (* "." *)
+        (* ".." contributions: each subdirectory links its parent *)
+        Hashtbl.iter
+          (fun name child ->
+            if name <> "." && name <> ".." then
+              match Hashtbl.find_opt t.inodes child with
+              | Some { Inode.kind = Inode.Dir _; _ } ->
+                ignore name;
+                bump ino
+              | _ -> ())
+          table
+      | _ -> ())
+    visited;
+  (* compare counts *)
+  Hashtbl.iter
+    (fun ino (inode : Inode.t) ->
+      let expected = Option.value ~default:0 (Hashtbl.find_opt observed_links ino) in
+      if Hashtbl.mem visited ino || expected > 0 then begin
+        if inode.nlink <> expected then
+          complain "inode %d: nlink %d, expected %d" ino inode.nlink
+            expected
+      end
+      else if open_count t ino = 0 then
+        complain "inode %d: unreachable with no open references" ino)
+    t.inodes;
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (List.rev ps)
+
+let incr_opens t ino = Hashtbl.replace t.opens ino (open_count t ino + 1)
+
+let decr_opens t ino =
+  let n = open_count t ino - 1 in
+  if n <= 0 then begin
+    Hashtbl.remove t.opens ino;
+    match get t ino with
+    | Some inode -> maybe_reclaim t inode
+    | None -> ()
+  end
+  else Hashtbl.replace t.opens ino n
+
+(* --- permissions ----------------------------------------------------- *)
+
+let access_ok _t cred (inode : Inode.t) bits =
+  if cred.uid = 0 then true
+  else begin
+    let shift =
+      if cred.uid = inode.uid then 6
+      else if cred.gid = inode.gid then 3
+      else 0
+    in
+    let granted = (inode.perm lsr shift) land 0o7 in
+    bits land 0o7 land lnot granted = 0
+  end
+
+let searchable t cred inode = access_ok t cred inode Flags.Access.x_ok
+let writable_dir t cred inode = access_ok t cred inode Flags.Access.w_ok
+
+(* Sticky-directory deletion rule: in a sticky directory only the file
+   owner, the directory owner or root may remove an entry. *)
+let may_delete t cred (dir : Inode.t) (victim : Inode.t) =
+  writable_dir t cred dir
+  && (dir.perm land Flags.Mode.isvtx = 0
+      || cred.uid = 0
+      || cred.uid = victim.uid
+      || cred.uid = dir.uid)
+
+(* --- resolution ------------------------------------------------------ *)
+
+let split_path path =
+  List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+
+let ( let* ) = Result.bind
+
+(* Iterative resolution over a component work-list; symlink expansion
+   pushes the link target's components back onto the list. *)
+let resolve_gen t cred ~cwd ~follow_last path =
+  if path = "" then Error Errno.ENOENT
+  else if String.length path > max_path then Error Errno.ENAMETOOLONG
+  else begin
+    let start = if path.[0] = '/' then root_ino t else cwd in
+    let trailing_dir = path.[String.length path - 1] = '/' in
+    let rec walk dir_ino comps links =
+      match get t dir_ino with
+      | None -> Error Errno.ENOENT
+      | Some dir ->
+        match comps with
+        | [] ->
+          if trailing_dir && not (Inode.is_dir dir) then Error Errno.ENOTDIR
+          else Ok dir
+        | name :: rest ->
+          if String.length name > max_name then Error Errno.ENAMETOOLONG
+          else
+            let* table = Inode.dir_table dir in
+            if not (searchable t cred dir) then Error Errno.EACCES
+            else begin
+              match Hashtbl.find_opt table name with
+              | None -> Error Errno.ENOENT
+              | Some ino ->
+                match get t ino with
+                | None -> Error Errno.ENOENT
+                | Some entry ->
+                  match entry.Inode.kind with
+                  | Inode.Symlink target
+                    when rest <> [] || follow_last || trailing_dir ->
+                    if links >= max_symlinks then Error Errno.ELOOP
+                    else begin
+                      let tcomps = split_path target in
+                      let base =
+                        if target <> "" && target.[0] = '/' then root_ino t
+                        else dir_ino
+                      in
+                      walk base (tcomps @ rest) (links + 1)
+                    end
+                  | _ ->
+                    if rest = [] then
+                      if trailing_dir && not (Inode.is_dir entry) then
+                        Error Errno.ENOTDIR
+                      else Ok entry
+                    else walk ino rest links
+            end
+    in
+    walk start (split_path path) 0
+  end
+
+let resolve t cred ~cwd ?(follow_last = true) path =
+  resolve_gen t cred ~cwd ~follow_last path
+
+(* Parent resolution: everything but the last component, following
+   symlinks along the way.  "mkdir a/b/" behaves like "mkdir a/b". *)
+let resolve_parent t cred ~cwd path =
+  if path = "" then Error Errno.ENOENT
+  else if String.length path > max_path then Error Errno.ENAMETOOLONG
+  else begin
+    let comps = split_path path in
+    match List.rev comps with
+    | [] -> Error Errno.EEXIST  (* "/" or "." style path *)
+    | last :: rev_prefix ->
+      if String.length last > max_name then Error Errno.ENAMETOOLONG
+      else begin
+        let prefix = List.rev rev_prefix in
+        let prefix_path =
+          (if path.[0] = '/' then "/" else "")
+          ^ String.concat "/" prefix
+        in
+        let* parent =
+          if prefix = [] then
+            if path.[0] = '/' then
+              Ok (get_exn t (root_ino t))
+            else
+              match get t cwd with
+              | Some d -> Ok d
+              | None -> Error Errno.ENOENT
+          else resolve t cred ~cwd prefix_path
+        in
+        if not (Inode.is_dir parent) then Error Errno.ENOTDIR
+        else if last = "." || last = ".." then Error Errno.EINVAL
+        else Ok (parent, last)
+      end
+  end
+
+let path_of_ino t ino =
+  let rec up ino acc depth =
+    if depth > 64 then None
+    else if ino = root_ino t then
+      Some ("/" ^ String.concat "/" acc)
+    else
+      match get t ino with
+      | None -> None
+      | Some inode ->
+        match Inode.dir_table inode with
+        | Error _ -> None
+        | Ok table ->
+          match Hashtbl.find_opt table ".." with
+          | None -> None
+          | Some parent_ino ->
+            match get t parent_ino with
+            | None -> None
+            | Some parent ->
+              let name =
+                List.find_opt
+                  (fun (n, i) -> i = ino && n <> "." && n <> "..")
+                  (Inode.dir_entries parent)
+              in
+              match name with
+              | None -> None
+              | Some (n, _) -> up parent_ino (n :: acc) (depth + 1)
+  in
+  match get t ino with
+  | Some inode when Inode.is_dir inode -> up ino [] 0
+  | _ -> None
+
+(* --- creation helpers ------------------------------------------------- *)
+
+let add_entry t (dir : Inode.t) name ino =
+  match Inode.dir_table dir with
+  | Error _ -> ()
+  | Ok table ->
+    Hashtbl.replace table name ino;
+    let now = t.now () in
+    dir.mtime <- now;
+    dir.ctime <- now
+
+let remove_entry t (dir : Inode.t) name =
+  match Inode.dir_table dir with
+  | Error _ -> ()
+  | Ok table ->
+    Hashtbl.remove table name;
+    let now = t.now () in
+    dir.mtime <- now;
+    dir.ctime <- now
+
+let create_in t cred (parent : Inode.t) name kind ~perm =
+  if not (writable_dir t cred parent) then Error Errno.EACCES
+  else begin
+    let inode = new_inode t ~ino:(alloc_ino t) kind ~perm ~cred in
+    inode.Inode.nlink <- 1;
+    add_entry t parent name inode.Inode.ino;
+    Ok inode
+  end
+
+let lookup_in (parent : Inode.t) name =
+  match Inode.dir_table parent with
+  | Error e -> Error e
+  | Ok table ->
+    (match Hashtbl.find_opt table name with
+     | Some ino -> Ok ino
+     | None -> Error Errno.ENOENT)
+
+(* --- namespace operations --------------------------------------------- *)
+
+let open_lookup t cred ~cwd path ~flags ~perm =
+  let open Flags.Open in
+  let check_modes inode =
+    let need =
+      (if readable flags then Flags.Access.r_ok else 0)
+      lor (if writable flags then Flags.Access.w_ok else 0)
+    in
+    if Inode.is_dir inode && writable flags then Error Errno.EISDIR
+    else if not (access_ok t cred inode need) then Error Errno.EACCES
+    else Ok inode
+  in
+  let finish ~created inode =
+    let* inode = check_modes inode in
+    (match inode.Inode.kind with
+     | Inode.Reg data when flags land o_trunc <> 0 && writable flags ->
+       Filedata.truncate data 0;
+       let now = t.now () in
+       inode.mtime <- now;
+       inode.ctime <- now
+     | _ -> ());
+    Ok (inode, created)
+  in
+  match resolve t cred ~cwd path with
+  | Ok inode ->
+    if flags land o_creat <> 0 && flags land o_excl <> 0 then
+      Error Errno.EEXIST
+    else finish ~created:false inode
+  | Error Errno.ENOENT when flags land o_creat <> 0 ->
+    let* parent, name = resolve_parent t cred ~cwd path in
+    (* re-check: the final component may exist as a dangling symlink *)
+    (match lookup_in parent name with
+     | Ok _ -> Error Errno.ENOENT  (* dangling symlink in the way *)
+     | Error Errno.ENOENT ->
+       let* inode =
+         create_in t cred parent name (Inode.Reg (Filedata.create ())) ~perm
+       in
+       finish ~created:true inode
+     | Error e -> Error e)
+  | Error e -> Error e
+
+let make_node t cred ~cwd path kind ~perm =
+  let* parent, name = resolve_parent t cred ~cwd path in
+  match lookup_in parent name with
+  | Ok _ -> Error Errno.EEXIST
+  | Error Errno.ENOENT -> create_in t cred parent name kind ~perm
+  | Error e -> Error e
+
+let mkdir t cred ~cwd path ~perm =
+  let table = Hashtbl.create 8 in
+  let* inode = make_node t cred ~cwd path (Inode.Dir table) ~perm in
+  (* fill in "." and ".." now that we know our parent *)
+  let* parent, _ = resolve_parent t cred ~cwd path in
+  Hashtbl.replace table "." inode.Inode.ino;
+  Hashtbl.replace table ".." parent.Inode.ino;
+  inode.Inode.nlink <- 2;
+  parent.Inode.nlink <- parent.Inode.nlink + 1;
+  Ok inode
+
+let mkfifo t cred ~cwd path ~perm =
+  make_node t cred ~cwd path (Inode.Fifo (Pipebuf.create ())) ~perm
+
+let mkchardev t cred ~cwd path ~perm ~rdev =
+  make_node t cred ~cwd path (Inode.Chardev rdev) ~perm
+
+let symlink t cred ~cwd ~target path =
+  let* _ = make_node t cred ~cwd path (Inode.Symlink target) ~perm:0o777 in
+  Ok ()
+
+let readlink t cred ~cwd path =
+  let* inode = resolve t cred ~cwd ~follow_last:false path in
+  match inode.Inode.kind with
+  | Inode.Symlink target -> Ok target
+  | _ -> Error Errno.EINVAL
+
+let link t cred ~cwd ~existing path =
+  let* src = resolve t cred ~cwd existing in
+  if Inode.is_dir src then Error Errno.EPERM
+  else begin
+    let* parent, name = resolve_parent t cred ~cwd path in
+    match lookup_in parent name with
+    | Ok _ -> Error Errno.EEXIST
+    | Error Errno.ENOENT ->
+      if not (writable_dir t cred parent) then Error Errno.EACCES
+      else begin
+        add_entry t parent name src.Inode.ino;
+        src.Inode.nlink <- src.Inode.nlink + 1;
+        src.Inode.ctime <- t.now ();
+        Ok ()
+      end
+    | Error e -> Error e
+  end
+
+let unlink t cred ~cwd path =
+  let* parent, name = resolve_parent t cred ~cwd path in
+  let* ino = lookup_in parent name in
+  let victim = get_exn t ino in
+  if Inode.is_dir victim then Error Errno.EISDIR
+  else if not (may_delete t cred parent victim) then Error Errno.EACCES
+  else begin
+    remove_entry t parent name;
+    victim.Inode.nlink <- victim.Inode.nlink - 1;
+    victim.Inode.ctime <- t.now ();
+    maybe_reclaim t victim;
+    Ok ()
+  end
+
+let dir_is_empty (inode : Inode.t) =
+  List.for_all
+    (fun (n, _) -> n = "." || n = "..")
+    (Inode.dir_entries inode)
+
+let rmdir t cred ~cwd path =
+  let* parent, name = resolve_parent t cred ~cwd path in
+  let* ino = lookup_in parent name in
+  let victim = get_exn t ino in
+  if not (Inode.is_dir victim) then Error Errno.ENOTDIR
+  else if not (dir_is_empty victim) then Error Errno.ENOTEMPTY
+  else if not (may_delete t cred parent victim) then Error Errno.EACCES
+  else begin
+    remove_entry t parent name;
+    victim.Inode.nlink <- 0;
+    parent.Inode.nlink <- parent.Inode.nlink - 1;
+    maybe_reclaim t victim;
+    Ok ()
+  end
+
+(* Is [anc] an ancestor of (or equal to) directory [ino]?  Used to
+   reject renaming a directory into its own subtree. *)
+let is_ancestor t ~anc ino =
+  let rec up ino depth =
+    if depth > 64 then false
+    else if ino = anc then true
+    else
+      match get t ino with
+      | None -> false
+      | Some inode ->
+        match Inode.dir_table inode with
+        | Error _ -> false
+        | Ok table ->
+          match Hashtbl.find_opt table ".." with
+          | Some parent when parent <> ino -> up parent (depth + 1)
+          | _ -> false
+  in
+  up ino 0
+
+let rename t cred ~cwd ~src dst =
+  let* sparent, sname = resolve_parent t cred ~cwd src in
+  let* sino = lookup_in sparent sname in
+  let victim = get_exn t sino in
+  let* dparent, dname = resolve_parent t cred ~cwd dst in
+  if not (may_delete t cred sparent victim)
+     || not (writable_dir t cred dparent)
+  then Error Errno.EACCES
+  else if Inode.is_dir victim && is_ancestor t ~anc:sino dparent.Inode.ino
+  then Error Errno.EINVAL
+  else begin
+    let replace_ok =
+      match lookup_in dparent dname with
+      | Error Errno.ENOENT -> Ok None
+      | Error e -> Error e
+      | Ok dino when dino = sino -> Ok None  (* rename to itself: no-op *)
+      | Ok dino ->
+        let existing = get_exn t dino in
+        (match Inode.is_dir victim, Inode.is_dir existing with
+         | true, false -> Error Errno.ENOTDIR
+         | false, true -> Error Errno.EISDIR
+         | true, true when not (dir_is_empty existing) ->
+           Error Errno.ENOTEMPTY
+         | _ -> Ok (Some existing))
+    in
+    let* replaced = replace_ok in
+    (match replaced with
+     | Some existing ->
+       remove_entry t dparent dname;
+       if Inode.is_dir existing then begin
+         existing.Inode.nlink <- 0;
+         dparent.Inode.nlink <- dparent.Inode.nlink - 1
+       end
+       else existing.Inode.nlink <- existing.Inode.nlink - 1;
+       maybe_reclaim t existing
+     | None -> ());
+    remove_entry t sparent sname;
+    add_entry t dparent dname sino;
+    (* a moved directory's ".." must follow it *)
+    if Inode.is_dir victim && sparent.Inode.ino <> dparent.Inode.ino
+    then begin
+      (match Inode.dir_table victim with
+       | Ok table -> Hashtbl.replace table ".." dparent.Inode.ino
+       | Error _ -> ());
+      sparent.Inode.nlink <- sparent.Inode.nlink - 1;
+      dparent.Inode.nlink <- dparent.Inode.nlink + 1
+    end;
+    victim.Inode.ctime <- t.now ();
+    Ok ()
+  end
+
+let stat_inode t inode = Inode.to_stat ~dev:t.dev inode
+
+let stat_path t cred ~cwd ~follow path =
+  let* inode = resolve t cred ~cwd ~follow_last:follow path in
+  Ok (stat_inode t inode)
+
+let chmod t cred ~cwd path ~perm =
+  let* inode = resolve t cred ~cwd path in
+  if cred.uid <> 0 && cred.uid <> inode.Inode.uid then Error Errno.EPERM
+  else begin
+    inode.Inode.perm <- perm land 0o7777;
+    inode.Inode.ctime <- t.now ();
+    Ok ()
+  end
+
+let chown t cred ~cwd path ~uid ~gid =
+  let* inode = resolve t cred ~cwd path in
+  (* 4.3BSD: only the superuser may change ownership *)
+  if cred.uid <> 0 then Error Errno.EPERM
+  else begin
+    if uid >= 0 then inode.Inode.uid <- uid;
+    if gid >= 0 then inode.Inode.gid <- gid;
+    inode.Inode.ctime <- t.now ();
+    Ok ()
+  end
+
+let utimes t cred ~cwd path ~atime ~mtime =
+  let* inode = resolve t cred ~cwd path in
+  if cred.uid <> 0 && cred.uid <> inode.Inode.uid then Error Errno.EPERM
+  else begin
+    inode.Inode.atime <- atime;
+    inode.Inode.mtime <- mtime;
+    inode.Inode.ctime <- t.now ();
+    Ok ()
+  end
+
+let truncate t cred ~cwd path len =
+  if len < 0 then Error Errno.EINVAL
+  else
+    let* inode = resolve t cred ~cwd path in
+    if not (access_ok t cred inode Flags.Access.w_ok) then
+      Error Errno.EACCES
+    else
+      match inode.Inode.kind with
+      | Inode.Reg data ->
+        Filedata.truncate data len;
+        let now = t.now () in
+        inode.Inode.mtime <- now;
+        inode.Inode.ctime <- now;
+        Ok ()
+      | Inode.Dir _ -> Error Errno.EISDIR
+      | Inode.Symlink _ | Inode.Chardev _ | Inode.Fifo _ ->
+        Error Errno.EINVAL
+
+let access t cred ~cwd path bits =
+  let* inode = resolve t cred ~cwd path in
+  if access_ok t cred inode bits then Ok () else Error Errno.EACCES
+
+let chdir_lookup t cred ~cwd path =
+  let* inode = resolve t cred ~cwd path in
+  if not (Inode.is_dir inode) then Error Errno.ENOTDIR
+  else if not (searchable t cred inode) then Error Errno.EACCES
+  else Ok inode
+
+let touch_atime t (inode : Inode.t) = inode.atime <- t.now ()
+
+let touch_mtime t (inode : Inode.t) =
+  let now = t.now () in
+  inode.mtime <- now;
+  inode.ctime <- now

@@ -1,0 +1,41 @@
+let capacity = 4096
+
+type t = {
+  data : Bytes.t;
+  mutable head : int;        (* next byte to read *)
+  mutable used : int;
+  mutable readers : int;
+  mutable writers : int;
+}
+
+let create () =
+  { data = Bytes.create capacity; head = 0; used = 0;
+    readers = 0; writers = 0 }
+
+let available t = t.used
+let room t = capacity - t.used
+
+let write t data ~pos =
+  let n = min (String.length data - pos) (room t) in
+  for i = 0 to n - 1 do
+    let slot = (t.head + t.used + i) mod capacity in
+    Bytes.set t.data slot data.[pos + i]
+  done;
+  t.used <- t.used + n;
+  n
+
+let read t buf ~off ~len =
+  let n = min len t.used in
+  for i = 0 to n - 1 do
+    Bytes.set buf (off + i) (Bytes.get t.data ((t.head + i) mod capacity))
+  done;
+  t.head <- (t.head + n) mod capacity;
+  t.used <- t.used - n;
+  n
+
+let add_reader t = t.readers <- t.readers + 1
+let add_writer t = t.writers <- t.writers + 1
+let drop_reader t = t.readers <- max 0 (t.readers - 1)
+let drop_writer t = t.writers <- max 0 (t.writers - 1)
+let readers t = t.readers
+let writers t = t.writers

@@ -1,0 +1,1 @@
+lib/workloads/afs_bench.ml: Abi Buffer Bytes Errno Flags Hashtbl Kernel Libc Printf Sim Stdio String Unistd

@@ -1,0 +1,1 @@
+lib/workloads/afs_bench.mli: Kernel

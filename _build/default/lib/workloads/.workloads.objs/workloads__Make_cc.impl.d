@@ -1,0 +1,1 @@
+lib/workloads/make_cc.ml: Abi Array Buffer Bytes Char Errno Filename Flags Hashtbl Kernel Libc List Printf Progs Sim Spawn Stat Stdio String Unistd Vfs

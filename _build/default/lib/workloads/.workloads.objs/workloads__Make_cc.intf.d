@@ -1,0 +1,1 @@
+lib/workloads/make_cc.mli: Kernel

@@ -1,0 +1,1 @@
+lib/workloads/progs.ml: Abi Array Dirstream Errno Flags Kernel Libc List Option Spawn Stat Stdio String Unistd

@@ -1,0 +1,1 @@
+lib/workloads/scribe.ml: Abi Array Buffer Bytes Errno Flags Kernel Libc List Printf Sim Stdio String Unistd

@@ -1,0 +1,1 @@
+lib/workloads/scribe.mli: Kernel Sim

@@ -1,0 +1,154 @@
+open Abi
+open Libc
+
+type params = {
+  dirs : int;
+  files_per_dir : int;
+  file_size : int;
+  io_chunk : int;
+  cpu_us_per_file : int;
+}
+
+let default_params = {
+  dirs = 6;
+  files_per_dir = 10;
+  file_size = 4096;
+  io_chunk = 256;
+  cpu_us_per_file = 11_000;
+}
+
+let quick_params = {
+  dirs = 2;
+  files_per_dir = 3;
+  file_size = 256;
+  io_chunk = 128;
+  cpu_us_per_file = 50;
+}
+
+let source_dir = "/afs/src"
+let work_dir = "/afs/work"
+
+let dir_name i = Printf.sprintf "dir%d" i
+let file_name i j = Printf.sprintf "%s/file%d.c" (dir_name i) j
+
+let for_each_file p f =
+  for i = 1 to p.dirs do
+    for j = 1 to p.files_per_dir do
+      f (file_name i j)
+    done
+  done
+
+let copy_chunked p ~src ~dst =
+  match Unistd.open_ src Flags.Open.o_rdonly 0 with
+  | Error e -> Error e
+  | Ok sfd ->
+    (match
+       Unistd.open_ dst Flags.Open.(o_wronly lor o_creat lor o_trunc) 0o644
+     with
+     | Error e ->
+       ignore (Unistd.close sfd);
+       Error e
+     | Ok dfd ->
+       let buf = Bytes.create p.io_chunk in
+       let rec pump () =
+         match Unistd.read sfd buf p.io_chunk with
+         | Error e -> Error e
+         | Ok 0 -> Ok ()
+         | Ok n ->
+           (match Unistd.write_all dfd (Bytes.sub_string buf 0 n) with
+            | Ok () -> pump ()
+            | Error e -> Error e)
+       in
+       let r = pump () in
+       ignore (Unistd.close sfd);
+       ignore (Unistd.close dfd);
+       r)
+
+let body ?(params = default_params) () =
+  let p = params in
+  let failures = ref 0 in
+  let expect what = function
+    | Ok _ -> ()
+    | Error e ->
+      incr failures;
+      Stdio.eprintf "afsbench: %s: %s\n" what (Errno.message e)
+  in
+  (* phase 1: MakeDir *)
+  expect "mkdir work" (Unistd.mkdir work_dir 0o755);
+  for i = 1 to p.dirs do
+    expect "mkdir" (Unistd.mkdir (work_dir ^ "/" ^ dir_name i) 0o755)
+  done;
+  Stdio.printf "phase 1 (mkdir): %d directories\n" p.dirs;
+  (* phase 2: Copy *)
+  let copied = ref 0 in
+  for_each_file p (fun rel ->
+    incr copied;
+    expect "copy"
+      (copy_chunked p ~src:(source_dir ^ "/" ^ rel)
+         ~dst:(work_dir ^ "/" ^ rel)));
+  Stdio.printf "phase 2 (copy): %d files\n" !copied;
+  (* phase 3: ScanDir — stat everything, twice *)
+  let stats = ref 0 in
+  for _pass = 1 to 2 do
+    for_each_file p (fun rel ->
+      incr stats;
+      expect "stat" (Unistd.stat (work_dir ^ "/" ^ rel)))
+  done;
+  Stdio.printf "phase 3 (scan): %d stats\n" !stats;
+  (* phase 4: ReadAll *)
+  let bytes = ref 0 in
+  for_each_file p (fun rel ->
+    match Unistd.open_ (work_dir ^ "/" ^ rel) Flags.Open.o_rdonly 0 with
+    | Error e -> expect "open" (Error e)
+    | Ok fd ->
+      let buf = Bytes.create p.io_chunk in
+      let rec drain () =
+        match Unistd.read fd buf p.io_chunk with
+        | Ok 0 | Error _ -> ()
+        | Ok n ->
+          bytes := !bytes + n;
+          drain ()
+      in
+      drain ();
+      ignore (Unistd.close fd));
+  Stdio.printf "phase 4 (read): %d bytes\n" !bytes;
+  (* phase 5: Make — read, compute, write a product per file *)
+  let products = ref 0 in
+  for_each_file p (fun rel ->
+    match Stdio.read_file (work_dir ^ "/" ^ rel) with
+    | Error e -> expect "read" (Error e)
+    | Ok content ->
+      Unistd.cpu_work p.cpu_us_per_file;
+      incr products;
+      let product =
+        Printf.sprintf "obj:%08x:%d\n" (Hashtbl.hash content)
+          (String.length content)
+      in
+      expect "write"
+        (Stdio.write_file (work_dir ^ "/" ^ rel ^ ".o") product));
+  Stdio.printf "phase 5 (make): %d products\n" !products;
+  if !failures = 0 then 0 else 1
+
+let fill rng size =
+  let buf = Buffer.create size in
+  while Buffer.length buf < size do
+    Buffer.add_string buf
+      (Printf.sprintf "static int v%d = %d;\n" (Sim.Rng.int rng 10_000)
+         (Sim.Rng.int rng 1_000_000))
+  done;
+  Buffer.sub buf 0 size
+
+let setup ?(params = default_params) ?(seed = 11) k =
+  let rng = Sim.Rng.create seed in
+  Kernel.mkdir_p k source_dir;
+  for i = 1 to params.dirs do
+    Kernel.mkdir_p k (source_dir ^ "/" ^ dir_name i);
+    for j = 1 to params.files_per_dir do
+      Kernel.write_file k
+        ~path:(source_dir ^ "/" ^ file_name i j)
+        (fill rng params.file_size)
+    done
+  done;
+  Kernel.Registry.register "afsbench" (fun ~argv:_ ~envp:_ () ->
+    body ~params ());
+  Kernel.install_image k ~path:"/bin/afsbench" ~image:"afsbench"

@@ -1,0 +1,440 @@
+open Abi
+open Libc
+
+let args_of argv = Array.to_list (Array.sub argv 1 (max 0 (Array.length argv - 1)))
+
+let read_stdin () =
+  match Unistd.read_all Stdio.stdin with
+  | Ok content -> content
+  | Error _ -> ""
+
+let cat ~argv ~envp:_ () =
+  match args_of argv with
+  | [] ->
+    Stdio.print (read_stdin ());
+    0
+  | files ->
+    List.fold_left
+      (fun rc path ->
+        match Stdio.read_file path with
+        | Ok content ->
+          Stdio.print content;
+          rc
+        | Error e ->
+          Stdio.eprintf "cat: %s: %s\n" path (Errno.message e);
+          1)
+      0 files
+
+let echo ~argv ~envp:_ () =
+  Stdio.print (String.concat " " (args_of argv) ^ "\n");
+  0
+
+let ls ~argv ~envp:_ () =
+  let long, dirs =
+    match args_of argv with
+    | "-l" :: rest -> true, rest
+    | rest -> false, rest
+  in
+  let dirs = if dirs = [] then [ "." ] else dirs in
+  List.fold_left
+    (fun rc dir ->
+      match Dirstream.names dir with
+      | Error e ->
+        Stdio.eprintf "ls: %s: %s\n" dir (Errno.message e);
+        1
+      | Ok names ->
+        List.iter
+          (fun name ->
+            let path = if dir = "/" then "/" ^ name else dir ^ "/" ^ name in
+            if long then
+              match Unistd.lstat path with
+              | Ok st ->
+                Stdio.printf "%s %2d %4d %4d %8d %s\n"
+                  (Flags.Mode.to_ls_string st.Stat.st_mode)
+                  st.Stat.st_nlink st.Stat.st_uid st.Stat.st_gid
+                  st.Stat.st_size name
+              | Error _ -> Stdio.printf "?????????? %s\n" name
+            else Stdio.printf "%s\n" name)
+          names;
+        rc)
+    0 dirs
+
+let cp ~argv ~envp:_ () =
+  match args_of argv with
+  | [ src; dst ] ->
+    (match Stdio.read_file src with
+     | Error e ->
+       Stdio.eprintf "cp: %s: %s\n" src (Errno.message e);
+       1
+     | Ok content ->
+       (match Stdio.write_file dst content with
+        | Ok () -> 0
+        | Error e ->
+          Stdio.eprintf "cp: %s: %s\n" dst (Errno.message e);
+          1))
+  | _ ->
+    Stdio.eprint "usage: cp src dst\n";
+    2
+
+let count_one ~label content =
+  let lines = ref 0 and words = ref 0 in
+  let in_word = ref false in
+  String.iter
+    (fun c ->
+      if c = '\n' then incr lines;
+      if c = ' ' || c = '\n' || c = '\t' then in_word := false
+      else if not !in_word then begin
+        in_word := true;
+        incr words
+      end)
+    content;
+  Stdio.printf "%7d %7d %7d%s\n" !lines !words (String.length content)
+    (if label = "" then "" else " " ^ label)
+
+let wc ~argv ~envp:_ () =
+  match args_of argv with
+  | [] ->
+    count_one ~label:"" (read_stdin ());
+    0
+  | files ->
+    List.fold_left
+      (fun rc path ->
+        match Stdio.read_file path with
+        | Error e ->
+          Stdio.eprintf "wc: %s: %s\n" path (Errno.message e);
+          1
+        | Ok content ->
+          count_one ~label:path content;
+          rc)
+      0 files
+
+let contains ~needle hay =
+  let nl = String.length needle in
+  let hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let grep ~argv ~envp:_ () =
+  let grep_content ~label pattern content matched =
+    List.iter
+      (fun line ->
+        if line <> "" && contains ~needle:pattern line then begin
+          matched := true;
+          if label = "" then Stdio.printf "%s\n" line
+          else Stdio.printf "%s:%s\n" label line
+        end)
+      (String.split_on_char '\n' content)
+  in
+  match args_of argv with
+  | [ pattern ] ->
+    let matched = ref false in
+    grep_content ~label:"" pattern (read_stdin ()) matched;
+    if !matched then 0 else 1
+  | pattern :: files ->
+    let matched = ref false in
+    List.iter
+      (fun path ->
+        match Stdio.read_file path with
+        | Error e -> Stdio.eprintf "grep: %s: %s\n" path (Errno.message e)
+        | Ok content -> grep_content ~label:path pattern content matched)
+      files;
+    if !matched then 0 else 1
+  | [] ->
+    Stdio.eprint "usage: grep pattern [file...]\n";
+    2
+
+let head ~argv ~envp:_ () =
+  match args_of argv with
+  | [ "-n"; n; path ] ->
+    let n = Option.value ~default:10 (int_of_string_opt n) in
+    (match Stdio.read_file path with
+     | Error e ->
+       Stdio.eprintf "head: %s: %s\n" path (Errno.message e);
+       1
+     | Ok content ->
+       String.split_on_char '\n' content
+       |> List.filteri (fun i _ -> i < n)
+       |> List.iter (fun l -> Stdio.printf "%s\n" l);
+       0)
+  | _ ->
+    Stdio.eprint "usage: head -n N file\n";
+    2
+
+let touch ~argv ~envp:_ () =
+  List.fold_left
+    (fun rc path ->
+      match Unistd.open_ path Flags.Open.(o_wronly lor o_creat) 0o644 with
+      | Ok fd ->
+        ignore (Unistd.close fd);
+        (match Unistd.gettimeofday () with
+         | Ok (sec, _) ->
+           ignore (Unistd.utimes path ~atime:sec ~mtime:sec)
+         | Error _ -> ());
+        rc
+      | Error e ->
+        Stdio.eprintf "touch: %s: %s\n" path (Errno.message e);
+        1)
+    0 (args_of argv)
+
+let rm ~argv ~envp:_ () =
+  List.fold_left
+    (fun rc path ->
+      match Unistd.unlink path with
+      | Ok () -> rc
+      | Error e ->
+        Stdio.eprintf "rm: %s: %s\n" path (Errno.message e);
+        1)
+    0 (args_of argv)
+
+let mkdir ~argv ~envp:_ () =
+  List.fold_left
+    (fun rc path ->
+      match Unistd.mkdir path 0o755 with
+      | Ok () -> rc
+      | Error e ->
+        Stdio.eprintf "mkdir: %s: %s\n" path (Errno.message e);
+        1)
+    0 (args_of argv)
+
+let true_ ~argv:_ ~envp:_ () = 0
+let false_ ~argv:_ ~envp:_ () = 1
+
+(* --- sh: a small shell ------------------------------------------------------
+   Grammar:  seq   := andor (';' andor)*
+             andor := pipe ('&&' pipe)*
+             pipe  := stage ('|' stage)*
+             stage := word+ with '<' '>' '>>' redirections
+   No quoting; words are space-separated. *)
+
+let sh_split cmdline =
+  String.split_on_char '|' cmdline
+  |> List.map (fun stage ->
+       String.split_on_char ' ' stage |> List.filter (fun w -> w <> ""))
+  |> List.filter (fun words -> words <> [])
+
+type sh_stage = {
+  sh_words : string list;
+  sh_rin : string option;           (* < path *)
+  sh_rout : (string * bool) option; (* > path / >> path (append) *)
+}
+
+type sh_cmd =
+  | Sh_pipe of sh_stage list
+  | Sh_and of sh_cmd * sh_cmd
+  | Sh_seq of sh_cmd list
+
+let words_of s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+(* split on a multi-char operator kept out of words *)
+let split_on_op op s =
+  let opl = String.length op in
+  let n = String.length s in
+  let rec go start i acc =
+    if i + opl > n then List.rev (String.sub s start (n - start) :: acc)
+    else if String.sub s i opl = op then
+      go (i + opl) (i + opl) (String.sub s start (i - start) :: acc)
+    else go start (i + 1) acc
+  in
+  go 0 0 []
+
+let parse_stage text =
+  let rec eat words rin rout = function
+    | [] -> { sh_words = List.rev words; sh_rin = rin; sh_rout = rout }
+    | ">>" :: path :: rest -> eat words rin (Some (path, true)) rest
+    | ">" :: path :: rest -> eat words rin (Some (path, false)) rest
+    | "<" :: path :: rest -> eat words (Some path) rout rest
+    | w :: rest -> eat (w :: words) rin rout rest
+  in
+  eat [] None None (words_of text)
+
+let sh_parse cmdline : sh_cmd =
+  let parse_pipe text =
+    Sh_pipe
+      (String.split_on_char '|' text
+       |> List.map parse_stage
+       |> List.filter (fun st -> st.sh_words <> []))
+  in
+  let parse_andor text =
+    match split_on_op "&&" text with
+    | [] -> Sh_pipe []
+    | first :: rest ->
+      List.fold_left
+        (fun acc part -> Sh_and (acc, parse_pipe part))
+        (parse_pipe first) rest
+  in
+  Sh_seq (String.split_on_char ';' cmdline |> List.map parse_andor)
+
+let resolve_prog name =
+  if String.contains name '/' then name else "/bin/" ^ name
+
+let open_rin path =
+  Unistd.open_ path Flags.Open.o_rdonly 0
+
+let open_rout (path, append) =
+  let extra = if append then Flags.Open.o_append else Flags.Open.o_trunc in
+  Unistd.open_ path Flags.Open.(o_wronly lor o_creat lor extra) 0o644
+
+(* run one pipeline with per-end redirections; returns an exit code *)
+let exec_pipe stages =
+  match stages with
+  | [] -> 0
+  | _ ->
+    let n = List.length stages in
+    let fail msg e =
+      Stdio.eprintf "sh: %s: %s\n" msg (Errno.message e);
+      127
+    in
+    let rec start idx prev_read pids = function
+      | [] -> Ok (List.rev pids)
+      | stage :: rest ->
+        let is_first = idx = 0 in
+        let is_last = idx = n - 1 in
+        let stdin_fd =
+          match stage.sh_rin, prev_read with
+          | Some path, _ when is_first ->
+            (match open_rin path with
+             | Ok fd -> Ok (Some fd)
+             | Error e -> Error (("< " ^ path), e))
+          | _, fd -> Ok fd
+        in
+        (match stdin_fd with
+         | Error err -> Error err
+         | Ok stdin_fd ->
+           let stdout_spec =
+             if is_last then
+               match stage.sh_rout with
+               | Some target ->
+                 (match open_rout target with
+                  | Ok fd -> Ok (Some fd, None)
+                  | Error e -> Error (("> " ^ fst target), e))
+               | None -> Ok (None, None)
+             else
+               match Unistd.pipe () with
+               | Ok (r, w) -> Ok (Some w, Some r)
+               | Error e -> Error ("pipe", e)
+           in
+           (match stdout_spec with
+            | Error err -> Error err
+            | Ok (stdout_fd, next_read) ->
+              let path = resolve_prog (List.hd stage.sh_words) in
+              let argv = Array.of_list stage.sh_words in
+              (match Spawn.spawn ?stdin:stdin_fd ?stdout:stdout_fd path argv with
+               | Error e -> Error (path, e)
+               | Ok pid ->
+                 Option.iter (fun fd -> ignore (Unistd.close fd)) stdin_fd;
+                 Option.iter (fun fd -> ignore (Unistd.close fd)) stdout_fd;
+                 start (idx + 1) next_read (pid :: pids) rest)))
+    in
+    (match start 0 None [] stages with
+     | Error (what, e) -> fail what e
+     | Ok pids ->
+       let last = List.hd pids in
+       List.fold_left
+         (fun code pid ->
+           match Unistd.waitpid pid 0 with
+           | Ok (_, st) when pid = last ->
+             if Flags.Wait.wifexited st then Flags.Wait.wexitstatus st
+             else 128 + Flags.Wait.wtermsig st
+           | Ok _ | Error _ -> code)
+         0 pids)
+
+let rec exec_cmd = function
+  | Sh_pipe stages -> exec_pipe stages
+  | Sh_and (a, b) ->
+    let code = exec_cmd a in
+    if code = 0 then exec_cmd b else code
+  | Sh_seq cmds ->
+    List.fold_left (fun _ cmd -> exec_cmd cmd) 0 cmds
+
+let sh ~argv ~envp:_ () =
+  match args_of argv with
+  | [ "-c"; cmdline ] -> exec_cmd (sh_parse cmdline)
+  | [] ->
+    (* interactive: prompt, read, run, repeat *)
+    let rec repl last_code =
+      Stdio.print "$ ";
+      match Stdio.read_line Stdio.stdin with
+      | None | Some "exit" -> last_code
+      | Some "" -> repl last_code
+      | Some line -> repl (exec_cmd (sh_parse line))
+    in
+    repl 0
+  | _ ->
+    Stdio.eprint "usage: sh [-c \"cmd | cmd > out ; cmd && cmd\"]\n";
+    2
+
+(* --- ed: a tiny line editor ---------------------------------------------
+   Interactive (reads commands from stdin, like the 1970s original):
+     a         append lines until a lone "."
+     p         print the buffer with line numbers
+     d N       delete line N (1-based)
+     r FILE    read a file into the buffer
+     w FILE    write the buffer out
+     q         quit *)
+
+let ed ~argv ~envp:_ () =
+  let buffer = ref [] in  (* reversed lines *)
+  (match args_of argv with
+   | [ path ] ->
+     (match Stdio.read_file path with
+      | Ok content ->
+        let lines = String.split_on_char '\n' content in
+        let lines =
+          match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+        in
+        buffer := List.rev lines
+      | Error _ -> ())
+   | _ -> ());
+  let rec append_mode () =
+    match Stdio.read_line Stdio.stdin with
+    | None | Some "." -> ()
+    | Some line ->
+      buffer := line :: !buffer;
+      append_mode ()
+  in
+  let rec loop () =
+    match Stdio.read_line Stdio.stdin with
+    | None | Some "q" -> 0
+    | Some cmd ->
+      let lines = List.rev !buffer in
+      (match String.split_on_char ' ' cmd with
+       | [ "a" ] -> append_mode ()
+       | [ "p" ] ->
+         List.iteri (fun i l -> Stdio.printf "%4d  %s\n" (i + 1) l) lines
+       | [ "d"; n ] ->
+         (match int_of_string_opt n with
+          | Some n when n >= 1 && n <= List.length lines ->
+            buffer := List.rev (List.filteri (fun i _ -> i + 1 <> n) lines)
+          | Some _ | None -> Stdio.print "?\n")
+       | [ "r"; path ] ->
+         (match Stdio.read_file path with
+          | Ok content ->
+            String.split_on_char '\n' content
+            |> List.filter (( <> ) "")
+            |> List.iter (fun l -> buffer := l :: !buffer)
+          | Error e -> Stdio.printf "?%s\n" (Errno.name e))
+       | [ "w"; path ] ->
+         let content = String.concat "\n" lines ^ "\n" in
+         (match Stdio.write_file path content with
+          | Ok () -> Stdio.printf "%d\n" (String.length content)
+          | Error e -> Stdio.printf "?%s\n" (Errno.name e))
+       | _ -> Stdio.print "?\n");
+      loop ()
+  in
+  loop ()
+
+let images =
+  [ "cat", cat; "echo", echo; "ls", ls; "cp", cp; "wc", wc; "grep", grep;
+    "head", head; "touch", touch; "rm", rm; "mkdir", mkdir; "true", true_;
+    "false", false_; "sh", sh; "ed", ed ]
+
+let register () =
+  List.iter (fun (name, body) -> Kernel.Registry.register name body) images
+
+let install_all k =
+  register ();
+  List.iter
+    (fun (name, _) ->
+      Kernel.install_image k ~path:("/bin/" ^ name) ~image:name)
+    images

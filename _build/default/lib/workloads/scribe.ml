@@ -1,0 +1,253 @@
+open Abi
+open Libc
+
+type params = {
+  chapters : int;
+  sections_per_chapter : int;
+  paragraphs_per_section : int;
+  words_per_paragraph : int;
+  include_files : int;
+  cpu_us_per_word : int;
+}
+
+let default_params = {
+  chapters = 10;
+  sections_per_chapter = 6;
+  paragraphs_per_section = 7;
+  words_per_paragraph = 110;
+  include_files = 4;
+  cpu_us_per_word = 2_600;
+}
+
+let quick_params = {
+  chapters = 2;
+  sections_per_chapter = 2;
+  paragraphs_per_section = 2;
+  words_per_paragraph = 12;
+  include_files = 1;
+  cpu_us_per_word = 50;
+}
+
+let input_path = "/doc/dissertation.mss"
+let output_path = "/doc/dissertation.out"
+
+(* --- document generation ---------------------------------------------- *)
+
+let lexicon =
+  [| "interposition"; "agent"; "system"; "interface"; "kernel"; "call";
+     "toolkit"; "object"; "pathname"; "descriptor"; "signal"; "process";
+     "the"; "a"; "of"; "and"; "to"; "is"; "that"; "with"; "for"; "be";
+     "transparently"; "unmodified"; "boilerplate"; "inheritance";
+     "emulation"; "directory"; "union"; "transaction"; "monitoring" |]
+
+let gen_paragraph rng p =
+  let words =
+    List.init p.words_per_paragraph (fun _ -> Sim.Rng.pick rng lexicon)
+  in
+  String.concat " " words
+
+let generate rng p =
+  let buf = Buffer.create 65536 in
+  let includes = ref [] in
+  Buffer.add_string buf "@device{postscript}\n@style{spacing 1.5}\n";
+  for c = 1 to p.chapters do
+    Buffer.add_string buf (Printf.sprintf "@chapter Chapter %d\n" c);
+    if c <= p.include_files then begin
+      let name = Printf.sprintf "/doc/chapter%d.mss" c in
+      let ibuf = Buffer.create 4096 in
+      for _ = 1 to p.paragraphs_per_section do
+        Buffer.add_string ibuf (gen_paragraph rng p);
+        Buffer.add_string ibuf "\n\n"
+      done;
+      includes := (name, Buffer.contents ibuf) :: !includes;
+      Buffer.add_string buf (Printf.sprintf "@include %s\n" name)
+    end;
+    for s = 1 to p.sections_per_chapter do
+      Buffer.add_string buf (Printf.sprintf "@section Section %d.%d\n" c s);
+      for _ = 1 to p.paragraphs_per_section do
+        Buffer.add_string buf (gen_paragraph rng p);
+        Buffer.add_string buf "\n\n"
+      done
+    done
+  done;
+  Buffer.contents buf, List.rev !includes
+
+(* --- the formatter ------------------------------------------------------ *)
+
+let page_width = 72
+let io_chunk = 1024
+
+(* buffered chunked output: one write(2) per io_chunk bytes *)
+type sink = { fd : int; pending : Buffer.t }
+
+let sink_put sink s =
+  Buffer.add_string sink.pending s;
+  while Buffer.length sink.pending >= io_chunk do
+    let chunk = Buffer.sub sink.pending 0 io_chunk in
+    let rest =
+      Buffer.sub sink.pending io_chunk (Buffer.length sink.pending - io_chunk)
+    in
+    Buffer.clear sink.pending;
+    Buffer.add_string sink.pending rest;
+    ignore (Unistd.write_all sink.fd chunk)
+  done
+
+let sink_flush sink =
+  if Buffer.length sink.pending > 0 then begin
+    ignore (Unistd.write_all sink.fd (Buffer.contents sink.pending));
+    Buffer.clear sink.pending
+  end
+
+(* read a file in io_chunk-sized reads *)
+let read_chunked path =
+  match Unistd.open_ path Flags.Open.o_rdonly 0 with
+  | Error e -> Error e
+  | Ok fd ->
+    let buf = Bytes.create io_chunk in
+    let collected = Buffer.create 4096 in
+    let rec go () =
+      match Unistd.read fd buf io_chunk with
+      | Error e ->
+        ignore (Unistd.close fd);
+        Error e
+      | Ok 0 ->
+        ignore (Unistd.close fd);
+        Ok (Buffer.contents collected)
+      | Ok n ->
+        Buffer.add_subbytes collected buf 0 n;
+        go ()
+    in
+    go ()
+
+type fmt_state = {
+  out : sink;
+  cpu_us_per_word : int;
+  mutable para : string list;  (* reversed words *)
+  mutable chapter : int;
+  mutable section : int;
+  mutable words_total : int;
+}
+
+let flush_para st =
+  match st.para with
+  | [] -> ()
+  | rev_words ->
+    let words = List.rev rev_words in
+    (* paragraph filling: the "formatting work" of the run *)
+    Unistd.cpu_work (st.cpu_us_per_word * List.length words);
+    st.words_total <- st.words_total + List.length words;
+    let line = Buffer.create 80 in
+    List.iter
+      (fun w ->
+        let need =
+          String.length w + if Buffer.length line > 0 then 1 else 0
+        in
+        if Buffer.length line + need > page_width then begin
+          sink_put st.out (Buffer.contents line ^ "\n");
+          Buffer.clear line
+        end;
+        if Buffer.length line > 0 then Buffer.add_char line ' ';
+        Buffer.add_string line w)
+      words;
+    if Buffer.length line > 0 then sink_put st.out (Buffer.contents line ^ "\n");
+    sink_put st.out "\n";
+    st.para <- []
+
+let heading st text underline =
+  flush_para st;
+  sink_put st.out (text ^ "\n");
+  sink_put st.out (String.make (min page_width (String.length text)) underline);
+  sink_put st.out "\n\n"
+
+let rec process_line st line =
+  let starts_with prefix =
+    String.length line >= String.length prefix
+    && String.sub line 0 (String.length prefix) = prefix
+  in
+  let arg prefix =
+    String.trim
+      (String.sub line (String.length prefix)
+         (String.length line - String.length prefix))
+  in
+  if starts_with "@device" || starts_with "@style" then ()
+  else if starts_with "@chapter" then begin
+    st.chapter <- st.chapter + 1;
+    st.section <- 0;
+    heading st
+      (Printf.sprintf "Chapter %d.  %s" st.chapter (arg "@chapter"))
+      '='
+  end
+  else if starts_with "@section" then begin
+    st.section <- st.section + 1;
+    heading st
+      (Printf.sprintf "%d.%d  %s" st.chapter st.section (arg "@section"))
+      '-'
+  end
+  else if starts_with "@include" then begin
+    flush_para st;
+    match read_chunked (arg "@include") with
+    | Error e ->
+      sink_put st.out
+        (Printf.sprintf "[missing include: %s]\n" (Errno.message e))
+    | Ok content ->
+      List.iter (process_line st) (String.split_on_char '\n' content)
+  end
+  else if String.trim line = "" then flush_para st
+  else
+    st.para <-
+      List.rev_append
+        (List.filter (( <> ) "") (String.split_on_char ' ' line))
+        st.para
+
+let format_document ~cpu_us_per_word ~input ~output =
+  match read_chunked input with
+  | Error e ->
+    Stdio.eprintf "scribe: %s: %s\n" input (Errno.message e);
+    1
+  | Ok content ->
+    (match
+       Unistd.open_ output Flags.Open.(o_wronly lor o_creat lor o_trunc) 0o644
+     with
+     | Error e ->
+       Stdio.eprintf "scribe: %s: %s\n" output (Errno.message e);
+       1
+     | Ok out_fd ->
+       let st = {
+         out = { fd = out_fd; pending = Buffer.create io_chunk };
+         cpu_us_per_word;
+         para = [];
+         chapter = 0;
+         section = 0;
+         words_total = 0;
+       } in
+       List.iter (process_line st) (String.split_on_char '\n' content);
+       flush_para st;
+       sink_put st.out
+         (Printf.sprintf "[%d words formatted]\n" st.words_total);
+       sink_flush st.out;
+       ignore (Unistd.fsync out_fd);
+       ignore (Unistd.close out_fd);
+       0)
+
+(* --- wiring ------------------------------------------------------------- *)
+
+let body ?(params = default_params) () =
+  format_document ~cpu_us_per_word:params.cpu_us_per_word ~input:input_path
+    ~output:output_path
+
+let register () =
+  Kernel.Registry.register "scribe" (fun ~argv ~envp:_ () ->
+    let input = if Array.length argv > 1 then argv.(1) else input_path in
+    let output = if Array.length argv > 2 then argv.(2) else output_path in
+    format_document ~cpu_us_per_word:default_params.cpu_us_per_word ~input
+      ~output)
+
+let setup ?(params = default_params) ?(seed = 42) k =
+  register ();
+  let rng = Sim.Rng.create seed in
+  let doc, includes = generate rng params in
+  Kernel.write_file k ~path:input_path doc;
+  List.iter
+    (fun (name, content) -> Kernel.write_file k ~path:name content)
+    includes;
+  Kernel.install_image k ~path:"/bin/scribe" ~image:"scribe"

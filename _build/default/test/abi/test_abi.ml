@@ -1,0 +1,335 @@
+(* ABI-level tests: errno/signal tables, flag arithmetic, wait-status
+   encoding, the dirent wire codec, typed-call encode/decode and the
+   cost model. *)
+
+open Abi
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- errno ------------------------------------------------------------- *)
+
+let all_errnos =
+  [ Errno.EPERM; ENOENT; ESRCH; EINTR; EIO; ENXIO; E2BIG; ENOEXEC; EBADF;
+    ECHILD; EAGAIN; ENOMEM; EACCES; EFAULT; EBUSY; EEXIST; EXDEV; ENODEV;
+    ENOTDIR; EISDIR; EINVAL; ENFILE; EMFILE; ENOTTY; EFBIG; ENOSPC;
+    ESPIPE; EROFS; EMLINK; EPIPE; ERANGE; EWOULDBLOCK; ENAMETOOLONG;
+    ENOTEMPTY; ELOOP; ENOSYS ]
+
+let test_errno_roundtrip () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Errno.name e) true
+        (Errno.of_int (Errno.to_int e) = Some e);
+      Alcotest.(check bool) "message nonempty" true (Errno.message e <> ""))
+    all_errnos
+
+let test_errno_distinct () =
+  let codes = List.map Errno.to_int all_errnos in
+  Alcotest.(check int) "codes unique"
+    (List.length codes)
+    (List.length (List.sort_uniq compare codes))
+
+(* --- signals ------------------------------------------------------------ *)
+
+let test_signal_names () =
+  for s = 1 to Signal.max_signal do
+    Alcotest.(check (option int))
+      (Signal.name s) (Some s)
+      (Signal.of_name (Signal.name s))
+  done;
+  Alcotest.(check (option int)) "lowercase" (Some Signal.sigint)
+    (Signal.of_name "int");
+  Alcotest.(check (option int)) "unknown" None (Signal.of_name "NOSUCH")
+
+let test_signal_defaults () =
+  Alcotest.(check bool) "chld ignored" true
+    (Signal.default_action Signal.sigchld = Signal.Ignore);
+  Alcotest.(check bool) "term terminates" true
+    (Signal.default_action Signal.sigterm = Signal.Terminate);
+  Alcotest.(check bool) "stop stops" true
+    (Signal.default_action Signal.sigstop = Signal.Stop);
+  Alcotest.(check bool) "cont continues" true
+    (Signal.default_action Signal.sigcont = Signal.Continue)
+
+let test_mask_sanitize =
+  QCheck.Test.make ~name:"mask sanitize strips KILL/STOP" ~count:200
+    QCheck.(int_bound Signal.Mask.full)
+    (fun m ->
+      let s = Signal.Mask.sanitize m in
+      (not (Signal.Mask.mem s Signal.sigkill))
+      && (not (Signal.Mask.mem s Signal.sigstop))
+      && Signal.Mask.inter s m = s)
+
+let test_mask_ops =
+  QCheck.Test.make ~name:"mask add/remove/mem" ~count:200
+    QCheck.(pair (int_bound Signal.Mask.full) (int_range 1 31))
+    (fun (m, s) ->
+      Signal.Mask.mem (Signal.Mask.add m s) s
+      && not (Signal.Mask.mem (Signal.Mask.remove m s) s))
+
+(* --- wait status ---------------------------------------------------------- *)
+
+let test_wait_exit =
+  QCheck.Test.make ~name:"wait exit status" ~count:200
+    QCheck.(int_bound 255)
+    (fun code ->
+      let st = Flags.Wait.exit_status code in
+      Flags.Wait.wifexited st
+      && Flags.Wait.wexitstatus st = code
+      && (not (Flags.Wait.wifsignaled st))
+      && not (Flags.Wait.wifstopped st))
+
+let test_wait_signal =
+  QCheck.Test.make ~name:"wait termination status" ~count:100
+    QCheck.(int_range 1 31)
+    (fun s ->
+      let st = Flags.Wait.sig_status s in
+      Flags.Wait.wifsignaled st
+      && Flags.Wait.wtermsig st = s
+      && not (Flags.Wait.wifexited st))
+
+let test_wait_stop =
+  QCheck.Test.make ~name:"wait stop status" ~count:100
+    QCheck.(int_range 1 31)
+    (fun s ->
+      let st = Flags.Wait.stop_status s in
+      Flags.Wait.wifstopped st
+      && Flags.Wait.wstopsig st = s
+      && (not (Flags.Wait.wifexited st))
+      && not (Flags.Wait.wifsignaled st))
+
+(* --- mode bits --------------------------------------------------------------- *)
+
+let test_ls_string () =
+  let cases =
+    [ Flags.Mode.ifreg lor 0o644, "-rw-r--r--";
+      Flags.Mode.ifdir lor 0o755, "drwxr-xr-x";
+      Flags.Mode.iflnk lor 0o777, "lrwxrwxrwx";
+      Flags.Mode.ifchr lor 0o666, "crw-rw-rw-";
+      Flags.Mode.ifreg lor 0o4755, "-rwsr-xr-x";
+      Flags.Mode.ifdir lor 0o1777, "drwxrwxrwt" ]
+  in
+  List.iter
+    (fun (mode, expect) ->
+      Alcotest.(check string) expect expect (Flags.Mode.to_ls_string mode))
+    cases
+
+let test_open_flags () =
+  Alcotest.(check bool) "rdonly readable" true
+    (Flags.Open.readable Flags.Open.o_rdonly);
+  Alcotest.(check bool) "rdonly not writable" false
+    (Flags.Open.writable Flags.Open.o_rdonly);
+  Alcotest.(check bool) "rdwr both" true
+    Flags.Open.(readable o_rdwr && writable o_rdwr);
+  Alcotest.(check bool) "wronly" true
+    Flags.Open.(writable o_wronly && not (readable o_wronly))
+
+(* --- dirent codec --------------------------------------------------------------- *)
+
+let name_gen = QCheck.(string_of_size Gen.(1 -- 60))
+
+let valid_name n =
+  n <> "" && not (String.contains n '/') && not (String.contains n '\000')
+
+let test_dirent_roundtrip =
+  QCheck.Test.make ~name:"dirent encode/decode" ~count:300
+    QCheck.(pair (int_bound 0xFFFF) name_gen)
+    (fun (ino, name) ->
+      QCheck.assume (valid_name name);
+      let e = { Dirent.d_ino = ino; d_name = name } in
+      let buf = Bytes.create 256 in
+      let next = Dirent.encode buf ~pos:0 e in
+      next = Dirent.reclen e
+      &&
+      match Dirent.decode buf ~pos:0 ~limit:next with
+      | Some (e', pos) -> e' = e && pos = next
+      | None -> false)
+
+let test_dirent_list_roundtrip =
+  QCheck.Test.make ~name:"dirent list packing" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 20) (pair (int_bound 0xFFFF) name_gen))
+    (fun raw ->
+      let entries =
+        List.filter_map
+          (fun (ino, name) ->
+            if valid_name name then Some { Dirent.d_ino = ino; d_name = name }
+            else None)
+        raw
+      in
+      let buf = Bytes.create 512 in
+      let written, leftover = Dirent.encode_list buf entries in
+      let decoded = Dirent.decode_all buf ~len:written in
+      let taken = List.length entries - List.length leftover in
+      decoded = List.filteri (fun i _ -> i < taken) entries)
+
+let test_dirent_alignment =
+  QCheck.Test.make ~name:"reclen 4-aligned" ~count:100 name_gen
+    (fun name ->
+      QCheck.assume (valid_name name);
+      Dirent.reclen { Dirent.d_ino = 1; d_name = name } mod 4 = 0)
+
+let test_dirent_small_buffer () =
+  let e = { Dirent.d_ino = 1; d_name = "filename" } in
+  let buf = Bytes.create 4 in
+  Alcotest.(check bool) "does not fit" false (Dirent.fits buf ~pos:0 e);
+  Alcotest.check_raises "encode raises"
+    (Invalid_argument "Dirent.encode: buffer too small") (fun () ->
+      ignore (Dirent.encode buf ~pos:0 e))
+
+(* --- typed calls ------------------------------------------------------------------ *)
+
+let call_cases : Call.t list =
+  [ Call.Exit 3;
+    Call.Read (4, Bytes.create 8, 8);
+    Call.Write (1, "data");
+    Call.Open ("/etc/motd", Flags.Open.o_rdonly, 0);
+    Call.Close 5;
+    Call.Wait4 (-1, 0);
+    Call.Link ("/a", "/b");
+    Call.Unlink "/a";
+    Call.Execve ("/bin/sh", [| "sh" |], [||]);
+    Call.Chdir "/tmp";
+    Call.Lseek (3, 10, 0);
+    Call.Getpid;
+    Call.Kill (7, 9);
+    Call.Stat ("/x", ref None);
+    Call.Dup 1;
+    Call.Pipe;
+    Call.Socketpair;
+    Call.Sigprocmask (1, 0xF);
+    Call.Ioctl (0, Flags.Ioctl.fionread, Bytes.create 4);
+    Call.Symlink ("target", "/link");
+    Call.Readlink ("/link", Bytes.create 64);
+    Call.Umask 0o22;
+    Call.Fstat (0, ref None);
+    Call.Dup2 (1, 2);
+    Call.Fcntl (1, Flags.Fcntl.f_getfd, 0);
+    Call.Select (0b1010, 0b1, 1000);
+    Call.Gettimeofday (ref None);
+    Call.Getrusage (ref None);
+    Call.Rename ("/a", "/b");
+    Call.Truncate ("/a", 10);
+    Call.Mkdir ("/d", 0o755);
+    Call.Rmdir "/d";
+    Call.Utimes ("/a", 1, 2);
+    Call.Getdirentries (3, Bytes.create 128);
+    Call.Sleepus 100;
+    Call.Getcwd (Bytes.create 64) ]
+
+let test_call_roundtrip () =
+  List.iter
+    (fun c ->
+      match Call.decode (Call.encode c) with
+      | Ok c' ->
+        Alcotest.(check string) (Call.name c) (Call.name c) (Call.name c');
+        Alcotest.(check int) "number" (Call.number c) (Call.number c')
+      | Error e ->
+        Alcotest.failf "decode %s failed: %s" (Call.name c) (Errno.name e))
+    call_cases
+
+let test_call_decode_bad () =
+  (match Call.decode { Value.num = 9999; args = [||] } with
+   | Error Errno.ENOSYS -> ()
+   | Error e -> Alcotest.failf "expected ENOSYS, got %s" (Errno.name e)
+   | Ok _ -> Alcotest.fail "decoded nonsense");
+  match
+    Call.decode { Value.num = Sysno.sys_read; args = [| Value.Str "x" |] }
+  with
+  | Error Errno.EFAULT -> ()
+  | Error e -> Alcotest.failf "expected EFAULT, got %s" (Errno.name e)
+  | Ok _ -> Alcotest.fail "decoded malformed read"
+
+let test_call_classification () =
+  List.iter
+    (fun c ->
+      let n = Call.number c in
+      (match Call.pathname_of c with
+       | Some _ ->
+         Alcotest.(check bool)
+           (Call.name c ^ " is a pathname call")
+           true (Sysno.uses_pathname n)
+       | None -> ());
+      match Call.descriptor_of c with
+      | Some _ ->
+        Alcotest.(check bool)
+          (Call.name c ^ " is a descriptor call")
+          true (Sysno.uses_descriptor n)
+      | None -> ())
+    call_cases
+
+let test_call_pp () =
+  List.iter
+    (fun c ->
+      let s = Format.asprintf "%a" Call.pp c in
+      Alcotest.(check bool) (Call.name c) true (String.length s > 0))
+    call_cases
+
+let test_sysno_table () =
+  List.iter
+    (fun n ->
+      Alcotest.(check (option int)) (Sysno.name n) (Some n)
+        (Sysno.of_name (Sysno.name n)))
+    Sysno.all;
+  Alcotest.(check bool) "all sorted" true
+    (List.sort compare Sysno.all = Sysno.all);
+  Alcotest.(check int) "count" (List.length Sysno.all)
+    (List.length (List.sort_uniq compare Sysno.all))
+
+(* --- cost model -------------------------------------------------------------------- *)
+
+let test_cost_components () =
+  Alcotest.(check int) "six components" 6
+    (Cost_model.path_components "/usr/lib/pkg/deep/sub/leaf");
+  Alcotest.(check int) "dots skipped" 2
+    (Cost_model.path_components "/a/./b/");
+  Alcotest.(check int) "stat 6-component = 892" 892
+    (Cost_model.syscall_us
+       (Call.Stat ("/usr/lib/pkg/deep/sub/leaf", ref None)))
+
+let test_cost_known_values () =
+  Alcotest.(check int) "getpid 25" 25 (Cost_model.syscall_us Call.Getpid);
+  Alcotest.(check int) "gettimeofday 47" 47
+    (Cost_model.syscall_us (Call.Gettimeofday (ref None)));
+  Alcotest.(check int) "read 1K = 370" 370
+    (Cost_model.syscall_us (Call.Read (0, Bytes.create 1024, 1024)));
+  Alcotest.(check int) "fork 10000" 10_000
+    (Cost_model.syscall_us (Call.Fork (fun () -> 0)))
+
+let test_cost_read_monotonic =
+  QCheck.Test.make ~name:"read cost monotonic in size" ~count:50
+    QCheck.(pair (int_bound 8192) (int_bound 8192))
+    (fun (a, b) ->
+      let cost n = Cost_model.syscall_us (Call.Read (0, Bytes.create (max n 1), n)) in
+      a > b || cost a <= cost b)
+
+let () =
+  Alcotest.run "abi"
+    [ "errno",
+      [ Alcotest.test_case "roundtrip" `Quick test_errno_roundtrip;
+        Alcotest.test_case "distinct" `Quick test_errno_distinct ];
+      "signal",
+      [ Alcotest.test_case "names" `Quick test_signal_names;
+        Alcotest.test_case "defaults" `Quick test_signal_defaults;
+        qtest test_mask_sanitize;
+        qtest test_mask_ops ];
+      "wait",
+      [ qtest test_wait_exit; qtest test_wait_signal; qtest test_wait_stop ];
+      "mode",
+      [ Alcotest.test_case "ls strings" `Quick test_ls_string;
+        Alcotest.test_case "open flags" `Quick test_open_flags ];
+      "dirent",
+      [ qtest test_dirent_roundtrip;
+        qtest test_dirent_list_roundtrip;
+        qtest test_dirent_alignment;
+        Alcotest.test_case "small buffer" `Quick test_dirent_small_buffer ];
+      "call",
+      [ Alcotest.test_case "roundtrip" `Quick test_call_roundtrip;
+        Alcotest.test_case "bad decode" `Quick test_call_decode_bad;
+        Alcotest.test_case "classification" `Quick test_call_classification;
+        Alcotest.test_case "pp" `Quick test_call_pp;
+        Alcotest.test_case "sysno" `Quick test_sysno_table ];
+      "cost",
+      [ Alcotest.test_case "components" `Quick test_cost_components;
+        Alcotest.test_case "known values" `Quick test_cost_known_values;
+        qtest test_cost_read_monotonic ] ]

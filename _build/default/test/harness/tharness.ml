@@ -1,0 +1,56 @@
+(* Shared helpers for the test suites: boot a populated kernel, run a
+   body, unwrap results, common Alcotest testables. *)
+
+open Abi
+
+let errno = Alcotest.testable Errno.pp ( = )
+
+let check_ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s failed: %s" what (Errno.name e)
+
+let fresh_kernel () =
+  let k = Kernel.create () in
+  Kernel.populate_standard k;
+  k
+
+let boot_k k body =
+  let status = Kernel.boot k ~name:"test" body in
+  (* every session must close everything it opened: processes exiting
+     release their descriptors, so outstanding references are leaks *)
+  let refs = Vfs.Fs.open_refs (Kernel.fs k) in
+  if refs <> 0 then
+    Alcotest.failf "session leaked %d open-file reference(s)" refs;
+  (match Vfs.Fs.fsck (Kernel.fs k) with
+   | Ok () -> ()
+   | Error problems ->
+     Alcotest.failf "filesystem corrupt after session: %s"
+       (String.concat "; " problems));
+  status
+
+let boot body =
+  let k = fresh_kernel () in
+  let status = boot_k k body in
+  k, status
+
+let exit_code status =
+  if not (Flags.Wait.wifexited status) then
+    Alcotest.failf "process did not exit normally (status %d)" status;
+  Flags.Wait.wexitstatus status
+
+let check_exit what expected status =
+  Alcotest.(check int) what expected (exit_code status)
+
+(* Run [body] under an installed agent inside a fresh simulation;
+   returns the kernel and the session's exit code. *)
+let boot_under_agent agent ?(agent_argv = [||]) body =
+  boot (fun () ->
+    Toolkit.Loader.install agent ~argv:agent_argv;
+    body ())
+
+let write_file k ~path content = Kernel.write_file k ~path content
+
+let read_file_exn k path =
+  match Kernel.read_file k path with
+  | Some s -> s
+  | None -> Alcotest.failf "no such file in simulated fs: %s" path

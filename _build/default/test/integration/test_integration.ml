@@ -1,0 +1,531 @@
+(* Integration tests: whole workloads under stacked agents, the
+   combinations the paper's Figures 1-3/1-4 motivate. *)
+
+open Abi
+open Tharness
+
+let contains ~needle hay =
+  let nl = String.length needle in
+  let hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* --- compress over crypt: encrypted, compressed files ------------------ *)
+
+let test_compress_over_crypt () =
+  (* long runs so the RLE layer has something to compress *)
+  let text =
+    String.concat ""
+      (List.init 10 (fun i ->
+         String.make 50 (Char.chr (Char.code 'a' + i)) ^ "secret"))
+  in
+  let k, status =
+    boot (fun () ->
+      ignore (Libc.Unistd.mkdir "/tmp/safe" 0o755);
+      (* crypt below (installed first), compress above: the application
+         writes plaintext; compress shrinks it; crypt scrambles the
+         compressed stream on its way to disk *)
+      Toolkit.Loader.install
+        (Agents.Crypt.create ~key:99 ~subtrees:[ "/tmp/safe" ])
+        ~argv:[||];
+      Toolkit.Loader.install
+        (Agents.Compress.create ~subtrees:[ "/tmp/safe" ])
+        ~argv:[||];
+      ignore (check_ok "w" (Libc.Stdio.write_file "/tmp/safe/f" text));
+      let seen = check_ok "r" (Libc.Stdio.read_file "/tmp/safe/f") in
+      if seen = text then 0 else 1)
+  in
+  check_exit "roundtrip through both" 0 status;
+  let stored = read_file_exn k "/tmp/safe/f" in
+  Alcotest.(check bool) "not plaintext" false (contains ~needle:"secret" stored);
+  Alcotest.(check bool) "not even the RLE header" false
+    (String.length stored >= 5 && String.sub stored 0 5 = Agents.Compress.header);
+  Alcotest.(check bool) "smaller than the text" true
+    (String.length stored < String.length text)
+
+(* --- sandbox + syscount: audited confinement ----------------------------- *)
+
+let test_syscount_over_sandbox () =
+  let counter = Agents.Syscount.create () in
+  let sandbox =
+    Agents.Sandbox.create
+      { Agents.Sandbox.default_policy with emulate_denied = true }
+  in
+  let k, status =
+    boot (fun () ->
+      Toolkit.Loader.install sandbox ~argv:[||];
+      Toolkit.Loader.install counter ~argv:[||];
+      (* the "malware" deletes the motd -- or believes so *)
+      (match Libc.Unistd.unlink "/etc/motd" with
+       | Ok () -> ()
+       | Error _ -> Libc.Unistd._exit 1);
+      0)
+  in
+  check_exit "emulated" 0 status;
+  Alcotest.(check bool) "file survives" true (Kernel.exists k "/etc/motd");
+  Alcotest.(check int) "counter saw the unlink" 1
+    (counter#count_of Sysno.sys_unlink);
+  Alcotest.(check bool) "sandbox recorded it" true
+    (List.exists (contains ~needle:"unlink") sandbox#violations)
+
+(* --- txn over union: transactional build in a union tree ------------------ *)
+
+let test_txn_over_union () =
+  let k = fresh_kernel () in
+  Kernel.mkdir_p k "/first";
+  Kernel.mkdir_p k "/second";
+  Kernel.write_file k ~path:"/second/base.txt" "from second member\n";
+  let union =
+    Agents.Union.create
+      ~mounts:[ { Agents.Union.point = "/u"; members = [ "/first"; "/second" ] } ]
+      ()
+  in
+  let txn = Agents.Txn.create () in
+  let status =
+    boot_k k (fun () ->
+      Toolkit.Loader.install union ~argv:[||];
+      Toolkit.Loader.install txn ~argv:[||];
+      (* read through both agents; write a new file through both *)
+      let base = check_ok "read" (Libc.Stdio.read_file "/u/base.txt") in
+      ignore (check_ok "write" (Libc.Stdio.write_file "/u/new.txt" base));
+      0)
+  in
+  check_exit "exit" 0 status;
+  (* txn committed at exit; the union sent the creation to /first *)
+  Alcotest.(check string) "landed in first member" "from second member\n"
+    (read_file_exn k "/first/new.txt");
+  Alcotest.(check bool) "not in second" false (Kernel.exists k "/second/new.txt")
+
+(* --- dfs_trace over a full make ------------------------------------------- *)
+
+let test_dfs_trace_over_make () =
+  let k = fresh_kernel () in
+  Workloads.Make_cc.setup ~params:Workloads.Make_cc.quick_params k;
+  let agent = Agents.Dfs_trace.create () in
+  let status =
+    boot_k k (fun () ->
+      Toolkit.Loader.install agent ~argv:[| "log=/dfs.log" |];
+      Workloads.Make_cc.body ())
+  in
+  check_exit "make ok" 0 status;
+  let records = Agents.Dfs_record.parse_all (read_file_exn k "/dfs.log") in
+  Alcotest.(check bool) "plenty of records" true (List.length records > 50);
+  (* serials strictly increase *)
+  let rec ascending = function
+    | a :: (b :: _ as rest) ->
+      a.Agents.Dfs_record.serial < b.Agents.Dfs_record.serial && ascending rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "serials ascend" true (ascending records);
+  (* the compiler pipeline's execs are all visible *)
+  let execs =
+    List.filter
+      (fun r -> match r.Agents.Dfs_record.op with
+         | Agents.Dfs_record.R_execve -> true
+         | _ -> false)
+      records
+  in
+  Alcotest.(check bool) "execs recorded" true (List.length execs >= 10)
+
+(* --- trace over the shell pipeline ------------------------------------------- *)
+
+let test_trace_over_pipeline () =
+  let k = fresh_kernel () in
+  Workloads.Progs.install_all k;
+  Kernel.write_file k ~path:"/tmp/in" "aaa\nbbb\n";
+  let status =
+    boot_k k (fun () ->
+      let log_fd =
+        check_ok "log"
+          (Libc.Unistd.open_ "/tlog" Flags.Open.(o_wronly lor o_creat) 0o644)
+      in
+      Toolkit.Loader.install (Agents.Trace.create ~fd:log_fd ()) ~argv:[||];
+      Libc.Spawn.run_exit_code "/bin/sh" [| "sh"; "-c"; "cat /tmp/in | wc" |])
+  in
+  check_exit "pipeline ok" 0 status;
+  Alcotest.(check string) "wc output" "      2       2       8\n"
+    (Kernel.console_output k);
+  let log = read_file_exn k "/tlog" in
+  Alcotest.(check bool) "pipes traced" true (contains ~needle:"pipe()" log);
+  Alcotest.(check bool) "execs traced" true (contains ~needle:"execve(" log);
+  Alcotest.(check bool) "children traced" true
+    (contains ~needle:"child running under trace" log)
+
+(* --- timex makes a program see a different date ------------------------------- *)
+
+let test_timex_alters_observed_date () =
+  let _, status =
+    boot (fun () ->
+      let before, _ = check_ok "t0" (Libc.Unistd.gettimeofday ()) in
+      Toolkit.Loader.install
+        (Agents.Timex.create ~offset_seconds:(365 * 86_400) ())
+        ~argv:[||];
+      let pid =
+        check_ok "fork"
+          (Libc.Unistd.fork ~child:(fun () ->
+             (* the child inherits the agent and lives in next year *)
+             let now, _ = check_ok "t1" (Libc.Unistd.gettimeofday ()) in
+             if now > 365 * 86_400 then 0 else 1))
+      in
+      let _, st = check_ok "wait" (Libc.Unistd.waitpid pid 0) in
+      ignore before;
+      Flags.Wait.wexitstatus st)
+  in
+  check_exit "child saw shifted year" 0 status
+
+(* --- sandbox confines a whole build ------------------------------------------- *)
+
+let test_make_under_permissive_sandbox () =
+  let k = fresh_kernel () in
+  Workloads.Make_cc.setup ~params:Workloads.Make_cc.quick_params k;
+  let sandbox =
+    Agents.Sandbox.create
+      { Agents.Sandbox.readable = [];  (* everything readable *)
+        writable = [ "/proj"; "/tmp" ];
+        executable = [ "/bin" ];
+        max_children = 100;
+        max_write_bytes = -1;
+        allow_kill_outside = false;
+        emulate_denied = false }
+  in
+  let status =
+    boot_k k (fun () ->
+      Toolkit.Loader.install sandbox ~argv:[||];
+      Workloads.Make_cc.body ())
+  in
+  check_exit "build allowed" 0 status;
+  Alcotest.(check bool) "artifacts" true (Kernel.exists k "/proj/prog1");
+  Alcotest.(check (list string)) "no violations" [] sandbox#violations
+
+let test_make_under_readonly_sandbox_fails () =
+  let k = fresh_kernel () in
+  Workloads.Make_cc.setup ~params:Workloads.Make_cc.quick_params k;
+  let sandbox =
+    Agents.Sandbox.create
+      { Agents.Sandbox.readable = [];
+        writable = [];  (* nowhere writable *)
+        executable = [ "/bin" ];
+        max_children = 100;
+        max_write_bytes = -1;
+        allow_kill_outside = false;
+        emulate_denied = false }
+  in
+  let status =
+    boot_k k (fun () ->
+      Toolkit.Loader.install sandbox ~argv:[||];
+      Workloads.Make_cc.body ())
+  in
+  Alcotest.(check bool) "build failed" true (exit_code status <> 0);
+  Alcotest.(check bool) "nothing built" false (Kernel.exists k "/proj/prog1");
+  Alcotest.(check bool) "violations recorded" true (sandbox#violations <> [])
+
+(* --- scribe under dfs_trace: a compute-bound program barely notices ------------ *)
+
+let test_agent_overhead_proportionality () =
+  let run agent_mk =
+    let k = fresh_kernel () in
+    Workloads.Scribe.setup ~params:Workloads.Scribe.quick_params k;
+    let _ =
+      boot_k k (fun () ->
+        (match agent_mk with
+         | Some mk -> Toolkit.Loader.install (mk ()) ~argv:[||]
+         | None -> ());
+        Workloads.Scribe.body ~params:Workloads.Scribe.quick_params ())
+    in
+    Kernel.elapsed_seconds k
+  in
+  let base = run None in
+  let under =
+    run (Some (fun () ->
+      (Agents.Time_symbolic.create () :> Toolkit.Numeric.numeric_syscall)))
+  in
+  let slowdown = (under -. base) /. base in
+  Alcotest.(check bool)
+    (Printf.sprintf "compute-bound slowdown %.1f%% < 25%%" (slowdown *. 100.))
+    true (slowdown < 0.25)
+
+(* --- transparency property: random programs behave identically under
+   a stack of null agents ------------------------------------------------------ *)
+
+type step =
+  | S_write of int * string   (* file index, content *)
+  | S_read of int
+  | S_stat of int
+  | S_mkdir of int
+  | S_unlink of int
+  | S_rename of int * int
+  | S_fork_echo of string
+  | S_getpid
+  | S_chdir_tmp
+
+let file_name i = Printf.sprintf "/tmp/f%d" (i mod 8)
+let dir_name i = Printf.sprintf "/tmp/d%d" (i mod 4)
+
+let run_step step =
+  match step with
+  | S_write (i, content) ->
+    (match Libc.Stdio.write_file (file_name i) content with
+     | Ok () -> Libc.Stdio.printf "w%d ok\n" i
+     | Error e -> Libc.Stdio.printf "w%d %s\n" i (Errno.name e))
+  | S_read i ->
+    (match Libc.Stdio.read_file (file_name i) with
+     | Ok c -> Libc.Stdio.printf "r%d %d\n" i (String.length c)
+     | Error e -> Libc.Stdio.printf "r%d %s\n" i (Errno.name e))
+  | S_stat i ->
+    (match Libc.Unistd.stat (file_name i) with
+     | Ok st -> Libc.Stdio.printf "s%d %d\n" i st.Stat.st_size
+     | Error e -> Libc.Stdio.printf "s%d %s\n" i (Errno.name e))
+  | S_mkdir i ->
+    (match Libc.Unistd.mkdir (dir_name i) 0o755 with
+     | Ok () -> Libc.Stdio.printf "m%d ok\n" i
+     | Error e -> Libc.Stdio.printf "m%d %s\n" i (Errno.name e))
+  | S_unlink i ->
+    (match Libc.Unistd.unlink (file_name i) with
+     | Ok () -> Libc.Stdio.printf "u%d ok\n" i
+     | Error e -> Libc.Stdio.printf "u%d %s\n" i (Errno.name e))
+  | S_rename (i, j) ->
+    (match Libc.Unistd.rename ~src:(file_name i) (file_name j) with
+     | Ok () -> Libc.Stdio.printf "n%d%d ok\n" i j
+     | Error e -> Libc.Stdio.printf "n%d%d %s\n" i j (Errno.name e))
+  | S_fork_echo msg ->
+    (match
+       Libc.Unistd.fork ~child:(fun () ->
+         Libc.Stdio.printf "child:%s\n" msg;
+         String.length msg)
+     with
+     | Ok pid ->
+       let _, st = Result.value ~default:(0, 0) (Libc.Unistd.waitpid pid 0) in
+       Libc.Stdio.printf "f %d\n" (Flags.Wait.wexitstatus st)
+     | Error e -> Libc.Stdio.printf "f %s\n" (Errno.name e))
+  | S_getpid -> Libc.Stdio.printf "p %d\n" (Libc.Unistd.getpid ())
+  | S_chdir_tmp ->
+    ignore (Libc.Unistd.chdir "/tmp");
+    (match Libc.Unistd.getcwd () with
+     | Ok cwd -> Libc.Stdio.printf "c %s\n" cwd
+     | Error e -> Libc.Stdio.printf "c %s\n" (Errno.name e))
+
+let step_gen =
+  let open QCheck.Gen in
+  frequency
+    [ 3, map2 (fun i s -> S_write (i, s)) (int_bound 10) (string_size (0 -- 40));
+      3, map (fun i -> S_read i) (int_bound 10);
+      2, map (fun i -> S_stat i) (int_bound 10);
+      1, map (fun i -> S_mkdir i) (int_bound 10);
+      1, map (fun i -> S_unlink i) (int_bound 10);
+      1, map2 (fun i j -> S_rename (i, j)) (int_bound 10) (int_bound 10);
+      1, map (fun s -> S_fork_echo s) (string_size (0 -- 10));
+      1, return S_getpid;
+      1, return S_chdir_tmp ]
+
+let fs_snapshot k =
+  (* observable state: the files of /tmp and their contents *)
+  List.filter_map
+    (fun i ->
+      let p = Printf.sprintf "/tmp/f%d" i in
+      Option.map (fun c -> (p, c)) (Kernel.read_file k p))
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_null_stack_transparent =
+  QCheck.Test.make ~name:"random program transparent under null agents"
+    ~count:30
+    QCheck.(make ~print:(fun l -> string_of_int (List.length l))
+              Gen.(list_size (1 -- 25) step_gen))
+    (fun steps ->
+      let run depth =
+        let k = fresh_kernel () in
+        let status =
+          boot_k k (fun () ->
+            for _ = 1 to depth do
+              Toolkit.Loader.install (Agents.Time_symbolic.create ())
+                ~argv:[||]
+            done;
+            List.iter run_step steps;
+            0)
+        in
+        status, Kernel.console_output k, fs_snapshot k
+      in
+      run 0 = run 1 && run 0 = run 3)
+
+(* --- the capstone: make under trace over txn over union ---------------------- *)
+
+let test_triple_stack_build () =
+  (* union at the bottom (splits the tree), txn above it (makes the
+     build transactional), trace on top (observes everything) — the
+     full Figure 1-3/1-4 configuration over a real workload *)
+  let k = fresh_kernel () in
+  Workloads.Make_cc.setup ~params:Workloads.Make_cc.quick_params k;
+  Kernel.mkdir_p k "/objdir";
+  let fs = Kernel.fs k in
+  let root = Vfs.Fs.root_ino fs in
+  check_ok "split"
+    (Vfs.Fs.rename fs Vfs.Fs.root_cred ~cwd:root ~src:"/proj" "/srcdir");
+  let union =
+    Agents.Union.create
+      ~mounts:[ { Agents.Union.point = "/proj"; members = [ "/objdir"; "/srcdir" ] } ]
+      ()
+  in
+  let txn = Agents.Txn.create () in
+  let status =
+    boot_k k (fun () ->
+      Toolkit.Loader.install union ~argv:[||];
+      Toolkit.Loader.install txn ~argv:[||];
+      let log_fd =
+        check_ok "log"
+          (Libc.Unistd.open_ "/make.trace" Flags.Open.(o_wronly lor o_creat) 0o644)
+      in
+      Toolkit.Loader.install (Agents.Trace.create ~fd:log_fd ()) ~argv:[||];
+      Workloads.Make_cc.body ())
+  in
+  check_exit "triple-stack build" 0 status;
+  (* txn committed at exit; union directed the build products to the
+     first member; sources untouched *)
+  Alcotest.(check bool) "binary in /objdir" true
+    (Kernel.exists k "/objdir/prog1");
+  Alcotest.(check bool) "objects in /objdir" true
+    (Kernel.exists k "/objdir/prog1_a.o");
+  Alcotest.(check bool) "sources clean" false
+    (Kernel.exists k "/srcdir/prog1");
+  (* the trace saw the whole build *)
+  let log = read_file_exn k "/make.trace" in
+  Alcotest.(check bool) "execs traced" true (contains ~needle:"execve(" log);
+  Alcotest.(check bool) "children traced" true
+    (contains ~needle:"child running under trace" log)
+
+(* txn semantics as an equivalence: committing a random program's run
+   leaves exactly the state a bare run leaves; aborting leaves the
+   initial state. *)
+let initial_files = [ "/tmp/f0", "zero"; "/tmp/f3", "three" ]
+
+let run_steps_txn steps mode =
+  let k = fresh_kernel () in
+  List.iter (fun (p, c) -> Kernel.write_file k ~path:p c) initial_files;
+  let _ =
+    boot_k k (fun () ->
+      (match mode with
+       | `Bare -> ()
+       | `Commit ->
+         Toolkit.Loader.install (Agents.Txn.create ()) ~argv:[||]
+       | `Abort ->
+         Toolkit.Loader.install
+           (Agents.Txn.create ~decide:(fun () -> `Abort) ())
+           ~argv:[||]);
+      List.iter run_step steps;
+      0)
+  in
+  fs_snapshot k
+
+(* steps the txn overlay is exact for (no fork: children share the
+   leader's overlay but exit does not commit theirs; no chdir: the txn
+   agent resolves absolute paths only) *)
+let txn_step_gen =
+  let open QCheck.Gen in
+  frequency
+    [ 3, map2 (fun i s -> S_write (i, s)) (int_bound 10)
+        (string_size ~gen:(char_range 'a' 'z') (1 -- 20));
+      2, map (fun i -> S_read i) (int_bound 10);
+      2, map (fun i -> S_stat i) (int_bound 10);
+      2, map (fun i -> S_unlink i) (int_bound 10) ]
+
+let test_txn_equivalence =
+  QCheck.Test.make ~name:"txn commit == bare run; abort == no-op" ~count:30
+    QCheck.(make ~print:(fun l -> string_of_int (List.length l))
+              Gen.(list_size (1 -- 15) txn_step_gen))
+    (fun steps ->
+      let bare = run_steps_txn steps `Bare in
+      let committed = run_steps_txn steps `Commit in
+      let aborted = run_steps_txn steps `Abort in
+      let initial =
+        List.filter_map
+          (fun (p, c) ->
+            (* only the snapshot files *)
+            if String.length p > 6 && String.sub p 0 6 = "/tmp/f" then
+              Some (p, c)
+            else None)
+          initial_files
+      in
+      committed = bare && aborted = initial)
+
+(* union listing = set-union of member listings, first member winning *)
+let test_union_merge_property =
+  QCheck.Test.make ~name:"union merge is set union with priority" ~count:30
+    QCheck.(pair (list_of_size Gen.(0 -- 10) (int_bound 12))
+              (list_of_size Gen.(0 -- 10) (int_bound 12)))
+    (fun (first_files, second_files) ->
+      let k = fresh_kernel () in
+      Kernel.mkdir_p k "/m1";
+      Kernel.mkdir_p k "/m2";
+      List.iter
+        (fun i ->
+          Kernel.write_file k
+            ~path:(Printf.sprintf "/m1/n%d" i)
+            "from-m1")
+        first_files;
+      List.iter
+        (fun i ->
+          Kernel.write_file k
+            ~path:(Printf.sprintf "/m2/n%d" i)
+            "from-m2")
+        second_files;
+      let agent =
+        Agents.Union.create
+          ~mounts:[ { Agents.Union.point = "/u"; members = [ "/m1"; "/m2" ] } ]
+          ()
+      in
+      let seen = ref [] in
+      let contents = ref [] in
+      let _ =
+        boot_k k (fun () ->
+          Toolkit.Loader.install agent ~argv:[||];
+          (match Libc.Dirstream.names "/u" with
+           | Ok names ->
+             seen := names;
+             contents :=
+               List.map
+                 (fun n ->
+                   match Libc.Stdio.read_file ("/u/" ^ n) with
+                   | Ok c -> (n, c)
+                   | Error _ -> (n, "?"))
+                 names
+           | Error _ -> ());
+          0)
+      in
+      let expected_names =
+        List.sort_uniq compare
+          (List.map (Printf.sprintf "n%d") (first_files @ second_files))
+      in
+      let priority_ok =
+        List.for_all
+          (fun (n, c) ->
+            let i = int_of_string (String.sub n 1 (String.length n - 1)) in
+            if List.mem i first_files then c = "from-m1" else c = "from-m2")
+          !contents
+      in
+      !seen = expected_names && priority_ok)
+
+let () =
+  Alcotest.run "integration"
+    [ "stacking",
+      [ Alcotest.test_case "compress over crypt" `Quick
+          test_compress_over_crypt;
+        Alcotest.test_case "syscount over sandbox" `Quick
+          test_syscount_over_sandbox;
+        Alcotest.test_case "txn over union" `Quick test_txn_over_union;
+        Alcotest.test_case "trace/txn/union triple stack" `Quick
+          test_triple_stack_build ];
+      "workloads",
+      [ Alcotest.test_case "dfs_trace over make" `Quick
+          test_dfs_trace_over_make;
+        Alcotest.test_case "trace over pipeline" `Quick
+          test_trace_over_pipeline;
+        Alcotest.test_case "timex across fork" `Quick
+          test_timex_alters_observed_date;
+        Alcotest.test_case "make in sandbox" `Quick
+          test_make_under_permissive_sandbox;
+        Alcotest.test_case "make denied by sandbox" `Quick
+          test_make_under_readonly_sandbox_fails;
+        Alcotest.test_case "overhead proportionality" `Quick
+          test_agent_overhead_proportionality ];
+      "properties",
+      [ QCheck_alcotest.to_alcotest test_null_stack_transparent;
+        QCheck_alcotest.to_alcotest test_txn_equivalence;
+        QCheck_alcotest.to_alcotest test_union_merge_property ] ]

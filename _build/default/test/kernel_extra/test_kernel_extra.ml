@@ -1,0 +1,752 @@
+(* Further kernel semantics: process groups, job control, descriptor
+   flags across exec, fifos, umask, non-blocking I/O, timers, crash
+   handling and getdirentries paging. *)
+
+open Abi
+open Tharness
+
+let u = Libc.Unistd.ok_exn
+
+(* --- process groups ------------------------------------------------------ *)
+
+let test_pgrp_inherit_and_set () =
+  let _, status = boot (fun () ->
+    let my_pgrp = Libc.Unistd.getpgrp () in
+    let pid =
+      u "fork"
+        (Libc.Unistd.fork ~child:(fun () ->
+           if Libc.Unistd.getpgrp () <> my_pgrp then 1
+           else begin
+             u "setpgrp" (Libc.Unistd.setpgrp 0 (Libc.Unistd.getpid ()));
+             if Libc.Unistd.getpgrp () = Libc.Unistd.getpid () then 0 else 2
+           end))
+    in
+    let _, st = u "wait" (Libc.Unistd.waitpid pid 0) in
+    Flags.Wait.wexitstatus st)
+  in
+  check_exit "pgrp semantics" 0 status
+
+let test_kill_process_group () =
+  let _, status = boot (fun () ->
+    (* two children in their own group; kill the group at once *)
+    let spin () =
+      let rec loop () =
+        ignore (Libc.Unistd.getpid ());
+        loop ()
+      in
+      loop ()
+    in
+    let mk () =
+      u "fork"
+        (Libc.Unistd.fork ~child:(fun () ->
+           u "setpgrp" (Libc.Unistd.setpgrp 0 4242);
+           spin ()))
+    in
+    let c1 = mk () in
+    let c2 = mk () in
+    (* give them a chance to join the group *)
+    ignore (Libc.Unistd.sleep_us 1000);
+    u "kill group" (Libc.Unistd.kill (-4242) Signal.sigterm);
+    let reap pid =
+      let _, st = u "wait" (Libc.Unistd.waitpid pid 0) in
+      Flags.Wait.wifsignaled st && Flags.Wait.wtermsig st = Signal.sigterm
+    in
+    if reap c1 && reap c2 then 0 else 1)
+  in
+  check_exit "group killed" 0 status
+
+(* --- job control: stop and continue -------------------------------------- *)
+
+let test_stop_and_continue () =
+  let _, status = boot (fun () ->
+    let pid =
+      u "fork"
+        (Libc.Unistd.fork ~child:(fun () ->
+           (* loop until continued, then exit 7 *)
+           for _ = 1 to 50 do
+             ignore (Libc.Unistd.getpid ())
+           done;
+           7))
+    in
+    u "stop" (Libc.Unistd.kill pid Signal.sigstop);
+    (* WUNTRACED sees the stop *)
+    let wpid, st = u "wait" (Libc.Unistd.waitpid pid Flags.Wait.wuntraced) in
+    if wpid <> pid || not (Flags.Wait.wifstopped st) then 1
+    else begin
+      u "cont" (Libc.Unistd.kill pid Signal.sigcont);
+      let _, st = u "wait2" (Libc.Unistd.waitpid pid 0) in
+      if Flags.Wait.wifexited st && Flags.Wait.wexitstatus st = 7 then 0
+      else 2
+    end)
+  in
+  check_exit "stop/continue" 0 status
+
+(* --- descriptors across exec ----------------------------------------------- *)
+
+let test_cloexec_closed_on_exec () =
+  let k = fresh_kernel () in
+  Kernel.Registry.register "fdprobe" (fun ~argv ~envp:_ () ->
+    (* argv.(1) is the fd that must be closed, argv.(2) must be open *)
+    let closed = int_of_string argv.(1) in
+    let still = int_of_string argv.(2) in
+    let buf = Bytes.create 1 in
+    let closed_gone =
+      match Libc.Unistd.read closed buf 1 with
+      | Error Errno.EBADF -> true
+      | Error _ | Ok _ -> false
+    in
+    let open_ok = Result.is_ok (Libc.Unistd.read still buf 1) in
+    if closed_gone && open_ok then 0 else 1);
+  Kernel.install_image k ~path:"/bin/fdprobe" ~image:"fdprobe";
+  Kernel.write_file k ~path:"/tmp/data" "xx";
+  let status =
+    boot_k k (fun () ->
+      let fd1 = u "open1" (Libc.Unistd.open_ "/tmp/data" 0 0) in
+      let fd2 = u "open2" (Libc.Unistd.open_ "/tmp/data" 0 0) in
+      u "cloexec" (Libc.Unistd.set_cloexec fd1 true);
+      match
+        Libc.Unistd.execv "/bin/fdprobe"
+          [| "fdprobe"; string_of_int fd1; string_of_int fd2 |]
+      with
+      | Error _ -> 99
+      | Ok _ -> assert false)
+  in
+  check_exit "cloexec honoured" 0 status
+
+(* --- fifos -------------------------------------------------------------------- *)
+
+let test_fifo_between_processes () =
+  let _, status = boot (fun () ->
+    u "mkfifo" (Libc.Unistd.mkfifo "/tmp/pipe" 0o644);
+    let pid =
+      u "fork"
+        (Libc.Unistd.fork ~child:(fun () ->
+           let fd = u "open w" (Libc.Unistd.open_ "/tmp/pipe" Flags.Open.o_wronly 0) in
+           ignore (Libc.Unistd.write_all fd "fifo payload");
+           ignore (Libc.Unistd.close fd);
+           0))
+    in
+    let fd = u "open r" (Libc.Unistd.open_ "/tmp/pipe" Flags.Open.o_rdonly 0) in
+    let got = u "read" (Libc.Unistd.read_all fd) in
+    ignore (Libc.Unistd.close fd);
+    let _ = Libc.Unistd.waitpid pid 0 in
+    if got = "fifo payload" then 0 else 1)
+  in
+  check_exit "fifo" 0 status
+
+let test_fifo_stat_kind () =
+  let _, status = boot (fun () ->
+    u "mkfifo" (Libc.Unistd.mkfifo "/tmp/p" 0o600);
+    let st = u "stat" (Libc.Unistd.stat "/tmp/p") in
+    if Flags.Mode.is_fifo st.Stat.st_mode then 0 else 1)
+  in
+  check_exit "fifo kind" 0 status
+
+(* --- umask / O_APPEND / nonblocking -------------------------------------------- *)
+
+let test_umask_applies () =
+  let _, status = boot (fun () ->
+    ignore (u "umask" (Libc.Unistd.umask 0o077));
+    let fd = u "creat" (Libc.Unistd.creat "/tmp/masked" 0o666) in
+    ignore (Libc.Unistd.close fd);
+    let st = u "stat" (Libc.Unistd.stat "/tmp/masked") in
+    if Flags.Mode.perm_bits st.Stat.st_mode = 0o600 then 0 else 1)
+  in
+  check_exit "umask" 0 status
+
+let test_append_interleave () =
+  let k, status = boot (fun () ->
+    let open_append () =
+      u "open"
+        (Libc.Unistd.open_ "/tmp/log"
+           Flags.Open.(o_wronly lor o_creat lor o_append)
+           0o644)
+    in
+    let fd1 = open_append () in
+    let fd2 = open_append () in
+    ignore (Libc.Unistd.write fd1 "one ");
+    ignore (Libc.Unistd.write fd2 "two ");
+    ignore (Libc.Unistd.write fd1 "three");
+    0)
+  in
+  ignore (exit_code status);
+  Alcotest.(check string) "appends interleave" "one two three"
+    (read_file_exn k "/tmp/log")
+
+let test_nonblocking_pipe () =
+  let _, status = boot (fun () ->
+    let r, w = u "pipe" (Libc.Unistd.pipe ()) in
+    ignore
+      (u "setfl"
+         (Libc.Unistd.fcntl r Flags.Fcntl.f_setfl Flags.Open.o_nonblock));
+    let buf = Bytes.create 4 in
+    (match Libc.Unistd.read r buf 4 with
+     | Error Errno.EWOULDBLOCK -> ()
+     | Error _ | Ok _ -> Libc.Unistd._exit 1);
+    ignore
+      (u "setfl w"
+         (Libc.Unistd.fcntl w Flags.Fcntl.f_setfl Flags.Open.o_nonblock));
+    (* fill the pipe: a non-blocking write on a full pipe must fail *)
+    let chunk = String.make 4096 'x' in
+    ignore (Libc.Unistd.write w chunk);
+    match Libc.Unistd.write w "y" with
+    | Error Errno.EWOULDBLOCK -> 0
+    | Error _ | Ok _ -> 2)
+  in
+  check_exit "O_NONBLOCK" 0 status
+
+(* --- alarm bookkeeping ------------------------------------------------------------ *)
+
+let test_alarm_replaced_and_cancelled () =
+  let _, status = boot (fun () ->
+    ignore (u "sig" (Libc.Unistd.signal Signal.sigalrm Value.H_ignore));
+    ignore (u "alarm 100" (Libc.Unistd.alarm 100));
+    let remaining = u "alarm 50" (Libc.Unistd.alarm 50) in
+    if remaining < 95 || remaining > 100 then 1
+    else begin
+      let remaining2 = u "cancel" (Libc.Unistd.alarm 0) in
+      if remaining2 < 45 || remaining2 > 50 then 2
+      else begin
+        (* sleeping past the old deadlines must not deliver SIGALRM *)
+        ignore (Libc.Unistd.sleep_us 200_000_000);
+        0
+      end
+    end)
+  in
+  check_exit "alarm bookkeeping" 0 status
+
+(* --- crash handling ------------------------------------------------------------------ *)
+
+let test_uncaught_exception_is_abort () =
+  let _, status = boot (fun () ->
+    let pid =
+      u "fork"
+        (Libc.Unistd.fork ~child:(fun () -> raise Exit))
+    in
+    let _, st = u "wait" (Libc.Unistd.waitpid pid 0) in
+    if Flags.Wait.wifsignaled st && Flags.Wait.wtermsig st = Signal.sigabrt
+    then 0
+    else 1)
+  in
+  check_exit "crash becomes SIGABRT" 0 status
+
+let test_division_crash_contained () =
+  let _, status = boot (fun () ->
+    let pid =
+      u "fork"
+        (Libc.Unistd.fork ~child:(fun () -> 1 / (Sys.opaque_identity 0)))
+    in
+    let _, st = u "wait" (Libc.Unistd.waitpid pid 0) in
+    (* parent unaffected by the child's crash *)
+    if Flags.Wait.wifsignaled st then 0 else 1)
+  in
+  check_exit "contained" 0 status
+
+(* --- getdirentries paging -------------------------------------------------------------- *)
+
+let test_getdirentries_small_buffer_pages () =
+  let listing = ref [] in
+  let _, status = boot (fun () ->
+    u "mkdir" (Libc.Unistd.mkdir "/tmp/many" 0o755);
+    for i = 1 to 40 do
+      ignore
+        (u "w"
+           (Libc.Stdio.write_file
+              (Printf.sprintf "/tmp/many/file%02d" i)
+              "x"))
+    done;
+    (* a buffer that holds only a few entries forces many calls *)
+    let fd = u "open" (Libc.Unistd.open_ "/tmp/many" 0 0) in
+    let buf = Bytes.create 64 in
+    let rec collect acc =
+      match u "getdirentries" (Libc.Unistd.getdirentries fd buf) with
+      | 0, _ -> List.rev acc
+      | n, _ -> collect (List.rev_append (Dirent.decode_all buf ~len:n) acc)
+    in
+    let entries = collect [] in
+    listing :=
+      List.filter_map
+        (fun (e : Dirent.t) ->
+          if e.d_name = "." || e.d_name = ".." then None else Some e.d_name)
+        entries;
+    0)
+  in
+  ignore (exit_code status);
+  Alcotest.(check int) "all 40 seen" 40 (List.length !listing);
+  Alcotest.(check (list string)) "sorted and complete"
+    (List.init 40 (fun i -> Printf.sprintf "file%02d" (i + 1)))
+    (List.sort compare !listing)
+
+let test_lseek_rewinds_directory () =
+  let _, status = boot (fun () ->
+    u "mkdir" (Libc.Unistd.mkdir "/tmp/d" 0o755);
+    ignore (u "w" (Libc.Stdio.write_file "/tmp/d/a" "1"));
+    let fd = u "open" (Libc.Unistd.open_ "/tmp/d" 0 0) in
+    let buf = Bytes.create 256 in
+    let n1, _ = u "gd1" (Libc.Unistd.getdirentries fd buf) in
+    let n2, _ = u "gd2" (Libc.Unistd.getdirentries fd buf) in
+    ignore (u "rewind" (Libc.Unistd.lseek fd 0 Flags.Seek.set));
+    let n3, _ = u "gd3" (Libc.Unistd.getdirentries fd buf) in
+    if n1 > 0 && n2 = 0 && n3 = n1 then 0 else 1)
+  in
+  check_exit "rewinddir" 0 status
+
+(* --- time ----------------------------------------------------------------------------------- *)
+
+let test_settimeofday_root_only () =
+  let _, status = boot (fun () ->
+    (* boot runs as root: may set the time *)
+    u "set" (Libc.Unistd.settimeofday ~sec:1_000_000_000 ~usec:0);
+    let sec, _ = u "get" (Libc.Unistd.gettimeofday ()) in
+    if abs (sec - 1_000_000_000) > 5 then 1
+    else begin
+      u "setuid" (Libc.Unistd.setuid 100);
+      match Libc.Unistd.settimeofday ~sec:0 ~usec:0 with
+      | Error Errno.EPERM -> 0
+      | Error _ | Ok _ -> 2
+    end)
+  in
+  check_exit "settimeofday" 0 status
+
+let test_fionread () =
+  let _, status = boot (fun () ->
+    let r, w = u "pipe" (Libc.Unistd.pipe ()) in
+    ignore (u "write" (Libc.Unistd.write w "12345"));
+    let buf = Bytes.create 4 in
+    ignore (u "ioctl" (Libc.Unistd.ioctl r Flags.Ioctl.fionread buf));
+    if Int32.to_int (Bytes.get_int32_le buf 0) = 5 then 0 else 1)
+  in
+  check_exit "FIONREAD" 0 status
+
+(* --- socketpair ----------------------------------------------------------------------------- *)
+
+let test_socketpair_bidirectional () =
+  let _, status = boot (fun () ->
+    let a, b = u "socketpair" (Libc.Unistd.socketpair ()) in
+    let pid =
+      u "fork"
+        (Libc.Unistd.fork ~child:(fun () ->
+           ignore (Libc.Unistd.close a);
+           (* echo server: read a request, answer it *)
+           let buf = Bytes.create 64 in
+           let n =
+             match Libc.Unistd.read b buf 64 with
+             | Ok n -> n
+             | Error _ -> 0
+           in
+           let request = Bytes.sub_string buf 0 n in
+           ignore (Libc.Unistd.write_all b ("re:" ^ request));
+           ignore (Libc.Unistd.close b);
+           0))
+    in
+    ignore (Libc.Unistd.close b);
+    ignore (u "send" (Libc.Unistd.write_all a "ping"));
+    let buf = Bytes.create 64 in
+    let n = u "recv" (Libc.Unistd.read a buf 64) in
+    let reply = Bytes.sub_string buf 0 n in
+    ignore (Libc.Unistd.close a);
+    let _ = Libc.Unistd.waitpid pid 0 in
+    if reply = "re:ping" then 0 else 1)
+  in
+  check_exit "echo over socketpair" 0 status
+
+let test_socketpair_eof_and_epipe () =
+  let _, status = boot (fun () ->
+    let a, b = u "socketpair" (Libc.Unistd.socketpair ()) in
+    ignore (Libc.Unistd.close b);
+    (* peer gone: reads see EOF, writes see EPIPE *)
+    let buf = Bytes.create 4 in
+    (match Libc.Unistd.read a buf 4 with
+     | Ok 0 -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 1);
+    ignore (Libc.Unistd.signal Signal.sigpipe Value.H_ignore);
+    match Libc.Unistd.write a "x" with
+    | Error Errno.EPIPE -> 0
+    | Error _ | Ok _ -> 2)
+  in
+  check_exit "socket EOF/EPIPE" 0 status
+
+let test_socketpair_stat_kind () =
+  let _, status = boot (fun () ->
+    let a, _b = u "socketpair" (Libc.Unistd.socketpair ()) in
+    let st = u "fstat" (Libc.Unistd.fstat a) in
+    if Flags.Mode.is_sock st.Stat.st_mode then 0 else 1)
+  in
+  check_exit "S_IFSOCK" 0 status
+
+(* --- getrusage ------------------------------------------------------------------------------- *)
+
+let test_getrusage_accounts_time () =
+  let _, status = boot (fun () ->
+    let u1, s1 = u "ru1" (Libc.Unistd.getrusage ()) in
+    Libc.Unistd.cpu_work 5_000;
+    ignore (Libc.Unistd.getpid ());
+    ignore (Libc.Unistd.getpid ());
+    let u2, s2 = u "ru2" (Libc.Unistd.getrusage ()) in
+    (* 5ms of user time charged; two getpids (25us each) + the first
+       getrusage (60us) of system time *)
+    if u2 - u1 = 5_000 && s2 - s1 >= 110 then 0 else 1)
+  in
+  check_exit "rusage deltas" 0 status
+
+let test_getrusage_per_process () =
+  let _, status = boot (fun () ->
+    let pid =
+      u "fork"
+        (Libc.Unistd.fork ~child:(fun () ->
+           Libc.Unistd.cpu_work 1_000;
+           let ut, _ = u "child ru" (Libc.Unistd.getrusage ()) in
+           if ut = 1_000 then 0 else 1))
+    in
+    let _, st = u "wait" (Libc.Unistd.waitpid pid 0) in
+    let ut, _ = u "parent ru" (Libc.Unistd.getrusage ()) in
+    (* the child's user time is not the parent's *)
+    if Flags.Wait.wexitstatus st = 0 && ut = 0 then 0 else 1)
+  in
+  check_exit "per-process accounting" 0 status
+
+(* --- device nodes -------------------------------------------------------------------------- *)
+
+let test_dev_null_and_zero () =
+  let _, status = boot (fun () ->
+    let null = u "open null" (Libc.Unistd.open_ "/dev/null" Flags.Open.o_rdwr 0) in
+    (match Libc.Unistd.write null "discarded" with
+     | Ok 9 -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 1);
+    let buf = Bytes.make 4 'x' in
+    (match Libc.Unistd.read null buf 4 with
+     | Ok 0 -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 2);
+    let zero = u "open zero" (Libc.Unistd.open_ "/dev/zero" Flags.Open.o_rdonly 0) in
+    (match Libc.Unistd.read zero buf 4 with
+     | Ok 4 when Bytes.to_string buf = "\000\000\000\000" -> 0
+     | Ok _ | Error _ -> 3))
+  in
+  check_exit "null + zero" 0 status
+
+let test_dev_stat_kind () =
+  let _, status = boot (fun () ->
+    let st = u "stat" (Libc.Unistd.stat "/dev/null") in
+    if Flags.Mode.is_chr st.Stat.st_mode then 0 else 1)
+  in
+  check_exit "chardev kind" 0 status
+
+(* --- select ------------------------------------------------------------------------------------ *)
+
+let test_select_poll_and_ready () =
+  let _, status = boot (fun () ->
+    let r, w = u "pipe" (Libc.Unistd.pipe ()) in
+    (* empty pipe: a poll (timeout 0) reports nothing ready *)
+    (match Libc.Unistd.select ~read:[ r ] ~timeout_us:0 () with
+     | Ok ([], []) -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 1);
+    (* the write side of an empty pipe is ready *)
+    (match Libc.Unistd.select ~write:[ w ] ~timeout_us:0 () with
+     | Ok ([], [ fd ]) when fd = w -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 2);
+    ignore (u "write" (Libc.Unistd.write w "x"));
+    match Libc.Unistd.select ~read:[ r ] ~timeout_us:0 () with
+    | Ok ([ fd ], []) when fd = r -> 0
+    | Ok _ | Error _ -> 3)
+  in
+  check_exit "poll semantics" 0 status
+
+let test_select_blocks_until_data () =
+  let _, status = boot (fun () ->
+    let r, w = u "pipe" (Libc.Unistd.pipe ()) in
+    let _ =
+      u "fork"
+        (Libc.Unistd.fork ~child:(fun () ->
+           ignore (Libc.Unistd.close r);
+           ignore (Libc.Unistd.sleep_us 500_000);
+           ignore (Libc.Unistd.write_all w "late data");
+           0))
+    in
+    ignore (Libc.Unistd.close w);
+    let t0, _ = u "t0" (Libc.Unistd.gettimeofday ()) in
+    (match Libc.Unistd.select ~read:[ r ] () with
+     | Ok ([ fd ], []) when fd = r -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 1);
+    let buf = Bytes.create 16 in
+    let n = u "read" (Libc.Unistd.read r buf 16) in
+    let _ = Libc.Unistd.wait () in
+    ignore t0;
+    if Bytes.sub_string buf 0 n = "late data" then 0 else 2)
+  in
+  check_exit "blocking select" 0 status
+
+let test_select_timeout_expires () =
+  let k, status = boot (fun () ->
+    let r, _w = u "pipe" (Libc.Unistd.pipe ()) in
+    match Libc.Unistd.select ~read:[ r ] ~timeout_us:2_000_000 () with
+    | Ok ([], []) -> 0
+    | Ok _ | Error _ -> 1)
+  in
+  check_exit "timeout returns empty" 0 status;
+  Alcotest.(check bool) "waited ~2 virtual seconds" true
+    (Kernel.elapsed_seconds k >= 2.0)
+
+let test_select_multiplexes_two_children () =
+  (* the reason select exists: one parent watching two pipes *)
+  let _, status = boot (fun () ->
+    let mk_child delay_us tag =
+      let r, w = u "pipe" (Libc.Unistd.pipe ()) in
+      let _ =
+        u "fork"
+          (Libc.Unistd.fork ~child:(fun () ->
+             ignore (Libc.Unistd.close r);
+             ignore (Libc.Unistd.sleep_us delay_us);
+             ignore (Libc.Unistd.write_all w tag);
+             0))
+      in
+      ignore (Libc.Unistd.close w);
+      r
+    in
+    let slow = mk_child 3_000_000 "slow" in
+    let fast = mk_child 1_000_000 "fast" in
+    let read_tag fd =
+      let buf = Bytes.create 8 in
+      match Libc.Unistd.read fd buf 8 with
+      | Ok n -> Bytes.sub_string buf 0 n
+      | Error _ -> "?"
+    in
+    (* first wake must be the fast child *)
+    let first =
+      match Libc.Unistd.select ~read:[ slow; fast ] () with
+      | Ok ([ fd ], []) -> read_tag fd
+      | Ok _ | Error _ -> "?"
+    in
+    (* the fast pipe is exhausted (and soon EOF-readable), so a real
+       multiplexer drops it from the watch set *)
+    let second =
+      match Libc.Unistd.select ~read:[ slow ] () with
+      | Ok ([ fd ], []) -> read_tag fd
+      | Ok _ | Error _ -> "?"
+    in
+    let _ = Libc.Unistd.wait () in
+    let _ = Libc.Unistd.wait () in
+    if first = "fast" && second = "slow" then 0 else 1)
+  in
+  check_exit "multiplexing order" 0 status
+
+let test_select_bad_fd () =
+  let _, status = boot (fun () ->
+    match Libc.Unistd.select ~read:[ 55 ] ~timeout_us:0 () with
+    | Error Errno.EBADF -> 0
+    | Error _ | Ok _ -> 1)
+  in
+  check_exit "EBADF" 0 status
+
+(* --- scheduler stress -------------------------------------------------------------------------- *)
+
+let test_many_children () =
+  let _, status = boot (fun () ->
+    let n = 100 in
+    let pids =
+      List.init n (fun i ->
+        u "fork" (Libc.Unistd.fork ~child:(fun () -> i mod 8)))
+    in
+    let sum =
+      List.fold_left
+        (fun acc pid ->
+          let _, st = u "wait" (Libc.Unistd.waitpid pid 0) in
+          acc + Flags.Wait.wexitstatus st)
+        0 pids
+    in
+    (* 100 children each exiting (i mod 8): 12 full cycles of 0+..+7
+       plus 0+1+2+3 *)
+    if sum = (12 * 28) + 6 then 0 else 1)
+  in
+  check_exit "100 children reaped" 0 status
+
+let test_pipeline_chain_of_processes () =
+  (* a 30-stage bucket brigade: each process increments a number and
+     passes it down a chain of pipes *)
+  let _, status = boot (fun () ->
+    let stages = 30 in
+    let first_r, first_w = u "pipe" (Libc.Unistd.pipe ()) in
+    let rec build prev_r n =
+      if n = 0 then prev_r
+      else begin
+        let r, w = u "pipe" (Libc.Unistd.pipe ()) in
+        let _ =
+          u "fork"
+            (Libc.Unistd.fork ~child:(fun () ->
+               ignore (Libc.Unistd.close r);
+               let buf = Bytes.create 16 in
+               let got =
+                 match Libc.Unistd.read prev_r buf 16 with
+                 | Ok k -> Bytes.sub_string buf 0 k
+                 | Error _ -> "0"
+               in
+               let v = int_of_string (String.trim got) + 1 in
+               ignore (Libc.Unistd.write_all w (string_of_int v ^ "\n"));
+               ignore (Libc.Unistd.close w);
+               0))
+        in
+        ignore (Libc.Unistd.close prev_r);
+        ignore (Libc.Unistd.close w);
+        build r (n - 1)
+      end
+    in
+    let last_r = build first_r stages in
+    ignore (u "seed" (Libc.Unistd.write_all first_w "0\n"));
+    ignore (Libc.Unistd.close first_w);
+    let buf = Bytes.create 16 in
+    let k = u "read" (Libc.Unistd.read last_r buf 16) in
+    let final = int_of_string (String.trim (Bytes.sub_string buf 0 k)) in
+    for _ = 1 to stages do
+      ignore (Libc.Unistd.wait ())
+    done;
+    if final = stages then 0 else 1)
+  in
+  check_exit "30-stage brigade" 0 status
+
+let test_deep_fork_chain () =
+  (* each process forks the next; depth 40; exit codes propagate back *)
+  let _, status = boot (fun () ->
+    let rec descend depth =
+      if depth = 0 then 7
+      else begin
+        match Libc.Unistd.fork ~child:(fun () -> descend (depth - 1)) with
+        | Ok pid ->
+          (match Libc.Unistd.waitpid pid 0 with
+           | Ok (_, st) -> Flags.Wait.wexitstatus st
+           | Error _ -> 99)
+        | Error _ -> 98
+      end
+    in
+    descend 40)
+  in
+  check_exit "depth-40 chain" 7 status
+
+(* --- cross-process pipe property ----------------------------------------------------------- *)
+
+let test_pipe_preserves_stream =
+  QCheck.Test.make ~name:"pipe preserves the byte stream across fork"
+    ~count:25
+    QCheck.(list_of_size Gen.(1 -- 12)
+              (make Gen.(string_size ~gen:(char_range 'a' 'z') (1 -- 600))))
+    (fun chunks ->
+      let expected = String.concat "" chunks in
+      let k = Tharness.fresh_kernel () in
+      let got = ref "" in
+      let status =
+        Tharness.boot_k k (fun () ->
+          let r, w = u "pipe" (Libc.Unistd.pipe ()) in
+          let _ =
+            u "fork"
+              (Libc.Unistd.fork ~child:(fun () ->
+                 ignore (Libc.Unistd.close r);
+                 List.iter
+                   (fun chunk -> ignore (Libc.Unistd.write_all w chunk))
+                   chunks;
+                 ignore (Libc.Unistd.close w);
+                 0))
+          in
+          ignore (Libc.Unistd.close w);
+          got := u "read_all" (Libc.Unistd.read_all r);
+          ignore (Libc.Unistd.close r);
+          let _ = Libc.Unistd.wait () in
+          0)
+      in
+      Flags.Wait.wexitstatus status = 0 && !got = expected)
+
+let test_sock_bidirectional_streams =
+  QCheck.Test.make ~name:"socketpair carries both directions intact"
+    ~count:20
+    QCheck.(pair
+              (make Gen.(string_size ~gen:(char_range 'a' 'z') (1 -- 2000)))
+              (make Gen.(string_size ~gen:(char_range 'A' 'Z') (1 -- 2000))))
+    (fun (ping, pong) ->
+      let k = Tharness.fresh_kernel () in
+      let got = ref "" in
+      let status =
+        Tharness.boot_k k (fun () ->
+          let a, b = u "socketpair" (Libc.Unistd.socketpair ()) in
+          let _ =
+            u "fork"
+              (Libc.Unistd.fork ~child:(fun () ->
+                 ignore (Libc.Unistd.close a);
+                 (* read the full ping, then answer *)
+                 let buf = Bytes.create 256 in
+                 let received = Buffer.create 64 in
+                 let rec slurp () =
+                   if Buffer.length received < String.length ping then begin
+                     match Libc.Unistd.read b buf 256 with
+                     | Ok n when n > 0 ->
+                       Buffer.add_subbytes received buf 0 n;
+                       slurp ()
+                     | Ok _ | Error _ -> ()
+                   end
+                 in
+                 slurp ();
+                 if Buffer.contents received = ping then
+                   ignore (Libc.Unistd.write_all b pong);
+                 ignore (Libc.Unistd.close b);
+                 0))
+          in
+          ignore (Libc.Unistd.close b);
+          ignore (Libc.Unistd.write_all a ping);
+          got := u "read_all" (Libc.Unistd.read_all a);
+          ignore (Libc.Unistd.close a);
+          let _ = Libc.Unistd.wait () in
+          0)
+      in
+      Flags.Wait.wexitstatus status = 0 && !got = pong)
+
+let () =
+  Alcotest.run "kernel-extra"
+    [ "process-groups",
+      [ Alcotest.test_case "inherit+set" `Quick test_pgrp_inherit_and_set;
+        Alcotest.test_case "kill -pgrp" `Quick test_kill_process_group ];
+      "job-control",
+      [ Alcotest.test_case "stop/continue" `Quick test_stop_and_continue ];
+      "exec",
+      [ Alcotest.test_case "cloexec" `Quick test_cloexec_closed_on_exec ];
+      "fifo",
+      [ Alcotest.test_case "cross-process" `Quick
+          test_fifo_between_processes;
+        Alcotest.test_case "stat kind" `Quick test_fifo_stat_kind ];
+      "file-semantics",
+      [ Alcotest.test_case "umask" `Quick test_umask_applies;
+        Alcotest.test_case "O_APPEND" `Quick test_append_interleave;
+        Alcotest.test_case "O_NONBLOCK" `Quick test_nonblocking_pipe;
+        Alcotest.test_case "dir paging" `Quick
+          test_getdirentries_small_buffer_pages;
+        Alcotest.test_case "rewinddir" `Quick test_lseek_rewinds_directory;
+        Alcotest.test_case "FIONREAD" `Quick test_fionread ];
+      "timers",
+      [ Alcotest.test_case "alarm replace/cancel" `Quick
+          test_alarm_replaced_and_cancelled;
+        Alcotest.test_case "settimeofday" `Quick test_settimeofday_root_only ];
+      "crashes",
+      [ Alcotest.test_case "uncaught exn" `Quick
+          test_uncaught_exception_is_abort;
+        Alcotest.test_case "contained" `Quick test_division_crash_contained ];
+      "socketpair",
+      [ Alcotest.test_case "bidirectional" `Quick
+          test_socketpair_bidirectional;
+        Alcotest.test_case "EOF/EPIPE" `Quick test_socketpair_eof_and_epipe;
+        Alcotest.test_case "stat kind" `Quick test_socketpair_stat_kind ];
+      "getrusage",
+      [ Alcotest.test_case "time deltas" `Quick test_getrusage_accounts_time;
+        Alcotest.test_case "per-process" `Quick test_getrusage_per_process ];
+      "devices",
+      [ Alcotest.test_case "null + zero" `Quick test_dev_null_and_zero;
+        Alcotest.test_case "stat kind" `Quick test_dev_stat_kind ];
+      "select",
+      [ Alcotest.test_case "poll + ready" `Quick test_select_poll_and_ready;
+        Alcotest.test_case "blocks until data" `Quick
+          test_select_blocks_until_data;
+        Alcotest.test_case "timeout" `Quick test_select_timeout_expires;
+        Alcotest.test_case "multiplex two children" `Quick
+          test_select_multiplexes_two_children;
+        Alcotest.test_case "EBADF" `Quick test_select_bad_fd ];
+      "stress",
+      [ QCheck_alcotest.to_alcotest test_pipe_preserves_stream;
+        QCheck_alcotest.to_alcotest test_sock_bidirectional_streams;
+        Alcotest.test_case "100 children" `Quick test_many_children;
+        Alcotest.test_case "30-stage brigade" `Quick
+          test_pipeline_chain_of_processes;
+        Alcotest.test_case "deep fork chain" `Quick test_deep_fork_chain ] ]

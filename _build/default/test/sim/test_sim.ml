@@ -1,0 +1,133 @@
+(* Tests for the simulation substrate: virtual clock, deterministic
+   PRNG and the statement counter behind Table 3-1. *)
+
+open Sim
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- clock ----------------------------------------------------------- *)
+
+let test_clock_charge () =
+  let c = Clock.create () in
+  Alcotest.(check int) "starts at zero" 0 (Clock.elapsed_us c);
+  Clock.charge c 100;
+  Clock.charge c 50;
+  Alcotest.(check int) "accumulates" 150 (Clock.elapsed_us c);
+  Clock.charge c (-10);
+  Alcotest.(check int) "negative ignored" 150 (Clock.elapsed_us c)
+
+let test_clock_advance_to () =
+  let c = Clock.create () in
+  let now = Clock.now_us c in
+  Clock.advance_to c (now + 1000);
+  Alcotest.(check int) "advanced" 1000 (Clock.elapsed_us c);
+  Clock.advance_to c now;
+  Alcotest.(check int) "never backwards" 1000 (Clock.elapsed_us c)
+
+let test_clock_scale () =
+  let c = Clock.create () in
+  Clock.set_scale c 2.0;
+  Clock.charge c 100;
+  Alcotest.(check int) "doubled" 200 (Clock.elapsed_us c);
+  Clock.set_scale c 0.5;
+  Clock.charge c 100;
+  Alcotest.(check int) "halved" 250 (Clock.elapsed_us c)
+
+let test_clock_seconds () =
+  let c = Clock.create () in
+  Clock.charge c 2_500_000;
+  Alcotest.(check (float 1e-9)) "seconds" 2.5 (Clock.seconds c)
+
+(* --- rng -------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 in
+  let b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.next a);
+  let b = Rng.copy a in
+  let va = Rng.next a in
+  let vb = Rng.next b in
+  Alcotest.(check int64) "copy continues identically" va vb
+
+let test_rng_bounds =
+  QCheck.Test.make ~name:"int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let test_rng_shuffle_permutes =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create seed in
+      let a = Array.of_list l in
+      Rng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let test_rng_split_differs () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let sa = List.init 10 (fun _ -> Rng.next a) in
+  let sb = List.init 10 (fun _ -> Rng.next b) in
+  Alcotest.(check bool) "streams differ" true (sa <> sb)
+
+(* --- loc ---------------------------------------------------------------- *)
+
+let test_loc_counts_statements () =
+  let src = "let x = 1\nlet y = 2;;\nlet f a =\n  a + 1\n" in
+  let c = Loc.count_string src in
+  (* three lets plus one ';;' *)
+  Alcotest.(check int) "statements" 4 c.Loc.statements;
+  Alcotest.(check int) "lines" 4 c.Loc.lines
+
+let test_loc_ignores_comments_and_strings () =
+  let src =
+    "(* let not_counted = 1; *)\n\
+     let s = \"a ; b ; c\"\n\
+     (* nested (* comment; *) still; *)\n\
+     let t = 2\n"
+  in
+  let c = Loc.count_string src in
+  Alcotest.(check int) "only real lets" 2 c.Loc.statements;
+  Alcotest.(check int) "comment-only lines excluded" 2 c.Loc.lines
+
+let test_loc_semicolons () =
+  let src = "let f () =\n  print_string \"a\";\n  print_string \"b\"\n" in
+  let c = Loc.count_string src in
+  (* one let + one ';' *)
+  Alcotest.(check int) "imperative statements" 2 c.Loc.statements
+
+let test_loc_finds_repo_root () =
+  match Loc.find_repo_root () with
+  | Some root ->
+    Alcotest.(check bool) "has dune-project" true
+      (Sys.file_exists (Filename.concat root "dune-project"))
+  | None -> Alcotest.fail "repo root not found"
+
+let () =
+  Alcotest.run "sim"
+    [ "clock",
+      [ Alcotest.test_case "charge" `Quick test_clock_charge;
+        Alcotest.test_case "advance_to" `Quick test_clock_advance_to;
+        Alcotest.test_case "scale" `Quick test_clock_scale;
+        Alcotest.test_case "seconds" `Quick test_clock_seconds ];
+      "rng",
+      [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+        qtest test_rng_bounds;
+        qtest test_rng_shuffle_permutes;
+        Alcotest.test_case "split" `Quick test_rng_split_differs ];
+      "loc",
+      [ Alcotest.test_case "statements" `Quick test_loc_counts_statements;
+        Alcotest.test_case "comments/strings" `Quick
+          test_loc_ignores_comments_and_strings;
+        Alcotest.test_case "semicolons" `Quick test_loc_semicolons;
+        Alcotest.test_case "repo root" `Quick test_loc_finds_repo_root ] ]

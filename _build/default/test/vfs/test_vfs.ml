@@ -1,0 +1,533 @@
+(* VFS tests: file data storage, pipe buffers, path resolution,
+   namespace operations, permissions and reference counting. *)
+
+open Abi
+open Vfs
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let errno = Alcotest.testable Errno.pp ( = )
+
+let check_ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Errno.name e)
+
+let check_err what expected = function
+  | Ok _ -> Alcotest.failf "%s: expected %s, got success" what
+              (Errno.name expected)
+  | Error e -> Alcotest.check errno what expected e
+
+(* --- Filedata ---------------------------------------------------------- *)
+
+let test_filedata_roundtrip =
+  QCheck.Test.make ~name:"filedata write/read roundtrip" ~count:200
+    QCheck.(pair (string_of_size Gen.(0 -- 300)) (int_bound 100))
+    (fun (s, pos) ->
+      let d = Filedata.create () in
+      ignore (Filedata.write d ~pos s);
+      let buf = Bytes.create (String.length s) in
+      let n = Filedata.read d ~pos buf ~off:0 ~len:(String.length s) in
+      n = String.length s && Bytes.to_string buf = s)
+
+let test_filedata_sparse () =
+  let d = Filedata.create () in
+  ignore (Filedata.write d ~pos:10 "xy");
+  Alcotest.(check int) "size" 12 (Filedata.size d);
+  let s = Filedata.to_string d in
+  Alcotest.(check string) "gap zero-filled"
+    (String.make 10 '\000' ^ "xy") s
+
+let test_filedata_truncate () =
+  let d = Filedata.of_string "0123456789" in
+  Filedata.truncate d 4;
+  Alcotest.(check string) "shrunk" "0123" (Filedata.to_string d);
+  Filedata.truncate d 8;
+  Alcotest.(check string) "zero-extended"
+    ("0123" ^ String.make 4 '\000')
+    (Filedata.to_string d)
+
+(* --- Pipebuf ------------------------------------------------------------ *)
+
+let test_pipebuf_fifo =
+  QCheck.Test.make ~name:"pipebuf preserves FIFO order" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 20) (string_of_size Gen.(0 -- 200)))
+    (fun chunks ->
+      let p = Pipebuf.create () in
+      let written = Buffer.create 64 in
+      let read_back = Buffer.create 64 in
+      let buf = Bytes.create 256 in
+      List.iter
+        (fun chunk ->
+          let n = Pipebuf.write p chunk ~pos:0 in
+          Buffer.add_substring written chunk 0 n;
+          (* drain roughly half to exercise wraparound *)
+          let want = Pipebuf.available p / 2 in
+          let got = Pipebuf.read p buf ~off:0 ~len:want in
+          Buffer.add_subbytes read_back buf 0 got)
+        chunks;
+      let rec drain () =
+        let got = Pipebuf.read p buf ~off:0 ~len:256 in
+        if got > 0 then begin
+          Buffer.add_subbytes read_back buf 0 got;
+          drain ()
+        end
+      in
+      drain ();
+      Buffer.contents read_back = Buffer.contents written)
+
+let test_pipebuf_capacity () =
+  let p = Pipebuf.create () in
+  let big = String.make (Pipebuf.capacity + 100) 'x' in
+  let n = Pipebuf.write p big ~pos:0 in
+  Alcotest.(check int) "fills to capacity" Pipebuf.capacity n;
+  Alcotest.(check int) "no room" 0 (Pipebuf.room p);
+  Alcotest.(check int) "refuses more" 0 (Pipebuf.write p "y" ~pos:0)
+
+let test_pipebuf_endpoints () =
+  let p = Pipebuf.create () in
+  Pipebuf.add_reader p;
+  Pipebuf.add_writer p;
+  Pipebuf.add_writer p;
+  Alcotest.(check (pair int int)) "counts" (1, 2)
+    (Pipebuf.readers p, Pipebuf.writers p);
+  Pipebuf.drop_writer p;
+  Pipebuf.drop_writer p;
+  Pipebuf.drop_writer p;
+  Alcotest.(check int) "no negative" 0 (Pipebuf.writers p)
+
+(* --- Fs fixtures ------------------------------------------------------------ *)
+
+let user = { Fs.uid = 100; gid = 100 }
+let other_user = { Fs.uid = 200; gid = 200 }
+
+let make_fs () =
+  let fs = Fs.create () in
+  let root = Fs.root_ino fs in
+  let cred = Fs.root_cred in
+  ignore (check_ok "mkdir /tmp" (Fs.mkdir fs cred ~cwd:root "/tmp" ~perm:0o1777));
+  ignore (check_ok "mkdir /home" (Fs.mkdir fs cred ~cwd:root "/home" ~perm:0o755));
+  fs
+
+let write_content fs path content =
+  let root = Fs.root_ino fs in
+  let inode, _ =
+    check_ok ("create " ^ path)
+      (Fs.open_lookup fs Fs.root_cred ~cwd:root path
+         ~flags:Flags.Open.(o_wronly lor o_creat)
+         ~perm:0o644)
+  in
+  match inode.Inode.kind with
+  | Inode.Reg d -> ignore (Filedata.write d ~pos:0 content)
+  | _ -> Alcotest.fail "not a regular file"
+
+(* --- resolution ---------------------------------------------------------------- *)
+
+let test_resolve_basic () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  write_content fs "/tmp/f" "x";
+  let inode = check_ok "resolve" (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/f") in
+  Alcotest.(check int) "size" 1 (Inode.size inode);
+  check_err "missing" Errno.ENOENT
+    (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/missing");
+  check_err "through file" Errno.ENOTDIR
+    (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/f/deeper")
+
+let test_resolve_relative_and_dots () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  ignore (check_ok "mkdir" (Fs.mkdir fs Fs.root_cred ~cwd:root "/home/u" ~perm:0o755));
+  write_content fs "/home/u/f" "y";
+  let home = check_ok "home" (Fs.resolve fs Fs.root_cred ~cwd:root "/home") in
+  let via_rel =
+    check_ok "relative" (Fs.resolve fs Fs.root_cred ~cwd:home.Inode.ino "u/f")
+  in
+  let via_dots =
+    check_ok "dots"
+      (Fs.resolve fs Fs.root_cred ~cwd:home.Inode.ino "../home/./u/f")
+  in
+  Alcotest.(check int) "same inode" via_rel.Inode.ino via_dots.Inode.ino
+
+let test_symlink_follow () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  write_content fs "/tmp/real" "data";
+  ignore
+    (check_ok "symlink"
+       (Fs.symlink fs Fs.root_cred ~cwd:root ~target:"/tmp/real" "/tmp/lnk"));
+  let followed = check_ok "follow" (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/lnk") in
+  Alcotest.(check bool) "regular" true
+    (match followed.Inode.kind with Inode.Reg _ -> true | _ -> false);
+  let nofollow =
+    check_ok "nofollow"
+      (Fs.resolve fs Fs.root_cred ~cwd:root ~follow_last:false "/tmp/lnk")
+  in
+  Alcotest.(check bool) "symlink itself" true
+    (match nofollow.Inode.kind with Inode.Symlink _ -> true | _ -> false)
+
+let test_symlink_relative_target () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  write_content fs "/tmp/real" "data";
+  ignore
+    (check_ok "symlink"
+       (Fs.symlink fs Fs.root_cred ~cwd:root ~target:"real" "/tmp/rel"));
+  let inode = check_ok "resolve" (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/rel") in
+  Alcotest.(check int) "size" 4 (Inode.size inode)
+
+let test_symlink_loop () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  ignore
+    (check_ok "a->b" (Fs.symlink fs Fs.root_cred ~cwd:root ~target:"/tmp/b" "/tmp/a"));
+  ignore
+    (check_ok "b->a" (Fs.symlink fs Fs.root_cred ~cwd:root ~target:"/tmp/a" "/tmp/b"));
+  check_err "loop" Errno.ELOOP (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/a")
+
+let test_name_too_long () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  let long = "/tmp/" ^ String.make 300 'n' in
+  check_err "ENAMETOOLONG" Errno.ENAMETOOLONG
+    (Fs.resolve fs Fs.root_cred ~cwd:root long)
+
+let test_trailing_slash () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  write_content fs "/tmp/f" "x";
+  check_err "file with slash" Errno.ENOTDIR
+    (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/f/");
+  ignore (check_ok "dir with slash" (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/"))
+
+(* --- namespace operations --------------------------------------------------------- *)
+
+let test_link_and_nlink () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  write_content fs "/tmp/orig" "shared";
+  ignore
+    (check_ok "link" (Fs.link fs Fs.root_cred ~cwd:root ~existing:"/tmp/orig" "/tmp/alias"));
+  let a = check_ok "a" (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/orig") in
+  let b = check_ok "b" (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/alias") in
+  Alcotest.(check int) "same inode" a.Inode.ino b.Inode.ino;
+  Alcotest.(check int) "nlink 2" 2 a.Inode.nlink;
+  ignore (check_ok "unlink" (Fs.unlink fs Fs.root_cred ~cwd:root "/tmp/orig"));
+  Alcotest.(check int) "nlink 1" 1 b.Inode.nlink;
+  ignore (check_ok "still reachable" (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/alias"))
+
+let test_unlink_with_open_refs () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  write_content fs "/tmp/f" "z";
+  let inode = check_ok "resolve" (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/f") in
+  let before = Fs.live_inodes fs in
+  Fs.incr_opens fs inode.Inode.ino;
+  ignore (check_ok "unlink" (Fs.unlink fs Fs.root_cred ~cwd:root "/tmp/f"));
+  Alcotest.(check int) "kept while open" before (Fs.live_inodes fs);
+  Fs.decr_opens fs inode.Inode.ino;
+  Alcotest.(check int) "reclaimed after close" (before - 1) (Fs.live_inodes fs)
+
+let test_rmdir_semantics () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  ignore (check_ok "mkdir" (Fs.mkdir fs Fs.root_cred ~cwd:root "/tmp/d" ~perm:0o755));
+  write_content fs "/tmp/d/f" "x";
+  check_err "not empty" Errno.ENOTEMPTY (Fs.rmdir fs Fs.root_cred ~cwd:root "/tmp/d");
+  ignore (check_ok "unlink" (Fs.unlink fs Fs.root_cred ~cwd:root "/tmp/d/f"));
+  ignore (check_ok "rmdir" (Fs.rmdir fs Fs.root_cred ~cwd:root "/tmp/d"));
+  check_err "gone" Errno.ENOENT (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/d");
+  check_err "rmdir file" Errno.ENOTDIR
+    (write_content fs "/tmp/f" "x";
+     Fs.rmdir fs Fs.root_cred ~cwd:root "/tmp/f")
+
+let test_rename_file () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  write_content fs "/tmp/a" "content";
+  write_content fs "/tmp/b" "will be replaced";
+  ignore (check_ok "rename" (Fs.rename fs Fs.root_cred ~cwd:root ~src:"/tmp/a" "/tmp/b"));
+  check_err "a gone" Errno.ENOENT (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/a");
+  let b = check_ok "b" (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/b") in
+  Alcotest.(check int) "content moved" 7 (Inode.size b)
+
+let test_rename_dir_into_subtree () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  ignore (check_ok "mkdir" (Fs.mkdir fs Fs.root_cred ~cwd:root "/tmp/d" ~perm:0o755));
+  ignore (check_ok "mkdir2" (Fs.mkdir fs Fs.root_cred ~cwd:root "/tmp/d/sub" ~perm:0o755));
+  check_err "into own subtree" Errno.EINVAL
+    (Fs.rename fs Fs.root_cred ~cwd:root ~src:"/tmp/d" "/tmp/d/sub/d2")
+
+let test_rename_dir_updates_dotdot () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  ignore (check_ok "p1" (Fs.mkdir fs Fs.root_cred ~cwd:root "/tmp/p1" ~perm:0o755));
+  ignore (check_ok "p2" (Fs.mkdir fs Fs.root_cred ~cwd:root "/tmp/p2" ~perm:0o755));
+  ignore (check_ok "d" (Fs.mkdir fs Fs.root_cred ~cwd:root "/tmp/p1/d" ~perm:0o755));
+  ignore
+    (check_ok "rename" (Fs.rename fs Fs.root_cred ~cwd:root ~src:"/tmp/p1/d" "/tmp/p2/d"));
+  let d = check_ok "resolve" (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/p2/d") in
+  let up = check_ok "dotdot" (Fs.resolve fs Fs.root_cred ~cwd:d.Inode.ino "..") in
+  let p2 = check_ok "p2" (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/p2") in
+  Alcotest.(check int) "..->p2" p2.Inode.ino up.Inode.ino
+
+let test_path_of_ino () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  ignore (check_ok "deep" (Fs.mkdir fs Fs.root_cred ~cwd:root "/tmp/a" ~perm:0o755));
+  ignore (check_ok "deep2" (Fs.mkdir fs Fs.root_cred ~cwd:root "/tmp/a/b" ~perm:0o755));
+  let b = check_ok "b" (Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/a/b") in
+  Alcotest.(check (option string)) "path" (Some "/tmp/a/b")
+    (Fs.path_of_ino fs b.Inode.ino);
+  Alcotest.(check (option string)) "root" (Some "/") (Fs.path_of_ino fs root)
+
+(* --- permissions -------------------------------------------------------------------- *)
+
+let test_permission_checks () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  ignore (check_ok "mkdir" (Fs.mkdir fs Fs.root_cred ~cwd:root "/home/u" ~perm:0o700));
+  (match Fs.resolve fs Fs.root_cred ~cwd:root "/home/u" with
+   | Ok inode ->
+     inode.Inode.uid <- user.Fs.uid;
+     inode.Inode.gid <- user.Fs.gid
+   | Error _ -> Alcotest.fail "setup");
+  write_content fs "/home/u/secret" "s";
+  (match Fs.resolve fs Fs.root_cred ~cwd:root "/home/u/secret" with
+   | Ok inode ->
+     inode.Inode.uid <- user.Fs.uid;
+     inode.Inode.perm <- 0o600
+   | Error _ -> Alcotest.fail "setup");
+  (* owner can search and read *)
+  ignore (check_ok "owner" (Fs.resolve fs user ~cwd:root "/home/u/secret"));
+  (* others cannot search the 0700 directory *)
+  check_err "no search" Errno.EACCES
+    (Fs.resolve fs other_user ~cwd:root "/home/u/secret");
+  (* root bypasses *)
+  ignore (check_ok "root" (Fs.resolve fs Fs.root_cred ~cwd:root "/home/u/secret"))
+
+let test_sticky_bit () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  write_content fs "/tmp/mine" "m";
+  (match Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/mine" with
+   | Ok inode -> inode.Inode.uid <- user.Fs.uid
+   | Error _ -> Alcotest.fail "setup");
+  (* /tmp is 1777: another user may not remove someone else's file *)
+  check_err "sticky denies" Errno.EACCES
+    (Fs.unlink fs other_user ~cwd:root "/tmp/mine");
+  ignore (check_ok "owner may" (Fs.unlink fs user ~cwd:root "/tmp/mine"))
+
+let test_chmod_chown_rules () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  write_content fs "/tmp/f" "x";
+  (match Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/f" with
+   | Ok inode -> inode.Inode.uid <- user.Fs.uid
+   | Error _ -> Alcotest.fail "setup");
+  ignore (check_ok "owner chmod" (Fs.chmod fs user ~cwd:root "/tmp/f" ~perm:0o600));
+  check_err "other chmod" Errno.EPERM
+    (Fs.chmod fs other_user ~cwd:root "/tmp/f" ~perm:0o777);
+  check_err "non-root chown" Errno.EPERM
+    (Fs.chown fs user ~cwd:root "/tmp/f" ~uid:other_user.Fs.uid ~gid:(-1));
+  ignore
+    (check_ok "root chown"
+       (Fs.chown fs Fs.root_cred ~cwd:root "/tmp/f" ~uid:5 ~gid:5))
+
+let test_open_lookup_semantics () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  let _, created =
+    check_ok "creat"
+      (Fs.open_lookup fs Fs.root_cred ~cwd:root "/tmp/new"
+         ~flags:Flags.Open.(o_wronly lor o_creat) ~perm:0o644)
+  in
+  Alcotest.(check bool) "created" true created;
+  let _, created2 =
+    check_ok "reopen"
+      (Fs.open_lookup fs Fs.root_cred ~cwd:root "/tmp/new"
+         ~flags:Flags.Open.o_rdonly ~perm:0)
+  in
+  Alcotest.(check bool) "existing" false created2;
+  check_err "excl" Errno.EEXIST
+    (Fs.open_lookup fs Fs.root_cred ~cwd:root "/tmp/new"
+       ~flags:Flags.Open.(o_wronly lor o_creat lor o_excl) ~perm:0o644);
+  check_err "write a directory" Errno.EISDIR
+    (Fs.open_lookup fs Fs.root_cred ~cwd:root "/tmp"
+       ~flags:Flags.Open.o_wronly ~perm:0)
+
+(* A randomised workout: create a tree of files, then verify that every
+   created path resolves and that directory listings agree. *)
+let test_random_tree =
+  QCheck.Test.make ~name:"random tree resolves" ~count:25
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let rng = Sim.Rng.create seed in
+      let fs = Fs.create () in
+      let root = Fs.root_ino fs in
+      let dirs = ref [ "" ] in
+      let files = ref [] in
+      for i = 0 to 30 do
+        let parent = Sim.Rng.pick rng (Array.of_list !dirs) in
+        if Sim.Rng.bool rng then begin
+          let d = Printf.sprintf "%s/d%d" parent i in
+          match Fs.mkdir fs Fs.root_cred ~cwd:root d ~perm:0o755 with
+          | Ok _ -> dirs := d :: !dirs
+          | Error _ -> ()
+        end
+        else begin
+          let f = Printf.sprintf "%s/f%d" parent i in
+          match
+            Fs.open_lookup fs Fs.root_cred ~cwd:root f
+              ~flags:Flags.Open.(o_wronly lor o_creat) ~perm:0o644
+          with
+          | Ok _ -> files := f :: !files
+          | Error _ -> ()
+        end
+      done;
+      List.for_all
+        (fun p -> Result.is_ok (Fs.resolve fs Fs.root_cred ~cwd:root p))
+        (List.filter (( <> ) "") (!dirs @ !files))
+      && List.for_all
+           (fun d ->
+             d = ""
+             ||
+             match Fs.path_of_ino fs
+                     ((check_ok "r" (Fs.resolve fs Fs.root_cred ~cwd:root d))
+                        .Inode.ino)
+             with
+             | Some p -> p = d
+             | None -> false)
+           !dirs)
+
+(* --- fsck ---------------------------------------------------------------- *)
+
+let fsck_clean what fs =
+  match Fs.fsck fs with
+  | Ok () -> ()
+  | Error problems ->
+    Alcotest.failf "%s: fsck found: %s" what (String.concat "; " problems)
+
+let test_fsck_on_fresh_and_built () =
+  let fs = make_fs () in
+  fsck_clean "fresh" fs;
+  let root = Fs.root_ino fs in
+  ignore (check_ok "d" (Fs.mkdir fs Fs.root_cred ~cwd:root "/tmp/d" ~perm:0o755));
+  ignore (check_ok "d2" (Fs.mkdir fs Fs.root_cred ~cwd:root "/tmp/d/e" ~perm:0o755));
+  write_content fs "/tmp/d/file" "x";
+  ignore (check_ok "ln" (Fs.link fs Fs.root_cred ~cwd:root ~existing:"/tmp/d/file" "/tmp/alias"));
+  ignore (check_ok "sym" (Fs.symlink fs Fs.root_cred ~cwd:root ~target:"/tmp/d" "/tmp/s"));
+  fsck_clean "after building" fs;
+  ignore (check_ok "rm" (Fs.unlink fs Fs.root_cred ~cwd:root "/tmp/alias"));
+  ignore (check_ok "mv" (Fs.rename fs Fs.root_cred ~cwd:root ~src:"/tmp/d/e" "/tmp/e"));
+  ignore (check_ok "rmdir" (Fs.rmdir fs Fs.root_cred ~cwd:root "/tmp/e"));
+  fsck_clean "after mutations" fs
+
+let test_fsck_detects_corruption () =
+  let fs = make_fs () in
+  let root = Fs.root_ino fs in
+  write_content fs "/tmp/f" "x";
+  (match Fs.resolve fs Fs.root_cred ~cwd:root "/tmp/f" with
+   | Ok inode -> inode.Inode.nlink <- 5  (* corrupt the link count *)
+   | Error _ -> Alcotest.fail "setup");
+  (match Fs.fsck fs with
+   | Ok () -> Alcotest.fail "corruption not detected"
+   | Error problems ->
+     Alcotest.(check bool) "names the inode" true
+       (List.exists
+          (fun p ->
+            let needle = "nlink 5" in
+            let nl = String.length needle in
+            let rec search i =
+              i + nl <= String.length p
+              && (String.sub p i nl = needle || search (i + 1))
+            in
+            search 0)
+          problems))
+
+let test_fsck_random_tree =
+  QCheck.Test.make ~name:"fsck clean after random namespace ops" ~count:25
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let rng = Sim.Rng.create seed in
+      let fs = Fs.create () in
+      let root = Fs.root_ino fs in
+      let dirs = ref [ "" ] in
+      let files = ref [] in
+      for i = 0 to 40 do
+        let parent = Sim.Rng.pick rng (Array.of_list !dirs) in
+        match Sim.Rng.int rng 5 with
+        | 0 ->
+          let d = Printf.sprintf "%s/d%d" parent i in
+          (match Fs.mkdir fs Fs.root_cred ~cwd:root d ~perm:0o755 with
+           | Ok _ -> dirs := d :: !dirs
+           | Error _ -> ())
+        | 1 | 2 ->
+          let f = Printf.sprintf "%s/f%d" parent i in
+          (match
+             Fs.open_lookup fs Fs.root_cred ~cwd:root f
+               ~flags:Flags.Open.(o_wronly lor o_creat) ~perm:0o644
+           with
+           | Ok _ -> files := f :: !files
+           | Error _ -> ())
+        | 3 ->
+          (match !files with
+           | f :: rest when Sim.Rng.bool rng ->
+             (match Fs.unlink fs Fs.root_cred ~cwd:root f with
+              | Ok () -> files := rest
+              | Error _ -> ())
+           | _ -> ())
+        | _ ->
+          (match !files with
+           | f :: _ ->
+             let l = Printf.sprintf "%s/l%d" parent i in
+             (match Fs.link fs Fs.root_cred ~cwd:root ~existing:f l with
+              | Ok () -> files := l :: !files
+              | Error _ -> ())
+           | [] -> ())
+      done;
+      Fs.fsck fs = Ok ())
+
+let () =
+  Alcotest.run "vfs"
+    [ "filedata",
+      [ qtest test_filedata_roundtrip;
+        Alcotest.test_case "sparse" `Quick test_filedata_sparse;
+        Alcotest.test_case "truncate" `Quick test_filedata_truncate ];
+      "pipebuf",
+      [ qtest test_pipebuf_fifo;
+        Alcotest.test_case "capacity" `Quick test_pipebuf_capacity;
+        Alcotest.test_case "endpoints" `Quick test_pipebuf_endpoints ];
+      "resolve",
+      [ Alcotest.test_case "basic" `Quick test_resolve_basic;
+        Alcotest.test_case "relative + dots" `Quick
+          test_resolve_relative_and_dots;
+        Alcotest.test_case "symlink follow" `Quick test_symlink_follow;
+        Alcotest.test_case "symlink relative" `Quick
+          test_symlink_relative_target;
+        Alcotest.test_case "symlink loop" `Quick test_symlink_loop;
+        Alcotest.test_case "name too long" `Quick test_name_too_long;
+        Alcotest.test_case "trailing slash" `Quick test_trailing_slash ];
+      "namespace",
+      [ Alcotest.test_case "link/nlink" `Quick test_link_and_nlink;
+        Alcotest.test_case "unlink with opens" `Quick
+          test_unlink_with_open_refs;
+        Alcotest.test_case "rmdir" `Quick test_rmdir_semantics;
+        Alcotest.test_case "rename file" `Quick test_rename_file;
+        Alcotest.test_case "rename into subtree" `Quick
+          test_rename_dir_into_subtree;
+        Alcotest.test_case "rename updates .." `Quick
+          test_rename_dir_updates_dotdot;
+        Alcotest.test_case "path_of_ino" `Quick test_path_of_ino;
+        Alcotest.test_case "open_lookup" `Quick test_open_lookup_semantics;
+        qtest test_random_tree ];
+      "fsck",
+      [ Alcotest.test_case "fresh + built" `Quick
+          test_fsck_on_fresh_and_built;
+        Alcotest.test_case "detects corruption" `Quick
+          test_fsck_detects_corruption;
+        qtest test_fsck_random_tree ];
+      "permissions",
+      [ Alcotest.test_case "search/read" `Quick test_permission_checks;
+        Alcotest.test_case "sticky" `Quick test_sticky_bit;
+        Alcotest.test_case "chmod/chown" `Quick test_chmod_chown_rules ] ]
