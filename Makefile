@@ -1,0 +1,17 @@
+.PHONY: all check test bench-smoke clean
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+# Tier-1 verification plus a bench smoke run, so the benchmark harness
+# (and the ablation tables it prints) cannot bit-rot silently.
+check: all test bench-smoke
+
+bench-smoke:
+	dune exec bench/main.exe -- ablations
+
+clean:
+	dune clean

@@ -1,0 +1,141 @@
+(* Decode-once call envelopes: the wire vector and its typed decoding
+   travel the stack together, each materialized at most once. *)
+
+module Stats = struct
+  type snapshot = {
+    traps : int;
+    intercepted : int;
+    decodes : int;
+    encodes : int;
+    crossings : int;
+    agent_calls : int;
+  }
+
+  let traps = ref 0
+  let intercepted = ref 0
+  let decodes = ref 0
+  let encodes = ref 0
+  let crossings = ref 0
+  let agent_calls = ref 0
+
+  let snapshot () =
+    {
+      traps = !traps;
+      intercepted = !intercepted;
+      decodes = !decodes;
+      encodes = !encodes;
+      crossings = !crossings;
+      agent_calls = !agent_calls;
+    }
+
+  let reset () =
+    traps := 0;
+    intercepted := 0;
+    decodes := 0;
+    encodes := 0;
+    crossings := 0;
+    agent_calls := 0
+
+  let diff before after =
+    {
+      traps = after.traps - before.traps;
+      intercepted = after.intercepted - before.intercepted;
+      decodes = after.decodes - before.decodes;
+      encodes = after.encodes - before.encodes;
+      crossings = after.crossings - before.crossings;
+      agent_calls = after.agent_calls - before.agent_calls;
+    }
+
+  let pp fmt s =
+    Format.fprintf fmt
+      "traps=%d intercepted=%d decodes=%d encodes=%d crossings=%d \
+       agent_calls=%d"
+      s.traps s.intercepted s.decodes s.encodes s.crossings s.agent_calls
+
+  let note_trap ~intercepted:hit =
+    incr traps;
+    if hit then incr intercepted
+
+  let note_crossing () = incr crossings
+  let note_agent_call () = incr agent_calls
+end
+
+type view =
+  | Undecoded
+  | Typed of Call.t
+  | Undecodable of Errno.t
+
+type t = {
+  num : int;
+  mutable wire : Value.wire option;
+      (* [None] while the [Typed] view is authoritative but not yet
+         (re-)encoded — i.e. the dirty state. *)
+  mutable view : view;
+}
+
+let of_wire w = { num = w.Value.num; wire = Some w; view = Undecoded }
+let of_call c = { num = Call.number c; wire = None; view = Typed c }
+
+let at_boundary c =
+  (* The application/system boundary is the untyped numeric form: encode
+     now and deliberately forget the typed view, so agents below see
+     exactly what an application would have trapped with. *)
+  incr Stats.encodes;
+  { num = Call.number c; wire = Some (Call.encode c); view = Undecoded }
+
+let number t = t.num
+
+let call t =
+  match t.view with
+  | Typed c -> Ok c
+  | Undecodable e -> Error e
+  | Undecoded -> (
+    let w =
+      match t.wire with
+      | Some w -> w
+      | None -> assert false (* Undecoded implies a wire form exists *)
+    in
+    incr Stats.decodes;
+    match Call.decode w with
+    | Ok c ->
+      t.view <- Typed c;
+      Ok c
+    | Error e ->
+      t.view <- Undecodable e;
+      Error e)
+
+let wire t =
+  match t.wire with
+  | Some w -> w
+  | None -> (
+    match t.view with
+    | Typed c ->
+      incr Stats.encodes;
+      let w = Call.encode c in
+      t.wire <- Some w;
+      w
+    | Undecoded | Undecodable _ -> assert false (* no wire implies Typed *))
+
+let peek_wire t = t.wire
+
+let nargs t =
+  match t.wire with
+  | Some w -> Some (Array.length w.Value.args)
+  | None -> None
+
+let decoded t =
+  match t.view with
+  | Typed _ | Undecodable _ -> true
+  | Undecoded -> false
+
+let dirty t = t.wire = None
+
+let pp fmt t =
+  match t.view with
+  | Typed c -> Call.pp fmt c
+  | Undecodable e ->
+    Format.fprintf fmt "<undecodable syscall %d: %s>" t.num (Errno.name e)
+  | Undecoded -> (
+    match t.wire with
+    | Some w -> Value.pp_wire fmt w
+    | None -> Format.fprintf fmt "<syscall %d>" t.num)

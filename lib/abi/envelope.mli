@@ -1,0 +1,111 @@
+(** Decode-once call envelopes.
+
+    A trap crosses the interception stack as an {!t}: the untyped
+    {!Value.wire} vector and a lazily-memoized typed {!Call.t} view of
+    it travel together, so that however many agents are stacked between
+    the application and the kernel, the ABI conversion work is done at
+    most once in each direction.
+
+    Origins and their invariants:
+
+    - {!of_wire}: an untyped vector (the application trap boundary, a
+      foreign-ABI agent's output).  The typed view materializes on the
+      first {!call} and is memoized; every layer below rides it free.
+    - {!of_call}: a typed call built by agent or toolkit code on the
+      way down.  The typed view is authoritative and the encoding is
+      {e dirty} (absent): {!wire} rebuilds it on demand, which only
+      happens when a layer actually inspects the raw vector.
+    - {!at_boundary}: a typed call crossing the application/system
+      boundary.  Per the paper, that boundary is the untyped numeric
+      form, so the call is encoded immediately and the typed view is
+      deliberately dropped — interposed agents see exactly the wire
+      form the application emitted.
+
+    So: at any stacking depth a trap pays at most one decode (at the
+    first symbolic layer, or in the kernel when nothing intercepts)
+    and re-encodes only when some layer genuinely needs the raw vector
+    after a rewrite.  {!Stats} counts the codec work globally so the
+    invariant is measured (bench ablation 3, test suite) rather than
+    asserted. *)
+
+type t
+
+(** {1 Construction} *)
+
+val of_wire : Value.wire -> t
+(** Wrap an untyped vector; the typed view is decoded lazily. *)
+
+val of_call : Call.t -> t
+(** Wrap a typed call; the wire form is encoded lazily (the envelope
+    starts {!dirty}).  This is what agents and the toolkit use to send
+    new or rewritten calls down the stack. *)
+
+val at_boundary : Call.t -> t
+(** Encode a typed call for the application trap boundary: the wire
+    form is materialized now (and counted), the typed view dropped.
+    Used by the C-library stubs, where the ABI contract is untyped. *)
+
+(** {1 The two views} *)
+
+val number : t -> int
+(** The system call number; always available without codec work. *)
+
+val call : t -> (Call.t, Errno.t) result
+(** The typed view, decoding (once) if necessary.  Fails with [ENOSYS]
+    for an unknown number, [EFAULT] for malformed arguments; the
+    failure itself is memoized. *)
+
+val wire : t -> Value.wire
+(** The untyped view, encoding (once) if necessary. *)
+
+val peek_wire : t -> Value.wire option
+(** The wire form only if already materialized — never encodes. *)
+
+val nargs : t -> int option
+(** Arity of the wire form, if materialized. *)
+
+val decoded : t -> bool
+(** Whether the typed view has been materialized (true from birth for
+    {!of_call} envelopes).  A layer about to pay virtual decode cost
+    checks this first: memoized views are free. *)
+
+val dirty : t -> bool
+(** Whether the typed view is authoritative but not (re-)encoded: a
+    {!wire} on a dirty envelope performs real encode work. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the typed view when available, the raw vector otherwise. *)
+
+(** {1 Codec accounting}
+
+    Global counters over every envelope in the program, bumped only
+    when real codec work happens (memoized hits are free).  The bench
+    harness and the test suite take {!Stats.snapshot}s around a
+    workload and check invariants on the {!Stats.diff}: e.g. under a
+    stack of null symbolic agents, [decodes = traps] exactly —
+    one decode per intercepted trap, at any depth. *)
+module Stats : sig
+  type snapshot = {
+    traps : int;         (** application-level trap entries *)
+    intercepted : int;   (** traps that hit an emulation handler *)
+    decodes : int;       (** wire → typed materializations *)
+    encodes : int;       (** typed → wire materializations *)
+    crossings : int;     (** envelope handed down one stack layer *)
+    agent_calls : int;   (** envelopes originated by agent/toolkit code *)
+  }
+
+  val snapshot : unit -> snapshot
+  val reset : unit -> unit
+
+  val diff : snapshot -> snapshot -> snapshot
+  (** [diff before after]: counts in the window between two snapshots. *)
+
+  val pp : Format.formatter -> snapshot -> unit
+
+  (** {2 Attribution hooks} — called by the kernel stubs and the
+      toolkit's down path; not meant for agent code. *)
+
+  val note_trap : intercepted:bool -> unit
+  val note_crossing : unit -> unit
+  val note_agent_call : unit -> unit
+end

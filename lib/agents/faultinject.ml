@@ -32,8 +32,8 @@ class agent (config : config) =
 
     method! init _argv = List.iter self#register_interest config.candidates
 
-    method! syscall w =
-      let num = w.Value.num in
+    method! syscall env =
+      let num = Envelope.number env in
       if
         List.mem num config.candidates
         && config.failure_rate > 0.0
@@ -44,7 +44,7 @@ class agent (config : config) =
           (1 + Option.value ~default:0 (Hashtbl.find_opt counts num));
         Error config.errno
       end
-      else super#syscall w
+      else super#syscall env
   end
 
 let create config = new agent config

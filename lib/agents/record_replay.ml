@@ -165,19 +165,23 @@ class recorder =
 
     method! init _argv = self#register_interest_all
 
-    method! syscall w =
-      let res = super#syscall w in
-      if replayable w.Value.num then begin
+    method! syscall env =
+      let res = super#syscall env in
+      let num = Envelope.number env in
+      if replayable num then begin
         (* serialising the entry is real work *)
         Toolkit.Boilerplate.charge 25;
         let pid = (Kernel.Uspace.self ()).Kernel.Proc.pid in
+        (* out-parameters are shared refs/buffers, so materializing the
+           wire form after the call still sees the call's results *)
+        let w = Envelope.wire env in
         let e =
           match res with
           | Ok { Value.r0; r1 } ->
-            { e_pid = pid; e_num = w.num; e_r0 = r0; e_r1 = r1; e_err = 0;
+            { e_pid = pid; e_num = num; e_r0 = r0; e_r1 = r1; e_err = 0;
               e_out = capture_out w r0 }
           | Error err ->
-            { e_pid = pid; e_num = w.num; e_r0 = -1; e_r1 = 0;
+            { e_pid = pid; e_num = num; e_r0 = -1; e_r1 = 0;
               e_err = Errno.to_int err; e_out = "" }
         in
         Buffer.add_string journal_buf (entry_line e);
@@ -218,15 +222,16 @@ class replayer ~(journal : string) =
           | None -> ())
         (String.split_on_char '\n' journal)
 
-    method! syscall w =
-      if not (replayable w.Value.num) then super#syscall w
+    method! syscall env =
+      let num = Envelope.number env in
+      if not (replayable num) then super#syscall env
       else begin
         Toolkit.Boilerplate.charge 20;
         let pid = (Kernel.Uspace.self ()).Kernel.Proc.pid in
         match Hashtbl.find_opt queues pid with
         | Some q when not (Queue.is_empty q) ->
           let e = Queue.pop q in
-          if e.e_num <> w.Value.num then begin
+          if e.e_num <> num then begin
             desyncs <- desyncs + 1;
             Error Errno.EIO
           end
@@ -236,7 +241,7 @@ class replayer ~(journal : string) =
               Error
                 (Option.value ~default:Errno.EIO (Errno.of_int e.e_err))
             else begin
-              restore_out w e;
+              restore_out (Envelope.wire env) e;
               Ok { Value.r0 = e.e_r0; r1 = e.e_r1 }
             end
           end

@@ -10,15 +10,17 @@ class agent =
     method! init _argv =
       List.iter self#register_interest Foreign_abi.numbers
 
-    method! syscall w =
-      if List.mem w.Abi.Value.num Foreign_abi.numbers then
-        match Foreign_abi.to_native w with
+    method! syscall env =
+      if List.mem (Abi.Envelope.number env) Foreign_abi.numbers then
+        (* a cross-ABI rewrite: take the raw vector, translate it, and
+           re-wrap — the one legitimate fresh-envelope point *)
+        match Foreign_abi.to_native (Abi.Envelope.wire env) with
         | Ok native ->
           translated <- translated + 1;
           (* fork and execve still need the boilerplate treatment *)
-          super#syscall native
+          super#syscall (Abi.Envelope.of_wire native)
         | Error e -> Error e
-      else super#syscall w
+      else super#syscall env
   end
 
 let create () = new agent

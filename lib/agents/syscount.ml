@@ -10,11 +10,11 @@ class agent =
     method! agent_name = "syscount"
     method! init _argv = self#register_interest_all
 
-    method! syscall w =
-      let n = w.Value.num in
+    method! syscall env =
+      let n = Envelope.number env in
       if n >= 0 && n < Array.length counts then
         counts.(n) <- counts.(n) + 1;
-      super#syscall w
+      super#syscall env
 
     method! signal_handler s =
       if Signal.is_valid s then sig_counts.(s) <- sig_counts.(s) + 1;

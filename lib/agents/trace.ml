@@ -319,9 +319,9 @@ class agent =
       self#pre "getcwd" (buf_str buf);
       self#post "getcwd" (super#sys_getcwd buf)
 
-    method! unknown_syscall w =
-      self#pre "syscall" (Format.asprintf "%a" Value.pp_wire w);
-      self#post "syscall" (super#unknown_syscall w)
+    method! unknown_syscall env =
+      self#pre "syscall" (Format.asprintf "%a" Envelope.pp env);
+      self#post "syscall" (super#unknown_syscall env)
   end
 
 let create ?(fd = 2) () =

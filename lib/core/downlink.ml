@@ -1,7 +1,7 @@
 open Abi
 
 type t = {
-  mutable prev : (Value.wire -> Value.res) option array;
+  mutable prev : (Envelope.t -> Value.res) option array;
   mutable prev_sig : (int -> unit) option;
 }
 
@@ -21,16 +21,20 @@ let captured_handler t n =
 
 let captured_signal t = t.prev_sig
 
-let down t (w : Value.wire) =
+let down t (env : Envelope.t) =
+  Envelope.Stats.note_crossing ();
+  let num = Envelope.number env in
   let prev =
-    if w.num >= 0 && w.num < Array.length t.prev then t.prev.(w.num)
+    if num >= 0 && num < Array.length t.prev then t.prev.(num)
     else None
   in
   match prev with
-  | Some handler -> handler w
-  | None -> Kernel.Uspace.htg_unix_syscall w
+  | Some handler -> handler env
+  | None -> Kernel.Uspace.htg_trap env
 
-let down_call t c = down t (Call.encode c)
+let down_call t c =
+  Envelope.Stats.note_agent_call ();
+  down t (Envelope.of_call c)
 
 let down_signal t s =
   match t.prev_sig with

@@ -18,13 +18,16 @@ val capture : t -> numbers:int list -> unit
     the target process, before the agent's own handlers are
     installed. *)
 
-val down : t -> Abi.Value.wire -> Abi.Value.res
-(** Invoke the next-lower system interface instance. *)
+val down : t -> Abi.Envelope.t -> Abi.Value.res
+(** Invoke the next-lower system interface instance, handing the same
+    envelope down so its memoized typed view survives the crossing. *)
 
 val down_call : t -> Abi.Call.t -> Abi.Value.res
-(** Typed convenience over {!down}. *)
+(** Typed convenience over {!down}: wraps [c] in a fresh envelope whose
+    typed view is authoritative (encoded only if a lower layer demands
+    the raw vector). *)
 
-val captured_handler : t -> int -> (Abi.Value.wire -> Abi.Value.res) option
+val captured_handler : t -> int -> (Abi.Envelope.t -> Abi.Value.res) option
 (** What {!capture} recorded for one number (used by the loader to
     restore state on uninstall). *)
 

@@ -15,7 +15,7 @@ let install (agent : #Numeric.numeric_syscall) ~argv =
   agent#init argv;
   Kernel.Uspace.task_set_emulation
     ~numbers:(effective_interests agent)
-    (Some (fun w -> agent#syscall w));
+    (Some (fun env -> agent#syscall env));
   Kernel.Uspace.task_set_emulation_signal
     (Some (fun s -> agent#signal_handler s))
 

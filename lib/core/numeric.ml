@@ -29,20 +29,22 @@ class numeric_syscall =
     method init (_argv : string array) = ()
     method init_child = ()
 
-    method syscall (w : Value.wire) : Value.res =
+    method syscall (env : Envelope.t) : Value.res =
       Kernel.Uspace.cpu_work Cost_model.numeric_dispatch_us;
-      if w.num = Sysno.sys_fork then
-        match Value.Get.body w 0 with
-        | Ok body ->
+      let num = Envelope.number env in
+      if num = Sysno.sys_fork then
+        match Envelope.call env with
+        | Ok (Call.Fork body) ->
           Boilerplate.do_fork dl ~init_child:(fun () -> self#init_child) body
+        | Ok _ -> Error Errno.EFAULT
         | Error e -> Error e
-      else if w.num = Sysno.sys_execve then
-        match
-          Value.Get.str w 0, Value.Get.strs w 1, Value.Get.strs w 2
-        with
-        | Ok path, Ok argv, Ok envp -> Boilerplate.do_execve dl path argv envp
-        | (Error e, _, _) | (_, Error e, _) | (_, _, Error e) -> Error e
-      else Downlink.down dl w
+      else if num = Sysno.sys_execve then
+        match Envelope.call env with
+        | Ok (Call.Execve (path, argv, envp)) ->
+          Boilerplate.do_execve dl path argv envp
+        | Ok _ -> Error Errno.EFAULT
+        | Error e -> Error e
+      else Downlink.down dl env
 
     method signal_handler (s : int) = Downlink.down_signal dl s
   end

@@ -11,10 +11,11 @@
     boilerplate beneath this class takes care of. *)
 
 class numeric_syscall : object
-  method syscall : Abi.Value.wire -> Abi.Value.res
-  (** Called for every intercepted system call.  The default
-      implementation handles the fork/execve boilerplate and passes
-      everything else down unchanged. *)
+  method syscall : Abi.Envelope.t -> Abi.Value.res
+  (** Called for every intercepted system call, carried in a
+      decode-once envelope.  The default implementation handles the
+      fork/execve boilerplate and passes everything else down
+      unchanged — same envelope, no codec work. *)
 
   method signal_handler : int -> unit
   (** Called for every incoming signal the application has a handler

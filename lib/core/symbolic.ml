@@ -4,16 +4,26 @@ class symbolic_syscall =
   object (self)
     inherit Numeric.numeric_syscall as super
 
-    (* The numeric -> symbolic mapping: decode the untyped vector and
-       invoke the per-call virtual method (the role played by the
-       toolkit-supplied derived numeric_syscall object in the paper). *)
-    method! syscall (w : Value.wire) : Value.res =
-      match Call.decode w with
-      | Error Errno.ENOSYS -> self#unknown_syscall w
+    (* The numeric -> symbolic mapping: obtain the typed view of the
+       envelope and invoke the per-call virtual method (the role played
+       by the toolkit-supplied derived numeric_syscall object in the
+       paper).  The decode is paid — in codec work and in virtual time
+       — only by the first symbolic layer the trap meets; every layer
+       below rides the memoized view for free. *)
+    method! syscall (env : Envelope.t) : Value.res =
+      let fresh = not (Envelope.decoded env) in
+      match Envelope.call env with
+      | Error Errno.ENOSYS -> self#unknown_syscall env
       | Error e -> Error e
       | Ok call ->
+        (* first symbolic layer pays the full decode; lower layers pay
+           only the virtual-method dispatch on the memoized view *)
         Kernel.Uspace.cpu_work
-          (Cost_model.symbolic_decode_us ~nargs:(Array.length w.args));
+          (if fresh then
+             Cost_model.symbolic_decode_us
+               ~nargs:
+                 (match Envelope.nargs env with Some n -> n | None -> 0)
+           else Cost_model.numeric_dispatch_us);
         self#dispatch_call call
 
     method private dispatch_call (call : Call.t) : Value.res =
@@ -159,5 +169,5 @@ class symbolic_syscall =
     method sys_sleepus us = self#down (Call.Sleepus us)
     method sys_getcwd buf = self#down (Call.Getcwd buf)
 
-    method unknown_syscall (w : Value.wire) : Value.res = super#syscall w
+    method unknown_syscall (env : Envelope.t) : Value.res = super#syscall env
   end

@@ -82,7 +82,7 @@ class symbolic_syscall : object
   method sys_sleepus : int -> Abi.Value.res
   method sys_getcwd : Bytes.t -> Abi.Value.res
 
-  method unknown_syscall : Abi.Value.wire -> Abi.Value.res
-  (** A number outside the decodable interface; default: pass the raw
-      vector down unchanged. *)
+  method unknown_syscall : Abi.Envelope.t -> Abi.Value.res
+  (** A number outside the decodable interface; default: pass the
+      envelope down unchanged. *)
 end

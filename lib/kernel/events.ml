@@ -12,14 +12,14 @@ type exec_spec = {
 }
 
 type _ Effect.t +=
-  | Trap : Abi.Value.wire * via -> trap_reply Effect.t
+  | Trap : Abi.Envelope.t * via -> trap_reply Effect.t
   | Cpu : int -> int list Effect.t
   | Exec_load : exec_spec -> unit Effect.t
   | Set_emulation :
-      int list * (Abi.Value.wire -> Abi.Value.res) option
+      int list * (Abi.Envelope.t -> Abi.Value.res) option
       -> unit Effect.t
   | Get_emulation :
-      int -> (Abi.Value.wire -> Abi.Value.res) option Effect.t
+      int -> (Abi.Envelope.t -> Abi.Value.res) option Effect.t
   | Set_emulation_signal : (int -> unit) option -> unit Effect.t
   | Get_emulation_signal : (int -> unit) option Effect.t
 

@@ -31,8 +31,10 @@ type exec_spec = {
 }
 
 type _ Effect.t +=
-  | Trap : Abi.Value.wire * via -> trap_reply Effect.t
-      (** A system call arriving at the kernel. *)
+  | Trap : Abi.Envelope.t * via -> trap_reply Effect.t
+      (** A system call arriving at the kernel, as a decode-once
+          envelope: the kernel reuses a typed view materialized by any
+          agent above it rather than decoding again. *)
   | Cpu : int -> int list Effect.t
       (** Charge [n] µs of user computation to the virtual clock.  Also
           a scheduling and signal-check point: returns the signals to
@@ -40,12 +42,12 @@ type _ Effect.t +=
   | Exec_load : exec_spec -> unit Effect.t
       (** Never returns: the scheduler abandons the current fibre. *)
   | Set_emulation :
-      int list * (Abi.Value.wire -> Abi.Value.res) option
+      int list * (Abi.Envelope.t -> Abi.Value.res) option
       -> unit Effect.t
       (** [task_set_emulation]: install (or, with [None], clear) the
           in-address-space handler for the given syscall numbers. *)
   | Get_emulation :
-      int -> (Abi.Value.wire -> Abi.Value.res) option Effect.t
+      int -> (Abi.Envelope.t -> Abi.Value.res) option Effect.t
       (** Read the current handler for one number (used to chain
           stacked agents). *)
   | Set_emulation_signal : (int -> unit) option -> unit Effect.t

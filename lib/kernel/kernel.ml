@@ -109,7 +109,7 @@ let base_cost (via : Events.via) call =
      | Events.Htg -> Cost_model.htg_overhead_us
      | Events.App -> 0)
 
-let rec process_trap (t : t) (proc : Proc.t) (w : Value.wire)
+let rec process_trap (t : t) (proc : Proc.t) (env : Envelope.t)
     (via : Events.via) k ~first =
   (* a deferred fatal signal takes effect at syscall entry, before the
      call can park the process out of its reach *)
@@ -119,7 +119,9 @@ let rec process_trap (t : t) (proc : Proc.t) (w : Value.wire)
     Kstate.do_exit t proc status;
     discard k
   | `Stop _ | `None ->
-  match Call.decode w with
+  (* decode-once: if any agent above already materialized the typed
+     view, this is a memoized read, not a second decode *)
+  match Envelope.call env with
   | Error e ->
     if first then Kstate.charge t Cost_model_base.trivial_us;
     finish_reply t proc k { Events.res = Error e; deliver = [] }
@@ -144,7 +146,7 @@ let rec process_trap (t : t) (proc : Proc.t) (w : Value.wire)
          | Proc.On_select _ ->
            None
        in
-       proc.state <- Proc.Parked { k; wire = w; via; cond; saved_mask };
+       proc.state <- Proc.Parked { k; env; via; cond; saved_mask };
        (match cond with
         | Proc.On_child -> Kstate.sleep_on t (Kstate.K_child proc.pid) proc.pid
         | _ ->
@@ -188,10 +190,10 @@ let run_fiber (t : t) (proc : Proc.t) (body : unit -> int) =
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
-          | Events.Trap (w, via) ->
+          | Events.Trap (env, via) ->
             Some (fun (k : (a, unit) continuation) ->
               Proc.Cur.set None;
-              process_trap t proc w via k ~first:true)
+              process_trap t proc env via k ~first:true)
           | Events.Cpu us ->
             Some (fun (k : (a, unit) continuation) ->
               Proc.Cur.set None;
@@ -258,7 +260,7 @@ let retry (t : t) (proc : Proc.t) =
     Kstate.enqueue t (fun () ->
       match proc.state with
       | Proc.Runnable ->
-        process_trap t proc park.wire park.via park.k ~first:false
+        process_trap t proc park.env park.via park.k ~first:false
       | Proc.Zombie | Proc.Reaped -> discard park.k
       | Proc.Parked _ | Proc.Stopped _ -> ())
   | Proc.Runnable | Proc.Stopped _ | Proc.Zombie | Proc.Reaped -> ()
@@ -469,6 +471,9 @@ let echo_console_to (t : t) f = Dev.Console.set_echo t.console f
 let elapsed_seconds (t : t) = Sim.Clock.seconds t.clock
 let total_syscalls = Kstate.total_syscalls
 let deadlock_kills (t : t) = t.deadlock_kills
+
+let codec_stats () = Envelope.Stats.snapshot ()
+let reset_codec_stats () = Envelope.Stats.reset ()
 
 let post_signal (t : t) ~pid s =
   match Kstate.proc t pid with

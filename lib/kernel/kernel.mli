@@ -69,6 +69,14 @@ val fs : t -> Vfs.Fs.t
 val elapsed_seconds : t -> float
 val total_syscalls : t -> int
 val deadlock_kills : t -> int
+
+val codec_stats : unit -> Abi.Envelope.Stats.snapshot
+(** Global envelope codec counters (decodes, encodes, stack crossings)
+    since the last {!reset_codec_stats} — the measured form of the
+    decode-once invariant.  Global rather than per-kernel: envelopes do
+    their codec work in user space, outside any kernel instance. *)
+
+val reset_codec_stats : unit -> unit
 val post_signal : t -> pid:int -> int -> unit
 (** Inject a signal from outside the simulation (like a console ^C). *)
 

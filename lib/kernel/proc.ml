@@ -15,7 +15,7 @@ type cond =
 
 type park = {
   k : (Events.trap_reply, unit) Effect.Deep.continuation;
-  wire : Abi.Value.wire;
+  env : Abi.Envelope.t;
   via : Events.via;
   cond : cond;
   saved_mask : int option;
@@ -40,7 +40,7 @@ type sigstate = {
 }
 
 type emulation = {
-  mutable vector : (Abi.Value.wire -> Abi.Value.res) option array;
+  mutable vector : (Abi.Envelope.t -> Abi.Value.res) option array;
   mutable sig_emul : (int -> unit) option;
 }
 

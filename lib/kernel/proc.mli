@@ -18,7 +18,8 @@ type cond =
 
 type park = {
   k : (Events.trap_reply, unit) Effect.Deep.continuation;
-  wire : Abi.Value.wire;
+  env : Abi.Envelope.t;         (** the in-flight call, typed view memoized
+                                    across wakeup retries *)
   via : Events.via;
   cond : cond;
   saved_mask : int option;      (** sigsuspend restores this mask *)
@@ -48,7 +49,7 @@ type sigstate = {
     space, and so the agent, goes with the child); cleared by a raw
     [execve]. *)
 type emulation = {
-  mutable vector : (Abi.Value.wire -> Abi.Value.res) option array;
+  mutable vector : (Abi.Envelope.t -> Abi.Value.res) option array;
   mutable sig_emul : (int -> unit) option;
 }
 

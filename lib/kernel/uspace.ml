@@ -12,32 +12,42 @@ let deliver_one (proc : Proc.t) s =
 
 let deliver proc sigs = List.iter (deliver_one proc) sigs
 
-let trap_wire (w : Value.wire) : Value.res =
+let trap (env : Envelope.t) : Value.res =
   let proc = self () in
   proc.syscall_count <- proc.syscall_count + 1;
   let vec = proc.emul.vector in
+  let num = Envelope.number env in
   let handler =
-    if w.num >= 0 && w.num < Array.length vec then vec.(w.num) else None
+    if num >= 0 && num < Array.length vec then vec.(num) else None
   in
+  Envelope.Stats.note_trap ~intercepted:(Option.is_some handler);
   match handler with
   | Some h ->
     let sigs = Effect.perform (Events.Cpu Cost_model.intercept_us) in
     deliver proc sigs;
-    h w
+    h env
   | None ->
-    let reply = Effect.perform (Events.Trap (w, Events.App)) in
+    let reply = Effect.perform (Events.Trap (env, Events.App)) in
     deliver proc reply.deliver;
     reply.res
 
-let syscall c = trap_wire (Call.encode c)
+let trap_wire w = trap (Envelope.of_wire w)
 
-let htg_unix_syscall (w : Value.wire) : Value.res =
+(* the application/system boundary is untyped: encode here, and let the
+   first interested layer below (agent or kernel) do the one decode *)
+let syscall c = trap (Envelope.at_boundary c)
+
+let htg_trap (env : Envelope.t) : Value.res =
   let proc = self () in
-  let reply = Effect.perform (Events.Trap (w, Events.Htg)) in
+  let reply = Effect.perform (Events.Trap (env, Events.Htg)) in
   deliver proc reply.deliver;
   reply.res
 
-let htg_syscall c = htg_unix_syscall (Call.encode c)
+let htg_unix_syscall w = htg_trap (Envelope.of_wire w)
+
+(* agent-originated: the typed view rides the envelope down, never
+   paying an encode unless some layer demands the wire form *)
+let htg_syscall c = htg_trap (Envelope.of_call c)
 
 let cpu_work us =
   if us > 0 then begin

@@ -12,20 +12,33 @@
     Signals with user handlers are delivered on the way out of traps,
     through the agent's signal interposer when one is registered. *)
 
+val trap : Abi.Envelope.t -> Abi.Value.res
+(** Make a system call carried in a decode-once envelope.  Counts
+    toward the calling process's syscall statistics; pays the 30 µs
+    interception cost when an emulation handler is installed for the
+    number. *)
+
 val trap_wire : Abi.Value.wire -> Abi.Value.res
-(** Make a system call in numeric form.  Counts toward the calling
-    process's syscall statistics; pays the 30 µs interception cost when
-    an emulation handler is installed for the number. *)
+(** Numeric-form convenience: wraps the vector in a fresh envelope and
+    {!trap}s it. *)
 
 val syscall : Abi.Call.t -> Abi.Value.res
-(** Typed convenience over {!trap_wire}. *)
+(** Typed application-boundary call.  The call is encoded immediately
+    ({!Abi.Envelope.at_boundary}) — the boundary contract is the
+    untyped vector, so stacked agents see exactly what a real
+    application would have trapped with, and the first interested
+    layer performs the single decode. *)
 
-val htg_unix_syscall : Abi.Value.wire -> Abi.Value.res
+val htg_trap : Abi.Envelope.t -> Abi.Value.res
 (** Call the underlying system interface even if the number is being
     intercepted (+37 µs, Table 3-4). *)
 
+val htg_unix_syscall : Abi.Value.wire -> Abi.Value.res
+(** Numeric-form convenience over {!htg_trap}. *)
+
 val htg_syscall : Abi.Call.t -> Abi.Value.res
-(** Typed convenience over {!htg_unix_syscall}. *)
+(** Typed convenience over {!htg_trap}; the typed view rides the
+    envelope down with no codec work at all. *)
 
 val cpu_work : int -> unit
 (** Charge local computation to the virtual clock.  Also a signal
@@ -34,11 +47,11 @@ val cpu_work : int -> unit
 (** {1 Mach-style task primitives} *)
 
 val task_set_emulation :
-  numbers:int list -> (Abi.Value.wire -> Abi.Value.res) option -> unit
+  numbers:int list -> (Abi.Envelope.t -> Abi.Value.res) option -> unit
 (** Install ([Some]) or clear ([None]) the emulation handler for the
     given system call numbers in the calling task. *)
 
-val task_get_emulation : int -> (Abi.Value.wire -> Abi.Value.res) option
+val task_get_emulation : int -> (Abi.Envelope.t -> Abi.Value.res) option
 
 val task_set_emulation_signal : (int -> unit) option -> unit
 val task_get_emulation_signal : unit -> (int -> unit) option

@@ -265,6 +265,203 @@ let test_call_pp () =
       Alcotest.(check bool) (Call.name c) true (String.length s > 0))
     call_cases
 
+(* --- exhaustive encode/decode round-trip ------------------------------------- *)
+
+(* Wire values carry closures and shared out-cells, so equality is
+   physical for those and structural for the plain data. *)
+let value_equal (a : Value.t) (b : Value.t) =
+  match a, b with
+  | Value.Body f, Value.Body g -> f == g
+  | Value.Buf x, Value.Buf y -> x == y
+  | Value.Stat_ref x, Value.Stat_ref y -> x == y
+  | Value.Tv_ref x, Value.Tv_ref y -> x == y
+  | Value.Handler_ref x, Value.Handler_ref y -> x == y
+  | Value.Handler (Value.H_fn f), Value.Handler (Value.H_fn g) -> f == g
+  | Value.Nil, Value.Nil -> true
+  | Value.Int x, Value.Int y -> x = y
+  | Value.Str x, Value.Str y -> x = y
+  | Value.Strs x, Value.Strs y -> x = y
+  | Value.Handler x, Value.Handler y -> x = y   (* H_default / H_ignore *)
+  | _ -> false
+
+let call_equal (a : Call.t) (b : Call.t) =
+  Call.number a = Call.number b
+  &&
+  let wa = Call.encode a and wb = Call.encode b in
+  Array.length wa.Value.args = Array.length wb.Value.args
+  && Array.for_all2 value_equal wa.Value.args wb.Value.args
+
+(* One generator per constructor, keyed by syscall number so coverage
+   of the whole interface is checkable, not assumed. *)
+let call_builders : (int * Call.t QCheck.Gen.t) list =
+  let open QCheck.Gen in
+  let i = small_nat in
+  let s = map (Printf.sprintf "/p/%d") small_nat in
+  let buf = map (fun n -> Bytes.create (n + 1)) (int_bound 63) in
+  let strs = array_size (int_bound 3) (map string_of_int small_nat) in
+  let body = (fun () -> 0) in
+  let handler =
+    oneofl [ Value.H_default; Value.H_ignore; Value.H_fn ignore ]
+  in
+  [ Sysno.sys_exit, map (fun n -> Call.Exit n) i;
+    Sysno.sys_fork, return (Call.Fork body);
+    Sysno.sys_read, map2 (fun fd b -> Call.Read (fd, b, Bytes.length b)) i buf;
+    Sysno.sys_write, map2 (fun fd d -> Call.Write (fd, d)) i (map string_of_int i);
+    Sysno.sys_open, map3 (fun p f m -> Call.Open (p, f, m)) s i i;
+    Sysno.sys_close, map (fun fd -> Call.Close fd) i;
+    Sysno.sys_wait4, map2 (fun p o -> Call.Wait4 (p, o)) i i;
+    Sysno.sys_creat, map2 (fun p m -> Call.Creat (p, m)) s i;
+    Sysno.sys_link, map2 (fun a b -> Call.Link (a, b)) s s;
+    Sysno.sys_unlink, map (fun p -> Call.Unlink p) s;
+    Sysno.sys_execve, map3 (fun p a e -> Call.Execve (p, a, e)) s strs strs;
+    Sysno.sys_chdir, map (fun p -> Call.Chdir p) s;
+    Sysno.sys_fchdir, map (fun fd -> Call.Fchdir fd) i;
+    Sysno.sys_mknod, map3 (fun p m d -> Call.Mknod (p, m, d)) s i i;
+    Sysno.sys_chmod, map2 (fun p m -> Call.Chmod (p, m)) s i;
+    Sysno.sys_chown, map3 (fun p u g -> Call.Chown (p, u, g)) s i i;
+    Sysno.sys_sbrk, map (fun d -> Call.Sbrk d) i;
+    Sysno.sys_lseek, map3 (fun fd o w -> Call.Lseek (fd, o, w)) i i (int_bound 2);
+    Sysno.sys_getpid, return Call.Getpid;
+    Sysno.sys_setuid, map (fun u -> Call.Setuid u) i;
+    Sysno.sys_getuid, return Call.Getuid;
+    Sysno.sys_geteuid, return Call.Geteuid;
+    Sysno.sys_alarm, map (fun n -> Call.Alarm n) i;
+    Sysno.sys_access, map2 (fun p b -> Call.Access (p, b)) s (int_bound 7);
+    Sysno.sys_sync, return Call.Sync;
+    Sysno.sys_kill, map2 (fun p sg -> Call.Kill (p, sg)) i (int_range 1 31);
+    Sysno.sys_stat, map (fun p -> Call.Stat (p, ref None)) s;
+    Sysno.sys_getppid, return Call.Getppid;
+    Sysno.sys_lstat, map (fun p -> Call.Lstat (p, ref None)) s;
+    Sysno.sys_dup, map (fun fd -> Call.Dup fd) i;
+    Sysno.sys_pipe, return Call.Pipe;
+    Sysno.sys_socketpair, return Call.Socketpair;
+    Sysno.sys_getegid, return Call.Getegid;
+    Sysno.sys_sigaction,
+    (map3
+       (fun sg h keep ->
+         Call.Sigaction (sg, h, if keep then Some (ref None) else None))
+       (int_range 1 31) (option handler) bool);
+    Sysno.sys_getgid, return Call.Getgid;
+    Sysno.sys_sigprocmask, map2 (fun h m -> Call.Sigprocmask (h, m)) (int_bound 2) i;
+    Sysno.sys_sigpending, return Call.Sigpending;
+    Sysno.sys_sigsuspend, map (fun m -> Call.Sigsuspend m) i;
+    Sysno.sys_ioctl, map3 (fun fd op b -> Call.Ioctl (fd, op, b)) i i buf;
+    Sysno.sys_symlink, map2 (fun t p -> Call.Symlink (t, p)) s s;
+    Sysno.sys_readlink, map2 (fun p b -> Call.Readlink (p, b)) s buf;
+    Sysno.sys_umask, map (fun m -> Call.Umask m) (int_bound 0o777);
+    Sysno.sys_fstat, map (fun fd -> Call.Fstat (fd, ref None)) i;
+    Sysno.sys_getpagesize, return Call.Getpagesize;
+    Sysno.sys_getpgrp, return Call.Getpgrp;
+    Sysno.sys_setpgrp, map2 (fun p g -> Call.Setpgrp (p, g)) i i;
+    Sysno.sys_getdtablesize, return Call.Getdtablesize;
+    Sysno.sys_dup2, map2 (fun o n -> Call.Dup2 (o, n)) i i;
+    Sysno.sys_fcntl, map3 (fun fd c a -> Call.Fcntl (fd, c, a)) i i i;
+    Sysno.sys_fsync, map (fun fd -> Call.Fsync fd) i;
+    Sysno.sys_select, map3 (fun r w t -> Call.Select (r, w, t)) i i i;
+    Sysno.sys_gettimeofday, return (Call.Gettimeofday (ref None));
+    Sysno.sys_getrusage, return (Call.Getrusage (ref None));
+    Sysno.sys_settimeofday, map2 (fun sec us -> Call.Settimeofday (sec, us)) i i;
+    Sysno.sys_rename, map2 (fun a b -> Call.Rename (a, b)) s s;
+    Sysno.sys_truncate, map2 (fun p l -> Call.Truncate (p, l)) s i;
+    Sysno.sys_ftruncate, map2 (fun fd l -> Call.Ftruncate (fd, l)) i i;
+    Sysno.sys_mkdir, map2 (fun p m -> Call.Mkdir (p, m)) s i;
+    Sysno.sys_rmdir, map (fun p -> Call.Rmdir p) s;
+    Sysno.sys_utimes, map3 (fun p a m -> Call.Utimes (p, a, m)) s i i;
+    Sysno.sys_getdirentries, map2 (fun fd b -> Call.Getdirentries (fd, b)) i buf;
+    Sysno.sys_sleepus, map (fun us -> Call.Sleepus us) i;
+    Sysno.sys_getcwd, map (fun b -> Call.Getcwd b) buf ]
+
+let test_builders_cover_interface () =
+  (* the generator table IS the interface: every syscall number, once *)
+  Alcotest.(check (list int))
+    "one builder per syscall" Sysno.all
+    (List.sort compare (List.map fst call_builders));
+  List.iter
+    (fun (num, gen) ->
+      let c = QCheck.Gen.generate1 gen in
+      Alcotest.(check int) (Sysno.name num) num (Call.number c))
+    call_builders
+
+let gen_call =
+  QCheck.Gen.(oneofl call_builders >>= fun (_, g) -> g)
+
+let arb_call =
+  QCheck.make ~print:(fun c -> Format.asprintf "%a" Call.pp c) gen_call
+
+let test_call_roundtrip_exhaustive =
+  QCheck.Test.make ~name:"decode (encode c) = Ok c, all constructors"
+    ~count:1000 arb_call
+    (fun c ->
+      match Call.decode (Call.encode c) with
+      | Ok c' -> call_equal c c'
+      | Error _ -> false)
+
+(* --- envelopes -------------------------------------------------------------------- *)
+
+let codec_window f =
+  let before = Envelope.Stats.snapshot () in
+  let r = f () in
+  (r, Envelope.Stats.diff before (Envelope.Stats.snapshot ()))
+
+let test_envelope_decode_once () =
+  let env = Envelope.of_wire (Call.encode (Call.Close 3)) in
+  Alcotest.(check bool) "starts undecoded" false (Envelope.decoded env);
+  let (first, d) =
+    codec_window (fun () ->
+      let a = Envelope.call env in
+      let b = Envelope.call env in
+      Alcotest.(check bool) "memoized view is the same" true
+        (match a, b with Ok x, Ok y -> x == y | _ -> false);
+      a)
+  in
+  Alcotest.(check int) "one decode for two reads" 1 d.Envelope.Stats.decodes;
+  Alcotest.(check int) "no encodes" 0 d.Envelope.Stats.encodes;
+  (match first with
+   | Ok (Call.Close 3) -> ()
+   | _ -> Alcotest.fail "decoded to the wrong call");
+  Alcotest.(check bool) "now decoded" true (Envelope.decoded env);
+  Alcotest.(check bool) "wire memoized, not dirty" false (Envelope.dirty env)
+
+let test_envelope_of_call_lazy_encode () =
+  let env = Envelope.of_call (Call.Unlink "/tmp/x") in
+  Alcotest.(check bool) "typed from birth" true (Envelope.decoded env);
+  Alcotest.(check bool) "dirty until someone wants the vector" true
+    (Envelope.dirty env);
+  Alcotest.(check (option int)) "no wire yet" None
+    (Option.map (fun (w : Value.wire) -> w.Value.num)
+       (Envelope.peek_wire env));
+  let (_, d) =
+    codec_window (fun () ->
+      let a = Envelope.wire env in
+      let b = Envelope.wire env in
+      Alcotest.(check bool) "memoized wire is the same" true (a == b))
+  in
+  Alcotest.(check int) "one encode for two reads" 1 d.Envelope.Stats.encodes;
+  Alcotest.(check int) "no decodes" 0 d.Envelope.Stats.decodes;
+  Alcotest.(check bool) "clean after encoding" false (Envelope.dirty env)
+
+let test_envelope_boundary_drops_view () =
+  let (env, d) =
+    codec_window (fun () -> Envelope.at_boundary (Call.Getpid))
+  in
+  Alcotest.(check int) "boundary encodes eagerly" 1 d.Envelope.Stats.encodes;
+  Alcotest.(check bool) "typed view dropped" false (Envelope.decoded env);
+  Alcotest.(check int) "number still free" Sysno.sys_getpid
+    (Envelope.number env)
+
+let test_envelope_undecodable_memoized () =
+  let env = Envelope.of_wire { Value.num = 9999; args = [||] } in
+  let (_, d) =
+    codec_window (fun () ->
+      (match Envelope.call env with
+       | Error Errno.ENOSYS -> ()
+       | _ -> Alcotest.fail "expected ENOSYS");
+      match Envelope.call env with
+      | Error Errno.ENOSYS -> ()
+      | _ -> Alcotest.fail "expected memoized ENOSYS")
+  in
+  Alcotest.(check int) "failure decoded once" 1 d.Envelope.Stats.decodes
+
 let test_sysno_table () =
   List.iter
     (fun n ->
@@ -325,10 +522,20 @@ let () =
         Alcotest.test_case "small buffer" `Quick test_dirent_small_buffer ];
       "call",
       [ Alcotest.test_case "roundtrip" `Quick test_call_roundtrip;
+        Alcotest.test_case "coverage" `Quick test_builders_cover_interface;
+        qtest test_call_roundtrip_exhaustive;
         Alcotest.test_case "bad decode" `Quick test_call_decode_bad;
         Alcotest.test_case "classification" `Quick test_call_classification;
         Alcotest.test_case "pp" `Quick test_call_pp;
         Alcotest.test_case "sysno" `Quick test_sysno_table ];
+      "envelope",
+      [ Alcotest.test_case "decode once" `Quick test_envelope_decode_once;
+        Alcotest.test_case "lazy encode" `Quick
+          test_envelope_of_call_lazy_encode;
+        Alcotest.test_case "boundary" `Quick
+          test_envelope_boundary_drops_view;
+        Alcotest.test_case "undecodable memoized" `Quick
+          test_envelope_undecodable_memoized ];
       "cost",
       [ Alcotest.test_case "components" `Quick test_cost_components;
         Alcotest.test_case "known values" `Quick test_cost_known_values;

@@ -362,7 +362,7 @@ let test_execve_clears_emulation () =
       Kernel.Uspace.task_set_emulation ~numbers:[ Sysno.sys_getpid ]
         (Some (fun w ->
            incr hit;
-           Kernel.Uspace.htg_unix_syscall w));
+           Kernel.Uspace.htg_trap w));
       ignore (Libc.Unistd.getpid ());  (* intercepted: hit = 1 *)
       match Libc.Unistd.execv "/bin/emu-probe" [| "emu-probe" |] with
       | Error _ -> 1
@@ -378,8 +378,8 @@ let test_interception_and_htg () =
     let seen = ref [] in
     Kernel.Uspace.task_set_emulation ~numbers:[ Sysno.sys_getpid ]
       (Some (fun w ->
-         seen := w.Value.num :: !seen;
-         Kernel.Uspace.htg_unix_syscall w));
+         seen := Envelope.number w :: !seen;
+         Kernel.Uspace.htg_trap w));
     let pid = Libc.Unistd.getpid () in
     let direct =
       match Kernel.Uspace.htg_syscall Call.Getpid with
@@ -399,7 +399,7 @@ let test_emulation_inherited_by_fork () =
     Kernel.Uspace.task_set_emulation ~numbers:[ Sysno.sys_getpid ]
       (Some (fun w ->
          incr count;
-         Kernel.Uspace.htg_unix_syscall w));
+         Kernel.Uspace.htg_trap w));
     let pid =
       check_ok "fork"
         (Libc.Unistd.fork ~child:(fun () ->

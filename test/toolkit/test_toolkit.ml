@@ -13,9 +13,9 @@ class tag_agent (name : string) (log : string list ref) =
     inherit Toolkit.numeric_syscall as super
     method! agent_name = name
     method! init _ = self#register_interest Sysno.sys_getpid
-    method! syscall w =
-      if w.Value.num = Sysno.sys_getpid then log := name :: !log;
-      super#syscall w
+    method! syscall env =
+      if Envelope.number env = Sysno.sys_getpid then log := name :: !log;
+      super#syscall env
   end
 
 (* symbolic agent lying about the pid *)
@@ -101,6 +101,38 @@ let test_stacking_order () =
   (* most recently installed agent sees the call first, then passes it
      down to the earlier one *)
   Alcotest.(check (list string)) "order" [ "bottom"; "top" ] !log
+
+let test_decode_once_under_stack () =
+  (* the envelope invariant, measured: under a 4-deep stack of null
+     symbolic agents, each intercepted trap decodes exactly once (at
+     the first symbolic layer), encodes exactly once (at the app
+     boundary), and crosses all four layers *)
+  let iters = 50 in
+  let depth = 4 in
+  let before = ref (Kernel.codec_stats ()) in
+  let after = ref !before in
+  let _, status =
+    boot (fun () ->
+      for _ = 1 to depth do
+        Toolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||]
+      done;
+      before := Kernel.codec_stats ();
+      for _ = 1 to iters do
+        ignore (Libc.Unistd.getpid ())
+      done;
+      after := Kernel.codec_stats ();
+      0)
+  in
+  check_exit "exit" 0 status;
+  let d = Envelope.Stats.diff !before !after in
+  Alcotest.(check int) "traps" iters d.Envelope.Stats.traps;
+  Alcotest.(check int) "all intercepted" iters d.Envelope.Stats.intercepted;
+  Alcotest.(check int) "decode-count = 1 per trap" iters
+    d.Envelope.Stats.decodes;
+  Alcotest.(check int) "encode-count = 1 per trap" iters
+    d.Envelope.Stats.encodes;
+  Alcotest.(check int) "every layer crossed" (depth * iters)
+    d.Envelope.Stats.crossings
 
 let test_uninstall_restores () =
   let log = ref [] in
@@ -348,6 +380,8 @@ let () =
       [ Alcotest.test_case "null agent transparent" `Quick
           test_null_agent_transparent;
         Alcotest.test_case "stacking order" `Quick test_stacking_order;
+        Alcotest.test_case "decode once under stack" `Quick
+          test_decode_once_under_stack;
         Alcotest.test_case "uninstall restores" `Quick
           test_uninstall_restores;
         Alcotest.test_case "minimum interests" `Quick
