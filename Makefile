@@ -7,11 +7,14 @@ test:
 	dune runtest
 
 # Tier-1 verification plus a bench smoke run, so the benchmark harness
-# (and the ablation tables it prints) cannot bit-rot silently.
+# (and the ablation tables it prints) cannot bit-rot silently.  The
+# `smoke` section exits nonzero if tracing-off getpid regresses >10%
+# against the recorded baseline, if per-layer attribution stops agreeing
+# with the global codec counters, or if BENCH_*.json is malformed.
 check: all test bench-smoke
 
 bench-smoke:
-	dune exec bench/main.exe -- ablations
+	dune exec bench/main.exe -- ablations smoke
 
 clean:
 	dune clean

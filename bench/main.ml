@@ -472,6 +472,93 @@ let dfstrace () =
      (paper: 1627 vs 1584 -- the two implementations are the same size class)\n"
     kernel_impl.Sim.Loc.statements agent_impl.Sim.Loc.statements
 
+(* --- stacked-getpid measurements (ablations 3/4 and `smoke`) ------------------ *)
+
+let stack_cost depth =
+  measure_virtual ~iters:300 ~with_agent:false
+    ~prepare:(fun () ->
+      for _ = 1 to depth do
+        Itoolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||]
+      done;
+      0)
+    (fun _ -> ignore (Libc.Unistd.getpid ()))
+
+(* envelope codec counters over the same stacked-getpid loop: the
+   decode-once invariant, measured rather than asserted *)
+let stack_codec depth =
+  let iters = 50 in
+  let k = fresh () in
+  let before = ref (Kernel.codec_stats ()) in
+  let after = ref !before in
+  let _ =
+    Kernel.boot k ~name:"codec" (fun () ->
+      for _ = 1 to depth do
+        Itoolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||]
+      done;
+      before := Kernel.codec_stats ();
+      for _ = 1 to iters do
+        ignore (Libc.Unistd.getpid ())
+      done;
+      after := Kernel.codec_stats ();
+      0)
+  in
+  let d = Envelope.Stats.diff !before !after in
+  (iters, d)
+
+(* The same loop with tracing ON: per-(depth, layer) attribution from
+   the Obs engine, plus the global codec diff over the identical window
+   so the two accountings can be cross-checked. *)
+type attrib = {
+  at_iters : int;
+  at_metrics : Obs.metrics;
+  at_codec : Envelope.Stats.snapshot; (* diff over the traced window *)
+}
+
+let stack_attrib depth =
+  let iters = 50 in
+  let k = fresh () in
+  let before = ref (Kernel.codec_stats ()) in
+  let after = ref !before in
+  Obs.reset ();
+  let _ =
+    Kernel.boot k ~name:"attrib" (fun () ->
+      for _ = 1 to depth do
+        Itoolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||]
+      done;
+      Obs.enable ();
+      before := Kernel.codec_stats ();
+      for _ = 1 to iters do
+        ignore (Libc.Unistd.getpid ())
+      done;
+      after := Kernel.codec_stats ();
+      Obs.disable ();
+      0)
+  in
+  let m = Kernel.metrics () in
+  { at_iters = iters;
+    at_metrics = m;
+    at_codec = Envelope.Stats.diff !before !after }
+
+(* attribution invariants: per-layer codec totals = global diff, and
+   per-layer self times sum to the end-to-end span times *)
+let attrib_checks a =
+  let sum f = List.fold_left (fun acc l -> acc + f l) 0 a.at_metrics.Obs.m_layers in
+  let layer_decodes = sum (fun l -> l.Obs.lm_decodes) in
+  let layer_encodes = sum (fun l -> l.Obs.lm_encodes) in
+  let layer_self = sum (fun l -> l.Obs.lm_self_us) in
+  let span_total =
+    List.fold_left
+      (fun acc s -> acc + Obs.Hist.sum_us s.Obs.sm_hist)
+      0 a.at_metrics.Obs.m_syscalls
+  in
+  let codec_ok =
+    layer_decodes = a.at_codec.Envelope.Stats.decodes
+    && layer_encodes = a.at_codec.Envelope.Stats.encodes
+  in
+  (layer_decodes, layer_encodes, layer_self, span_total, codec_ok)
+
+let per_trap iters n = Printf.sprintf "%.2f" (float_of_int n /. float_of_int iters)
+
 (* --- ablations ---------------------------------------------------------------------- *)
 
 let ablations () =
@@ -534,55 +621,73 @@ let ablations () =
         Report.us (layer_session (Some pathname_null)) ] ];
 
   Report.print_title "Ablation 3: stacked agents (nested interposition)";
-  let stack_cost depth =
-    measure_virtual ~iters:300 ~with_agent:false
-      ~prepare:(fun () ->
-        for _ = 1 to depth do
-          Itoolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||]
-        done;
-        0)
-      (fun _ -> ignore (Libc.Unistd.getpid ()))
-  in
-  (* envelope codec counters over the same stacked-getpid loop: the
-     decode-once invariant, measured rather than asserted *)
-  let stack_codec depth =
-    let iters = 50 in
-    let k = fresh () in
-    let before = ref (Kernel.codec_stats ()) in
-    let after = ref !before in
-    let _ =
-      Kernel.boot k ~name:"codec" (fun () ->
-        for _ = 1 to depth do
-          Itoolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||]
-        done;
-        before := Kernel.codec_stats ();
-        for _ = 1 to iters do
-          ignore (Libc.Unistd.getpid ())
-        done;
-        after := Kernel.codec_stats ();
-        0)
-    in
-    let d = Envelope.Stats.diff !before !after in
-    let per n = Printf.sprintf "%.2f" (float_of_int n /. float_of_int iters) in
-    (per d.Envelope.Stats.decodes, per d.Envelope.Stats.encodes,
-     per d.Envelope.Stats.crossings)
+  let stacked_us = List.map (fun d -> (d, stack_cost d)) [ 0; 1; 2; 3; 4 ] in
+  let codec_rows =
+    List.map
+      (fun (d, us) ->
+        let iters, diff = stack_codec d in
+        ((d, us, diff, iters),
+         [ string_of_int d; Report.us us;
+           per_trap iters diff.Envelope.Stats.decodes;
+           per_trap iters diff.Envelope.Stats.encodes;
+           per_trap iters diff.Envelope.Stats.crossings ]))
+      stacked_us
   in
   Report.print_table
     ~headers:
       [ "stacked null agents"; "getpid() us"; "decodes/trap";
         "encodes/trap"; "layers crossed" ]
-    (List.map
-       (fun d ->
-         let dec, enc, cross = stack_codec d in
-         [ string_of_int d; Report.us (stack_cost d); dec; enc; cross ])
-       [ 0; 1; 2; 3; 4 ]);
+    (List.map snd codec_rows);
   Report.print_note
     "Decode-once envelopes: the trap decodes exactly once at any depth;\n\
      added layers ride the memoized typed view (dispatch only), the\n\
      Figure 1-3/1-4 stacking cost without the per-layer codec tax.";
 
   Report.print_title
-    "Ablation 4: what observation costs (make under observation agents)";
+    "Ablation 4: per-layer attribution (stacked getpid, tracing on)";
+  let attribs = List.map (fun d -> (d, stack_attrib d)) [ 0; 1; 2; 3; 4 ] in
+  (* full layer-by-layer breakdown at the deepest stack *)
+  let deep = List.assoc 4 attribs in
+  Report.print_table
+    ~headers:
+      [ "layer (depth 4 stack)"; "span depth"; "traps"; "decodes/trap";
+        "encodes/trap"; "self us/trap" ]
+    (List.map
+       (fun (l : Obs.layer_metrics) ->
+         [ l.Obs.lm_layer; string_of_int l.Obs.lm_depth;
+           string_of_int l.Obs.lm_traps;
+           per_trap l.Obs.lm_traps l.Obs.lm_decodes;
+           per_trap l.Obs.lm_traps l.Obs.lm_encodes;
+           Printf.sprintf "%.1f"
+             (float_of_int l.Obs.lm_self_us /. float_of_int l.Obs.lm_traps) ])
+       deep.at_metrics.Obs.m_layers);
+  (* cross-check at every depth: layer-attributed codec work vs the
+     global counters, layer self times vs end-to-end span times *)
+  Report.print_table
+    ~headers:
+      [ "stacked null agents"; "layer decodes/trap"; "global decodes/trap";
+        "layer encodes/trap"; "global encodes/trap"; "self sum = span sum";
+        "check" ]
+    (List.map
+       (fun (d, a) ->
+         let ld, le, self, span, codec_ok = attrib_checks a in
+         [ string_of_int d;
+           per_trap a.at_iters ld;
+           per_trap a.at_iters a.at_codec.Envelope.Stats.decodes;
+           per_trap a.at_iters le;
+           per_trap a.at_iters a.at_codec.Envelope.Stats.encodes;
+           Printf.sprintf "%d = %d" self span;
+           (if codec_ok && self = span then "ok" else "MISMATCH") ])
+       attribs);
+  Report.print_note
+    "Two independent accountings agree: the flight recorder's per-layer\n\
+     segments carry exactly the decodes/encodes the global counters saw\n\
+     (1.00/1.00 per trap at any depth), and per-layer self times sum to\n\
+     the end-to-end span time.  Tracing charges no virtual time, so the\n\
+     getpid figures match ablation 3's tracing-off column.";
+
+  Report.print_title
+    "Ablation 5: what observation costs (make under observation agents)";
   let observed ?(argv = [||]) mk =
     let k = fresh () in
     Workloads.Make_cc.setup k;
@@ -624,7 +729,234 @@ let ablations () =
         Report.pct base.seconds dfs.seconds ] ];
   Report.print_note
     "Observation gets more expensive with the work done per call:\n\
-     counting < journaling < per-record timestamps and log writes."
+     counting < journaling < per-record timestamps and log writes.";
+
+  (* machine-readable companion for the perf trajectory *)
+  let open Obs.Json in
+  Report.write_json ~name:"ablations"
+    (Obj
+       [ ("name", Str "ablations");
+         ( "stacked_getpid_us",
+           Arr (List.map (fun (_, us) -> Float us) stacked_us) );
+         ( "codec_per_trap",
+           Arr
+             (List.map
+                (fun ((d, _, diff, iters), _) ->
+                  Obj
+                    [ ("depth", Int d);
+                      ("traps", Int iters);
+                      ("decodes", Int diff.Envelope.Stats.decodes);
+                      ("encodes", Int diff.Envelope.Stats.encodes);
+                      ("crossings", Int diff.Envelope.Stats.crossings) ])
+                codec_rows) );
+         ( "layers",
+           Arr
+             (List.map
+                (fun (l : Obs.layer_metrics) ->
+                  Obj
+                    [ ("depth", Int l.Obs.lm_depth);
+                      ("layer", Str l.Obs.lm_layer);
+                      ("traps", Int l.Obs.lm_traps);
+                      ("decodes", Int l.Obs.lm_decodes);
+                      ("encodes", Int l.Obs.lm_encodes);
+                      ("self_us", Int l.Obs.lm_self_us);
+                      ("total_us", Int l.Obs.lm_total_us) ])
+                deep.at_metrics.Obs.m_layers) );
+         ( "attribution_checks",
+           Arr
+             (List.map
+                (fun (d, a) ->
+                  let ld, le, self, span, codec_ok = attrib_checks a in
+                  Obj
+                    [ ("depth", Int d);
+                      ("layer_decodes", Int ld);
+                      ("layer_encodes", Int le);
+                      ("self_us", Int self);
+                      ("span_us", Int span);
+                      ("codec_ok", Bool codec_ok) ])
+                attribs) );
+         ( "observation_make",
+           Arr
+             (List.map
+                (fun (agent, r) ->
+                  Obj
+                    [ ("agent", Str agent);
+                      ("virtual_s", Float r.seconds);
+                      ("syscalls", Int r.calls) ])
+                [ ("none", base); ("null", null); ("syscount", counting);
+                  ("recorder", recording); ("dfs_trace", dfs) ]) ) ])
+
+(* --- smoke: the CI guard ---------------------------------------------------------- *)
+
+(* Stacked-getpid baseline with tracing off, recorded when decode-once
+   envelopes landed; the guard fails on >10% drift (virtual time is
+   deterministic, so any drift at all means the cost model or the trap
+   path changed — the tolerance only leaves room for intentional
+   small calibrations). *)
+let smoke_baseline_us = [ (0, 25.0); (1, 165.0); (2, 168.0); (3, 171.0); (4, 174.0) ]
+
+(* Minimal schema check over a BENCH_*.json document. *)
+let validate_bench_json json =
+  let open Obs.Json in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let require_fields kind fields j =
+    List.fold_left
+      (fun acc (field, check) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          (match member field j with
+           | None -> err "%s: missing field %S" kind field
+           | Some v ->
+             if check v then Ok () else err "%s: field %S has wrong type" kind field))
+      (Ok ()) fields
+  in
+  let is_num v = to_number v <> None in
+  let is_int v = to_int v <> None in
+  let is_str v = to_str v <> None in
+  let arr_of kind fields j =
+    match to_list j with
+    | None -> err "%s: expected an array" kind
+    | Some items ->
+      List.fold_left
+        (fun acc item ->
+          match acc with
+          | Error _ -> acc
+          | Ok () -> require_fields kind fields item)
+        (Ok ()) items
+  in
+  match require_fields "document" [ ("name", is_str) ] json with
+  | Error _ as e -> e
+  | Ok () ->
+    let sections =
+      [ ( "stacked_getpid_us",
+          fun j ->
+            match to_list j with
+            | Some l when List.length l = 5 && List.for_all is_num l -> Ok ()
+            | Some _ -> err "stacked_getpid_us: want 5 numbers"
+            | None -> err "stacked_getpid_us: expected an array" );
+        ( "codec_per_trap",
+          arr_of "codec_per_trap"
+            [ ("depth", is_int); ("traps", is_int); ("decodes", is_int);
+              ("encodes", is_int); ("crossings", is_int) ] );
+        ( "layers",
+          arr_of "layers"
+            [ ("depth", is_int); ("layer", is_str); ("traps", is_int);
+              ("decodes", is_int); ("encodes", is_int); ("self_us", is_int);
+              ("total_us", is_int) ] );
+        ( "attribution_checks",
+          arr_of "attribution_checks"
+            [ ("depth", is_int); ("layer_decodes", is_int);
+              ("layer_encodes", is_int); ("self_us", is_int);
+              ("span_us", is_int) ] ) ]
+    in
+    List.fold_left
+      (fun acc (field, check) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          (match member field json with
+           | None -> err "document: missing field %S" field
+           | Some v -> check v))
+      (Ok ()) sections
+
+let smoke () =
+  Report.print_title "Smoke: tracing-off guard + metrics schema validation";
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* 1. tracing OFF: stacked getpid must sit on the recorded baseline *)
+  let off_rows =
+    List.map
+      (fun (d, expect) ->
+        let got = stack_cost d in
+        let drift =
+          if expect > 0.0 then abs_float (got -. expect) /. expect else 0.0
+        in
+        if drift > 0.10 then
+          fail "depth %d: getpid %.0fus drifted >10%% from baseline %.0fus" d
+            got expect;
+        (d, expect, got))
+      smoke_baseline_us
+  in
+  Report.print_table
+    ~headers:[ "stacked null agents"; "baseline us"; "measured us (tracing off)" ]
+    (List.map
+       (fun (d, e, g) ->
+         [ string_of_int d; Report.us e; Report.us g ])
+       off_rows);
+  (* 2. tracing ON at depth 4: attribution must agree with the codec
+        counters and with end-to-end span time, at zero virtual cost *)
+  let a = stack_attrib 4 in
+  let ld, le, self, span, codec_ok = attrib_checks a in
+  if not codec_ok then
+    fail "attribution: layer codec totals (%d dec / %d enc) != global (%d / %d)"
+      ld le a.at_codec.Envelope.Stats.decodes a.at_codec.Envelope.Stats.encodes;
+  if ld <> a.at_iters || le <> a.at_iters then
+    fail "attribution: expected exactly 1.00 decode and encode per trap, got %s/%s"
+      (per_trap a.at_iters ld) (per_trap a.at_iters le);
+  if self <> span then
+    fail "attribution: layer self times (%dus) != span end-to-end (%dus)" self span;
+  let traced_us = stack_cost 4 in
+  Printf.printf
+    "attribution at depth 4: %s decodes/trap, %s encodes/trap, self sum \
+     %dus = span sum %dus, tracing-off getpid %.0fus\n"
+    (per_trap a.at_iters ld) (per_trap a.at_iters le) self span traced_us;
+  (* 3. write BENCH_smoke.json, read it back, validate the schema *)
+  let open Obs.Json in
+  Report.write_json ~name:"smoke"
+    (Obj
+       [ ("name", Str "smoke");
+         ( "stacked_getpid_us",
+           Arr (List.map (fun (_, _, g) -> Float g) off_rows) );
+         ( "codec_per_trap",
+           Arr
+             [ Obj
+                 [ ("depth", Int 4); ("traps", Int a.at_iters);
+                   ("decodes", Int a.at_codec.Envelope.Stats.decodes);
+                   ("encodes", Int a.at_codec.Envelope.Stats.encodes);
+                   ("crossings", Int a.at_codec.Envelope.Stats.crossings) ] ] );
+         ( "layers",
+           Arr
+             (List.map
+                (fun (l : Obs.layer_metrics) ->
+                  Obj
+                    [ ("depth", Int l.Obs.lm_depth);
+                      ("layer", Str l.Obs.lm_layer);
+                      ("traps", Int l.Obs.lm_traps);
+                      ("decodes", Int l.Obs.lm_decodes);
+                      ("encodes", Int l.Obs.lm_encodes);
+                      ("self_us", Int l.Obs.lm_self_us);
+                      ("total_us", Int l.Obs.lm_total_us) ])
+                a.at_metrics.Obs.m_layers) );
+         ( "attribution_checks",
+           Arr
+             [ Obj
+                 [ ("depth", Int 4); ("layer_decodes", Int ld);
+                   ("layer_encodes", Int le); ("self_us", Int self);
+                   ("span_us", Int span); ("codec_ok", Bool codec_ok) ] ] ) ]);
+  let validate_file path =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let content =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match of_string (String.trim content) with
+      | Error e -> fail "%s: malformed JSON: %s" path e
+      | Ok json ->
+        (match validate_bench_json json with
+         | Error e -> fail "%s: schema: %s" path e
+         | Ok () -> Printf.printf "[smoke] %s: schema ok\n" path)
+    end
+  in
+  validate_file "BENCH_smoke.json";
+  validate_file "BENCH_ablations.json";
+  match !failures with
+  | [] -> Printf.printf "[smoke] all checks passed\n"
+  | fs ->
+    List.iter (fun f -> Printf.printf "[smoke] FAIL: %s\n" f) (List.rev fs);
+    exit 1
 
 (* --- Bechamel wall-clock groups -------------------------------------------------------- *)
 
@@ -732,13 +1064,25 @@ let sections =
     "table3.5", table3_5;
     "dfstrace", dfstrace;
     "ablations", ablations;
+    "smoke", smoke;
     "wallclock", wallclock ]
 
 let () =
   let requested =
     match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    | _ :: (_ :: _ as names) ->
+      (* accept --smoke style spellings for CI convenience *)
+      List.map
+        (fun n ->
+          let n' = ref n in
+          while String.length !n' > 0 && !n'.[0] = '-' do
+            n' := String.sub !n' 1 (String.length !n' - 1)
+          done;
+          !n')
+        names
+    | _ ->
+      (* `smoke` is a CI guard, not a report: only on request *)
+      List.filter (fun n -> n <> "smoke") (List.map fst sections)
   in
   Printf.printf
     "Interposition Agents (Jones, SOSP '93) -- benchmark reproduction\n";

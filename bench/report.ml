@@ -32,6 +32,19 @@ let print_table ~headers rows =
   List.iter print_row rows;
   line '-'
 
+(* Machine-readable companion to the human tables: BENCH_<name>.json in
+   the current directory (the repo root under `make bench`, _build when
+   run via dune exec). *)
+let write_json ~name json =
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Obs.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "[json] wrote %s\n" path
+
 let pct base v =
   if base <= 0.0 then "-"
   else Printf.sprintf "%+.1f%%" ((v -. base) /. base *. 100.0)

@@ -141,12 +141,16 @@ let build_agent k (s : spec) :
        Toolkit.Loader.install (Agents.Dfs_trace.create ())
          ~argv:[| (if arg = "" then "log=/dfstrace.log" else "log=" ^ arg) |]),
     ignore
+  | "obs" ->
+    let mount = if arg = "" then "/obs" else arg in
+    (fun () -> install_plain (Agents.Obs_fs.create ~mount ())), ignore
   | other -> invalid_arg (Printf.sprintf "unknown agent %S" other)
 
 let known_agents =
   "null, timex[:OFFSET], trace[:FILE], syscount, union:/PT=/M1:/M2, \
    sandbox[:emulate], txn[:abort], crypt[:KEY@PATH], compress[:PATH], \
-   remap, dfs_trace[:FILE], synthfs[:MOUNT], faultinject[:RATE]"
+   remap, dfs_trace[:FILE], synthfs[:MOUNT], obs[:MOUNT], \
+   faultinject[:RATE]"
 
 (* --- filesystem setups -------------------------------------------------- *)
 
@@ -186,12 +190,47 @@ let write_host_file path content =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc content)
 
-let run agents setups stats feed record replay prog_args =
+(* --- observability reporting ----------------------------------------------- *)
+
+let print_metrics () =
+  let m = Kernel.metrics () in
+  Printf.eprintf
+    "[obs] %d span(s) completed, %d aborted (exit/exec), %d record(s) \
+     dropped from the ring\n"
+    m.Obs.m_spans m.Obs.m_aborted m.Obs.m_dropped;
+  if m.Obs.m_syscalls <> [] then begin
+    Printf.eprintf "[obs] per-syscall:  %-14s %8s %7s %10s %8s\n" "name"
+      "calls" "errors" "mean us" "max us";
+    List.iter
+      (fun (s : Obs.syscall_metrics) ->
+        Printf.eprintf "                    %-14s %8d %7d %10.1f %8d\n"
+          (Sysno.name s.Obs.sm_sysno) s.Obs.sm_calls s.Obs.sm_errors
+          (Obs.Hist.mean_us s.Obs.sm_hist)
+          (Obs.Hist.max_us s.Obs.sm_hist))
+      m.Obs.m_syscalls
+  end;
+  if m.Obs.m_layers <> [] then begin
+    Printf.eprintf "[obs] per-layer:    %5s %-14s %8s %8s %8s %10s\n" "depth"
+      "layer" "traps" "decodes" "encodes" "self us";
+    List.iter
+      (fun (l : Obs.layer_metrics) ->
+        Printf.eprintf "                    %5d %-14s %8d %8d %8d %10d\n"
+          l.Obs.lm_depth l.Obs.lm_layer l.Obs.lm_traps l.Obs.lm_decodes
+          l.Obs.lm_encodes l.Obs.lm_self_us)
+      m.Obs.m_layers
+  end
+
+let run agents setups stats feed record replay metrics trace_out prog_args =
   match prog_args with
   | [] ->
     log_err "agentrun: no program given\n";
     2
   | prog :: _ ->
+    let observing = metrics || trace_out <> "" in
+    if observing then begin
+      Obs.reset ();
+      Obs.enable ()
+    end;
     let k = Kernel.create () in
     Kernel.populate_standard k;
     Workloads.Progs.install_all k;
@@ -274,6 +313,22 @@ let run agents setups stats feed record replay prog_args =
          Printf.eprintf "[agentrun] recorded %d journal entries to %s\n"
            r#entries record
      | None -> ());
+    if observing then begin
+      Obs.disable ();
+      if trace_out <> "" then begin
+        let records = Kernel.drain_obs () in
+        let lines =
+          String.concat ""
+            (List.map (fun r -> Obs.Span.to_line r ^ "\n") records)
+        in
+        (try write_host_file trace_out lines with
+         | Sys_error msg -> log_err "agentrun: --trace-out: %s\n" msg);
+        if stats then
+          Printf.eprintf "[agentrun] wrote %d span record(s) to %s\n"
+            (List.length records) trace_out
+      end;
+      if metrics then print_metrics ()
+    end;
     if stats then
       Printf.eprintf
         "[agentrun] virtual time %.3fs, %d syscalls, exit status 0x%x\n"
@@ -323,6 +378,21 @@ let replay_arg =
   in
   Arg.(value & opt string "" & info [ "replay" ] ~docv:"FILE" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Enable the observability engine and print aggregated per-syscall \
+     and per-layer metrics (virtual-time latency histograms, codec \
+     attribution) at the end."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Enable the observability engine and drain the flight recorder to \
+     this host file as JSONL span records after the run."
+  in
+  Arg.(value & opt string "" & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let prog_arg =
   let doc = "Program and its arguments (searched in /bin)." in
   Arg.(value & pos_all string [] & info [] ~docv:"PROG" ~doc)
@@ -347,6 +417,6 @@ let cmd =
     (Cmd.info "agentrun" ~version:"1.0" ~doc ~man)
     Term.(
       const run $ agents_arg $ setup_arg $ stats_arg $ feed_arg
-      $ record_arg $ replay_arg $ prog_arg)
+      $ record_arg $ replay_arg $ metrics_arg $ trace_out_arg $ prog_arg)
 
 let () = exit (Cmd.eval' cmd)

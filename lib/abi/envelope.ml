@@ -71,17 +71,28 @@ type t = {
       (* [None] while the [Typed] view is authoritative but not yet
          (re-)encoded — i.e. the dirty state. *)
   mutable view : view;
+  mutable span : int;
+      (* Obs span this envelope's codec work attributes to; 0 when
+         tracing is off or the envelope is born outside any trap. *)
 }
 
-let of_wire w = { num = w.Value.num; wire = Some w; view = Undecoded }
-let of_call c = { num = Call.number c; wire = None; view = Typed c }
+let of_wire w =
+  { num = w.Value.num; wire = Some w; view = Undecoded; span = Obs.current () }
+
+let of_call c =
+  { num = Call.number c; wire = None; view = Typed c; span = Obs.current () }
 
 let at_boundary c =
   (* The application/system boundary is the untyped numeric form: encode
      now and deliberately forget the typed view, so agents below see
      exactly what an application would have trapped with. *)
+  let span = Obs.current () in
   incr Stats.encodes;
-  { num = Call.number c; wire = Some (Call.encode c); view = Undecoded }
+  Obs.note_encode span;
+  { num = Call.number c; wire = Some (Call.encode c); view = Undecoded; span }
+
+let span t = t.span
+let set_span t s = t.span <- s
 
 let number t = t.num
 
@@ -96,6 +107,7 @@ let call t =
       | None -> assert false (* Undecoded implies a wire form exists *)
     in
     incr Stats.decodes;
+    Obs.note_decode t.span;
     match Call.decode w with
     | Ok c ->
       t.view <- Typed c;
@@ -111,6 +123,7 @@ let wire t =
     match t.view with
     | Typed c ->
       incr Stats.encodes;
+      Obs.note_encode t.span;
       let w = Call.encode c in
       t.wire <- Some w;
       w

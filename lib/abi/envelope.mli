@@ -76,6 +76,22 @@ val dirty : t -> bool
 val pp : Format.formatter -> t -> unit
 (** Renders the typed view when available, the raw vector otherwise. *)
 
+(** {1 Span attribution}
+
+    Every envelope carries the [Obs] span id of the trap it belongs to
+    (0 when tracing is off), stamped at construction from
+    [Obs.current ()] and inherited by envelopes agents build mid-trap
+    via {!of_call}.  Codec work on the envelope — the decode in
+    {!call}, the encodes in {!wire} and {!at_boundary} — is attributed
+    to whichever layer frame is innermost on that span when it
+    happens, which is what gives bench its per-layer codec table. *)
+
+val span : t -> int
+val set_span : t -> int -> unit
+(** Normally only [Uspace] re-stamps an envelope, when it opens the
+    span {e after} the envelope was built (the re-entrant [trap] entry
+    point). *)
+
 (** {1 Codec accounting}
 
     Global counters over every envelope in the program, bumped only
@@ -95,10 +111,23 @@ module Stats : sig
   }
 
   val snapshot : unit -> snapshot
+
   val reset : unit -> unit
+  (** Zero the global counters.
+
+      {b Contract}: only between sessions, while no simulation is
+      running.  The counters are process-global; a reset while any
+      fibre is mid-trap silently discards that trap's partial codec
+      work and skews every open measurement window.  Code that wants
+      "counts for this workload" must {e not} reset — take
+      {!snapshot}s around the workload and use {!diff} (what bench and
+      the tests do), or enable [Obs] and read the per-span / per-layer
+      attribution, which needs no global zeroing at all. *)
 
   val diff : snapshot -> snapshot -> snapshot
-  (** [diff before after]: counts in the window between two snapshots. *)
+  (** [diff before after]: counts in the window between two snapshots.
+      This is the race-free way to scope the global counters to a
+      workload; see {!reset} for why zeroing mid-session is not. *)
 
   val pp : Format.formatter -> snapshot -> unit
 

@@ -1,0 +1,21 @@
+(* /obs: the observability engine's own telemetry as synthetic files,
+   readable from inside the simulation.  Reuses the synthfs machinery;
+   generators run at open time in the opening process's context. *)
+
+let spans_text () =
+  String.concat ""
+    (List.map (fun r -> Obs.Span.to_line r ^ "\n") (Obs.records ()))
+
+let metrics_text () =
+  Obs.Json.to_string (Obs.metrics_to_json ~name:Abi.Sysno.name (Obs.metrics ()))
+  ^ "\n"
+
+let codec_text () =
+  Format.asprintf "%a\n" Abi.Envelope.Stats.pp (Abi.Envelope.Stats.snapshot ())
+
+let create ?(mount = "/obs") () =
+  let a = new Synthfs.agent ~mount () in
+  a#register_file "spans" spans_text;
+  a#register_file "metrics" metrics_text;
+  a#register_file "codec" codec_text;
+  a

@@ -1,0 +1,16 @@
+(** [/obs]: live telemetry through the file namespace.
+
+    A {!Synthfs.agent} preloaded with three read-only synthetic files
+    (default mount [/obs]) so traced programs — and tests — can [open]
+    and [read] their own observability data:
+
+    - [spans]: the flight recorder, one JSONL record per line
+      (non-destructive snapshot, oldest first);
+    - [metrics]: the aggregated [Kernel.metrics_json] snapshot;
+    - [codec]: the global envelope codec counters, pretty-printed.
+
+    Contents reflect whatever [Obs] has accumulated; with tracing off
+    the files exist but are empty(ish).  Reading them is itself made of
+    system calls, which are observed like any others. *)
+
+val create : ?mount:string -> unit -> Synthfs.agent

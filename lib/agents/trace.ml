@@ -42,12 +42,28 @@ class agent =
     method private emit line =
       ignore (Toolkit.Downlink.down_call self#downlink (Call.Write (out_fd, line)))
 
+    (* Both line shapes go through the span sink: one [Obs.Span.call]
+       record per event, rendered by [Obs.Span.call_line] for the text
+       descriptor and pushed verbatim into the flight recorder (where
+       [--trace-out] drains it as JSONL) when tracing is enabled. *)
+    method private event name args result =
+      let c =
+        { Obs.Span.c_span = Obs.current ();
+          c_pid = Obs.current_pid ();
+          c_t_us = Obs.now_us ();
+          c_name = name;
+          c_args = args;
+          c_result = result }
+      in
+      Obs.record_call c;
+      self#emit (Obs.Span.call_line c ^ "\n")
+
     method private pre name args =
       traced <- traced + 1;
-      self#emit (Printf.sprintf "%s(%s) ...\n" name args)
+      self#event name args None
 
     method private post name ret =
-      self#emit (Printf.sprintf "... %s -> %s\n" name (res_str ret));
+      self#event name "" (Some (res_str ret));
       ret
 
     method! init_child = self#emit "--- fork: child running under trace ---\n"

@@ -8,7 +8,13 @@
     descriptor: one as the call starts, one as it returns (the paper's
     two-writes-per-call behaviour that drives its overhead numbers).
     Trace output is not buffered across calls, so it survives the
-    client being killed. *)
+    client being killed.
+
+    Each event is built as an [Obs.Span.call] record and formatted by
+    [Obs.Span.call_line] — the same record is appended to the [Obs]
+    flight recorder when tracing is enabled, so [agentrun --agent
+    trace] text and [--trace-out] JSONL are two renderings of one
+    stream. *)
 
 class agent : object
   inherit Toolkit.symbolic_syscall

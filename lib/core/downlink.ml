@@ -28,9 +28,10 @@ let down t (env : Envelope.t) =
     if num >= 0 && num < Array.length t.prev then t.prev.(num)
     else None
   in
-  match prev with
-  | Some handler -> handler env
-  | None -> Kernel.Uspace.htg_trap env
+  Obs.in_layer ~span:(Envelope.span env) "downlink" (fun () ->
+      match prev with
+      | Some handler -> handler env
+      | None -> Kernel.Uspace.htg_trap env)
 
 let down_call t c =
   Envelope.Stats.note_agent_call ();

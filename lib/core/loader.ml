@@ -13,9 +13,16 @@ let install (agent : #Numeric.numeric_syscall) ~argv =
   (* initialise first: init both declares the agent's interests and may
      make system calls of its own, which must reach the level below *)
   agent#init argv;
+  (* one observability frame per installed agent, named after it, so
+     the flight recorder attributes dispatch time (numeric or symbolic,
+     including any decode the agent triggers) to this stack level *)
+  let name = agent#agent_name in
   Kernel.Uspace.task_set_emulation
     ~numbers:(effective_interests agent)
-    (Some (fun env -> agent#syscall env));
+    (Some
+       (fun env ->
+         Obs.in_layer ~span:(Abi.Envelope.span env) name (fun () ->
+             agent#syscall env)));
   Kernel.Uspace.task_set_emulation_signal
     (Some (fun s -> agent#signal_handler s))
 

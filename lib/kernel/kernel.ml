@@ -158,6 +158,9 @@ let rec process_trap (t : t) (proc : Proc.t) (env : Envelope.t)
        start_exec t proc spec)
 
 and start_exec (t : t) (proc : Proc.t) (spec : Events.exec_spec) =
+  (* the exec trap's span(s) can never be closed by the code that
+     opened them — the old fibre is abandoned here *)
+  Obs.abort_pid proc.pid;
   if not spec.keep_emulation then proc.emul <- Proc.fresh_emulation ();
   t.hooks.spawn proc spec.exec_body
 
@@ -354,6 +357,12 @@ let create () =
   t.hooks <-
     { Kstate.spawn = (fun proc body -> enqueue_start t proc body);
       retry = (fun proc -> retry t proc) };
+  (* give the observability engine this simulation's clock and
+     current-process context (a later [create] re-points them, which is
+     fine: sessions run one at a time) *)
+  Obs.set_clock (fun () -> Sim.Clock.now_us t.clock);
+  Obs.set_context (fun () ->
+      match Proc.Cur.get () with Some p -> p.Proc.pid | None -> 0);
   t
 
 let open_tty_fds (t : t) (proc : Proc.t) =
@@ -474,6 +483,12 @@ let deadlock_kills (t : t) = t.deadlock_kills
 
 let codec_stats () = Envelope.Stats.snapshot ()
 let reset_codec_stats () = Envelope.Stats.reset ()
+
+(* the observability engine is global for the same reason the codec
+   counters are: spans live in user space, across kernel instances *)
+let metrics () = Obs.metrics ()
+let metrics_json () = Obs.metrics_to_json ~name:Abi.Sysno.name (Obs.metrics ())
+let drain_obs () = Obs.drain ()
 
 let post_signal (t : t) ~pid s =
   match Kstate.proc t pid with

@@ -77,6 +77,23 @@ val codec_stats : unit -> Abi.Envelope.Stats.snapshot
     their codec work in user space, outside any kernel instance. *)
 
 val reset_codec_stats : unit -> unit
+(** Zero the global codec counters.  Only between sessions: see the
+    contract on [Abi.Envelope.Stats.reset] — mid-session code should
+    snapshot/{!Abi.Envelope.Stats.diff} instead, or use {!metrics}. *)
+
+val metrics : unit -> Obs.metrics
+(** Aggregated observability snapshot (per-syscall counters and latency
+    histograms, per-layer attribution) accumulated while [Obs.enable]d.
+    Like {!codec_stats}, global rather than per-kernel: spans live in
+    user space, across kernel instances. *)
+
+val metrics_json : unit -> Obs.Json.t
+(** {!metrics} rendered with syscall names resolved via
+    [Abi.Sysno.name]. *)
+
+val drain_obs : unit -> Obs.Span.record list
+(** Drain the flight recorder (oldest first). *)
+
 val post_signal : t -> pid:int -> int -> unit
 (** Inject a signal from outside the simulation (like a console ^C). *)
 

@@ -392,6 +392,8 @@ and do_exit t (p : Proc.t) status =
   (match p.state with
    | Proc.Zombie | Proc.Reaped -> ()
    | Proc.Runnable | Proc.Parked _ | Proc.Stopped _ ->
+     (* the exit trap's span never returns to its opener; force-close *)
+     Obs.abort_pid p.pid;
      (* close every descriptor *)
      Array.iteri
        (fun i entry ->

@@ -12,7 +12,7 @@ let deliver_one (proc : Proc.t) s =
 
 let deliver proc sigs = List.iter (deliver_one proc) sigs
 
-let trap (env : Envelope.t) : Value.res =
+let trap_raw (env : Envelope.t) : Value.res =
   let proc = self () in
   proc.syscall_count <- proc.syscall_count + 1;
   let vec = proc.emul.vector in
@@ -27,19 +27,60 @@ let trap (env : Envelope.t) : Value.res =
     deliver proc sigs;
     h env
   | None ->
-    let reply = Effect.perform (Events.Trap (env, Events.App)) in
+    (* nothing interposed: the kernel is the only layer below us *)
+    let reply =
+      Obs.in_layer ~span:(Envelope.span env) "kernel" (fun () ->
+          Effect.perform (Events.Trap (env, Events.App)))
+    in
     deliver proc reply.deliver;
     reply.res
 
-let trap_wire w = trap (Envelope.of_wire w)
+(* Open a span around one trap.  The envelope is built *inside* the
+   span (the [mk_env] thunk) so that a boundary encode — and any other
+   codec work at construction — attributes to the "uspace" frame rather
+   than vanishing.  Observation itself charges no virtual time. *)
+let instrumented ~sysno mk_env =
+  let proc = self () in
+  let span = Obs.span_begin ~pid:proc.pid ~sysno in
+  let fr = Obs.layer_enter ~span "uspace" in
+  let finish ~error =
+    (match fr with Some fr -> Obs.layer_exit fr | None -> ());
+    Obs.span_end span ~error
+  in
+  match
+    let env = mk_env () in
+    Envelope.set_span env span;
+    trap_raw env
+  with
+  | res ->
+    finish ~error:(Result.is_error res);
+    res
+  | exception e ->
+    finish ~error:true;
+    raise e
+
+let trap (env : Envelope.t) : Value.res =
+  (* re-entrant traps (an envelope already inside a span) and the
+     tracing-off fast path skip straight to the raw trap *)
+  if (not (Obs.enabled ())) || Envelope.span env <> 0 then trap_raw env
+  else instrumented ~sysno:(Envelope.number env) (fun () -> env)
+
+let trap_wire w =
+  if not (Obs.enabled ()) then trap_raw (Envelope.of_wire w)
+  else instrumented ~sysno:w.Value.num (fun () -> Envelope.of_wire w)
 
 (* the application/system boundary is untyped: encode here, and let the
    first interested layer below (agent or kernel) do the one decode *)
-let syscall c = trap (Envelope.at_boundary c)
+let syscall c =
+  if not (Obs.enabled ()) then trap_raw (Envelope.at_boundary c)
+  else instrumented ~sysno:(Call.number c) (fun () -> Envelope.at_boundary c)
 
 let htg_trap (env : Envelope.t) : Value.res =
   let proc = self () in
-  let reply = Effect.perform (Events.Trap (env, Events.Htg)) in
+  let reply =
+    Obs.in_layer ~span:(Envelope.span env) "kernel" (fun () ->
+        Effect.perform (Events.Trap (env, Events.Htg)))
+  in
   deliver proc reply.deliver;
   reply.res
 

@@ -10,7 +10,14 @@
     builds on.
 
     Signals with user handlers are delivered on the way out of traps,
-    through the agent's signal interposer when one is registered. *)
+    through the agent's signal interposer when one is registered.
+
+    When [Obs] tracing is enabled, every trap entry here opens a span
+    and an outermost "uspace" layer frame (and, when no emulation
+    handler is interposed, a "kernel" frame around the raw trap), so
+    per-layer latency and codec attribution work even at interposition
+    depth 0.  With tracing off the instrumentation is a single flag
+    check — no virtual time is ever charged for observation. *)
 
 val trap : Abi.Envelope.t -> Abi.Value.res
 (** Make a system call carried in a decode-once envelope.  Counts

@@ -1,0 +1,61 @@
+(* Log2 latency histogram.  Bucket 0 holds exactly-zero (and clamped
+   negative) observations; bucket i >= 1 covers [2^(i-1), 2^i) µs; the
+   last bucket absorbs everything above its lower bound. *)
+
+let buckets = 32
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable sum_us : int;
+  mutable max_us : int;
+}
+
+let create () = { counts = Array.make buckets 0; total = 0; sum_us = 0; max_us = 0 }
+
+let bucket_of_us us =
+  if us <= 0 then 0
+  else begin
+    let rec log2 n acc = if n = 0 then acc else log2 (n lsr 1) (acc + 1) in
+    min (buckets - 1) (log2 us 0)
+  end
+
+let lower_bound i = if i <= 0 then 0 else 1 lsl (i - 1)
+
+let observe t us =
+  let us = max 0 us in
+  let b = bucket_of_us us in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.total <- t.total + 1;
+  t.sum_us <- t.sum_us + us;
+  if us > t.max_us then t.max_us <- us
+
+let count t = t.total
+let sum_us t = t.sum_us
+let max_us t = t.max_us
+let mean_us t = if t.total = 0 then 0. else float_of_int t.sum_us /. float_of_int t.total
+let bucket t i = if i < 0 || i >= buckets then 0 else t.counts.(i)
+
+let nonzero t =
+  let acc = ref [] in
+  for i = buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (i, t.counts.(i)) :: !acc
+  done;
+  !acc
+
+let copy t =
+  { counts = Array.copy t.counts; total = t.total; sum_us = t.sum_us; max_us = t.max_us }
+
+let merge ~into src =
+  Array.iteri (fun i n -> into.counts.(i) <- into.counts.(i) + n) src.counts;
+  into.total <- into.total + src.total;
+  into.sum_us <- into.sum_us + src.sum_us;
+  if src.max_us > into.max_us then into.max_us <- src.max_us
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d mean=%.1fus max=%dus" t.total (mean_us t) t.max_us;
+  List.iter
+    (fun (i, n) ->
+      if i = 0 then Format.fprintf fmt " [0]:%d" n
+      else Format.fprintf fmt " [%d-%d):%d" (lower_bound i) (1 lsl i) n)
+    (nonzero t)

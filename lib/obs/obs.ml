@@ -1,0 +1,391 @@
+(* The observability engine (DESIGN.md §3.2).
+
+   A *span* covers one trap from `Uspace.syscall` entry to result
+   delivery.  While a span is open, every layer that touches the trap —
+   uspace, each stacked agent, downlink, the kernel handler — pushes a
+   *frame*; on exit the frame becomes a `Span.segment` in the flight
+   recorder and folds into the per-(depth, layer) aggregation.  Self
+   time is total minus enclosed-frame time, so per-span self times sum
+   exactly to the root frame's total.  Envelope decode/encode events
+   attribute to whichever frame is on top of their span's stack.
+
+   Everything here is keyed by span id, never by "the current frame":
+   fibres interleave at effect points, so several spans from different
+   processes are routinely open at once.  The per-pid stack exists only
+   to answer `current ()` — which span a freshly built envelope on this
+   process belongs to.
+
+   Observation charges no *virtual* time: enabling tracing must not
+   move any published µs number. *)
+
+module Ring = Ring
+module Hist = Hist
+module Json = Json
+module Span = Span
+
+(* ---------- switches and environment hooks ---------- *)
+
+let on = ref false
+let clock_fn = ref (fun () -> 0)
+let context_fn = ref (fun () -> 0)
+
+let set_clock f = clock_fn := f
+let set_context f = context_fn := f
+let now_us () = !clock_fn ()
+let current_pid () = !context_fn ()
+
+let enabled () = !on
+
+(* ---------- live per-span state ---------- *)
+
+type frame = {
+  f_span : int;
+  f_layer : string;
+  f_depth : int;
+  f_enter_us : int;
+  mutable f_child_us : int;
+  mutable f_decodes : int;
+  mutable f_encodes : int;
+}
+
+type span_state = {
+  s_id : int;
+  s_pid : int;
+  s_sysno : int;
+  s_begin_us : int;
+  mutable s_frames : frame list; (* innermost first *)
+}
+
+let spans : (int, span_state) Hashtbl.t = Hashtbl.create 64
+let open_by_pid : (int, int list ref) Hashtbl.t = Hashtbl.create 16
+let next_span = ref 0
+
+(* ---------- flight recorder ---------- *)
+
+let default_ring_capacity = 4096
+let ring = ref (Ring.create ~capacity:default_ring_capacity)
+
+let configure ?(ring_capacity = default_ring_capacity) () =
+  ring := Ring.create ~capacity:ring_capacity
+
+(* ---------- aggregation ---------- *)
+
+type sys_agg = { mutable sa_calls : int; mutable sa_errors : int; sa_hist : Hist.t }
+
+let by_sysno : (int, sys_agg) Hashtbl.t = Hashtbl.create 64
+
+let sys_agg_for sysno =
+  match Hashtbl.find_opt by_sysno sysno with
+  | Some a -> a
+  | None ->
+    let a = { sa_calls = 0; sa_errors = 0; sa_hist = Hist.create () } in
+    Hashtbl.replace by_sysno sysno a;
+    a
+
+type layer_agg = {
+  mutable la_traps : int;
+  mutable la_decodes : int;
+  mutable la_encodes : int;
+  mutable la_self_us : int;
+  mutable la_total_us : int;
+}
+
+let by_layer : (int * string, layer_agg) Hashtbl.t = Hashtbl.create 32
+
+let layer_agg_for key =
+  match Hashtbl.find_opt by_layer key with
+  | Some a -> a
+  | None ->
+    let a = { la_traps = 0; la_decodes = 0; la_encodes = 0; la_self_us = 0; la_total_us = 0 } in
+    Hashtbl.replace by_layer key a;
+    a
+
+let completed = ref 0
+let aborted = ref 0
+
+let reset () =
+  Hashtbl.reset spans;
+  Hashtbl.reset open_by_pid;
+  Hashtbl.reset by_sysno;
+  Hashtbl.reset by_layer;
+  next_span := 0;
+  completed := 0;
+  aborted := 0;
+  Ring.clear !ring
+
+let enable () = on := true
+let disable () = on := false
+
+(* ---------- span lifecycle ---------- *)
+
+let current () =
+  if not !on then 0
+  else
+    match Hashtbl.find_opt open_by_pid (!context_fn ()) with
+    | Some { contents = s :: _ } -> s
+    | _ -> 0
+
+let span_begin ~pid ~sysno =
+  if not !on then 0
+  else begin
+    incr next_span;
+    let id = !next_span in
+    Hashtbl.replace spans id
+      { s_id = id; s_pid = pid; s_sysno = sysno; s_begin_us = now_us (); s_frames = [] };
+    (match Hashtbl.find_opt open_by_pid pid with
+     | Some stack -> stack := id :: !stack
+     | None -> Hashtbl.replace open_by_pid pid (ref [ id ]));
+    id
+  end
+
+(* Pop the top frame, fold its duration into the parent's child time,
+   and publish it as a segment. *)
+let close_top st ~now =
+  match st.s_frames with
+  | [] -> ()
+  | fr :: rest ->
+    st.s_frames <- rest;
+    let total = now - fr.f_enter_us in
+    let self = total - fr.f_child_us in
+    (match rest with
+     | parent :: _ -> parent.f_child_us <- parent.f_child_us + total
+     | [] -> ());
+    Ring.push !ring
+      (Span.Segment
+         {
+           Span.span = st.s_id;
+           pid = st.s_pid;
+           sysno = st.s_sysno;
+           layer = fr.f_layer;
+           depth = fr.f_depth;
+           start_us = fr.f_enter_us;
+           self_us = self;
+           total_us = total;
+           decodes = fr.f_decodes;
+           encodes = fr.f_encodes;
+         });
+    let agg = layer_agg_for (fr.f_depth, fr.f_layer) in
+    agg.la_traps <- agg.la_traps + 1;
+    agg.la_decodes <- agg.la_decodes + fr.f_decodes;
+    agg.la_encodes <- agg.la_encodes + fr.f_encodes;
+    agg.la_self_us <- agg.la_self_us + self;
+    agg.la_total_us <- agg.la_total_us + total
+
+let layer_enter ~span layer =
+  if span = 0 then None
+  else
+    match Hashtbl.find_opt spans span with
+    | None -> None (* span already ended/aborted: record nothing *)
+    | Some st ->
+      let fr =
+        {
+          f_span = span;
+          f_layer = layer;
+          f_depth = List.length st.s_frames;
+          f_enter_us = now_us ();
+          f_child_us = 0;
+          f_decodes = 0;
+          f_encodes = 0;
+        }
+      in
+      st.s_frames <- fr :: st.s_frames;
+      Some fr
+
+let layer_exit fr =
+  match Hashtbl.find_opt spans fr.f_span with
+  | None -> () (* span aborted underneath us *)
+  | Some st ->
+    if List.memq fr st.s_frames then begin
+      let now = now_us () in
+      (* close any younger frames an exception skipped over first *)
+      let rec loop () =
+        match st.s_frames with
+        | top :: _ ->
+          close_top st ~now;
+          if not (top == fr) then loop ()
+        | [] -> ()
+      in
+      loop ()
+    end
+
+let in_layer ~span layer f =
+  match layer_enter ~span layer with
+  | None -> f ()
+  | Some fr ->
+    (match f () with
+     | v ->
+       layer_exit fr;
+       v
+     | exception e ->
+       layer_exit fr;
+       raise e)
+
+let finish_span st ~error ~was_aborted =
+  let now = now_us () in
+  while st.s_frames <> [] do
+    close_top st ~now
+  done;
+  Hashtbl.remove spans st.s_id;
+  (match Hashtbl.find_opt open_by_pid st.s_pid with
+   | Some stack ->
+     stack := List.filter (fun id -> id <> st.s_id) !stack;
+     if !stack = [] then Hashtbl.remove open_by_pid st.s_pid
+   | None -> ());
+  let agg = sys_agg_for st.s_sysno in
+  agg.sa_calls <- agg.sa_calls + 1;
+  if error then agg.sa_errors <- agg.sa_errors + 1;
+  Hist.observe agg.sa_hist (now - st.s_begin_us);
+  if was_aborted then incr aborted else incr completed
+
+let span_end span ~error =
+  if span <> 0 then
+    match Hashtbl.find_opt spans span with
+    | Some st -> finish_span st ~error ~was_aborted:false
+    | None -> ()
+
+let abort_pid pid =
+  match Hashtbl.find_opt open_by_pid pid with
+  | None -> ()
+  | Some stack ->
+    let ids = !stack in
+    List.iter
+      (fun id ->
+        match Hashtbl.find_opt spans id with
+        | Some st -> finish_span st ~error:false ~was_aborted:true
+        | None -> ())
+      ids
+
+(* ---------- codec attribution ---------- *)
+
+let note_decode span =
+  if span <> 0 then
+    match Hashtbl.find_opt spans span with
+    | Some { s_frames = fr :: _; _ } -> fr.f_decodes <- fr.f_decodes + 1
+    | _ -> ()
+
+let note_encode span =
+  if span <> 0 then
+    match Hashtbl.find_opt spans span with
+    | Some { s_frames = fr :: _; _ } -> fr.f_encodes <- fr.f_encodes + 1
+    | _ -> ()
+
+(* ---------- trace-agent records ---------- *)
+
+let record_call c = if !on then Ring.push !ring (Span.Call c)
+
+(* ---------- reading the recorder ---------- *)
+
+let records () = Ring.to_list !ring
+let drain () = Ring.drain !ring
+let dropped () = Ring.dropped !ring
+
+let segments () =
+  List.filter_map (function Span.Segment s -> Some s | Span.Call _ -> None) (records ())
+
+(* ---------- metrics snapshot ---------- *)
+
+type syscall_metrics = {
+  sm_sysno : int;
+  sm_calls : int;
+  sm_errors : int;
+  sm_hist : Hist.t;
+}
+
+type layer_metrics = {
+  lm_depth : int;
+  lm_layer : string;
+  lm_traps : int;
+  lm_decodes : int;
+  lm_encodes : int;
+  lm_self_us : int;
+  lm_total_us : int;
+}
+
+type metrics = {
+  m_spans : int;
+  m_aborted : int;
+  m_open : int;
+  m_dropped : int;
+  m_syscalls : syscall_metrics list;
+  m_layers : layer_metrics list;
+}
+
+let metrics () =
+  let syscalls =
+    Hashtbl.fold
+      (fun sysno a acc ->
+        { sm_sysno = sysno; sm_calls = a.sa_calls; sm_errors = a.sa_errors;
+          sm_hist = Hist.copy a.sa_hist }
+        :: acc)
+      by_sysno []
+    |> List.sort (fun a b -> compare a.sm_sysno b.sm_sysno)
+  in
+  let layers =
+    Hashtbl.fold
+      (fun (depth, layer) a acc ->
+        { lm_depth = depth; lm_layer = layer; lm_traps = a.la_traps;
+          lm_decodes = a.la_decodes; lm_encodes = a.la_encodes;
+          lm_self_us = a.la_self_us; lm_total_us = a.la_total_us }
+        :: acc)
+      by_layer []
+    |> List.sort (fun a b -> compare (a.lm_depth, a.lm_layer) (b.lm_depth, b.lm_layer))
+  in
+  {
+    m_spans = !completed;
+    m_aborted = !aborted;
+    m_open = Hashtbl.length spans;
+    m_dropped = Ring.dropped !ring;
+    m_syscalls = syscalls;
+    m_layers = layers;
+  }
+
+let metrics_to_json ?(name = fun n -> Printf.sprintf "syscall#%d" n) (m : metrics) =
+  let hist_json h =
+    Json.Obj
+      [
+        ("count", Json.Int (Hist.count h));
+        ("sum_us", Json.Int (Hist.sum_us h));
+        ("max_us", Json.Int (Hist.max_us h));
+        ( "buckets",
+          Json.Arr
+            (List.map
+               (fun (i, n) ->
+                 Json.Obj [ ("lo_us", Json.Int (Hist.lower_bound i)); ("count", Json.Int n) ])
+               (Hist.nonzero h)) );
+      ]
+  in
+  Json.Obj
+    [
+      ("spans", Json.Int m.m_spans);
+      ("aborted", Json.Int m.m_aborted);
+      ("open", Json.Int m.m_open);
+      ("dropped", Json.Int m.m_dropped);
+      ( "syscalls",
+        Json.Arr
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("sysno", Json.Int s.sm_sysno);
+                   ("name", Json.Str (name s.sm_sysno));
+                   ("calls", Json.Int s.sm_calls);
+                   ("errors", Json.Int s.sm_errors);
+                   ("latency", hist_json s.sm_hist);
+                 ])
+             m.m_syscalls) );
+      ( "layers",
+        Json.Arr
+          (List.map
+             (fun l ->
+               Json.Obj
+                 [
+                   ("depth", Json.Int l.lm_depth);
+                   ("layer", Json.Str l.lm_layer);
+                   ("traps", Json.Int l.lm_traps);
+                   ("decodes", Json.Int l.lm_decodes);
+                   ("encodes", Json.Int l.lm_encodes);
+                   ("self_us", Json.Int l.lm_self_us);
+                   ("total_us", Json.Int l.lm_total_us);
+                 ])
+             m.m_layers) );
+    ]

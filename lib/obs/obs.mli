@@ -1,0 +1,149 @@
+(** Observability: per-trap spans, a flight-recorder ring, and
+    aggregated syscall/layer metrics (DESIGN.md §3.2).
+
+    A {e span} covers one trap from [Uspace.syscall] entry to result
+    delivery.  While it is open, each layer the trap passes through —
+    uspace, every stacked agent, downlink, the kernel handler — holds a
+    {e frame}; closing a frame publishes a {!Span.segment} (virtual-µs
+    self/total time plus the envelope decode/encode events that fired
+    while the frame was on top) into the ring buffer and into the
+    per-(depth, layer) aggregation.  Per-span self times sum exactly to
+    the root frame's total, which is what makes the per-layer
+    attribution table in [bench] consistent with the end-to-end
+    numbers.
+
+    State is keyed by span id — fibres interleave at effect points, so
+    spans of several processes are routinely open at once; a per-pid
+    stack exists only to answer {!current}.  Observation charges no
+    virtual time: enabling tracing moves no published µs figure.  When
+    disabled ({!enabled}[ = false]) every entry point is a cheap no-op
+    (span id 0). *)
+
+module Ring = Ring
+module Hist = Hist
+module Json = Json
+module Span = Span
+
+(** {1 Switches and environment hooks} *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val set_clock : (unit -> int) -> unit
+(** Source of virtual-clock µs; [Kernel.create] installs the simulation
+    clock here. *)
+
+val set_context : (unit -> int) -> unit
+(** Source of the currently-running simulated pid (0 when none);
+    [Kernel.create] installs [Proc.Cur]-based lookup. *)
+
+val now_us : unit -> int
+val current_pid : unit -> int
+
+val configure : ?ring_capacity:int -> unit -> unit
+(** Replace the flight recorder (default capacity 4096 records);
+    discards its current contents. *)
+
+val reset : unit -> unit
+(** Clear all state: open spans, aggregations, the ring.  Call between
+    independent measurement windows (the enable/reset pairing replaces
+    the old global [Kernel.reset_codec_stats] hygiene problem — see
+    [envelope.mli]). *)
+
+(** {1 Span lifecycle} *)
+
+val span_begin : pid:int -> sysno:int -> int
+(** Open a span; returns its id, or 0 when disabled.  Span ids are
+    positive and unique within a session. *)
+
+val span_end : int -> error:bool -> unit
+(** Close a span: folds it into the per-syscall counters/histogram.
+    No-op on id 0 or an already-closed/aborted span. *)
+
+val current : unit -> int
+(** Innermost open span of the current process (via the context hook),
+    or 0.  Envelope constructors use this to tag fresh envelopes. *)
+
+val abort_pid : int -> unit
+(** Force-close every open span of a process.  Called on [exit] and
+    [exec], whose traps never return to the instrumentation that opened
+    them; such spans count as aborted, not completed. *)
+
+(** {1 Layer frames} *)
+
+type frame
+
+val layer_enter : span:int -> string -> frame option
+(** Push a frame named after the layer; [None] when the span is 0 or
+    no longer live (then nothing need be recorded). *)
+
+val layer_exit : frame -> unit
+(** Pop the frame, publishing its segment.  Tolerates the span having
+    been aborted underneath it, and closes any younger frames an
+    exception skipped over. *)
+
+val in_layer : span:int -> string -> (unit -> 'a) -> 'a
+(** [in_layer ~span layer f] wraps [f] in an enter/exit pair,
+    exception-safely.  Runs [f] bare when the span is dead or 0. *)
+
+(** {1 Codec attribution} *)
+
+val note_decode : int -> unit
+(** An envelope belonging to this span was decoded; attributed to the
+    span's innermost open frame.  No-op on span 0. *)
+
+val note_encode : int -> unit
+
+(** {1 Trace-agent records} *)
+
+val record_call : Span.call -> unit
+(** Append a trace-agent call record to the ring (no-op when
+    disabled). *)
+
+(** {1 Reading the flight recorder} *)
+
+val records : unit -> Span.record list
+(** Oldest first; non-destructive. *)
+
+val drain : unit -> Span.record list
+(** Read and clear (also resets the dropped counter). *)
+
+val segments : unit -> Span.segment list
+(** Just the layer segments from {!records}. *)
+
+val dropped : unit -> int
+
+(** {1 Metrics} *)
+
+type syscall_metrics = {
+  sm_sysno : int;
+  sm_calls : int;   (** spans completed or aborted for this sysno *)
+  sm_errors : int;  (** of which returned an error result *)
+  sm_hist : Hist.t; (** end-to-end span latency, virtual µs *)
+}
+
+type layer_metrics = {
+  lm_depth : int;    (** frame nesting depth within its span *)
+  lm_layer : string;
+  lm_traps : int;    (** frames closed at this (depth, layer) *)
+  lm_decodes : int;
+  lm_encodes : int;
+  lm_self_us : int;  (** sum of per-frame self time *)
+  lm_total_us : int; (** sum of per-frame total time *)
+}
+
+type metrics = {
+  m_spans : int;    (** spans completed normally *)
+  m_aborted : int;  (** spans force-closed by exit/exec *)
+  m_open : int;     (** spans still open at snapshot time *)
+  m_dropped : int;  (** ring records overwritten before draining *)
+  m_syscalls : syscall_metrics list; (** ascending sysno *)
+  m_layers : layer_metrics list;     (** ascending (depth, layer) *)
+}
+
+val metrics : unit -> metrics
+
+val metrics_to_json : ?name:(int -> string) -> metrics -> Json.t
+(** [name] renders syscall numbers (callers pass [Abi.Sysno.name]; obs
+    itself stays below [abi] in the library stack and cannot). *)

@@ -1,0 +1,51 @@
+(* Fixed-size flight-recorder ring: wait-free single-writer append,
+   oldest entry overwritten when full.  The simulator is single-domain,
+   so "lock-free" here means no synchronisation is needed at all: a
+   push is two array stores and two integer updates, cheap enough to
+   sit on the trap path. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mutable next : int;    (* next write position *)
+  mutable stored : int;  (* live entries, <= capacity *)
+  mutable dropped : int; (* overwritten-before-drained count *)
+}
+
+let create ~capacity =
+  let capacity = max 1 capacity in
+  { slots = Array.make capacity None; next = 0; stored = 0; dropped = 0 }
+
+let capacity t = Array.length t.slots
+let length t = t.stored
+let dropped t = t.dropped
+
+let push t x =
+  let cap = Array.length t.slots in
+  if t.stored = cap then t.dropped <- t.dropped + 1
+  else t.stored <- t.stored + 1;
+  t.slots.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod cap
+
+let to_list t =
+  let cap = Array.length t.slots in
+  let start = (t.next - t.stored + cap) mod cap in
+  let acc = ref [] in
+  for i = t.stored - 1 downto 0 do
+    match t.slots.((start + i) mod cap) with
+    | Some x -> acc := x :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.next <- 0;
+  t.stored <- 0;
+  t.dropped <- 0
+
+let drain t =
+  let xs = to_list t in
+  clear t;
+  xs
+
+let iter f t = List.iter f (to_list t)

@@ -1,0 +1,31 @@
+(** Fixed-size flight-recorder ring buffer.
+
+    Append is wait-free (two stores, two integer updates — the
+    simulator is single-domain, so no locking is ever needed) and the
+    oldest entry is overwritten when the ring is full; overwrites are
+    counted in {!dropped} so a drain can report how much history was
+    lost rather than silently truncating. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Capacities below 1 are clamped to 1. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+(** Live (not yet drained, not overwritten) entries. *)
+
+val dropped : 'a t -> int
+(** Entries overwritten since the last {!clear}/{!drain}. *)
+
+val push : 'a t -> 'a -> unit
+
+val to_list : 'a t -> 'a list
+(** Oldest first; non-destructive. *)
+
+val drain : 'a t -> 'a list
+(** {!to_list} then {!clear}: the read-and-reset used by
+    [agentrun --trace-out] and the [/obs/spans] synthetic file. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit

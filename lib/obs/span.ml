@@ -1,0 +1,123 @@
+(* Flight-recorder records.
+
+   A [segment] is one layer's residence in one trap span: the layer
+   name, its nesting depth inside the span, virtual-clock entry time,
+   total and self (total minus enclosed layers) time, and the envelope
+   decode/encode events that fired while the layer was on top.
+
+   A [call] is a trace-agent record: the strace-style pre ("about to
+   call") or post ("returned") event, carried with enough structure
+   that the textual rendering ([call_line]) and the JSONL rendering
+   share one source of truth. *)
+
+type segment = {
+  span : int;
+  pid : int;
+  sysno : int;
+  layer : string;
+  depth : int;
+  start_us : int;
+  self_us : int;
+  total_us : int;
+  decodes : int;
+  encodes : int;
+}
+
+type call = {
+  c_span : int;
+  c_pid : int;
+  c_t_us : int;
+  c_name : string;
+  c_args : string;
+  c_result : string option; (* None: call entry; Some r: call returned r *)
+}
+
+type record = Segment of segment | Call of call
+
+(* --- textual rendering (the trace agent's two line shapes) --- *)
+
+let call_line c =
+  match c.c_result with
+  | None -> Printf.sprintf "%s(%s) ..." c.c_name c.c_args
+  | Some r -> Printf.sprintf "... %s -> %s" c.c_name r
+
+(* --- JSONL --- *)
+
+let segment_to_json (s : segment) =
+  Json.Obj
+    [
+      ("type", Json.Str "segment");
+      ("span", Json.Int s.span);
+      ("pid", Json.Int s.pid);
+      ("sysno", Json.Int s.sysno);
+      ("layer", Json.Str s.layer);
+      ("depth", Json.Int s.depth);
+      ("start_us", Json.Int s.start_us);
+      ("self_us", Json.Int s.self_us);
+      ("total_us", Json.Int s.total_us);
+      ("decodes", Json.Int s.decodes);
+      ("encodes", Json.Int s.encodes);
+    ]
+
+let call_to_json (c : call) =
+  Json.Obj
+    ([
+       ("type", Json.Str "call");
+       ("span", Json.Int c.c_span);
+       ("pid", Json.Int c.c_pid);
+       ("t_us", Json.Int c.c_t_us);
+       ("name", Json.Str c.c_name);
+       ("args", Json.Str c.c_args);
+     ]
+    @ match c.c_result with None -> [] | Some r -> [ ("result", Json.Str r) ])
+
+let to_json = function
+  | Segment s -> segment_to_json s
+  | Call c -> call_to_json c
+
+let to_line r = Json.to_string (to_json r)
+
+let int_field j k =
+  match Json.member k j with
+  | Some v -> Json.to_int v
+  | None -> None
+
+let str_field j k =
+  match Json.member k j with
+  | Some v -> Json.to_str v
+  | None -> None
+
+let of_json j =
+  let ( let* ) = Option.bind in
+  match str_field j "type" with
+  | Some "segment" ->
+    let* span = int_field j "span" in
+    let* pid = int_field j "pid" in
+    let* sysno = int_field j "sysno" in
+    let* layer = str_field j "layer" in
+    let* depth = int_field j "depth" in
+    let* start_us = int_field j "start_us" in
+    let* self_us = int_field j "self_us" in
+    let* total_us = int_field j "total_us" in
+    let* decodes = int_field j "decodes" in
+    let* encodes = int_field j "encodes" in
+    Some
+      (Segment
+         { span; pid; sysno; layer; depth; start_us; self_us; total_us; decodes; encodes })
+  | Some "call" ->
+    let* c_span = int_field j "span" in
+    let* c_pid = int_field j "pid" in
+    let* c_t_us = int_field j "t_us" in
+    let* c_name = str_field j "name" in
+    let* c_args = str_field j "args" in
+    let c_result = str_field j "result" in
+    Some (Call { c_span; c_pid; c_t_us; c_name; c_args; c_result })
+  | _ -> None
+
+let of_line line =
+  match Json.of_string line with
+  | Error e -> Error e
+  | Ok j ->
+    (match of_json j with
+     | Some r -> Ok r
+     | None -> Error "not a span record")

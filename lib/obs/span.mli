@@ -1,0 +1,42 @@
+(** Flight-recorder records: per-layer trap segments and trace-agent
+    call events, with one JSONL codec shared by [agentrun --trace-out],
+    the [/obs/spans] synthetic file, and the tests. *)
+
+type segment = {
+  span : int;       (** span id; unique per traced trap within a session *)
+  pid : int;        (** simulated process that issued the trap *)
+  sysno : int;      (** syscall number of the trap *)
+  layer : string;   (** "uspace", an agent's name, "downlink", "kernel" *)
+  depth : int;      (** nesting depth of this layer within the span, 0 = outermost *)
+  start_us : int;   (** virtual-clock entry time *)
+  self_us : int;    (** time in this layer minus enclosed layers *)
+  total_us : int;   (** entry-to-exit time including enclosed layers *)
+  decodes : int;    (** envelope decodes attributed to this layer *)
+  encodes : int;    (** envelope encodes attributed to this layer *)
+}
+
+type call = {
+  c_span : int;             (** enclosing span id, 0 when tracing is off *)
+  c_pid : int;
+  c_t_us : int;             (** virtual-clock time of the event *)
+  c_name : string;          (** syscall name as the trace agent prints it *)
+  c_args : string;          (** pre-rendered argument list *)
+  c_result : string option; (** [None] = call entry, [Some r] = returned [r] *)
+}
+
+type record = Segment of segment | Call of call
+
+val call_line : call -> string
+(** The trace agent's line shapes (no trailing newline):
+    ["name(args) ..."] on entry, ["... name -> res"] on return.  Both
+    [agentrun --agent trace] output and consumers of [--trace-out]
+    JSONL render through this one function. *)
+
+val to_json : record -> Json.t
+val of_json : Json.t -> record option
+
+val to_line : record -> string
+(** One compact JSON object (no trailing newline), with a
+    ["type": "segment"|"call"] discriminator. *)
+
+val of_line : string -> (record, string) result

@@ -1,0 +1,530 @@
+(* Observability tests: ring-buffer wraparound/drain, histogram bucket
+   edges, JSON(L) round-trips, and per-layer span attribution under a
+   stacked null-agent getpid loop — the measured form of the
+   "attribution sums to end-to-end time" invariant. *)
+
+open Abi
+open Tharness
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Obs state is process-global; every test that enables it starts from
+   a clean slate and leaves it disabled. *)
+let with_obs f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+(* --- ring buffer --------------------------------------------------------- *)
+
+let test_ring_basic () =
+  let r = Obs.Ring.create ~capacity:4 in
+  Alcotest.(check int) "empty" 0 (Obs.Ring.length r);
+  Obs.Ring.push r 1;
+  Obs.Ring.push r 2;
+  Obs.Ring.push r 3;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (Obs.Ring.to_list r);
+  Alcotest.(check int) "nothing dropped" 0 (Obs.Ring.dropped r)
+
+let test_ring_wraparound () =
+  let r = Obs.Ring.create ~capacity:3 in
+  List.iter (Obs.Ring.push r) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "oldest overwritten" [ 3; 4; 5 ]
+    (Obs.Ring.to_list r);
+  Alcotest.(check int) "two dropped" 2 (Obs.Ring.dropped r);
+  Alcotest.(check int) "still full" 3 (Obs.Ring.length r)
+
+let test_ring_drain () =
+  let r = Obs.Ring.create ~capacity:3 in
+  List.iter (Obs.Ring.push r) [ 1; 2; 3; 4 ];
+  Alcotest.(check (list int)) "drain returns contents" [ 2; 3; 4 ]
+    (Obs.Ring.drain r);
+  Alcotest.(check int) "drained empty" 0 (Obs.Ring.length r);
+  Alcotest.(check int) "dropped reset" 0 (Obs.Ring.dropped r);
+  Obs.Ring.push r 9;
+  Alcotest.(check (list int)) "usable after drain" [ 9 ] (Obs.Ring.to_list r)
+
+let test_ring_capacity_clamp () =
+  let r = Obs.Ring.create ~capacity:0 in
+  Alcotest.(check int) "clamped to 1" 1 (Obs.Ring.capacity r);
+  Obs.Ring.push r 1;
+  Obs.Ring.push r 2;
+  Alcotest.(check (list int)) "keeps newest" [ 2 ] (Obs.Ring.to_list r)
+
+let qcheck_ring_keeps_newest =
+  QCheck.Test.make ~name:"ring keeps the newest min(n, capacity) entries"
+    ~count:200
+    QCheck.(pair (int_range 1 16) (small_list small_int))
+    (fun (cap, xs) ->
+      let r = Obs.Ring.create ~capacity:cap in
+      List.iter (Obs.Ring.push r) xs;
+      let n = List.length xs in
+      let expect =
+        if n <= cap then xs
+        else List.filteri (fun i _ -> i >= n - cap) xs
+      in
+      Obs.Ring.to_list r = expect
+      && Obs.Ring.dropped r = max 0 (n - cap))
+
+(* --- histogram ----------------------------------------------------------- *)
+
+let test_hist_bucket_edges () =
+  Alcotest.(check int) "0us -> bucket 0" 0 (Obs.Hist.bucket_of_us 0);
+  Alcotest.(check int) "negative clamps to bucket 0" 0 (Obs.Hist.bucket_of_us (-5));
+  Alcotest.(check int) "1us -> bucket 1" 1 (Obs.Hist.bucket_of_us 1);
+  Alcotest.(check int) "2us -> bucket 2" 2 (Obs.Hist.bucket_of_us 2);
+  Alcotest.(check int) "3us -> bucket 2" 2 (Obs.Hist.bucket_of_us 3);
+  Alcotest.(check int) "4us -> bucket 3" 3 (Obs.Hist.bucket_of_us 4);
+  Alcotest.(check int) "max-bucket clamp" (Obs.Hist.buckets - 1)
+    (Obs.Hist.bucket_of_us max_int);
+  Alcotest.(check int) "lower bound of bucket 0" 0 (Obs.Hist.lower_bound 0);
+  Alcotest.(check int) "lower bound of bucket 1" 1 (Obs.Hist.lower_bound 1);
+  Alcotest.(check int) "lower bound of bucket 5" 16 (Obs.Hist.lower_bound 5)
+
+let test_hist_observe () =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.observe h) [ 0; 1; 3; 3; 1000; -7 ];
+  Alcotest.(check int) "count" 6 (Obs.Hist.count h);
+  (* negatives clamp to 0 for the sum too *)
+  Alcotest.(check int) "sum" 1007 (Obs.Hist.sum_us h);
+  Alcotest.(check int) "max" 1000 (Obs.Hist.max_us h);
+  Alcotest.(check int) "two zeros" 2 (Obs.Hist.bucket h 0);
+  Alcotest.(check int) "one in [1,2)" 1 (Obs.Hist.bucket h 1);
+  Alcotest.(check int) "two in [2,4)" 2 (Obs.Hist.bucket h 2);
+  Alcotest.(check int) "1000 in [512,1024)" 1 (Obs.Hist.bucket h 10)
+
+let qcheck_hist_invariants =
+  QCheck.Test.make ~name:"histogram buckets partition the int range"
+    ~count:500 QCheck.int
+    (fun us ->
+      let b = Obs.Hist.bucket_of_us us in
+      b >= 0
+      && b < Obs.Hist.buckets
+      && Obs.Hist.lower_bound b <= max 0 us
+      && (b = Obs.Hist.buckets - 1 || max 0 us < Obs.Hist.lower_bound (b + 1)))
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.(
+      Obj
+        [ ("name", Str "x\"y\\z\n\t\001");
+          ("n", Int (-42));
+          ("f", Float 1.5);
+          ("ok", Bool true);
+          ("null", Null);
+          ("xs", Arr [ Int 1; Str "two"; Obj [] ]) ])
+  in
+  match Obs.Json.of_string (Obs.Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_rejects_garbage () =
+  let bad s =
+    match Obs.Json.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" s
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\" 1}";
+  bad "\"unterminated";
+  bad "1 2"
+
+let test_json_accessors () =
+  match Obs.Json.of_string "{\"a\": [1, 2.5], \"b\": {\"c\": \"d\"}}" with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok j ->
+    let a = Option.get (Obs.Json.member "a" j) in
+    (match Obs.Json.to_list a with
+     | Some [ x; y ] ->
+       Alcotest.(check (option int)) "int" (Some 1) (Obs.Json.to_int x);
+       Alcotest.(check (option (float 1e-9))) "float" (Some 2.5)
+         (Obs.Json.to_number y)
+     | _ -> Alcotest.fail "array shape");
+    let b = Option.get (Obs.Json.member "b" j) in
+    Alcotest.(check (option string)) "nested" (Some "d")
+      (Option.bind (Obs.Json.member "c" b) Obs.Json.to_str)
+
+(* --- span JSONL round-trip (qcheck) -------------------------------------- *)
+
+let segment_gen =
+  QCheck.Gen.(
+    map
+      (fun (((span, pid, sysno), (layer, depth, start_us)),
+            ((self_us, total_us), (d, e))) ->
+        { Obs.Span.span; pid; sysno; layer; depth; start_us; self_us; total_us;
+          decodes = d; encodes = e })
+      (pair
+         (pair (triple nat nat nat) (triple string nat nat))
+         (pair (pair nat nat) (pair nat nat))))
+
+let call_gen =
+  QCheck.Gen.(
+    map
+      (fun ((c_span, c_pid, c_t_us), (c_name, c_args, c_result)) ->
+        { Obs.Span.c_span; c_pid; c_t_us; c_name; c_args; c_result })
+      (pair (triple nat nat nat) (triple string string (opt string))))
+
+let record_gen =
+  QCheck.Gen.(
+    oneof
+      [ map (fun s -> Obs.Span.Segment s) segment_gen;
+        map (fun c -> Obs.Span.Call c) call_gen ])
+
+let record_arb =
+  QCheck.make record_gen ~print:(fun r -> Obs.Span.to_line r)
+
+let qcheck_span_jsonl_roundtrip =
+  QCheck.Test.make ~name:"span record JSONL encode/decode round-trip"
+    ~count:500 record_arb
+    (fun r ->
+      match Obs.Span.of_line (Obs.Span.to_line r) with
+      | Ok r' -> r = r'
+      | Error _ -> false)
+
+let test_call_line_shapes () =
+  let pre =
+    { Obs.Span.c_span = 1; c_pid = 2; c_t_us = 3; c_name = "open";
+      c_args = "\"/etc/motd\", O_RDONLY, 00"; c_result = None }
+  in
+  Alcotest.(check string) "entry shape" "open(\"/etc/motd\", O_RDONLY, 00) ..."
+    (Obs.Span.call_line pre);
+  let post = { pre with c_args = ""; c_result = Some "3" } in
+  Alcotest.(check string) "return shape" "... open -> 3"
+    (Obs.Span.call_line post)
+
+(* --- span engine: attribution under a stacked null-agent getpid loop ----- *)
+
+let null_stack_session ~depth ~iters =
+  with_obs (fun () ->
+      let codec = ref (Envelope.Stats.snapshot ()) in
+      let codec' = ref !codec in
+      let _, status =
+        boot (fun () ->
+            for _ = 1 to depth do
+              Toolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||]
+            done;
+            Obs.reset ();
+            codec := Envelope.Stats.snapshot ();
+            for _ = 1 to iters do
+              ignore (Libc.Unistd.getpid ())
+            done;
+            codec' := Envelope.Stats.snapshot ();
+            Obs.disable ();
+            0)
+      in
+      check_exit "session" 0 status;
+      (Obs.metrics (), Envelope.Stats.diff !codec !codec'))
+
+let test_attribution_four_deep () =
+  let iters = 50 in
+  let m, codec = null_stack_session ~depth:4 ~iters in
+  (* exactly one span per getpid, none left open *)
+  let getpid =
+    List.find (fun s -> s.Obs.sm_sysno = Sysno.sys_getpid) m.Obs.m_syscalls
+  in
+  Alcotest.(check int) "spans completed" iters m.Obs.m_spans;
+  Alcotest.(check int) "none open" 0 m.Obs.m_open;
+  Alcotest.(check int) "getpid calls" iters getpid.Obs.sm_calls;
+  Alcotest.(check int) "getpid errors" 0 getpid.Obs.sm_errors;
+  (* layers: uspace, 4 agents, 4 downlinks, kernel — all seeing every trap *)
+  Alcotest.(check int) "layer count" 10 (List.length m.Obs.m_layers);
+  List.iter
+    (fun (l : Obs.layer_metrics) ->
+      Alcotest.(check int)
+        (Printf.sprintf "traps at depth %d (%s)" l.Obs.lm_depth l.Obs.lm_layer)
+        iters l.Obs.lm_traps)
+    m.Obs.m_layers;
+  (* per-layer self times sum to the end-to-end span time *)
+  let self_sum =
+    List.fold_left (fun acc l -> acc + l.Obs.lm_self_us) 0 m.Obs.m_layers
+  in
+  Alcotest.(check int) "self sum = span end-to-end"
+    (Obs.Hist.sum_us getpid.Obs.sm_hist)
+    self_sum;
+  (* tracing must not perturb virtual time: 174us per stacked getpid *)
+  Alcotest.(check int) "span mean is the tracing-off 174us" (174 * iters)
+    (Obs.Hist.sum_us getpid.Obs.sm_hist);
+  (* layer-attributed codec work = the global counters' diff = 1/trap *)
+  let layer_decodes =
+    List.fold_left (fun acc l -> acc + l.Obs.lm_decodes) 0 m.Obs.m_layers
+  in
+  let layer_encodes =
+    List.fold_left (fun acc l -> acc + l.Obs.lm_encodes) 0 m.Obs.m_layers
+  in
+  Alcotest.(check int) "decodes attributed" codec.Envelope.Stats.decodes
+    layer_decodes;
+  Alcotest.(check int) "encodes attributed" codec.Envelope.Stats.encodes
+    layer_encodes;
+  Alcotest.(check int) "one decode per trap" iters layer_decodes;
+  Alcotest.(check int) "one encode per trap" iters layer_encodes;
+  (* where the work lands: the boundary encode in uspace, the single
+     decode in the first (deepest-stacked, first-hit) symbolic agent *)
+  let at depth = List.find (fun l -> l.Obs.lm_depth = depth) m.Obs.m_layers in
+  Alcotest.(check string) "outermost layer" "uspace" (at 0).Obs.lm_layer;
+  Alcotest.(check int) "encode at the boundary" iters (at 0).Obs.lm_encodes;
+  Alcotest.(check int) "decode at the first agent" iters (at 1).Obs.lm_decodes;
+  Alcotest.(check string) "innermost layer" "kernel" (at 9).Obs.lm_layer
+
+let test_attribution_depth_zero () =
+  let iters = 20 in
+  let m, codec = null_stack_session ~depth:0 ~iters in
+  Alcotest.(check int) "spans" iters m.Obs.m_spans;
+  Alcotest.(check int) "two layers (uspace, kernel)" 2
+    (List.length m.Obs.m_layers);
+  let getpid =
+    List.find (fun s -> s.Obs.sm_sysno = Sysno.sys_getpid) m.Obs.m_syscalls
+  in
+  Alcotest.(check int) "25us per direct getpid" (25 * iters)
+    (Obs.Hist.sum_us getpid.Obs.sm_hist);
+  (* the kernel does the one decode when nothing interposes *)
+  let kernel =
+    List.find (fun l -> l.Obs.lm_layer = "kernel") m.Obs.m_layers
+  in
+  Alcotest.(check int) "kernel decodes" iters kernel.Obs.lm_decodes;
+  Alcotest.(check int) "global agrees" codec.Envelope.Stats.decodes
+    kernel.Obs.lm_decodes
+
+let test_error_spans_counted () =
+  with_obs (fun () ->
+      let _, status =
+        boot (fun () ->
+            Obs.reset ();
+            (* EBADF: an erroring span *)
+            (match Libc.Unistd.close 99 with Ok _ -> () | Error _ -> ());
+            (match Libc.Unistd.close 98 with Ok _ -> () | Error _ -> ());
+            ignore (Libc.Unistd.getpid ());
+            Obs.disable ();
+            0)
+      in
+      check_exit "session" 0 status;
+      let m = Obs.metrics () in
+      let close =
+        List.find (fun s -> s.Obs.sm_sysno = Sysno.sys_close) m.Obs.m_syscalls
+      in
+      Alcotest.(check int) "close calls" 2 close.Obs.sm_calls;
+      Alcotest.(check int) "close errors" 2 close.Obs.sm_errors;
+      let getpid =
+        List.find (fun s -> s.Obs.sm_sysno = Sysno.sys_getpid) m.Obs.m_syscalls
+      in
+      Alcotest.(check int) "getpid errors" 0 getpid.Obs.sm_errors)
+
+let test_exit_exec_spans_aborted () =
+  with_obs (fun () ->
+      Kernel.Registry.register "child" (fun ~argv:_ ~envp:_ () -> 0);
+      let k = fresh_kernel () in
+      Kernel.install_image k ~path:"/bin/child" ~image:"child";
+      let status =
+        Kernel.boot k ~name:"test" (fun () ->
+            Obs.reset ();
+            (match Libc.Spawn.run "/bin/child" [| "child" |] with
+             | Ok _ -> ()
+             | Error e -> Alcotest.failf "spawn: %s" (Errno.name e));
+            0)
+      in
+      check_exit "session" 0 status;
+      let m = Obs.metrics () in
+      (* the child's execve and every _exit leave spans that can only
+         be force-closed; they must be accounted as aborted, none open *)
+      Alcotest.(check bool) "aborted spans seen" true (m.Obs.m_aborted >= 2);
+      Alcotest.(check int) "no spans left open" 0 m.Obs.m_open)
+
+let test_ring_drop_counting_under_load () =
+  with_obs (fun () ->
+      Obs.configure ~ring_capacity:8 ();
+      let _, status =
+        boot (fun () ->
+            Obs.reset ();
+            for _ = 1 to 10 do
+              ignore (Libc.Unistd.getpid ())
+            done;
+            Obs.disable ();
+            0)
+      in
+      check_exit "session" 0 status;
+      (* 10 direct getpids emit 20 segments into an 8-slot ring *)
+      Alcotest.(check int) "ring full" 8 (List.length (Obs.records ()));
+      Alcotest.(check int) "drops counted" 12 (Obs.dropped ());
+      let m = Obs.metrics () in
+      Alcotest.(check int) "aggregation unaffected by ring size" 10
+        m.Obs.m_spans;
+      Obs.configure ())
+
+let test_spans_parse_as_jsonl () =
+  with_obs (fun () ->
+      let _, status =
+        boot (fun () ->
+            Obs.reset ();
+            ignore (Libc.Unistd.getpid ());
+            (match Libc.Unistd.close 99 with _ -> ());
+            Obs.disable ();
+            0)
+      in
+      check_exit "session" 0 status;
+      let records = Obs.drain () in
+      Alcotest.(check bool) "got records" true (List.length records >= 4);
+      List.iter
+        (fun r ->
+          let line = Obs.Span.to_line r in
+          match Obs.Span.of_line line with
+          | Ok r' ->
+            if r <> r' then Alcotest.failf "round-trip changed: %s" line
+          | Error e -> Alcotest.failf "unparseable %s: %s" line e)
+        records;
+      Alcotest.(check int) "drained" 0 (List.length (Obs.records ())))
+
+(* --- trace agent through the span sink ----------------------------------- *)
+
+let test_trace_agent_records_calls () =
+  with_obs (fun () ->
+      let agent = Agents.Trace.create ~fd:2 () in
+      let _, status =
+        boot (fun () ->
+            Toolkit.Loader.install agent ~argv:[||];
+            Obs.reset ();
+            ignore (Libc.Unistd.getpid ());
+            Obs.disable ();
+            0)
+      in
+      check_exit "session" 0 status;
+      let calls =
+        List.filter_map
+          (function Obs.Span.Call c -> Some c | Obs.Span.Segment _ -> None)
+          (Obs.records ())
+      in
+      (* two events per traced call: entry and return *)
+      let getpid_calls =
+        List.filter (fun c -> c.Obs.Span.c_name = "getpid") calls
+      in
+      Alcotest.(check int) "pre + post" 2 (List.length getpid_calls);
+      match getpid_calls with
+      | [ pre; post ] ->
+        Alcotest.(check bool) "entry has no result" true
+          (pre.Obs.Span.c_result = None);
+        Alcotest.(check bool) "return has a result" true
+          (post.Obs.Span.c_result <> None);
+        Alcotest.(check bool) "same span" true
+          (pre.Obs.Span.c_span = post.Obs.Span.c_span
+          && pre.Obs.Span.c_span > 0)
+      | _ -> Alcotest.fail "expected exactly two events")
+
+(* --- /obs synthetic files ------------------------------------------------ *)
+
+let test_obs_fs_files () =
+  with_obs (fun () ->
+      let agent = Agents.Obs_fs.create () in
+      let metrics_content = ref "" in
+      let spans_content = ref "" in
+      let codec_content = ref "" in
+      let _, status =
+        boot (fun () ->
+            Toolkit.Loader.install agent ~argv:[||];
+            Obs.reset ();
+            for _ = 1 to 5 do
+              ignore (Libc.Unistd.getpid ())
+            done;
+            spans_content := check_ok "spans" (Libc.Stdio.read_file "/obs/spans");
+            metrics_content :=
+              check_ok "metrics" (Libc.Stdio.read_file "/obs/metrics");
+            codec_content := check_ok "codec" (Libc.Stdio.read_file "/obs/codec");
+            Obs.disable ();
+            0)
+      in
+      check_exit "session" 0 status;
+      (* every line of /obs/spans is a parseable record *)
+      let lines =
+        List.filter (fun l -> l <> "")
+          (String.split_on_char '\n' !spans_content)
+      in
+      Alcotest.(check bool) "spans nonempty" true (List.length lines >= 10);
+      List.iter
+        (fun line ->
+          match Obs.Span.of_line line with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "bad span line %s: %s" line e)
+        lines;
+      (* /obs/metrics is valid JSON naming getpid *)
+      (match Obs.Json.of_string (String.trim !metrics_content) with
+       | Error e -> Alcotest.failf "metrics not JSON: %s" e
+       | Ok j ->
+         (match Obs.Json.member "syscalls" j with
+          | Some _ -> ()
+          | None -> Alcotest.fail "metrics missing syscalls"));
+      Alcotest.(check bool) "metrics name getpid" true
+        (let s = !metrics_content in
+         let needle = "\"getpid\"" in
+         let n = String.length needle and len = String.length s in
+         let rec scan i =
+           i + n <= len && (String.sub s i n = needle || scan (i + 1))
+         in
+         scan 0);
+      (* /obs/codec is the pretty-printed global counters *)
+      Alcotest.(check bool) "codec mentions decodes" true
+        (let s = !codec_content in
+         let needle = "decodes=" in
+         let n = String.length needle and len = String.length s in
+         let rec scan i =
+           i + n <= len && (String.sub s i n = needle || scan (i + 1))
+         in
+         scan 0))
+
+(* --- disabled = off ------------------------------------------------------ *)
+
+let test_disabled_records_nothing () =
+  Obs.reset ();
+  Obs.disable ();
+  let _, status =
+    boot (fun () ->
+        for _ = 1 to 5 do
+          ignore (Libc.Unistd.getpid ())
+        done;
+        0)
+  in
+  check_exit "session" 0 status;
+  Alcotest.(check int) "no records" 0 (List.length (Obs.records ()));
+  let m = Obs.metrics () in
+  Alcotest.(check int) "no spans" 0 m.Obs.m_spans;
+  Alcotest.(check int) "no syscalls" 0 (List.length m.Obs.m_syscalls)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "ring",
+        [ Alcotest.test_case "fifo" `Quick test_ring_basic;
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "drain" `Quick test_ring_drain;
+          Alcotest.test_case "capacity clamp" `Quick test_ring_capacity_clamp;
+          qtest qcheck_ring_keeps_newest ] );
+      ( "hist",
+        [ Alcotest.test_case "bucket edges" `Quick test_hist_bucket_edges;
+          Alcotest.test_case "observe" `Quick test_hist_observe;
+          qtest qcheck_hist_invariants ] );
+      ( "json",
+        [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "accessors" `Quick test_json_accessors ] );
+      ( "spans",
+        [ qtest qcheck_span_jsonl_roundtrip;
+          Alcotest.test_case "call line shapes" `Quick test_call_line_shapes;
+          Alcotest.test_case "session JSONL" `Quick test_spans_parse_as_jsonl ] );
+      ( "attribution",
+        [ Alcotest.test_case "four-deep null stack" `Quick
+            test_attribution_four_deep;
+          Alcotest.test_case "depth zero" `Quick test_attribution_depth_zero;
+          Alcotest.test_case "errors counted" `Quick test_error_spans_counted;
+          Alcotest.test_case "exit/exec abort spans" `Quick
+            test_exit_exec_spans_aborted;
+          Alcotest.test_case "ring drops under load" `Quick
+            test_ring_drop_counting_under_load ] );
+      ( "sinks",
+        [ Alcotest.test_case "trace agent call records" `Quick
+            test_trace_agent_records_calls;
+          Alcotest.test_case "/obs synthetic files" `Quick test_obs_fs_files;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing ] ) ]
