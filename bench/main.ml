@@ -559,6 +559,76 @@ let attrib_checks a =
 
 let per_trap iters n = Printf.sprintf "%.2f" (float_of_int n /. float_of_int iters)
 
+(* --- uninterested-trap fast path (ablation 6 and `smoke`) ---------------------- *)
+
+(* A stack of agents interested only in open(): getpid never matches
+   any interest bitmap, so every trap should take the fast path no
+   matter how deep the stack is. *)
+let install_uninterested depth =
+  for _ = 1 to depth do
+    let a = new Itoolkit.numeric_syscall in
+    a#register_interest Sysno.sys_open;
+    Itoolkit.Loader.install a ~argv:[||]
+  done
+
+let uninterested_cost depth =
+  measure_virtual ~iters:300 ~with_agent:false
+    ~prepare:(fun () ->
+      install_uninterested depth;
+      0)
+    (fun _ -> ignore (Libc.Unistd.getpid ()))
+
+(* Real-allocation probe over a hot uninterested-getpid loop: minor
+   words per trap (wall-side, not virtual), pool hit/recycle accounting
+   and the fast-path counter over the same window.  The pool is warmed
+   first so the window sees the steady state. *)
+type alloc_report = {
+  al_iters : int;
+  al_minor_words_per_trap : float;
+  al_pool : Value.Pool.Stats.snapshot;   (* diff over the window *)
+  al_codec : Envelope.Stats.snapshot;    (* diff over the window *)
+}
+
+let alloc_probe depth =
+  let iters = 2000 in
+  let k = fresh () in
+  let report = ref None in
+  let _ =
+    Kernel.boot k ~name:"alloc" (fun () ->
+      install_uninterested depth;
+      for _ = 1 to 64 do
+        ignore (Libc.Unistd.getpid ())
+      done;
+      let p0 = Kernel.pool_stats () in
+      let c0 = Kernel.codec_stats () in
+      let m0 = Gc.minor_words () in
+      for _ = 1 to iters do
+        ignore (Libc.Unistd.getpid ())
+      done;
+      let m1 = Gc.minor_words () in
+      report :=
+        Some
+          { al_iters = iters;
+            al_minor_words_per_trap = (m1 -. m0) /. float_of_int iters;
+            al_pool = Value.Pool.Stats.diff p0 (Kernel.pool_stats ());
+            al_codec = Envelope.Stats.diff c0 (Kernel.codec_stats ()) };
+      0)
+  in
+  match !report with
+  | Some r -> r
+  | None -> failwith "alloc probe session died"
+
+let alloc_json (a : alloc_report) =
+  let open Obs.Json in
+  Obj
+    [ ("traps", Int a.al_iters);
+      ("minor_words_per_trap", Float a.al_minor_words_per_trap);
+      ("fast_path", Int a.al_codec.Envelope.Stats.fast_path);
+      ("pool_hits", Int a.al_pool.Value.Pool.Stats.hits);
+      ("pool_misses", Int a.al_pool.Value.Pool.Stats.misses);
+      ("pool_recycled", Int a.al_pool.Value.Pool.Stats.recycled);
+      ("pool_dropped", Int a.al_pool.Value.Pool.Stats.dropped) ]
+
 (* --- ablations ---------------------------------------------------------------------- *)
 
 let ablations () =
@@ -731,6 +801,35 @@ let ablations () =
     "Observation gets more expensive with the work done per call:\n\
      counting < journaling < per-record timestamps and log writes.";
 
+  Report.print_title
+    "Ablation 6: uninterested-trap fast path (open-only agents, getpid)";
+  let uninterested_us =
+    List.map (fun d -> (d, uninterested_cost d)) [ 0; 1; 2; 3; 4 ]
+  in
+  Report.print_table
+    ~headers:
+      [ "stacked open-only agents"; "getpid() us";
+        "interested stack (abl. 3) us" ]
+    (List.map
+       (fun (d, us) ->
+         [ string_of_int d; Report.us us;
+           Report.us (List.assoc d stacked_us) ])
+       uninterested_us);
+  let al = alloc_probe 4 in
+  Printf.printf
+    "allocation at depth 4 (warm pool, %d traps): %.1f minor words/trap,\n\
+     fast_path %s/trap, pool hits %s/trap, recycled %s/trap (%d dropped)\n"
+    al.al_iters al.al_minor_words_per_trap
+    (per_trap al.al_iters al.al_codec.Envelope.Stats.fast_path)
+    (per_trap al.al_iters al.al_pool.Value.Pool.Stats.hits)
+    (per_trap al.al_iters al.al_pool.Value.Pool.Stats.recycled)
+    al.al_pool.Value.Pool.Stats.dropped;
+  Report.print_note
+    "Pay-per-use at trap granularity: an uninterested call costs the\n\
+     depth-0 25us whatever is stacked above it (one bitmap test, no\n\
+     vector probe), and the warm wire pool keeps the boundary encode\n\
+     from allocating a fresh vector per trap.";
+
   (* machine-readable companion for the perf trajectory *)
   let open Obs.Json in
   Report.write_json ~name:"ablations"
@@ -738,6 +837,9 @@ let ablations () =
        [ ("name", Str "ablations");
          ( "stacked_getpid_us",
            Arr (List.map (fun (_, us) -> Float us) stacked_us) );
+         ( "uninterested_getpid_us",
+           Arr (List.map (fun (_, us) -> Float us) uninterested_us) );
+         ("uninterested_alloc", alloc_json al);
          ( "codec_per_trap",
            Arr
              (List.map
@@ -795,6 +897,19 @@ let ablations () =
    small calibrations). *)
 let smoke_baseline_us = [ (0, 25.0); (1, 165.0); (2, 168.0); (3, 171.0); (4, 174.0) ]
 
+(* Uninterested traps ride the interest-bitmap fast path: getpid under
+   any depth of open-only agents must cost the depth-0 25us, flat. *)
+let smoke_uninterested_baseline_us = 25.0
+
+(* Real-allocation ceiling for a warm uninterested trap (minor words
+   per getpid, pool warm, tracing off).  Measured 63.0 words/trap when
+   the array-backed pool landed (remaining words are the envelope and
+   effect-handler plumbing; the wire is recycled).  The pre-pool path
+   measured 64.0, and a naive list/option pool 72.0 — the ceiling sits
+   at 70 so either regression trips the gate while ~11% headroom
+   absorbs compiler drift. *)
+let smoke_minor_words_ceiling = 70.0
+
 (* Minimal schema check over a BENCH_*.json document. *)
 let validate_bench_json json =
   let open Obs.Json in
@@ -828,13 +943,21 @@ let validate_bench_json json =
   match require_fields "document" [ ("name", is_str) ] json with
   | Error _ as e -> e
   | Ok () ->
+    let five_numbers field j =
+      match to_list j with
+      | Some l when List.length l = 5 && List.for_all is_num l -> Ok ()
+      | Some _ -> err "%s: want 5 numbers" field
+      | None -> err "%s: expected an array" field
+    in
     let sections =
-      [ ( "stacked_getpid_us",
-          fun j ->
-            match to_list j with
-            | Some l when List.length l = 5 && List.for_all is_num l -> Ok ()
-            | Some _ -> err "stacked_getpid_us: want 5 numbers"
-            | None -> err "stacked_getpid_us: expected an array" );
+      [ ("stacked_getpid_us", five_numbers "stacked_getpid_us");
+        ("uninterested_getpid_us", five_numbers "uninterested_getpid_us");
+        ( "uninterested_alloc",
+          require_fields "uninterested_alloc"
+            [ ("traps", is_int); ("minor_words_per_trap", is_num);
+              ("fast_path", is_int); ("pool_hits", is_int);
+              ("pool_misses", is_int); ("pool_recycled", is_int);
+              ("pool_dropped", is_int) ] );
         ( "codec_per_trap",
           arr_of "codec_per_trap"
             [ ("depth", is_int); ("traps", is_int); ("decodes", is_int);
@@ -884,6 +1007,52 @@ let smoke () =
        (fun (d, e, g) ->
          [ string_of_int d; Report.us e; Report.us g ])
        off_rows);
+  (* 1b. uninterested traps: flat at the depth-0 cost whatever is
+         stacked, or the interest-bitmap fast path regressed *)
+  let un_rows =
+    List.map
+      (fun d ->
+        let got = uninterested_cost d in
+        let expect = smoke_uninterested_baseline_us in
+        if abs_float (got -. expect) /. expect > 0.10 then
+          fail
+            "depth %d: uninterested getpid %.0fus drifted >10%% from flat %.0fus"
+            d got expect;
+        (d, got))
+      [ 0; 1; 2; 3; 4 ]
+  in
+  Report.print_table
+    ~headers:
+      [ "stacked open-only agents"; "baseline us";
+        "measured us (uninterested)" ]
+    (List.map
+       (fun (d, g) ->
+         [ string_of_int d; Report.us smoke_uninterested_baseline_us;
+           Report.us g ])
+       un_rows);
+  (* 1c. allocation-rate gate over the same fast path, pool warm *)
+  let al = alloc_probe 4 in
+  if al.al_minor_words_per_trap > smoke_minor_words_ceiling then
+    fail "allocation: %.1f minor words/trap exceeds the %.0f ceiling"
+      al.al_minor_words_per_trap smoke_minor_words_ceiling;
+  if al.al_codec.Envelope.Stats.fast_path <> al.al_iters then
+    fail "fast path: %d of %d uninterested traps took it"
+      al.al_codec.Envelope.Stats.fast_path al.al_iters;
+  if al.al_codec.Envelope.Stats.intercepted <> 0 then
+    fail "fast path: %d uninterested traps probed a handler"
+      al.al_codec.Envelope.Stats.intercepted;
+  if al.al_pool.Value.Pool.Stats.hits <> al.al_iters
+     || al.al_pool.Value.Pool.Stats.recycled <> al.al_iters
+  then
+    fail "wire pool: warm loop expected %d hits/recycles, got %d/%d"
+      al.al_iters al.al_pool.Value.Pool.Stats.hits
+      al.al_pool.Value.Pool.Stats.recycled;
+  Printf.printf
+    "fast path at depth 4: %.1f minor words/trap (ceiling %.0f), pool \
+     %d/%d hits, %d recycled\n"
+    al.al_minor_words_per_trap smoke_minor_words_ceiling
+    al.al_pool.Value.Pool.Stats.hits al.al_iters
+    al.al_pool.Value.Pool.Stats.recycled;
   (* 2. tracing ON at depth 4: attribution must agree with the codec
         counters and with end-to-end span time, at zero virtual cost *)
   let a = stack_attrib 4 in
@@ -908,6 +1077,9 @@ let smoke () =
        [ ("name", Str "smoke");
          ( "stacked_getpid_us",
            Arr (List.map (fun (_, _, g) -> Float g) off_rows) );
+         ( "uninterested_getpid_us",
+           Arr (List.map (fun (_, g) -> Float g) un_rows) );
+         ("uninterested_alloc", alloc_json al);
          ( "codec_per_trap",
            Arr
              [ Obj

@@ -1,0 +1,38 @@
+(** Packed bitsets over a fixed universe [0, len).
+
+    The interposition fast path keys on these: {!Kernel.Proc.emulation}
+    and the toolkit's downlink each keep a bitmap of intercepted
+    syscall numbers alongside their handler vector, so an uninterested
+    trap is decided by {!mem} — one load and an AND — without ever
+    probing the option array.  All operations treat out-of-range
+    indices as absent ({!mem} returns [false]; {!set}/{!clear} are
+    no-ops), matching the bounds behaviour of the vectors they
+    shadow. *)
+
+type t
+
+val create : int -> t
+(** [create len]: the empty set over universe [0, len). *)
+
+val length : t -> int
+val mem : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+
+val assign : t -> int -> bool -> unit
+(** [assign t i present]: {!set} when [present], {!clear} otherwise —
+    the one-liner for mirroring an option-array slot. *)
+
+val copy : t -> t
+(** Fresh storage; used on [fork] alongside [Array.copy] of the
+    vector. *)
+
+val clear_all : t -> unit
+val equal : t -> t -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val to_list : t -> int list
+(** Members in ascending order. *)
+
+val iter : (int -> unit) -> t -> unit

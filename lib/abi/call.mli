@@ -83,6 +83,13 @@ val number : t -> int
 val name : t -> string
 
 val encode : t -> Value.wire
+
+val encode_into : Value.wire -> t -> unit
+(** [encode_into w c] overwrites [w] in place with the wire form of
+    [c], reusing [w]'s argument array when the arity matches.  This is
+    the pooled-wire refill path ([Value.Pool]); [encode] is
+    [encode_into] onto a fresh record. *)
+
 val decode : Value.wire -> (t, Errno.t) result
 (** [decode w] fails with [ENOSYS] for an unknown number and [EFAULT]
     for arguments of the wrong shape. *)

@@ -5,6 +5,7 @@ module Stats = struct
   type snapshot = {
     traps : int;
     intercepted : int;
+    fast_path : int;
     decodes : int;
     encodes : int;
     crossings : int;
@@ -13,6 +14,7 @@ module Stats = struct
 
   let traps = ref 0
   let intercepted = ref 0
+  let fast_path = ref 0
   let decodes = ref 0
   let encodes = ref 0
   let crossings = ref 0
@@ -22,6 +24,7 @@ module Stats = struct
     {
       traps = !traps;
       intercepted = !intercepted;
+      fast_path = !fast_path;
       decodes = !decodes;
       encodes = !encodes;
       crossings = !crossings;
@@ -31,6 +34,7 @@ module Stats = struct
   let reset () =
     traps := 0;
     intercepted := 0;
+    fast_path := 0;
     decodes := 0;
     encodes := 0;
     crossings := 0;
@@ -40,6 +44,7 @@ module Stats = struct
     {
       traps = after.traps - before.traps;
       intercepted = after.intercepted - before.intercepted;
+      fast_path = after.fast_path - before.fast_path;
       decodes = after.decodes - before.decodes;
       encodes = after.encodes - before.encodes;
       crossings = after.crossings - before.crossings;
@@ -48,13 +53,18 @@ module Stats = struct
 
   let pp fmt s =
     Format.fprintf fmt
-      "traps=%d intercepted=%d decodes=%d encodes=%d crossings=%d \
-       agent_calls=%d"
-      s.traps s.intercepted s.decodes s.encodes s.crossings s.agent_calls
+      "traps=%d intercepted=%d fast_path=%d decodes=%d encodes=%d \
+       crossings=%d agent_calls=%d"
+      s.traps s.intercepted s.fast_path s.decodes s.encodes s.crossings
+      s.agent_calls
 
   let note_trap ~intercepted:hit =
     incr traps;
     if hit then incr intercepted
+
+  let note_trap_fast () =
+    incr traps;
+    incr fast_path
 
   let note_crossing () = incr crossings
   let note_agent_call () = incr agent_calls
@@ -74,22 +84,64 @@ type t = {
   mutable span : int;
       (* Obs span this envelope's codec work attributes to; 0 when
          tracing is off or the envelope is born outside any trap. *)
+  mutable home : Value.Pool.t option;
+      (* The pool the wire came from, when [at_boundary] took it from
+         one; cleared by [release] so a wire recycles at most once. *)
+  mutable exposed : bool;
+      (* Set once the raw wire has been handed out ([wire]/[peek_wire]):
+         an agent may have kept the reference, so the record can never
+         be recycled. *)
 }
 
 let of_wire w =
-  { num = w.Value.num; wire = Some w; view = Undecoded; span = Obs.current () }
+  { num = w.Value.num; wire = Some w; view = Undecoded; span = Obs.current ();
+    home = None; exposed = true }
 
 let of_call c =
-  { num = Call.number c; wire = None; view = Typed c; span = Obs.current () }
+  { num = Call.number c; wire = None; view = Typed c; span = Obs.current ();
+    home = None; exposed = false }
 
-let at_boundary c =
+let at_boundary ?pool c =
   (* The application/system boundary is the untyped numeric form: encode
      now and deliberately forget the typed view, so agents below see
-     exactly what an application would have trapped with. *)
+     exactly what an application would have trapped with.  With [pool],
+     the wire record comes off the caller's free list when one is
+     available; [release] sends it back after the trap. *)
   let span = Obs.current () in
   incr Stats.encodes;
   Obs.note_encode span;
-  { num = Call.number c; wire = Some (Call.encode c); view = Undecoded; span }
+  let wire =
+    match pool with
+    | None -> Call.encode c
+    | Some p ->
+      let w = Value.Pool.take p in
+      Call.encode_into w c;
+      w
+  in
+  (* [home = pool] shares the caller's option — building a fresh [Some]
+     per trap would undo part of what the pool saves *)
+  { num = Call.number c; wire = Some wire; view = Undecoded; span;
+    home = pool; exposed = false }
+
+let release t =
+  (* Recycle only when this envelope still owns the wire exclusively: it
+     came from a pool, was never handed out raw, and was never rewritten
+     (a dirty envelope dropped its original wire; any re-encoded one may
+     be aliased by whoever forced it). *)
+  match t.home with
+  | None -> ()
+  | Some p ->
+    t.home <- None;
+    (match t.wire with
+     | Some w when not t.exposed ->
+       (* Drop our reference before recycling: the record is about to be
+          scrubbed and refilled by a later trap, and a released envelope
+          must fail loudly (assert in [call]) rather than silently read
+          someone else's arguments.  A [Typed]/[Undecodable] view
+          survives, so decoded envelopes stay printable. *)
+       t.wire <- None;
+       Value.Pool.recycle p w
+     | Some _ | None -> ())
 
 let span t = t.span
 let set_span t s = t.span <- s
@@ -117,6 +169,7 @@ let call t =
       Error e)
 
 let wire t =
+  t.exposed <- true;
   match t.wire with
   | Some w -> w
   | None -> (
@@ -129,7 +182,9 @@ let wire t =
       w
     | Undecoded | Undecodable _ -> assert false (* no wire implies Typed *))
 
-let peek_wire t = t.wire
+let peek_wire t =
+  (match t.wire with Some _ -> t.exposed <- true | None -> ());
+  t.wire
 
 let nargs t =
   match t.wire with

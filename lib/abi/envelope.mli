@@ -40,10 +40,26 @@ val of_call : Call.t -> t
     starts {!dirty}).  This is what agents and the toolkit use to send
     new or rewritten calls down the stack. *)
 
-val at_boundary : Call.t -> t
+val at_boundary : ?pool:Value.Pool.t -> Call.t -> t
 (** Encode a typed call for the application trap boundary: the wire
     form is materialized now (and counted), the typed view dropped.
-    Used by the C-library stubs, where the ABI contract is untyped. *)
+    Used by the C-library stubs, where the ABI contract is untyped.
+
+    With [pool] (the calling process's wire pool), the wire record is
+    taken from the free list when one is available and refilled in
+    place ([Call.encode_into]); {!release} returns it after the trap.
+    Without [pool] the envelope never recycles. *)
+
+val release : t -> unit
+(** Declare the trap that carried this envelope complete and recycle
+    its wire back to the pool it came from — but only when the
+    envelope still owns the record exclusively: born via
+    {!at_boundary} with a pool, never handed out raw ({!wire} /
+    {!peek_wire} mark it {e exposed}), and never rewritten (a dirty or
+    re-encoded envelope may be aliased).  In every other case this is
+    a no-op and the wire is left to the GC — correctness over reuse.
+    Idempotent; after a successful release the raw vector is gone
+    (a memoized typed view survives). *)
 
 (** {1 The two views} *)
 
@@ -104,6 +120,8 @@ module Stats : sig
   type snapshot = {
     traps : int;         (** application-level trap entries *)
     intercepted : int;   (** traps that hit an emulation handler *)
+    fast_path : int;     (** traps dismissed by the interest bitmap
+                             without probing the handler vector *)
     decodes : int;       (** wire → typed materializations *)
     encodes : int;       (** typed → wire materializations *)
     crossings : int;     (** envelope handed down one stack layer *)
@@ -135,6 +153,11 @@ module Stats : sig
       toolkit's down path; not meant for agent code. *)
 
   val note_trap : intercepted:bool -> unit
+
+  val note_trap_fast : unit -> unit
+  (** A trap the interest bitmap dismissed: counted in [traps] and
+      [fast_path], never in [intercepted]. *)
+
   val note_crossing : unit -> unit
   val note_agent_call : unit -> unit
 end

@@ -121,3 +121,6 @@ let descriptor_calls =
 
 let uses_pathname n = List.mem n pathname_calls
 let uses_descriptor n = List.mem n descriptor_calls
+
+let file_calls =
+  List.sort_uniq compare (pathname_calls @ descriptor_calls)

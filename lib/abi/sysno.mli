@@ -91,3 +91,12 @@ val is_valid : int -> bool
 
 val uses_pathname : int -> bool
 val uses_descriptor : int -> bool
+
+val pathname_calls : int list
+val descriptor_calls : int list
+
+val file_calls : int list
+(** Union of the pathname and descriptor families, sorted ascending —
+    the interest set for agents that care about files and nothing
+    else, so [register_interest] stays the cheap path rather than a
+    blanket [register_interest_all]. *)

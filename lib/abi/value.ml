@@ -22,7 +22,90 @@ let ok = ret 0
 
 type res = (ret, Errno.t) result
 
-type wire = { num : int; args : t array }
+type wire = { mutable num : int; mutable args : t array }
+
+(* Per-process free lists of wire records, so the trap boundary can
+   reuse a vector instead of allocating one per call.  The pool only
+   ever sees wires whose envelope owned them exclusively (never handed
+   out raw, never rewritten) — Envelope.release enforces that — and
+   every recycled wire is scrubbed here so a stale [Buf]/[Str]/[Body]
+   reference can neither leak data into the next trap nor pin dead
+   objects against the GC. *)
+module Pool = struct
+  (* Array-backed stack rather than a list: a warm take/recycle pair
+     must allocate nothing at all (a cons cell per recycle, or an
+     option per take, would cost more than the recycled wire saves on
+     small calls). *)
+  type pool = {
+    mutable stack : wire array;
+    mutable len : int;
+    capacity : int;
+  }
+
+  type t = pool
+
+  let dummy = { num = 0; args = [||] }
+
+  module Stats = struct
+    type snapshot = {
+      hits : int;      (* takes served from the free list *)
+      misses : int;    (* takes that fell back to allocation *)
+      recycled : int;  (* wires returned for reuse *)
+      dropped : int;   (* returns rejected by a full pool *)
+    }
+
+    let hits = ref 0
+    let misses = ref 0
+    let recycled = ref 0
+    let dropped = ref 0
+
+    let snapshot () =
+      { hits = !hits; misses = !misses;
+        recycled = !recycled; dropped = !dropped }
+
+    let reset () =
+      hits := 0; misses := 0; recycled := 0; dropped := 0
+
+    let diff before after =
+      { hits = after.hits - before.hits;
+        misses = after.misses - before.misses;
+        recycled = after.recycled - before.recycled;
+        dropped = after.dropped - before.dropped }
+
+    let pp fmt s =
+      Format.fprintf fmt "hits=%d misses=%d recycled=%d dropped=%d"
+        s.hits s.misses s.recycled s.dropped
+  end
+
+  let create ?(capacity = 64) () =
+    if capacity < 0 then invalid_arg "Pool.create";
+    { stack = Array.make capacity dummy; len = 0; capacity }
+
+  let size p = p.len
+
+  let take p =
+    if p.len = 0 then begin
+      incr Stats.misses;
+      { num = 0; args = [||] }
+    end
+    else begin
+      p.len <- p.len - 1;
+      let w = p.stack.(p.len) in
+      p.stack.(p.len) <- dummy;
+      incr Stats.hits;
+      w
+    end
+
+  let recycle p w =
+    if p.len >= p.capacity then incr Stats.dropped
+    else begin
+      w.num <- 0;
+      Array.fill w.args 0 (Array.length w.args) Nil;
+      p.stack.(p.len) <- w;
+      p.len <- p.len + 1;
+      incr Stats.recycled
+    end
+end
 
 let truncate_str s =
   if String.length s <= 32 then s else String.sub s 0 29 ^ "..."

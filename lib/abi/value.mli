@@ -39,8 +39,59 @@ val ok : (ret, Errno.t) result
 
 type res = (ret, Errno.t) result
 
-(** A trapped system call: number plus untyped argument vector. *)
-type wire = { num : int; args : t array }
+(** A trapped system call: number plus untyped argument vector.  The
+    fields are mutable only so pooled wires can be refilled in place
+    ({!Pool}, [Call.encode_into]); every other consumer treats a wire
+    as immutable for its lifetime. *)
+type wire = { mutable num : int; mutable args : t array }
+
+(** Free lists of {!wire} records for the zero-alloc trap boundary.
+
+    Each process owns one pool ([Kernel.Proc.t]).  [Envelope.at_boundary]
+    takes a wire from it instead of allocating, and [Envelope.release]
+    recycles it once the trap completes — but only when the envelope
+    still owns the wire exclusively: a wire that was handed out raw
+    ([Envelope.wire]/[peek_wire]) or belongs to a rewritten (dirty)
+    envelope is simply left to the GC, correctness over reuse.
+    Recycled wires are scrubbed ([num = 0], every slot [Nil]) so no
+    argument of one trap can leak into, or stay live because of, the
+    next. *)
+module Pool : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Default capacity 64 wires; returns beyond it are dropped. *)
+
+  val size : t -> int
+  (** Wires currently on the free list. *)
+
+  val take : t -> wire
+  (** Pop a (scrubbed) wire, or allocate a fresh empty one when the
+      pool is dry (counted as a miss).  A warm take allocates
+      nothing. *)
+
+  val recycle : t -> wire -> unit
+  (** Scrub and push; silently drops the wire when the pool is full.
+      The caller must guarantee nothing else references [w].  A
+      non-full recycle allocates nothing. *)
+
+  (** Global hit/miss accounting across every pool, in the same
+      snapshot/diff style as [Envelope.Stats] (and under the same
+      contract: never reset mid-session, diff instead). *)
+  module Stats : sig
+    type snapshot = {
+      hits : int;      (** takes served from a free list *)
+      misses : int;    (** takes that fell back to allocation *)
+      recycled : int;  (** wires returned for reuse *)
+      dropped : int;   (** returns rejected by a full pool *)
+    }
+
+    val snapshot : unit -> snapshot
+    val reset : unit -> unit
+    val diff : snapshot -> snapshot -> snapshot
+    val pp : Format.formatter -> snapshot -> unit
+  end
+end
 
 val pp : Format.formatter -> t -> unit
 (** Numeric-layer rendering: ints in decimal, strings quoted and

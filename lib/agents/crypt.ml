@@ -108,7 +108,9 @@ class agent ~(key : int) ~(subtrees : string list) =
 
     method! agent_name = "crypt"
     method files_protected = protected_opens
-    method! init _argv = self#register_interest_all
+    (* a descriptor_set layer: descriptor calls (incl. open/creat) only *)
+    method! init _argv =
+      List.iter self#register_interest Sysno.descriptor_calls
 
     method! make_open_object ~fd ~path ~flags =
       match path with

@@ -78,7 +78,8 @@ class agent =
     method records_emitted = serial
 
     method! init argv =
-      self#register_interest_all;
+      (* only file references are logged — no reason to see the rest *)
+      List.iter self#register_interest Sysno.file_calls;
       Array.iter
         (fun arg ->
           match String.index_opt arg '=' with

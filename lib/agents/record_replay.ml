@@ -1,10 +1,11 @@
 open Abi
 
-let replayable num =
-  List.mem num
-    [ Sysno.sys_read; Sysno.sys_stat; Sysno.sys_lstat; Sysno.sys_fstat;
-      Sysno.sys_gettimeofday; Sysno.sys_readlink; Sysno.sys_getcwd;
-      Sysno.sys_getdirentries ]
+let replayable_calls =
+  [ Sysno.sys_read; Sysno.sys_stat; Sysno.sys_lstat; Sysno.sys_fstat;
+    Sysno.sys_gettimeofday; Sysno.sys_readlink; Sysno.sys_getcwd;
+    Sysno.sys_getdirentries ]
+
+let replayable num = List.mem num replayable_calls
 
 (* --- journal entries and their wire form -------------------------------- *)
 
@@ -163,7 +164,9 @@ class recorder =
     method journal = Buffer.contents journal_buf
     method entries = count
 
-    method! init _argv = self#register_interest_all
+    (* Only replayable calls are journaled, so only they need
+       intercepting (the loader adds fork/execve/exit itself). *)
+    method! init _argv = List.iter self#register_interest replayable_calls
 
     method! syscall env =
       let res = super#syscall env in
@@ -205,7 +208,7 @@ class replayer ~(journal : string) =
     method desyncs = desyncs
 
     method! init _argv =
-      self#register_interest_all;
+      List.iter self#register_interest replayable_calls;
       List.iter
         (fun line ->
           match parse_line line with

@@ -74,7 +74,8 @@ class agent ?(mount = "/proc") () =
       List.sort compare
         (Hashtbl.fold (fun name _ acc -> name :: acc) files [])
 
-    method! init _argv = self#register_interest_all
+    (* serves synthetic files: file calls only *)
+    method! init _argv = List.iter self#register_interest Sysno.file_calls
 
     method private entry path =
       if path = mount then Some `Dir

@@ -8,6 +8,7 @@ class agent =
     val sig_counts = Array.make (Signal.max_signal + 1) 0
 
     method! agent_name = "syscount"
+    (* counts every call by definition: full interest is the point *)
     method! init _argv = self#register_interest_all
 
     method! syscall env =

@@ -2,6 +2,10 @@ class agent =
   object (self)
     inherit Toolkit.symbolic_syscall
     method! agent_name = "time_symbolic"
+
+    (* The null timing agent: it must intercept everything so the bench
+       baselines (Table 5-1 style stack costs) measure the full
+       interposition path — do not narrow this one. *)
     method! init _argv = self#register_interest_all
   end
 

@@ -25,6 +25,7 @@ class agent =
     method calls_traced = traced
 
     method! init argv =
+      (* genuinely wants every call: full interest is the point here *)
       self#register_interest_all;
       Array.iter
         (fun arg ->

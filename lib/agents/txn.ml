@@ -250,7 +250,9 @@ class agent ?(decide : (unit -> decision) = fun () -> `Commit) () =
         is_deleted = (fun p -> Hashtbl.mem deleted p) }
 
     method! init argv =
-      self#register_interest_all;
+      (* buffers file mutations; the sys_exit commit hook is part of
+         the loader's boilerplate minimum, so file calls suffice *)
+      List.iter self#register_interest Sysno.file_calls;
       ignore argv;
       incr serial;
       (match self#down Call.Getpid with

@@ -46,7 +46,8 @@ class agent =
               members = List.map strip_trailing_slash members } ]
 
     method! init argv =
-      self#register_interest_all;
+      (* path translation touches file calls only *)
+      List.iter self#register_interest Sysno.file_calls;
       Array.iter
         (fun arg ->
           match parse_mount_arg arg with

@@ -2,19 +2,36 @@ open Abi
 
 type t = {
   mutable prev : (Envelope.t -> Value.res) option array;
+  mutable bitmap : Bitset.t;
+      (* Same invariant as Proc.emulation: bit [n] set iff [prev.(n)]
+         holds a captured handler, so [down] decides "straight to the
+         kernel" with one bit test. *)
   mutable prev_sig : (int -> unit) option;
 }
 
 let create () =
-  { prev = Array.make (Sysno.max_sysno + 1) None; prev_sig = None }
+  { prev = Array.make (Sysno.max_sysno + 1) None;
+    bitmap = Bitset.create (Sysno.max_sysno + 1);
+    prev_sig = None }
 
 let capture t ~numbers =
   List.iter
     (fun n ->
-      if n >= 0 && n < Array.length t.prev then
-        t.prev.(n) <- Kernel.Uspace.task_get_emulation n)
+      if n >= 0 && n < Array.length t.prev then begin
+        let h = Kernel.Uspace.task_get_emulation n in
+        t.prev.(n) <- h;
+        Bitset.assign t.bitmap n (Option.is_some h)
+      end)
     numbers;
   t.prev_sig <- Kernel.Uspace.task_get_emulation_signal ()
+
+let consistent t =
+  Bitset.length t.bitmap = Array.length t.prev
+  && (let ok = ref true in
+      Array.iteri
+        (fun i h -> if Bitset.mem t.bitmap i <> (h <> None) then ok := false)
+        t.prev;
+      !ok)
 
 let captured_handler t n =
   if n >= 0 && n < Array.length t.prev then t.prev.(n) else None
@@ -24,24 +41,18 @@ let captured_signal t = t.prev_sig
 let down t (env : Envelope.t) =
   Envelope.Stats.note_crossing ();
   let num = Envelope.number env in
-  let prev =
-    if num >= 0 && num < Array.length t.prev then t.prev.(num)
-    else None
-  in
-  Obs.in_layer ~span:(Envelope.span env) "downlink" (fun () ->
-      match prev with
-      | Some handler -> handler env
-      | None -> Kernel.Uspace.htg_trap env)
+  if not (Bitset.mem t.bitmap num) then
+    (* no captured handler below: skip the vector probe entirely *)
+    Obs.in_layer ~span:(Envelope.span env) "downlink" (fun () ->
+        Kernel.Uspace.htg_trap env)
+  else
+    Obs.in_layer ~span:(Envelope.span env) "downlink" (fun () ->
+        match t.prev.(num) with
+        | Some handler -> handler env
+        | None -> Kernel.Uspace.htg_trap env)
 
 let down_call t c =
   Envelope.Stats.note_agent_call ();
   down t (Envelope.of_call c)
 
-let down_signal t s =
-  match t.prev_sig with
-  | Some interposer -> interposer s
-  | None ->
-    let proc = Kernel.Uspace.self () in
-    (match Kernel.Proc.handler proc s with
-     | Value.H_fn f -> f s
-     | Value.H_default | Value.H_ignore -> ())
+let down_signal t s = Kernel.Uspace.deliver_via t.prev_sig s

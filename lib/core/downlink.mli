@@ -36,4 +36,10 @@ val captured_signal : t -> (int -> unit) option
 val down_signal : t -> int -> unit
 (** Deliver a signal to the next level up the stack towards the
     application: the previously installed interposer if any, else the
-    application's own handler for that signal. *)
+    application's own handler for that signal (one shared dispatch
+    definition, [Kernel.Uspace.deliver_via]). *)
+
+val consistent : t -> bool
+(** Runtime check that the interest bitmap shadowing the captured
+    vector matches it slot-for-slot; exercised by the property
+    tests. *)

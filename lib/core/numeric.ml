@@ -3,7 +3,12 @@ open Abi
 class numeric_syscall =
   object (self)
     val dl = Downlink.create ()
-    val mutable interests : int list = []
+
+    (* Interests live in a bitset, so registering is O(1) however many
+       numbers are already registered (the old list representation made
+       register-everything quadratic in the table size) and duplicates
+       are absorbed for free. *)
+    val interests = Bitset.create (Sysno.max_sysno + 1)
 
     method downlink = dl
     method down c = Downlink.down_call dl c
@@ -13,8 +18,7 @@ class numeric_syscall =
       (* any number inside the interception vector may be registered —
          including numbers the native interface does not define, which
          is how foreign-ABI emulation agents catch their calls *)
-      if n >= 0 && n <= Sysno.max_sysno && not (List.mem n interests)
-      then interests <- n :: interests
+      Bitset.set interests n
 
     method register_interest_range lo hi =
       for n = lo to hi do
@@ -24,7 +28,7 @@ class numeric_syscall =
     method register_interest_all =
       List.iter self#register_interest Sysno.all
 
-    method interests = List.sort compare interests
+    method interests = Bitset.to_list interests
 
     method init (_argv : string array) = ()
     method init_child = ()

@@ -221,10 +221,16 @@ let run_fiber (t : t) (proc : Proc.t) (body : unit -> int) =
           | Events.Set_emulation (numbers, handler) ->
             Some (fun (k : (a, unit) continuation) ->
               Proc.Cur.set None;
+              (* the interest bitmap shadows the vector slot-for-slot:
+                 this handler is the only writer, so updating both here
+                 keeps the fast-path invariant *)
               List.iter
                 (fun n ->
-                  if n >= 0 && n < Array.length proc.emul.vector then
-                    proc.emul.vector.(n) <- handler)
+                  if n >= 0 && n < Array.length proc.emul.vector then begin
+                    proc.emul.vector.(n) <- handler;
+                    Abi.Bitset.assign proc.emul.bitmap n
+                      (Option.is_some handler)
+                  end)
                 numbers;
               enqueue_resume t proc k ())
           | Events.Get_emulation n ->
@@ -484,10 +490,25 @@ let deadlock_kills (t : t) = t.deadlock_kills
 let codec_stats () = Envelope.Stats.snapshot ()
 let reset_codec_stats () = Envelope.Stats.reset ()
 
+let pool_stats () = Value.Pool.Stats.snapshot ()
+
 (* the observability engine is global for the same reason the codec
    counters are: spans live in user space, across kernel instances *)
 let metrics () = Obs.metrics ()
-let metrics_json () = Obs.metrics_to_json ~name:Abi.Sysno.name (Obs.metrics ())
+
+let metrics_json () =
+  let base = Obs.metrics_to_json ~name:Abi.Sysno.name (Obs.metrics ()) in
+  let pool =
+    let s = Value.Pool.Stats.snapshot () in
+    Obs.Json.Obj
+      [ ("hits", Obs.Json.Int s.hits);
+        ("misses", Obs.Json.Int s.misses);
+        ("recycled", Obs.Json.Int s.recycled);
+        ("dropped", Obs.Json.Int s.dropped) ]
+  in
+  match base with
+  | Obs.Json.Obj fields -> Obs.Json.Obj (fields @ [ ("wire_pool", pool) ])
+  | other -> other
 let drain_obs () = Obs.drain ()
 
 let post_signal (t : t) ~pid s =

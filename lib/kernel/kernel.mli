@@ -81,6 +81,11 @@ val reset_codec_stats : unit -> unit
     contract on [Abi.Envelope.Stats.reset] — mid-session code should
     snapshot/{!Abi.Envelope.Stats.diff} instead, or use {!metrics}. *)
 
+val pool_stats : unit -> Abi.Value.Pool.Stats.snapshot
+(** Global wire-pool hit/miss counters, same global/snapshot contract
+    as {!codec_stats}.  Also exported as the ["wire_pool"] member of
+    {!metrics_json}. *)
+
 val metrics : unit -> Obs.metrics
 (** Aggregated observability snapshot (per-syscall counters and latency
     histograms, per-layer attribution) accumulated while [Obs.enable]d.

@@ -41,6 +41,10 @@ type sigstate = {
 
 type emulation = {
   mutable vector : (Abi.Envelope.t -> Abi.Value.res) option array;
+  mutable bitmap : Abi.Bitset.t;
+      (* Invariant: [Bitset.mem bitmap n] iff [vector.(n) <> None].
+         The trap fast path tests the bit and never touches the vector
+         for uninterested calls. *)
   mutable sig_emul : (int -> unit) option;
 }
 
@@ -61,13 +65,27 @@ type t = {
   mutable syscall_count : int;
   mutable utime_us : int;
   mutable stime_us : int;
+  wire_pool : Abi.Value.Pool.t option;
+      (* Always [Some] in practice; option-typed so the trap stub can
+         pass it to [Envelope.at_boundary ?pool] without wrapping a
+         fresh [Some] on every trap. *)
 }
 
 let fd_table_size = 64
 
 let fresh_emulation () =
   { vector = Array.make (Abi.Sysno.max_sysno + 1) None;
+    bitmap = Abi.Bitset.create (Abi.Sysno.max_sysno + 1);
     sig_emul = None }
+
+let emulation_consistent e =
+  Abi.Bitset.length e.bitmap = Array.length e.vector
+  && (let ok = ref true in
+      Array.iteri
+        (fun i h ->
+           if Abi.Bitset.mem e.bitmap i <> (h <> None) then ok := false)
+        e.vector;
+      !ok)
 
 let fresh_sigstate () =
   { handlers = Array.make (Abi.Signal.max_signal + 1) Abi.Value.H_default;
@@ -85,7 +103,8 @@ let create ~pid ~ppid ~pgrp ~name ~cred ~cwd =
     alarm_at = None;
     syscall_count = 0;
     utime_us = 0;
-    stime_us = 0 }
+    stime_us = 0;
+    wire_pool = Some (Abi.Value.Pool.create ()) }
 
 let fork_copy t ~pid ~name =
   let fds = Array.map
@@ -105,13 +124,17 @@ let fork_copy t ~pid ~name =
              mask = t.sigs.mask;
              pending = 0 };
     emul = { vector = Array.copy t.emul.vector;
+             bitmap = Abi.Bitset.copy t.emul.bitmap;
              sig_emul = t.emul.sig_emul };
     state = Runnable;
     exit_status = 0;
     alarm_at = None;
     syscall_count = 0;
     utime_us = 0;
-    stime_us = 0 }
+    stime_us = 0;
+    (* The pool is a cache, not address-space state: the child starts
+       with an empty one rather than stealing the parent's wires. *)
+    wire_pool = Some (Abi.Value.Pool.create ()) }
 
 let fd t n =
   if n >= 0 && n < Array.length t.fds then t.fds.(n) else None

@@ -50,6 +50,11 @@ type sigstate = {
     [execve]. *)
 type emulation = {
   mutable vector : (Abi.Envelope.t -> Abi.Value.res) option array;
+  mutable bitmap : Abi.Bitset.t;
+      (** interest bitmap shadowing [vector]: bit [n] set iff
+          [vector.(n)] is [Some _].  Maintained by the kernel's
+          [Set_emulation] handler and {!fork_copy}; the trap fast path
+          tests the bit and skips the vector for uninterested calls. *)
   mutable sig_emul : (int -> unit) option;
 }
 
@@ -70,11 +75,21 @@ type t = {
   mutable syscall_count : int;  (** total traps, for accounting *)
   mutable utime_us : int;       (** virtual user time (cpu_work, agent work) *)
   mutable stime_us : int;       (** virtual system time (in-kernel call cost) *)
+  wire_pool : Abi.Value.Pool.t option;
+      (** free list feeding [Envelope.at_boundary] for this process's
+          traps; a cache only, so [fork] gives the child a fresh one.
+          Always [Some]; option-typed so the trap stub can hand it to
+          [at_boundary ?pool] without allocating a [Some] per trap *)
 }
 
 val fd_table_size : int
 
 val fresh_emulation : unit -> emulation
+
+val emulation_consistent : emulation -> bool
+(** Runtime check of the bitmap/vector invariant: same length, and bit
+    [n] set exactly when slot [n] holds a handler.  Exercised by the
+    property tests after arbitrary set/clear/fork sequences. *)
 
 val create :
   pid:int -> ppid:int -> pgrp:int -> name:string -> cred:Vfs.Fs.cred

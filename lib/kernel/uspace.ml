@@ -2,38 +2,56 @@ open Abi
 
 let self () = Proc.Cur.get_exn ()
 
+(* One definition of signal dispatch, shared by the trap exit path here
+   and by the toolkit's [Downlink.down_signal] chain. *)
+let deliver_app (proc : Proc.t) s =
+  match Proc.handler proc s with
+  | Value.H_fn f -> f s
+  | Value.H_default | Value.H_ignore -> ()
+
+let deliver_via interposer s =
+  match interposer with
+  | Some f -> f s
+  | None -> deliver_app (self ()) s
+
 let deliver_one (proc : Proc.t) s =
   match proc.emul.sig_emul with
   | Some interposer -> interposer s
-  | None ->
-    match Proc.handler proc s with
-    | Value.H_fn f -> f s
-    | Value.H_default | Value.H_ignore -> ()
+  | None -> deliver_app proc s
 
 let deliver proc sigs = List.iter (deliver_one proc) sigs
+
+let to_kernel (proc : Proc.t) (env : Envelope.t) : Value.res =
+  (* nothing interposed: the kernel is the only layer below us *)
+  let reply =
+    Obs.in_layer ~span:(Envelope.span env) "kernel" (fun () ->
+        Effect.perform (Events.Trap (env, Events.App)))
+  in
+  deliver proc reply.deliver;
+  reply.res
 
 let trap_raw (env : Envelope.t) : Value.res =
   let proc = self () in
   proc.syscall_count <- proc.syscall_count + 1;
-  let vec = proc.emul.vector in
   let num = Envelope.number env in
-  let handler =
-    if num >= 0 && num < Array.length vec then vec.(num) else None
-  in
-  Envelope.Stats.note_trap ~intercepted:(Option.is_some handler);
-  match handler with
-  | Some h ->
-    let sigs = Effect.perform (Events.Cpu Cost_model.intercept_us) in
-    deliver proc sigs;
-    h env
-  | None ->
-    (* nothing interposed: the kernel is the only layer below us *)
-    let reply =
-      Obs.in_layer ~span:(Envelope.span env) "kernel" (fun () ->
-          Effect.perform (Events.Trap (env, Events.App)))
-    in
-    deliver proc reply.deliver;
-    reply.res
+  if not (Bitset.mem proc.emul.bitmap num) then begin
+    (* Fast path: one bit test says no handler is interposed for this
+       number — the option vector is never probed. *)
+    Envelope.Stats.note_trap_fast ();
+    to_kernel proc env
+  end
+  else begin
+    (* The bit is only ever set for in-range numbers with a handler
+       installed (the bitmap/vector invariant), but stay defensive. *)
+    let handler = proc.emul.vector.(num) in
+    Envelope.Stats.note_trap ~intercepted:(Option.is_some handler);
+    match handler with
+    | Some h ->
+      let sigs = Effect.perform (Events.Cpu Cost_model.intercept_us) in
+      deliver proc sigs;
+      h env
+    | None -> to_kernel proc env
+  end
 
 (* Open a span around one trap.  The envelope is built *inside* the
    span (the [mk_env] thunk) so that a boundary encode — and any other
@@ -47,12 +65,17 @@ let instrumented ~sysno mk_env =
     (match fr with Some fr -> Obs.layer_exit fr | None -> ());
     Obs.span_end span ~error
   in
+  let made = ref None in
   match
     let env = mk_env () in
+    made := Some env;
     Envelope.set_span env span;
     trap_raw env
   with
   | res ->
+    (* Normal completion only: on an exception the wire may still be
+       referenced by whoever threw, so it is left to the GC. *)
+    (match !made with Some env -> Envelope.release env | None -> ());
     finish ~error:(Result.is_error res);
     res
   | exception e ->
@@ -70,10 +93,20 @@ let trap_wire w =
   else instrumented ~sysno:w.Value.num (fun () -> Envelope.of_wire w)
 
 (* the application/system boundary is untyped: encode here, and let the
-   first interested layer below (agent or kernel) do the one decode *)
+   first interested layer below (agent or kernel) do the one decode;
+   the wire record itself comes from (and, when still exclusively
+   owned, returns to) the calling process's pool *)
 let syscall c =
-  if not (Obs.enabled ()) then trap_raw (Envelope.at_boundary c)
-  else instrumented ~sysno:(Call.number c) (fun () -> Envelope.at_boundary c)
+  let pool = (self ()).Proc.wire_pool in
+  if not (Obs.enabled ()) then begin
+    let env = Envelope.at_boundary ?pool c in
+    let res = trap_raw env in
+    Envelope.release env;
+    res
+  end
+  else
+    instrumented ~sysno:(Call.number c) (fun () ->
+        Envelope.at_boundary ?pool c)
 
 let htg_trap (env : Envelope.t) : Value.res =
   let proc = self () in

@@ -34,7 +34,10 @@ val syscall : Abi.Call.t -> Abi.Value.res
     ({!Abi.Envelope.at_boundary}) — the boundary contract is the
     untyped vector, so stacked agents see exactly what a real
     application would have trapped with, and the first interested
-    layer performs the single decode. *)
+    layer performs the single decode.  The wire record is drawn from
+    the calling process's pool ([Proc.wire_pool]) and recycled when
+    the trap completes with the envelope still exclusively owned
+    ({!Abi.Envelope.release}). *)
 
 val htg_trap : Abi.Envelope.t -> Abi.Value.res
 (** Call the underlying system interface even if the number is being
@@ -50,6 +53,20 @@ val htg_syscall : Abi.Call.t -> Abi.Value.res
 val cpu_work : int -> unit
 (** Charge local computation to the virtual clock.  Also a signal
     delivery point, like any trap. *)
+
+(** {1 Signal dispatch}
+
+    The single definition of "hand signal [s] to the layer above",
+    shared by the trap exit path here and by the toolkit's downlink
+    chain ([Downlink.down_signal]). *)
+
+val deliver_app : Proc.t -> int -> unit
+(** Invoke the application's own disposition for [s]: its [H_fn]
+    handler, or nothing for default/ignore. *)
+
+val deliver_via : (int -> unit) option -> int -> unit
+(** Route through an interposer when one is given, else fall back to
+    {!deliver_app} on the calling process. *)
 
 (** {1 Mach-style task primitives} *)
 

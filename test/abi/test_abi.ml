@@ -462,6 +462,156 @@ let test_envelope_undecodable_memoized () =
   in
   Alcotest.(check int) "failure decoded once" 1 d.Envelope.Stats.decodes
 
+(* --- wire pool ------------------------------------------------------------- *)
+
+let pool_window f =
+  let before = Value.Pool.Stats.snapshot () in
+  let r = f () in
+  (r, Value.Pool.Stats.diff before (Value.Pool.Stats.snapshot ()))
+
+let test_pool_scrub_on_recycle () =
+  let p = Value.Pool.create ~capacity:4 () in
+  let (w, d) = pool_window (fun () -> Value.Pool.take p) in
+  Alcotest.(check int) "dry take is a miss" 1 d.Value.Pool.Stats.misses;
+  w.Value.num <- Sysno.sys_open;
+  w.Value.args <- [| Value.Str "secret"; Value.Int 0; Value.Int 0o644 |];
+  Value.Pool.recycle p w;
+  Alcotest.(check int) "one wire parked" 1 (Value.Pool.size p);
+  let (w', d) = pool_window (fun () -> Value.Pool.take p) in
+  Alcotest.(check int) "warm take is a hit" 1 d.Value.Pool.Stats.hits;
+  Alcotest.(check int) "warm take never allocates" 0 d.Value.Pool.Stats.misses;
+  Alcotest.(check bool) "same record reused" true (w == w');
+  Alcotest.(check int) "number scrubbed" 0 w'.Value.num;
+  Alcotest.(check bool) "every argument scrubbed to Nil" true
+    (Array.for_all (fun v -> v = Value.Nil) w'.Value.args)
+
+let test_pool_boundary_reuse_no_stale () =
+  (* a pooled wire refilled by a later trap carries only the later
+     call: arity resets and nothing of the old arguments survives *)
+  let p = Value.Pool.create () in
+  let env1 =
+    Envelope.at_boundary ~pool:p (Call.Open ("/tmp/secret", 3, 0o600))
+  in
+  Envelope.release env1;
+  Alcotest.(check int) "un-rewritten trap parks its wire" 1
+    (Value.Pool.size p);
+  let (env2, d) =
+    pool_window (fun () ->
+        Envelope.at_boundary ~pool:p (Call.Unlink "/tmp/other"))
+  in
+  Alcotest.(check int) "refill reused the parked record" 1
+    d.Value.Pool.Stats.hits;
+  let w2 = Envelope.wire env2 in
+  Alcotest.(check int) "number is the new call's" Sysno.sys_unlink
+    w2.Value.num;
+  Alcotest.(check bool) "args are exactly the new call's" true
+    (w2.Value.args = [| Value.Str "/tmp/other" |])
+
+let test_pool_release_ownership () =
+  (* release recycles only while the envelope still owns the wire
+     exclusively *)
+  let p = Value.Pool.create () in
+  let env = Envelope.at_boundary ~pool:p Call.Getpid in
+  ignore (Envelope.wire env); (* an agent saw the raw record *)
+  let ((), d) = pool_window (fun () -> Envelope.release env) in
+  Alcotest.(check int) "exposed wire is not recycled" 0
+    d.Value.Pool.Stats.recycled;
+  Alcotest.(check int) "pool stays empty" 0 (Value.Pool.size p);
+  let env' = Envelope.at_boundary ~pool:p Call.Getpid in
+  let ((), d) =
+    pool_window (fun () ->
+        Envelope.release env';
+        Envelope.release env')
+  in
+  Alcotest.(check int) "double release recycles once" 1
+    d.Value.Pool.Stats.recycled;
+  let ((), d) =
+    pool_window (fun () -> Envelope.release (Envelope.of_call Call.Sync))
+  in
+  Alcotest.(check bool) "release of a typed-born envelope is a no-op" true
+    (d = { Value.Pool.Stats.hits = 0; misses = 0; recycled = 0; dropped = 0 })
+
+let test_pool_release_keeps_typed_view () =
+  (* the internal decode does not expose the wire, so a released
+     envelope both recycles and stays readable through its memoized
+     view *)
+  let p = Value.Pool.create () in
+  let env = Envelope.at_boundary ~pool:p (Call.Close 7) in
+  (match Envelope.call env with
+   | Ok (Call.Close 7) -> ()
+   | _ -> Alcotest.fail "decode failed");
+  let ((), d) = pool_window (fun () -> Envelope.release env) in
+  Alcotest.(check int) "decoded-but-unexposed wire recycles" 1
+    d.Value.Pool.Stats.recycled;
+  Alcotest.(check (option int)) "raw record is gone" None
+    (Option.map (fun (w : Value.wire) -> w.Value.num)
+       (Envelope.peek_wire env));
+  (match Envelope.call env with
+   | Ok (Call.Close 7) -> ()
+   | _ -> Alcotest.fail "typed view lost by release")
+
+let test_pool_capacity_drop () =
+  let p = Value.Pool.create ~capacity:1 () in
+  let w1 = Value.Pool.take p in
+  let w2 = Value.Pool.take p in
+  let ((), d) =
+    pool_window (fun () ->
+        Value.Pool.recycle p w1;
+        Value.Pool.recycle p w2)
+  in
+  Alcotest.(check int) "first return kept" 1 d.Value.Pool.Stats.recycled;
+  Alcotest.(check int) "overflow dropped" 1 d.Value.Pool.Stats.dropped;
+  Alcotest.(check int) "size capped" 1 (Value.Pool.size p)
+
+(* --- bitset ---------------------------------------------------------------- *)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.(check int) "length" 10 (Bitset.length b);
+  List.iter
+    (fun i ->
+      Bitset.set b i; (* out-of-range set is a no-op *)
+      Alcotest.(check bool) (Printf.sprintf "mem %d" i) false (Bitset.mem b i))
+    [ -1; 10; 4096 ];
+  Alcotest.(check bool) "still empty" true (Bitset.is_empty b)
+
+let test_bitset_ops () =
+  let b = Bitset.create 40 in
+  List.iter (Bitset.set b) [ 0; 7; 8; 39 ];
+  Bitset.assign b 7 false;
+  Bitset.assign b 9 true;
+  Alcotest.(check (list int)) "members" [ 0; 8; 9; 39 ] (Bitset.to_list b);
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal b);
+  let c = Bitset.copy b in
+  Bitset.clear b 39;
+  Alcotest.(check bool) "copy is independent" true (Bitset.mem c 39);
+  Alcotest.(check bool) "cleared" false (Bitset.mem b 39);
+  Bitset.clear_all c;
+  Alcotest.(check bool) "clear_all empties" true (Bitset.is_empty c);
+  Alcotest.(check bool) "equal on equal contents" true
+    (Bitset.equal b (Bitset.copy b))
+
+let test_bitset_model =
+  QCheck.Test.make ~name:"bitset matches reference set" ~count:200
+    QCheck.(small_list (pair bool (int_bound 70)))
+    (fun ops ->
+      let b = Bitset.create 64 in
+      let m = Hashtbl.create 16 in
+      List.iter
+        (fun (present, i) ->
+          Bitset.assign b i present;
+          if i >= 0 && i < 64 then
+            if present then Hashtbl.replace m i () else Hashtbl.remove m i)
+        ops;
+      let model =
+        List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) m [])
+      in
+      Bitset.to_list b = model
+      && Bitset.cardinal b = List.length model
+      && List.for_all
+           (fun i -> Bitset.mem b i = Hashtbl.mem m i)
+           (List.init 70 (fun i -> i)))
+
 let test_sysno_table () =
   List.iter
     (fun n ->
@@ -536,6 +686,20 @@ let () =
           test_envelope_boundary_drops_view;
         Alcotest.test_case "undecodable memoized" `Quick
           test_envelope_undecodable_memoized ];
+      "pool",
+      [ Alcotest.test_case "scrub on recycle" `Quick
+          test_pool_scrub_on_recycle;
+        Alcotest.test_case "boundary reuse" `Quick
+          test_pool_boundary_reuse_no_stale;
+        Alcotest.test_case "release ownership" `Quick
+          test_pool_release_ownership;
+        Alcotest.test_case "release keeps view" `Quick
+          test_pool_release_keeps_typed_view;
+        Alcotest.test_case "capacity" `Quick test_pool_capacity_drop ];
+      "bitset",
+      [ Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+        Alcotest.test_case "ops" `Quick test_bitset_ops;
+        qtest test_bitset_model ];
       "cost",
       [ Alcotest.test_case "components" `Quick test_cost_components;
         Alcotest.test_case "known values" `Quick test_cost_known_values;

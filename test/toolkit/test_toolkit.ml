@@ -374,6 +374,101 @@ let test_loader_adds_minimum () =
   in
   check_exit "fork under bare numeric agent" 3 status
 
+(* --- interest-bitmap fast path --------------------------------------------- *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Trap-counter window around [iters] getpid calls inside a booted
+   session, with [install] run first to set up whatever agent stack the
+   test wants. *)
+let trap_window ~install iters =
+  let zero = Envelope.Stats.snapshot () in
+  let d = ref (Envelope.Stats.diff zero zero) in
+  let _, status =
+    boot (fun () ->
+      install ();
+      let before = Envelope.Stats.snapshot () in
+      for _ = 1 to iters do
+        ignore (Libc.Unistd.getpid ())
+      done;
+      d := Envelope.Stats.diff before (Envelope.Stats.snapshot ());
+      0)
+  in
+  check_exit "exit" 0 status;
+  !d
+
+let test_fast_path_uninterested () =
+  (* an agent interested only in open: getpid traps must resolve on the
+     bitmap alone, never probing the handler vector *)
+  let open_only =
+    object (self)
+      inherit Toolkit.numeric_syscall
+      method! init _ = self#register_interest Sysno.sys_open
+    end
+  in
+  let iters = 25 in
+  let d =
+    trap_window iters ~install:(fun () ->
+        Toolkit.Loader.install open_only ~argv:[||])
+  in
+  Alcotest.(check int) "one trap per getpid" iters d.Envelope.Stats.traps;
+  Alcotest.(check int) "every trap took the fast path" iters
+    d.Envelope.Stats.fast_path;
+  Alcotest.(check int) "no handler probed" 0 d.Envelope.Stats.intercepted
+
+let test_fast_path_interested () =
+  (* full interest: the fast path must never fire *)
+  let iters = 25 in
+  let d =
+    trap_window iters ~install:(fun () ->
+        Toolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||])
+  in
+  Alcotest.(check int) "every trap intercepted" iters
+    d.Envelope.Stats.intercepted;
+  Alcotest.(check int) "fast path never taken" 0 d.Envelope.Stats.fast_path
+
+(* Property: whatever sequence of emulation updates and downlink
+   captures runs, the interest bitmaps mirror their handler vectors
+   slot-for-slot — in this process and in a forked child's copy.  Ops
+   are (kind, numbers) pairs; numbers run a little past [max_sysno] so
+   the out-of-range-is-ignored paths get exercised too. *)
+let consistency_after_ops ops =
+  let passthrough = Some (fun env -> Kernel.Uspace.htg_trap env) in
+  let ok = ref true in
+  let _, status =
+    boot (fun () ->
+      let dl = Toolkit.Downlink.create () in
+      let here () =
+        Kernel.Proc.emulation_consistent
+          (Kernel.Proc.Cur.get_exn ()).Kernel.Proc.emul
+        && Toolkit.Downlink.consistent dl
+      in
+      List.iter
+        (fun (kind, numbers) ->
+          match kind mod 3 with
+          | 0 -> Kernel.Uspace.task_set_emulation ~numbers passthrough
+          | 1 -> Kernel.Uspace.task_set_emulation ~numbers None
+          | _ -> Toolkit.Downlink.capture dl ~numbers)
+        ops;
+      ok := here ();
+      let pid =
+        check_ok "fork"
+          (Libc.Unistd.fork ~child:(fun () -> if here () then 0 else 1))
+      in
+      let _, st = check_ok "wait" (Libc.Unistd.waitpid pid 0) in
+      if Flags.Wait.wexitstatus st <> 0 then ok := false;
+      0)
+  in
+  exit_code status = 0 && !ok
+
+let test_bitmap_matches_vector =
+  QCheck.Test.make ~name:"bitmap mirrors handler vector (incl. fork)"
+    ~count:30
+    QCheck.(
+      small_list
+        (pair small_nat (small_list (int_bound (Sysno.max_sysno + 4)))))
+    consistency_after_ops
+
 let () =
   Alcotest.run "toolkit"
     [ "loader",
@@ -410,4 +505,10 @@ let () =
           test_descriptor_tracking_dup;
         Alcotest.test_case "pathname remap" `Quick test_pathname_remap;
         Alcotest.test_case "directory iteration" `Quick
-          test_directory_object_iteration ] ]
+          test_directory_object_iteration ];
+      "fastpath",
+      [ Alcotest.test_case "uninterested traps" `Quick
+          test_fast_path_uninterested;
+        Alcotest.test_case "interested traps" `Quick
+          test_fast_path_interested;
+        qtest test_bitmap_matches_vector ] ]
