@@ -629,6 +629,69 @@ let alloc_json (a : alloc_report) =
       ("pool_recycled", Int a.al_pool.Value.Pool.Stats.recycled);
       ("pool_dropped", Int a.al_pool.Value.Pool.Stats.dropped) ]
 
+(* --- sampled tracing (ablation 7 and `smoke`) ---------------------------------- *)
+
+(* The stacked-getpid loop with the observation plane ON at a 1-in-N
+   sampling rate: per-trap virtual cost (full-minus-empty session diff,
+   as in [measure_virtual]) plus the metrics snapshot taken inside the
+   full session, before the exit trap.  Restores the global sampler to
+   1-in-1 afterwards so the rest of the run is unaffected. *)
+let sampled_run ~n ~iters depth =
+  let session count capture =
+    let k = fresh () in
+    let _ =
+      Kernel.boot k ~name:"sampled" (fun () ->
+        for _ = 1 to depth do
+          Itoolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||]
+        done;
+        Obs.set_sampling ~seed:1 n;
+        Obs.enable ();
+        Obs.reset ();
+        for _ = 1 to count do
+          ignore (Libc.Unistd.getpid ())
+        done;
+        (match capture with
+         | Some cell -> cell := Some (Obs.metrics ())
+         | None -> ());
+        Obs.disable ();
+        0)
+    in
+    Kernel.elapsed_seconds k *. 1e6
+  in
+  let cell = ref None in
+  let full = session iters (Some cell) in
+  let empty = session 0 None in
+  Obs.set_sampling 1;
+  Obs.reset ();
+  match !cell with
+  | Some m -> ((full -. empty) /. float_of_int iters, m)
+  | None -> failwith "sampled run lost its metrics"
+
+let getpid_metrics m =
+  List.find (fun s -> s.Obs.sm_sysno = Sysno.sys_getpid) m.Obs.m_syscalls
+
+let exact_counts m =
+  List.map
+    (fun s -> (s.Obs.sm_sysno, s.Obs.sm_calls, s.Obs.sm_errors))
+    m.Obs.m_syscalls
+
+let sampling_json rows =
+  let open Obs.Json in
+  Arr
+    (List.map
+       (fun (n, us, (m : Obs.metrics)) ->
+         let g = getpid_metrics m in
+         Obj
+           [ ("n", Int n);
+             ("getpid_us", Float us);
+             ("calls", Int g.Obs.sm_calls);
+             ("spans", Int (Obs.Hist.count g.Obs.sm_hist));
+             ("est_spans", Int (Obs.Hist.count g.Obs.sm_hist * n));
+             ("p50_us", Int (Obs.Hist.quantile g.Obs.sm_hist 0.50));
+             ("p90_us", Int (Obs.Hist.quantile g.Obs.sm_hist 0.90));
+             ("p99_us", Int (Obs.Hist.quantile g.Obs.sm_hist 0.99)) ])
+       rows)
+
 (* --- ablations ---------------------------------------------------------------------- *)
 
 let ablations () =
@@ -830,6 +893,49 @@ let ablations () =
      vector probe), and the warm wire pool keeps the boundary encode\n\
      from allocating a fresh vector per trap.";
 
+  Report.print_title
+    "Ablation 7: sampled always-on tracing (stacked getpid, 1-in-N)";
+  let sample_iters = 300 in
+  let sample_rates = [ 1; 16; 256 ] in
+  let sampled =
+    List.map
+      (fun d ->
+        (d, List.map (fun n -> (n, sampled_run ~n ~iters:sample_iters d)) sample_rates))
+      [ 0; 1; 2; 3; 4 ]
+  in
+  Report.print_table
+    ~headers:
+      [ "stacked null agents"; "tracing off us"; "N=1 us"; "N=16 us";
+        "N=256 us" ]
+    (List.map
+       (fun (d, row) ->
+         string_of_int d
+         :: Report.us (List.assoc d stacked_us)
+         :: List.map (fun (_, (us, _)) -> Report.us us) row)
+       sampled);
+  let deep_sampled = List.assoc 4 sampled in
+  Report.print_table
+    ~headers:
+      [ "1-in-N (depth 4)"; "getpid calls (exact)"; "sampled spans";
+        "est spans"; "p50 us"; "p90 us"; "p99 us" ]
+    (List.map
+       (fun (n, (_, m)) ->
+         let g = getpid_metrics m in
+         [ string_of_int n;
+           string_of_int g.Obs.sm_calls;
+           string_of_int (Obs.Hist.count g.Obs.sm_hist);
+           string_of_int (Obs.Hist.count g.Obs.sm_hist * n);
+           string_of_int (Obs.Hist.quantile g.Obs.sm_hist 0.50);
+           string_of_int (Obs.Hist.quantile g.Obs.sm_hist 0.90);
+           string_of_int (Obs.Hist.quantile g.Obs.sm_hist 0.99) ])
+       deep_sampled);
+  Report.print_note
+    "Sampling the observation plane: per-syscall call counts stay exact\n\
+     at any rate, the scaled span estimate recovers the true count\n\
+     within sampling noise, and the virtual getpid figures match the\n\
+     tracing-off column -- observation charges no virtual time, and the\n\
+     percentiles are log2-bucket upper bounds of the same latencies.";
+
   (* machine-readable companion for the perf trajectory *)
   let open Obs.Json in
   Report.write_json ~name:"ablations"
@@ -877,6 +983,9 @@ let ablations () =
                       ("span_us", Int span);
                       ("codec_ok", Bool codec_ok) ])
                 attribs) );
+         ( "sampling",
+           sampling_json
+             (List.map (fun (n, (us, m)) -> (n, us, m)) deep_sampled) );
          ( "observation_make",
            Arr
              (List.map
@@ -971,7 +1080,12 @@ let validate_bench_json json =
           arr_of "attribution_checks"
             [ ("depth", is_int); ("layer_decodes", is_int);
               ("layer_encodes", is_int); ("self_us", is_int);
-              ("span_us", is_int) ] ) ]
+              ("span_us", is_int) ] );
+        ( "sampling",
+          arr_of "sampling"
+            [ ("n", is_int); ("getpid_us", is_num); ("calls", is_int);
+              ("spans", is_int); ("est_spans", is_int); ("p50_us", is_int);
+              ("p90_us", is_int); ("p99_us", is_int) ] ) ]
     in
     List.fold_left
       (fun acc (field, check) ->
@@ -1070,7 +1184,93 @@ let smoke () =
     "attribution at depth 4: %s decodes/trap, %s encodes/trap, self sum \
      %dus = span sum %dus, tracing-off getpid %.0fus\n"
     (per_trap a.at_iters ld) (per_trap a.at_iters le) self span traced_us;
-  (* 3. write BENCH_smoke.json, read it back, validate the schema *)
+  (* 3. sampled tracing at 1-in-256 must sit on the tracing-off
+        baseline (observation charges no virtual time; 5% tolerance),
+        with per-syscall counts exact at every rate *)
+  let smoke_sample_iters = 300 in
+  let sampled_rows =
+    List.map
+      (fun (d, expect) ->
+        let got, m = sampled_run ~n:256 ~iters:smoke_sample_iters d in
+        if abs_float (got -. expect) /. expect > 0.05 then
+          fail
+            "depth %d: sampled(256) getpid %.1fus drifted >5%% from %.0fus"
+            d got expect;
+        let g = getpid_metrics m in
+        if g.Obs.sm_calls <> smoke_sample_iters then
+          fail "depth %d: sampled(256) counted %d getpid calls, want %d" d
+            g.Obs.sm_calls smoke_sample_iters;
+        (d, expect, got, m))
+      smoke_baseline_us
+  in
+  Report.print_table
+    ~headers:
+      [ "stacked null agents"; "baseline us"; "measured us (sampled 1-in-256)" ]
+    (List.map
+       (fun (d, e, g, _) -> [ string_of_int d; Report.us e; Report.us g ])
+       sampled_rows);
+  let us1, m1 = sampled_run ~n:1 ~iters:smoke_sample_iters 4 in
+  let us16, m16 = sampled_run ~n:16 ~iters:smoke_sample_iters 4 in
+  let _, _, _, m256 =
+    List.find (fun (d, _, _, _) -> d = 4) sampled_rows
+  in
+  if exact_counts m16 <> exact_counts m1 then
+    fail "sampling: 1-in-16 changed the exact per-syscall counts";
+  if exact_counts m256 <> exact_counts m1 then
+    fail "sampling: 1-in-256 changed the exact per-syscall counts";
+  let est16 = Obs.Hist.count (getpid_metrics m16).Obs.sm_hist * 16 in
+  if est16 < smoke_sample_iters * 2 / 5 || est16 > smoke_sample_iters * 8 / 5
+  then
+    fail "sampling: 1-in-16 estimate %d too far from the true %d" est16
+      smoke_sample_iters;
+  Printf.printf
+    "sampled tracing at depth 4: N=1 %.0fus, N=16 %.0fus (est %d of %d \
+     spans), exact counts stable across rates\n"
+    us1 us16 est16 smoke_sample_iters;
+  (* 4. the chrome export of a real traced window parses and carries
+        the trace_event essentials *)
+  let chrome_records =
+    let k = fresh () in
+    Obs.reset ();
+    let _ =
+      Kernel.boot k ~name:"chrome" (fun () ->
+        Itoolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||];
+        Obs.enable ();
+        Obs.reset ();
+        for _ = 1 to 5 do
+          ignore (Libc.Unistd.getpid ())
+        done;
+        Obs.disable ();
+        0)
+    in
+    Obs.records ()
+  in
+  let open Obs.Json in
+  (match of_string (Obs.Chrome.to_string ~name:Sysno.name chrome_records) with
+   | Error e -> fail "chrome export: not parseable JSON: %s" e
+   | Ok (Arr events) ->
+     let malformed = ref 0 and completes = ref 0 in
+     List.iter
+       (fun e ->
+         let has k = member k e <> None in
+         if not (has "ph" && has "ts" && has "pid" && has "tid") then
+           incr malformed;
+         match Option.bind (member "ph" e) to_str with
+         | Some "X" ->
+           incr completes;
+           if not (has "dur" && has "name") then incr malformed
+         | Some _ -> ()
+         | None -> incr malformed)
+       events;
+     if !malformed > 0 then
+       fail "chrome export: %d malformed events" !malformed;
+     (* 5 getpids through a depth-1 stack: 4 segments per trap *)
+     if !completes <> 20 then
+       fail "chrome export: want 20 complete events, got %d" !completes;
+     Printf.printf "chrome export: %d events, %d complete, shape ok\n"
+       (List.length events) !completes
+   | Ok _ -> fail "chrome export: not a JSON array");
+  (* 5. write BENCH_smoke.json, read it back, validate the schema *)
   let open Obs.Json in
   Report.write_json ~name:"smoke"
     (Obj
@@ -1105,7 +1305,14 @@ let smoke () =
              [ Obj
                  [ ("depth", Int 4); ("layer_decodes", Int ld);
                    ("layer_encodes", Int le); ("self_us", Int self);
-                   ("span_us", Int span); ("codec_ok", Bool codec_ok) ] ] ) ]);
+                   ("span_us", Int span); ("codec_ok", Bool codec_ok) ] ] );
+         ( "sampling",
+           sampling_json
+             [ (1, us1, m1); (16, us16, m16);
+               (let _, _, us, m =
+                  List.find (fun (d, _, _, _) -> d = 4) sampled_rows
+                in
+                (256, us, m)) ] ) ]);
   let validate_file path =
     if Sys.file_exists path then begin
       let ic = open_in_bin path in

@@ -194,41 +194,67 @@ let write_host_file path content =
 
 let print_metrics () =
   let m = Kernel.metrics () in
+  let n = m.Obs.m_sample_n in
   Printf.eprintf
     "[obs] %d span(s) completed, %d aborted (exit/exec), %d record(s) \
      dropped from the ring\n"
     m.Obs.m_spans m.Obs.m_aborted m.Obs.m_dropped;
+  if n > 1 then
+    Printf.eprintf
+      "[obs] sampling 1-in-%d: calls/errors are exact; histogram, \
+       percentile and per-layer figures cover the sampled subset \
+       (multiply counts by %d for estimates)\n"
+      n n;
+  (* p50/p90/p99 are upper-bucket-bound estimates from the log2
+     histograms: the true quantile is <= the printed value, within its
+     power-of-two bucket *)
   if m.Obs.m_syscalls <> [] then begin
-    Printf.eprintf "[obs] per-syscall:  %-14s %8s %7s %10s %8s\n" "name"
-      "calls" "errors" "mean us" "max us";
+    Printf.eprintf "[obs] per-syscall:  %-14s %8s %7s %10s %7s %7s %7s %8s\n"
+      "name" "calls" "errors" "mean us" "p50" "p90" "p99" "max us";
     List.iter
       (fun (s : Obs.syscall_metrics) ->
-        Printf.eprintf "                    %-14s %8d %7d %10.1f %8d\n"
+        Printf.eprintf
+          "                    %-14s %8d %7d %10.1f %7d %7d %7d %8d\n"
           (Sysno.name s.Obs.sm_sysno) s.Obs.sm_calls s.Obs.sm_errors
           (Obs.Hist.mean_us s.Obs.sm_hist)
+          (Obs.Hist.quantile s.Obs.sm_hist 0.50)
+          (Obs.Hist.quantile s.Obs.sm_hist 0.90)
+          (Obs.Hist.quantile s.Obs.sm_hist 0.99)
           (Obs.Hist.max_us s.Obs.sm_hist))
       m.Obs.m_syscalls
   end;
   if m.Obs.m_layers <> [] then begin
-    Printf.eprintf "[obs] per-layer:    %5s %-14s %8s %8s %8s %10s\n" "depth"
-      "layer" "traps" "decodes" "encodes" "self us";
+    Printf.eprintf
+      "[obs] per-layer:    %5s %-14s %8s %8s %8s %8s %10s %7s %7s %7s\n"
+      "depth" "layer" "traps" "decodes" "encodes" "rewrite" "self us"
+      "p50" "p90" "p99";
     List.iter
       (fun (l : Obs.layer_metrics) ->
-        Printf.eprintf "                    %5d %-14s %8d %8d %8d %10d\n"
+        Printf.eprintf
+          "                    %5d %-14s %8d %8d %8d %8d %10d %7d %7d %7d\n"
           l.Obs.lm_depth l.Obs.lm_layer l.Obs.lm_traps l.Obs.lm_decodes
-          l.Obs.lm_encodes l.Obs.lm_self_us)
+          l.Obs.lm_encodes l.Obs.lm_rewrites l.Obs.lm_self_us
+          (Obs.Hist.quantile l.Obs.lm_hist 0.50)
+          (Obs.Hist.quantile l.Obs.lm_hist 0.90)
+          (Obs.Hist.quantile l.Obs.lm_hist 0.99))
       m.Obs.m_layers
   end
 
-let run agents setups stats feed record replay metrics trace_out prog_args =
+let run agents setups stats feed record replay metrics trace_out trace_format
+    sample sample_seed prog_args =
   match prog_args with
   | [] ->
     log_err "agentrun: no program given\n";
+    2
+  | _ when trace_format <> "jsonl" && trace_format <> "chrome" ->
+    log_err "agentrun: --trace-format must be jsonl or chrome (got %S)\n"
+      trace_format;
     2
   | prog :: _ ->
     let observing = metrics || trace_out <> "" in
     if observing then begin
       Obs.reset ();
+      Obs.set_sampling ~seed:sample_seed sample;
       Obs.enable ()
     end;
     let k = Kernel.create () in
@@ -317,15 +343,21 @@ let run agents setups stats feed record replay metrics trace_out prog_args =
       Obs.disable ();
       if trace_out <> "" then begin
         let records = Kernel.drain_obs () in
-        let lines =
-          String.concat ""
-            (List.map (fun r -> Obs.Span.to_line r ^ "\n") records)
+        let rendered =
+          match trace_format with
+          | "chrome" ->
+            (* one trace_event JSON array — loads directly in
+               chrome://tracing and Perfetto *)
+            Obs.Chrome.to_string ~name:Sysno.name records ^ "\n"
+          | _ ->
+            String.concat ""
+              (List.map (fun r -> Obs.Span.to_line r ^ "\n") records)
         in
-        (try write_host_file trace_out lines with
+        (try write_host_file trace_out rendered with
          | Sys_error msg -> log_err "agentrun: --trace-out: %s\n" msg);
         if stats then
-          Printf.eprintf "[agentrun] wrote %d span record(s) to %s\n"
-            (List.length records) trace_out
+          Printf.eprintf "[agentrun] wrote %d span record(s) to %s (%s)\n"
+            (List.length records) trace_out trace_format
       end;
       if metrics then print_metrics ()
     end;
@@ -389,9 +421,33 @@ let metrics_arg =
 let trace_out_arg =
   let doc =
     "Enable the observability engine and drain the flight recorder to \
-     this host file as JSONL span records after the run."
+     this host file after the run (format set by --trace-format)."
   in
   Arg.(value & opt string "" & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Format for --trace-out: 'jsonl' (one span record per line) or \
+     'chrome' (a trace_event JSON array that loads directly in \
+     chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt string "jsonl" & info [ "trace-format" ] ~docv:"FMT" ~doc)
+
+let sample_arg =
+  let doc =
+    "Keep 1 in N spans (default 1 = every span).  Per-syscall \
+     call/error counts stay exact; histograms, percentiles, per-layer \
+     attribution and the flight-recorder ring cover only the sampled \
+     subset (metrics record the rate as sample_n)."
+  in
+  Arg.(value & opt int 1 & info [ "sample" ] ~docv:"N" ~doc)
+
+let sample_seed_arg =
+  let doc =
+    "Seed for the deterministic sampling decision stream; the same \
+     seed (and workload) reproduces the same kept spans."
+  in
+  Arg.(value & opt int 0 & info [ "sample-seed" ] ~docv:"SEED" ~doc)
 
 let prog_arg =
   let doc = "Program and its arguments (searched in /bin)." in
@@ -417,6 +473,7 @@ let cmd =
     (Cmd.info "agentrun" ~version:"1.0" ~doc ~man)
     Term.(
       const run $ agents_arg $ setup_arg $ stats_arg $ feed_arg
-      $ record_arg $ replay_arg $ metrics_arg $ trace_out_arg $ prog_arg)
+      $ record_arg $ replay_arg $ metrics_arg $ trace_out_arg
+      $ trace_format_arg $ sample_arg $ sample_seed_arg $ prog_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -58,6 +58,18 @@ module Stats = struct
       s.traps s.intercepted s.fast_path s.decodes s.encodes s.crossings
       s.agent_calls
 
+  let to_json s =
+    Obs.Json.Obj
+      [
+        ("traps", Obs.Json.Int s.traps);
+        ("intercepted", Obs.Json.Int s.intercepted);
+        ("fast_path", Obs.Json.Int s.fast_path);
+        ("decodes", Obs.Json.Int s.decodes);
+        ("encodes", Obs.Json.Int s.encodes);
+        ("crossings", Obs.Json.Int s.crossings);
+        ("agent_calls", Obs.Json.Int s.agent_calls);
+      ]
+
   let note_trap ~intercepted:hit =
     incr traps;
     if hit then incr intercepted
@@ -177,6 +189,10 @@ let wire t =
     | Typed c ->
       incr Stats.encodes;
       Obs.note_encode t.span;
+      (* a dirty envelope forced back to wire form is the PR 1
+         definition of a genuine rewrite: some layer wants the raw
+         vector of a call that no longer matches any prior encoding *)
+      Obs.note_rewrite t.span;
       let w = Call.encode c in
       t.wire <- Some w;
       w

@@ -149,6 +149,10 @@ module Stats : sig
 
   val pp : Format.formatter -> snapshot -> unit
 
+  val to_json : snapshot -> Obs.Json.t
+  (** The ["codec"] block of [Kernel.metrics_json] and [/obs/metrics]
+      — notably the [fast_path] counter next to the span metrics. *)
+
   (** {2 Attribution hooks} — called by the kernel stubs and the
       toolkit's down path; not meant for agent code. *)
 

@@ -75,6 +75,13 @@ module Pool = struct
     let pp fmt s =
       Format.fprintf fmt "hits=%d misses=%d recycled=%d dropped=%d"
         s.hits s.misses s.recycled s.dropped
+
+    let to_json s =
+      Obs.Json.Obj
+        [ ("hits", Obs.Json.Int s.hits);
+          ("misses", Obs.Json.Int s.misses);
+          ("recycled", Obs.Json.Int s.recycled);
+          ("dropped", Obs.Json.Int s.dropped) ]
   end
 
   let create ?(capacity = 64) () =

@@ -90,6 +90,10 @@ module Pool : sig
     val reset : unit -> unit
     val diff : snapshot -> snapshot -> snapshot
     val pp : Format.formatter -> snapshot -> unit
+
+    val to_json : snapshot -> Obs.Json.t
+    (** The ["wire_pool"] block of [Kernel.metrics_json] and
+        [/obs/metrics]. *)
   end
 end
 

@@ -72,6 +72,8 @@ class crypt_object (dl : Toolkit.Downlink.t) ~(key : int) ~(flags : int) =
       match super#read ~fd buf cnt with
       | Ok r as res ->
         transform ~key ~pos buf ~off:0 ~len:r.Value.r0;
+        (* payload decrypted in flight: flag the span for the traces *)
+        if r.Value.r0 > 0 then Obs.note_rewrite (Obs.current ());
         res
       | Error _ as res -> res
 
@@ -85,6 +87,7 @@ class crypt_object (dl : Toolkit.Downlink.t) ~(key : int) ~(flags : int) =
       if pos > size then self#fill_gap ~fd ~from:size ~upto:pos;
       let enc = Bytes.of_string data in
       transform ~key ~pos enc ~off:0 ~len:(Bytes.length enc);
+      if Bytes.length enc > 0 then Obs.note_rewrite (Obs.current ());
       super#write ~fd (Bytes.to_string enc)
 
     method! ftruncate ~fd len =

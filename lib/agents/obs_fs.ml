@@ -6,9 +6,10 @@ let spans_text () =
   String.concat ""
     (List.map (fun r -> Obs.Span.to_line r ^ "\n") (Obs.records ()))
 
-let metrics_text () =
-  Obs.Json.to_string (Obs.metrics_to_json ~name:Abi.Sysno.name (Obs.metrics ()))
-  ^ "\n"
+(* the same document [Kernel.metrics_json] serves to the host — span
+   metrics plus codec (fast_path) and wire_pool counters — so there is
+   exactly one set of numbers however you reach it *)
+let metrics_text () = Obs.Json.to_string (Kernel.metrics_json ()) ^ "\n"
 
 let codec_text () =
   Format.asprintf "%a\n" Abi.Envelope.Stats.pp (Abi.Envelope.Stats.snapshot ())

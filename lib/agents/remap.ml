@@ -17,6 +17,9 @@ class agent =
         match Foreign_abi.to_native (Abi.Envelope.wire env) with
         | Ok native ->
           translated <- translated + 1;
+          (* the trap now travels under a different (native) number:
+             flag the span so traces show which layer mutated it *)
+          Obs.note_rewrite (Abi.Envelope.span env);
           (* fork and execve still need the boilerplate treatment *)
           super#syscall (Abi.Envelope.of_wire native)
         | Error e -> Error e

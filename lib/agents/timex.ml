@@ -17,7 +17,10 @@ class agent =
     method! sys_gettimeofday r =
       let ret = super#sys_gettimeofday r in
       (match ret, !r with
-       | Ok _, Some (sec, usec) -> r := Some (sec + offset, usec)
+       | Ok _, Some (sec, usec) ->
+         r := Some (sec + offset, usec);
+         (* result mutated in flight: flag the span for the traces *)
+         Obs.note_rewrite (Obs.current ())
        | (Ok _ | Error _), _ -> ());
       ret
   end

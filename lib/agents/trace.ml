@@ -48,13 +48,16 @@ class agent =
        descriptor and pushed verbatim into the flight recorder (where
        [--trace-out] drains it as JSONL) when tracing is enabled. *)
     method private event name args result =
+      let span = Obs.current () in
       let c =
-        { Obs.Span.c_span = Obs.current ();
+        { Obs.Span.c_span = span;
           c_pid = Obs.current_pid ();
           c_t_us = Obs.now_us ();
           c_name = name;
           c_args = args;
-          c_result = result }
+          c_result = result;
+          (* post events flag traps some layer below us mutated *)
+          c_rewrote = result <> None && Obs.span_rewrites span > 0 }
       in
       Obs.record_call c;
       self#emit (Obs.Span.call_line c ^ "\n")

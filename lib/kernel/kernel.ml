@@ -496,18 +496,17 @@ let pool_stats () = Value.Pool.Stats.snapshot ()
    counters are: spans live in user space, across kernel instances *)
 let metrics () = Obs.metrics ()
 
+(* One document for every runtime statistic: span/latency metrics from
+   [Obs] plus the global codec (incl. [fast_path]) and wire-pool
+   counters.  [/obs/metrics] serves exactly this JSON, so programs
+   inside the simulation and hosts outside it read the same numbers. *)
 let metrics_json () =
   let base = Obs.metrics_to_json ~name:Abi.Sysno.name (Obs.metrics ()) in
-  let pool =
-    let s = Value.Pool.Stats.snapshot () in
-    Obs.Json.Obj
-      [ ("hits", Obs.Json.Int s.hits);
-        ("misses", Obs.Json.Int s.misses);
-        ("recycled", Obs.Json.Int s.recycled);
-        ("dropped", Obs.Json.Int s.dropped) ]
-  in
+  let codec = Envelope.Stats.to_json (Envelope.Stats.snapshot ()) in
+  let pool = Value.Pool.Stats.to_json (Value.Pool.Stats.snapshot ()) in
   match base with
-  | Obs.Json.Obj fields -> Obs.Json.Obj (fields @ [ ("wire_pool", pool) ])
+  | Obs.Json.Obj fields ->
+    Obs.Json.Obj (fields @ [ ("codec", codec); ("wire_pool", pool) ])
   | other -> other
 let drain_obs () = Obs.drain ()
 

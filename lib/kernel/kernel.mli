@@ -94,7 +94,10 @@ val metrics : unit -> Obs.metrics
 
 val metrics_json : unit -> Obs.Json.t
 (** {!metrics} rendered with syscall names resolved via
-    [Abi.Sysno.name]. *)
+    [Abi.Sysno.name], plus a ["codec"] block ({!codec_stats}, incl.
+    [fast_path]) and a ["wire_pool"] block ({!pool_stats}) — every
+    runtime statistic in one document.  The [/obs/metrics] synthetic
+    file serves exactly this JSON inside the simulation. *)
 
 val drain_obs : unit -> Obs.Span.record list
 (** Drain the flight recorder (oldest first). *)

@@ -5,6 +5,11 @@ let self () = Proc.Cur.get_exn ()
 (* One definition of signal dispatch, shared by the trap exit path here
    and by the toolkit's [Downlink.down_signal] chain. *)
 let deliver_app (proc : Proc.t) s =
+  (* one instant mark per signal that reaches the application, whatever
+     its disposition — chrome export renders these as instants *)
+  if Obs.enabled () then
+    Obs.record_mark ~span:(Obs.current ()) ~pid:proc.Proc.pid ~kind:"signal"
+      ~detail:(Signal.name s) ();
   match Proc.handler proc s with
   | Value.H_fn f -> f s
   | Value.H_default | Value.H_ignore -> ()

@@ -1,0 +1,151 @@
+(* Chrome/Perfetto trace_event rendering of flight-recorder records.
+
+   The mapping (DESIGN.md §3.4): one trace "process" per simulated pid;
+   within it, one "thread" per (depth, layer) pair a segment was
+   recorded at — so a depth-4 stack shows as five nested tracks, in
+   stack order — plus thread 0 for point events (trace-agent calls,
+   signal and abort marks).  Segments become complete events
+   ([ph:"X"], ts/dur in µs, which is what the virtual clock already
+   counts); calls and marks become instant events ([ph:"i"]); names
+   come from the caller-supplied syscall-number renderer, since obs
+   sits below [abi] and cannot name numbers itself.
+
+   The output is a bare JSON array of events — both chrome://tracing
+   and Perfetto accept that form directly.  Metadata events ([ph:"M"])
+   come first; real events follow sorted by timestamp. *)
+
+let default_name n = Printf.sprintf "syscall#%d" n
+
+(* tid 0 carries the instant events; segment tracks start at 1, ordered
+   by (depth, layer) so the viewer shows the stack outermost-first *)
+let tid_tables records =
+  let tracks : (int * (int * string), unit) Hashtbl.t = Hashtbl.create 16 in
+  let pids : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match r with
+      | Span.Segment s ->
+        Hashtbl.replace pids s.Span.pid ();
+        Hashtbl.replace tracks (s.Span.pid, (s.Span.depth, s.Span.layer)) ()
+      | Span.Call c -> Hashtbl.replace pids c.Span.c_pid ()
+      | Span.Mark m -> Hashtbl.replace pids m.Span.m_pid ())
+    records;
+  let by_track = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun pid () ->
+      let layers =
+        Hashtbl.fold
+          (fun (p, key) () acc -> if p = pid then key :: acc else acc)
+          tracks []
+        |> List.sort compare
+      in
+      List.iteri
+        (fun i key -> Hashtbl.replace by_track (pid, key) (i + 1))
+        layers)
+    pids;
+  let pid_list = Hashtbl.fold (fun p () acc -> p :: acc) pids [] |> List.sort compare in
+  (pid_list, by_track)
+
+let meta_event ~pid ~tid ~which name =
+  Json.Obj
+    [
+      ("ph", Json.Str "M");
+      ("ts", Json.Int 0);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("name", Json.Str which);
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let to_json ?(name = default_name) records =
+  let pid_list, by_track = tid_tables records in
+  let metadata =
+    List.concat_map
+      (fun pid ->
+        let threads =
+          Hashtbl.fold
+            (fun (p, (depth, layer)) tid acc ->
+              if p = pid then ((depth, layer), tid) :: acc else acc)
+            by_track []
+          |> List.sort compare
+        in
+        meta_event ~pid ~tid:0 ~which:"process_name"
+          (Printf.sprintf "pid %d" pid)
+        :: meta_event ~pid ~tid:0 ~which:"thread_name" "events"
+        :: List.map
+             (fun ((depth, layer), tid) ->
+               meta_event ~pid ~tid ~which:"thread_name"
+                 (Printf.sprintf "d%d %s" depth layer))
+             threads)
+      pid_list
+  in
+  let event_of = function
+    | Span.Segment s ->
+      let tid =
+        match Hashtbl.find_opt by_track (s.Span.pid, (s.Span.depth, s.Span.layer)) with
+        | Some tid -> tid
+        | None -> 0
+      in
+      ( s.Span.start_us,
+        Json.Obj
+          [
+            ("name", Json.Str (name s.Span.sysno));
+            ("cat", Json.Str "trap");
+            ("ph", Json.Str "X");
+            ("ts", Json.Int s.Span.start_us);
+            ("dur", Json.Int s.Span.total_us);
+            ("pid", Json.Int s.Span.pid);
+            ("tid", Json.Int tid);
+            ( "args",
+              Json.Obj
+                [
+                  ("span", Json.Int s.Span.span);
+                  ("sysno", Json.Int s.Span.sysno);
+                  ("layer", Json.Str s.Span.layer);
+                  ("depth", Json.Int s.Span.depth);
+                  ("self_us", Json.Int s.Span.self_us);
+                  ("decodes", Json.Int s.Span.decodes);
+                  ("encodes", Json.Int s.Span.encodes);
+                  ("rewrites", Json.Int s.Span.rewrites);
+                ] );
+          ] )
+    | Span.Call c ->
+      ( c.Span.c_t_us,
+        Json.Obj
+          [
+            ("name", Json.Str (Span.call_line c));
+            ("cat", Json.Str "call");
+            ("ph", Json.Str "i");
+            ("s", Json.Str "t");
+            ("ts", Json.Int c.Span.c_t_us);
+            ("pid", Json.Int c.Span.c_pid);
+            ("tid", Json.Int 0);
+            ( "args",
+              Json.Obj
+                ([ ("span", Json.Int c.Span.c_span) ]
+                @
+                if c.Span.c_rewrote then [ ("rewrote", Json.Bool true) ]
+                else []) );
+          ] )
+    | Span.Mark m ->
+      ( m.Span.m_t_us,
+        Json.Obj
+          [
+            ("name", Json.Str (m.Span.m_kind ^ " " ^ m.Span.m_detail));
+            ("cat", Json.Str m.Span.m_kind);
+            ("ph", Json.Str "i");
+            ("s", Json.Str "t");
+            ("ts", Json.Int m.Span.m_t_us);
+            ("pid", Json.Int m.Span.m_pid);
+            ("tid", Json.Int 0);
+            ("args", Json.Obj [ ("span", Json.Int m.Span.m_span) ]);
+          ] )
+  in
+  let events =
+    List.map event_of records
+    |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  Json.Arr (metadata @ events)
+
+let to_string ?name records = Json.to_string (to_json ?name records)

@@ -1,0 +1,20 @@
+(** Chrome/Perfetto [trace_event] rendering of flight-recorder records
+    (DESIGN.md §3.4).
+
+    Each simulated pid becomes a trace process; each (depth, layer)
+    pair a segment was recorded at becomes a thread within it (named
+    ["d<depth> <layer>"], ordered outermost-first), with thread 0
+    reserved for point events.  Segments render as complete events
+    ([ph:"X"], [ts]/[dur] in virtual µs), trace-agent calls and
+    signal/abort marks as instant events ([ph:"i"]); [ph:"M"] metadata
+    events name the processes and threads.  The result is a bare JSON
+    array of events, the form both [chrome://tracing] and Perfetto
+    load directly. *)
+
+val to_json : ?name:(int -> string) -> Span.record list -> Json.t
+(** [name] renders syscall numbers (callers pass [Abi.Sysno.name]; obs
+    itself sits below [abi] and cannot).  Metadata events first, then
+    all events sorted by timestamp. *)
+
+val to_string : ?name:(int -> string) -> Span.record list -> string
+(** [to_json] rendered compactly (no trailing newline). *)

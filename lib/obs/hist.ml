@@ -43,6 +43,28 @@ let nonzero t =
   done;
   !acc
 
+(* Quantiles are upper-bucket-bound estimates: the rank-th observation
+   is somewhere in its bucket, and we report the bucket's largest
+   representable value (2^i - 1 for bucket i).  The overflow bucket has
+   no upper edge, so it reports the exact observed maximum instead.
+   Total over every histogram and every q: an empty histogram answers
+   0, q is clamped to [0, 1], and rank 0 is rounded up to 1. *)
+let quantile t q =
+  if t.total = 0 then 0
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int t.total))) in
+    let rec find i seen =
+      if i >= buckets - 1 then t.max_us
+      else begin
+        let seen = seen + t.counts.(i) in
+        if seen >= rank then if i = 0 then 0 else (1 lsl i) - 1
+        else find (i + 1) seen
+      end
+    in
+    find 0 0
+  end
+
 let copy t =
   { counts = Array.copy t.counts; total = t.total; sum_us = t.sum_us; max_us = t.max_us }
 

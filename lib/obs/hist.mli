@@ -28,6 +28,15 @@ val bucket : t -> int -> int
 val nonzero : t -> (int * int) list
 (** [(bucket index, count)] for non-empty buckets, ascending. *)
 
+val quantile : t -> float -> int
+(** [quantile t q] estimates the [q]-quantile in µs as an
+    {e upper-bucket-bound}: the bucket holding the ceil([q]·n)-th
+    observation answers with its largest representable value
+    ([2^i - 1]; 0 for bucket 0), except the overflow bucket, which
+    answers with the exact observed {!max_us}.  Total: an empty
+    histogram answers 0 and [q] is clamped to [[0, 1]] — never
+    raises. *)
+
 val copy : t -> t
 val merge : into:t -> t -> unit
 val pp : Format.formatter -> t -> unit

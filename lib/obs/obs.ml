@@ -1,4 +1,4 @@
-(* The observability engine (DESIGN.md §3.2).
+(* The observability engine (DESIGN.md §3.2, sampling §3.4).
 
    A *span* covers one trap from `Uspace.syscall` entry to result
    delivery.  While a span is open, every layer that touches the trap —
@@ -6,14 +6,23 @@
    *frame*; on exit the frame becomes a `Span.segment` in the flight
    recorder and folds into the per-(depth, layer) aggregation.  Self
    time is total minus enclosed-frame time, so per-span self times sum
-   exactly to the root frame's total.  Envelope decode/encode events
-   attribute to whichever frame is on top of their span's stack.
+   exactly to the root frame's total.  Envelope decode/encode/rewrite
+   events attribute to whichever frame is on top of their span's stack.
 
    Everything here is keyed by span id, never by "the current frame":
    fibres interleave at effect points, so several spans from different
    processes are routinely open at once.  The per-pid stack exists only
    to answer `current ()` — which span a freshly built envelope on this
    process belongs to.
+
+   Sampling: with a 1-in-N sampler installed, the decision is made once
+   per trap at `span_begin`, deterministically (a seeded `Sim.Rng`
+   stream, one draw per trap).  An unsampled trap gets a *negative
+   sentinel* id encoding its sysno: per-syscall call/error counts stay
+   exact (counted at open / close against the sentinel), while frames,
+   histograms, per-layer aggregation and the ring see only the sampled
+   1-in-N subset — consumers scale those by `sample_n` from the metrics
+   snapshot.
 
    Observation charges no *virtual* time: enabling tracing must not
    move any published µs number. *)
@@ -22,6 +31,7 @@ module Ring = Ring
 module Hist = Hist
 module Json = Json
 module Span = Span
+module Chrome = Chrome
 
 (* ---------- switches and environment hooks ---------- *)
 
@@ -36,6 +46,20 @@ let current_pid () = !context_fn ()
 
 let enabled () = !on
 
+(* ---------- sampling ---------- *)
+
+let sample_n = ref 1
+let sample_seed = ref 0
+let sample_rng = ref (Sim.Rng.create 0)
+
+let set_sampling ?(seed = 0) n =
+  let n = max 1 n in
+  sample_n := n;
+  sample_seed := seed;
+  sample_rng := Sim.Rng.create seed
+
+let sampling () = !sample_n
+
 (* ---------- live per-span state ---------- *)
 
 type frame = {
@@ -46,6 +70,7 @@ type frame = {
   mutable f_child_us : int;
   mutable f_decodes : int;
   mutable f_encodes : int;
+  mutable f_rewrites : int;
 }
 
 type span_state = {
@@ -54,6 +79,7 @@ type span_state = {
   s_sysno : int;
   s_begin_us : int;
   mutable s_frames : frame list; (* innermost first *)
+  mutable s_rewrites : int;
 }
 
 let spans : (int, span_state) Hashtbl.t = Hashtbl.create 64
@@ -86,8 +112,10 @@ type layer_agg = {
   mutable la_traps : int;
   mutable la_decodes : int;
   mutable la_encodes : int;
+  mutable la_rewrites : int;
   mutable la_self_us : int;
   mutable la_total_us : int;
+  la_hist : Hist.t; (* per-frame self time *)
 }
 
 let by_layer : (int * string, layer_agg) Hashtbl.t = Hashtbl.create 32
@@ -96,7 +124,10 @@ let layer_agg_for key =
   match Hashtbl.find_opt by_layer key with
   | Some a -> a
   | None ->
-    let a = { la_traps = 0; la_decodes = 0; la_encodes = 0; la_self_us = 0; la_total_us = 0 } in
+    let a =
+      { la_traps = 0; la_decodes = 0; la_encodes = 0; la_rewrites = 0;
+        la_self_us = 0; la_total_us = 0; la_hist = Hist.create () }
+    in
     Hashtbl.replace by_layer key a;
     a
 
@@ -111,6 +142,9 @@ let reset () =
   next_span := 0;
   completed := 0;
   aborted := 0;
+  (* keep the configured rate but restart the decision stream, so a
+     reset window replays the same sampling choices *)
+  sample_rng := Sim.Rng.create !sample_seed;
   Ring.clear !ring
 
 let enable () = on := true
@@ -125,17 +159,32 @@ let current () =
     | Some { contents = s :: _ } -> s
     | _ -> 0
 
+(* Unsampled traps are represented by a negative sentinel carrying the
+   sysno, so their close can still count errors exactly without any
+   span state having been allocated. *)
+let unsampled_sentinel sysno = -(sysno + 1)
+let sentinel_sysno span = -span - 1
+
 let span_begin ~pid ~sysno =
   if not !on then 0
   else begin
-    incr next_span;
-    let id = !next_span in
-    Hashtbl.replace spans id
-      { s_id = id; s_pid = pid; s_sysno = sysno; s_begin_us = now_us (); s_frames = [] };
-    (match Hashtbl.find_opt open_by_pid pid with
-     | Some stack -> stack := id :: !stack
-     | None -> Hashtbl.replace open_by_pid pid (ref [ id ]));
-    id
+    (* calls are counted at open — exact whatever the sampling rate,
+       and whether or not the trap later aborts *)
+    let agg = sys_agg_for sysno in
+    agg.sa_calls <- agg.sa_calls + 1;
+    let sampled = !sample_n <= 1 || Sim.Rng.int !sample_rng !sample_n = 0 in
+    if not sampled then unsampled_sentinel sysno
+    else begin
+      incr next_span;
+      let id = !next_span in
+      Hashtbl.replace spans id
+        { s_id = id; s_pid = pid; s_sysno = sysno; s_begin_us = now_us ();
+          s_frames = []; s_rewrites = 0 };
+      (match Hashtbl.find_opt open_by_pid pid with
+       | Some stack -> stack := id :: !stack
+       | None -> Hashtbl.replace open_by_pid pid (ref [ id ]));
+      id
+    end
   end
 
 (* Pop the top frame, fold its duration into the parent's child time,
@@ -163,16 +212,19 @@ let close_top st ~now =
            total_us = total;
            decodes = fr.f_decodes;
            encodes = fr.f_encodes;
+           rewrites = fr.f_rewrites;
          });
     let agg = layer_agg_for (fr.f_depth, fr.f_layer) in
     agg.la_traps <- agg.la_traps + 1;
     agg.la_decodes <- agg.la_decodes + fr.f_decodes;
     agg.la_encodes <- agg.la_encodes + fr.f_encodes;
+    agg.la_rewrites <- agg.la_rewrites + fr.f_rewrites;
     agg.la_self_us <- agg.la_self_us + self;
-    agg.la_total_us <- agg.la_total_us + total
+    agg.la_total_us <- agg.la_total_us + total;
+    Hist.observe agg.la_hist self
 
 let layer_enter ~span layer =
-  if span = 0 then None
+  if span <= 0 then None
   else
     match Hashtbl.find_opt spans span with
     | None -> None (* span already ended/aborted: record nothing *)
@@ -186,6 +238,7 @@ let layer_enter ~span layer =
           f_child_us = 0;
           f_decodes = 0;
           f_encodes = 0;
+          f_rewrites = 0;
         }
       in
       st.s_frames <- fr :: st.s_frames;
@@ -232,16 +285,29 @@ let finish_span st ~error ~was_aborted =
      if !stack = [] then Hashtbl.remove open_by_pid st.s_pid
    | None -> ());
   let agg = sys_agg_for st.s_sysno in
-  agg.sa_calls <- agg.sa_calls + 1;
+  (* sa_calls was counted at span_begin; only errors and the (sampled)
+     latency histogram fold in here *)
   if error then agg.sa_errors <- agg.sa_errors + 1;
   Hist.observe agg.sa_hist (now - st.s_begin_us);
-  if was_aborted then incr aborted else incr completed
+  if was_aborted then begin
+    incr aborted;
+    Ring.push !ring
+      (Span.Mark
+         { Span.m_span = st.s_id; m_pid = st.s_pid; m_t_us = now;
+           m_kind = "abort"; m_detail = string_of_int st.s_sysno })
+  end
+  else incr completed
 
 let span_end span ~error =
-  if span <> 0 then
+  if span > 0 then
     match Hashtbl.find_opt spans span with
     | Some st -> finish_span st ~error ~was_aborted:false
     | None -> ()
+  else if span < 0 && error then begin
+    (* unsampled trap: errors stay exact via the sysno sentinel *)
+    let agg = sys_agg_for (sentinel_sysno span) in
+    agg.sa_errors <- agg.sa_errors + 1
+  end
 
 let abort_pid pid =
   match Hashtbl.find_opt open_by_pid pid with
@@ -255,23 +321,49 @@ let abort_pid pid =
         | None -> ())
       ids
 
-(* ---------- codec attribution ---------- *)
+(* ---------- codec and rewrite attribution ---------- *)
 
 let note_decode span =
-  if span <> 0 then
+  if span > 0 then
     match Hashtbl.find_opt spans span with
     | Some { s_frames = fr :: _; _ } -> fr.f_decodes <- fr.f_decodes + 1
     | _ -> ()
 
 let note_encode span =
-  if span <> 0 then
+  if span > 0 then
     match Hashtbl.find_opt spans span with
     | Some { s_frames = fr :: _; _ } -> fr.f_encodes <- fr.f_encodes + 1
     | _ -> ()
 
-(* ---------- trace-agent records ---------- *)
+let note_rewrite span =
+  if span > 0 then
+    match Hashtbl.find_opt spans span with
+    | Some st ->
+      st.s_rewrites <- st.s_rewrites + 1;
+      (match st.s_frames with
+       | fr :: _ -> fr.f_rewrites <- fr.f_rewrites + 1
+       | [] -> ())
+    | None -> ()
+
+let span_rewrites span =
+  if span <= 0 then 0
+  else
+    match Hashtbl.find_opt spans span with
+    | Some st -> st.s_rewrites
+    | None -> 0
+
+(* ---------- trace-agent records and marks ---------- *)
 
 let record_call c = if !on then Ring.push !ring (Span.Call c)
+
+let record_mark ?(span = 0) ?pid ~kind ~detail () =
+  if !on then begin
+    let pid = match pid with Some p -> p | None -> current_pid () in
+    Ring.push !ring
+      (Span.Mark
+         { Span.m_span = span; m_pid = pid; m_t_us = now_us ();
+           m_kind = kind; m_detail = detail })
+  end
 
 (* ---------- reading the recorder ---------- *)
 
@@ -280,7 +372,9 @@ let drain () = Ring.drain !ring
 let dropped () = Ring.dropped !ring
 
 let segments () =
-  List.filter_map (function Span.Segment s -> Some s | Span.Call _ -> None) (records ())
+  List.filter_map
+    (function Span.Segment s -> Some s | Span.Call _ | Span.Mark _ -> None)
+    (records ())
 
 (* ---------- metrics snapshot ---------- *)
 
@@ -297,8 +391,10 @@ type layer_metrics = {
   lm_traps : int;
   lm_decodes : int;
   lm_encodes : int;
+  lm_rewrites : int;
   lm_self_us : int;
   lm_total_us : int;
+  lm_hist : Hist.t;
 }
 
 type metrics = {
@@ -306,6 +402,7 @@ type metrics = {
   m_aborted : int;
   m_open : int;
   m_dropped : int;
+  m_sample_n : int;
   m_syscalls : syscall_metrics list;
   m_layers : layer_metrics list;
 }
@@ -325,7 +422,8 @@ let metrics () =
       (fun (depth, layer) a acc ->
         { lm_depth = depth; lm_layer = layer; lm_traps = a.la_traps;
           lm_decodes = a.la_decodes; lm_encodes = a.la_encodes;
-          lm_self_us = a.la_self_us; lm_total_us = a.la_total_us }
+          lm_rewrites = a.la_rewrites; lm_self_us = a.la_self_us;
+          lm_total_us = a.la_total_us; lm_hist = Hist.copy a.la_hist }
         :: acc)
       by_layer []
     |> List.sort (fun a b -> compare (a.lm_depth, a.lm_layer) (b.lm_depth, b.lm_layer))
@@ -335,57 +433,87 @@ let metrics () =
     m_aborted = !aborted;
     m_open = Hashtbl.length spans;
     m_dropped = Ring.dropped !ring;
+    m_sample_n = !sample_n;
     m_syscalls = syscalls;
     m_layers = layers;
   }
 
+(* Exact vs estimated (DESIGN.md §3.4): per-syscall [calls]/[errors]
+   are exact at any sampling rate; everything derived from spans the
+   sampler kept — latency histograms, percentiles, span/abort counts,
+   per-layer traps and µs sums — covers the 1-in-N subset and is
+   reported raw, with the rate in ["sample_n"] and pre-scaled ["est_*"]
+   companions emitted when N > 1. *)
 let metrics_to_json ?(name = fun n -> Printf.sprintf "syscall#%d" n) (m : metrics) =
+  let scale = m.m_sample_n in
+  let est fields =
+    if scale <= 1 then []
+    else List.map (fun (k, v) -> ("est_" ^ k, Json.Int (v * scale))) fields
+  in
   let hist_json h =
     Json.Obj
-      [
-        ("count", Json.Int (Hist.count h));
-        ("sum_us", Json.Int (Hist.sum_us h));
-        ("max_us", Json.Int (Hist.max_us h));
-        ( "buckets",
-          Json.Arr
-            (List.map
-               (fun (i, n) ->
-                 Json.Obj [ ("lo_us", Json.Int (Hist.lower_bound i)); ("count", Json.Int n) ])
-               (Hist.nonzero h)) );
-      ]
+      ([
+         ("count", Json.Int (Hist.count h));
+         ("sum_us", Json.Int (Hist.sum_us h));
+         ("max_us", Json.Int (Hist.max_us h));
+         ("p50_us", Json.Int (Hist.quantile h 0.50));
+         ("p90_us", Json.Int (Hist.quantile h 0.90));
+         ("p99_us", Json.Int (Hist.quantile h 0.99));
+       ]
+      @ est [ ("count", Hist.count h); ("sum_us", Hist.sum_us h) ]
+      @ [
+          ( "buckets",
+            Json.Arr
+              (List.map
+                 (fun (i, n) ->
+                   Json.Obj
+                     [ ("lo_us", Json.Int (Hist.lower_bound i)); ("count", Json.Int n) ])
+                 (Hist.nonzero h)) );
+        ])
   in
   Json.Obj
-    [
-      ("spans", Json.Int m.m_spans);
-      ("aborted", Json.Int m.m_aborted);
-      ("open", Json.Int m.m_open);
-      ("dropped", Json.Int m.m_dropped);
-      ( "syscalls",
-        Json.Arr
-          (List.map
-             (fun s ->
-               Json.Obj
-                 [
-                   ("sysno", Json.Int s.sm_sysno);
-                   ("name", Json.Str (name s.sm_sysno));
-                   ("calls", Json.Int s.sm_calls);
-                   ("errors", Json.Int s.sm_errors);
-                   ("latency", hist_json s.sm_hist);
-                 ])
-             m.m_syscalls) );
-      ( "layers",
-        Json.Arr
-          (List.map
-             (fun l ->
-               Json.Obj
-                 [
-                   ("depth", Json.Int l.lm_depth);
-                   ("layer", Json.Str l.lm_layer);
-                   ("traps", Json.Int l.lm_traps);
-                   ("decodes", Json.Int l.lm_decodes);
-                   ("encodes", Json.Int l.lm_encodes);
-                   ("self_us", Json.Int l.lm_self_us);
-                   ("total_us", Json.Int l.lm_total_us);
-                 ])
-             m.m_layers) );
-    ]
+    ([
+       ("spans", Json.Int m.m_spans);
+       ("aborted", Json.Int m.m_aborted);
+       ("open", Json.Int m.m_open);
+       ("dropped", Json.Int m.m_dropped);
+       ("sample_n", Json.Int m.m_sample_n);
+     ]
+    @ est [ ("spans", m.m_spans); ("aborted", m.m_aborted) ]
+    @ [
+        ( "syscalls",
+          Json.Arr
+            (List.map
+               (fun s ->
+                 Json.Obj
+                   [
+                     ("sysno", Json.Int s.sm_sysno);
+                     ("name", Json.Str (name s.sm_sysno));
+                     ("calls", Json.Int s.sm_calls);
+                     ("errors", Json.Int s.sm_errors);
+                     ("latency", hist_json s.sm_hist);
+                   ])
+               m.m_syscalls) );
+        ( "layers",
+          Json.Arr
+            (List.map
+               (fun l ->
+                 Json.Obj
+                   ([
+                      ("depth", Json.Int l.lm_depth);
+                      ("layer", Json.Str l.lm_layer);
+                      ("traps", Json.Int l.lm_traps);
+                      ("decodes", Json.Int l.lm_decodes);
+                      ("encodes", Json.Int l.lm_encodes);
+                      ("rewrites", Json.Int l.lm_rewrites);
+                      ("self_us", Json.Int l.lm_self_us);
+                      ("total_us", Json.Int l.lm_total_us);
+                      ("p50_self_us", Json.Int (Hist.quantile l.lm_hist 0.50));
+                      ("p90_self_us", Json.Int (Hist.quantile l.lm_hist 0.90));
+                      ("p99_self_us", Json.Int (Hist.quantile l.lm_hist 0.99));
+                    ]
+                   @ est
+                       [ ("traps", l.lm_traps); ("self_us", l.lm_self_us);
+                         ("total_us", l.lm_total_us) ]))
+               m.m_layers) );
+      ])

@@ -1,16 +1,24 @@
 (** Observability: per-trap spans, a flight-recorder ring, and
-    aggregated syscall/layer metrics (DESIGN.md §3.2).
+    aggregated syscall/layer metrics (DESIGN.md §3.2, sampling and
+    export §3.4).
 
     A {e span} covers one trap from [Uspace.syscall] entry to result
     delivery.  While it is open, each layer the trap passes through —
     uspace, every stacked agent, downlink, the kernel handler — holds a
     {e frame}; closing a frame publishes a {!Span.segment} (virtual-µs
-    self/total time plus the envelope decode/encode events that fired
-    while the frame was on top) into the ring buffer and into the
+    self/total time plus the envelope decode/encode/rewrite events that
+    fired while the frame was on top) into the ring buffer and into the
     per-(depth, layer) aggregation.  Per-span self times sum exactly to
     the root frame's total, which is what makes the per-layer
     attribution table in [bench] consistent with the end-to-end
     numbers.
+
+    With a 1-in-N sampler installed ({!set_sampling}), the keep/skip
+    decision is made once per trap at {!span_begin} from a seeded
+    deterministic stream; unsampled traps keep per-syscall call/error
+    counts exact but record no frames, no histogram observations and no
+    ring traffic, so always-on observation costs a counter bump and one
+    RNG draw per trap.
 
     State is keyed by span id — fibres interleave at effect points, so
     spans of several processes are routinely open at once; a per-pid
@@ -23,6 +31,7 @@ module Ring = Ring
 module Hist = Hist
 module Json = Json
 module Span = Span
+module Chrome = Chrome
 
 (** {1 Switches and environment hooks} *)
 
@@ -45,21 +54,36 @@ val configure : ?ring_capacity:int -> unit -> unit
 (** Replace the flight recorder (default capacity 4096 records);
     discards its current contents. *)
 
+val set_sampling : ?seed:int -> int -> unit
+(** [set_sampling ~seed n] keeps 1 in [n] spans (n ≤ 1 keeps all, the
+    default).  The decision stream is a [Sim.Rng] seeded with [seed]
+    (default 0) consuming exactly one draw per trap when [n > 1], so a
+    run's keep/skip choices are reproducible and replayable. *)
+
+val sampling : unit -> int
+(** The current 1-in-N rate (1 = keep everything). *)
+
 val reset : unit -> unit
-(** Clear all state: open spans, aggregations, the ring.  Call between
-    independent measurement windows (the enable/reset pairing replaces
-    the old global [Kernel.reset_codec_stats] hygiene problem — see
+(** Clear all state: open spans, aggregations, the ring.  The sampling
+    rate and seed persist but the decision stream restarts, so a reset
+    window replays the same choices.  Call between independent
+    measurement windows (the enable/reset pairing replaces the old
+    global [Kernel.reset_codec_stats] hygiene problem — see
     [envelope.mli]). *)
 
 (** {1 Span lifecycle} *)
 
 val span_begin : pid:int -> sysno:int -> int
-(** Open a span; returns its id, or 0 when disabled.  Span ids are
-    positive and unique within a session. *)
+(** Open a span; returns its id, or 0 when disabled.  Sampled span ids
+    are positive and unique within a session; a span the sampler skips
+    returns a {e negative} sentinel (still passed to {!span_end}, so
+    error counts stay exact) and records nothing else.  The
+    per-syscall call count is bumped here — exact at any rate. *)
 
 val span_end : int -> error:bool -> unit
 (** Close a span: folds it into the per-syscall counters/histogram.
-    No-op on id 0 or an already-closed/aborted span. *)
+    No-op on id 0 or an already-closed/aborted span; on a negative
+    (unsampled) sentinel only the exact error count is updated. *)
 
 val current : unit -> int
 (** Innermost open span of the current process (via the context hook),
@@ -68,15 +92,17 @@ val current : unit -> int
 val abort_pid : int -> unit
 (** Force-close every open span of a process.  Called on [exit] and
     [exec], whose traps never return to the instrumentation that opened
-    them; such spans count as aborted, not completed. *)
+    them; such spans count as aborted, not completed, and leave an
+    ["abort"] mark in the ring. *)
 
 (** {1 Layer frames} *)
 
 type frame
 
 val layer_enter : span:int -> string -> frame option
-(** Push a frame named after the layer; [None] when the span is 0 or
-    no longer live (then nothing need be recorded). *)
+(** Push a frame named after the layer; [None] when the span is 0,
+    unsampled (negative) or no longer live (then nothing need be
+    recorded). *)
 
 val layer_exit : frame -> unit
 (** Pop the frame, publishing its segment.  Tolerates the span having
@@ -85,21 +111,40 @@ val layer_exit : frame -> unit
 
 val in_layer : span:int -> string -> (unit -> 'a) -> 'a
 (** [in_layer ~span layer f] wraps [f] in an enter/exit pair,
-    exception-safely.  Runs [f] bare when the span is dead or 0. *)
+    exception-safely.  Runs [f] bare when the span is dead, unsampled
+    or 0. *)
 
-(** {1 Codec attribution} *)
+(** {1 Codec and rewrite attribution} *)
 
 val note_decode : int -> unit
 (** An envelope belonging to this span was decoded; attributed to the
-    span's innermost open frame.  No-op on span 0. *)
+    span's innermost open frame.  No-op on span ≤ 0. *)
 
 val note_encode : int -> unit
 
-(** {1 Trace-agent records} *)
+val note_rewrite : int -> unit
+(** The call (or its result) was rewritten in flight; attributed to
+    the innermost frame and accumulated on the span.  Fired
+    automatically when a dirty envelope forces a re-encode (the PR 1
+    "genuine rewrite"), and explicitly by mutating agents — crypt's
+    payload transform, timex's result shift, remap's ABI translation.
+    No-op on span ≤ 0. *)
+
+val span_rewrites : int -> int
+(** Rewrites accumulated on an open span so far (0 for closed spans,
+    sentinels and span 0) — the trace agent's post events use this to
+    flag traps some lower layer mutated. *)
+
+(** {1 Trace-agent records and marks} *)
 
 val record_call : Span.call -> unit
 (** Append a trace-agent call record to the ring (no-op when
     disabled). *)
+
+val record_mark : ?span:int -> ?pid:int -> kind:string -> detail:string -> unit -> unit
+(** Append a point event to the ring (no-op when disabled); [pid]
+    defaults to the context hook's current process.  Used for signal
+    deliveries; span aborts push their own mark. *)
 
 (** {1 Reading the flight recorder} *)
 
@@ -118,26 +163,30 @@ val dropped : unit -> int
 
 type syscall_metrics = {
   sm_sysno : int;
-  sm_calls : int;   (** spans completed or aborted for this sysno *)
-  sm_errors : int;  (** of which returned an error result *)
-  sm_hist : Hist.t; (** end-to-end span latency, virtual µs *)
+  sm_calls : int;   (** traps opened for this sysno — {e exact} at any
+                        sampling rate, aborted traps included *)
+  sm_errors : int;  (** of which returned an error result — exact *)
+  sm_hist : Hist.t; (** end-to-end span latency, virtual µs — sampled *)
 }
 
 type layer_metrics = {
   lm_depth : int;    (** frame nesting depth within its span *)
   lm_layer : string;
-  lm_traps : int;    (** frames closed at this (depth, layer) *)
+  lm_traps : int;    (** frames closed at this (depth, layer) — sampled *)
   lm_decodes : int;
   lm_encodes : int;
+  lm_rewrites : int; (** in-flight call rewrites attributed here *)
   lm_self_us : int;  (** sum of per-frame self time *)
   lm_total_us : int; (** sum of per-frame total time *)
+  lm_hist : Hist.t;  (** per-frame self-time distribution *)
 }
 
 type metrics = {
-  m_spans : int;    (** spans completed normally *)
-  m_aborted : int;  (** spans force-closed by exit/exec *)
+  m_spans : int;    (** sampled spans completed normally *)
+  m_aborted : int;  (** sampled spans force-closed by exit/exec *)
   m_open : int;     (** spans still open at snapshot time *)
   m_dropped : int;  (** ring records overwritten before draining *)
+  m_sample_n : int; (** 1-in-N rate the sampled figures cover *)
   m_syscalls : syscall_metrics list; (** ascending sysno *)
   m_layers : layer_metrics list;     (** ascending (depth, layer) *)
 }
@@ -146,4 +195,8 @@ val metrics : unit -> metrics
 
 val metrics_to_json : ?name:(int -> string) -> metrics -> Json.t
 (** [name] renders syscall numbers (callers pass [Abi.Sysno.name]; obs
-    itself stays below [abi] in the library stack and cannot). *)
+    itself stays below [abi] in the library stack and cannot).
+    Histograms carry [p50_us]/[p90_us]/[p99_us] upper-bucket-bound
+    estimates ({!Hist.quantile}); when [sample_n > 1], sampled figures
+    gain pre-scaled [est_*] companions so consumers can tell estimated
+    from exact. *)

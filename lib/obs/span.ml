@@ -3,12 +3,16 @@
    A [segment] is one layer's residence in one trap span: the layer
    name, its nesting depth inside the span, virtual-clock entry time,
    total and self (total minus enclosed layers) time, and the envelope
-   decode/encode events that fired while the layer was on top.
+   decode/encode/rewrite events that fired while the layer was on top.
 
    A [call] is a trace-agent record: the strace-style pre ("about to
    call") or post ("returned") event, carried with enough structure
    that the textual rendering ([call_line]) and the JSONL rendering
-   share one source of truth. *)
+   share one source of truth.
+
+   A [mark] is a point event with no duration: a signal delivered to
+   the application, or a span force-closed by exit/exec.  Chrome
+   export renders marks as instant events. *)
 
 type segment = {
   span : int;
@@ -21,6 +25,7 @@ type segment = {
   total_us : int;
   decodes : int;
   encodes : int;
+  rewrites : int;
 }
 
 type call = {
@@ -30,15 +35,26 @@ type call = {
   c_name : string;
   c_args : string;
   c_result : string option; (* None: call entry; Some r: call returned r *)
+  c_rewrote : bool; (* some layer below rewrote the call in flight *)
 }
 
-type record = Segment of segment | Call of call
+type mark = {
+  m_span : int;
+  m_pid : int;
+  m_t_us : int;
+  m_kind : string; (* "signal" | "abort" *)
+  m_detail : string;
+}
+
+type record = Segment of segment | Call of call | Mark of mark
 
 (* --- textual rendering (the trace agent's two line shapes) --- *)
 
 let call_line c =
   match c.c_result with
   | None -> Printf.sprintf "%s(%s) ..." c.c_name c.c_args
+  | Some r when c.c_rewrote ->
+    Printf.sprintf "... %s -> %s [rewritten]" c.c_name r
   | Some r -> Printf.sprintf "... %s -> %s" c.c_name r
 
 (* --- JSONL --- *)
@@ -57,6 +73,7 @@ let segment_to_json (s : segment) =
       ("total_us", Json.Int s.total_us);
       ("decodes", Json.Int s.decodes);
       ("encodes", Json.Int s.encodes);
+      ("rewrites", Json.Int s.rewrites);
     ]
 
 let call_to_json (c : call) =
@@ -69,11 +86,24 @@ let call_to_json (c : call) =
        ("name", Json.Str c.c_name);
        ("args", Json.Str c.c_args);
      ]
-    @ match c.c_result with None -> [] | Some r -> [ ("result", Json.Str r) ])
+    @ (match c.c_result with None -> [] | Some r -> [ ("result", Json.Str r) ])
+    @ if c.c_rewrote then [ ("rewrote", Json.Bool true) ] else [])
+
+let mark_to_json (m : mark) =
+  Json.Obj
+    [
+      ("type", Json.Str "mark");
+      ("span", Json.Int m.m_span);
+      ("pid", Json.Int m.m_pid);
+      ("t_us", Json.Int m.m_t_us);
+      ("kind", Json.Str m.m_kind);
+      ("detail", Json.Str m.m_detail);
+    ]
 
 let to_json = function
   | Segment s -> segment_to_json s
   | Call c -> call_to_json c
+  | Mark m -> mark_to_json m
 
 let to_line r = Json.to_string (to_json r)
 
@@ -101,9 +131,12 @@ let of_json j =
     let* total_us = int_field j "total_us" in
     let* decodes = int_field j "decodes" in
     let* encodes = int_field j "encodes" in
+    (* absent in pre-rewrite-flag traces: default 0 *)
+    let rewrites = Option.value (int_field j "rewrites") ~default:0 in
     Some
       (Segment
-         { span; pid; sysno; layer; depth; start_us; self_us; total_us; decodes; encodes })
+         { span; pid; sysno; layer; depth; start_us; self_us; total_us;
+           decodes; encodes; rewrites })
   | Some "call" ->
     let* c_span = int_field j "span" in
     let* c_pid = int_field j "pid" in
@@ -111,7 +144,19 @@ let of_json j =
     let* c_name = str_field j "name" in
     let* c_args = str_field j "args" in
     let c_result = str_field j "result" in
-    Some (Call { c_span; c_pid; c_t_us; c_name; c_args; c_result })
+    let c_rewrote =
+      match Json.member "rewrote" j with
+      | Some v -> Option.value (Json.to_bool v) ~default:false
+      | None -> false
+    in
+    Some (Call { c_span; c_pid; c_t_us; c_name; c_args; c_result; c_rewrote })
+  | Some "mark" ->
+    let* m_span = int_field j "span" in
+    let* m_pid = int_field j "pid" in
+    let* m_t_us = int_field j "t_us" in
+    let* m_kind = str_field j "kind" in
+    let* m_detail = str_field j "detail" in
+    Some (Mark { m_span; m_pid; m_t_us; m_kind; m_detail })
   | _ -> None
 
 let of_line line =

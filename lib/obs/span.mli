@@ -1,6 +1,7 @@
-(** Flight-recorder records: per-layer trap segments and trace-agent
-    call events, with one JSONL codec shared by [agentrun --trace-out],
-    the [/obs/spans] synthetic file, and the tests. *)
+(** Flight-recorder records: per-layer trap segments, trace-agent call
+    events, and point marks (signals, aborted spans), with one JSONL
+    codec shared by [agentrun --trace-out], the [/obs/spans] synthetic
+    file, and the tests. *)
 
 type segment = {
   span : int;       (** span id; unique per traced trap within a session *)
@@ -13,6 +14,7 @@ type segment = {
   total_us : int;   (** entry-to-exit time including enclosed layers *)
   decodes : int;    (** envelope decodes attributed to this layer *)
   encodes : int;    (** envelope encodes attributed to this layer *)
+  rewrites : int;   (** in-flight call rewrites attributed to this layer *)
 }
 
 type call = {
@@ -22,13 +24,24 @@ type call = {
   c_name : string;          (** syscall name as the trace agent prints it *)
   c_args : string;          (** pre-rendered argument list *)
   c_result : string option; (** [None] = call entry, [Some r] = returned [r] *)
+  c_rewrote : bool;         (** a layer below rewrote the call before it
+                                returned — only meaningful on post events *)
 }
 
-type record = Segment of segment | Call of call
+type mark = {
+  m_span : int;     (** enclosing span id, 0 when none *)
+  m_pid : int;
+  m_t_us : int;     (** virtual-clock time of the event *)
+  m_kind : string;  (** ["signal"] or ["abort"] *)
+  m_detail : string;(** signal name / aborted syscall number *)
+}
+
+type record = Segment of segment | Call of call | Mark of mark
 
 val call_line : call -> string
 (** The trace agent's line shapes (no trailing newline):
-    ["name(args) ..."] on entry, ["... name -> res"] on return.  Both
+    ["name(args) ..."] on entry, ["... name -> res"] on return (with a
+    [" [rewritten]"] suffix when [c_rewrote]).  Both
     [agentrun --agent trace] output and consumers of [--trace-out]
     JSONL render through this one function. *)
 
@@ -37,6 +50,6 @@ val of_json : Json.t -> record option
 
 val to_line : record -> string
 (** One compact JSON object (no trailing newline), with a
-    ["type": "segment"|"call"] discriminator. *)
+    ["type": "segment"|"call"|"mark"] discriminator. *)
 
 val of_line : string -> (record, string) result

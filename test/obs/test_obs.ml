@@ -16,6 +16,7 @@ let with_obs f =
   Fun.protect
     ~finally:(fun () ->
       Obs.disable ();
+      Obs.set_sampling 1;
       Obs.reset ())
     f
 
@@ -158,25 +159,35 @@ let segment_gen =
   QCheck.Gen.(
     map
       (fun (((span, pid, sysno), (layer, depth, start_us)),
-            ((self_us, total_us), (d, e))) ->
+            ((self_us, total_us), (d, e, rw))) ->
         { Obs.Span.span; pid; sysno; layer; depth; start_us; self_us; total_us;
-          decodes = d; encodes = e })
+          decodes = d; encodes = e; rewrites = rw })
       (pair
          (pair (triple nat nat nat) (triple string nat nat))
-         (pair (pair nat nat) (pair nat nat))))
+         (pair (pair nat nat) (triple nat nat nat))))
 
 let call_gen =
   QCheck.Gen.(
     map
-      (fun ((c_span, c_pid, c_t_us), (c_name, c_args, c_result)) ->
-        { Obs.Span.c_span; c_pid; c_t_us; c_name; c_args; c_result })
-      (pair (triple nat nat nat) (triple string string (opt string))))
+      (fun (((c_span, c_pid, c_t_us), (c_name, c_args, c_result)), c_rewrote) ->
+        { Obs.Span.c_span; c_pid; c_t_us; c_name; c_args; c_result; c_rewrote })
+      (pair
+         (pair (triple nat nat nat) (triple string string (opt string)))
+         bool))
+
+let mark_gen =
+  QCheck.Gen.(
+    map
+      (fun ((m_span, m_pid, m_t_us), (m_kind, m_detail)) ->
+        { Obs.Span.m_span; m_pid; m_t_us; m_kind; m_detail })
+      (pair (triple nat nat nat) (pair string string)))
 
 let record_gen =
   QCheck.Gen.(
     oneof
       [ map (fun s -> Obs.Span.Segment s) segment_gen;
-        map (fun c -> Obs.Span.Call c) call_gen ])
+        map (fun c -> Obs.Span.Call c) call_gen;
+        map (fun m -> Obs.Span.Mark m) mark_gen ])
 
 let record_arb =
   QCheck.make record_gen ~print:(fun r -> Obs.Span.to_line r)
@@ -192,13 +203,17 @@ let qcheck_span_jsonl_roundtrip =
 let test_call_line_shapes () =
   let pre =
     { Obs.Span.c_span = 1; c_pid = 2; c_t_us = 3; c_name = "open";
-      c_args = "\"/etc/motd\", O_RDONLY, 00"; c_result = None }
+      c_args = "\"/etc/motd\", O_RDONLY, 00"; c_result = None;
+      c_rewrote = false }
   in
   Alcotest.(check string) "entry shape" "open(\"/etc/motd\", O_RDONLY, 00) ..."
     (Obs.Span.call_line pre);
   let post = { pre with c_args = ""; c_result = Some "3" } in
   Alcotest.(check string) "return shape" "... open -> 3"
-    (Obs.Span.call_line post)
+    (Obs.Span.call_line post);
+  let rewritten = { post with c_rewrote = true } in
+  Alcotest.(check string) "rewritten shape" "... open -> 3 [rewritten]"
+    (Obs.Span.call_line rewritten)
 
 (* --- span engine: attribution under a stacked null-agent getpid loop ----- *)
 
@@ -396,7 +411,9 @@ let test_trace_agent_records_calls () =
       check_exit "session" 0 status;
       let calls =
         List.filter_map
-          (function Obs.Span.Call c -> Some c | Obs.Span.Segment _ -> None)
+          (function
+            | Obs.Span.Call c -> Some c
+            | Obs.Span.Segment _ | Obs.Span.Mark _ -> None)
           (Obs.records ())
       in
       (* two events per traced call: entry and return *)
@@ -475,6 +492,367 @@ let test_obs_fs_files () =
          in
          scan 0))
 
+(* --- histogram quantiles ------------------------------------------------- *)
+
+let test_hist_quantile_edges () =
+  let h = Obs.Hist.create () in
+  Alcotest.(check int) "empty p50" 0 (Obs.Hist.quantile h 0.5);
+  Alcotest.(check int) "empty p99" 0 (Obs.Hist.quantile h 0.99);
+  (* all mass in one bucket: every quantile answers that bucket's upper
+     bound (5us lands in [4,8) -> 7) *)
+  for _ = 1 to 10 do
+    Obs.Hist.observe h 5
+  done;
+  Alcotest.(check int) "p50 of ten 5us" 7 (Obs.Hist.quantile h 0.50);
+  Alcotest.(check int) "p99 of ten 5us" 7 (Obs.Hist.quantile h 0.99);
+  Alcotest.(check int) "q below 0 clamps" 7 (Obs.Hist.quantile h (-1.0));
+  Alcotest.(check int) "q above 1 clamps" 7 (Obs.Hist.quantile h 2.0);
+  (* the zero bucket answers zero *)
+  let z = Obs.Hist.create () in
+  List.iter (Obs.Hist.observe z) [ 0; 0; 0 ];
+  Alcotest.(check int) "all-zero p99" 0 (Obs.Hist.quantile z 0.99);
+  (* the overflow bucket answers the exact observed maximum *)
+  let o = Obs.Hist.create () in
+  Obs.Hist.observe o 3;
+  Obs.Hist.observe o max_int;
+  Alcotest.(check int) "p50 stays in the low bucket" 3 (Obs.Hist.quantile o 0.5);
+  Alcotest.(check int) "p100 is the exact max" max_int (Obs.Hist.quantile o 1.0)
+
+let qcheck_quantile_bounds =
+  QCheck.Test.make ~name:"quantile is monotone in q and bounds the max"
+    ~count:300
+    QCheck.(small_list small_nat)
+    (fun xs ->
+      let h = Obs.Hist.create () in
+      List.iter (Obs.Hist.observe h) xs;
+      let vals =
+        List.map (Obs.Hist.quantile h) [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ]
+      in
+      let rec mono = function
+        | a :: (b :: _ as tl) -> a <= b && mono tl
+        | _ -> true
+      in
+      mono vals
+      && (xs = [] || Obs.Hist.quantile h 1.0 >= List.fold_left max 0 xs))
+
+(* --- sampling ------------------------------------------------------------- *)
+
+(* Drive the span engine directly (no kernel): each trap is one span
+   with a single uspace frame of [dur] virtual us. *)
+let drive_traps ~n ~seed traps =
+  Obs.reset ();
+  Obs.enable ();
+  Obs.set_sampling ~seed n;
+  let t = ref 0 in
+  Obs.set_clock (fun () -> !t);
+  Obs.set_context (fun () -> 7);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.set_sampling 1;
+      Obs.reset ())
+    (fun () ->
+      List.iter
+        (fun (sysno, dur, error) ->
+          let span = Obs.span_begin ~pid:7 ~sysno in
+          Obs.in_layer ~span "uspace" (fun () -> t := !t + dur);
+          Obs.span_end span ~error)
+        traps;
+      (Obs.metrics (), Obs.segments ()))
+
+(* Replay the sampler's decision stream: one draw per trap iff n > 1. *)
+let predicted_decisions ~n ~seed ~count =
+  let rng = Sim.Rng.create seed in
+  List.init count (fun _ -> n <= 1 || Sim.Rng.int rng n = 0)
+
+let qcheck_sampler_ring_and_exact_counts =
+  let gen =
+    QCheck.Gen.(
+      pair (int_range 1 8)
+        (pair small_nat
+           (list_size (int_range 0 40) (pair (int_range 0 5) bool))))
+  in
+  QCheck.Test.make
+    ~name:"sampler: ring holds exactly the chosen spans; calls/errors exact"
+    ~count:100
+    (QCheck.make
+       ~print:(fun (n, (seed, traps)) ->
+         Printf.sprintf "n=%d seed=%d traps=%d" n seed (List.length traps))
+       gen)
+    (fun (n, (seed, traps)) ->
+      let traps = List.map (fun (s, e) -> (10 + s, 3, e)) traps in
+      let m, segs = drive_traps ~n ~seed traps in
+      let decisions = predicted_decisions ~n ~seed ~count:(List.length traps) in
+      let chosen =
+        List.combine traps decisions |> List.filter snd |> List.map fst
+      in
+      (* (a) exactly the sampler-chosen spans appear in the ring, in
+         order, under positive strictly-increasing span ids *)
+      List.length segs = List.length chosen
+      && List.for_all2
+           (fun seg (sysno, _, _) -> seg.Obs.Span.sysno = sysno)
+           segs chosen
+      && (let rec increasing = function
+            | a :: (b :: _ as tl) ->
+              a.Obs.Span.span < b.Obs.Span.span && increasing tl
+            | _ -> true
+          in
+          increasing segs)
+      && List.for_all (fun seg -> seg.Obs.Span.span > 0) segs
+      (* (b) per-syscall calls/errors are exact regardless of n, while
+         the sampled histogram covers only the chosen subset *)
+      && List.for_all
+           (fun sm ->
+             let all =
+               List.filter (fun (sy, _, _) -> sy = sm.Obs.sm_sysno) traps
+             in
+             sm.Obs.sm_calls = List.length all
+             && sm.Obs.sm_errors
+                = List.length (List.filter (fun (_, _, e) -> e) all)
+             && Obs.Hist.count sm.Obs.sm_hist
+                = List.length
+                    (List.filter (fun (sy, _, _) -> sy = sm.Obs.sm_sysno)
+                       chosen))
+           m.Obs.m_syscalls
+      && m.Obs.m_sample_n = n
+      && m.Obs.m_spans = List.length chosen)
+
+let test_sampling_estimates_converge () =
+  (* (c) scaled estimates approach the true totals: 4000 identical traps
+     at 1-in-4 must estimate the trap count within 15% *)
+  let traps = List.init 4000 (fun _ -> (20, 2, false)) in
+  let m, _ = drive_traps ~n:4 ~seed:1 traps in
+  let sm = List.find (fun s -> s.Obs.sm_sysno = 20) m.Obs.m_syscalls in
+  Alcotest.(check int) "calls exact" 4000 sm.Obs.sm_calls;
+  let est = Obs.Hist.count sm.Obs.sm_hist * m.Obs.m_sample_n in
+  if abs (est - 4000) > 600 then
+    Alcotest.failf "estimate %d too far from 4000" est;
+  (* the scaled virtual-time estimate converges the same way *)
+  let est_us = Obs.Hist.sum_us sm.Obs.sm_hist * m.Obs.m_sample_n in
+  if abs (est_us - 8000) > 1200 then
+    Alcotest.failf "time estimate %dus too far from 8000us" est_us
+
+let sampled_session_counts ~n =
+  with_obs (fun () ->
+      let _, status =
+        boot (fun () ->
+            Obs.reset ();
+            Obs.set_sampling ~seed:9 n;
+            for _ = 1 to 25 do
+              ignore (Libc.Unistd.getpid ())
+            done;
+            (match Libc.Unistd.close 99 with _ -> ());
+            Obs.disable ();
+            0)
+      in
+      check_exit "session" 0 status;
+      List.map
+        (fun s -> (s.Obs.sm_sysno, s.Obs.sm_calls, s.Obs.sm_errors))
+        (Obs.metrics ()).Obs.m_syscalls)
+
+let test_sampling_exact_counts_across_rates () =
+  let base = sampled_session_counts ~n:1 in
+  List.iter
+    (fun n ->
+      Alcotest.(check (list (triple int int int)))
+        (Printf.sprintf "counts at n=%d match n=1" n)
+        base
+        (sampled_session_counts ~n))
+    [ 2; 16; 256 ]
+
+(* --- chrome trace export -------------------------------------------------- *)
+
+let get_int k e =
+  match Option.bind (Obs.Json.member k e) Obs.Json.to_int with
+  | Some v -> v
+  | None -> Alcotest.failf "event missing int %S" k
+
+let get_str k e =
+  match Option.bind (Obs.Json.member k e) Obs.Json.to_str with
+  | Some v -> v
+  | None -> Alcotest.failf "event missing string %S" k
+
+(* Every event carries ph/ts/pid/tid; complete events carry name and
+   dur; non-metadata events are sorted by timestamp. *)
+let check_chrome_events j =
+  match j with
+  | Obs.Json.Arr events ->
+    let prev = ref 0 in
+    List.iter
+      (fun e ->
+        let ph = get_str "ph" e in
+        let ts = get_int "ts" e in
+        ignore (get_int "pid" e);
+        ignore (get_int "tid" e);
+        if ph = "X" then begin
+          ignore (get_int "dur" e);
+          ignore (get_str "name" e)
+        end;
+        if ph <> "M" then begin
+          if ts < !prev then Alcotest.failf "events unsorted at ts=%d" ts;
+          prev := ts
+        end)
+      events;
+    events
+  | _ -> Alcotest.fail "chrome trace is not a JSON array"
+
+(* Per span, the outermost (depth-0) complete event's dur equals the
+   sum of self_us over the span's complete events — the chrome view
+   preserves the attribution invariant. *)
+let check_chrome_self_sums events =
+  let root = Hashtbl.create 8 and selfs = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if get_str "ph" e = "X" then begin
+        let args =
+          match Obs.Json.member "args" e with
+          | Some a -> a
+          | None -> Alcotest.fail "complete event missing args"
+        in
+        let span = get_int "span" args in
+        Hashtbl.replace selfs span
+          (get_int "self_us" args
+          + Option.value (Hashtbl.find_opt selfs span) ~default:0);
+        if get_int "depth" args = 0 then
+          Hashtbl.replace root span (get_int "dur" e)
+      end)
+    events;
+  Alcotest.(check bool) "saw at least one root frame" true
+    (Hashtbl.length root > 0);
+  Hashtbl.iter
+    (fun span dur ->
+      Alcotest.(check int)
+        (Printf.sprintf "span %d self sum = root dur" span)
+        dur
+        (Option.value (Hashtbl.find_opt selfs span) ~default:(-1)))
+    root
+
+let test_chrome_export_shape () =
+  let seg span layer depth start_us self_us total_us =
+    Obs.Span.Segment
+      { Obs.Span.span; pid = 2; sysno = 20; layer; depth; start_us; self_us;
+        total_us; decodes = 0; encodes = 0; rewrites = 0 }
+  in
+  let records =
+    [ seg 1 "kernel" 2 10 62 62;
+      seg 1 "null" 1 5 82 144;
+      seg 1 "uspace" 0 0 30 174;
+      Obs.Span.Call
+        { Obs.Span.c_span = 1; c_pid = 2; c_t_us = 4; c_name = "getpid";
+          c_args = ""; c_result = None; c_rewrote = false };
+      Obs.Span.Mark
+        { Obs.Span.m_span = 0; m_pid = 2; m_t_us = 100; m_kind = "signal";
+          m_detail = "SIGUSR1" } ]
+  in
+  let events =
+    check_chrome_events
+      (Obs.Chrome.to_json ~name:(fun n -> Printf.sprintf "sys%d" n) records)
+  in
+  let by_ph p = List.filter (fun e -> get_str "ph" e = p) events in
+  (* one process: process_name + the tid-0 events track + three layer
+     tracks *)
+  Alcotest.(check int) "metadata events" 5 (List.length (by_ph "M"));
+  Alcotest.(check int) "complete events" 3 (List.length (by_ph "X"));
+  Alcotest.(check int) "instant events" 2 (List.length (by_ph "i"));
+  List.iter
+    (fun e -> Alcotest.(check int) "instants ride tid 0" 0 (get_int "tid" e))
+    (by_ph "i");
+  (* layer tracks are numbered outermost-first; complete events come
+     back sorted by start time (uspace, null, kernel) *)
+  Alcotest.(check (list int)) "stack-ordered tids" [ 1; 2; 3 ]
+    (List.map (fun e -> get_int "tid" e) (by_ph "X"));
+  check_chrome_self_sums events;
+  match Obs.Json.of_string (Obs.Chrome.to_string records) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "chrome string does not parse: %s" e
+
+let test_chrome_from_session () =
+  with_obs (fun () ->
+      let _, status =
+        boot (fun () ->
+            Toolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||];
+            Toolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||];
+            Obs.reset ();
+            for _ = 1 to 3 do
+              ignore (Libc.Unistd.getpid ())
+            done;
+            Obs.disable ();
+            0)
+      in
+      check_exit "session" 0 status;
+      let events =
+        check_chrome_events
+          (Obs.Chrome.to_json ~name:Sysno.name (Obs.records ()))
+      in
+      check_chrome_self_sums events)
+
+(* --- rewrite flags -------------------------------------------------------- *)
+
+let test_rewrite_flag_timex_under_trace () =
+  with_obs (fun () ->
+      let _, status =
+        boot (fun () ->
+            (* timex below, trace on top (installed last = hit first):
+               the trace return event must see the rewrite the lower
+               layer performed *)
+            Toolkit.Loader.install
+              (Agents.Timex.create ~offset_seconds:3600 ())
+              ~argv:[||];
+            Toolkit.Loader.install (Agents.Trace.create ~fd:2 ()) ~argv:[||];
+            Obs.reset ();
+            ignore (Libc.Unistd.gettimeofday ());
+            ignore (Libc.Unistd.getpid ());
+            Obs.disable ();
+            0)
+      in
+      check_exit "session" 0 status;
+      let records = Obs.records () in
+      let segs =
+        List.filter_map
+          (function Obs.Span.Segment s -> Some s | _ -> None)
+          records
+      in
+      let layer_rewrites name =
+        List.fold_left
+          (fun acc s ->
+            if s.Obs.Span.layer = name then acc + s.Obs.Span.rewrites else acc)
+          0 segs
+      in
+      Alcotest.(check bool) "timex frame carries the rewrite" true
+        (layer_rewrites "timex" >= 1);
+      Alcotest.(check int) "trace frames rewrite nothing" 0
+        (layer_rewrites "trace");
+      (* untouched traps stay unflagged *)
+      List.iter
+        (fun s ->
+          if s.Obs.Span.sysno = Sysno.sys_getpid then
+            Alcotest.(check int) "getpid segments clean" 0 s.Obs.Span.rewrites)
+        segs;
+      let post name =
+        List.find_map
+          (function
+            | Obs.Span.Call c
+              when c.Obs.Span.c_name = name && c.Obs.Span.c_result <> None ->
+              Some c
+            | _ -> None)
+          records
+      in
+      (match post "gettimeofday" with
+       | Some c ->
+         Alcotest.(check bool) "gettimeofday return flagged" true
+           c.Obs.Span.c_rewrote;
+         let line = Obs.Span.call_line c in
+         let suffix = " [rewritten]" in
+         let n = String.length suffix and len = String.length line in
+         Alcotest.(check bool) "trace line marks the rewrite" true
+           (len >= n && String.sub line (len - n) n = suffix)
+       | None -> Alcotest.fail "no gettimeofday return event");
+      match post "getpid" with
+      | Some c ->
+        Alcotest.(check bool) "getpid return unflagged" false
+          c.Obs.Span.c_rewrote
+      | None -> Alcotest.fail "no getpid return event")
+
 (* --- disabled = off ------------------------------------------------------ *)
 
 let test_disabled_records_nothing () =
@@ -504,7 +882,9 @@ let () =
       ( "hist",
         [ Alcotest.test_case "bucket edges" `Quick test_hist_bucket_edges;
           Alcotest.test_case "observe" `Quick test_hist_observe;
-          qtest qcheck_hist_invariants ] );
+          Alcotest.test_case "quantile edges" `Quick test_hist_quantile_edges;
+          qtest qcheck_hist_invariants;
+          qtest qcheck_quantile_bounds ] );
       ( "json",
         [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
@@ -522,6 +902,18 @@ let () =
             test_exit_exec_spans_aborted;
           Alcotest.test_case "ring drops under load" `Quick
             test_ring_drop_counting_under_load ] );
+      ( "sampling",
+        [ qtest qcheck_sampler_ring_and_exact_counts;
+          Alcotest.test_case "estimates converge" `Quick
+            test_sampling_estimates_converge;
+          Alcotest.test_case "exact counts across rates" `Quick
+            test_sampling_exact_counts_across_rates ] );
+      ( "chrome",
+        [ Alcotest.test_case "export shape" `Quick test_chrome_export_shape;
+          Alcotest.test_case "session export" `Quick test_chrome_from_session ] );
+      ( "rewrites",
+        [ Alcotest.test_case "timex under trace" `Quick
+            test_rewrite_flag_timex_under_trace ] );
       ( "sinks",
         [ Alcotest.test_case "trace agent call records" `Quick
             test_trace_agent_records_calls;
