@@ -10,11 +10,15 @@ test:
 # (and the ablation tables it prints) cannot bit-rot silently.  The
 # `smoke` section exits nonzero if tracing-off getpid regresses >10%
 # against the recorded baseline, if per-layer attribution stops agreeing
-# with the global codec counters, or if BENCH_*.json is malformed.
+# with the global codec counters, or if BENCH_*.json is malformed.  The
+# `faults` section is the campaign gate: a site x errno sweep over
+# scribe and make where every run must classify, BENCH_faults.json must
+# validate, and the seeded failing case must replay byte-identically
+# from its repro bundle.
 check: all test bench-smoke
 
 bench-smoke:
-	dune exec bench/main.exe -- ablations smoke
+	dune exec bench/main.exe -- ablations faults smoke
 
 clean:
 	dune clean

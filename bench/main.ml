@@ -1337,6 +1337,296 @@ let smoke () =
     List.iter (fun f -> Printf.printf "[smoke] FAIL: %s\n" f) (List.rev fs);
     exit 1
 
+(* --- fault campaigns (ablation 8 and the `make check` gate) ----------------- *)
+
+(* Virtual cost of one injected-failed read, by differencing two
+   otherwise identical sessions under the same plan (open+close only
+   vs open+failed read+close). *)
+let injected_cost_probe () =
+  let session with_read =
+    let agent =
+      Agents.Faultinject.create_planned
+        [ Agents.Faultinject.site ~kth:1 Sysno.sys_read
+            (Agents.Faultinject.Fail Errno.EIO) ]
+    in
+    let k = fresh () in
+    Kernel.write_file k ~path:"/tmp/f" "data";
+    let _ =
+      Kernel.boot k ~name:"fault-cost" (fun () ->
+        Itoolkit.Loader.install agent ~argv:[||];
+        match Libc.Unistd.open_ "/tmp/f" 0 0 with
+        | Error _ -> 1
+        | Ok fd ->
+          (if with_read then
+             ignore (Libc.Unistd.read fd (Bytes.create 4) 4));
+          ignore (Libc.Unistd.close fd);
+          0)
+    in
+    Kernel.elapsed_seconds k *. 1e6
+  in
+  session true -. session false
+
+let outcome_count cases o =
+  List.length
+    (List.filter
+       (fun (c : Fault.Campaign.case) ->
+         c.c_run.Fault.Campaign.r_outcome = o)
+       cases)
+
+let validate_faults_json json =
+  let open Obs.Json in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let is_num v = to_number v <> None in
+  let is_int v = to_int v <> None in
+  let is_str v = to_str v <> None in
+  let is_bool v = match v with Bool _ -> true | _ -> false in
+  let require kind fields j =
+    List.fold_left
+      (fun acc (field, check) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          (match member field j with
+           | None -> err "%s: missing field %S" kind field
+           | Some v ->
+             if check v then Ok ()
+             else err "%s: field %S has wrong type" kind field))
+      (Ok ()) fields
+  in
+  match
+    require "document"
+      [ ("name", is_str); ("intercept_us", is_int);
+        ("injected_failed_read_us", is_num) ]
+      json
+  with
+  | Error _ as e -> e
+  | Ok () ->
+    (match member "workloads" json with
+     | None -> err "document: missing field \"workloads\""
+     | Some w ->
+       (match to_list w with
+        | None -> err "workloads: expected an array"
+        | Some items ->
+          let per_workload acc item =
+            match acc with
+            | Error _ -> acc
+            | Ok () ->
+              (match
+                 require "workload"
+                   [ ("workload", is_str); ("runs", is_int);
+                     ("tolerated", is_int); ("wrong_result", is_int);
+                     ("hang", is_int); ("crash", is_int) ]
+                   item
+               with
+               | Error _ as e -> e
+               | Ok () ->
+                 (match Option.bind (member "cases" item) to_list with
+                  | None -> err "workload: missing \"cases\" array"
+                  | Some cases ->
+                    List.fold_left
+                      (fun acc c ->
+                        match acc with
+                        | Error _ -> acc
+                        | Ok () ->
+                          require "case"
+                            [ ("site", is_str); ("outcome", is_str);
+                              ("detail", is_str); ("injected", is_int);
+                              ("restarted", is_int) ]
+                            c)
+                      (Ok ()) cases))
+          in
+          (match List.fold_left per_workload (Ok ()) items with
+           | Error _ as e -> e
+           | Ok () ->
+             (match member "repro" json with
+              | None -> err "document: missing field \"repro\""
+              | Some r ->
+                require "repro"
+                  [ ("workload", is_str); ("site", is_str);
+                    ("outcome", is_str); ("replay_ok", is_bool);
+                    ("desyncs", is_int) ]
+                  r))))
+
+let faults () =
+  Report.print_title
+    "Ablation 8: deterministic fault campaigns (site x errno sweep)";
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* 1. an injected failure must charge at least the interception it
+        rode in on: faults are not a free shortcut through the stack *)
+  let injected_us = injected_cost_probe () in
+  if injected_us < float_of_int Cost_model.intercept_us then
+    fail "injected failure charged %.0fus < intercept %dus" injected_us
+      Cost_model.intercept_us;
+  Printf.printf
+    "one injected-failed read costs %.0fus virtual (intercept %dus + \
+     dispatch; never cheaper than interception)\n"
+    injected_us Cost_model.intercept_us;
+  (* 2. sweep >=2 workloads x >=3 errnos, classify every run *)
+  let errnos = Fault.Campaign.default_errnos in
+  let results =
+    List.map
+      (fun w -> (w, Fault.Campaign.sweep ~errnos w))
+      [ Fault.Campaign.scribe; Fault.Campaign.make ]
+  in
+  Report.print_table
+    ~headers:
+      [ "workload"; "runs"; "tolerated"; "wrong-result"; "hang"; "crash" ]
+    (List.map
+       (fun ((w : Fault.Campaign.workload), (_, cases)) ->
+         let n = List.length cases in
+         let t = outcome_count cases Fault.Oracle.Tolerated in
+         let wr = outcome_count cases Fault.Oracle.Wrong_result in
+         let h = outcome_count cases Fault.Oracle.Hang in
+         let c = outcome_count cases Fault.Oracle.Crash in
+         if t + wr + h + c <> n then
+           fail "%s: %d of %d runs unclassified" w.Fault.Campaign.w_name
+             (n - t - wr - h - c) n;
+         if n < List.length errnos then
+           fail "%s: sweep found only %d runs" w.Fault.Campaign.w_name n;
+         [ w.Fault.Campaign.w_name; string_of_int n; string_of_int t;
+           string_of_int wr; string_of_int h; string_of_int c ])
+       results);
+  List.iter
+    (fun ((w : Fault.Campaign.workload), (_, cases)) ->
+      List.iter
+        (fun (c : Fault.Campaign.case) ->
+          if c.c_run.Fault.Campaign.r_outcome <> Fault.Oracle.Tolerated then
+            Printf.printf "  %s: %-30s %s (%s)\n" w.Fault.Campaign.w_name
+              (Fault.Plan.describe_site c.c_site)
+              (Fault.Oracle.outcome_name c.c_run.Fault.Campaign.r_outcome)
+              c.c_run.Fault.Campaign.r_detail)
+        cases)
+    results;
+  (* 3. the seeded failing case: shrink it, bundle it, and replay the
+        bundle byte-identically *)
+  let repro_json =
+    let _, scribe_cases = snd (List.hd results) in
+    match
+      List.find_opt
+        (fun (c : Fault.Campaign.case) ->
+          c.c_run.Fault.Campaign.r_outcome <> Fault.Oracle.Tolerated)
+        scribe_cases
+    with
+    | None ->
+      fail "scribe sweep produced no failing case to bundle";
+      Obs.Json.Null
+    | Some c ->
+      let w = Fault.Campaign.scribe in
+      let clean =
+        (Fault.Campaign.clean_run w).Fault.Campaign.r_report
+      in
+      let outcome = c.c_run.Fault.Campaign.r_outcome in
+      let shrunk =
+        Fault.Campaign.shrink w ~clean ~outcome
+          c.c_run.Fault.Campaign.r_sites
+      in
+      if List.length shrunk > List.length c.c_run.Fault.Campaign.r_sites
+      then fail "shrink grew the plan";
+      let b = Fault.Bundle.of_run ~workload:"scribe" c.c_run in
+      let replay_ok, desyncs =
+        match Fault.Bundle.of_string (Fault.Bundle.to_string b) with
+        | Error msg ->
+          fail "bundle did not parse back: %s" msg;
+          (false, 0)
+        | Ok b' ->
+          (match Fault.Bundle.replay b' with
+           | Error msg ->
+             fail "bundle replay refused: %s" msg;
+             (false, 0)
+           | Ok r ->
+             (match Fault.Bundle.verify b' r with
+              | Ok () -> (true, r.Fault.Campaign.r_desyncs)
+              | Error msg ->
+                fail "bundle replay not byte-identical: %s" msg;
+                (false, r.Fault.Campaign.r_desyncs)))
+      in
+      if replay_ok then
+        Printf.printf
+          "repro bundle: scribe under [%s] -> %s; replay from the bundle \
+           is byte-identical (%d desyncs)\n"
+          (Fault.Plan.describe_site c.c_site)
+          (Fault.Oracle.outcome_name outcome)
+          desyncs;
+      Obs.Json.(
+        Obj
+          [ ("workload", Str "scribe");
+            ("site", Str (Fault.Plan.describe_site c.c_site));
+            ("outcome", Str (Fault.Oracle.outcome_name outcome));
+            ("replay_ok", Bool replay_ok);
+            ("desyncs", Int desyncs) ])
+  in
+  (* 4. machine-readable companion, schema-validated on the spot *)
+  let open Obs.Json in
+  Report.write_json ~name:"faults"
+    (Obj
+       [ ("name", Str "faults");
+         ("intercept_us", Int Cost_model.intercept_us);
+         ("injected_failed_read_us", Float injected_us);
+         ( "workloads",
+           Arr
+             (List.map
+                (fun ((w : Fault.Campaign.workload), (_, cases)) ->
+                  Obj
+                    [ ("workload", Str w.Fault.Campaign.w_name);
+                      ("runs", Int (List.length cases));
+                      ( "tolerated",
+                        Int (outcome_count cases Fault.Oracle.Tolerated) );
+                      ( "wrong_result",
+                        Int (outcome_count cases Fault.Oracle.Wrong_result) );
+                      ("hang", Int (outcome_count cases Fault.Oracle.Hang));
+                      ("crash", Int (outcome_count cases Fault.Oracle.Crash));
+                      ( "cases",
+                        Arr
+                          (List.map
+                             (fun (c : Fault.Campaign.case) ->
+                               Obj
+                                 [ ( "site",
+                                     Str (Fault.Plan.describe_site c.c_site)
+                                   );
+                                   ( "outcome",
+                                     Str
+                                       (Fault.Oracle.outcome_name
+                                          c.c_run.Fault.Campaign.r_outcome)
+                                   );
+                                   ( "detail",
+                                     Str c.c_run.Fault.Campaign.r_detail );
+                                   ( "injected",
+                                     Int c.c_run.Fault.Campaign.r_injected
+                                   );
+                                   ( "restarted",
+                                     Int c.c_run.Fault.Campaign.r_restarted
+                                   ) ])
+                             cases) ) ])
+                results) );
+         ("repro", repro_json) ]);
+  (let path = "BENCH_faults.json" in
+   if not (Sys.file_exists path) then fail "%s: not written" path
+   else begin
+     let ic = open_in_bin path in
+     let content =
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> really_input_string ic (in_channel_length ic))
+     in
+     match of_string (String.trim content) with
+     | Error e -> fail "%s: malformed JSON: %s" path e
+     | Ok json ->
+       (match validate_faults_json json with
+        | Error e -> fail "%s: schema: %s" path e
+        | Ok () -> Printf.printf "[faults] %s: schema ok\n" path)
+   end);
+  Report.print_note
+    "Deterministic campaigns: injection sites come from an obs-profiled\n\
+     fault-free run, every site x errno run is classified by the\n\
+     divergence oracles, and each failure ships a repro bundle that\n\
+     replays byte-identically (DESIGN.md 3.5).";
+  match !failures with
+  | [] -> Printf.printf "[faults] all gates passed\n"
+  | fs ->
+    List.iter (fun f -> Printf.printf "[faults] FAIL: %s\n" f) (List.rev fs);
+    exit 1
+
 (* --- Bechamel wall-clock groups -------------------------------------------------------- *)
 
 let bechamel_tests () =
@@ -1443,6 +1733,7 @@ let sections =
     "table3.5", table3_5;
     "dfstrace", dfstrace;
     "ablations", ablations;
+    "faults", faults;
     "smoke", smoke;
     "wallclock", wallclock ]
 

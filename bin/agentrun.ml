@@ -121,21 +121,34 @@ let build_agent k (s : spec) :
       Buffer.contents b);
     (fun () -> install_plain agent), ignore
   | "faultinject" ->
-    let rate =
-      match float_of_string_opt arg with
-      | Some r when r >= 0.0 && r <= 1.0 -> r
-      | _ -> 0.1
-    in
-    let agent =
-      Agents.Faultinject.create
-        { Agents.Faultinject.default_config with failure_rate = rate }
-    in
-    (fun () -> install_plain agent),
-    (fun () ->
-       ignore
-         (Libc.Unistd.write 2
-            (Printf.sprintf "faultinject: %d fault(s) injected\n"
-               agent#total_injected)))
+    (* numeric arg = legacy random rate; anything else is a
+       deterministic plan spec ("read#3=fail:EIO;2@write=delay:500") *)
+    (match float_of_string_opt arg with
+     | Some r when r >= 0.0 && r <= 1.0 ->
+       let agent =
+         Agents.Faultinject.create
+           { Agents.Faultinject.default_config with failure_rate = r }
+       in
+       (fun () -> install_plain agent),
+       (fun () ->
+          ignore
+            (Libc.Unistd.write 2
+               (Printf.sprintf "faultinject: %d fault(s) injected\n"
+                  agent#total_injected)))
+     | Some _ | None ->
+       (match Fault.Plan.of_spec arg with
+        | Error msg ->
+          invalid_arg (Printf.sprintf "faultinject plan: %s" msg)
+        | Ok plan ->
+          let agent = Agents.Faultinject.create_planned plan in
+          (fun () -> install_plain agent),
+          (fun () ->
+             ignore
+               (Libc.Unistd.write 2
+                  (Printf.sprintf
+                     "faultinject: %d fault(s) injected, %d EINTR \
+                      restarted, %d delayed\n"
+                     agent#total_injected agent#restarted agent#delayed)))))
   | "dfs_trace" ->
     (fun () ->
        Toolkit.Loader.install (Agents.Dfs_trace.create ())
@@ -150,7 +163,7 @@ let known_agents =
   "null, timex[:OFFSET], trace[:FILE], syscount, union:/PT=/M1:/M2, \
    sandbox[:emulate], txn[:abort], crypt[:KEY@PATH], compress[:PATH], \
    remap, dfs_trace[:FILE], synthfs[:MOUNT], obs[:MOUNT], \
-   faultinject[:RATE]"
+   faultinject[:RATE|:PLAN]"
 
 (* --- filesystem setups -------------------------------------------------- *)
 
@@ -199,6 +212,8 @@ let print_metrics () =
     "[obs] %d span(s) completed, %d aborted (exit/exec), %d record(s) \
      dropped from the ring\n"
     m.Obs.m_spans m.Obs.m_aborted m.Obs.m_dropped;
+  if m.Obs.m_injected > 0 then
+    Printf.eprintf "[obs] %d fault(s) injected by agents\n" m.Obs.m_injected;
   if n > 1 then
     Printf.eprintf
       "[obs] sampling 1-in-%d: calls/errors are exact; histogram, \
@@ -240,9 +255,119 @@ let print_metrics () =
       m.Obs.m_layers
   end
 
+(* --- fault campaigns --------------------------------------------------------- *)
+
+let bundle_path dir workload i (o : Fault.Oracle.outcome) =
+  Filename.concat dir
+    (Printf.sprintf "repro-%s-%02d-%s.fault" workload i
+       (Fault.Oracle.outcome_name o))
+
+let run_campaign wname out_dir =
+  match Fault.Campaign.of_name wname with
+  | None ->
+    log_err "agentrun: --campaign: unknown workload %S (known: %s)\n" wname
+      (String.concat ", "
+         (List.map
+            (fun (w : Fault.Campaign.workload) -> w.Fault.Campaign.w_name)
+            Fault.Campaign.workloads));
+    2
+  | Some w ->
+    let baseline, cases = Fault.Campaign.sweep w in
+    Printf.printf
+      "[campaign] %s: baseline fault-free run ok, %d candidate site(s) \
+       discovered\n"
+      wname
+      (List.length
+         (Fault.Campaign.sites_from_profile
+            baseline.Fault.Campaign.b_profile
+            ~errnos:Fault.Campaign.default_errnos)
+      / List.length Fault.Campaign.default_errnos);
+    Printf.printf "[campaign] %-34s %-12s %s\n" "site" "outcome" "detail";
+    let tally = Hashtbl.create 4 in
+    let failing = ref [] in
+    List.iteri
+      (fun i (c : Fault.Campaign.case) ->
+        let o = c.c_run.Fault.Campaign.r_outcome in
+        Hashtbl.replace tally o
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tally o));
+        if o <> Fault.Oracle.Tolerated then failing := (i, c) :: !failing;
+        Printf.printf "[campaign] %-34s %-12s %s\n"
+          (Fault.Plan.describe_site c.c_site)
+          (Fault.Oracle.outcome_name o)
+          c.c_run.Fault.Campaign.r_detail)
+      cases;
+    let count o = Option.value ~default:0 (Hashtbl.find_opt tally o) in
+    Printf.printf
+      "[campaign] %d run(s): %d tolerated, %d wrong-result, %d hang, %d \
+       crash\n"
+      (List.length cases)
+      (count Fault.Oracle.Tolerated)
+      (count Fault.Oracle.Wrong_result)
+      (count Fault.Oracle.Hang) (count Fault.Oracle.Crash);
+    if !failing <> [] && not (Sys.file_exists out_dir) then
+      (try Sys.mkdir out_dir 0o755 with
+       | Sys_error msg -> log_err "agentrun: --campaign-out: %s\n" msg);
+    let write_errors = ref 0 in
+    List.iter
+      (fun (i, (c : Fault.Campaign.case)) ->
+        let b =
+          Fault.Bundle.of_run ~workload:wname c.c_run
+        in
+        let path =
+          bundle_path out_dir wname i c.c_run.Fault.Campaign.r_outcome
+        in
+        match write_host_file path (Fault.Bundle.to_string b) with
+        | () ->
+          Printf.printf "[campaign] repro bundle: %s (replay with --repro)\n"
+            path
+        | exception Sys_error msg ->
+          incr write_errors;
+          log_err "agentrun: --campaign-out: %s\n" msg)
+      (List.rev !failing);
+    if !write_errors > 0 then 1 else 0
+
+let run_repro path =
+  let text =
+    try Some (read_host_file path) with
+    | Sys_error msg ->
+      log_err "agentrun: --repro: %s\n" msg;
+      None
+  in
+  match text with
+  | None -> 2
+  | Some text ->
+    (match Fault.Bundle.of_string text with
+     | Error msg ->
+       log_err "agentrun: --repro: %s\n" msg;
+       2
+     | Ok b ->
+       Printf.printf "[repro] %s: %s under plan:\n" b.Fault.Bundle.b_workload
+         (Fault.Oracle.outcome_name b.Fault.Bundle.b_outcome);
+       List.iter
+         (fun s -> Printf.printf "[repro]   %s\n" (Fault.Plan.describe_site s))
+         b.Fault.Bundle.b_sites;
+       (match Fault.Bundle.replay b with
+        | Error msg ->
+          log_err "agentrun: --repro: %s\n" msg;
+          2
+        | Ok r ->
+          (match Fault.Bundle.verify b r with
+           | Ok () ->
+             Printf.printf
+               "[repro] reproduced: %s (%s), outputs byte-identical to the \
+                recorded run\n"
+               (Fault.Oracle.outcome_name r.Fault.Campaign.r_outcome)
+               r.Fault.Campaign.r_detail;
+             0
+           | Error msg ->
+             log_err "agentrun: --repro: NOT reproduced: %s\n" msg;
+             1)))
+
 let run agents setups stats feed record replay metrics trace_out trace_format
-    sample sample_seed prog_args =
+    sample sample_seed campaign campaign_out repro prog_args =
   match prog_args with
+  | _ when repro <> "" -> run_repro repro
+  | _ when campaign <> "" -> run_campaign campaign campaign_out
   | [] ->
     log_err "agentrun: no program given\n";
     2
@@ -449,6 +574,29 @@ let sample_seed_arg =
   in
   Arg.(value & opt int 0 & info [ "sample-seed" ] ~docv:"SEED" ~doc)
 
+let campaign_arg =
+  let doc =
+    "Run a deterministic fault-injection campaign over this workload \
+     (scribe, make, afs) instead of a program: discover injection \
+     sites from an obs-profiled fault-free run, sweep sites × errnos, \
+     classify every run (tolerated / wrong-result / hang / crash) \
+     against divergence oracles, and write a repro bundle for every \
+     failure."
+  in
+  Arg.(value & opt string "" & info [ "campaign" ] ~docv:"WORKLOAD" ~doc)
+
+let campaign_out_arg =
+  let doc = "Directory for the repro bundles a campaign emits." in
+  Arg.(value & opt string "." & info [ "campaign-out" ] ~docv:"DIR" ~doc)
+
+let repro_arg =
+  let doc =
+    "Replay a repro bundle written by --campaign and verify the \
+     recorded failure reproduces byte-identically (exit 0 when it \
+     does, 1 when it diverges)."
+  in
+  Arg.(value & opt string "" & info [ "repro" ] ~docv:"FILE" ~doc)
+
 let prog_arg =
   let doc = "Program and its arguments (searched in /bin)." in
   Arg.(value & pos_all string [] & info [] ~docv:"PROG" ~doc)
@@ -467,13 +615,17 @@ let cmd =
       `Pre
         "  agentrun -a trace -- ls -l /etc\n\
         \  agentrun --setup make-split -a union:/proj=/objdir:/srcdir --stats -- make\n\
-        \  agentrun -a sandbox:emulate -a syscount -- rm /etc/motd" ]
+        \  agentrun -a sandbox:emulate -a syscount -- rm /etc/motd\n\
+        \  agentrun -a faultinject:read#3=fail:EIO --setup scribe -- scribe ...\n\
+        \  agentrun --campaign scribe --campaign-out /tmp/bundles\n\
+        \  agentrun --repro /tmp/bundles/repro-scribe-04-wrong-result.fault" ]
   in
   Cmd.v
     (Cmd.info "agentrun" ~version:"1.0" ~doc ~man)
     Term.(
       const run $ agents_arg $ setup_arg $ stats_arg $ feed_arg
       $ record_arg $ replay_arg $ metrics_arg $ trace_out_arg
-      $ trace_format_arg $ sample_arg $ sample_seed_arg $ prog_arg)
+      $ trace_format_arg $ sample_arg $ sample_seed_arg $ campaign_arg
+      $ campaign_out_arg $ repro_arg $ prog_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -89,6 +89,11 @@ let name e =
   let _, _, s, _ = List.find (fun (e', _, _, _) -> e' = e) table in
   s
 
+let of_name s =
+  match List.find_opt (fun (_, _, s', _) -> s' = s) table with
+  | Some (e, _, _, _) -> Some e
+  | None -> None
+
 let message e =
   let _, _, _, m = List.find (fun (e', _, _, _) -> e' = e) table in
   m

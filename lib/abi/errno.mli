@@ -47,6 +47,10 @@ val of_int : int -> t option
 val name : t -> string
 (** Symbolic name, e.g. ["ENOENT"]. *)
 
+val of_name : string -> t option
+(** Inverse of {!name}; used by parsers of serialized fault plans and
+    repro bundles. *)
+
 val message : t -> string
 (** [strerror]-style description. *)
 

@@ -2,17 +2,51 @@
     paper's "monitoring and emulating schemes" (§1.4): make a program's
     environment hostile without touching the program or the kernel.
 
-    A deterministic PRNG decides, per intercepted call, whether to fail
-    it with a configured errno instead of performing it.  Only the
-    chosen call numbers are candidates; everything else passes through.
-    The injected failures are recorded, so a test can assert both that
-    faults were exercised and which calls absorbed them. *)
+    Two modes share the machinery:
+
+    - the original {!agent} flips a deterministic PRNG coin per
+      candidate call and fails it with a configured errno;
+    - the {!planned} agent executes a deterministic {e plan} of
+      injection {!site}s — fail the k-th matching call in pid P with
+      errno E, or add virtual latency — which is what the [lib/fault]
+      campaign driver sweeps, shrinks and replays.
+
+    Both honour the kernel's restart policy for injected [EINTR]
+    ([Kernel.Syscalls.restartable]): on a call the scheduler would
+    transparently re-issue, the injection becomes an invisible restart
+    and the call passes down; only sleepus-class calls surface a blind
+    EINTR.  Both charge the interception cost on the injected-error
+    path, so a faulted call is never cheaper than a successful one.
+    When [Obs] is enabled, every injection bumps the exact [injected]
+    metrics counter and drops a [~kind:"inject"] mark on the trap's
+    span. *)
+
+(** What to do to a matched call. *)
+type action =
+  | Fail of Abi.Errno.t  (** fail with this errno ([EINTR] routes
+                             through the restart policy) *)
+  | Delay of int         (** charge this much added virtual latency
+                             (µs, floored at the interception cost)
+                             and pass the call through *)
+
+(** One injection site of a plan. *)
+type site = {
+  s_pid : int;     (** only this pid; 0 = any process *)
+  s_num : int;     (** syscall number to match *)
+  s_kth : int;     (** fire on the k-th matching call (1-based);
+                       0 = every matching call *)
+  s_action : action;
+}
+
+val site : ?pid:int -> ?kth:int -> int -> action -> site
+(** [site ~pid ~kth num action]; [pid] and [kth] default to 0. *)
 
 type config = {
   seed : int;
   failure_rate : float;     (** probability per candidate call, 0..1 *)
   errno : Abi.Errno.t;      (** what the victim sees *)
-  candidates : int list;    (** syscall numbers eligible for injection *)
+  candidates : int list;    (** syscall numbers eligible for injection;
+                                duplicates are absorbed *)
 }
 
 val default_config : config
@@ -22,9 +56,36 @@ class agent : config -> object
   inherit Toolkit.numeric_syscall
 
   method injected : (int * int) list
-  (** (syscall number, count) of faults injected so far. *)
+  (** (syscall number, count) of faults surfaced so far. *)
 
   method total_injected : int
+
+  method restarted : int
+  (** Injected [EINTR]s the restart policy absorbed (the call was
+      re-issued instead of failed). *)
 end
 
 val create : config -> agent
+
+class planned : plan:site list -> object
+  inherit Toolkit.numeric_syscall
+
+  method plan : site list
+
+  method injected : (int * int) list
+  (** (syscall number, count) of faults surfaced so far. *)
+
+  method total_injected : int
+
+  method restarted : int
+  (** Injected [EINTR]s the restart policy absorbed. *)
+
+  method delayed : int
+  (** [Delay] sites that fired. *)
+
+  method matches : (int * int) list
+  (** Per-site (index in plan order, matching calls seen) —
+      the ordinal bookkeeping behind [s_kth]. *)
+end
+
+val create_planned : site list -> planned

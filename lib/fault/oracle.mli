@@ -1,0 +1,46 @@
+(** Divergence oracles: everything a finished (possibly faulted)
+    session is checked against, and the total classification of the
+    result.
+
+    A {!report} snapshots the kernel after [boot] returned: pid 1's
+    wait status, the deadlock-kill count, the VFS invariant scan
+    ([Vfs.Fs.fsck]), outstanding open-file references, unreaped
+    processes, the workload's output artifact and the console.
+    {!classify} compares it with the fault-free run's report and
+    assigns exactly one outcome class. *)
+
+type report = {
+  status : int;              (** pid 1 wait status *)
+  deadlocks : int;           (** stragglers killed by the scheduler *)
+  fsck_errors : string list; (** structural VFS invariant violations *)
+  open_refs : int;           (** open-file references still held *)
+  unreaped : int;            (** zombies nobody waited for (pid 1's own
+                                 zombie excluded) + anything still
+                                 live *)
+  output : string;           (** the workload's output artifact ("" if
+                                 absent) *)
+  console : string;
+  virtual_s : float;
+  syscalls : int;
+}
+
+type outcome =
+  | Tolerated     (** fault absorbed, or detected and cleanly reported *)
+  | Wrong_result  (** claims success but diverges: output differs, VFS
+                      invariants broken, leaked refs, unreaped
+                      children *)
+  | Hang          (** the scheduler had to kill deadlocked processes *)
+  | Crash         (** killed by a signal / abnormal status *)
+
+val outcome_name : outcome -> string
+(** ["tolerated"] / ["wrong-result"] / ["hang"] / ["crash"]. *)
+
+val outcome_of_name : string -> outcome option
+
+val observe : Kernel.t -> status:int -> output_path:string -> report
+(** Snapshot the oracles after a session on [k] ended with [status]. *)
+
+val classify : clean:report -> report -> outcome * string
+(** Total: every report gets exactly one class, most severe first
+    (hang, crash, wrong-result, tolerated), plus a human detail
+    line. *)

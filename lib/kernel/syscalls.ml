@@ -848,3 +848,20 @@ let dispatch t (p : Proc.t) (call : Call.t) : outcome =
          done_ret (String.length path)
        end
      | None -> fail Errno.ENOENT)
+
+(* --- restart policy --------------------------------------------------------- *)
+
+(* The scheduler's own interruption handling is BSD restart semantics:
+   a parked call is simply re-dispatched, so the application never sees
+   a spurious EINTR from a call that would have completed.  The calls
+   below are the exceptions — time-bounded or one-shot waits where a
+   blind re-issue would change meaning (sleepus is resumed directly by
+   its timer; select and sigsuspend wait for a condition whose window
+   an interruption legitimately ends).  Agents that inject EINTR must
+   consult this policy so an injected interruption is no more visible
+   than a real one. *)
+let restartable num =
+  not
+    (num = Abi.Sysno.sys_sleepus
+     || num = Abi.Sysno.sys_select
+     || num = Abi.Sysno.sys_sigsuspend)

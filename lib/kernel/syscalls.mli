@@ -7,3 +7,14 @@
     resumed directly by the timer instead). *)
 
 val dispatch : Kstate.t -> Proc.t -> Abi.Call.t -> Kstate.outcome
+
+val restartable : int -> bool
+(** The restart policy itself, as a predicate on syscall numbers:
+    [true] for the calls an interruption transparently re-issues
+    (read, write, wait4, ...), [false] for the [sleepus]-class calls
+    (sleepus, select, sigsuspend) where a blind restart would be wrong
+    and EINTR may legitimately surface.  Fault-injection agents route
+    injected [EINTR] through this predicate: on a restartable call the
+    injected interruption becomes an invisible restart (the call is
+    re-issued down the stack), exactly as the kernel itself would
+    behave. *)

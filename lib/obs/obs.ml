@@ -134,6 +134,13 @@ let layer_agg_for key =
 let completed = ref 0
 let aborted = ref 0
 
+(* Faults deliberately injected by agents (faultinject and friends):
+   counted exactly whenever the engine is on, independent of the
+   sampler — an injected fault is an event of record, not a latency
+   sample. *)
+let injected = ref 0
+let note_injected () = if !on then incr injected
+
 let reset () =
   Hashtbl.reset spans;
   Hashtbl.reset open_by_pid;
@@ -142,6 +149,7 @@ let reset () =
   next_span := 0;
   completed := 0;
   aborted := 0;
+  injected := 0;
   (* keep the configured rate but restart the decision stream, so a
      reset window replays the same sampling choices *)
   sample_rng := Sim.Rng.create !sample_seed;
@@ -400,6 +408,7 @@ type layer_metrics = {
 type metrics = {
   m_spans : int;
   m_aborted : int;
+  m_injected : int;
   m_open : int;
   m_dropped : int;
   m_sample_n : int;
@@ -431,6 +440,7 @@ let metrics () =
   {
     m_spans = !completed;
     m_aborted = !aborted;
+    m_injected = !injected;
     m_open = Hashtbl.length spans;
     m_dropped = Ring.dropped !ring;
     m_sample_n = !sample_n;
@@ -475,6 +485,7 @@ let metrics_to_json ?(name = fun n -> Printf.sprintf "syscall#%d" n) (m : metric
     ([
        ("spans", Json.Int m.m_spans);
        ("aborted", Json.Int m.m_aborted);
+       ("injected", Json.Int m.m_injected);
        ("open", Json.Int m.m_open);
        ("dropped", Json.Int m.m_dropped);
        ("sample_n", Json.Int m.m_sample_n);

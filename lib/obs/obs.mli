@@ -144,7 +144,16 @@ val record_call : Span.call -> unit
 val record_mark : ?span:int -> ?pid:int -> kind:string -> detail:string -> unit -> unit
 (** Append a point event to the ring (no-op when disabled); [pid]
     defaults to the context hook's current process.  Used for signal
-    deliveries; span aborts push their own mark. *)
+    deliveries and injected-fault instants; span aborts push their own
+    mark. *)
+
+val note_injected : unit -> unit
+(** An agent deliberately injected a fault into the current trap.
+    Counted exactly whenever the engine is enabled (the sampler does
+    not apply — an injected fault is an event of record, not a latency
+    sample); reported as [m_injected] / the ["injected"] metrics
+    field.  Fault agents pair this with a {!record_mark}
+    [~kind:"inject"] instant on the trap's span. *)
 
 (** {1 Reading the flight recorder} *)
 
@@ -184,6 +193,8 @@ type layer_metrics = {
 type metrics = {
   m_spans : int;    (** sampled spans completed normally *)
   m_aborted : int;  (** sampled spans force-closed by exit/exec *)
+  m_injected : int; (** faults injected by agents ({!note_injected}) —
+                        {e exact} at any sampling rate *)
   m_open : int;     (** spans still open at snapshot time *)
   m_dropped : int;  (** ring records overwritten before draining *)
   m_sample_n : int; (** 1-in-N rate the sampled figures cover *)

@@ -983,6 +983,61 @@ let test_record_replay_multiprocess () =
     (Kernel.console_output k2);
   Alcotest.(check int) "no desyncs" 0 replayer#desyncs
 
+let test_record_replay_fork_desync () =
+  (* regression: journals are keyed by pid.  A replayed run that forks
+     a DIFFERENT number of children must count desyncs for the extra
+     process (served EIO), never feed it another pid's journal. *)
+  let reader tag =
+    (match Libc.Stdio.read_file "/tmp/input" with
+     | Ok c -> Libc.Stdio.printf "%s:%s" tag c
+     | Error e -> Libc.Stdio.printf "%s:err=%s" tag (Errno.name e));
+    0
+  in
+  let spawn_readers n () =
+    let pids =
+      List.init n (fun i ->
+          check_ok "fork"
+            (Libc.Unistd.fork ~child:(fun () ->
+                 reader (Printf.sprintf "c%d" i))))
+    in
+    List.iter
+      (fun pid -> ignore (check_ok "wait" (Libc.Unistd.waitpid pid 0)))
+      pids;
+    0
+  in
+  let recorder = Agents.Record_replay.create_recorder () in
+  let k1 = fresh_kernel () in
+  write_file k1 ~path:"/tmp/input" "one\n";
+  let _ =
+    boot_k k1 (fun () ->
+      Toolkit.Loader.install recorder ~argv:[||];
+      spawn_readers 1 ())
+  in
+  let replayer =
+    Agents.Record_replay.create_replayer ~journal:recorder#journal
+  in
+  let k2 = fresh_kernel () in
+  write_file k2 ~path:"/tmp/input" "two\n";
+  let _ =
+    boot_k k2 (fun () ->
+      Toolkit.Loader.install replayer ~argv:[||];
+      spawn_readers 2 ())
+  in
+  let console = Kernel.console_output k2 in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh
+                   && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "first child pinned to the recording" true
+    (contains console "c0:one");
+  Alcotest.(check bool) "extra child not fed another pid's journal" true
+    (not (contains console "c1:one") && not (contains console "c1:two"));
+  Alcotest.(check bool) "extra child sees the desync error" true
+    (contains console "c1:err=EIO");
+  Alcotest.(check bool) "desyncs counted" true (replayer#desyncs > 0)
+
 (* --- fault injection --------------------------------------------------------------- *)
 
 let test_faultinject_zero_rate_transparent () =
@@ -1153,7 +1208,9 @@ let () =
         Alcotest.test_case "detects divergence" `Quick
           test_replay_detects_divergence;
         Alcotest.test_case "multi-process" `Quick
-          test_record_replay_multiprocess ];
+          test_record_replay_multiprocess;
+        Alcotest.test_case "fork-count desync" `Quick
+          test_record_replay_fork_desync ];
       "synthfs",
       [ Alcotest.test_case "generated content" `Quick
           test_synthfs_reads_generated;
