@@ -1,4 +1,4 @@
-.PHONY: all check test bench-smoke clean
+.PHONY: all check test lint-globals bench-smoke clean
 
 all:
 	dune build @all
@@ -14,11 +14,21 @@ test:
 # `faults` section is the campaign gate: a site x errno sweep over
 # scribe and make where every run must classify, BENCH_faults.json must
 # validate, and the seeded failing case must replay byte-identically
-# from its repro bundle.
-check: all test bench-smoke
+# from its repro bundle.  The `scale` section is the sharding gate:
+# 1/2/4/8 kernel shards over 2048 mixed-syscall processes must balance,
+# reproduce byte-identically, and keep the 1-shard stacked-getpid
+# baseline (DESIGN.md 3.6); BENCH_scale.json must validate.
+check: all test lint-globals bench-smoke
+
+# No new module-level mutable state in lib/ outside the shard handle:
+# everything a kernel owns lives in the Kstate record, and the only
+# allowed globals are the allowlisted installed-instance cells
+# (tools/globals_allowlist.txt).
+lint-globals:
+	tools/lint_globals.sh
 
 bench-smoke:
-	dune exec bench/main.exe -- ablations faults smoke
+	dune exec bench/main.exe -- ablations faults smoke scale
 
 clean:
 	dune clean

@@ -240,7 +240,7 @@ let measure_virtual ?(iters = 200) ~with_agent ~prepare op =
     Kernel.write_file k ~path:"/m/big" (String.make ((iters + 2) * 1024) 'd');
     Kernel.mkdir_p k "/usr/lib/pkg/deep/sub";
     Kernel.write_file k ~path:"/usr/lib/pkg/deep/sub/leaf" "x";
-    Kernel.Registry.register "btrue" (fun ~argv:_ ~envp:_ () -> 0);
+    Kernel.register_image k "btrue" (fun ~argv:_ ~envp:_ () -> 0);
     Kernel.install_image k ~path:"/bin/btrue" ~image:"btrue";
     let _ =
       Kernel.boot k ~name:"micro" (fun () ->
@@ -488,18 +488,18 @@ let stack_cost depth =
 let stack_codec depth =
   let iters = 50 in
   let k = fresh () in
-  let before = ref (Kernel.codec_stats ()) in
+  let before = ref (Kernel.codec_stats k) in
   let after = ref !before in
   let _ =
     Kernel.boot k ~name:"codec" (fun () ->
       for _ = 1 to depth do
         Itoolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||]
       done;
-      before := Kernel.codec_stats ();
+      before := Kernel.codec_stats k;
       for _ = 1 to iters do
         ignore (Libc.Unistd.getpid ())
       done;
-      after := Kernel.codec_stats ();
+      after := Kernel.codec_stats k;
       0)
   in
   let d = Envelope.Stats.diff !before !after in
@@ -517,7 +517,7 @@ type attrib = {
 let stack_attrib depth =
   let iters = 50 in
   let k = fresh () in
-  let before = ref (Kernel.codec_stats ()) in
+  let before = ref (Kernel.codec_stats k) in
   let after = ref !before in
   Obs.reset ();
   let _ =
@@ -526,15 +526,15 @@ let stack_attrib depth =
         Itoolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||]
       done;
       Obs.enable ();
-      before := Kernel.codec_stats ();
+      before := Kernel.codec_stats k;
       for _ = 1 to iters do
         ignore (Libc.Unistd.getpid ())
       done;
-      after := Kernel.codec_stats ();
+      after := Kernel.codec_stats k;
       Obs.disable ();
       0)
   in
-  let m = Kernel.metrics () in
+  let m = Kernel.metrics k in
   { at_iters = iters;
     at_metrics = m;
     at_codec = Envelope.Stats.diff !before !after }
@@ -599,8 +599,8 @@ let alloc_probe depth =
       for _ = 1 to 64 do
         ignore (Libc.Unistd.getpid ())
       done;
-      let p0 = Kernel.pool_stats () in
-      let c0 = Kernel.codec_stats () in
+      let p0 = Kernel.pool_stats k in
+      let c0 = Kernel.codec_stats k in
       let m0 = Gc.minor_words () in
       for _ = 1 to iters do
         ignore (Libc.Unistd.getpid ())
@@ -610,8 +610,8 @@ let alloc_probe depth =
         Some
           { al_iters = iters;
             al_minor_words_per_trap = (m1 -. m0) /. float_of_int iters;
-            al_pool = Value.Pool.Stats.diff p0 (Kernel.pool_stats ());
-            al_codec = Envelope.Stats.diff c0 (Kernel.codec_stats ()) };
+            al_pool = Value.Pool.Stats.diff p0 (Kernel.pool_stats k);
+            al_codec = Envelope.Stats.diff c0 (Kernel.codec_stats k) };
       0)
   in
   match !report with
@@ -1723,6 +1723,258 @@ let wallclock () =
     ~headers:[ "benchmark"; "wall time / run" ]
     (List.sort compare !rows)
 
+(* --- scale: N deterministic shards (DESIGN.md 3.6 and the `make check` gate) --- *)
+
+(* Total forked processes across the cluster; split evenly, so every
+   shard runs the identical workload and the balance check measures the
+   sharding itself, not an uneven offered load. *)
+let scale_total_procs = 2048
+
+(* One child's mixed-traffic life: create/write/read/stat/unlink a
+   private file plus a burst of getpids -- path, descriptor and
+   null-trap traffic in one body. *)
+let scale_child shard j () =
+  let path = Printf.sprintf "/tmp/s%d_p%d" shard j in
+  (match
+     Libc.Unistd.open_ path
+       Flags.Open.(o_wronly lor o_creat lor o_trunc)
+       0o644
+   with
+   | Ok fd ->
+     ignore (Libc.Unistd.write fd "mixed traffic");
+     ignore (Libc.Unistd.close fd)
+   | Error _ -> ());
+  (match Libc.Unistd.open_ path 0 0 with
+   | Ok fd ->
+     let buf = Bytes.create 16 in
+     ignore (Libc.Unistd.read fd buf 16);
+     ignore (Libc.Unistd.close fd)
+   | Error _ -> ());
+  ignore (Libc.Unistd.stat path);
+  ignore (Libc.Unistd.unlink path);
+  for _ = 1 to 8 do
+    ignore (Libc.Unistd.getpid ())
+  done;
+  0
+
+(* The shard's init: fork the children in reap-bounded batches so the
+   live process count stays modest even with 2048 procs on one shard. *)
+let scale_init shard procs () =
+  let batch = 32 in
+  let spawned = ref 0 in
+  while !spawned < procs do
+    let this = min batch (procs - !spawned) in
+    for b = 1 to this do
+      match Libc.Unistd.fork ~child:(scale_child shard (!spawned + b)) with
+      | Ok _ -> ()
+      | Error e -> failwith (Printf.sprintf "scale fork: %s" (Errno.name e))
+    done;
+    for _ = 1 to this do
+      ignore (Libc.Unistd.wait ())
+    done;
+    spawned := !spawned + this
+  done;
+  0
+
+type scale_obs = {
+  so_traps : int list;      (* per-shard syscall counts at quiescence *)
+  so_virtual_us : int list; (* per-shard virtual clocks at quiescence *)
+  so_wall_s : float;
+  so_status : int list;     (* per-shard init wait status *)
+}
+
+let scale_once n =
+  let per = scale_total_procs / n in
+  let c = Kernel.Cluster.create ~shards:n () in
+  for i = 0 to n - 1 do
+    Kernel.populate_standard (Kernel.Cluster.shard c i)
+  done;
+  let inits =
+    List.init n (fun i ->
+      Kernel.Cluster.boot_shard c i
+        ~name:(Printf.sprintf "init%d" i)
+        (scale_init i per))
+  in
+  let t0 = Unix.gettimeofday () in
+  Kernel.Cluster.run c;
+  let wall = Unix.gettimeofday () -. t0 in
+  let shardl = List.init n (Kernel.Cluster.shard c) in
+  { so_traps = List.map Kernel.total_syscalls shardl;
+    so_virtual_us = List.map (fun k -> Sim.Clock.now_us (Kernel.clock k)) shardl;
+    so_wall_s = wall;
+    so_status =
+      List.map (fun (p : Kernel.Proc.t) -> p.Kernel.Proc.exit_status) inits }
+
+let validate_scale_json json =
+  let open Obs.Json in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let is_num v = to_number v <> None in
+  let is_int v = to_int v <> None in
+  let is_str v = to_str v <> None in
+  let is_bool v = to_bool v <> None in
+  let is_int_arr v =
+    match to_list v with
+    | Some l -> l <> [] && List.for_all is_int l
+    | None -> false
+  in
+  let require kind fields j =
+    List.fold_left
+      (fun acc (field, check) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          (match member field j with
+           | None -> err "%s: missing field %S" kind field
+           | Some v ->
+             if check v then Ok ()
+             else err "%s: field %S has wrong type" kind field))
+      (Ok ()) fields
+  in
+  match
+    require "document"
+      [ ("name", is_str); ("total_procs", is_int) ]
+      json
+  with
+  | Error _ as e -> e
+  | Ok () ->
+    (match member "stacked_getpid_us" json with
+     | Some v
+       when (match to_list v with
+             | Some l -> List.length l = 5 && List.for_all is_num l
+             | None -> false) ->
+       (match member "runs" json with
+        | None -> err "document: missing field \"runs\""
+        | Some runs ->
+          (match to_list runs with
+           | None -> err "runs: expected an array"
+           | Some items ->
+             List.fold_left
+               (fun acc item ->
+                 match acc with
+                 | Error _ -> acc
+                 | Ok () ->
+                   require "runs"
+                     [ ("shards", is_int); ("wall_s", is_num);
+                       ("traps", is_int); ("traps_per_sec", is_num);
+                       ("per_shard_traps", is_int_arr);
+                       ("per_shard_virtual_us", is_int_arr);
+                       ("balance_dev", is_num); ("reproducible", is_bool) ]
+                     item)
+               (Ok ()) items))
+     | Some _ -> err "stacked_getpid_us: want 5 numbers"
+     | None -> err "document: missing field \"stacked_getpid_us\"")
+
+let scale () =
+  Report.print_title
+    "Scale: deterministic shards (1/2/4/8), mixed traffic over 2048 procs";
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* 1-shard perf anchor: the de-globalized trap path must still sit on
+     the recorded stacked-getpid baseline (same gate as `smoke`). *)
+  let anchor =
+    List.map
+      (fun (d, expect) ->
+        let got = stack_cost d in
+        let drift =
+          if expect > 0.0 then abs_float (got -. expect) /. expect else 0.0
+        in
+        if drift > 0.10 then
+          fail "anchor depth %d: getpid %.0fus drifted >10%% from %.0fus" d
+            got expect;
+        got)
+      smoke_baseline_us
+  in
+  let runs =
+    List.map
+      (fun n ->
+        let a = scale_once n in
+        let b = scale_once n in
+        let reproducible =
+          a.so_traps = b.so_traps && a.so_virtual_us = b.so_virtual_us
+        in
+        if not reproducible then
+          fail "%d shards: two identical runs diverged (traps [%s] vs [%s])"
+            n
+            (String.concat ";" (List.map string_of_int a.so_traps))
+            (String.concat ";" (List.map string_of_int b.so_traps));
+        List.iteri
+          (fun i st ->
+            if st <> 0 then fail "%d shards: shard %d init status %d" n i st)
+          a.so_status;
+        let total = List.fold_left ( + ) 0 a.so_traps in
+        let mean = float_of_int total /. float_of_int n in
+        let dev =
+          List.fold_left
+            (fun acc t -> Float.max acc (abs_float (float_of_int t -. mean) /. mean))
+            0.0 a.so_traps
+        in
+        if dev > 0.25 then
+          fail "%d shards: trap balance off by %.0f%% (>25%%)" n (100. *. dev);
+        (n, a, total, dev, reproducible))
+      [ 1; 2; 4; 8 ]
+  in
+  Report.print_table
+    ~headers:
+      [ "shards"; "procs"; "traps"; "traps/sec (wall)"; "balance dev";
+        "reproducible" ]
+    (List.map
+       (fun (n, a, total, dev, repro) ->
+         [ string_of_int n; string_of_int scale_total_procs;
+           string_of_int total;
+           Printf.sprintf "%.0f" (float_of_int total /. a.so_wall_s);
+           Printf.sprintf "%.1f%%" (100. *. dev);
+           (if repro then "yes" else "NO") ])
+       runs);
+  let open Obs.Json in
+  Report.write_json ~name:"scale"
+    (Obj
+       [ ("name", Str "scale");
+         ("total_procs", Int scale_total_procs);
+         ("stacked_getpid_us", Arr (List.map (fun g -> Float g) anchor));
+         ( "runs",
+           Arr
+             (List.map
+                (fun (n, a, total, dev, repro) ->
+                  Obj
+                    [ ("shards", Int n);
+                      ("wall_s", Float a.so_wall_s);
+                      ("traps", Int total);
+                      ( "traps_per_sec",
+                        Float (float_of_int total /. a.so_wall_s) );
+                      ( "per_shard_traps",
+                        Arr (List.map (fun t -> Int t) a.so_traps) );
+                      ( "per_shard_virtual_us",
+                        Arr (List.map (fun t -> Int t) a.so_virtual_us) );
+                      ("balance_dev", Float dev);
+                      ("reproducible", Bool repro) ])
+                runs) ) ]);
+  (let path = "BENCH_scale.json" in
+   if not (Sys.file_exists path) then fail "%s: not written" path
+   else begin
+     let ic = open_in_bin path in
+     let content =
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> really_input_string ic (in_channel_length ic))
+     in
+     match of_string (String.trim content) with
+     | Error e -> fail "%s: malformed JSON: %s" path e
+     | Ok json ->
+       (match validate_scale_json json with
+        | Error e -> fail "%s: schema: %s" path e
+        | Ok () -> Printf.printf "[scale] %s: schema ok\n" path)
+   end);
+  Report.print_note
+    "Each shard is a kernel handle owning its clock, proc table, registry,\n\
+     obs engine and counters (DESIGN.md 3.6); the cluster steps shards\n\
+     round-robin over a shared virtual horizon, so the same seed gives\n\
+     byte-identical per-shard clocks and trap counts every run.";
+  match !failures with
+  | [] -> Printf.printf "[scale] all gates passed\n"
+  | fs ->
+    List.iter (fun f -> Printf.printf "[scale] FAIL: %s\n" f) (List.rev fs);
+    exit 1
+
 (* --- driver -------------------------------------------------------------------------------- *)
 
 let sections =
@@ -1735,6 +1987,7 @@ let sections =
     "ablations", ablations;
     "faults", faults;
     "smoke", smoke;
+    "scale", scale;
     "wallclock", wallclock ]
 
 let () =
@@ -1751,8 +2004,10 @@ let () =
           !n')
         names
     | _ ->
-      (* `smoke` is a CI guard, not a report: only on request *)
-      List.filter (fun n -> n <> "smoke") (List.map fst sections)
+      (* `smoke` and `scale` are CI guards, not reports: only on request *)
+      List.filter
+        (fun n -> n <> "smoke" && n <> "scale")
+        (List.map fst sections)
   in
   Printf.printf
     "Interposition Agents (Jones, SOSP '93) -- benchmark reproduction\n";

@@ -205,8 +205,8 @@ let write_host_file path content =
 
 (* --- observability reporting ----------------------------------------------- *)
 
-let print_metrics () =
-  let m = Kernel.metrics () in
+let print_metrics k =
+  let m = Kernel.metrics k in
   let n = m.Obs.m_sample_n in
   Printf.eprintf
     "[obs] %d span(s) completed, %d aborted (exit/exec), %d record(s) \
@@ -385,8 +385,8 @@ let run agents setups stats feed record replay metrics trace_out trace_format
     let k = Kernel.create () in
     Kernel.populate_standard k;
     Workloads.Progs.install_all k;
-    Workloads.Scribe.register ();
-    Workloads.Make_cc.register ();
+    Workloads.Scribe.register k;
+    Workloads.Make_cc.register k;
     (try List.iter (apply_setup k) ("demo" :: setups) with
      | Invalid_argument msg ->
        log_err "agentrun: %s\n" msg;
@@ -467,7 +467,7 @@ let run agents setups stats feed record replay metrics trace_out trace_format
     if observing then begin
       Obs.disable ();
       if trace_out <> "" then begin
-        let records = Kernel.drain_obs () in
+        let records = Kernel.drain_obs k in
         let rendered =
           match trace_format with
           | "chrome" ->
@@ -484,7 +484,7 @@ let run agents setups stats feed record replay metrics trace_out trace_format
           Printf.eprintf "[agentrun] wrote %d span record(s) to %s (%s)\n"
             (List.length records) trace_out trace_format
       end;
-      if metrics then print_metrics ()
+      if metrics then print_metrics k
     end;
     if stats then
       Printf.eprintf

@@ -30,7 +30,7 @@ let run title with_agent =
   Printf.printf "\n== %s ==\n" title;
   let k = Kernel.create () in
   Kernel.populate_standard k;
-  Kernel.Registry.register "vosprog" vos_program;
+  Kernel.register_image k "vosprog" vos_program;
   Kernel.install_image k ~path:"/bin/vosprog" ~image:"vosprog";
   let agent = Agents.Remap.create () in
   let status =

@@ -37,7 +37,7 @@ let run_with title policy =
   let k = Kernel.create () in
   Kernel.populate_standard k;
   Kernel.write_file k ~path:"/etc/passwd" "root:*:0:0::/:/bin/sh\n";
-  Kernel.Registry.register "malware" malware;
+  Kernel.register_image k "malware" malware;
   Kernel.install_image k ~path:"/tmp/malware" ~image:"malware";
   let agent = Agents.Sandbox.create policy in
   let status =

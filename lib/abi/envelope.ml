@@ -12,33 +12,50 @@ module Stats = struct
     agent_calls : int;
   }
 
-  let traps = ref 0
-  let intercepted = ref 0
-  let fast_path = ref 0
-  let decodes = ref 0
-  let encodes = ref 0
-  let crossings = ref 0
-  let agent_calls = ref 0
+  (* The live counter set of one kernel shard (DESIGN.md §3.6).  The
+     shard installs its set on entry; envelopes bump whichever set is
+     installed.  A default set exists from program start so envelopes
+     work outside any kernel. *)
+  type t = {
+    mutable c_traps : int;
+    mutable c_intercepted : int;
+    mutable c_fast_path : int;
+    mutable c_decodes : int;
+    mutable c_encodes : int;
+    mutable c_crossings : int;
+    mutable c_agent_calls : int;
+  }
 
-  let snapshot () =
+  let create () =
+    { c_traps = 0; c_intercepted = 0; c_fast_path = 0; c_decodes = 0;
+      c_encodes = 0; c_crossings = 0; c_agent_calls = 0 }
+
+  let cur : t ref = ref (create ())
+  let install c = cur := c
+  let installed () = !cur
+
+  let snapshot_of c =
     {
-      traps = !traps;
-      intercepted = !intercepted;
-      fast_path = !fast_path;
-      decodes = !decodes;
-      encodes = !encodes;
-      crossings = !crossings;
-      agent_calls = !agent_calls;
+      traps = c.c_traps;
+      intercepted = c.c_intercepted;
+      fast_path = c.c_fast_path;
+      decodes = c.c_decodes;
+      encodes = c.c_encodes;
+      crossings = c.c_crossings;
+      agent_calls = c.c_agent_calls;
     }
 
-  let reset () =
-    traps := 0;
-    intercepted := 0;
-    fast_path := 0;
-    decodes := 0;
-    encodes := 0;
-    crossings := 0;
-    agent_calls := 0
+  let reset_of c =
+    c.c_traps <- 0;
+    c.c_intercepted <- 0;
+    c.c_fast_path <- 0;
+    c.c_decodes <- 0;
+    c.c_encodes <- 0;
+    c.c_crossings <- 0;
+    c.c_agent_calls <- 0
+
+  let snapshot () = snapshot_of !cur
+  let reset () = reset_of !cur
 
   let diff before after =
     {
@@ -71,15 +88,30 @@ module Stats = struct
       ]
 
   let note_trap ~intercepted:hit =
-    incr traps;
-    if hit then incr intercepted
+    let c = !cur in
+    c.c_traps <- c.c_traps + 1;
+    if hit then c.c_intercepted <- c.c_intercepted + 1
 
   let note_trap_fast () =
-    incr traps;
-    incr fast_path
+    let c = !cur in
+    c.c_traps <- c.c_traps + 1;
+    c.c_fast_path <- c.c_fast_path + 1
 
-  let note_crossing () = incr crossings
-  let note_agent_call () = incr agent_calls
+  let note_crossing () =
+    let c = !cur in
+    c.c_crossings <- c.c_crossings + 1
+
+  let note_agent_call () =
+    let c = !cur in
+    c.c_agent_calls <- c.c_agent_calls + 1
+
+  let note_decode () =
+    let c = !cur in
+    c.c_decodes <- c.c_decodes + 1
+
+  let note_encode () =
+    let c = !cur in
+    c.c_encodes <- c.c_encodes + 1
 end
 
 type view =
@@ -120,7 +152,7 @@ let at_boundary ?pool c =
      the wire record comes off the caller's free list when one is
      available; [release] sends it back after the trap. *)
   let span = Obs.current () in
-  incr Stats.encodes;
+  Stats.note_encode ();
   Obs.note_encode span;
   let wire =
     match pool with
@@ -170,7 +202,7 @@ let call t =
       | Some w -> w
       | None -> assert false (* Undecoded implies a wire form exists *)
     in
-    incr Stats.decodes;
+    Stats.note_decode ();
     Obs.note_decode t.span;
     match Call.decode w with
     | Ok c ->
@@ -187,7 +219,7 @@ let wire t =
   | None -> (
     match t.view with
     | Typed c ->
-      incr Stats.encodes;
+      Stats.note_encode ();
       Obs.note_encode t.span;
       (* a dirty envelope forced back to wire form is the PR 1
          definition of a genuine rewrite: some layer wants the raw

@@ -24,9 +24,9 @@
     So: at any stacking depth a trap pays at most one decode (at the
     first symbolic layer, or in the kernel when nothing intercepts)
     and re-encodes only when some layer genuinely needs the raw vector
-    after a rewrite.  {!Stats} counts the codec work globally so the
-    invariant is measured (bench ablation 3, test suite) rather than
-    asserted. *)
+    after a rewrite.  {!Stats} counts the codec work per kernel shard
+    so the invariant is measured (bench ablation 3, test suite) rather
+    than asserted. *)
 
 type t
 
@@ -110,12 +110,16 @@ val set_span : t -> int -> unit
 
 (** {1 Codec accounting}
 
-    Global counters over every envelope in the program, bumped only
-    when real codec work happens (memoized hits are free).  The bench
-    harness and the test suite take {!Stats.snapshot}s around a
-    workload and check invariants on the {!Stats.diff}: e.g. under a
-    stack of null symbolic agents, [decodes = traps] exactly —
-    one decode per intercepted trap, at any depth. *)
+    Counters over every envelope of one kernel shard, bumped only when
+    real codec work happens (memoized hits are free).  A live counter
+    set ({!Stats.t}) is owned by its [Kernel.t] and installed whenever
+    that shard runs (DESIGN.md §3.6), so two kernels in one process
+    account independently; a default set is installed at program start
+    for envelope use outside any kernel.  The bench harness and the
+    test suite take {!Stats.snapshot}s around a workload and check
+    invariants on the {!Stats.diff}: e.g. under a stack of null
+    symbolic agents, [decodes = traps] exactly — one decode per
+    intercepted trap, at any depth. *)
 module Stats : sig
   type snapshot = {
     traps : int;         (** application-level trap entries *)
@@ -128,24 +132,49 @@ module Stats : sig
     agent_calls : int;   (** envelopes originated by agent/toolkit code *)
   }
 
+  type t
+  (** A live counter set (one per kernel shard). *)
+
+  val create : unit -> t
+  (** A fresh, zeroed set. *)
+
+  val install : t -> unit
+  (** Make [c] the set envelope codec work bumps.  [Kernel] installs
+      the running shard's set on entry; agent and test code should not
+      normally need this. *)
+
+  val installed : unit -> t
+  (** The set currently receiving counts. *)
+
+  val snapshot_of : t -> snapshot
+  (** Read a specific shard's counters ([Kernel.codec_stats] is
+      [snapshot_of] on the kernel's own set). *)
+
+  val reset_of : t -> unit
+  (** Zero a set you own — e.g. a scratch set under test.  The old
+      mid-session hygiene problem is structurally gone: resetting one
+      shard's counters cannot disturb another shard's open measurement
+      window.  Within a shard, still prefer {!diff} over zeroing. *)
+
   val snapshot : unit -> snapshot
+  [@@deprecated "use snapshot_of (installed ()) or Kernel.codec_stats"]
+  (** Snapshot of whichever set happens to be installed.  Deprecated
+      since the counters became per-shard (PR 6): name the shard you
+      mean instead. *)
 
   val reset : unit -> unit
-  (** Zero the global counters.
-
-      {b Contract}: only between sessions, while no simulation is
-      running.  The counters are process-global; a reset while any
-      fibre is mid-trap silently discards that trap's partial codec
-      work and skews every open measurement window.  Code that wants
-      "counts for this workload" must {e not} reset — take
-      {!snapshot}s around the workload and use {!diff} (what bench and
-      the tests do), or enable [Obs] and read the per-span / per-layer
-      attribution, which needs no global zeroing at all. *)
+  [@@deprecated "counters are per-shard now; diff snapshots instead, \
+                 or reset_of a set you own"]
 
   val diff : snapshot -> snapshot -> snapshot
   (** [diff before after]: counts in the window between two snapshots.
-      This is the race-free way to scope the global counters to a
-      workload; see {!reset} for why zeroing mid-session is not. *)
+
+      {b Contract} (updates the PR 2 note): this remains the way to
+      scope counters to a workload.  Per-shard ownership removed the
+      cross-session footgun — a reset in one shard can no longer skew
+      another's window — but within a single shard a mid-session
+      [reset_of] still discards partial codec work of open traps, so
+      measure with snapshot pairs, not zeroing. *)
 
   val pp : Format.formatter -> snapshot -> unit
 

@@ -54,17 +54,32 @@ module Pool = struct
       dropped : int;   (* returns rejected by a full pool *)
     }
 
-    let hits = ref 0
-    let misses = ref 0
-    let recycled = ref 0
-    let dropped = ref 0
+    (* A counter set aggregating over every pool of one kernel shard
+       (DESIGN.md §3.6).  The shard installs its counters on entry; the
+       pools below bump whichever set is installed.  A default set
+       exists from program start for pool use outside any kernel. *)
+    type t = {
+      mutable c_hits : int;
+      mutable c_misses : int;
+      mutable c_recycled : int;
+      mutable c_dropped : int;
+    }
 
-    let snapshot () =
-      { hits = !hits; misses = !misses;
-        recycled = !recycled; dropped = !dropped }
+    let create () = { c_hits = 0; c_misses = 0; c_recycled = 0; c_dropped = 0 }
 
-    let reset () =
-      hits := 0; misses := 0; recycled := 0; dropped := 0
+    let cur : t ref = ref (create ())
+    let install c = cur := c
+    let installed () = !cur
+
+    let snapshot_of c =
+      { hits = c.c_hits; misses = c.c_misses;
+        recycled = c.c_recycled; dropped = c.c_dropped }
+
+    let reset_of c =
+      c.c_hits <- 0; c.c_misses <- 0; c.c_recycled <- 0; c.c_dropped <- 0
+
+    let snapshot () = snapshot_of !cur
+    let reset () = reset_of !cur
 
     let diff before after =
       { hits = after.hits - before.hits;
@@ -91,26 +106,28 @@ module Pool = struct
   let size p = p.len
 
   let take p =
+    let c = !Stats.cur in
     if p.len = 0 then begin
-      incr Stats.misses;
+      c.Stats.c_misses <- c.Stats.c_misses + 1;
       { num = 0; args = [||] }
     end
     else begin
       p.len <- p.len - 1;
       let w = p.stack.(p.len) in
       p.stack.(p.len) <- dummy;
-      incr Stats.hits;
+      c.Stats.c_hits <- c.Stats.c_hits + 1;
       w
     end
 
   let recycle p w =
-    if p.len >= p.capacity then incr Stats.dropped
+    let c = !Stats.cur in
+    if p.len >= p.capacity then c.Stats.c_dropped <- c.Stats.c_dropped + 1
     else begin
       w.num <- 0;
       Array.fill w.args 0 (Array.length w.args) Nil;
       p.stack.(p.len) <- w;
       p.len <- p.len + 1;
-      incr Stats.recycled
+      c.Stats.c_recycled <- c.Stats.c_recycled + 1
     end
 end
 

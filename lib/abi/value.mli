@@ -75,9 +75,12 @@ module Pool : sig
       The caller must guarantee nothing else references [w].  A
       non-full recycle allocates nothing. *)
 
-  (** Global hit/miss accounting across every pool, in the same
-      snapshot/diff style as [Envelope.Stats] (and under the same
-      contract: never reset mid-session, diff instead). *)
+  (** Hit/miss accounting aggregated over every pool of one kernel
+      shard, in the same snapshot/diff style as [Envelope.Stats] (and
+      under the same contract — see [envelope.mli]).  A counter set
+      ({!Stats.t}) is owned by the shard and installed on entry; read
+      it through [Kernel.pool_stats] or, outside any kernel, through
+      {!Stats.snapshot_of}[ (installed ())]. *)
   module Stats : sig
     type snapshot = {
       hits : int;      (** takes served from a free list *)
@@ -86,8 +89,25 @@ module Pool : sig
       dropped : int;   (** returns rejected by a full pool *)
     }
 
+    type t
+    (** A live counter set (one per kernel shard). *)
+
+    val create : unit -> t
+    val install : t -> unit
+    (** Make [c] the set the pools bump; a default set is installed at
+        program start. *)
+
+    val installed : unit -> t
+    val snapshot_of : t -> snapshot
+    val reset_of : t -> unit
+
     val snapshot : unit -> snapshot
+    [@@deprecated "use snapshot_of (installed ()) or Kernel.pool_stats"]
+
     val reset : unit -> unit
+    [@@deprecated "counters are per-shard now; diff snapshots instead, \
+                   or reset_of a set you own"]
+
     val diff : snapshot -> snapshot -> snapshot
     val pp : Format.formatter -> snapshot -> unit
 

@@ -8,11 +8,14 @@ let spans_text () =
 
 (* the same document [Kernel.metrics_json] serves to the host — span
    metrics plus codec (fast_path) and wire_pool counters — so there is
-   exactly one set of numbers however you reach it *)
-let metrics_text () = Obs.Json.to_string (Kernel.metrics_json ()) ^ "\n"
+   exactly one set of numbers however you reach it; generators run
+   in-fibre, so the shard they report on is the current one *)
+let metrics_text () =
+  Obs.Json.to_string (Kernel.metrics_json (Kernel.current_exn ())) ^ "\n"
 
 let codec_text () =
-  Format.asprintf "%a\n" Abi.Envelope.Stats.pp (Abi.Envelope.Stats.snapshot ())
+  Format.asprintf "%a\n" Abi.Envelope.Stats.pp
+    (Kernel.codec_stats (Kernel.current_exn ()))
 
 let create ?(mount = "/obs") () =
   let a = new Synthfs.agent ~mount () in

@@ -2,8 +2,6 @@ open Abi
 
 type decision = [ `Commit | `Abort ]
 
-let serial = ref 0
-
 (* --- small down-path helpers -------------------------------------------- *)
 
 let d_int dl c =
@@ -254,11 +252,17 @@ class agent ?(decide : (unit -> decision) = fun () -> `Commit) () =
          the loader's boilerplate minimum, so file calls suffice *)
       List.iter self#register_interest Sysno.file_calls;
       ignore argv;
-      incr serial;
       (match self#down Call.Getpid with
        | Ok { Value.r0; _ } -> session_pid <- r0
        | Error _ -> ());
-      shadow_root <- Printf.sprintf "/tmp/.txn.%d.%d" session_pid !serial;
+      (* distinguish stacked txn agents of the same process by probing
+         the shard's own filesystem for a free shadow root, instead of
+         a module-global serial -- keeps the agent shard-scoped *)
+      let rec pick k =
+        let root = Printf.sprintf "/tmp/.txn.%d.%d" session_pid k in
+        if exists self#downlink root then pick (k + 1) else root
+      in
+      shadow_root <- pick 1;
       mkdir_p self#downlink shadow_root
 
     method private resolve_read path =

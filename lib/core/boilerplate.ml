@@ -51,7 +51,12 @@ let do_execve dl path argv envp : Value.res =
       match Kernel.Registry.image_of_content content with
       | None -> fail Errno.ENOEXEC
       | Some image_name ->
-        match Kernel.Registry.lookup image_name with
+        (* the agent runs in-fibre with no handle: resolve the image
+           against the shard this process belongs to *)
+        match
+          Kernel.Registry.lookup
+            (Kernel.registry (Kernel.current_exn ())) image_name
+        with
         | None -> fail Errno.ENOEXEC
         | Some image ->
           let body = image ~argv ~envp in

@@ -65,11 +65,11 @@ type run = {
 }
 
 let execute w ~mode ~sites =
-  (* image registration is global and idempotent; make sure the
-     workloads' spawned tools resolve whatever context we run in *)
-  Workloads.Scribe.register ();
-  Workloads.Make_cc.register ();
   let k = Kernel.create () in
+  (* image registration is per-kernel and idempotent; make sure the
+     workloads' spawned tools resolve in this run's registry *)
+  Workloads.Scribe.register k;
+  Workloads.Make_cc.register k;
   Kernel.populate_standard k;
   w.w_setup k;
   let recorder =

@@ -333,7 +333,12 @@ let kill_stragglers (t : t) =
     stragglers;
   stragglers <> []
 
-let rec sched_loop (t : t) =
+(* Bounded scheduling: run every runnable fibre and fire every timer
+   with deadline ≤ [until], then report why the shard stopped.  The
+   classic free-running scheduler is [step ~until:max_int] in a loop;
+   a [Cluster] uses finite horizons to keep sibling shards' virtual
+   clocks within one quantum of each other. *)
+let rec step (t : t) ~until =
   (* timers whose deadline virtual time has already passed fire at
      every scheduling point, so runnable (even spinning) processes
      cannot starve them *)
@@ -341,34 +346,82 @@ let rec sched_loop (t : t) =
   | Some (at, ev) when at <= Sim.Clock.now_us t.clock ->
     Kstate.pop_timer t;
     fire_timer t ev;
-    sched_loop t
+    step t ~until
   | timer ->
     match Queue.take_opt t.runq with
     | Some thunk ->
       thunk ();
-      sched_loop t
+      step t ~until
     | None ->
       match timer with
-      | Some (at, ev) ->
+      | Some (at, ev) when at <= until ->
         Kstate.pop_timer t;
         Sim.Clock.advance_to t.clock at;
         fire_timer t ev;
-        sched_loop t
-      | None -> if kill_stragglers t then sched_loop t
+        step t ~until
+      | Some (at, _) -> `Sleep_until at
+      | None -> `Idle
+
+let rec sched_loop (t : t) =
+  match step t ~until:max_int with
+  | `Sleep_until _ -> assert false (* an unbounded step consumes every timer *)
+  | `Idle -> if kill_stragglers t then sched_loop t
+
+(* --- entering a shard --------------------------------------------------------- *)
+
+(* Install [t]'s shard-owned pieces — obs engine, codec and pool
+   counters, current-process cell, ambient handle — as the ones the
+   handle-less code paths (envelope codecs, uspace stubs, agents)
+   reach.  The moral equivalent of loading a CPU's task register. *)
+let enter (t : t) =
+  Obs.install t.obs;
+  Envelope.Stats.install t.codec;
+  Value.Pool.Stats.install t.pool_stats;
+  Proc.Cur.install t.cur;
+  Kstate.Ambient.current := Some t
+
+(* Enter [t] for the duration of [f], restoring whatever was installed
+   before (exception-safe).  The cluster driver round-robins shards
+   with this. *)
+let with_shard (t : t) f =
+  let prev_obs = Obs.installed () in
+  let prev_codec = Envelope.Stats.installed () in
+  let prev_pool = Value.Pool.Stats.installed () in
+  let prev_cur = Proc.Cur.installed () in
+  let prev_amb = !Kstate.Ambient.current in
+  enter t;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.install prev_obs;
+      Envelope.Stats.install prev_codec;
+      Value.Pool.Stats.install prev_pool;
+      Proc.Cur.install prev_cur;
+      Kstate.Ambient.current := prev_amb)
+    f
+
+let current () = !Kstate.Ambient.current
+
+let current_exn () =
+  match !Kstate.Ambient.current with
+  | Some t -> t
+  | None -> failwith "no current kernel shard (called outside a simulation?)"
 
 (* --- creation and boot ------------------------------------------------------ *)
 
-let create () =
-  let t = Kstate.create () in
+let create ?shard_id () =
+  let t = Kstate.create ?shard_id () in
   t.hooks <-
     { Kstate.spawn = (fun proc body -> enqueue_start t proc body);
       retry = (fun proc -> retry t proc) };
-  (* give the observability engine this simulation's clock and
-     current-process context (a later [create] re-points them, which is
-     fine: sessions run one at a time) *)
-  Obs.set_clock (fun () -> Sim.Clock.now_us t.clock);
-  Obs.set_context (fun () ->
-      match Proc.Cur.get () with Some p -> p.Proc.pid | None -> 0);
+  (* give this shard's observability engine this shard's clock and
+     current-process context; they live and die with the handle *)
+  Obs.with_engine t.obs (fun () ->
+    Obs.set_clock (fun () -> Sim.Clock.now_us t.clock);
+    Obs.set_context (fun () ->
+        match Proc.Cur.get () with Some p -> p.Proc.pid | None -> 0));
+  (* a fresh kernel becomes the current shard, so the established
+     create-configure-boot sequences keep addressing it *)
+  enter t;
   t
 
 let open_tty_fds (t : t) (proc : Proc.t) =
@@ -383,7 +436,10 @@ let open_tty_fds (t : t) (proc : Proc.t) =
     mkfd Flags.Open.o_wronly;
     mkfd Flags.Open.o_wronly
 
-let boot (t : t) ~name body =
+(* Register and enqueue a session's init process without scheduling
+   anything yet; [boot] runs it to completion, a cluster enqueues one
+   per shard and drives them all. *)
+let spawn_init (t : t) ~name body =
   let pid = Kstate.alloc_pid t in
   let proc =
     Proc.create ~pid ~ppid:0 ~pgrp:pid ~name
@@ -392,8 +448,13 @@ let boot (t : t) ~name body =
   Kstate.add_proc t proc;
   open_tty_fds t proc;
   enqueue_start t proc body;
+  proc
+
+let boot (t : t) ~name body =
+  enter t;
+  let proc = spawn_init t ~name body in
   sched_loop t;
-  proc.exit_status
+  proc.Proc.exit_status
 
 (* --- host-side filesystem helpers -------------------------------------------- *)
 
@@ -486,29 +547,32 @@ let echo_console_to (t : t) f = Dev.Console.set_echo t.console f
 let elapsed_seconds (t : t) = Sim.Clock.seconds t.clock
 let total_syscalls = Kstate.total_syscalls
 let deadlock_kills (t : t) = t.deadlock_kills
+let shard_id (t : t) = t.shard_id
 
-let codec_stats () = Envelope.Stats.snapshot ()
-let reset_codec_stats () = Envelope.Stats.reset ()
+let registry (t : t) = t.registry
+let register_image (t : t) name image = Registry.register t.registry name image
 
-let pool_stats () = Value.Pool.Stats.snapshot ()
+let codec_stats (t : t) = Envelope.Stats.snapshot_of t.codec
+let reset_codec_stats (t : t) = Envelope.Stats.reset_of t.codec
 
-(* the observability engine is global for the same reason the codec
-   counters are: spans live in user space, across kernel instances *)
-let metrics () = Obs.metrics ()
+let pool_stats (t : t) = Value.Pool.Stats.snapshot_of t.pool_stats
 
-(* One document for every runtime statistic: span/latency metrics from
-   [Obs] plus the global codec (incl. [fast_path]) and wire-pool
-   counters.  [/obs/metrics] serves exactly this JSON, so programs
-   inside the simulation and hosts outside it read the same numbers. *)
-let metrics_json () =
-  let base = Obs.metrics_to_json ~name:Abi.Sysno.name (Obs.metrics ()) in
-  let codec = Envelope.Stats.to_json (Envelope.Stats.snapshot ()) in
-  let pool = Value.Pool.Stats.to_json (Value.Pool.Stats.snapshot ()) in
+let metrics (t : t) = Obs.metrics_of t.obs
+
+(* One document for every runtime statistic of one shard: span/latency
+   metrics from its [Obs] engine plus its codec (incl. [fast_path])
+   and wire-pool counters.  [/obs/metrics] serves exactly this JSON,
+   so programs inside the simulation and hosts outside it read the
+   same numbers. *)
+let metrics_json (t : t) =
+  let base = Obs.metrics_to_json ~name:Abi.Sysno.name (Obs.metrics_of t.obs) in
+  let codec = Envelope.Stats.to_json (Envelope.Stats.snapshot_of t.codec) in
+  let pool = Value.Pool.Stats.to_json (Value.Pool.Stats.snapshot_of t.pool_stats) in
   match base with
   | Obs.Json.Obj fields ->
     Obs.Json.Obj (fields @ [ ("codec", codec); ("wire_pool", pool) ])
   | other -> other
-let drain_obs () = Obs.drain ()
+let drain_obs (t : t) = Obs.drain_of t.obs
 
 let post_signal (t : t) ~pid s =
   match Kstate.proc t pid with
@@ -516,3 +580,124 @@ let post_signal (t : t) ~pid s =
   | None -> ()
 
 let set_trace_hook = Kstate.set_trace_hook
+
+(* --- deterministic multi-shard driver ----------------------------------------- *)
+
+(* N single-domain shards with independent virtual clocks, stepped
+   round-robin in shard-id order over fixed virtual-time quanta.
+   Cross-shard events (signals, for now) are mailed with a (virtual
+   send time, sender shard, sequence) stamp and delivered at quantum
+   boundaries sorted by exactly that triple — a deterministic function
+   of simulation state alone, so an N-shard run is byte-reproducible
+   (DESIGN.md §3.6). *)
+module Cluster = struct
+  type event = Post_signal of { pid : int; signal : int }
+
+  type mail = {
+    m_ts : int;   (* sender's virtual clock at send *)
+    m_src : int;  (* sender shard id: the deterministic tie-break *)
+    m_seq : int;  (* per-cluster sequence: total order within (ts, src) *)
+    m_dst : int;
+    m_ev : event;
+  }
+
+  type nonrec t = {
+    shards : t array;
+    quantum_us : int;
+    mutable mailbox : mail list;
+    mutable seq : int;
+  }
+
+  (* The cluster currently being driven by [run], for in-fibre [send]
+     (allowlisted global; installed/restored by [run]). *)
+  let running : t option ref = ref None
+
+  let default_quantum_us = 50_000
+
+  let create ?(quantum_us = default_quantum_us) ~shards:n () =
+    if n < 1 then invalid_arg "Cluster.create: need at least one shard";
+    if quantum_us < 1 then invalid_arg "Cluster.create: quantum must be positive";
+    { shards = Array.init n (fun i -> create ~shard_id:i ());
+      quantum_us; mailbox = []; seq = 0 }
+
+  let shards c = Array.length c.shards
+  let shard c i = c.shards.(i)
+
+  let boot_shard c i ~name body =
+    let t = c.shards.(i) in
+    with_shard t (fun () -> spawn_init t ~name body)
+
+  let send ~dst ~pid ~signal =
+    match !running with
+    | None -> invalid_arg "Cluster.send: no cluster is running"
+    | Some c ->
+      if dst < 0 || dst >= Array.length c.shards then
+        invalid_arg "Cluster.send: no such shard";
+      let src = current_exn () in
+      c.seq <- c.seq + 1;
+      c.mailbox <-
+        { m_ts = Sim.Clock.now_us src.Kstate.clock;
+          m_src = src.Kstate.shard_id;
+          m_seq = c.seq;
+          m_dst = dst;
+          m_ev = Post_signal { pid; signal } }
+        :: c.mailbox
+
+  let deliver c horizon =
+    let due, later =
+      List.partition (fun m -> m.m_ts <= horizon) c.mailbox
+    in
+    c.mailbox <- later;
+    match due with
+    | [] -> false
+    | due ->
+      let due =
+        List.sort
+          (fun a b ->
+            compare (a.m_ts, a.m_src, a.m_seq) (b.m_ts, b.m_src, b.m_seq))
+          due
+      in
+      List.iter
+        (fun m ->
+          let dst = c.shards.(m.m_dst) in
+          with_shard dst (fun () ->
+            match m.m_ev with
+            | Post_signal { pid; signal } -> post_signal dst ~pid signal))
+        due;
+      true
+
+  let run c =
+    let prev = !running in
+    running := Some c;
+    Fun.protect ~finally:(fun () -> running := prev) @@ fun () ->
+    let n = Array.length c.shards in
+    (* Run every shard up to [horizon], re-delivering any mail that
+       lands inside the window, until the whole cluster is quiescent at
+       this horizon.  Returns the earliest future wake-up. *)
+    let rec drain_horizon horizon =
+      let next = ref max_int in
+      for i = 0 to n - 1 do
+        let t = c.shards.(i) in
+        with_shard t (fun () ->
+          match step t ~until:horizon with
+          | `Sleep_until at -> if at < !next then next := at
+          | `Idle -> ())
+      done;
+      if deliver c horizon then drain_horizon horizon
+      else begin
+        List.iter (fun m -> if m.m_ts < !next then next := m.m_ts) c.mailbox;
+        !next
+      end
+    in
+    let rec rounds horizon =
+      let next = drain_horizon horizon in
+      if next < max_int then
+        (* jump idle gaps, but never retreat: each new horizon is at
+           least a quantum past the old one *)
+        rounds (max next (horizon + c.quantum_us))
+    in
+    rounds c.quantum_us;
+    (* quiescent everywhere: give each shard its straggler pass
+       (deadlocked processes are killed exactly as under [boot]) *)
+    Array.iter (fun t -> with_shard t (fun () -> sched_loop t)) c.shards
+end

@@ -1,11 +1,16 @@
 (** The simulated Mach 2.5 / 4.3BSD kernel: scheduler, boot and the
     host-side API.
 
-    A kernel instance owns a virtual clock, a filesystem, a console and
-    a process table.  [boot] starts pid 1 on a program body and runs
-    the cooperative scheduler until every process has terminated (or is
-    hopelessly deadlocked, in which case the stragglers are killed and
-    counted in [deadlock_kills]).
+    A kernel instance — a {e shard} (DESIGN.md §3.6) — owns a virtual
+    clock, a filesystem, a console, a process table, an executable
+    {!Registry}, an [Obs] engine, codec and wire-pool counters and a
+    current-process cell.  Nothing about a session is module-global:
+    two kernels coexist in one OCaml process without observing each
+    other, and {!Cluster} drives N of them deterministically.  [boot]
+    starts pid 1 on a program body and runs the cooperative scheduler
+    until every process has terminated (or is hopelessly deadlocked, in
+    which case the stragglers are killed and counted in
+    [deadlock_kills]).
 
     Simulated processes are OCaml fibres; they interact with the kernel
     exclusively through the effects in {!Events}, performed by the
@@ -28,15 +33,46 @@ module Uspace = Uspace
 
 type t = Kstate.t
 
-val create : unit -> t
+val create : ?shard_id:int -> unit -> t
+(** A fresh shard with its own clock, filesystem, registry, obs engine
+    (inheriting the installed engine's {e configuration} — enablement,
+    sampling, ring capacity — so observation set up before [create]
+    applies to the new kernel) and counters.  The new kernel is
+    {!enter}ed, becoming the current shard.  [shard_id] (default 0) is
+    its position in a {!Cluster}. *)
+
+(** {1 The current shard}
+
+    Code on the trap path — envelope codecs, uspace stubs, in-fibre
+    agents — holds no handle; it reaches the right kernel through the
+    ambient current shard, which {!enter} installs together with the
+    shard's obs engine, codec/pool counters and current-process cell. *)
+
+val enter : t -> unit
+(** Make [t] the current shard.  {!create} and {!boot} call this;
+    host code only needs it when juggling several live kernels by
+    hand. *)
+
+val with_shard : t -> (unit -> 'a) -> 'a
+(** Run [f] with [t] entered, restoring the previously current shard
+    afterwards (exception-safe).  This is how {!Cluster} multiplexes
+    shards. *)
+
+val current : unit -> t option
+(** The current shard, if any. *)
+
+val current_exn : unit -> t
+(** @raise Failure when no shard is current. *)
+
+val shard_id : t -> int
 
 (** {1 Running} *)
 
 val boot : t -> name:string -> (unit -> int) -> int
-(** [boot t ~name body] runs [body] as pid 1 (with stdin/stdout/stderr
-    connected to [/dev/tty] when it exists) and drives the scheduler to
-    quiescence.  Returns pid 1's wait status (see {!Abi.Flags.Wait}).
-    A kernel can be booted once. *)
+(** [boot t ~name body] enters [t], runs [body] as pid 1 (with
+    stdin/stdout/stderr connected to [/dev/tty] when it exists) and
+    drives the scheduler to quiescence.  Returns pid 1's wait status
+    (see {!Abi.Flags.Wait}).  A kernel can be booted once. *)
 
 (** {1 Host-side filesystem setup}
 
@@ -70,37 +106,44 @@ val elapsed_seconds : t -> float
 val total_syscalls : t -> int
 val deadlock_kills : t -> int
 
-val codec_stats : unit -> Abi.Envelope.Stats.snapshot
-(** Global envelope codec counters (decodes, encodes, stack crossings)
-    since the last {!reset_codec_stats} — the measured form of the
-    decode-once invariant.  Global rather than per-kernel: envelopes do
-    their codec work in user space, outside any kernel instance. *)
+val registry : t -> Registry.t
+(** This shard's executable-image registry; images registered here are
+    invisible to every other kernel. *)
 
-val reset_codec_stats : unit -> unit
-(** Zero the global codec counters.  Only between sessions: see the
-    contract on [Abi.Envelope.Stats.reset] — mid-session code should
-    snapshot/{!Abi.Envelope.Stats.diff} instead, or use {!metrics}. *)
+val register_image : t -> string -> Registry.image -> unit
+(** [Registry.register (registry t)]. *)
 
-val pool_stats : unit -> Abi.Value.Pool.Stats.snapshot
-(** Global wire-pool hit/miss counters, same global/snapshot contract
+val codec_stats : t -> Abi.Envelope.Stats.snapshot
+(** This shard's envelope codec counters (decodes, encodes, stack
+    crossings) — the measured form of the decode-once invariant.  The
+    codec work happens in user space, but user space belongs to exactly
+    one shard: whichever is entered while its fibres run. *)
+
+val reset_codec_stats : t -> unit
+(** Zero [t]'s codec counters.  Only between sessions of that shard;
+    mid-session code should snapshot/{!Abi.Envelope.Stats.diff}
+    instead, or use {!metrics}. *)
+
+val pool_stats : t -> Abi.Value.Pool.Stats.snapshot
+(** This shard's wire-pool hit/miss counters, same snapshot contract
     as {!codec_stats}.  Also exported as the ["wire_pool"] member of
     {!metrics_json}. *)
 
-val metrics : unit -> Obs.metrics
-(** Aggregated observability snapshot (per-syscall counters and latency
-    histograms, per-layer attribution) accumulated while [Obs.enable]d.
-    Like {!codec_stats}, global rather than per-kernel: spans live in
-    user space, across kernel instances. *)
+val metrics : t -> Obs.metrics
+(** Aggregated observability snapshot of this shard's engine
+    (per-syscall counters and latency histograms, per-layer
+    attribution) accumulated while [Obs.enable]d. *)
 
-val metrics_json : unit -> Obs.Json.t
+val metrics_json : t -> Obs.Json.t
 (** {!metrics} rendered with syscall names resolved via
     [Abi.Sysno.name], plus a ["codec"] block ({!codec_stats}, incl.
     [fast_path]) and a ["wire_pool"] block ({!pool_stats}) — every
-    runtime statistic in one document.  The [/obs/metrics] synthetic
-    file serves exactly this JSON inside the simulation. *)
+    runtime statistic of one shard in one document.  The
+    [/obs/metrics] synthetic file serves exactly this JSON inside the
+    simulation. *)
 
-val drain_obs : unit -> Obs.Span.record list
-(** Drain the flight recorder (oldest first). *)
+val drain_obs : t -> Obs.Span.record list
+(** Drain this shard's flight recorder (oldest first). *)
 
 val post_signal : t -> pid:int -> int -> unit
 (** Inject a signal from outside the simulation (like a console ^C). *)
@@ -110,3 +153,54 @@ val set_trace_hook :
   -> (Proc.t -> Abi.Call.t -> Abi.Value.res -> unit) option -> unit
 (** The in-kernel tracing hook used by the DFSTrace comparison: when
     set, it observes every dispatched call at [cost_us] µs apiece. *)
+
+(** {1 Deterministic multi-shard driver}
+
+    N single-domain shards with independent virtual clocks, stepped
+    round-robin in shard-id order over fixed virtual-time quanta
+    ([quantum_us]).  Cross-shard events are mailed with a (virtual send
+    time, sender shard id, sequence number) stamp and delivered at
+    quantum boundaries sorted by exactly that triple — sort by virtual
+    timestamp, tie-break by shard id, then send order — which makes the
+    merge a deterministic function of simulation state alone: an
+    N-shard run is byte-reproducible (DESIGN.md §3.6).  Events land at
+    the first quantum boundary at or after their send time, so sibling
+    clocks stay within one quantum of each other while work remains. *)
+module Cluster : sig
+  type kernel := t
+
+  type t
+
+  type event = Post_signal of { pid : int; signal : int }
+  (** The cross-shard event vocabulary (signals, for now — the paper's
+      agents communicate through the system interface, and the asynchronous
+      half of that interface is exactly signal delivery). *)
+
+  val create : ?quantum_us:int -> shards:int -> unit -> t
+  (** [shards] ≥ 1 fresh kernels with shard ids [0 .. shards-1];
+      [quantum_us] (default 50 000 virtual µs) is the round horizon.
+      Raises [Invalid_argument] on a non-positive argument. *)
+
+  val shards : t -> int
+  val shard : t -> int -> kernel
+  (** The [i]th member kernel — use the ordinary handle API on it
+      (populate, install images, read metrics) before and after
+      {!run}. *)
+
+  val boot_shard : t -> int -> name:string -> (unit -> int) -> Proc.t
+  (** Enqueue a session's init process (as {!boot} would) on shard [i]
+      without running anything yet; read [Proc.exit_status] after
+      {!run}. *)
+
+  val run : t -> unit
+  (** Drive every shard to quiescence: rounds of step-to-horizon in
+      shard-id order with deterministic mail delivery between rounds,
+      then a per-shard straggler pass (deadlocked processes are killed
+      exactly as under {!boot}). *)
+
+  val send : dst:int -> pid:int -> signal:int -> unit
+  (** In-fibre: mail a signal to process [pid] of shard [dst], stamped
+      with the sending shard's current virtual time.  Delivered at the
+      next quantum boundary.  Raises [Invalid_argument] outside
+      {!run} or for an unknown shard. *)
+end

@@ -25,6 +25,7 @@ type hooks = {
 }
 
 type t = {
+  shard_id : int;
   clock : Sim.Clock.t;
   fs : Vfs.Fs.t;
   console : Dev.Console.t;
@@ -32,6 +33,11 @@ type t = {
   procs : (int, Proc.t) Hashtbl.t;
   runq : (unit -> unit) Queue.t;
   waitqs : (wait_key, int list ref) Hashtbl.t;
+  registry : Registry.t;
+  obs : Obs.engine;
+  codec : Envelope.Stats.t;
+  pool_stats : Value.Pool.Stats.t;
+  cur : Proc.Cur.cell;
   mutable timers : (int * timer_event) list;
   mutable next_pid : int;
   mutable next_file_id : int;
@@ -49,15 +55,24 @@ let no_hooks = {
   retry = (fun _ -> failwith "Kstate: hooks not installed");
 }
 
-let create () =
+let create ?(shard_id = 0) () =
   let clock = Sim.Clock.create () in
   let fs = Vfs.Fs.create ~now:(fun () -> Sim.Clock.now_us clock / 1_000_000) () in
   let console = Dev.Console.create () in
-  { clock; fs; console;
+  { shard_id; clock; fs; console;
     devs = Dev.standard_table console;
     procs = Hashtbl.create 32;
     runq = Queue.create ();
     waitqs = Hashtbl.create 32;
+    (* the shard-owned pieces that used to be module globals
+       (DESIGN.md §3.6): each kernel gets fresh ones; the obs engine
+       inherits the installed engine's configuration so observation
+       set up before [Kernel.create] still applies *)
+    registry = Registry.create ();
+    obs = Obs.engine_like (Obs.installed ());
+    codec = Envelope.Stats.create ();
+    pool_stats = Value.Pool.Stats.create ();
+    cur = Proc.Cur.cell ();
     timers = [];
     next_pid = 1;
     next_file_id = 1;
@@ -68,6 +83,17 @@ let create () =
     trace_hook_cost_us = 0;
     retired_syscalls = 0;
     deadlock_kills = 0 }
+
+(* --- the ambient current shard ----------------------------------------- *)
+
+(* The one place the "which kernel is running?" question is answered
+   for code that holds no handle (in-fibre agents, the C-library
+   stubs).  [Kernel.enter] installs a shard here together with its
+   obs/codec/pool/cur pieces; this ref is on the globals-lint
+   allowlist. *)
+module Ambient = struct
+  let current : t option ref = ref None
+end
 
 let charge t us = Sim.Clock.charge t.clock us
 let now_us t = Sim.Clock.now_us t.clock + t.tod_offset_us

@@ -33,6 +33,7 @@ type hooks = {
 }
 
 type t = {
+  shard_id : int;  (** position in a [Kernel.Cluster], 0 standalone *)
   clock : Sim.Clock.t;
   fs : Vfs.Fs.t;
   console : Dev.Console.t;
@@ -40,6 +41,11 @@ type t = {
   procs : (int, Proc.t) Hashtbl.t;
   runq : (unit -> unit) Queue.t;
   waitqs : (wait_key, int list ref) Hashtbl.t;
+  registry : Registry.t;           (** shard-owned executable images *)
+  obs : Obs.engine;                (** shard-owned observability engine *)
+  codec : Abi.Envelope.Stats.t;    (** shard-owned codec counters *)
+  pool_stats : Abi.Value.Pool.Stats.t;  (** shard-owned pool counters *)
+  cur : Proc.Cur.cell;             (** shard-owned current process *)
   mutable timers : (int * timer_event) list;  (** sorted by time *)
   mutable next_pid : int;
   mutable next_file_id : int;
@@ -52,7 +58,20 @@ type t = {
   mutable deadlock_kills : int;
 }
 
-val create : unit -> t
+val create : ?shard_id:int -> unit -> t
+(** A fresh shard: everything above is newly allocated, except that the
+    obs engine inherits the {e configuration} (enablement, sampling,
+    ring capacity — never the data) of the currently installed engine,
+    preserving the "configure observation, then create the kernel"
+    call order. *)
+
+(** The ambient current shard: which kernel's state in-fibre code that
+    holds no handle (agents, the C-library stubs) should reach.
+    [Kernel.enter] maintains it; read it via [Kernel.current].  On the
+    globals-lint allowlist. *)
+module Ambient : sig
+  val current : t option ref
+end
 
 val charge : t -> int -> unit
 val now_us : t -> int

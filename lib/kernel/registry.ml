@@ -1,13 +1,18 @@
 type image = argv:string array -> envp:string array -> unit -> int
 
-let images : (string, image) Hashtbl.t = Hashtbl.create 32
+(* One registry per kernel shard (DESIGN.md §3.6): images registered
+   against one kernel are invisible to every other, so sequential or
+   coexisting kernels cannot leak programs into each other. *)
+type t = { images : (string, image) Hashtbl.t }
 
-let register name image = Hashtbl.replace images name image
-let lookup name = Hashtbl.find_opt images name
+let create () = { images = Hashtbl.create 32 }
 
-let registered () =
+let register t name image = Hashtbl.replace t.images name image
+let lookup t name = Hashtbl.find_opt t.images name
+
+let registered t =
   List.sort compare
-    (Hashtbl.fold (fun name _ acc -> name :: acc) images [])
+    (Hashtbl.fold (fun name _ acc -> name :: acc) t.images [])
 
 let magic = "#!IMAGE "
 

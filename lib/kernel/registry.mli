@@ -13,12 +13,22 @@ type image = argv:string array -> envp:string array -> unit -> int
 (** Builds a program body from its argument and environment vectors.
     The body returns the process exit code. *)
 
-val register : string -> image -> unit
+type t
+(** One registry per kernel shard (DESIGN.md §3.6).  Registering
+    against one kernel leaves every other kernel — sequential or
+    coexisting — unaffected; reach a kernel's registry via
+    [Kernel.registry], or register directly with
+    [Kernel.register_image]. *)
+
+val create : unit -> t
+(** An empty registry ([Kstate.create] calls this). *)
+
+val register : t -> string -> image -> unit
 (** Idempotent by name: later registrations replace earlier ones. *)
 
-val lookup : string -> image option
+val lookup : t -> string -> image option
 
-val registered : unit -> string list
+val registered : t -> string list
 (** Sorted names, for diagnostics. *)
 
 val file_content : string -> string

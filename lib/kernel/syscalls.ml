@@ -472,7 +472,7 @@ let do_execve t (p : Proc.t) path argv envp =
         match Registry.image_of_content (Vfs.Filedata.to_string data) with
         | None -> fail Errno.ENOEXEC
         | Some image_name ->
-          match Registry.lookup image_name with
+          match Registry.lookup t.registry image_name with
           | None -> fail Errno.ENOEXEC
           | Some image ->
             let body = image ~argv ~envp in

@@ -1,4 +1,5 @@
-(* The observability engine (DESIGN.md §3.2, sampling §3.4).
+(* The observability engine (DESIGN.md §3.2, sampling §3.4, shard
+   ownership §3.6).
 
    A *span* covers one trap from `Uspace.syscall` entry to result
    delivery.  While a span is open, every layer that touches the trap —
@@ -24,6 +25,15 @@
    1-in-N subset — consumers scale those by `sample_n` from the metrics
    snapshot.
 
+   Ownership: all engine state lives in an [engine] record.  Each
+   kernel shard owns one; entering a shard installs its engine in the
+   module-level [cur] pointer (the one allowlisted global here, the
+   moral equivalent of a CPU's current-task register) so that code deep
+   in the trap path — envelope codecs, agents, uspace — reaches the
+   right engine without threading a handle through every signature.
+   A default engine is installed at program start for engine-only use
+   (tests drive spans with no kernel at all).
+
    Observation charges no *virtual* time: enabling tracing must not
    move any published µs number. *)
 
@@ -32,33 +42,6 @@ module Hist = Hist
 module Json = Json
 module Span = Span
 module Chrome = Chrome
-
-(* ---------- switches and environment hooks ---------- *)
-
-let on = ref false
-let clock_fn = ref (fun () -> 0)
-let context_fn = ref (fun () -> 0)
-
-let set_clock f = clock_fn := f
-let set_context f = context_fn := f
-let now_us () = !clock_fn ()
-let current_pid () = !context_fn ()
-
-let enabled () = !on
-
-(* ---------- sampling ---------- *)
-
-let sample_n = ref 1
-let sample_seed = ref 0
-let sample_rng = ref (Sim.Rng.create 0)
-
-let set_sampling ?(seed = 0) n =
-  let n = max 1 n in
-  sample_n := n;
-  sample_seed := seed;
-  sample_rng := Sim.Rng.create seed
-
-let sampling () = !sample_n
 
 (* ---------- live per-span state ---------- *)
 
@@ -82,31 +65,9 @@ type span_state = {
   mutable s_rewrites : int;
 }
 
-let spans : (int, span_state) Hashtbl.t = Hashtbl.create 64
-let open_by_pid : (int, int list ref) Hashtbl.t = Hashtbl.create 16
-let next_span = ref 0
-
-(* ---------- flight recorder ---------- *)
-
-let default_ring_capacity = 4096
-let ring = ref (Ring.create ~capacity:default_ring_capacity)
-
-let configure ?(ring_capacity = default_ring_capacity) () =
-  ring := Ring.create ~capacity:ring_capacity
-
-(* ---------- aggregation ---------- *)
+(* ---------- aggregation rows ---------- *)
 
 type sys_agg = { mutable sa_calls : int; mutable sa_errors : int; sa_hist : Hist.t }
-
-let by_sysno : (int, sys_agg) Hashtbl.t = Hashtbl.create 64
-
-let sys_agg_for sysno =
-  match Hashtbl.find_opt by_sysno sysno with
-  | Some a -> a
-  | None ->
-    let a = { sa_calls = 0; sa_errors = 0; sa_hist = Hist.create () } in
-    Hashtbl.replace by_sysno sysno a;
-    a
 
 type layer_agg = {
   mutable la_traps : int;
@@ -118,52 +79,156 @@ type layer_agg = {
   la_hist : Hist.t; (* per-frame self time *)
 }
 
-let by_layer : (int * string, layer_agg) Hashtbl.t = Hashtbl.create 32
+(* ---------- the engine ---------- *)
 
-let layer_agg_for key =
-  match Hashtbl.find_opt by_layer key with
+let default_ring_capacity = 4096
+
+type engine = {
+  mutable e_on : bool;
+  mutable e_clock_fn : unit -> int;
+  mutable e_context_fn : unit -> int;
+  mutable e_sample_n : int;
+  mutable e_sample_seed : int;
+  mutable e_sample_rng : Sim.Rng.t;
+  e_spans : (int, span_state) Hashtbl.t;
+  e_open_by_pid : (int, int list ref) Hashtbl.t;
+  mutable e_next_span : int;
+  mutable e_ring_capacity : int;
+  mutable e_ring : Span.record Ring.t;
+  e_by_sysno : (int, sys_agg) Hashtbl.t;
+  e_by_layer : (int * string, layer_agg) Hashtbl.t;
+  mutable e_completed : int;
+  mutable e_aborted : int;
+  mutable e_injected : int;
+}
+
+let engine ?(ring_capacity = default_ring_capacity) () =
+  {
+    e_on = false;
+    e_clock_fn = (fun () -> 0);
+    e_context_fn = (fun () -> 0);
+    e_sample_n = 1;
+    e_sample_seed = 0;
+    e_sample_rng = Sim.Rng.create 0;
+    e_spans = Hashtbl.create 64;
+    e_open_by_pid = Hashtbl.create 16;
+    e_next_span = 0;
+    e_ring_capacity = ring_capacity;
+    e_ring = Ring.create ~capacity:ring_capacity;
+    e_by_sysno = Hashtbl.create 64;
+    e_by_layer = Hashtbl.create 32;
+    e_completed = 0;
+    e_aborted = 0;
+    e_injected = 0;
+  }
+
+(* A fresh engine carrying the *configuration* of [src] — on/off
+   switch, sampling rate and seed (decision stream restarted), ring
+   capacity — but none of its data.  [Kernel.create] builds each
+   shard's engine this way from the currently installed one, so the
+   established "configure observation, then create the kernel" call
+   order keeps working across the per-shard ownership change. *)
+let engine_like src =
+  let e = engine ~ring_capacity:src.e_ring_capacity () in
+  e.e_on <- src.e_on;
+  e.e_sample_n <- src.e_sample_n;
+  e.e_sample_seed <- src.e_sample_seed;
+  e.e_sample_rng <- Sim.Rng.create src.e_sample_seed;
+  e
+
+(* The installed (current-shard) engine: the single allowlisted piece
+   of module-level state in this library.  Everything below operates on
+   [!cur]. *)
+let cur : engine ref = ref (engine ())
+
+let install e = cur := e
+let installed () = !cur
+
+let with_engine e f =
+  let prev = !cur in
+  cur := e;
+  Fun.protect ~finally:(fun () -> cur := prev) f
+
+(* ---------- switches and environment hooks ---------- *)
+
+let set_clock f = !cur.e_clock_fn <- f
+let set_context f = !cur.e_context_fn <- f
+let now_us () = !cur.e_clock_fn ()
+let current_pid () = !cur.e_context_fn ()
+
+let enabled () = !cur.e_on
+let enable () = !cur.e_on <- true
+let disable () = !cur.e_on <- false
+
+(* ---------- sampling ---------- *)
+
+let set_sampling ?(seed = 0) n =
+  let e = !cur in
+  let n = max 1 n in
+  e.e_sample_n <- n;
+  e.e_sample_seed <- seed;
+  e.e_sample_rng <- Sim.Rng.create seed
+
+let sampling () = !cur.e_sample_n
+
+(* ---------- flight recorder ---------- *)
+
+let configure ?(ring_capacity = default_ring_capacity) () =
+  let e = !cur in
+  e.e_ring_capacity <- ring_capacity;
+  e.e_ring <- Ring.create ~capacity:ring_capacity
+
+(* ---------- aggregation ---------- *)
+
+let sys_agg_for e sysno =
+  match Hashtbl.find_opt e.e_by_sysno sysno with
+  | Some a -> a
+  | None ->
+    let a = { sa_calls = 0; sa_errors = 0; sa_hist = Hist.create () } in
+    Hashtbl.replace e.e_by_sysno sysno a;
+    a
+
+let layer_agg_for e key =
+  match Hashtbl.find_opt e.e_by_layer key with
   | Some a -> a
   | None ->
     let a =
       { la_traps = 0; la_decodes = 0; la_encodes = 0; la_rewrites = 0;
         la_self_us = 0; la_total_us = 0; la_hist = Hist.create () }
     in
-    Hashtbl.replace by_layer key a;
+    Hashtbl.replace e.e_by_layer key a;
     a
-
-let completed = ref 0
-let aborted = ref 0
 
 (* Faults deliberately injected by agents (faultinject and friends):
    counted exactly whenever the engine is on, independent of the
    sampler — an injected fault is an event of record, not a latency
    sample. *)
-let injected = ref 0
-let note_injected () = if !on then incr injected
+let note_injected () =
+  let e = !cur in
+  if e.e_on then e.e_injected <- e.e_injected + 1
 
 let reset () =
-  Hashtbl.reset spans;
-  Hashtbl.reset open_by_pid;
-  Hashtbl.reset by_sysno;
-  Hashtbl.reset by_layer;
-  next_span := 0;
-  completed := 0;
-  aborted := 0;
-  injected := 0;
+  let e = !cur in
+  Hashtbl.reset e.e_spans;
+  Hashtbl.reset e.e_open_by_pid;
+  Hashtbl.reset e.e_by_sysno;
+  Hashtbl.reset e.e_by_layer;
+  e.e_next_span <- 0;
+  e.e_completed <- 0;
+  e.e_aborted <- 0;
+  e.e_injected <- 0;
   (* keep the configured rate but restart the decision stream, so a
      reset window replays the same sampling choices *)
-  sample_rng := Sim.Rng.create !sample_seed;
-  Ring.clear !ring
-
-let enable () = on := true
-let disable () = on := false
+  e.e_sample_rng <- Sim.Rng.create e.e_sample_seed;
+  Ring.clear e.e_ring
 
 (* ---------- span lifecycle ---------- *)
 
 let current () =
-  if not !on then 0
+  let e = !cur in
+  if not e.e_on then 0
   else
-    match Hashtbl.find_opt open_by_pid (!context_fn ()) with
+    match Hashtbl.find_opt e.e_open_by_pid (e.e_context_fn ()) with
     | Some { contents = s :: _ } -> s
     | _ -> 0
 
@@ -174,30 +239,33 @@ let unsampled_sentinel sysno = -(sysno + 1)
 let sentinel_sysno span = -span - 1
 
 let span_begin ~pid ~sysno =
-  if not !on then 0
+  let e = !cur in
+  if not e.e_on then 0
   else begin
     (* calls are counted at open — exact whatever the sampling rate,
        and whether or not the trap later aborts *)
-    let agg = sys_agg_for sysno in
+    let agg = sys_agg_for e sysno in
     agg.sa_calls <- agg.sa_calls + 1;
-    let sampled = !sample_n <= 1 || Sim.Rng.int !sample_rng !sample_n = 0 in
+    let sampled =
+      e.e_sample_n <= 1 || Sim.Rng.int e.e_sample_rng e.e_sample_n = 0
+    in
     if not sampled then unsampled_sentinel sysno
     else begin
-      incr next_span;
-      let id = !next_span in
-      Hashtbl.replace spans id
-        { s_id = id; s_pid = pid; s_sysno = sysno; s_begin_us = now_us ();
-          s_frames = []; s_rewrites = 0 };
-      (match Hashtbl.find_opt open_by_pid pid with
+      e.e_next_span <- e.e_next_span + 1;
+      let id = e.e_next_span in
+      Hashtbl.replace e.e_spans id
+        { s_id = id; s_pid = pid; s_sysno = sysno;
+          s_begin_us = e.e_clock_fn (); s_frames = []; s_rewrites = 0 };
+      (match Hashtbl.find_opt e.e_open_by_pid pid with
        | Some stack -> stack := id :: !stack
-       | None -> Hashtbl.replace open_by_pid pid (ref [ id ]));
+       | None -> Hashtbl.replace e.e_open_by_pid pid (ref [ id ]));
       id
     end
   end
 
 (* Pop the top frame, fold its duration into the parent's child time,
    and publish it as a segment. *)
-let close_top st ~now =
+let close_top e st ~now =
   match st.s_frames with
   | [] -> ()
   | fr :: rest ->
@@ -207,7 +275,7 @@ let close_top st ~now =
     (match rest with
      | parent :: _ -> parent.f_child_us <- parent.f_child_us + total
      | [] -> ());
-    Ring.push !ring
+    Ring.push e.e_ring
       (Span.Segment
          {
            Span.span = st.s_id;
@@ -222,7 +290,7 @@ let close_top st ~now =
            encodes = fr.f_encodes;
            rewrites = fr.f_rewrites;
          });
-    let agg = layer_agg_for (fr.f_depth, fr.f_layer) in
+    let agg = layer_agg_for e (fr.f_depth, fr.f_layer) in
     agg.la_traps <- agg.la_traps + 1;
     agg.la_decodes <- agg.la_decodes + fr.f_decodes;
     agg.la_encodes <- agg.la_encodes + fr.f_encodes;
@@ -234,7 +302,8 @@ let close_top st ~now =
 let layer_enter ~span layer =
   if span <= 0 then None
   else
-    match Hashtbl.find_opt spans span with
+    let e = !cur in
+    match Hashtbl.find_opt e.e_spans span with
     | None -> None (* span already ended/aborted: record nothing *)
     | Some st ->
       let fr =
@@ -242,7 +311,7 @@ let layer_enter ~span layer =
           f_span = span;
           f_layer = layer;
           f_depth = List.length st.s_frames;
-          f_enter_us = now_us ();
+          f_enter_us = e.e_clock_fn ();
           f_child_us = 0;
           f_decodes = 0;
           f_encodes = 0;
@@ -253,16 +322,17 @@ let layer_enter ~span layer =
       Some fr
 
 let layer_exit fr =
-  match Hashtbl.find_opt spans fr.f_span with
+  let e = !cur in
+  match Hashtbl.find_opt e.e_spans fr.f_span with
   | None -> () (* span aborted underneath us *)
   | Some st ->
     if List.memq fr st.s_frames then begin
-      let now = now_us () in
+      let now = e.e_clock_fn () in
       (* close any younger frames an exception skipped over first *)
       let rec loop () =
         match st.s_frames with
         | top :: _ ->
-          close_top st ~now;
+          close_top e st ~now;
           if not (top == fr) then loop ()
         | [] -> ()
       in
@@ -281,51 +351,53 @@ let in_layer ~span layer f =
        layer_exit fr;
        raise e)
 
-let finish_span st ~error ~was_aborted =
-  let now = now_us () in
+let finish_span e st ~error ~was_aborted =
+  let now = e.e_clock_fn () in
   while st.s_frames <> [] do
-    close_top st ~now
+    close_top e st ~now
   done;
-  Hashtbl.remove spans st.s_id;
-  (match Hashtbl.find_opt open_by_pid st.s_pid with
+  Hashtbl.remove e.e_spans st.s_id;
+  (match Hashtbl.find_opt e.e_open_by_pid st.s_pid with
    | Some stack ->
      stack := List.filter (fun id -> id <> st.s_id) !stack;
-     if !stack = [] then Hashtbl.remove open_by_pid st.s_pid
+     if !stack = [] then Hashtbl.remove e.e_open_by_pid st.s_pid
    | None -> ());
-  let agg = sys_agg_for st.s_sysno in
+  let agg = sys_agg_for e st.s_sysno in
   (* sa_calls was counted at span_begin; only errors and the (sampled)
      latency histogram fold in here *)
   if error then agg.sa_errors <- agg.sa_errors + 1;
   Hist.observe agg.sa_hist (now - st.s_begin_us);
   if was_aborted then begin
-    incr aborted;
-    Ring.push !ring
+    e.e_aborted <- e.e_aborted + 1;
+    Ring.push e.e_ring
       (Span.Mark
          { Span.m_span = st.s_id; m_pid = st.s_pid; m_t_us = now;
            m_kind = "abort"; m_detail = string_of_int st.s_sysno })
   end
-  else incr completed
+  else e.e_completed <- e.e_completed + 1
 
 let span_end span ~error =
+  let e = !cur in
   if span > 0 then
-    match Hashtbl.find_opt spans span with
-    | Some st -> finish_span st ~error ~was_aborted:false
+    match Hashtbl.find_opt e.e_spans span with
+    | Some st -> finish_span e st ~error ~was_aborted:false
     | None -> ()
   else if span < 0 && error then begin
     (* unsampled trap: errors stay exact via the sysno sentinel *)
-    let agg = sys_agg_for (sentinel_sysno span) in
+    let agg = sys_agg_for e (sentinel_sysno span) in
     agg.sa_errors <- agg.sa_errors + 1
   end
 
 let abort_pid pid =
-  match Hashtbl.find_opt open_by_pid pid with
+  let e = !cur in
+  match Hashtbl.find_opt e.e_open_by_pid pid with
   | None -> ()
   | Some stack ->
     let ids = !stack in
     List.iter
       (fun id ->
-        match Hashtbl.find_opt spans id with
-        | Some st -> finish_span st ~error:false ~was_aborted:true
+        match Hashtbl.find_opt e.e_spans id with
+        | Some st -> finish_span e st ~error:false ~was_aborted:true
         | None -> ())
       ids
 
@@ -333,19 +405,19 @@ let abort_pid pid =
 
 let note_decode span =
   if span > 0 then
-    match Hashtbl.find_opt spans span with
+    match Hashtbl.find_opt !cur.e_spans span with
     | Some { s_frames = fr :: _; _ } -> fr.f_decodes <- fr.f_decodes + 1
     | _ -> ()
 
 let note_encode span =
   if span > 0 then
-    match Hashtbl.find_opt spans span with
+    match Hashtbl.find_opt !cur.e_spans span with
     | Some { s_frames = fr :: _; _ } -> fr.f_encodes <- fr.f_encodes + 1
     | _ -> ()
 
 let note_rewrite span =
   if span > 0 then
-    match Hashtbl.find_opt spans span with
+    match Hashtbl.find_opt !cur.e_spans span with
     | Some st ->
       st.s_rewrites <- st.s_rewrites + 1;
       (match st.s_frames with
@@ -356,28 +428,34 @@ let note_rewrite span =
 let span_rewrites span =
   if span <= 0 then 0
   else
-    match Hashtbl.find_opt spans span with
+    match Hashtbl.find_opt !cur.e_spans span with
     | Some st -> st.s_rewrites
     | None -> 0
 
 (* ---------- trace-agent records and marks ---------- *)
 
-let record_call c = if !on then Ring.push !ring (Span.Call c)
+let record_call c =
+  let e = !cur in
+  if e.e_on then Ring.push e.e_ring (Span.Call c)
 
 let record_mark ?(span = 0) ?pid ~kind ~detail () =
-  if !on then begin
-    let pid = match pid with Some p -> p | None -> current_pid () in
-    Ring.push !ring
+  let e = !cur in
+  if e.e_on then begin
+    let pid = match pid with Some p -> p | None -> e.e_context_fn () in
+    Ring.push e.e_ring
       (Span.Mark
-         { Span.m_span = span; m_pid = pid; m_t_us = now_us ();
+         { Span.m_span = span; m_pid = pid; m_t_us = e.e_clock_fn ();
            m_kind = kind; m_detail = detail })
   end
 
 (* ---------- reading the recorder ---------- *)
 
-let records () = Ring.to_list !ring
-let drain () = Ring.drain !ring
-let dropped () = Ring.dropped !ring
+let records_of e = Ring.to_list e.e_ring
+let drain_of e = Ring.drain e.e_ring
+
+let records () = records_of !cur
+let drain () = drain_of !cur
+let dropped () = Ring.dropped !cur.e_ring
 
 let segments () =
   List.filter_map
@@ -416,14 +494,14 @@ type metrics = {
   m_layers : layer_metrics list;
 }
 
-let metrics () =
+let metrics_of e =
   let syscalls =
     Hashtbl.fold
       (fun sysno a acc ->
         { sm_sysno = sysno; sm_calls = a.sa_calls; sm_errors = a.sa_errors;
           sm_hist = Hist.copy a.sa_hist }
         :: acc)
-      by_sysno []
+      e.e_by_sysno []
     |> List.sort (fun a b -> compare a.sm_sysno b.sm_sysno)
   in
   let layers =
@@ -434,19 +512,21 @@ let metrics () =
           lm_rewrites = a.la_rewrites; lm_self_us = a.la_self_us;
           lm_total_us = a.la_total_us; lm_hist = Hist.copy a.la_hist }
         :: acc)
-      by_layer []
+      e.e_by_layer []
     |> List.sort (fun a b -> compare (a.lm_depth, a.lm_layer) (b.lm_depth, b.lm_layer))
   in
   {
-    m_spans = !completed;
-    m_aborted = !aborted;
-    m_injected = !injected;
-    m_open = Hashtbl.length spans;
-    m_dropped = Ring.dropped !ring;
-    m_sample_n = !sample_n;
+    m_spans = e.e_completed;
+    m_aborted = e.e_aborted;
+    m_injected = e.e_injected;
+    m_open = Hashtbl.length e.e_spans;
+    m_dropped = Ring.dropped e.e_ring;
+    m_sample_n = e.e_sample_n;
     m_syscalls = syscalls;
     m_layers = layers;
   }
+
+let metrics () = metrics_of !cur
 
 (* Exact vs estimated (DESIGN.md §3.4): per-syscall [calls]/[errors]
    are exact at any sampling rate; everything derived from spans the

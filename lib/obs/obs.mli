@@ -33,7 +33,43 @@ module Json = Json
 module Span = Span
 module Chrome = Chrome
 
-(** {1 Switches and environment hooks} *)
+(** {1 Engines}
+
+    All engine state — the on/off switch, clock and context hooks,
+    sampler, span tables, ring, aggregations — lives in an {!engine}
+    value.  Each kernel shard owns one (DESIGN.md §3.6); entering a
+    shard {!install}s its engine so the unit-argument API below, called
+    from code deep in the trap path, reaches the right engine without
+    threading a handle through every signature.  A default engine is
+    installed at program start, so engine-only use (driving spans with
+    no kernel) keeps working unchanged. *)
+
+type engine
+
+val engine : ?ring_capacity:int -> unit -> engine
+(** A fresh, disabled engine with empty tables (ring capacity defaults
+    to 4096 records). *)
+
+val engine_like : engine -> engine
+(** A fresh engine inheriting [src]'s {e configuration} — enabled
+    switch, sampling rate and seed (decision stream restarted), ring
+    capacity — but none of its data.  [Kernel.create] builds each
+    shard's engine this way from the installed one, which is what keeps
+    the established "configure observation, then create the kernel"
+    call order working now that engines are per-shard. *)
+
+val install : engine -> unit
+(** Make [e] the engine the unit-argument API operates on. *)
+
+val installed : unit -> engine
+
+val with_engine : engine -> (unit -> 'a) -> 'a
+(** Run [f] with [e] installed, restoring the previous engine after
+    (exception-safe). *)
+
+(** {1 Switches and environment hooks}
+
+    Everything below reads and writes the {e installed} engine. *)
 
 val enable : unit -> unit
 val disable : unit -> unit
@@ -203,6 +239,13 @@ type metrics = {
 }
 
 val metrics : unit -> metrics
+
+val metrics_of : engine -> metrics
+(** Snapshot a specific engine (the kernel's handle-based accessors use
+    this; {!metrics} is [metrics_of (installed ())]). *)
+
+val records_of : engine -> Span.record list
+val drain_of : engine -> Span.record list
 
 val metrics_to_json : ?name:(int -> string) -> metrics -> Json.t
 (** [name] renders syscall numbers (callers pass [Abi.Sysno.name]; obs

@@ -149,6 +149,6 @@ let setup ?(params = default_params) ?(seed = 11) k =
         (fill rng params.file_size)
     done
   done;
-  Kernel.Registry.register "afsbench" (fun ~argv:_ ~envp:_ () ->
+  Kernel.register_image k "afsbench" (fun ~argv:_ ~envp:_ () ->
     body ~params ());
   Kernel.install_image k ~path:"/bin/afsbench" ~image:"afsbench"

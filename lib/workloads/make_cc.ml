@@ -29,11 +29,14 @@ let project_dir = "/proj"
 let makefile = project_dir ^ "/Makefile"
 let header_path = project_dir ^ "/include/defs.h"
 
-(* chunked I/O helpers shared by the tool stages; chunk size is read
-   from the environment-ish /proj/.ccrc so every stage agrees *)
+(* chunked I/O configuration shared by the tool stages; each stage
+   reads it at entry from the environment-ish /proj/.ccrc so every
+   stage of a session agrees, and no state outlives the stage *)
 
-let chunk_size = ref default_params.io_chunk
-let cpu_per_line = ref default_params.cpu_us_per_line
+type cfg = { chunk : int; cpu : int }
+
+let default_cfg =
+  { chunk = default_params.io_chunk; cpu = default_params.cpu_us_per_line }
 
 let read_config () =
   match Stdio.read_file (project_dir ^ "/.ccrc") with
@@ -41,21 +44,19 @@ let read_config () =
     (match String.split_on_char ' ' (String.trim content) with
      | [ a; b ] ->
        (match int_of_string_opt a, int_of_string_opt b with
-        | Some chunk, Some cpu ->
-          chunk_size := chunk;
-          cpu_per_line := cpu
-        | _ -> ())
-     | _ -> ())
-  | Error _ -> ()
+        | Some chunk, Some cpu -> { chunk; cpu }
+        | _ -> default_cfg)
+     | _ -> default_cfg)
+  | Error _ -> default_cfg
 
-let read_chunked path =
+let read_chunked cfg path =
   match Unistd.open_ path Flags.Open.o_rdonly 0 with
   | Error e -> Error e
   | Ok fd ->
-    let buf = Bytes.create !chunk_size in
+    let buf = Bytes.create cfg.chunk in
     let collected = Buffer.create 4096 in
     let rec go () =
-      match Unistd.read fd buf !chunk_size with
+      match Unistd.read fd buf cfg.chunk with
       | Error e ->
         ignore (Unistd.close fd);
         Error e
@@ -68,7 +69,7 @@ let read_chunked path =
     in
     go ()
 
-let write_chunked path content =
+let write_chunked cfg path content =
   match
     Unistd.open_ path Flags.Open.(o_wronly lor o_creat lor o_trunc) 0o644
   with
@@ -81,7 +82,7 @@ let write_chunked path content =
         Ok ()
       end
       else begin
-        let len = min !chunk_size (n - pos) in
+        let len = min cfg.chunk (n - pos) in
         match Unistd.write_all fd (String.sub content pos len) with
         | Ok () -> go (pos + len)
         | Error e ->
@@ -98,10 +99,10 @@ let fail_stage tool what e =
 (* --- cpp: include expansion --------------------------------------------- *)
 
 let cpp ~argv ~envp:_ () =
-  read_config ();
+  let cfg = read_config () in
   match argv with
   | [| _; src; out |] ->
-    (match read_chunked src with
+    (match read_chunked cfg src with
      | Error e -> fail_stage "cpp" src e
      | Ok content ->
        let expanded = Buffer.create (String.length content) in
@@ -117,7 +118,7 @@ let cpp ~argv ~envp:_ () =
              let name =
                String.sub line pl (String.index_from line pl '"' - pl)
              in
-             match read_chunked (project_dir ^ "/include/" ^ name) with
+             match read_chunked cfg (project_dir ^ "/include/" ^ name) with
              | Ok inc -> Buffer.add_string expanded inc
              | Error _ ->
                Buffer.add_string expanded ("/* missing " ^ name ^ " */\n")
@@ -127,7 +128,7 @@ let cpp ~argv ~envp:_ () =
              Buffer.add_char expanded '\n'
            end)
          (String.split_on_char '\n' content);
-       (match write_chunked out (Buffer.contents expanded) with
+       (match write_chunked cfg out (Buffer.contents expanded) with
         | Ok () -> 0
         | Error e -> fail_stage "cpp" out e))
   | _ ->
@@ -137,10 +138,10 @@ let cpp ~argv ~envp:_ () =
 (* --- cc1: "code generation" ----------------------------------------------- *)
 
 let cc1 ~argv ~envp:_ () =
-  read_config ();
+  let cfg = read_config () in
   match argv with
   | [| _; src; out |] ->
-    (match read_chunked src with
+    (match read_chunked cfg src with
      | Error e -> fail_stage "cc1" src e
      | Ok content ->
        let asm = Buffer.create (2 * String.length content) in
@@ -148,7 +149,7 @@ let cc1 ~argv ~envp:_ () =
        List.iteri
          (fun i line ->
            if String.trim line <> "" then begin
-             Unistd.cpu_work !cpu_per_line;
+             Unistd.cpu_work cfg.cpu;
              Buffer.add_string asm
                (Printf.sprintf "\tmovl\t$%d,r0\t# %s\n" i
                   (String.sub line 0 (min 24 (String.length line))));
@@ -156,7 +157,7 @@ let cc1 ~argv ~envp:_ () =
              Buffer.add_string asm "\tcalls\t$0,_emit\n"
            end)
          lines;
-       (match write_chunked out (Buffer.contents asm) with
+       (match write_chunked cfg out (Buffer.contents asm) with
         | Ok () -> 0
         | Error e -> fail_stage "cc1" out e))
   | _ ->
@@ -166,10 +167,10 @@ let cc1 ~argv ~envp:_ () =
 (* --- as: assembly ------------------------------------------------------------ *)
 
 let as_ ~argv ~envp:_ () =
-  read_config ();
+  let cfg = read_config () in
   match argv with
   | [| _; src; out |] ->
-    (match read_chunked src with
+    (match read_chunked cfg src with
      | Error e -> fail_stage "as" src e
      | Ok content ->
        let obj = Buffer.create (String.length content / 2) in
@@ -178,12 +179,12 @@ let as_ ~argv ~envp:_ () =
          (fun line ->
            let t = String.trim line in
            if t <> "" then begin
-             Unistd.cpu_work (!cpu_per_line / 4);
+             Unistd.cpu_work (cfg.cpu / 4);
              Buffer.add_string obj
                (Printf.sprintf "%04x\n" (Hashtbl.hash t land 0xffff))
            end)
          (String.split_on_char '\n' content);
-       (match write_chunked out (Buffer.contents obj) with
+       (match write_chunked cfg out (Buffer.contents obj) with
         | Ok () -> 0
         | Error e -> fail_stage "as" out e))
   | _ ->
@@ -193,7 +194,7 @@ let as_ ~argv ~envp:_ () =
 (* --- ld: linking ---------------------------------------------------------------- *)
 
 let ld ~argv ~envp:_ () =
-  read_config ();
+  let cfg = read_config () in
   if Array.length argv < 4 || argv.(1) <> "-o" then begin
     Stdio.eprint "usage: ld -o out obj...\n";
     2
@@ -206,9 +207,9 @@ let ld ~argv ~envp:_ () =
     let rc =
       List.fold_left
         (fun rc obj ->
-          match read_chunked obj with
+          match read_chunked cfg obj with
           | Ok content ->
-            Unistd.cpu_work (!cpu_per_line * 2);
+            Unistd.cpu_work (cfg.cpu * 2);
             Buffer.add_string image content;
             rc
           | Error e -> fail_stage "ld" obj e)
@@ -216,7 +217,7 @@ let ld ~argv ~envp:_ () =
     in
     if rc <> 0 then rc
     else
-      match write_chunked out (Buffer.contents image) with
+      match write_chunked cfg out (Buffer.contents image) with
       | Ok () -> 0
       | Error e -> fail_stage "ld" out e
   end
@@ -228,7 +229,9 @@ let run_tool tool args =
   Spawn.run_exit_code ("/bin/" ^ tool) argv
 
 let cc ~argv ~envp:_ () =
-  read_config ();
+  (* cc itself doesn't chunk, but it reads the config like every other
+     stage -- keep the trap traffic of a session stable *)
+  ignore (read_config ());
   if Array.length argv < 4 || argv.(1) <> "-o" then begin
     Stdio.eprint "usage: cc -o prog src.c...\n";
     2
@@ -298,7 +301,7 @@ let out_of_date rule =
       rule.deps
 
 let make ~argv ~envp:_ () =
-  read_config ();
+  ignore (read_config ());
   let mf = if Array.length argv > 1 then argv.(1) else makefile in
   match Stdio.read_file mf with
   | Error e ->
@@ -340,8 +343,8 @@ let make ~argv ~envp:_ () =
 let images =
   [ "make", make; "cc", cc; "cpp", cpp; "cc1", cc1; "as", as_; "ld", ld ]
 
-let register () =
-  List.iter (fun (name, body) -> Kernel.Registry.register name body) images
+let register k =
+  List.iter (fun (name, body) -> Kernel.register_image k name body) images
 
 let gen_source rng ~lines ~prog ~part =
   let buf = Buffer.create 4096 in
@@ -357,7 +360,7 @@ let gen_source rng ~lines ~prog ~part =
   Buffer.contents buf
 
 let setup ?(params = default_params) ?(seed = 7) k =
-  register ();
+  register k;
   Progs.install_all k;
   List.iter
     (fun (name, _) ->

@@ -28,8 +28,9 @@ val setup : ?params:params -> ?seed:int -> Kernel.t -> unit
 (** Generate the project tree (sources, headers, Makefile) and install
     the tool images in [/bin]. *)
 
-val register : unit -> unit
-(** Register the [make], [cc], [cpp], [cc1], [as] and [ld] images. *)
+val register : Kernel.t -> unit
+(** Register the [make], [cc], [cpp], [cc1], [as] and [ld] images
+    against this kernel. *)
 
 val body : unit -> int
 (** Run [make] on {!project_dir} as a direct process body (equivalent

@@ -429,11 +429,11 @@ let images =
     "head", head; "touch", touch; "rm", rm; "mkdir", mkdir; "true", true_;
     "false", false_; "sh", sh; "ed", ed ]
 
-let register () =
-  List.iter (fun (name, body) -> Kernel.Registry.register name body) images
+let register k =
+  List.iter (fun (name, body) -> Kernel.register_image k name body) images
 
 let install_all k =
-  register ();
+  register k;
   List.iter
     (fun (name, _) ->
       Kernel.install_image k ~path:("/bin/" ^ name) ~image:name)

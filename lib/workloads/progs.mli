@@ -3,7 +3,7 @@
     binaries.  All of them speak the simulated system interface only
     (via {!Libc}), so they run unmodified under any agent. *)
 
-val register : unit -> unit
+val register : Kernel.t -> unit
 (** Register every utility image (idempotent):
 
     - [cat file...] — concatenate to stdout ([-] unsupported)

@@ -235,15 +235,15 @@ let body ?(params = default_params) () =
   format_document ~cpu_us_per_word:params.cpu_us_per_word ~input:input_path
     ~output:output_path
 
-let register () =
-  Kernel.Registry.register "scribe" (fun ~argv ~envp:_ () ->
+let register k =
+  Kernel.register_image k "scribe" (fun ~argv ~envp:_ () ->
     let input = if Array.length argv > 1 then argv.(1) else input_path in
     let output = if Array.length argv > 2 then argv.(2) else output_path in
     format_document ~cpu_us_per_word:default_params.cpu_us_per_word ~input
       ~output)
 
 let setup ?(params = default_params) ?(seed = 42) k =
-  register ();
+  register k;
   let rng = Sim.Rng.create seed in
   let doc, includes = generate rng params in
   Kernel.write_file k ~path:input_path doc;

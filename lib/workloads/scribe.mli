@@ -38,7 +38,7 @@ val setup : ?params:params -> ?seed:int -> Kernel.t -> unit
 (** Write the generated document (and [/bin/scribe]) into a kernel's
     filesystem. *)
 
-val register : unit -> unit
+val register : Kernel.t -> unit
 (** Register the ["scribe"] image ([scribe input output]). *)
 
 val body : ?params:params -> unit -> int

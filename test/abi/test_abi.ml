@@ -399,9 +399,12 @@ let test_call_roundtrip_exhaustive =
 (* --- envelopes -------------------------------------------------------------------- *)
 
 let codec_window f =
-  let before = Envelope.Stats.snapshot () in
+  (* no kernel here: envelopes count against the installed (default)
+     per-shard counter set *)
+  let codec = Envelope.Stats.installed () in
+  let before = Envelope.Stats.snapshot_of codec in
   let r = f () in
-  (r, Envelope.Stats.diff before (Envelope.Stats.snapshot ()))
+  (r, Envelope.Stats.diff before (Envelope.Stats.snapshot_of codec))
 
 let test_envelope_decode_once () =
   let env = Envelope.of_wire (Call.encode (Call.Close 3)) in
@@ -465,9 +468,10 @@ let test_envelope_undecodable_memoized () =
 (* --- wire pool ------------------------------------------------------------- *)
 
 let pool_window f =
-  let before = Value.Pool.Stats.snapshot () in
+  let stats = Value.Pool.Stats.installed () in
+  let before = Value.Pool.Stats.snapshot_of stats in
   let r = f () in
-  (r, Value.Pool.Stats.diff before (Value.Pool.Stats.snapshot ()))
+  (r, Value.Pool.Stats.diff before (Value.Pool.Stats.snapshot_of stats))
 
 let test_pool_scrub_on_recycle () =
   let p = Value.Pool.create ~capacity:4 () in

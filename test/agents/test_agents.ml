@@ -417,7 +417,7 @@ let test_sandbox_fork_limit () =
 let test_sandbox_exec_denied () =
   let agent = Agents.Sandbox.create confined_policy in
   let k = fresh_kernel () in
-  Kernel.Registry.register "nop" (fun ~argv:_ ~envp:_ () -> 0);
+  Kernel.register_image k "nop" (fun ~argv:_ ~envp:_ () -> 0);
   Kernel.install_image k ~path:"/tmp/nop" ~image:"nop";
   let status =
     Kernel.boot k ~name:"init" (fun () ->

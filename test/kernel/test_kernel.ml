@@ -314,8 +314,8 @@ let test_sigkill_unblockable () =
 
 (* --- execve -------------------------------------------------------------- *)
 
-let () =
-  Kernel.Registry.register "test-child" (fun ~argv ~envp:_ () ->
+let register_test_child k =
+  Kernel.register_image k "test-child" (fun ~argv ~envp:_ () ->
     Libc.Stdio.printf "child:%s\n"
       (if Array.length argv > 1 then argv.(1) else "?");
     11)
@@ -323,6 +323,7 @@ let () =
 let test_execve () =
   let k = Kernel.create () in
   Kernel.populate_standard k;
+  register_test_child k;
   Kernel.install_image k ~path:"/bin/test-child" ~image:"test-child";
   let status =
     Kernel.boot k ~name:"init" (fun () ->
@@ -353,7 +354,7 @@ let test_execve_clears_emulation () =
   let k = Kernel.create () in
   Kernel.populate_standard k;
   let hit = ref 0 in
-  Kernel.Registry.register "emu-probe" (fun ~argv:_ ~envp:_ () ->
+  Kernel.register_image k "emu-probe" (fun ~argv:_ ~envp:_ () ->
     ignore (Libc.Unistd.getpid ());
     0);
   Kernel.install_image k ~path:"/bin/emu-probe" ~image:"emu-probe";

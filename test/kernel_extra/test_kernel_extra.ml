@@ -85,7 +85,7 @@ let test_stop_and_continue () =
 
 let test_cloexec_closed_on_exec () =
   let k = fresh_kernel () in
-  Kernel.Registry.register "fdprobe" (fun ~argv ~envp:_ () ->
+  Kernel.register_image k "fdprobe" (fun ~argv ~envp:_ () ->
     (* argv.(1) is the fd that must be closed, argv.(2) must be open *)
     let closed = int_of_string argv.(1) in
     let still = int_of_string argv.(2) in

@@ -219,7 +219,8 @@ let test_call_line_shapes () =
 
 let null_stack_session ~depth ~iters =
   with_obs (fun () ->
-      let codec = ref (Envelope.Stats.snapshot ()) in
+      let stats () = Envelope.Stats.snapshot_of (Envelope.Stats.installed ()) in
+      let codec = ref (stats ()) in
       let codec' = ref !codec in
       let _, status =
         boot (fun () ->
@@ -227,11 +228,11 @@ let null_stack_session ~depth ~iters =
               Toolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||]
             done;
             Obs.reset ();
-            codec := Envelope.Stats.snapshot ();
+            codec := stats ();
             for _ = 1 to iters do
               ignore (Libc.Unistd.getpid ())
             done;
-            codec' := Envelope.Stats.snapshot ();
+            codec' := stats ();
             Obs.disable ();
             0)
       in
@@ -333,8 +334,8 @@ let test_error_spans_counted () =
 
 let test_exit_exec_spans_aborted () =
   with_obs (fun () ->
-      Kernel.Registry.register "child" (fun ~argv:_ ~envp:_ () -> 0);
       let k = fresh_kernel () in
+      Kernel.register_image k "child" (fun ~argv:_ ~envp:_ () -> 0);
       Kernel.install_image k ~path:"/bin/child" ~image:"child";
       let status =
         Kernel.boot k ~name:"test" (fun () ->

@@ -1,0 +1,224 @@
+(* The shard handle (DESIGN.md 3.6): kernels own all their state, so
+   sequential kernels are invisible to each other, coexisting kernels
+   multiplex through [with_shard], single-shard runs are deterministic,
+   a send-free 2-shard cluster is exactly two solo runs, and a cluster
+   with cross-shard signal traffic reproduces byte-identically. *)
+
+open Abi
+
+(* a small mixed-traffic session body: files, stat, and a getpid burst *)
+let traffic tag n () =
+  let path = "/tmp/" ^ tag in
+  (match
+     Libc.Unistd.open_ path
+       Flags.Open.(o_wronly lor o_creat lor o_trunc)
+       0o644
+   with
+   | Ok fd ->
+     ignore (Libc.Unistd.write fd tag);
+     ignore (Libc.Unistd.close fd)
+   | Error e -> Alcotest.failf "open %s: %s" path (Errno.name e));
+  ignore (Libc.Unistd.stat path);
+  for _ = 1 to n do
+    ignore (Libc.Unistd.getpid ())
+  done;
+  Libc.Stdio.printf "%s done\n" tag;
+  0
+
+let observe k =
+  ( Sim.Clock.now_us (Kernel.clock k),
+    Kernel.total_syscalls k,
+    Kernel.console_output k )
+
+(* --- satellite: two sequential kernels share nothing ------------------- *)
+
+let test_sequential_isolation () =
+  let a = Tharness.fresh_kernel () in
+  Kernel.register_image a "only-in-a" (fun ~argv:_ ~envp:_ () -> 0);
+  Tharness.check_exit "a session" 0 (Tharness.boot_k a (traffic "a-only" 10));
+  let a_traps = Kernel.total_syscalls a in
+  let a_codec = Kernel.codec_stats a in
+  Alcotest.(check bool)
+    "a registered its image" true
+    (List.mem "only-in-a" (Kernel.Registry.registered (Kernel.registry a)));
+  (* a fresh kernel observes none of it *)
+  let b = Tharness.fresh_kernel () in
+  Alcotest.(check bool)
+    "b sees no image of a" false
+    (List.mem "only-in-a" (Kernel.Registry.registered (Kernel.registry b)));
+  Alcotest.(check int) "b counted no syscalls" 0 (Kernel.total_syscalls b);
+  Alcotest.(check int)
+    "b codec counters start at zero" 0 (Kernel.codec_stats b).Envelope.Stats.traps;
+  Alcotest.(check bool)
+    "b fs has no file of a" false (Kernel.exists b "/tmp/a-only");
+  Tharness.check_exit "b session" 0 (Tharness.boot_k b (traffic "b-only" 4));
+  (* and running b did not disturb a *)
+  Alcotest.(check int) "a trap count unchanged" a_traps (Kernel.total_syscalls a);
+  Alcotest.(check int)
+    "a codec unchanged" a_codec.Envelope.Stats.traps
+    (Kernel.codec_stats a).Envelope.Stats.traps;
+  Alcotest.(check bool)
+    "a fs has no file of b" false (Kernel.exists a "/tmp/b-only")
+
+(* --- two live kernels, multiplexed by hand ------------------------------ *)
+
+let test_with_shard_coexist () =
+  let a = Tharness.fresh_kernel () in
+  let b = Tharness.fresh_kernel () in
+  (* b is current (create enters); visit a without losing that *)
+  Kernel.with_shard a (fun () ->
+    Alcotest.(check int)
+      "a is current inside with_shard" (Kernel.shard_id a)
+      (Kernel.shard_id (Kernel.current_exn ()));
+    Kernel.write_file (Kernel.current_exn ()) ~path:"/tmp/in-a" "A");
+  Alcotest.(check bool)
+    "b current again after with_shard" true (Kernel.current_exn () == b);
+  Alcotest.(check bool) "a got the write" true (Kernel.exists a "/tmp/in-a");
+  Alcotest.(check bool) "b did not" false (Kernel.exists b "/tmp/in-a");
+  (* interleave two full sessions *)
+  Tharness.check_exit "b session" 0 (Tharness.boot_k b (traffic "bb" 6));
+  Tharness.check_exit "a session" 0 (Tharness.boot_k a (traffic "aa" 3));
+  Alcotest.(check bool) "consoles are private" true
+    (Kernel.console_output a <> Kernel.console_output b)
+
+(* --- determinism at one shard ------------------------------------------- *)
+
+let traced_session () =
+  let k = Tharness.fresh_kernel () in
+  let status =
+    Tharness.boot_k k (fun () ->
+      Obs.enable ();
+      Toolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||];
+      let rc = traffic "traced" 20 () in
+      Obs.disable ();
+      rc)
+  in
+  Tharness.check_exit "traced session" 0 status;
+  let clock_us, traps, console = observe k in
+  (clock_us, traps, console, Obs.Json.to_string (Kernel.metrics_json k))
+
+let test_determinism_one_shard () =
+  let c1, t1, o1, m1 = traced_session () in
+  let c2, t2, o2, m2 = traced_session () in
+  Alcotest.(check int) "virtual clock identical" c1 c2;
+  Alcotest.(check int) "trap count identical" t1 t2;
+  Alcotest.(check string) "console identical" o1 o2;
+  Alcotest.(check string) "metrics json byte-identical" m1 m2
+
+(* --- a send-free 2-shard cluster is exactly two solo runs --------------- *)
+
+let test_cluster_matches_solo () =
+  let solo i =
+    let k = Tharness.fresh_kernel () in
+    Tharness.check_exit "solo" 0
+      (Tharness.boot_k k (traffic (Printf.sprintf "w%d" i) (8 + (6 * i))));
+    observe k
+  in
+  let s0 = solo 0 in
+  let s1 = solo 1 in
+  let c = Kernel.Cluster.create ~shards:2 () in
+  Kernel.populate_standard (Kernel.Cluster.shard c 0);
+  Kernel.populate_standard (Kernel.Cluster.shard c 1);
+  let p0 =
+    Kernel.Cluster.boot_shard c 0 ~name:"test" (traffic "w0" 8)
+  in
+  let p1 =
+    Kernel.Cluster.boot_shard c 1 ~name:"test" (traffic "w1" 14)
+  in
+  Kernel.Cluster.run c;
+  Tharness.check_exit "shard 0 init" 0 p0.Kernel.Proc.exit_status;
+  Tharness.check_exit "shard 1 init" 0 p1.Kernel.Proc.exit_status;
+  let check_shard what solo_obs i =
+    let sc, st, so = solo_obs in
+    let cc, ct, co = observe (Kernel.Cluster.shard c i) in
+    Alcotest.(check int) (what ^ ": virtual clock") sc cc;
+    Alcotest.(check int) (what ^ ": trap count") st ct;
+    Alcotest.(check string) (what ^ ": console") so co
+  in
+  check_shard "shard 0 = solo 0" s0 0;
+  check_shard "shard 1 = solo 1" s1 1
+
+(* --- cross-shard signals: deterministic merge, reproducible runs -------- *)
+
+let ring_run () =
+  let n = 3 in
+  let c = Kernel.Cluster.create ~shards:n () in
+  for i = 0 to n - 1 do
+    Kernel.populate_standard (Kernel.Cluster.shard c i)
+  done;
+  let woke = Array.make n false in
+  let procs =
+    List.init n (fun i ->
+      Kernel.Cluster.boot_shard c i ~name:"ring" (fun () ->
+        ignore
+          (Tharness.check_ok "signal"
+             (Libc.Unistd.signal Signal.sigusr1
+                (Value.H_fn (fun _ -> woke.(i) <- true))));
+        (* skew the shard clocks so merge order is exercised *)
+        for _ = 1 to 3 + i do
+          ignore (Libc.Unistd.getpid ())
+        done;
+        Kernel.Cluster.send ~dst:((i + 1) mod n) ~pid:1
+          ~signal:Signal.sigusr1;
+        ignore (Libc.Unistd.sigsuspend 0);
+        Libc.Stdio.printf "shard %d woke\n" i;
+        0))
+  in
+  Kernel.Cluster.run c;
+  List.iter
+    (fun (p : Kernel.Proc.t) ->
+      Tharness.check_exit "ring init" 0 p.Kernel.Proc.exit_status)
+    procs;
+  Alcotest.(check bool)
+    "every shard's handler fired" true
+    (Array.for_all Fun.id woke);
+  List.init n (fun i -> observe (Kernel.Cluster.shard c i))
+
+let test_cluster_reproducible () =
+  let r1 = ring_run () in
+  let r2 = ring_run () in
+  List.iteri
+    (fun i ((c1, t1, o1), (c2, t2, o2)) ->
+      let what fmt = Printf.sprintf "shard %d: %s" i fmt in
+      Alcotest.(check int) (what "virtual clock") c1 c2;
+      Alcotest.(check int) (what "trap count") t1 t2;
+      Alcotest.(check string) (what "console") o1 o2)
+    (List.combine r1 r2)
+
+(* --- the deprecated global accessors alias the installed shard ---------- *)
+
+let test_deprecated_shims () =
+  let k = Tharness.fresh_kernel () in
+  Tharness.check_exit "session" 0 (Tharness.boot_k k (traffic "shim" 5));
+  (* k is the current shard, so the one-release shims must read it *)
+  let[@warning "-3"] codec_shim = Envelope.Stats.snapshot () in
+  Alcotest.(check int)
+    "Envelope.Stats.snapshot reads the current shard"
+    (Kernel.codec_stats k).Envelope.Stats.traps
+    codec_shim.Envelope.Stats.traps;
+  let[@warning "-3"] pool_shim = Value.Pool.Stats.snapshot () in
+  Alcotest.(check int)
+    "Value.Pool.Stats.snapshot reads the current shard"
+    (Kernel.pool_stats k).Value.Pool.Stats.hits
+    pool_shim.Value.Pool.Stats.hits;
+  let[@warning "-3"] () = Envelope.Stats.reset () in
+  Alcotest.(check int)
+    "Envelope.Stats.reset zeroes the current shard" 0
+    (Kernel.codec_stats k).Envelope.Stats.traps
+
+let () =
+  Alcotest.run "shard"
+    [ ( "isolation",
+        [ Alcotest.test_case "sequential kernels share nothing" `Quick
+            test_sequential_isolation;
+          Alcotest.test_case "with_shard multiplexes two kernels" `Quick
+            test_with_shard_coexist;
+          Alcotest.test_case "deprecated shims read the current shard" `Quick
+            test_deprecated_shims ] );
+      ( "determinism",
+        [ Alcotest.test_case "same seed, same bytes at 1 shard" `Quick
+            test_determinism_one_shard;
+          Alcotest.test_case "2 shards without sends = two solo runs" `Quick
+            test_cluster_matches_solo;
+          Alcotest.test_case "signal ring reproduces byte-identically" `Quick
+            test_cluster_reproducible ] ) ]

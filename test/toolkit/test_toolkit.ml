@@ -109,22 +109,25 @@ let test_decode_once_under_stack () =
      boundary), and crosses all four layers *)
   let iters = 50 in
   let depth = 4 in
-  let before = ref (Kernel.codec_stats ()) in
+  let stats () = Kernel.codec_stats (Kernel.current_exn ()) in
+  let before = ref None in
   let after = ref !before in
   let _, status =
     boot (fun () ->
       for _ = 1 to depth do
         Toolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||]
       done;
-      before := Kernel.codec_stats ();
+      before := Some (stats ());
       for _ = 1 to iters do
         ignore (Libc.Unistd.getpid ())
       done;
-      after := Kernel.codec_stats ();
+      after := Some (stats ());
       0)
   in
   check_exit "exit" 0 status;
-  let d = Envelope.Stats.diff !before !after in
+  let d =
+    Envelope.Stats.diff (Option.get !before) (Option.get !after)
+  in
   Alcotest.(check int) "traps" iters d.Envelope.Stats.traps;
   Alcotest.(check int) "all intercepted" iters d.Envelope.Stats.intercepted;
   Alcotest.(check int) "decode-count = 1 per trap" iters
@@ -156,7 +159,7 @@ let test_symbolic_override () =
 
 let test_agent_survives_execve () =
   let k = fresh_kernel () in
-  Kernel.Registry.register "probe" (fun ~argv:_ ~envp:_ () ->
+  Kernel.register_image k "probe" (fun ~argv:_ ~envp:_ () ->
     Libc.Unistd.getpid ());
   Kernel.install_image k ~path:"/bin/probe" ~image:"probe";
   let status =
@@ -334,7 +337,7 @@ let test_exec_under () =
   (* the paper's loader entry point: install the agent, then exec the
      unmodified target under it *)
   let k = fresh_kernel () in
-  Kernel.Registry.register "target" (fun ~argv ~envp:_ () ->
+  Kernel.register_image k "target" (fun ~argv ~envp:_ () ->
     Libc.Stdio.printf "pid=%d arg=%s\n" (Libc.Unistd.getpid ())
       (if Array.length argv > 1 then argv.(1) else "-");
     0);
@@ -382,20 +385,20 @@ let qtest = QCheck_alcotest.to_alcotest
    session, with [install] run first to set up whatever agent stack the
    test wants. *)
 let trap_window ~install iters =
-  let zero = Envelope.Stats.snapshot () in
-  let d = ref (Envelope.Stats.diff zero zero) in
+  let stats () = Kernel.codec_stats (Kernel.current_exn ()) in
+  let d = ref None in
   let _, status =
     boot (fun () ->
       install ();
-      let before = Envelope.Stats.snapshot () in
+      let before = stats () in
       for _ = 1 to iters do
         ignore (Libc.Unistd.getpid ())
       done;
-      d := Envelope.Stats.diff before (Envelope.Stats.snapshot ());
+      d := Some (Envelope.Stats.diff before (stats ()));
       0)
   in
   check_exit "exit" 0 status;
-  !d
+  Option.get !d
 
 let test_fast_path_uninterested () =
   (* an agent interested only in open: getpid traps must resolve on the
