@@ -14,7 +14,12 @@ test:
 # `faults` section is the campaign gate: a site x errno sweep over
 # scribe and make where every run must classify, BENCH_faults.json must
 # validate, and the seeded failing case must replay byte-identically
-# from its repro bundle.  The `scale` section is the sharding gate:
+# from its repro bundle.  The `conformance` section is the transparency
+# gate: every workload runs bare and under each declared agent stack,
+# the syscall signatures must agree modulo the stack's declared delta,
+# the seeded undeclared mutation must be flagged naming the first
+# diverging call, and BENCH_conformance.json must validate.  The
+# `scale` section is the sharding gate:
 # 1/2/4/8 kernel shards over 2048 mixed-syscall processes must balance,
 # reproduce byte-identically, and keep the 1-shard stacked-getpid
 # baseline (DESIGN.md 3.6); BENCH_scale.json must validate.
@@ -28,7 +33,7 @@ lint-globals:
 	tools/lint_globals.sh
 
 bench-smoke:
-	dune exec bench/main.exe -- ablations faults smoke scale
+	dune exec bench/main.exe -- ablations faults conformance smoke scale
 
 clean:
 	dune clean

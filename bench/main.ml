@@ -1975,6 +1975,155 @@ let scale () =
     List.iter (fun f -> Printf.printf "[scale] FAIL: %s\n" f) (List.rev fs);
     exit 1
 
+(* --- conformance: signature transparency (ablation 9, `make check` gate) ------- *)
+
+let validate_conformance_json json =
+  let open Obs.Json in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let is_int v = to_int v <> None in
+  let is_str v = to_str v <> None in
+  let is_bool v = match v with Bool _ -> true | _ -> false in
+  let require kind fields j =
+    List.fold_left
+      (fun acc (field, check) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          (match member field j with
+           | None -> err "%s: missing field %S" kind field
+           | Some v ->
+             if check v then Ok ()
+             else err "%s: field %S has wrong type" kind field))
+      (Ok ()) fields
+  in
+  match require "document" [ ("name", is_str) ] json with
+  | Error _ as e -> e
+  | Ok () ->
+    (match Option.bind (member "matrix" json) to_list with
+     | None -> err "document: missing \"matrix\" array"
+     | Some rows ->
+       let per_row acc row =
+         match acc with
+         | Error _ -> acc
+         | Ok () ->
+           require "row"
+             [ ("workload", is_str); ("stack", is_str); ("delta", is_str);
+               ("bare_events", is_int); ("under_events", is_int);
+               ("masked", is_int); ("conformant", is_bool) ]
+             row
+       in
+       (match List.fold_left per_row (Ok ()) rows with
+        | Error _ as e -> e
+        | Ok () ->
+          (match member "mutation" json with
+           | None -> err "document: missing field \"mutation\""
+           | Some m ->
+             (match
+                require "mutation"
+                  [ ("workload", is_str); ("stack", is_str);
+                    ("conformant", is_bool) ]
+                  m
+              with
+              | Error _ as e -> e
+              | Ok () ->
+                (match member "violation" m with
+                 | None -> err "mutation: missing field \"violation\""
+                 | Some v ->
+                   require "violation"
+                     [ ("index", is_int); ("reason", is_str) ]
+                     v)))))
+
+let conformance () =
+  Report.print_title
+    "Ablation 9: syscall-signature conformance (machine-checked transparency)";
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* 1. the matrix: every declared stack must leave every workload's
+        signature unchanged modulo its declared delta *)
+  let workloads =
+    [ Fault.Campaign.scribe; Fault.Campaign.make; Fault.Campaign.afs ]
+  in
+  let stacks = Conformance.bare :: Conformance.stacks in
+  let verdicts =
+    List.concat_map
+      (fun (w : Fault.Campaign.workload) ->
+        (* bare is captured once per workload and shared as the baseline *)
+        let baseline = Conformance.capture w Conformance.bare in
+        if Conformance.Signature.length baseline.Conformance.cap_sig = 0 then
+          fail "%s: bare run produced an empty signature"
+            w.Fault.Campaign.w_name;
+        List.map
+          (fun s ->
+            let v = Conformance.check ~baseline w s in
+            if not (Conformance.conforms v) then
+              fail "%s under %s: %s" v.Conformance.c_workload
+                v.Conformance.c_stack
+                (match v.Conformance.c_violation with
+                 | Some d -> Conformance.Signature.divergence_to_string d
+                 | None -> "?");
+            if v.Conformance.c_bare_status <> v.Conformance.c_under_status
+            then
+              fail "%s under %s: exit status changed (%d vs %d)"
+                v.Conformance.c_workload v.Conformance.c_stack
+                v.Conformance.c_bare_status v.Conformance.c_under_status;
+            v)
+          stacks)
+      workloads
+  in
+  Report.print_table
+    ~headers:[ "workload"; "stack"; "calls"; "masked"; "verdict" ]
+    (List.map
+       (fun (v : Conformance.verdict) ->
+         [ v.Conformance.c_workload; v.Conformance.c_stack;
+           string_of_int v.Conformance.c_under_events;
+           string_of_int v.Conformance.c_masked;
+           (if Conformance.conforms v then "conformant" else "VIOLATION") ])
+       verdicts);
+  (* 2. the seeded mutation: an undeclared injection must be flagged,
+        naming the first diverging call *)
+  let mv = Conformance.check Fault.Campaign.scribe Conformance.mutant in
+  (match mv.Conformance.c_violation with
+   | None -> fail "undeclared mutant conformed: the checker is blind"
+   | Some d ->
+     Printf.printf "seeded mutation caught: %s\n"
+       (Conformance.Signature.divergence_to_string d));
+  (* 3. machine-readable companion, schema-validated on the spot *)
+  let open Obs.Json in
+  Report.write_json ~name:"conformance"
+    (Obj
+       [ ("name", Str "conformance");
+         ( "matrix",
+           Arr (List.map Conformance.verdict_to_json verdicts) );
+         ("mutation", Conformance.verdict_to_json mv) ]);
+  (let path = "BENCH_conformance.json" in
+   if not (Sys.file_exists path) then fail "%s: not written" path
+   else begin
+     let ic = open_in_bin path in
+     let content =
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> really_input_string ic (in_channel_length ic))
+     in
+     match of_string (String.trim content) with
+     | Error e -> fail "%s: malformed JSON: %s" path e
+     | Ok json ->
+       (match validate_conformance_json json with
+        | Error e -> fail "%s: schema: %s" path e
+        | Ok () -> Printf.printf "[conformance] %s: schema ok\n" path)
+   end);
+  Report.print_note
+    "Transparency is checked, not assumed: each workload runs bare and\n\
+     under each stack, both syscall signatures are normalized by the\n\
+     stack's declared delta, and any residual divergence fails the\n\
+     build naming the first diverging call (DESIGN.md 3.7).";
+  match !failures with
+  | [] -> Printf.printf "[conformance] all gates passed\n"
+  | fs ->
+    List.iter
+      (fun f -> Printf.printf "[conformance] FAIL: %s\n" f)
+      (List.rev fs);
+    exit 1
+
 (* --- driver -------------------------------------------------------------------------------- *)
 
 let sections =
@@ -1986,6 +2135,7 @@ let sections =
     "dfstrace", dfstrace;
     "ablations", ablations;
     "faults", faults;
+    "conformance", conformance;
     "smoke", smoke;
     "scale", scale;
     "wallclock", wallclock ]

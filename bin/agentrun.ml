@@ -363,11 +363,57 @@ let run_repro path =
              log_err "agentrun: --repro: NOT reproduced: %s\n" msg;
              1)))
 
+(* --- conformance ------------------------------------------------------------- *)
+
+let spawn_exit_code path argv =
+  match Libc.Spawn.run path argv with
+  | Ok st when Flags.Wait.wifexited st -> Flags.Wait.wexitstatus st
+  | Ok st when Flags.Wait.wifsignaled st -> 128 + Flags.Wait.wtermsig st
+  | Ok _ -> 126
+  | Error e ->
+    ignore
+      (Libc.Unistd.write 2
+         (Printf.sprintf "agentrun: %s: %s\n" path (Errno.message e)));
+    127
+
+(* Differential transparency check: run the program bare and again
+   under the named stack, and require the two syscall signatures to
+   agree modulo the stack's declared delta. *)
+let run_conform spec setups prog_args =
+  match prog_args with
+  | [] ->
+    log_err "agentrun: --conform: no program given\n";
+    2
+  | prog :: _ ->
+    (match Conformance.of_spec spec with
+     | Error msg ->
+       log_err "agentrun: --conform: %s\n" msg;
+       2
+     | Ok stack ->
+       let path = resolve_prog prog in
+       let argv = Array.of_list prog_args in
+       let setup k =
+         Workloads.Progs.install_all k;
+         try List.iter (apply_setup k) ("demo" :: setups) with
+         | Invalid_argument msg ->
+           log_err "agentrun: %s\n" msg;
+           exit 2
+       in
+       let w =
+         Conformance.workload_of_body ~name:prog ~setup (fun () ->
+           spawn_exit_code path argv)
+       in
+       let v = Conformance.check w stack in
+       print_endline (Conformance.verdict_to_string v);
+       if Conformance.conforms v then 0 else 1)
+
 let run agents setups stats feed record replay metrics trace_out trace_format
-    sample sample_seed campaign campaign_out repro prog_args =
+    sample sample_seed campaign campaign_out repro signature conform
+    prog_args =
   match prog_args with
   | _ when repro <> "" -> run_repro repro
   | _ when campaign <> "" -> run_campaign campaign campaign_out
+  | _ when conform <> "" -> run_conform conform setups prog_args
   | [] ->
     log_err "agentrun: no program given\n";
     2
@@ -376,7 +422,7 @@ let run agents setups stats feed record replay metrics trace_out trace_format
       trace_format;
     2
   | prog :: _ ->
-    let observing = metrics || trace_out <> "" in
+    let observing = metrics || trace_out <> "" || signature <> "" in
     if observing then begin
       Obs.reset ();
       Obs.set_sampling ~seed:sample_seed sample;
@@ -433,13 +479,16 @@ let run agents setups stats feed record replay metrics trace_out trace_format
     let status =
       Kernel.boot k ~name:"agentrun" (fun () ->
         List.iter (fun (install, _) -> install ()) installers_reporters;
-        (* reports must be emitted inside the session, before exit *)
+        (* the signature covers exactly the program's own calls: armed
+           after agent installation, disarmed before agent reports *)
+        if signature <> "" then Obs.sig_capture true;
         let code =
           match
             Libc.Spawn.run path argv
           with
           | Ok st when Flags.Wait.wifexited st -> Flags.Wait.wexitstatus st
           | Ok st when Flags.Wait.wifsignaled st ->
+            Obs.sig_capture false;
             ignore
               (Libc.Unistd.write 2
                  (Printf.sprintf "agentrun: program killed by %s\n"
@@ -447,12 +496,15 @@ let run agents setups stats feed record replay metrics trace_out trace_format
             128 + Flags.Wait.wtermsig st
           | Ok _ -> 126
           | Error e ->
+            Obs.sig_capture false;
             ignore
               (Libc.Unistd.write 2
                  (Printf.sprintf "agentrun: %s: %s\n" path
                     (Errno.message e)));
             127
         in
+        Obs.sig_capture false;
+        (* reports must be emitted inside the session, before exit *)
         List.iter (fun (_, report) -> report ()) installers_reporters;
         code)
     in
@@ -466,6 +518,19 @@ let run agents setups stats feed record replay metrics trace_out trace_format
      | None -> ());
     if observing then begin
       Obs.disable ();
+      if signature <> "" then begin
+        let s = Conformance.Signature.of_obs (Obs.sig_events ()) in
+        Obs.sig_clear ();
+        (try
+           write_host_file signature
+             (Conformance.Signature.to_string s ^ "\n")
+         with
+         | Sys_error msg -> log_err "agentrun: --signature: %s\n" msg);
+        if stats then
+          Printf.eprintf "[agentrun] wrote %d-call signature to %s\n"
+            (Conformance.Signature.length s)
+            signature
+      end;
       if trace_out <> "" then begin
         let records = Kernel.drain_obs k in
         let rendered =
@@ -597,6 +662,25 @@ let repro_arg =
   in
   Arg.(value & opt string "" & info [ "repro" ] ~docv:"FILE" ~doc)
 
+let signature_arg =
+  let doc =
+    "Capture the program's syscall signature (ordered calls with arg \
+     shapes and outcomes, the unit of conformance checking) and write \
+     it as JSON to this host file."
+  in
+  Arg.(value & opt string "" & info [ "signature" ] ~docv:"FILE" ~doc)
+
+let conform_arg =
+  let doc =
+    "Differential transparency check: run the program bare and again \
+     under this agent stack (a comma-separated list of stack names: \
+     trace, crypt, sandbox, remap, timex, stacked, mutant), then \
+     require the syscall signatures to agree modulo the stack's \
+     declared delta.  Exits 0 when conformant, 1 on a violation \
+     (printing the first diverging call)."
+  in
+  Arg.(value & opt string "" & info [ "conform" ] ~docv:"STACK" ~doc)
+
 let prog_arg =
   let doc = "Program and its arguments (searched in /bin)." in
   Arg.(value & pos_all string [] & info [] ~docv:"PROG" ~doc)
@@ -626,6 +710,7 @@ let cmd =
       const run $ agents_arg $ setup_arg $ stats_arg $ feed_arg
       $ record_arg $ replay_arg $ metrics_arg $ trace_out_arg
       $ trace_format_arg $ sample_arg $ sample_seed_arg $ campaign_arg
-      $ campaign_out_arg $ repro_arg $ prog_arg)
+      $ campaign_out_arg $ repro_arg $ signature_arg $ conform_arg
+      $ prog_arg)
 
 let () = exit (Cmd.eval' cmd)

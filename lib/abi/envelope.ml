@@ -54,9 +54,6 @@ module Stats = struct
     c.c_crossings <- 0;
     c.c_agent_calls <- 0
 
-  let snapshot () = snapshot_of !cur
-  let reset () = reset_of !cur
-
   let diff before after =
     {
       traps = after.traps - before.traps;
@@ -233,6 +230,19 @@ let wire t =
 let peek_wire t =
   (match t.wire with Some _ -> t.exposed <- true | None -> ());
   t.wire
+
+(* The canonical arg shape, from whichever view is already
+   materialized.  Reads the wire without marking it exposed — the
+   shape retains no reference — and never decodes, encodes or bumps a
+   codec counter, so signature capture cannot disturb the decode-once
+   accounting it is meant to audit. *)
+let shape t =
+  match t.wire with
+  | Some w -> Shape.of_wire w
+  | None -> (
+    match t.view with
+    | Typed c -> Shape.of_call c
+    | Undecoded | Undecodable _ -> "?")
 
 let nargs t =
   match t.wire with

@@ -80,6 +80,15 @@ val peek_wire : t -> Value.wire option
 val nargs : t -> int option
 (** Arity of the wire form, if materialized. *)
 
+val shape : t -> string
+(** The {!Shape} classification of the argument vector, computed from
+    whichever view is already materialized ([Shape] guarantees both
+    give the same string).  Unlike {!peek_wire} this does not mark the
+    wire exposed, and it never performs (or counts) codec work — the
+    signature tap must not perturb what it measures.  ["?"] only for
+    an undecodable envelope with no wire, which cannot arise on the
+    trap path. *)
+
 val decoded : t -> bool
 (** Whether the typed view has been materialized (true from birth for
     {!of_call} envelopes).  A layer about to pay virtual decode cost
@@ -155,16 +164,6 @@ module Stats : sig
       mid-session hygiene problem is structurally gone: resetting one
       shard's counters cannot disturb another shard's open measurement
       window.  Within a shard, still prefer {!diff} over zeroing. *)
-
-  val snapshot : unit -> snapshot
-  [@@deprecated "use snapshot_of (installed ()) or Kernel.codec_stats"]
-  (** Snapshot of whichever set happens to be installed.  Deprecated
-      since the counters became per-shard (PR 6): name the shard you
-      mean instead. *)
-
-  val reset : unit -> unit
-  [@@deprecated "counters are per-shard now; diff snapshots instead, \
-                 or reset_of a set you own"]
 
   val diff : snapshot -> snapshot -> snapshot
   (** [diff before after]: counts in the window between two snapshots.

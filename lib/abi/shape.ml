@@ -1,0 +1,64 @@
+(* Canonical argument shapes for syscall signatures (conformance).
+
+   A shape classifies a trap's argument vector without retaining raw
+   values: integers collapse to small exact values or power-of-two
+   magnitude classes, buffers and strings to length classes, absolute
+   paths to a component-depth + extension class.  Two runs of a
+   deterministic workload produce identical shapes even when an agent
+   lawfully rewrites values (a shifted timestamp, an XORed payload),
+   while a dropped rewrite or a renumbered call shows up immediately.
+
+   The one invariant consumers rely on: the shape of a typed call
+   equals the shape of its encoding ([of_call c = of_wire (encode c)]),
+   so shape capture never cares which form of an envelope happens to be
+   materialized. *)
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
+
+let magnitude n = if n <= 8 then string_of_int n else Printf.sprintf "2^%d" (log2 n)
+
+let int_class n =
+  if n = 0 then "i0"
+  else if n > 0 then "i" ^ magnitude n
+  else "i-" ^ magnitude (-n)
+
+let size_class prefix n =
+  if n = 0 then prefix ^ "0" else prefix ^ magnitude n
+
+(* "/doc/ch1.mss" -> "p2.mss": component depth plus a bounded basename
+   extension.  Rewritten directory *names* (union, remap mounts) keep
+   the class; a path that gains or loses components does not. *)
+let path_class s =
+  let comps =
+    String.split_on_char '/' s |> List.filter (fun c -> c <> "")
+  in
+  let depth = List.length comps in
+  let ext =
+    match List.rev comps with
+    | base :: _ -> (
+      match String.rindex_opt base '.' with
+      | Some i when i > 0 && String.length base - i - 1 <= 8 ->
+        "." ^ String.sub base (i + 1) (String.length base - i - 1)
+      | _ -> "")
+    | [] -> ""
+  in
+  Printf.sprintf "p%d%s" depth ext
+
+let token = function
+  | Value.Nil -> "_"
+  | Value.Int n -> int_class n
+  | Value.Str s ->
+    if String.length s > 0 && s.[0] = '/' then path_class s
+    else size_class "s" (String.length s)
+  | Value.Buf b -> size_class "b" (Bytes.length b)
+  | Value.Strs a -> Printf.sprintf "v%d" (Array.length a)
+  | Value.Body _ -> "f"
+  | Value.Stat_ref _ -> "st"
+  | Value.Tv_ref _ -> "tv"
+  | Value.Handler _ -> "h"
+  | Value.Handler_ref _ -> "hr"
+
+let of_wire (w : Value.wire) =
+  String.concat "," (Array.to_list (Array.map token w.Value.args))
+
+let of_call c = of_wire (Call.encode c)

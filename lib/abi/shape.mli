@@ -1,0 +1,24 @@
+(** Canonical argument shapes for syscall signatures.
+
+    A {e shape} is a short string classifying a trap's argument vector
+    by kind and size class, never by raw value: small integers stay
+    exact (descriptors, flags-free modes), larger magnitudes collapse
+    to powers of two, strings and buffers to length classes, absolute
+    paths to component-depth + extension classes ("/doc/ch1.mss" →
+    ["p2.mss"]).  Signature capture ([lib/conformance]) keys ordered
+    per-syscall event streams by (sysno, shape, errno outcome), so a
+    transparent agent stack reproduces the bare run's shapes exactly
+    while value-level rewrites it {e declares} (shifted times, XORed
+    payloads) stay invisible by construction.
+
+    Invariant: [of_call c = of_wire (Call.encode c)] — the shape does
+    not depend on which envelope view happens to be materialized
+    (qcheck-verified over every [Call.t] constructor). *)
+
+val of_wire : Value.wire -> string
+(** Comma-joined per-argument class tokens; [""] for a nullary call. *)
+
+val of_call : Call.t -> string
+
+val token : Value.t -> string
+(** The class token of one argument value. *)

@@ -78,9 +78,6 @@ module Pool = struct
     let reset_of c =
       c.c_hits <- 0; c.c_misses <- 0; c.c_recycled <- 0; c.c_dropped <- 0
 
-    let snapshot () = snapshot_of !cur
-    let reset () = reset_of !cur
-
     let diff before after =
       { hits = after.hits - before.hits;
         misses = after.misses - before.misses;

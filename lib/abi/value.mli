@@ -101,13 +101,6 @@ module Pool : sig
     val snapshot_of : t -> snapshot
     val reset_of : t -> unit
 
-    val snapshot : unit -> snapshot
-    [@@deprecated "use snapshot_of (installed ()) or Kernel.pool_stats"]
-
-    val reset : unit -> unit
-    [@@deprecated "counters are per-shard now; diff snapshots instead, \
-                   or reset_of a set you own"]
-
     val diff : snapshot -> snapshot -> snapshot
     val pp : Format.formatter -> snapshot -> unit
 

@@ -138,6 +138,13 @@ class agent ~(subtrees : string list) =
     val mutable handled = 0
 
     method! agent_name = "compress"
+
+    (* on-disk form is compressed: payloads and observed sizes (stat,
+       lseek results) differ from the bare filesystem's *)
+    method! declared_delta =
+      [ Delta.Rewrites_results
+          [ Sysno.sys_read; Sysno.sys_write; Sysno.sys_stat;
+            Sysno.sys_lstat; Sysno.sys_lseek ] ]
     method files_handled = handled
     (* a descriptor_set layer: descriptor calls (incl. open/creat) only *)
     method! init _argv =

@@ -6,7 +6,11 @@
     against it, and writes the re-encoded stream back at close.
     Unmodified programs see plain data; the bytes on "disk" are
     compressed.  Files without the header are treated as legacy
-    plaintext and become compressed on their next modification. *)
+    plaintext and become compressed on their next modification.
+
+    Declared delta: [Rewrites_results [read; write; stat; lstat;
+    lseek]] — data and apparent sizes change under the subtrees;
+    outcomes do not. *)
 
 val header : string
 

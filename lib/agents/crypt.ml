@@ -110,6 +110,11 @@ class agent ~(key : int) ~(subtrees : string list) =
     val mutable protected_opens = 0
 
     method! agent_name = "crypt"
+
+    (* payload bytes under the subtrees are transformed in flight;
+       counts, shapes and outcomes are untouched *)
+    method! declared_delta =
+      [ Delta.Rewrites_results [ Sysno.sys_read; Sysno.sys_write ] ]
     method files_protected = protected_opens
     (* a descriptor_set layer: descriptor calls (incl. open/creat) only *)
     method! init _argv =

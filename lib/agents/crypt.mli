@@ -7,7 +7,11 @@
     (including seeks) while the bytes at rest are ciphertext.  The
     cipher is an XOR stream keyed by (key, byte offset) — structurally
     a stream cipher, deliberately not a cryptographically serious
-    one. *)
+    one.
+
+    Declared delta: [Rewrites_results [read; write]] — payload bytes
+    change under the protected subtrees; counts, outcomes and shapes
+    are untouched. *)
 
 val keystream_byte : key:int -> pos:int -> int
 (** The keystream octet at a file position (exposed for tests). *)

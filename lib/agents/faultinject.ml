@@ -91,6 +91,13 @@ class agent (config : config) =
 
     method! agent_name = "faultinject"
 
+    (* every candidate call may surface the configured errno *)
+    method! declared_delta =
+      if config.failure_rate <= 0.0 then Delta.none
+      else
+        [ Delta.May_fail
+            { sysnos = Bitset.to_list candidates; errnos = [ config.errno ] } ]
+
     method injected =
       Hashtbl.fold (fun num n acc -> (num, n) :: acc) counts []
       |> List.sort compare
@@ -136,6 +143,19 @@ class planned ~(plan : site list) =
     val mutable delayed = 0
 
     method! agent_name = "faultinject"
+
+    (* the plan, restated as a declaration: Fail sites may flip the
+       matched call's outcome to their errno (an injected EINTR the
+       restart policy absorbs stays invisible and needs no mask),
+       Delay sites only add virtual latency *)
+    method! declared_delta =
+      List.concat_map
+        (fun s ->
+          match s.s_action with
+          | Fail e ->
+            [ Delta.May_fail { sysnos = [ s.s_num ]; errnos = [ e ] } ]
+          | Delay _ -> [ Delta.May_delay [ s.s_num ] ])
+        (Array.to_list sites)
 
     method plan = Array.to_list sites
 

@@ -19,7 +19,12 @@
     path, so a faulted call is never cheaper than a successful one.
     When [Obs] is enabled, every injection bumps the exact [injected]
     metrics counter and drops a [~kind:"inject"] mark on the trap's
-    span. *)
+    span.
+
+    Declared delta: the configuration restated as a mask — [May_fail]
+    over the candidate calls with the configured errno(s), [May_delay]
+    for [Delay] sites.  Restart-absorbed EINTR needs no mask: the
+    application-visible span still succeeds. *)
 
 (** What to do to a matched call. *)
 type action =

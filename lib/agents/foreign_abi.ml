@@ -17,6 +17,17 @@ let numbers =
   [ v_exit; v_fork; v_read; v_write; v_open; v_close; v_getpid;
     v_gettimeofday; v_wait; v_stat ]
 
+(* the renumbering [to_native] performs, as data — remap's declared
+   delta, and the normalization table for comparing a VOS program's
+   signature against a native baseline *)
+let native_pairs =
+  [ (v_exit, Sysno.sys_exit); (v_fork, Sysno.sys_fork);
+    (v_read, Sysno.sys_read); (v_write, Sysno.sys_write);
+    (v_open, Sysno.sys_open); (v_close, Sysno.sys_close);
+    (v_getpid, Sysno.sys_getpid);
+    (v_gettimeofday, Sysno.sys_gettimeofday);
+    (v_wait, Sysno.sys_wait4); (v_stat, Sysno.sys_stat) ]
+
 let ( let* ) = Result.bind
 
 let to_native (w : Value.wire) : (Value.wire, Errno.t) result =

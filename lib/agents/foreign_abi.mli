@@ -24,6 +24,12 @@ val v_stat : int
 val numbers : int list
 (** All foreign numbers, for [register_interest]. *)
 
+val native_pairs : (int * int) list
+(** The (foreign, native) renumbering {!to_native} performs, as data —
+    [Remap]'s declared delta ([Abi.Delta.Renumbers]), and the table
+    conformance checking uses to compare a VOS program's syscall
+    signature against a native baseline. *)
+
 val to_native : Abi.Value.wire -> (Abi.Value.wire, Abi.Errno.t) result
 (** Translate one foreign trap into the equivalent native trap
     (renumbering, plus the [open] argument reordering). *)

@@ -11,6 +11,9 @@
 
     Contents reflect whatever [Obs] has accumulated; with tracing off
     the files exist but are empty(ish).  Reading them is itself made of
-    system calls, which are observed like any others. *)
+    system calls, which are observed like any others.
+
+    Declared delta: inherited from {!Synthfs.agent} — programs that
+    never look under the mount see no delta at all. *)
 
 val create : ?mount:string -> unit -> Synthfs.agent

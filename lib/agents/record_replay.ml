@@ -207,6 +207,13 @@ class replayer ~(journal : string) =
     method consumed = consumed
     method desyncs = desyncs
 
+    (* input calls answer from the journal, not the kernel — results
+       are rewritten wholesale, and a diverging call fails with EIO
+       rather than serving wrong data *)
+    method! declared_delta =
+      [ Delta.Rewrites_results replayable_calls;
+        Delta.May_fail { sysnos = replayable_calls; errnos = [ Errno.EIO ] } ]
+
     method! init _argv =
       List.iter self#register_interest replayable_calls;
       List.iter

@@ -17,7 +17,12 @@
 
     A replay that observes a call sequence diverging from the journal
     counts a desync and fails the call with [EIO] rather than serving
-    wrong data. *)
+    wrong data.
+
+    Declared deltas: the recorder only watches, so it declares none;
+    the replayer declares [Rewrites_results] over the replayable calls
+    (inputs come from the journal) and [May_fail \{replayable; EIO\}]
+    for desyncs. *)
 
 val replayable : int -> bool
 (** The input calls that are journaled/replayed. *)

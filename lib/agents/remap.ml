@@ -7,6 +7,11 @@ class agent =
     method! agent_name = "remap"
     method calls_translated = translated
 
+    (* foreign-numbered traps are served as their native pairing; a
+       native baseline matches a VOS program's signature only after
+       renumbering through exactly this table *)
+    method! declared_delta = [ Abi.Delta.Renumbers Foreign_abi.native_pairs ]
+
     method! init _argv =
       List.iter self#register_interest Foreign_abi.numbers
 

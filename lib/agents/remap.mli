@@ -3,7 +3,11 @@
     each foreign trap to its native equivalent at the numeric layer —
     the paper's "emulation of other operating systems" example, and a
     direct use of the layer-0 facility of remapping one range of
-    system call numbers onto another. *)
+    system call numbers onto another.
+
+    Declared delta: [Renumbers Foreign_abi.native_pairs] — a VOS
+    trap's signature matches the native baseline after mapping each
+    foreign sysno to its native partner. *)
 
 class agent : object
   inherit Toolkit.numeric_syscall

@@ -63,6 +63,16 @@ class agent (policy : policy) =
 
     method! agent_name = "sandbox"
     method policy = policy
+
+    (* exactly the calls the policy guards may flip outcome: hidden
+       paths read as ENOENT, denials as EPERM (or emulated success),
+       byte/process budgets as ENOSPC/EAGAIN.  A policy wide enough
+       for the workload leaves the mask unused — full transparency. *)
+    method! declared_delta =
+      [ Delta.May_fail
+          { sysnos =
+              Sysno.sys_kill :: Sysno.sys_settimeofday :: Sysno.file_calls;
+            errnos = [ Errno.ENOENT; Errno.EPERM; Errno.ENOSPC; Errno.EAGAIN ] } ]
     method violations = List.rev violations
     method bytes_written = written
     method children_spawned = children

@@ -10,7 +10,12 @@
     actually performing them" — so malware-style probes run to
     completion while mutating nothing.
 
-    Every denial is recorded; [violations] is the audit trail. *)
+    Every denial is recorded; [violations] is the audit trail.
+
+    Declared delta: [May_fail] on the guarded calls (file calls plus
+    [kill]/[settimeofday]) with ENOENT/EPERM/ENOSPC/EAGAIN — a policy
+    wide enough for the workload leaves the mask unused, which is the
+    checkable statement of sandbox transparency. *)
 
 type policy = {
   readable : string list;

@@ -7,6 +7,9 @@ class agent =
 
     method! agent_name = "timex"
 
+    method! declared_delta =
+      [ Abi.Delta.Shifts_results [ Abi.Sysno.sys_gettimeofday ] ]
+
     method! init argv =
       self#register_interest Abi.Sysno.sys_gettimeofday;
       if Array.length argv > 0 then

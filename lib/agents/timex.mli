@@ -2,7 +2,10 @@
     programs running under it by offsetting the result of
     [gettimeofday].  The whole agent is a derived [sys_gettimeofday]
     and an [init] that parses the desired offset — the paper's 35-
-    statement example. *)
+    statement example.
+
+    Declared delta: [Shifts_results [gettimeofday]] — the call's
+    result value moves, its outcome and shape do not. *)
 
 class agent : object
   inherit Toolkit.symbolic_syscall

@@ -14,7 +14,12 @@
     [Obs.Span.call_line] — the same record is appended to the [Obs]
     flight recorder when tracing is enabled, so [agentrun --agent
     trace] text and [--trace-out] JSONL are two renderings of one
-    stream. *)
+    stream.
+
+    Declared delta: none — tracing is pure observation, and the
+    conformance checker holds it to that (the trace descriptor's
+    writes are agent-originated, so they never enter the client's
+    syscall signature). *)
 
 class agent : object
   inherit Toolkit.symbolic_syscall

@@ -37,6 +37,12 @@ class agent =
     val mutable pending_mount : mount option = None
 
     method! agent_name = "union"
+
+    (* directory reads under a mount point are merged from the member
+       directories, and path lookups resolve through them *)
+    method! declared_delta =
+      [ Delta.Rewrites_results
+          [ Sysno.sys_getdirentries; Sysno.sys_stat; Sysno.sys_lstat ] ]
     method mounts = mounts
 
     method add_mount ~point ~members =

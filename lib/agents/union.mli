@@ -8,7 +8,11 @@
     member that contains them, and a derived directory object whose
     [next_direntry] iterates over every member's contents (duplicates
     suppressed, earlier members win).  New files are created in the
-    first member. *)
+    first member.
+
+    Declared delta: [Rewrites_results [getdirentries; stat; lstat]] —
+    listings and identities under a mount reflect the union, not any
+    single member (this covers the {!Merged_dir} machinery too). *)
 
 type mount = {
   point : string;          (** absolute path of the union directory *)

@@ -1,0 +1,280 @@
+open Abi
+
+(* A syscall signature: the ordered stream of application-issued traps
+   as observed at the user/kernel interface, each reduced to what
+   transparency promises to preserve — which call, with what argument
+   shape, from which process, with what outcome.  Values (bytes read,
+   timestamps, pids returned) are deliberately absent: agents may
+   lawfully rewrite those, and the shape/outcome reduction is exactly
+   the quotient in which a transparent stack is invisible. *)
+
+type outcome =
+  | Ok_            (* the call succeeded *)
+  | Err of int     (* failed with this errno *)
+  | Noreturn       (* never returned (exit, successful execve) *)
+  | Masked         (* neutralized by a declared [May_fail] clause *)
+
+type event = {
+  x_seq : int;        (* 1-based position in the capture stream *)
+  x_pid : int;
+  x_sysno : int;
+  x_shape : string;
+  x_outcome : outcome;
+}
+
+type t = { sg_events : event list }
+
+let empty = { sg_events = [] }
+let events t = t.sg_events
+let length t = List.length t.sg_events
+
+let outcome_of_errno errno =
+  if errno = Obs.sig_pending then Noreturn
+  else if errno = 0 then Ok_
+  else Err errno
+
+let of_obs evs =
+  {
+    sg_events =
+      List.map
+        (fun (e : Obs.sig_event) ->
+          {
+            x_seq = e.Obs.g_seq;
+            x_pid = e.Obs.g_pid;
+            x_sysno = e.Obs.g_sysno;
+            x_shape = e.Obs.g_shape;
+            x_outcome = outcome_of_errno e.Obs.g_errno;
+          })
+        evs;
+  }
+
+(* --- outcome rendering -------------------------------------------------- *)
+
+let outcome_name = function
+  | Ok_ -> "ok"
+  | Noreturn -> "noreturn"
+  | Masked -> "masked"
+  | Err e -> (
+    match Errno.of_int e with
+    | Some er -> Errno.name er
+    | None -> Printf.sprintf "E%d" e)
+
+let outcome_of_name = function
+  | "ok" -> Some Ok_
+  | "noreturn" -> Some Noreturn
+  | "masked" -> Some Masked
+  | s -> (
+    match Errno.of_name s with
+    | Some er -> Some (Err (Errno.to_int er))
+    | None ->
+      if String.length s > 1 && s.[0] = 'E' then
+        Option.map (fun e -> Err e)
+          (int_of_string_opt (String.sub s 1 (String.length s - 1)))
+      else None)
+
+let event_to_string ev =
+  Printf.sprintf "#%d pid %d %s(%s) -> %s" ev.x_seq ev.x_pid
+    (Sysno.name ev.x_sysno) ev.x_shape (outcome_name ev.x_outcome)
+
+(* --- aggregate view ------------------------------------------------------ *)
+
+let counts t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      let key = (ev.x_sysno, ev.x_shape, ev.x_outcome) in
+      Hashtbl.replace tbl key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    t.sg_events;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [] |> List.sort compare
+
+(* --- serialization ------------------------------------------------------- *)
+
+(* One event is a flat 5-array; the envelope records the version and
+   total so a truncated file is detectable. *)
+let to_json t =
+  let open Obs.Json in
+  Obj
+    [
+      ("version", Int 1);
+      ("events", Int (length t));
+      ( "stream",
+        Arr
+          (List.map
+             (fun ev ->
+               Arr
+                 [
+                   Int ev.x_seq; Int ev.x_pid; Int ev.x_sysno;
+                   Str ev.x_shape; Str (outcome_name ev.x_outcome);
+                 ])
+             t.sg_events) );
+    ]
+
+let of_json j =
+  let open Obs.Json in
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    match Option.bind (member "version" j) to_int with
+    | Some 1 -> Ok ()
+    | Some v -> Error (Printf.sprintf "unsupported signature version %d" v)
+    | None -> Error "missing version"
+  in
+  let* stream =
+    match Option.bind (member "stream" j) to_list with
+    | Some l -> Ok l
+    | None -> Error "missing stream"
+  in
+  let* evs =
+    List.fold_left
+      (fun acc el ->
+        let* acc = acc in
+        match to_list el with
+        | Some [ seq; pid; sysno; shape; outc ] -> (
+          match
+            ( to_int seq, to_int pid, to_int sysno, to_str shape,
+              Option.bind (to_str outc) outcome_of_name )
+          with
+          | Some x_seq, Some x_pid, Some x_sysno, Some x_shape,
+            Some x_outcome ->
+            Ok ({ x_seq; x_pid; x_sysno; x_shape; x_outcome } :: acc)
+          | _ -> Error "malformed event")
+        | _ -> Error "malformed event")
+      (Ok []) stream
+  in
+  let evs = List.rev evs in
+  let* () =
+    match Option.bind (member "events" j) to_int with
+    | Some n when n = List.length evs -> Ok ()
+    | Some _ -> Error "event count mismatch (truncated stream?)"
+    | None -> Error "missing events count"
+  in
+  Ok { sg_events = evs }
+
+let to_string t = Obs.Json.to_string (to_json t)
+
+let of_string s =
+  Result.bind (Obs.Json.of_string s) of_json
+
+(* --- normalization by a declared delta ----------------------------------- *)
+
+(* Value-level clauses (Shifts_results, Rewrites_results, May_delay)
+   touch nothing a signature retains, so they normalize to the
+   identity — that asymmetry is the point: an agent that declares
+   "I rewrite read payloads" has NOT declared license to change how
+   many reads happen or whether they succeed. *)
+
+let apply_clause ev = function
+  | Delta.Shifts_results _ | Delta.Rewrites_results _ | Delta.May_delay _ ->
+    ev
+  | Delta.Renumbers pairs -> (
+    match List.assoc_opt ev.x_sysno pairs with
+    | Some native -> { ev with x_sysno = native }
+    | None -> ev)
+  | Delta.May_fail { sysnos; errnos } ->
+    if not (List.mem ev.x_sysno sysnos) then ev
+    else (
+      match ev.x_outcome with
+      | Ok_ | Masked -> { ev with x_outcome = Masked }
+      | Err e -> (
+        match Errno.of_int e with
+        | Some er when List.mem er errnos -> { ev with x_outcome = Masked }
+        | Some _ | None -> ev)
+      | Noreturn -> ev)
+
+let normalize delta t =
+  {
+    sg_events =
+      List.map (fun ev -> List.fold_left apply_clause ev delta) t.sg_events;
+  }
+
+let masked t =
+  List.length
+    (List.filter (fun ev -> ev.x_outcome = Masked) t.sg_events)
+
+(* --- differencing -------------------------------------------------------- *)
+
+type divergence = {
+  d_index : int;             (* 0-based position where the streams split *)
+  d_bare : event option;     (* what the bare run did there *)
+  d_under : event option;    (* what the stacked run did there *)
+  d_reason : string;
+}
+
+(* seq is positional bookkeeping, not identity: two aligned streams
+   agree on it by construction, and comparing it would double-report
+   any earlier divergence *)
+let event_key ev = (ev.x_pid, ev.x_sysno, ev.x_shape, ev.x_outcome)
+
+let explain a b =
+  if a.x_sysno <> b.x_sysno then
+    Printf.sprintf "syscall differs: %s vs %s" (Sysno.name a.x_sysno)
+      (Sysno.name b.x_sysno)
+  else if a.x_pid <> b.x_pid then
+    Printf.sprintf "issuing pid differs: %d vs %d" a.x_pid b.x_pid
+  else if a.x_shape <> b.x_shape then
+    Printf.sprintf "arg shape of %s differs: (%s) vs (%s)"
+      (Sysno.name a.x_sysno) a.x_shape b.x_shape
+  else
+    Printf.sprintf "outcome of %s differs: %s vs %s" (Sysno.name a.x_sysno)
+      (outcome_name a.x_outcome) (outcome_name b.x_outcome)
+
+let diff ~bare ~under =
+  let rec go i bs us =
+    match (bs, us) with
+    | [], [] -> None
+    | a :: _, [] ->
+      Some
+        {
+          d_index = i; d_bare = Some a; d_under = None;
+          d_reason =
+            Printf.sprintf "stream under the stack ends %d call(s) early"
+              (List.length bs);
+        }
+    | [], b :: _ ->
+      Some
+        {
+          d_index = i; d_bare = None; d_under = Some b;
+          d_reason =
+            Printf.sprintf "%d extra call(s) under the stack"
+              (List.length us);
+        }
+    | a :: ra, b :: rb ->
+      if event_key a = event_key b then go (i + 1) ra rb
+      else
+        Some
+          { d_index = i; d_bare = Some a; d_under = Some b;
+            d_reason = explain a b }
+  in
+  go 0 bare.sg_events under.sg_events
+
+let equal a b = diff ~bare:a ~under:b = None
+
+let divergence_to_string d =
+  let span = function
+    | Some ev -> event_to_string ev
+    | None -> "(stream ended)"
+  in
+  Printf.sprintf "at call %d: %s\n  bare:  %s\n  stack: %s" (d.d_index + 1)
+    d.d_reason (span d.d_bare) (span d.d_under)
+
+let divergence_to_json d =
+  let open Obs.Json in
+  let span = function
+    | Some ev ->
+      Obj
+        [
+          ("seq", Int ev.x_seq); ("pid", Int ev.x_pid);
+          ("sysno", Int ev.x_sysno);
+          ("name", Str (Sysno.name ev.x_sysno));
+          ("shape", Str ev.x_shape);
+          ("outcome", Str (outcome_name ev.x_outcome));
+        ]
+    | None -> Null
+  in
+  Obj
+    [
+      ("index", Int d.d_index);
+      ("reason", Str d.d_reason);
+      ("bare", span d.d_bare);
+      ("under", span d.d_under);
+    ]

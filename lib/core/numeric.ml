@@ -14,6 +14,14 @@ class numeric_syscall =
     method down c = Downlink.down_call dl c
     method agent_name = "agent"
 
+    (* Transparency contract: the default agent declares no visible
+       delta — everything the application observes at the system
+       interface is preserved.  Agents that lawfully change observables
+       (timex, crypt, union, remap, faultinject, sandbox, …) override
+       this; conformance checking holds every stack to exactly what it
+       declares. *)
+    method declared_delta : Delta.t = Delta.none
+
     method register_interest n =
       (* any number inside the interception vector may be registered —
          including numbers the native interface does not define, which

@@ -46,4 +46,12 @@ class numeric_syscall : object
 
   method agent_name : string
   (** For diagnostics; default ["agent"]. *)
+
+  method declared_delta : Abi.Delta.t
+  (** Every way this agent may lawfully change what the application
+      observes at the system interface (the transparency contract,
+      machine-checkable form).  Default {!Abi.Delta.none}: full
+      transparency.  [Conformance.check] composes a stack's
+      declarations, normalizes the bare and interposed syscall
+      signatures by them, and flags any residual divergence. *)
 end

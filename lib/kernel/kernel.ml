@@ -700,4 +700,70 @@ module Cluster = struct
     (* quiescent everywhere: give each shard its straggler pass
        (deadlocked processes are killed exactly as under [boot]) *)
     Array.iter (fun t -> with_shard t (fun () -> sched_loop t)) c.shards
+
+  (* --- cluster-wide observability ------------------------------------- *)
+
+  let metrics c =
+    Obs.merge_metrics
+      (Array.to_list
+         (Array.map (fun s -> Obs.metrics_of s.Kstate.obs) c.shards))
+
+  (* Same document shape as the per-shard [metrics_json], with codec
+     and wire-pool counters summed field-by-field across shards and a
+     [shards] field recording the fan-in. *)
+  let metrics_json c =
+    let base = Obs.metrics_to_json ~name:Abi.Sysno.name (metrics c) in
+    let codec =
+      Array.fold_left
+        (fun (acc : Envelope.Stats.snapshot) s ->
+          let x = Envelope.Stats.snapshot_of s.Kstate.codec in
+          {
+            Envelope.Stats.traps = acc.traps + x.traps;
+            intercepted = acc.intercepted + x.intercepted;
+            fast_path = acc.fast_path + x.fast_path;
+            decodes = acc.decodes + x.decodes;
+            encodes = acc.encodes + x.encodes;
+            crossings = acc.crossings + x.crossings;
+            agent_calls = acc.agent_calls + x.agent_calls;
+          })
+        {
+          Envelope.Stats.traps = 0;
+          intercepted = 0;
+          fast_path = 0;
+          decodes = 0;
+          encodes = 0;
+          crossings = 0;
+          agent_calls = 0;
+        }
+        c.shards
+    in
+    let pool =
+      Array.fold_left
+        (fun (acc : Value.Pool.Stats.snapshot) s ->
+          let x = Value.Pool.Stats.snapshot_of s.Kstate.pool_stats in
+          {
+            Value.Pool.Stats.hits = acc.hits + x.hits;
+            misses = acc.misses + x.misses;
+            recycled = acc.recycled + x.recycled;
+            dropped = acc.dropped + x.dropped;
+          })
+        { Value.Pool.Stats.hits = 0; misses = 0; recycled = 0; dropped = 0 }
+        c.shards
+    in
+    match base with
+    | Obs.Json.Obj fields ->
+      Obs.Json.Obj
+        (fields
+        @ [
+            ("codec", Envelope.Stats.to_json codec);
+            ("wire_pool", Value.Pool.Stats.to_json pool);
+            ("shards", Obs.Json.Int (Array.length c.shards));
+          ])
+    | other -> other
+
+  (* Per-shard record streams, tagged with shard ids — the shape
+     [Obs.Chrome.to_json_sharded] consumes for disjoint trace lanes. *)
+  let drain_obs c =
+    Array.to_list
+      (Array.mapi (fun i s -> (i, Obs.drain_of s.Kstate.obs)) c.shards)
 end

@@ -203,4 +203,19 @@ module Cluster : sig
       with the sending shard's current virtual time.  Delivered at the
       next quantum boundary.  Raises [Invalid_argument] outside
       {!run} or for an unknown shard. *)
+
+  val metrics : t -> Obs.metrics
+  (** Cluster-wide aggregate over every shard's obs engine: exact
+      counters summed, latency histograms merged bucket-wise
+      ({!Obs.merge_metrics}). *)
+
+  val metrics_json : t -> Obs.Json.t
+  (** The aggregate as the same JSON document shape a single kernel's
+      [metrics_json] produces — codec and wire-pool counters summed
+      across shards — plus a [shards] field with the fan-in. *)
+
+  val drain_obs : t -> (int * Obs.Span.record list) list
+  (** Drain every shard's flight recorder, tagged with shard ids —
+      feed directly to {!Obs.Chrome.to_json_sharded} for a trace with
+      disjoint per-shard process lanes. *)
 end

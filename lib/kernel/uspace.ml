@@ -71,16 +71,30 @@ let instrumented ~sysno mk_env =
     Obs.span_end span ~error
   in
   let made = ref None in
+  let sev = ref None in
   match
     let env = mk_env () in
     made := Some env;
     Envelope.set_span env span;
+    (* The signature tap piggybacks on the span stream: one event per
+       application-issued trap, shape computed only while capture is on
+       (and without marking the wire exposed — [Envelope.shape]).
+       Independent of the sampler, so signature counts stay exact at
+       any 1-in-N rate.  A trap that never returns here (exit, exec)
+       keeps its pending outcome. *)
+    if Obs.sig_capturing () then
+      sev := Some (Obs.sig_note ~pid:proc.pid ~sysno (Envelope.shape env));
     trap_raw env
   with
   | res ->
     (* Normal completion only: on an exception the wire may still be
        referenced by whoever threw, so it is left to the GC. *)
     (match !made with Some env -> Envelope.release env | None -> ());
+    (match !sev with
+     | Some ev ->
+       Obs.sig_done ev
+         ~errno:(match res with Ok _ -> 0 | Error e -> Errno.to_int e)
+     | None -> ());
     finish ~error:(Result.is_error res);
     res
   | exception e ->

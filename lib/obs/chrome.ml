@@ -57,7 +57,9 @@ let meta_event ~pid ~tid ~which name =
       ("args", Json.Obj [ ("name", Json.Str name) ]);
     ]
 
-let to_json ?(name = default_name) records =
+let default_pid_label pid = Printf.sprintf "pid %d" pid
+
+let to_json ?(name = default_name) ?(pid_label = default_pid_label) records =
   let pid_list, by_track = tid_tables records in
   let metadata =
     List.concat_map
@@ -69,8 +71,7 @@ let to_json ?(name = default_name) records =
             by_track []
           |> List.sort compare
         in
-        meta_event ~pid ~tid:0 ~which:"process_name"
-          (Printf.sprintf "pid %d" pid)
+        meta_event ~pid ~tid:0 ~which:"process_name" (pid_label pid)
         :: meta_event ~pid ~tid:0 ~which:"thread_name" "events"
         :: List.map
              (fun ((depth, layer), tid) ->
@@ -148,4 +149,31 @@ let to_json ?(name = default_name) records =
   in
   Json.Arr (metadata @ events)
 
-let to_string ?name records = Json.to_string (to_json ?name records)
+let to_string ?name ?pid_label records =
+  Json.to_string (to_json ?name ?pid_label records)
+
+(* Cluster export: shards reuse pid numbers (each runs its own init as
+   pid 1), so lanes from different shards would collide in the viewer.
+   Offsetting every pid by [shard * shard_stride] keeps lanes disjoint
+   while staying reversible for the label. *)
+let shard_stride = 100_000
+
+let map_pid f = function
+  | Span.Segment s -> Span.Segment { s with Span.pid = f s.Span.pid }
+  | Span.Call c -> Span.Call { c with Span.c_pid = f c.Span.c_pid }
+  | Span.Mark m -> Span.Mark { m with Span.m_pid = f m.Span.m_pid }
+
+let to_json_sharded ?name shards =
+  let records =
+    List.concat_map
+      (fun (shard, records) ->
+        List.map (map_pid (fun pid -> (shard * shard_stride) + pid)) records)
+      shards
+  in
+  let pid_label pid =
+    Printf.sprintf "s%d pid %d" (pid / shard_stride) (pid mod shard_stride)
+  in
+  to_json ?name ~pid_label records
+
+let to_string_sharded ?name shards =
+  Json.to_string (to_json_sharded ?name shards)

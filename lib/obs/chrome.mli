@@ -11,10 +11,33 @@
     array of events, the form both [chrome://tracing] and Perfetto
     load directly. *)
 
-val to_json : ?name:(int -> string) -> Span.record list -> Json.t
+val to_json :
+  ?name:(int -> string) ->
+  ?pid_label:(int -> string) ->
+  Span.record list ->
+  Json.t
 (** [name] renders syscall numbers (callers pass [Abi.Sysno.name]; obs
-    itself sits below [abi] and cannot).  Metadata events first, then
-    all events sorted by timestamp. *)
+    itself sits below [abi] and cannot).  [pid_label] names the trace
+    process for a pid (default ["pid <n>"]).  Metadata events first,
+    then all events sorted by timestamp. *)
 
-val to_string : ?name:(int -> string) -> Span.record list -> string
+val to_string :
+  ?name:(int -> string) ->
+  ?pid_label:(int -> string) ->
+  Span.record list ->
+  string
 (** [to_json] rendered compactly (no trailing newline). *)
+
+val shard_stride : int
+(** Pid offset between shard lanes in the sharded export: shard [i]'s
+    pid [p] renders as process [i * shard_stride + p]. *)
+
+val to_json_sharded :
+  ?name:(int -> string) -> (int * Span.record list) list -> Json.t
+(** Merge per-shard record streams into one trace.  Every shard runs
+    its own pid 1, so pids are offset by [shard * shard_stride] to
+    keep lanes disjoint; processes are labelled ["s<shard> pid <n>"]. *)
+
+val to_string_sharded :
+  ?name:(int -> string) -> (int * Span.record list) list -> string
+(** [to_json_sharded] rendered compactly (no trailing newline). *)

@@ -79,6 +79,25 @@ type layer_agg = {
   la_hist : Hist.t; (* per-frame self time *)
 }
 
+(* ---------- signature capture ---------- *)
+
+(* One application-issued trap in the syscall-signature stream
+   (conformance).  The errno outcome is patched in place when the trap
+   completes; a trap that never returns to its instrumentation (exit,
+   exec, an exception unwinding the fibre) keeps the pending sentinel,
+   which serializes as a distinct "noreturn" outcome — deterministic,
+   so two runs of the same workload agree on it. *)
+
+type sig_event = {
+  g_seq : int;
+  g_pid : int;
+  g_sysno : int;
+  g_shape : string;
+  mutable g_errno : int; (* sig_pending until patched; 0 = success *)
+}
+
+let sig_pending = -1
+
 (* ---------- the engine ---------- *)
 
 let default_ring_capacity = 4096
@@ -100,6 +119,14 @@ type engine = {
   mutable e_completed : int;
   mutable e_aborted : int;
   mutable e_injected : int;
+  (* signature capture: a configuration switch (copied by [engine_like]
+     so the configure-then-create order works) plus the captured event
+     stream, newest first.  Capture is independent of the sampler — a
+     signature is a record of what the application observed, not a
+     latency sample — so counts stay exact at any 1-in-N rate. *)
+  mutable e_sig_on : bool;
+  mutable e_sig_rev : sig_event list;
+  mutable e_sig_n : int;
 }
 
 let engine ?(ring_capacity = default_ring_capacity) () =
@@ -120,6 +147,9 @@ let engine ?(ring_capacity = default_ring_capacity) () =
     e_completed = 0;
     e_aborted = 0;
     e_injected = 0;
+    e_sig_on = false;
+    e_sig_rev = [];
+    e_sig_n = 0;
   }
 
 (* A fresh engine carrying the *configuration* of [src] — on/off
@@ -134,6 +164,7 @@ let engine_like src =
   e.e_sample_n <- src.e_sample_n;
   e.e_sample_seed <- src.e_sample_seed;
   e.e_sample_rng <- Sim.Rng.create src.e_sample_seed;
+  e.e_sig_on <- src.e_sig_on;
   e
 
 (* The installed (current-shard) engine: the single allowlisted piece
@@ -207,6 +238,41 @@ let note_injected () =
   let e = !cur in
   if e.e_on then e.e_injected <- e.e_injected + 1
 
+(* ---------- signature capture (conformance) ---------- *)
+
+let sig_capture on =
+  let e = !cur in
+  e.e_sig_on <- on
+
+let sig_capturing () =
+  let e = !cur in
+  e.e_on && e.e_sig_on
+
+(* Called by [Uspace.instrumented] only — the application-issued trap
+   stream.  Agent-originated calls descend through the htg entry points
+   and never reach this, so the capture is exactly the interface the
+   application observes.  Like [note_injected], the sampler does not
+   apply: signature counts are exact at any rate. *)
+let sig_note ~pid ~sysno shape =
+  let e = !cur in
+  e.e_sig_n <- e.e_sig_n + 1;
+  let ev =
+    { g_seq = e.e_sig_n; g_pid = pid; g_sysno = sysno; g_shape = shape;
+      g_errno = sig_pending }
+  in
+  e.e_sig_rev <- ev :: e.e_sig_rev;
+  ev
+
+let sig_done ev ~errno = ev.g_errno <- errno
+
+let sig_events_of e = List.rev e.e_sig_rev
+let sig_events () = sig_events_of !cur
+
+let sig_clear () =
+  let e = !cur in
+  e.e_sig_rev <- [];
+  e.e_sig_n <- 0
+
 let reset () =
   let e = !cur in
   Hashtbl.reset e.e_spans;
@@ -217,6 +283,8 @@ let reset () =
   e.e_completed <- 0;
   e.e_aborted <- 0;
   e.e_injected <- 0;
+  e.e_sig_rev <- [];
+  e.e_sig_n <- 0;
   (* keep the configured rate but restart the decision stream, so a
      reset window replays the same sampling choices *)
   e.e_sample_rng <- Sim.Rng.create e.e_sample_seed;
@@ -527,6 +595,65 @@ let metrics_of e =
   }
 
 let metrics () = metrics_of !cur
+
+(* Cross-shard aggregation: exact counters add, histograms merge
+   bucket-wise (into fresh copies — the inputs are snapshots and stay
+   untouched), so a cluster total has the same exact/sampled split as
+   any single engine's snapshot.  Shards share their sampling rate by
+   construction ([engine_like] copies it); should they ever differ,
+   the most-thinned rate is reported so estimates stay conservative. *)
+let merge_metrics (ms : metrics list) =
+  let sys : (int, syscall_metrics) Hashtbl.t = Hashtbl.create 32 in
+  let lay : (int * string, layer_metrics) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt sys s.sm_sysno with
+          | None ->
+            Hashtbl.replace sys s.sm_sysno
+              { s with sm_hist = Hist.copy s.sm_hist }
+          | Some acc ->
+            Hist.merge ~into:acc.sm_hist s.sm_hist;
+            Hashtbl.replace sys s.sm_sysno
+              { acc with
+                sm_calls = acc.sm_calls + s.sm_calls;
+                sm_errors = acc.sm_errors + s.sm_errors })
+        m.m_syscalls;
+      List.iter
+        (fun l ->
+          let key = (l.lm_depth, l.lm_layer) in
+          match Hashtbl.find_opt lay key with
+          | None ->
+            Hashtbl.replace lay key { l with lm_hist = Hist.copy l.lm_hist }
+          | Some acc ->
+            Hist.merge ~into:acc.lm_hist l.lm_hist;
+            Hashtbl.replace lay key
+              { acc with
+                lm_traps = acc.lm_traps + l.lm_traps;
+                lm_decodes = acc.lm_decodes + l.lm_decodes;
+                lm_encodes = acc.lm_encodes + l.lm_encodes;
+                lm_rewrites = acc.lm_rewrites + l.lm_rewrites;
+                lm_self_us = acc.lm_self_us + l.lm_self_us;
+                lm_total_us = acc.lm_total_us + l.lm_total_us })
+        m.m_layers)
+    ms;
+  let sum f = List.fold_left (fun acc m -> acc + f m) 0 ms in
+  {
+    m_spans = sum (fun m -> m.m_spans);
+    m_aborted = sum (fun m -> m.m_aborted);
+    m_injected = sum (fun m -> m.m_injected);
+    m_open = sum (fun m -> m.m_open);
+    m_dropped = sum (fun m -> m.m_dropped);
+    m_sample_n = List.fold_left (fun acc m -> max acc m.m_sample_n) 1 ms;
+    m_syscalls =
+      Hashtbl.fold (fun _ s acc -> s :: acc) sys []
+      |> List.sort (fun a b -> compare a.sm_sysno b.sm_sysno);
+    m_layers =
+      Hashtbl.fold (fun _ l acc -> l :: acc) lay []
+      |> List.sort (fun a b ->
+           compare (a.lm_depth, a.lm_layer) (b.lm_depth, b.lm_layer));
+  }
 
 (* Exact vs estimated (DESIGN.md §3.4): per-syscall [calls]/[errors]
    are exact at any sampling rate; everything derived from spans the

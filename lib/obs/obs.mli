@@ -183,6 +183,61 @@ val record_mark : ?span:int -> ?pid:int -> kind:string -> detail:string -> unit 
     deliveries and injected-fault instants; span aborts push their own
     mark. *)
 
+(** {1 Signature capture}
+
+    The syscall-signature tap behind [lib/conformance]: with capture on
+    (and the engine enabled), [Uspace.instrumented] appends one
+    {!sig_event} per {e application-issued} trap — ordinal, pid, sysno,
+    the canonical arg shape ([Abi.Shape], passed in as an opaque string
+    since obs sits below [abi]) — and patches the errno outcome in when
+    the trap completes.  Agent-originated calls descend through the htg
+    entry points, which never open spans and never reach the tap, so
+    the stream is exactly the interface the application observes.
+
+    Like {!note_injected}, capture ignores the 1-in-N sampler: a
+    signature records events of record, not latency samples, so its
+    counts are exact at any sampling rate.  The capture switch is
+    engine {e configuration} (copied by {!engine_like}, so the usual
+    configure-then-[Kernel.create] order works); the captured stream is
+    data (cleared by {!reset}, never copied). *)
+
+type sig_event = {
+  g_seq : int;            (** 1-based issue ordinal, whole session *)
+  g_pid : int;
+  g_sysno : int;
+  g_shape : string;       (** canonical arg-shape classes *)
+  mutable g_errno : int;  (** 0 success, >0 errno code, {!sig_pending}
+                              for a trap that never returned (exit,
+                              exec, fibre unwound) *)
+}
+
+val sig_pending : int
+
+val sig_capture : bool -> unit
+(** Switch capture on the installed engine (effective only while the
+    engine is also {!enable}d, since the tap lives inside the span
+    instrumentation). *)
+
+val sig_capturing : unit -> bool
+(** Whether the installed engine is enabled with capture on — the
+    uspace tap's one-branch fast-path test, and the guard callers use
+    before paying for shape computation. *)
+
+val sig_note : pid:int -> sysno:int -> string -> sig_event
+(** Append an event with a pending outcome; returns it for {!sig_done}
+    to patch.  [Uspace.instrumented] only. *)
+
+val sig_done : sig_event -> errno:int -> unit
+
+val sig_events : unit -> sig_event list
+(** The captured stream in issue order. *)
+
+val sig_events_of : engine -> sig_event list
+
+val sig_clear : unit -> unit
+(** Drop captured events (the switch is untouched); {!reset} also
+    clears them. *)
+
 val note_injected : unit -> unit
 (** An agent deliberately injected a fault into the current trap.
     Counted exactly whenever the engine is enabled (the sampler does
@@ -243,6 +298,12 @@ val metrics : unit -> metrics
 val metrics_of : engine -> metrics
 (** Snapshot a specific engine (the kernel's handle-based accessors use
     this; {!metrics} is [metrics_of (installed ())]). *)
+
+val merge_metrics : metrics list -> metrics
+(** Aggregate per-shard snapshots into one cluster-wide view: exact
+    counters sum, per-syscall and per-layer histograms merge
+    bucket-wise (inputs are left untouched), [sample_n] is the maximum
+    across inputs so sampled estimates stay conservative. *)
 
 val records_of : engine -> Span.record list
 val drain_of : engine -> Span.record list

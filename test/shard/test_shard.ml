@@ -185,26 +185,148 @@ let test_cluster_reproducible () =
       Alcotest.(check string) (what "console") o1 o2)
     (List.combine r1 r2)
 
-(* --- the deprecated global accessors alias the installed shard ---------- *)
+(* --- the installed counter sets alias the current shard's ----------------- *)
 
-let test_deprecated_shims () =
+let test_installed_sets () =
   let k = Tharness.fresh_kernel () in
   Tharness.check_exit "session" 0 (Tharness.boot_k k (traffic "shim" 5));
-  (* k is the current shard, so the one-release shims must read it *)
-  let[@warning "-3"] codec_shim = Envelope.Stats.snapshot () in
+  (* k is the current shard, so the ambient installed sets are its own *)
+  let codec_amb = Envelope.Stats.(snapshot_of (installed ())) in
   Alcotest.(check int)
-    "Envelope.Stats.snapshot reads the current shard"
+    "installed codec set is the current shard's"
     (Kernel.codec_stats k).Envelope.Stats.traps
-    codec_shim.Envelope.Stats.traps;
-  let[@warning "-3"] pool_shim = Value.Pool.Stats.snapshot () in
+    codec_amb.Envelope.Stats.traps;
+  let pool_amb = Value.Pool.Stats.(snapshot_of (installed ())) in
   Alcotest.(check int)
-    "Value.Pool.Stats.snapshot reads the current shard"
+    "installed wire-pool set is the current shard's"
     (Kernel.pool_stats k).Value.Pool.Stats.hits
-    pool_shim.Value.Pool.Stats.hits;
-  let[@warning "-3"] () = Envelope.Stats.reset () in
+    pool_amb.Value.Pool.Stats.hits;
+  Envelope.Stats.(reset_of (installed ()));
   Alcotest.(check int)
-    "Envelope.Stats.reset zeroes the current shard" 0
+    "reset_of (installed ()) zeroes the current shard" 0
     (Kernel.codec_stats k).Envelope.Stats.traps
+
+(* --- cluster-wide metrics: exact counters sum, histograms merge ---------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let observed_cluster () =
+  let c = Kernel.Cluster.create ~shards:2 () in
+  for i = 0 to 1 do
+    Kernel.populate_standard (Kernel.Cluster.shard c i)
+  done;
+  let procs =
+    List.init 2 (fun i ->
+      Kernel.Cluster.boot_shard c i ~name:"metrics" (fun () ->
+        Obs.enable ();
+        let rc = traffic (Printf.sprintf "m%d" i) (5 + (7 * i)) () in
+        Obs.disable ();
+        rc))
+  in
+  Kernel.Cluster.run c;
+  List.iter
+    (fun (p : Kernel.Proc.t) ->
+      Tharness.check_exit "metrics init" 0 p.Kernel.Proc.exit_status)
+    procs;
+  c
+
+let test_cluster_metrics_merge () =
+  let c = observed_cluster () in
+  let per_shard =
+    List.init 2 (fun i -> Kernel.metrics (Kernel.Cluster.shard c i))
+  in
+  let agg = Kernel.Cluster.metrics c in
+  let sum f = List.fold_left (fun acc m -> acc + f m) 0 per_shard in
+  Alcotest.(check int)
+    "spans sum across shards" (sum (fun m -> m.Obs.m_spans)) agg.Obs.m_spans;
+  Alcotest.(check bool) "cluster saw spans" true (agg.Obs.m_spans > 0);
+  (* per-syscall: calls, errors, and histogram populations all sum *)
+  let calls_of sysno m =
+    match List.find_opt (fun s -> s.Obs.sm_sysno = sysno) m.Obs.m_syscalls with
+    | Some s -> (s.Obs.sm_calls, Obs.Hist.count s.Obs.sm_hist)
+    | None -> (0, 0)
+  in
+  List.iter
+    (fun s ->
+      let want =
+        List.fold_left
+          (fun (a, b) m ->
+            let x, y = calls_of s.Obs.sm_sysno m in
+            (a + x, b + y))
+          (0, 0) per_shard
+      in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "sysno %d calls+hist sum" s.Obs.sm_sysno)
+        want
+        (s.Obs.sm_calls, Obs.Hist.count s.Obs.sm_hist))
+    agg.Obs.m_syscalls;
+  (* the merge reads, never mutates, its inputs *)
+  let again = List.init 2 (fun i -> Kernel.metrics (Kernel.Cluster.shard c i)) in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check int) "shard snapshot undisturbed" a.Obs.m_spans
+        b.Obs.m_spans)
+    per_shard again;
+  (* the JSON document sums codec counters and records the fan-in *)
+  let json = Obs.Json.to_string (Kernel.Cluster.metrics_json c) in
+  let doc =
+    match Obs.Json.of_string json with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "metrics json does not parse: %s" e
+  in
+  let int_at path =
+    let rec go doc = function
+      | [] -> Obs.Json.to_int doc
+      | k :: rest -> Option.bind (Obs.Json.member k doc) (fun d -> go d rest)
+    in
+    match go doc path with
+    | Some n -> n
+    | None -> Alcotest.failf "missing field %s" (String.concat "." path)
+  in
+  Alcotest.(check int) "shards field" 2 (int_at [ "shards" ]);
+  let codec_traps = int_at [ "codec"; "traps" ] in
+  let want_traps =
+    List.fold_left
+      (fun acc i ->
+        acc
+        + (Kernel.codec_stats (Kernel.Cluster.shard c i)).Envelope.Stats.traps)
+      0 [ 0; 1 ]
+  in
+  Alcotest.(check int) "codec traps sum across shards" want_traps codec_traps
+
+let test_cluster_chrome_lanes () =
+  let c = observed_cluster () in
+  let shards = Kernel.Cluster.drain_obs c in
+  Alcotest.(check int) "one stream per shard" 2 (List.length shards);
+  List.iter
+    (fun (_, records) ->
+      Alcotest.(check bool) "each shard drained records" true (records <> []))
+    shards;
+  let trace = Obs.Chrome.to_string_sharded ~name:Sysno.name shards in
+  Alcotest.(check bool)
+    "shard 0 lane labelled" true
+    (contains trace "s0 pid 1");
+  Alcotest.(check bool)
+    "shard 1 lane labelled" true
+    (contains trace "s1 pid 1");
+  (* pids from different shards land in disjoint ranges *)
+  (match Obs.Json.of_string trace with
+   | Ok (Obs.Json.Arr events) ->
+     let pids =
+       List.filter_map
+         (fun e -> Option.bind (Obs.Json.member "pid" e) Obs.Json.to_int)
+         events
+     in
+     Alcotest.(check bool)
+       "low-range (shard 0) pids present" true
+       (List.exists (fun p -> p < Obs.Chrome.shard_stride) pids);
+     Alcotest.(check bool)
+       "high-range (shard 1) pids present" true
+       (List.exists (fun p -> p >= Obs.Chrome.shard_stride) pids)
+   | _ -> Alcotest.fail "sharded trace is not a JSON array")
 
 let () =
   Alcotest.run "shard"
@@ -213,12 +335,17 @@ let () =
             test_sequential_isolation;
           Alcotest.test_case "with_shard multiplexes two kernels" `Quick
             test_with_shard_coexist;
-          Alcotest.test_case "deprecated shims read the current shard" `Quick
-            test_deprecated_shims ] );
+          Alcotest.test_case "installed counter sets read the current shard"
+            `Quick test_installed_sets ] );
       ( "determinism",
         [ Alcotest.test_case "same seed, same bytes at 1 shard" `Quick
             test_determinism_one_shard;
           Alcotest.test_case "2 shards without sends = two solo runs" `Quick
             test_cluster_matches_solo;
           Alcotest.test_case "signal ring reproduces byte-identically" `Quick
-            test_cluster_reproducible ] ) ]
+            test_cluster_reproducible ] );
+      ( "cluster metrics",
+        [ Alcotest.test_case "counters sum, histograms merge" `Quick
+            test_cluster_metrics_merge;
+          Alcotest.test_case "chrome export gets per-shard lanes" `Quick
+            test_cluster_chrome_lanes ] ) ]
