@@ -1,4 +1,4 @@
-.PHONY: all check test lint-globals bench-smoke clean
+.PHONY: all check test lint-globals bench-smoke bench-host clean
 
 all:
 	dune build @all
@@ -22,8 +22,19 @@ test:
 # `scale` section is the sharding gate:
 # 1/2/4/8 kernel shards over 2048 mixed-syscall processes must balance,
 # reproduce byte-identically, and keep the 1-shard stacked-getpid
-# baseline (DESIGN.md 3.6); BENCH_scale.json must validate.
+# baseline (DESIGN.md 3.6); BENCH_scale.json must validate.  The
+# `hostspeed` section is the raw-speed gate (DESIGN.md 3.8): fused
+# dispatch must beat the generic walk on depth-4 traps/sec, envelope
+# pooling must keep minor words/trap below the PR 3 wires-only
+# baselines, the fused counters must prove the generic vector is never
+# probed, and BENCH_hostspeed.json must validate.
 check: all test lint-globals bench-smoke
+
+# The wall-clock harness alone (ns/trap, traps/sec, GC deltas; writes
+# BENCH_hostspeed.json).  Numbers are machine-dependent; the gates are
+# ratios and counter proofs, so they hold anywhere.
+bench-host:
+	dune exec bench/main.exe -- hostspeed
 
 # No new module-level mutable state in lib/ outside the shard handle:
 # everything a kernel owns lives in the Kstate record, and the only
@@ -33,7 +44,7 @@ lint-globals:
 	tools/lint_globals.sh
 
 bench-smoke:
-	dune exec bench/main.exe -- ablations faults conformance smoke scale
+	dune exec bench/main.exe -- ablations faults conformance smoke scale hostspeed
 
 clean:
 	dune clean

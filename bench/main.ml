@@ -2079,7 +2079,33 @@ let conformance () =
            string_of_int v.Conformance.c_masked;
            (if Conformance.conforms v then "conformant" else "VIOLATION") ])
        verdicts);
-  (* 2. the seeded mutation: an undeclared injection must be flagged,
+  (* 2. fused-vs-generic differential: the host-speed dispatch machinery
+        must be invisible at the system interface — every workload x
+        stack cell captured under fused dispatch (the default above)
+        and again with the generic walk, signatures byte-identical *)
+  let diff_cells = ref 0 in
+  List.iter
+    (fun (w : Fault.Campaign.workload) ->
+      List.iter
+        (fun s ->
+          let f = Conformance.capture ~fused:true w s in
+          let g = Conformance.capture ~fused:false w s in
+          incr diff_cells;
+          if not (Conformance.Signature.equal f.Conformance.cap_sig
+                    g.Conformance.cap_sig)
+          then
+            fail "%s under %s: fused and generic signatures differ"
+              w.Fault.Campaign.w_name s.Conformance.sk_name;
+          if f.Conformance.cap_status <> g.Conformance.cap_status then
+            fail "%s under %s: fused exit %d vs generic %d"
+              w.Fault.Campaign.w_name s.Conformance.sk_name
+              f.Conformance.cap_status g.Conformance.cap_status)
+        stacks)
+    workloads;
+  Printf.printf
+    "fused/generic differential: %d cells byte-identical either way\n"
+    !diff_cells;
+  (* 3. the seeded mutation: an undeclared injection must be flagged,
         naming the first diverging call *)
   let mv = Conformance.check Fault.Campaign.scribe Conformance.mutant in
   (match mv.Conformance.c_violation with
@@ -2087,7 +2113,7 @@ let conformance () =
    | Some d ->
      Printf.printf "seeded mutation caught: %s\n"
        (Conformance.Signature.divergence_to_string d));
-  (* 3. machine-readable companion, schema-validated on the spot *)
+  (* 4. machine-readable companion, schema-validated on the spot *)
   let open Obs.Json in
   Report.write_json ~name:"conformance"
     (Obj
@@ -2124,6 +2150,456 @@ let conformance () =
       (List.rev fs);
     exit 1
 
+(* --- hostspeed: ns/trap harness (ablation 10, `make check` gate) --------------- *)
+
+(* Host-side cost of the trap path itself, fused vs generic, measured
+   with the wall clock (Unix.gettimeofday) and GC counters around a
+   hot loop inside one booted session.  Virtual time is untouched by
+   the mode — the smoke gates hold either way — so this is the one
+   section where the *wall* numbers are the result. *)
+
+let hostspeed_iters = 20_000
+let hostspeed_rounds = 3
+
+(* PR 3 recorded these minor-words-per-trap figures on the warm
+   uninterested depth-4 boundary path (the [alloc_probe] methodology:
+   bitmap short-circuit, wire pool warm) — with wires pooled but the
+   envelope record around each wire still heap-allocated per trap.
+   Envelope-record pooling must land below them on the same path. *)
+let hostspeed_getpid_words_baseline = 63.0
+let hostspeed_read_words_baseline = 111.0
+
+type host_run = {
+  hr_ns_per_trap : float;           (* best-of-N rounds *)
+  hr_minor_words_per_trap : float;  (* over all rounds *)
+  hr_promoted_words : float;
+  hr_major_collections : int;
+  hr_codec : Envelope.Stats.snapshot;
+  hr_wire_pool : Value.Pool.Stats.snapshot;
+  hr_env_pool : Envelope.Pool.Stats.snapshot;
+}
+
+(* One timed session: [depth] null symbolic agents, [prepare] builds
+   the workload state, [iter] performs [tpi] traps per call.  The loop
+   warms pools and chains first, then times [hostspeed_rounds] rounds
+   of [hostspeed_iters] iterations and keeps the best round (ns/trap
+   is a floor measurement: anything above the best is scheduler/GC
+   noise, not trap-path cost). *)
+let host_session ~fused ~depth ~tpi ~prepare ~iter =
+  let k = Kernel.create ~fused () in
+  Kernel.populate_standard k;
+  let result = ref None in
+  let status =
+    Kernel.boot k ~name:"hostspeed" (fun () ->
+      for _ = 1 to depth do
+        Itoolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||]
+      done;
+      let st = prepare () in
+      for _ = 1 to 64 do
+        iter st
+      done;
+      let c0 = Kernel.codec_stats k in
+      let w0 = Kernel.pool_stats k in
+      let e0 = Kernel.env_pool_stats k in
+      let q0 = Gc.quick_stat () in
+      (* the live allocation pointer, not [quick_stat]'s lagging field *)
+      let mw0 = Gc.minor_words () in
+      let best = ref infinity in
+      for _ = 1 to hostspeed_rounds do
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to hostspeed_iters do
+          iter st
+        done;
+        let t1 = Unix.gettimeofday () in
+        let ns = (t1 -. t0) *. 1e9 /. float_of_int (hostspeed_iters * tpi) in
+        if ns < !best then best := ns
+      done;
+      let q1 = Gc.quick_stat () in
+      let traps = hostspeed_rounds * hostspeed_iters * tpi in
+      result :=
+        Some
+          { hr_ns_per_trap = !best;
+            hr_minor_words_per_trap =
+              (Gc.minor_words () -. mw0) /. float_of_int traps;
+            hr_promoted_words = q1.Gc.promoted_words -. q0.Gc.promoted_words;
+            hr_major_collections =
+              q1.Gc.major_collections - q0.Gc.major_collections;
+            hr_codec = Envelope.Stats.diff c0 (Kernel.codec_stats k);
+            hr_wire_pool = Value.Pool.Stats.diff w0 (Kernel.pool_stats k);
+            hr_env_pool =
+              Envelope.Pool.Stats.diff e0 (Kernel.env_pool_stats k) };
+      0)
+  in
+  if status <> 0 then
+    failwith (Printf.sprintf "hostspeed session exited %d" status);
+  match !result with
+  | Some r -> r
+  | None -> failwith "hostspeed session lost its measurement"
+
+let host_getpid ~fused depth =
+  host_session ~fused ~depth ~tpi:1
+    ~prepare:(fun () -> ())
+    ~iter:(fun () -> ignore (Libc.Unistd.getpid ()))
+
+(* Mixed descriptor traffic: rewind + 64-byte read + getpid, three
+   traps per iteration, so the read path (wire with a buffer argument,
+   decode at the first symbolic layer) is measured alongside the null
+   trap. *)
+let host_mixed_read ~fused depth =
+  host_session ~fused ~depth ~tpi:3
+    ~prepare:(fun () ->
+      (match
+         Libc.Unistd.open_ "/tmp/hostspeed"
+           Flags.Open.(o_wronly lor o_creat lor o_trunc)
+           0o644
+       with
+       | Ok fd ->
+         ignore (Libc.Unistd.write fd (String.make 256 'h'));
+         ignore (Libc.Unistd.close fd)
+       | Error e -> failwith ("hostspeed setup: " ^ Errno.name e));
+      match Libc.Unistd.open_ "/tmp/hostspeed" 0 0 with
+      | Ok fd -> (fd, Bytes.create 64)
+      | Error e -> failwith ("hostspeed open: " ^ Errno.name e))
+    ~iter:(fun (fd, buf) ->
+      ignore (Libc.Unistd.lseek fd 0 0);
+      ignore (Libc.Unistd.read fd buf 64);
+      ignore (Libc.Unistd.getpid ()))
+
+(* Like-for-like with the PR 3 allocation probes: the uninterested
+   depth-4 boundary path, pools warm, tracing off — the configuration
+   the 63.0/111.0 baselines were recorded on.  Returns minor words per
+   trap and the envelope-pool counter diff over the measured window
+   (the proof the improvement is record recycling, not measurement
+   drift). *)
+let host_boundary_words ~tpi ~prepare ~iter =
+  let iters = 2000 in
+  let k = fresh () in
+  let result = ref None in
+  let status =
+    Kernel.boot k ~name:"hostspeed-alloc" (fun () ->
+      install_uninterested 4;
+      let st = prepare () in
+      for _ = 1 to 64 do
+        iter st
+      done;
+      let e0 = Kernel.env_pool_stats k in
+      let m0 = Gc.minor_words () in
+      for _ = 1 to iters do
+        iter st
+      done;
+      let m1 = Gc.minor_words () in
+      result :=
+        Some
+          ( (m1 -. m0) /. float_of_int (iters * tpi),
+            Envelope.Pool.Stats.diff e0 (Kernel.env_pool_stats k) );
+      0)
+  in
+  if status <> 0 then
+    failwith (Printf.sprintf "hostspeed alloc probe exited %d" status);
+  match !result with
+  | Some r -> r
+  | None -> failwith "hostspeed alloc probe lost its measurement"
+
+let host_boundary_getpid () =
+  host_boundary_words ~tpi:1
+    ~prepare:(fun () -> ())
+    ~iter:(fun () -> ignore (Libc.Unistd.getpid ()))
+
+(* rewind + 64-byte read: the descriptor-path counterpart (buffer
+   argument on the wire, data copied back per trap) *)
+let host_boundary_read () =
+  host_boundary_words ~tpi:2
+    ~prepare:(fun () ->
+      (match
+         Libc.Unistd.open_ "/tmp/hostspeed-alloc"
+           Flags.Open.(o_wronly lor o_creat lor o_trunc)
+           0o644
+       with
+       | Ok fd ->
+         ignore (Libc.Unistd.write fd (String.make 256 'h'));
+         ignore (Libc.Unistd.close fd)
+       | Error e -> failwith ("hostspeed alloc setup: " ^ Errno.name e));
+      match Libc.Unistd.open_ "/tmp/hostspeed-alloc" 0 0 with
+      | Ok fd -> (fd, Bytes.create 64)
+      | Error e -> failwith ("hostspeed alloc open: " ^ Errno.name e))
+    ~iter:(fun (fd, buf) ->
+      ignore (Libc.Unistd.lseek fd 0 0);
+      ignore (Libc.Unistd.read fd buf 64))
+
+let host_tps r = 1e9 /. r.hr_ns_per_trap
+
+let host_case_json ~workload ~mode ~depth (r : host_run) =
+  let open Obs.Json in
+  Obj
+    [ ("workload", Str workload);
+      ("mode", Str mode);
+      ("depth", Int depth);
+      ("ns_per_trap", Float r.hr_ns_per_trap);
+      ("traps_per_sec", Float (host_tps r));
+      ("minor_words_per_trap", Float r.hr_minor_words_per_trap);
+      ("promoted_words", Float r.hr_promoted_words);
+      ("major_collections", Int r.hr_major_collections);
+      ("fused", Int r.hr_codec.Envelope.Stats.fused);
+      ("intercepted", Int r.hr_codec.Envelope.Stats.intercepted);
+      ("fast_path", Int r.hr_codec.Envelope.Stats.fast_path);
+      ("env_pool_hits", Int r.hr_env_pool.Envelope.Pool.Stats.hits);
+      ("env_pool_misses", Int r.hr_env_pool.Envelope.Pool.Stats.misses);
+      ("wire_pool_hits", Int r.hr_wire_pool.Value.Pool.Stats.hits) ]
+
+let validate_hostspeed_json json =
+  let open Obs.Json in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let is_num v = to_number v <> None in
+  let is_int v = to_int v <> None in
+  let is_str v = to_str v <> None in
+  let require kind fields j =
+    List.fold_left
+      (fun acc (field, check) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          (match member field j with
+           | None -> err "%s: missing field %S" kind field
+           | Some v ->
+             if check v then Ok ()
+             else err "%s: field %S has wrong type" kind field))
+      (Ok ()) fields
+  in
+  match
+    require "document"
+      [ ("name", is_str); ("iters", is_int); ("rounds", is_int);
+        ("speedup_depth4", is_num) ]
+      json
+  with
+  | Error _ as e -> e
+  | Ok () ->
+    (match
+       match member "boundary" json with
+       | None -> err "document: missing \"boundary\" object"
+       | Some b ->
+         require "boundary"
+           [ ("getpid_words_per_trap", is_num); ("getpid_baseline", is_num);
+             ("read_words_per_trap", is_num); ("read_baseline", is_num);
+             ("env_pool_hits", is_int); ("env_pool_misses", is_int) ]
+           b
+     with
+     | Error _ as e -> e
+     | Ok () ->
+    (match Option.bind (member "cases" json) to_list with
+     | None -> err "document: missing \"cases\" array"
+     | Some cases ->
+       if cases = [] then err "cases: empty"
+       else
+         List.fold_left
+           (fun acc c ->
+             match acc with
+             | Error _ -> acc
+             | Ok () ->
+               require "case"
+                 [ ("workload", is_str); ("mode", is_str); ("depth", is_int);
+                   ("ns_per_trap", is_num); ("traps_per_sec", is_num);
+                   ("minor_words_per_trap", is_num);
+                   ("promoted_words", is_num); ("major_collections", is_int);
+                   ("fused", is_int); ("intercepted", is_int);
+                   ("fast_path", is_int); ("env_pool_hits", is_int);
+                   ("env_pool_misses", is_int); ("wire_pool_hits", is_int) ]
+                 c)
+           (Ok ()) cases))
+
+let hostspeed () =
+  Report.print_title
+    "Ablation 10: host-speed trap dispatch (fused chains vs generic walk)";
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let total = hostspeed_rounds * hostspeed_iters in
+  (* counter proof, per measured case: fused mode never probes the
+     generic vector; generic mode never uses a chain *)
+  let check_counters ~what ~mode ~depth ~tpi (r : host_run) =
+    let traps = total * tpi in
+    let c = r.hr_codec in
+    if c.Envelope.Stats.traps < traps then
+      fail "%s %s d%d: %d traps in window, want >= %d" what mode depth
+        c.Envelope.Stats.traps traps;
+    match (mode, depth) with
+    | "fused", 0 ->
+      if c.Envelope.Stats.fast_path <> c.Envelope.Stats.traps then
+        fail "%s fused d0: expected pure fast path" what
+    | "fused", _ ->
+      if c.Envelope.Stats.intercepted <> 0 then
+        fail "%s fused d%d: generic vector probed %d times" what depth
+          c.Envelope.Stats.intercepted;
+      if c.Envelope.Stats.fused <> c.Envelope.Stats.traps then
+        fail "%s fused d%d: only %d of %d traps chained" what depth
+          c.Envelope.Stats.fused c.Envelope.Stats.traps
+    | _, _ ->
+      if c.Envelope.Stats.fused <> 0 then
+        fail "%s generic d%d: %d traps used a chain" what depth
+          c.Envelope.Stats.fused
+  in
+  (* stacked getpid, both modes, depths 0-4 *)
+  let depths = [ 0; 1; 2; 3; 4 ] in
+  let getpid_cases =
+    List.concat_map
+      (fun depth ->
+        List.map
+          (fun (mode, fused) ->
+            let r = host_getpid ~fused depth in
+            check_counters ~what:"getpid" ~mode ~depth ~tpi:1 r;
+            (mode, depth, r))
+          [ ("generic", false); ("fused", true) ])
+      depths
+  in
+  let find mode depth =
+    let (_, _, r) =
+      List.find (fun (m, d, _) -> m = mode && d = depth) getpid_cases
+    in
+    r
+  in
+  Report.print_table
+    ~headers:
+      [ "stacked null agents"; "generic ns/trap"; "fused ns/trap";
+        "speedup"; "fused minor words/trap" ]
+    (List.map
+       (fun d ->
+         let g = find "generic" d and f = find "fused" d in
+         [ string_of_int d;
+           Printf.sprintf "%.0f" g.hr_ns_per_trap;
+           Printf.sprintf "%.0f" f.hr_ns_per_trap;
+           Printf.sprintf "%.2fx" (g.hr_ns_per_trap /. f.hr_ns_per_trap);
+           Printf.sprintf "%.1f" f.hr_minor_words_per_trap ])
+       depths);
+  (* mixed read at depth 4, both modes *)
+  let mixed_cases =
+    List.map
+      (fun (mode, fused) ->
+        let r = host_mixed_read ~fused 4 in
+        check_counters ~what:"mixed_read" ~mode ~depth:4 ~tpi:3 r;
+        (mode, 4, r))
+      [ ("generic", false); ("fused", true) ]
+  in
+  let mixed mode =
+    let (_, _, r) = List.find (fun (m, _, _) -> m = mode) mixed_cases in
+    r
+  in
+  Report.print_table
+    ~headers:
+      [ "mixed read+getpid (depth 4)"; "ns/trap"; "traps/sec";
+        "minor words/trap" ]
+    (List.map
+       (fun mode ->
+         let r = mixed mode in
+         [ mode;
+           Printf.sprintf "%.0f" r.hr_ns_per_trap;
+           Printf.sprintf "%.0f" (host_tps r);
+           Printf.sprintf "%.1f" r.hr_minor_words_per_trap ])
+       [ "generic"; "fused" ]);
+  (* gates: fused must beat generic at depth 4 (hard), with a 20%
+     advisory target; envelope pooling must land below the PR 3
+     allocation baselines *)
+  let g4 = find "generic" 4 and f4 = find "fused" 4 in
+  let speedup = g4.hr_ns_per_trap /. f4.hr_ns_per_trap in
+  if host_tps f4 < host_tps g4 then
+    fail "depth 4: fused %.0f traps/sec slower than generic %.0f"
+      (host_tps f4) (host_tps g4);
+  Printf.printf
+    "depth-4 stacked getpid: generic %.0f ns/trap, fused %.0f ns/trap \
+     (%.2fx, target >= 1.20x %s)\n"
+    g4.hr_ns_per_trap f4.hr_ns_per_trap speedup
+    (if speedup >= 1.20 then "met" else "MISSED (advisory)");
+  (* interested path: the chained dispatch (pooled envelopes included)
+     must allocate less than the generic walk over the same workload *)
+  if f4.hr_minor_words_per_trap >= g4.hr_minor_words_per_trap then
+    fail "depth 4 getpid: fused %.1f words/trap not below generic %.1f"
+      f4.hr_minor_words_per_trap g4.hr_minor_words_per_trap;
+  let fm = mixed "fused" and gm = mixed "generic" in
+  if fm.hr_minor_words_per_trap >= gm.hr_minor_words_per_trap then
+    fail "mixed read: fused %.1f words/trap not below generic %.1f"
+      fm.hr_minor_words_per_trap gm.hr_minor_words_per_trap;
+  Printf.printf
+    "interested allocation: getpid d4 fused %.1f vs generic %.1f \
+     words/trap, mixed read fused %.1f vs generic %.1f\n"
+    f4.hr_minor_words_per_trap g4.hr_minor_words_per_trap
+    fm.hr_minor_words_per_trap gm.hr_minor_words_per_trap;
+  (* boundary path, the PR 3 configuration: envelope-record pooling
+     must push minor words/trap below the wires-only baselines *)
+  let bg_words, bg_pool = host_boundary_getpid () in
+  let br_words, br_pool = host_boundary_read () in
+  if bg_words >= hostspeed_getpid_words_baseline then
+    fail "boundary getpid: %.1f words/trap not below the PR 3 %.1f"
+      bg_words hostspeed_getpid_words_baseline;
+  if br_words >= hostspeed_read_words_baseline then
+    fail "boundary read: %.1f words/trap not below the PR 3 %.1f"
+      br_words hostspeed_read_words_baseline;
+  if bg_pool.Envelope.Pool.Stats.misses > 0 then
+    fail "boundary getpid: %d envelope-pool misses on a warm loop"
+      bg_pool.Envelope.Pool.Stats.misses;
+  Printf.printf
+    "boundary allocation: getpid %.1f words/trap (PR 3: %.0f), \
+     lseek+read %.1f (PR 3: %.0f); env pool %d hits / %d misses\n"
+    bg_words hostspeed_getpid_words_baseline br_words
+    hostspeed_read_words_baseline
+    (bg_pool.Envelope.Pool.Stats.hits + br_pool.Envelope.Pool.Stats.hits)
+    (bg_pool.Envelope.Pool.Stats.misses + br_pool.Envelope.Pool.Stats.misses);
+  (* machine-readable companion, schema-validated on the spot *)
+  let open Obs.Json in
+  Report.write_json ~name:"hostspeed"
+    (Obj
+       [ ("name", Str "hostspeed");
+         ("iters", Int hostspeed_iters);
+         ("rounds", Int hostspeed_rounds);
+         ("speedup_depth4", Float speedup);
+         ( "boundary",
+           Obj
+             [ ("getpid_words_per_trap", Float bg_words);
+               ("getpid_baseline", Float hostspeed_getpid_words_baseline);
+               ("read_words_per_trap", Float br_words);
+               ("read_baseline", Float hostspeed_read_words_baseline);
+               ( "env_pool_hits",
+                 Int
+                   (bg_pool.Envelope.Pool.Stats.hits
+                   + br_pool.Envelope.Pool.Stats.hits) );
+               ( "env_pool_misses",
+                 Int
+                   (bg_pool.Envelope.Pool.Stats.misses
+                   + br_pool.Envelope.Pool.Stats.misses) ) ] );
+         ( "cases",
+           Arr
+             (List.map
+                (fun (mode, depth, r) ->
+                  host_case_json ~workload:"stacked_getpid" ~mode ~depth r)
+                getpid_cases
+              @ List.map
+                  (fun (mode, depth, r) ->
+                    host_case_json ~workload:"mixed_read" ~mode ~depth r)
+                  mixed_cases) ) ]);
+  (let path = "BENCH_hostspeed.json" in
+   if not (Sys.file_exists path) then fail "%s: not written" path
+   else begin
+     let ic = open_in_bin path in
+     let content =
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> really_input_string ic (in_channel_length ic))
+     in
+     match of_string (String.trim content) with
+     | Error e -> fail "%s: malformed JSON: %s" path e
+     | Ok json ->
+       (match validate_hostspeed_json json with
+        | Error e -> fail "%s: schema: %s" path e
+        | Ok () -> Printf.printf "[hostspeed] %s: schema ok\n" path)
+   end);
+  Report.print_note
+    "Fused chains pre-link each (pid, sysno) handler stack into direct\n\
+     closure calls and charge CPU inline when no scheduling point is\n\
+     due, so an interested trap costs no option probes and usually no\n\
+     effect performs; the counters above prove the generic vector is\n\
+     never touched in fused mode (DESIGN.md 3.8).";
+  match !failures with
+  | [] -> Printf.printf "[hostspeed] all gates passed\n"
+  | fs ->
+    List.iter (fun f -> Printf.printf "[hostspeed] FAIL: %s\n" f) (List.rev fs);
+    exit 1
+
 (* --- driver -------------------------------------------------------------------------------- *)
 
 let sections =
@@ -2138,6 +2614,7 @@ let sections =
     "conformance", conformance;
     "smoke", smoke;
     "scale", scale;
+    "hostspeed", hostspeed;
     "wallclock", wallclock ]
 
 let () =
@@ -2154,9 +2631,10 @@ let () =
           !n')
         names
     | _ ->
-      (* `smoke` and `scale` are CI guards, not reports: only on request *)
+      (* `smoke`, `scale` and `hostspeed` are CI guards, not reports:
+         only on request *)
       List.filter
-        (fun n -> n <> "smoke" && n <> "scale")
+        (fun n -> n <> "smoke" && n <> "scale" && n <> "hostspeed")
         (List.map fst sections)
   in
   Printf.printf

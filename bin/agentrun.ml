@@ -253,7 +253,21 @@ let print_metrics k =
           (Obs.Hist.quantile l.Obs.lm_hist 0.90)
           (Obs.Hist.quantile l.Obs.lm_hist 0.99))
       m.Obs.m_layers
-  end
+  end;
+  (* host-side cost of the run: wall-clock and GC figures, the one
+     deliberately non-deterministic block (everything above is virtual
+     time and exact counts) *)
+  let h = Kernel.host_stats k in
+  if h.Kernel.h_traps > 0 then
+    Printf.eprintf
+      "[host] %d trap(s) in %.3fs host CPU: %.0f ns/trap, %.1f minor \
+       words/trap, %.0f promoted, %d major GC(s); pools: wire %.0f%% \
+       env %.0f%% hit\n"
+      h.Kernel.h_traps h.Kernel.h_cpu_s h.Kernel.h_ns_per_trap
+      h.Kernel.h_minor_words_per_trap h.Kernel.h_promoted_words
+      h.Kernel.h_major_collections
+      (100. *. h.Kernel.h_wire_pool_hit_rate)
+      (100. *. h.Kernel.h_env_pool_hit_rate)
 
 (* --- fault campaigns --------------------------------------------------------- *)
 

@@ -26,40 +26,104 @@
     and re-encodes only when some layer genuinely needs the raw vector
     after a rewrite.  {!Stats} counts the codec work per kernel shard
     so the invariant is measured (bench ablation 3, test suite) rather
-    than asserted. *)
+    than asserted.
+
+    {b Lifetime and pooling} (DESIGN.md §3.8): both the wire record
+    ({!Value.Pool}) and the envelope record itself ({!Pool}) can come
+    from per-process free lists.  The contract is the same for both: a
+    record recycles on {!release} only while the trap still owns it
+    exclusively — never once the raw wire was handed out
+    ({!wire}/{!peek_wire} mark the envelope {e exposed}, which also
+    covers rewritten envelopes, since forcing the wire of a dirty
+    envelope is the rewrite), and never once an agent declared a stash
+    with {!retain}.  Recycled records are scrubbed before reuse. *)
 
 type t
+
+(** {1 Record pooling}
+
+    Free lists of envelope records, one per process, feeding
+    {!of_call} and {!at_boundary}.  Same design as {!Value.Pool} for
+    wires: array-backed stack so a warm take/recycle pair allocates
+    nothing, scrub-on-recycle so a stale view or wire can neither leak
+    into the next trap nor pin dead objects against the GC, and a
+    shard-owned counter set ([Kernel.env_pool_stats], the
+    [env_pool] metrics block). *)
+module Pool : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** A fresh, empty pool (default capacity 64 records). *)
+
+  val size : t -> int
+  (** Records currently on the free list. *)
+
+  (** Counters aggregating over every envelope pool of one kernel
+      shard; mirrors {!Value.Pool.Stats}. *)
+  module Stats : sig
+    type snapshot = {
+      hits : int;      (** takes served from the free list *)
+      misses : int;    (** takes that fell back to allocation *)
+      recycled : int;  (** records returned for reuse *)
+      dropped : int;   (** returns rejected by a full pool *)
+    }
+
+    type t
+
+    val create : unit -> t
+    val install : t -> unit
+    val installed : unit -> t
+    val snapshot_of : t -> snapshot
+    val reset_of : t -> unit
+    val diff : snapshot -> snapshot -> snapshot
+    val pp : Format.formatter -> snapshot -> unit
+    val to_json : snapshot -> Obs.Json.t
+  end
+end
 
 (** {1 Construction} *)
 
 val of_wire : Value.wire -> t
-(** Wrap an untyped vector; the typed view is decoded lazily. *)
+(** Wrap an untyped vector; the typed view is decoded lazily.  Born
+    {e exposed} (the caller holds the wire), so never recycles. *)
 
-val of_call : Call.t -> t
+val of_call : ?epool:Pool.t -> Call.t -> t
 (** Wrap a typed call; the wire form is encoded lazily (the envelope
     starts {!dirty}).  This is what agents and the toolkit use to send
-    new or rewritten calls down the stack. *)
+    new or rewritten calls down the stack.  With [epool], the record
+    itself comes off the free list and {!release} returns it. *)
 
-val at_boundary : ?pool:Value.Pool.t -> Call.t -> t
+val at_boundary : ?pool:Value.Pool.t -> ?epool:Pool.t -> Call.t -> t
 (** Encode a typed call for the application trap boundary: the wire
     form is materialized now (and counted), the typed view dropped.
     Used by the C-library stubs, where the ABI contract is untyped.
 
     With [pool] (the calling process's wire pool), the wire record is
     taken from the free list when one is available and refilled in
-    place ([Call.encode_into]); {!release} returns it after the trap.
-    Without [pool] the envelope never recycles. *)
+    place ([Call.encode_into]); with [epool], the envelope record is
+    pooled the same way; {!release} returns both after the trap.
+    Without the pools the envelope never recycles. *)
+
+val retain : t -> unit
+(** Declare that this envelope escapes the trap that carried it: a
+    layer is keeping the record past the trap boundary (a trace sink's
+    deferred formatter, a replay journal, an obs tap).  {!release}
+    then leaves record and wire entirely to the GC, so the stash stays
+    readable forever.  Irreversible. *)
+
+val retained : t -> bool
 
 val release : t -> unit
 (** Declare the trap that carried this envelope complete and recycle
-    its wire back to the pool it came from — but only when the
-    envelope still owns the record exclusively: born via
-    {!at_boundary} with a pool, never handed out raw ({!wire} /
-    {!peek_wire} mark it {e exposed}), and never rewritten (a dirty or
-    re-encoded envelope may be aliased).  In every other case this is
-    a no-op and the wire is left to the GC — correctness over reuse.
-    Idempotent; after a successful release the raw vector is gone
-    (a memoized typed view survives). *)
+    what it still owns exclusively: the wire back to the
+    {!Value.Pool} it came from, and the record back to the {!Pool} it
+    came from — but only when the envelope was never handed out raw
+    ({!wire} / {!peek_wire} mark it {e exposed}; that includes every
+    rewritten envelope) and never {!retain}ed.  In every other case
+    this is a no-op and the GC takes over — correctness over reuse.
+    Idempotent; after a successful release the record is scrubbed and
+    must not be touched again (a stale reference reads the {e next}
+    trap's call, which is exactly what {!retain} exists to prevent). *)
 
 (** {1 The two views} *)
 
@@ -132,7 +196,10 @@ val set_span : t -> int -> unit
 module Stats : sig
   type snapshot = {
     traps : int;         (** application-level trap entries *)
-    intercepted : int;   (** traps that hit an emulation handler *)
+    intercepted : int;   (** traps routed through the generic handler
+                             vector (an option probe per trap) *)
+    fused : int;         (** traps routed through a fused closure
+                             chain — the generic vector never probed *)
     fast_path : int;     (** traps dismissed by the interest bitmap
                              without probing the handler vector *)
     decodes : int;       (** wire → typed materializations *)
@@ -179,12 +246,19 @@ module Stats : sig
 
   val to_json : snapshot -> Obs.Json.t
   (** The ["codec"] block of [Kernel.metrics_json] and [/obs/metrics]
-      — notably the [fast_path] counter next to the span metrics. *)
+      — notably the [fast_path] and [fused] counters next to the span
+      metrics. *)
 
   (** {2 Attribution hooks} — called by the kernel stubs and the
       toolkit's down path; not meant for agent code. *)
 
   val note_trap : intercepted:bool -> unit
+
+  val note_trap_chained : unit -> unit
+  (** A trap dispatched through a fused closure chain: counted in
+      [traps] and [fused], never in [intercepted] — together with an
+      [intercepted] count of zero this is the proof that the generic
+      vector is never probed on the fused path. *)
 
   val note_trap_fast : unit -> unit
   (** A trap the interest bitmap dismissed: counted in [traps] and

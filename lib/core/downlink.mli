@@ -23,9 +23,12 @@ val down : t -> Abi.Envelope.t -> Abi.Value.res
     envelope down so its memoized typed view survives the crossing. *)
 
 val down_call : t -> Abi.Call.t -> Abi.Value.res
-(** Typed convenience over {!down}: wraps [c] in a fresh envelope whose
+(** Typed convenience over {!down}: wraps [c] in an envelope whose
     typed view is authoritative (encoded only if a lower layer demands
-    the raw vector). *)
+    the raw vector).  The envelope record comes from the calling
+    process's pool and is released when the lower layers return — a
+    handler that stashes it must [Abi.Envelope.retain] it
+    (DESIGN.md §3.8). *)
 
 val captured_handler : t -> int -> (Abi.Envelope.t -> Abi.Value.res) option
 (** What {!capture} recorded for one number (used by the loader to
@@ -40,6 +43,7 @@ val down_signal : t -> int -> unit
     definition, [Kernel.Uspace.deliver_via]). *)
 
 val consistent : t -> bool
-(** Runtime check that the interest bitmap shadowing the captured
-    vector matches it slot-for-slot; exercised by the property
-    tests. *)
+(** Runtime check that the interest bitmap and the fused chain
+    shadowing the captured vector match it slot-for-slot (the chain by
+    physical identity, unset slots pointing at the kernel entry);
+    exercised by the property tests. *)

@@ -21,8 +21,12 @@ let install (agent : #Numeric.numeric_syscall) ~argv =
     ~numbers:(effective_interests agent)
     (Some
        (fun env ->
-         Obs.in_layer ~span:(Abi.Envelope.span env) name (fun () ->
-             agent#syscall env)));
+         (* span <= 0 means tracing is off for this trap, and [in_layer]
+            is then the identity — skip its closure so the fused chain
+            costs one call per level on the hot path *)
+         let span = Abi.Envelope.span env in
+         if span <= 0 then agent#syscall env
+         else Obs.in_layer ~span name (fun () -> agent#syscall env)));
   Kernel.Uspace.task_set_emulation_signal
     (Some (fun s -> agent#signal_handler s))
 

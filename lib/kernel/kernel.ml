@@ -221,13 +221,22 @@ let run_fiber (t : t) (proc : Proc.t) (body : unit -> int) =
           | Events.Set_emulation (numbers, handler) ->
             Some (fun (k : (a, unit) continuation) ->
               Proc.Cur.set None;
-              (* the interest bitmap shadows the vector slot-for-slot:
-                 this handler is the only writer, so updating both here
-                 keeps the fast-path invariant *)
+              (* the interest bitmap and the fused chain shadow the
+                 vector slot-for-slot: this handler is the only writer,
+                 so updating all three here keeps both the fast-path
+                 invariant and the chain invariant — the chain slot is
+                 the handler closure itself (no per-trap option match),
+                 or the canonical kernel jump when cleared *)
+              let chained =
+                match handler with
+                | Some h -> h
+                | None -> Proc.chain_unset
+              in
               List.iter
                 (fun n ->
                   if n >= 0 && n < Array.length proc.emul.vector then begin
                     proc.emul.vector.(n) <- handler;
+                    proc.emul.chain.(n) <- chained;
                     Abi.Bitset.assign proc.emul.bitmap n
                       (Option.is_some handler)
                   end)
@@ -377,6 +386,7 @@ let enter (t : t) =
   Obs.install t.obs;
   Envelope.Stats.install t.codec;
   Value.Pool.Stats.install t.pool_stats;
+  Envelope.Pool.Stats.install t.epool_stats;
   Proc.Cur.install t.cur;
   Kstate.Ambient.current := Some t
 
@@ -387,6 +397,7 @@ let with_shard (t : t) f =
   let prev_obs = Obs.installed () in
   let prev_codec = Envelope.Stats.installed () in
   let prev_pool = Value.Pool.Stats.installed () in
+  let prev_epool = Envelope.Pool.Stats.installed () in
   let prev_cur = Proc.Cur.installed () in
   let prev_amb = !Kstate.Ambient.current in
   enter t;
@@ -395,6 +406,7 @@ let with_shard (t : t) f =
       Obs.install prev_obs;
       Envelope.Stats.install prev_codec;
       Value.Pool.Stats.install prev_pool;
+      Envelope.Pool.Stats.install prev_epool;
       Proc.Cur.install prev_cur;
       Kstate.Ambient.current := prev_amb)
     f
@@ -408,8 +420,8 @@ let current_exn () =
 
 (* --- creation and boot ------------------------------------------------------ *)
 
-let create ?shard_id () =
-  let t = Kstate.create ?shard_id () in
+let create ?shard_id ?fused () =
+  let t = Kstate.create ?shard_id ?fused () in
   t.hooks <-
     { Kstate.spawn = (fun proc body -> enqueue_start t proc body);
       retry = (fun proc -> retry t proc) };
@@ -556,21 +568,87 @@ let codec_stats (t : t) = Envelope.Stats.snapshot_of t.codec
 let reset_codec_stats (t : t) = Envelope.Stats.reset_of t.codec
 
 let pool_stats (t : t) = Value.Pool.Stats.snapshot_of t.pool_stats
+let env_pool_stats (t : t) = Envelope.Pool.Stats.snapshot_of t.epool_stats
+
+let fused (t : t) = t.fused_dispatch
+let set_fused (t : t) on = t.fused_dispatch <- on
 
 let metrics (t : t) = Obs.metrics_of t.obs
 
+(* --- host-side cost estimates ------------------------------------------------ *)
+
+(* Raw-speed counters next to the virtual tables: how much *host* CPU
+   and allocation the shard has burned per simulated trap since its
+   creation.  [Sys.time]/GC counters are process-wide (this library
+   deliberately has no unix dependency), so these are estimates —
+   exact when one shard dominates the process, which is the common
+   deployment; the bench hostspeed harness measures tight windows with
+   its own clocks when precision matters. *)
+type host_stats = {
+  h_traps : int;
+  h_cpu_s : float;              (* process CPU since shard creation *)
+  h_ns_per_trap : float;
+  h_minor_words_per_trap : float;
+  h_promoted_words : float;
+  h_major_collections : int;
+  h_wire_pool_hit_rate : float;   (* hits / (hits + misses); 1.0 when idle *)
+  h_env_pool_hit_rate : float;
+}
+
+let host_stats (t : t) =
+  let q = Gc.quick_stat () in
+  let traps = (Envelope.Stats.snapshot_of t.codec).Envelope.Stats.traps in
+  let cpu = Sys.time () -. t.host_cpu_t0 in
+  let per d n = if d > 0 then n /. float_of_int d else 0.0 in
+  let rate (hits : int) (misses : int) =
+    let total = hits + misses in
+    if total = 0 then 1.0 else float_of_int hits /. float_of_int total
+  in
+  let wp = Value.Pool.Stats.snapshot_of t.pool_stats in
+  let ep = Envelope.Pool.Stats.snapshot_of t.epool_stats in
+  { h_traps = traps;
+    h_cpu_s = cpu;
+    h_ns_per_trap = per traps (cpu *. 1e9);
+    h_minor_words_per_trap =
+      per traps (Gc.minor_words () -. t.host_minor_words_t0);
+    h_promoted_words = q.Gc.promoted_words -. t.host_promoted_words_t0;
+    h_major_collections =
+      q.Gc.major_collections - t.host_major_collections_t0;
+    h_wire_pool_hit_rate =
+      rate wp.Value.Pool.Stats.hits wp.Value.Pool.Stats.misses;
+    h_env_pool_hit_rate =
+      rate ep.Envelope.Pool.Stats.hits ep.Envelope.Pool.Stats.misses }
+
+let host_stats_json (h : host_stats) =
+  Obs.Json.Obj
+    [ ("traps", Obs.Json.Int h.h_traps);
+      ("cpu_s", Obs.Json.Float h.h_cpu_s);
+      ("ns_per_trap", Obs.Json.Float h.h_ns_per_trap);
+      ("minor_words_per_trap", Obs.Json.Float h.h_minor_words_per_trap);
+      ("promoted_words", Obs.Json.Float h.h_promoted_words);
+      ("major_collections", Obs.Json.Int h.h_major_collections);
+      ("wire_pool_hit_rate", Obs.Json.Float h.h_wire_pool_hit_rate);
+      ("env_pool_hit_rate", Obs.Json.Float h.h_env_pool_hit_rate) ]
+
 (* One document for every runtime statistic of one shard: span/latency
-   metrics from its [Obs] engine plus its codec (incl. [fast_path])
-   and wire-pool counters.  [/obs/metrics] serves exactly this JSON,
-   so programs inside the simulation and hosts outside it read the
-   same numbers. *)
+   metrics from its [Obs] engine plus its codec (incl. [fast_path] and
+   [fused]), wire-pool, envelope-pool and host-side counters.
+   [/obs/metrics] serves exactly this JSON, so programs inside the
+   simulation and hosts outside it read the same numbers. *)
 let metrics_json (t : t) =
   let base = Obs.metrics_to_json ~name:Abi.Sysno.name (Obs.metrics_of t.obs) in
   let codec = Envelope.Stats.to_json (Envelope.Stats.snapshot_of t.codec) in
   let pool = Value.Pool.Stats.to_json (Value.Pool.Stats.snapshot_of t.pool_stats) in
+  let epool =
+    Envelope.Pool.Stats.to_json (Envelope.Pool.Stats.snapshot_of t.epool_stats)
+  in
+  let host = host_stats_json (host_stats t) in
   match base with
   | Obs.Json.Obj fields ->
-    Obs.Json.Obj (fields @ [ ("codec", codec); ("wire_pool", pool) ])
+    Obs.Json.Obj
+      (fields
+      @ [ ("codec", codec); ("wire_pool", pool); ("env_pool", epool);
+          ("host", host) ])
   | other -> other
 let drain_obs (t : t) = Obs.drain_of t.obs
 
@@ -720,6 +798,7 @@ module Cluster = struct
           {
             Envelope.Stats.traps = acc.traps + x.traps;
             intercepted = acc.intercepted + x.intercepted;
+            fused = acc.fused + x.fused;
             fast_path = acc.fast_path + x.fast_path;
             decodes = acc.decodes + x.decodes;
             encodes = acc.encodes + x.encodes;
@@ -729,6 +808,7 @@ module Cluster = struct
         {
           Envelope.Stats.traps = 0;
           intercepted = 0;
+          fused = 0;
           fast_path = 0;
           decodes = 0;
           encodes = 0;
@@ -750,6 +830,20 @@ module Cluster = struct
         { Value.Pool.Stats.hits = 0; misses = 0; recycled = 0; dropped = 0 }
         c.shards
     in
+    let epool =
+      Array.fold_left
+        (fun (acc : Envelope.Pool.Stats.snapshot) s ->
+          let x = Envelope.Pool.Stats.snapshot_of s.Kstate.epool_stats in
+          {
+            Envelope.Pool.Stats.hits = acc.hits + x.hits;
+            misses = acc.misses + x.misses;
+            recycled = acc.recycled + x.recycled;
+            dropped = acc.dropped + x.dropped;
+          })
+        { Envelope.Pool.Stats.hits = 0; misses = 0; recycled = 0;
+          dropped = 0 }
+        c.shards
+    in
     match base with
     | Obs.Json.Obj fields ->
       Obs.Json.Obj
@@ -757,6 +851,7 @@ module Cluster = struct
         @ [
             ("codec", Envelope.Stats.to_json codec);
             ("wire_pool", Value.Pool.Stats.to_json pool);
+            ("env_pool", Envelope.Pool.Stats.to_json epool);
             ("shards", Obs.Json.Int (Array.length c.shards));
           ])
     | other -> other

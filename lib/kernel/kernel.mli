@@ -33,13 +33,16 @@ module Uspace = Uspace
 
 type t = Kstate.t
 
-val create : ?shard_id:int -> unit -> t
+val create : ?shard_id:int -> ?fused:bool -> unit -> t
 (** A fresh shard with its own clock, filesystem, registry, obs engine
     (inheriting the installed engine's {e configuration} — enablement,
     sampling, ring capacity — so observation set up before [create]
     applies to the new kernel) and counters.  The new kernel is
     {!enter}ed, becoming the current shard.  [shard_id] (default 0) is
-    its position in a {!Cluster}. *)
+    its position in a {!Cluster}.  [fused] (default [true]) selects
+    fused trap dispatch (DESIGN.md §3.8); [~fused:false] keeps the
+    generic option-vector walk — semantically identical (gated by the
+    conformance matrix), only slower on the host. *)
 
 (** {1 The current shard}
 
@@ -129,6 +132,38 @@ val pool_stats : t -> Abi.Value.Pool.Stats.snapshot
     as {!codec_stats}.  Also exported as the ["wire_pool"] member of
     {!metrics_json}. *)
 
+val env_pool_stats : t -> Abi.Envelope.Pool.Stats.snapshot
+(** This shard's envelope-record-pool counters, same contract as
+    {!pool_stats}.  Also exported as the ["env_pool"] member of
+    {!metrics_json}. *)
+
+val fused : t -> bool
+val set_fused : t -> bool -> unit
+(** Select fused vs generic trap dispatch for [t] at run time.  Legal
+    mid-run: the flag only chooses host-speed machinery — the
+    conformance gate checks signatures are byte-identical either
+    way. *)
+
+(** Host-side (wall/GC) cost estimates for one shard since its
+    creation, next to the virtual tables: the ["host"] block of
+    {!metrics_json} and the [\[host\]] section of
+    [agentrun --metrics].  Derived from process-wide [Sys.time] and GC
+    counters, so per-trap figures are estimates — exact when one shard
+    dominates the process. *)
+type host_stats = {
+  h_traps : int;
+  h_cpu_s : float;
+  h_ns_per_trap : float;
+  h_minor_words_per_trap : float;
+  h_promoted_words : float;
+  h_major_collections : int;
+  h_wire_pool_hit_rate : float;
+  h_env_pool_hit_rate : float;
+}
+
+val host_stats : t -> host_stats
+val host_stats_json : host_stats -> Obs.Json.t
+
 val metrics : t -> Obs.metrics
 (** Aggregated observability snapshot of this shard's engine
     (per-syscall counters and latency histograms, per-layer
@@ -136,11 +171,12 @@ val metrics : t -> Obs.metrics
 
 val metrics_json : t -> Obs.Json.t
 (** {!metrics} rendered with syscall names resolved via
-    [Abi.Sysno.name], plus a ["codec"] block ({!codec_stats}, incl.
-    [fast_path]) and a ["wire_pool"] block ({!pool_stats}) — every
-    runtime statistic of one shard in one document.  The
-    [/obs/metrics] synthetic file serves exactly this JSON inside the
-    simulation. *)
+    [Abi.Sysno.name], plus ["codec"] ({!codec_stats}, incl.
+    [fast_path] and [fused]), ["wire_pool"] ({!pool_stats}),
+    ["env_pool"] ({!env_pool_stats}) and ["host"] ({!host_stats})
+    blocks — every runtime statistic of one shard in one document.
+    The [/obs/metrics] synthetic file serves exactly this JSON inside
+    the simulation. *)
 
 val drain_obs : t -> Obs.Span.record list
 (** Drain this shard's flight recorder (oldest first). *)

@@ -37,7 +37,13 @@ type t = {
   obs : Obs.engine;
   codec : Envelope.Stats.t;
   pool_stats : Value.Pool.Stats.t;
+  epool_stats : Envelope.Pool.Stats.t;
   cur : Proc.Cur.cell;
+  mutable fused_dispatch : bool;
+  host_cpu_t0 : float;
+  host_minor_words_t0 : float;
+  host_promoted_words_t0 : float;
+  host_major_collections_t0 : int;
   mutable timers : (int * timer_event) list;
   mutable next_pid : int;
   mutable next_file_id : int;
@@ -55,10 +61,16 @@ let no_hooks = {
   retry = (fun _ -> failwith "Kstate: hooks not installed");
 }
 
-let create ?(shard_id = 0) () =
+let create ?(shard_id = 0) ?(fused = true) () =
   let clock = Sim.Clock.create () in
   let fs = Vfs.Fs.create ~now:(fun () -> Sim.Clock.now_us clock / 1_000_000) () in
   let console = Dev.Console.create () in
+  (* host-side baselines for the `host` metrics block: process CPU
+     time (Sys.time — this library has no unix dependency) and GC
+     counters at shard creation.  Both are process-wide, so the
+     derived per-trap figures are estimates, exact only when one shard
+     dominates the process (the common case: one kernel per run). *)
+  let q = Gc.quick_stat () in
   { shard_id; clock; fs; console;
     devs = Dev.standard_table console;
     procs = Hashtbl.create 32;
@@ -72,7 +84,15 @@ let create ?(shard_id = 0) () =
     obs = Obs.engine_like (Obs.installed ());
     codec = Envelope.Stats.create ();
     pool_stats = Value.Pool.Stats.create ();
+    epool_stats = Envelope.Pool.Stats.create ();
     cur = Proc.Cur.cell ();
+    fused_dispatch = fused;
+    host_cpu_t0 = Sys.time ();
+    (* [Gc.minor_words] reads the live allocation pointer;
+       [quick_stat]'s field lags until the next minor collection *)
+    host_minor_words_t0 = Gc.minor_words ();
+    host_promoted_words_t0 = q.Gc.promoted_words;
+    host_major_collections_t0 = q.Gc.major_collections;
     timers = [];
     next_pid = 1;
     next_file_id = 1;
@@ -204,6 +224,12 @@ let has_select_timer t pid =
 
 let next_timer t =
   match t.timers with [] -> None | hd :: _ -> Some hd
+
+(* Allocation-free variant for the fused CPU-charge fast path, which
+   asks this once or more per dispatch level: the earliest deadline,
+   or [max_int] with no timers armed. *)
+let next_timer_at t =
+  match t.timers with [] -> max_int | (at, _) :: _ -> at
 
 let pop_timer t =
   match t.timers with [] -> () | _ :: tl -> t.timers <- tl

@@ -35,6 +35,54 @@ let to_kernel (proc : Proc.t) (env : Envelope.t) : Value.res =
   deliver proc reply.deliver;
   reply.res
 
+(* The fused-chain jump target for slots with no handler installed:
+   Proc sits below this module, so it reaches [to_kernel] through a
+   forward reference filled exactly once, here. *)
+let () = Proc.chain_kernel_entry := fun env -> to_kernel (self ()) env
+
+(* Whether the current shard dispatches through the fused chains.
+   Read per trap from the ambient shard handle — the flag lives on
+   [Kstate.t], so flipping it at run time (bench A/B, future hot-swap
+   quiesce points) needs no global. *)
+let fused_dispatch () =
+  match !Kstate.Ambient.current with
+  | Some t -> t.Kstate.fused_dispatch
+  | None -> false
+
+(* Charge [us] of virtual CPU time to [proc] and collect any signals
+   that became deliverable, preferably without performing an effect.
+
+   The [Events.Cpu] perform captures the whole fibre continuation and
+   round-trips through the run queue — by far the dominant *host* cost
+   of an interested trap (one perform per agent dispatch layer).  In
+   fused mode we replicate the scheduler's Cpu handler inline when, and
+   only when, doing so is observationally identical:
+
+   - no signal is pending, so [collect_deliverable] would return []
+     and [pending_terminal] would decide `None — nothing to deliver,
+     nobody to kill or stop;
+   - the run queue is empty, so the generic path would re-enqueue this
+     continuation and pop it right back — no other fibre's turn is
+     being stolen;
+   - no timer is due at or before [now + us], so the scheduling point
+     the perform would create cannot fire one.
+
+   Every guard is a deterministic function of simulation state, so a
+   fused run makes exactly the same scheduling decisions every time
+   (and the same decisions a generic run makes — the conformance gate
+   checks the syscall signatures are byte-identical). *)
+let cpu_charge (proc : Proc.t) us : int list =
+  match !Kstate.Ambient.current with
+  | Some t
+    when t.Kstate.fused_dispatch
+         && proc.sigs.pending = 0
+         && Queue.is_empty t.Kstate.runq
+         && Kstate.next_timer_at t > Sim.Clock.now_us t.Kstate.clock + us ->
+    proc.utime_us <- proc.utime_us + us;
+    Kstate.charge t us;
+    []
+  | _ -> Effect.perform (Events.Cpu us)
+
 let trap_raw (env : Envelope.t) : Value.res =
   let proc = self () in
   proc.syscall_count <- proc.syscall_count + 1;
@@ -44,6 +92,18 @@ let trap_raw (env : Envelope.t) : Value.res =
        number — the option vector is never probed. *)
     Envelope.Stats.note_trap_fast ();
     to_kernel proc env
+  end
+  else if fused_dispatch () then begin
+    (* Fused path: the chain slot *is* the installed handler (the
+       bitmap/chain invariant guarantees a set bit is in range and
+       pre-linked), so there is no vector probe and no option match —
+       [fused] grows while [intercepted] stays zero, the measured proof
+       that the generic machinery is bypassed. *)
+    Envelope.Stats.note_trap_chained ();
+    (match cpu_charge proc Cost_model.intercept_us with
+     | [] -> ()
+     | sigs -> deliver proc sigs);
+    proc.emul.chain.(num) env
   end
   else begin
     (* The bit is only ever set for in-range numbers with a handler
@@ -113,19 +173,22 @@ let trap_wire w =
 
 (* the application/system boundary is untyped: encode here, and let the
    first interested layer below (agent or kernel) do the one decode;
-   the wire record itself comes from (and, when still exclusively
-   owned, returns to) the calling process's pool *)
+   both the wire record and the envelope record around it come from
+   (and, when still exclusively owned, return to) the calling
+   process's pools *)
 let syscall c =
-  let pool = (self ()).Proc.wire_pool in
+  let proc = self () in
+  let pool = proc.Proc.wire_pool in
+  let epool = proc.Proc.env_pool in
   if not (Obs.enabled ()) then begin
-    let env = Envelope.at_boundary ?pool c in
+    let env = Envelope.at_boundary ?pool ?epool c in
     let res = trap_raw env in
     Envelope.release env;
     res
   end
   else
     instrumented ~sysno:(Call.number c) (fun () ->
-        Envelope.at_boundary ?pool c)
+        Envelope.at_boundary ?pool ?epool c)
 
 let htg_trap (env : Envelope.t) : Value.res =
   let proc = self () in
@@ -139,14 +202,22 @@ let htg_trap (env : Envelope.t) : Value.res =
 let htg_unix_syscall w = htg_trap (Envelope.of_wire w)
 
 (* agent-originated: the typed view rides the envelope down, never
-   paying an encode unless some layer demands the wire form *)
-let htg_syscall c = htg_trap (Envelope.of_call c)
+   paying an encode unless some layer demands the wire form; the
+   record is pooled like any boundary envelope (an exit/exec that
+   never returns simply leaks its record to the GC) *)
+let htg_syscall c =
+  let proc = self () in
+  let env = Envelope.of_call ?epool:proc.Proc.env_pool c in
+  let res = htg_trap env in
+  Envelope.release env;
+  res
 
 let cpu_work us =
   if us > 0 then begin
     let proc = self () in
-    let sigs = Effect.perform (Events.Cpu us) in
-    deliver proc sigs
+    match cpu_charge proc us with
+    | [] -> ()
+    | sigs -> deliver proc sigs
   end
 
 let task_set_emulation ~numbers handler =

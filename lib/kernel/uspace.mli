@@ -54,6 +54,12 @@ val cpu_work : int -> unit
 (** Charge local computation to the virtual clock.  Also a signal
     delivery point, like any trap. *)
 
+val fused_dispatch : unit -> bool
+(** Whether the current shard dispatches interested traps through the
+    fused closure chains ([Kstate.fused_dispatch]; false with no shard
+    entered).  The toolkit's downlink consults this to pick its own
+    fused crossing path. *)
+
 (** {1 Signal dispatch}
 
     The single definition of "hand signal [s] to the layer above",

@@ -567,6 +567,126 @@ let test_pool_capacity_drop () =
   Alcotest.(check int) "overflow dropped" 1 d.Value.Pool.Stats.dropped;
   Alcotest.(check int) "size capped" 1 (Value.Pool.size p)
 
+(* --- envelope record pool --------------------------------------------------- *)
+
+let epool_window f =
+  let stats = Envelope.Pool.Stats.installed () in
+  let before = Envelope.Pool.Stats.snapshot_of stats in
+  let r = f () in
+  ( r,
+    Envelope.Pool.Stats.diff before
+      (Envelope.Pool.Stats.snapshot_of stats) )
+
+let test_epool_reuse_and_scrub () =
+  let p = Envelope.Pool.create ~capacity:4 () in
+  let (env1, d) =
+    epool_window (fun () -> Envelope.of_call ~epool:p (Call.Close 7))
+  in
+  Alcotest.(check int) "dry take is a miss" 1 d.Envelope.Pool.Stats.misses;
+  let ((), d) = epool_window (fun () -> Envelope.release env1) in
+  Alcotest.(check int) "clean release recycles the record" 1
+    d.Envelope.Pool.Stats.recycled;
+  Alcotest.(check int) "one record parked" 1 (Envelope.Pool.size p);
+  let (env2, d) =
+    epool_window (fun () -> Envelope.of_call ~epool:p (Call.Unlink "/x"))
+  in
+  Alcotest.(check int) "warm take is a hit" 1 d.Envelope.Pool.Stats.hits;
+  Alcotest.(check int) "warm take never allocates" 0
+    d.Envelope.Pool.Stats.misses;
+  Alcotest.(check bool) "same record refilled" true (env1 == env2);
+  (* scrubbed before reuse: nothing of the Close survives *)
+  Alcotest.(check int) "number is the new call's" Sysno.sys_unlink
+    (Envelope.number env2);
+  (match Envelope.call env2 with
+   | Ok (Call.Unlink "/x") -> ()
+   | _ -> Alcotest.fail "stale view leaked through the free list");
+  Alcotest.(check bool) "no stale wire" true (Envelope.dirty env2)
+
+let test_epool_never_recycles_retained () =
+  let p = Envelope.Pool.create () in
+  let env = Envelope.of_call ~epool:p (Call.Close 3) in
+  Envelope.retain env;
+  let ((), d) = epool_window (fun () -> Envelope.release env) in
+  Alcotest.(check int) "retained record not recycled" 0
+    d.Envelope.Pool.Stats.recycled;
+  Alcotest.(check int) "pool stays empty" 0 (Envelope.Pool.size p);
+  (* the whole point of retain: the stash stays readable *)
+  (match Envelope.call env with
+   | Ok (Call.Close 3) -> ()
+   | _ -> Alcotest.fail "retained envelope lost its view")
+
+let test_epool_never_recycles_exposed () =
+  (* handing out the raw wire — including the forced encode of a dirty
+     envelope, i.e. a rewrite — blocks record recycling *)
+  let p = Envelope.Pool.create () in
+  let env = Envelope.of_call ~epool:p (Call.Close 9) in
+  ignore (Envelope.wire env);  (* rewrite: dirty envelope forced to wire *)
+  let ((), d) = epool_window (fun () -> Envelope.release env) in
+  Alcotest.(check int) "exposed record not recycled" 0
+    d.Envelope.Pool.Stats.recycled;
+  Alcotest.(check int) "pool stays empty" 0 (Envelope.Pool.size p);
+  let env' = Envelope.at_boundary ~epool:p Call.Getpid in
+  ignore (Envelope.peek_wire env');
+  let ((), d) = epool_window (fun () -> Envelope.release env') in
+  Alcotest.(check int) "peeked record not recycled" 0
+    d.Envelope.Pool.Stats.recycled
+
+let test_epool_boundary_pairs_with_wire_pool () =
+  (* at_boundary with both pools: one release sends the wire to its
+     pool and the record to its own *)
+  let wp = Value.Pool.create () in
+  let ep = Envelope.Pool.create () in
+  let env = Envelope.at_boundary ~pool:wp ~epool:ep (Call.Close 1) in
+  Envelope.release env;
+  Alcotest.(check int) "wire parked" 1 (Value.Pool.size wp);
+  Alcotest.(check int) "record parked" 1 (Envelope.Pool.size ep)
+
+(* Model property: drive a small pool through random
+   take/action/release cycles and mirror the free list with an
+   integer.  Actions: 0 = clean trap, 1 = retained stash, 2 = rewrite
+   (wire forced on a dirty envelope).  Only clean traps may recycle;
+   the pool never exceeds capacity; counters match the model
+   exactly. *)
+let test_epool_model =
+  QCheck.Test.make ~name:"envelope pool matches free-list model" ~count:100
+    QCheck.(small_list (int_bound 2))
+    (fun actions ->
+      let cap = 2 in
+      let p = Envelope.Pool.create ~capacity:cap () in
+      let model_len = ref 0 in
+      let ok = ref true in
+      let (_, d) =
+        epool_window (fun () ->
+            List.iteri
+              (fun i action ->
+                let expect_hit = !model_len > 0 in
+                let (env, dt) =
+                  epool_window (fun () ->
+                      Envelope.of_call ~epool:p (Call.Close i))
+                in
+                if expect_hit then begin
+                  if dt.Envelope.Pool.Stats.hits <> 1 then ok := false;
+                  decr model_len
+                end
+                else if dt.Envelope.Pool.Stats.misses <> 1 then ok := false;
+                (* scrub check: the record carries only this trap's call *)
+                (match Envelope.call env with
+                 | Ok (Call.Close j) when j = i -> ()
+                 | _ -> ok := false);
+                (match action with
+                 | 0 -> ()
+                 | 1 -> Envelope.retain env
+                 | _ -> ignore (Envelope.wire env));
+                Envelope.release env;
+                if action = 0 && !model_len < cap then incr model_len)
+              actions)
+      in
+      !ok
+      && Envelope.Pool.size p = !model_len
+      && d.Envelope.Pool.Stats.recycled
+         + d.Envelope.Pool.Stats.dropped
+         = List.length (List.filter (fun a -> a = 0) actions))
+
 (* --- bitset ---------------------------------------------------------------- *)
 
 let test_bitset_bounds () =
@@ -700,6 +820,16 @@ let () =
         Alcotest.test_case "release keeps view" `Quick
           test_pool_release_keeps_typed_view;
         Alcotest.test_case "capacity" `Quick test_pool_capacity_drop ];
+      "env pool",
+      [ Alcotest.test_case "reuse and scrub" `Quick
+          test_epool_reuse_and_scrub;
+        Alcotest.test_case "retained never recycles" `Quick
+          test_epool_never_recycles_retained;
+        Alcotest.test_case "exposed never recycles" `Quick
+          test_epool_never_recycles_exposed;
+        Alcotest.test_case "pairs with wire pool" `Quick
+          test_epool_boundary_pairs_with_wire_pool;
+        qtest test_epool_model ];
       "bitset",
       [ Alcotest.test_case "bounds" `Quick test_bitset_bounds;
         Alcotest.test_case "ops" `Quick test_bitset_ops;

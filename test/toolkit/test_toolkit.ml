@@ -129,7 +129,10 @@ let test_decode_once_under_stack () =
     Envelope.Stats.diff (Option.get !before) (Option.get !after)
   in
   Alcotest.(check int) "traps" iters d.Envelope.Stats.traps;
-  Alcotest.(check int) "all intercepted" iters d.Envelope.Stats.intercepted;
+  (* fused dispatch (the default): every interested trap goes through
+     the chain, never the generic option vector *)
+  Alcotest.(check int) "all chained" iters d.Envelope.Stats.fused;
+  Alcotest.(check int) "vector never probed" 0 d.Envelope.Stats.intercepted;
   Alcotest.(check int) "decode-count = 1 per trap" iters
     d.Envelope.Stats.decodes;
   Alcotest.(check int) "encode-count = 1 per trap" iters
@@ -420,21 +423,41 @@ let test_fast_path_uninterested () =
   Alcotest.(check int) "no handler probed" 0 d.Envelope.Stats.intercepted
 
 let test_fast_path_interested () =
-  (* full interest: the fast path must never fire *)
+  (* full interest under fused dispatch (the default): every trap runs
+     the pre-linked chain — [fused] counts them all, and the generic
+     vector is provably never probed ([intercepted] stays 0) *)
   let iters = 25 in
   let d =
     trap_window iters ~install:(fun () ->
         Toolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||])
   in
+  Alcotest.(check int) "every trap chained" iters d.Envelope.Stats.fused;
+  Alcotest.(check int) "vector never probed" 0 d.Envelope.Stats.intercepted;
+  Alcotest.(check int) "fast path never taken" 0 d.Envelope.Stats.fast_path
+
+let test_fast_path_interested_generic () =
+  (* same stack with fused dispatch off: the legacy counters, and no
+     chained traps — the A/B baseline the host-speed bench measures *)
+  let iters = 25 in
+  let d =
+    trap_window iters ~install:(fun () ->
+        Kernel.set_fused (Kernel.current_exn ()) false;
+        Toolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||])
+  in
   Alcotest.(check int) "every trap intercepted" iters
     d.Envelope.Stats.intercepted;
+  Alcotest.(check int) "chain never used" 0 d.Envelope.Stats.fused;
   Alcotest.(check int) "fast path never taken" 0 d.Envelope.Stats.fast_path
 
 (* Property: whatever sequence of emulation updates and downlink
-   captures runs, the interest bitmaps mirror their handler vectors
-   slot-for-slot — in this process and in a forked child's copy.  Ops
-   are (kind, numbers) pairs; numbers run a little past [max_sysno] so
-   the out-of-range-is-ignored paths get exercised too. *)
+   captures runs, the interest bitmaps — and the fused chains — mirror
+   their handler vectors slot-for-slot ([emulation_consistent] and
+   [Downlink.consistent] check the chains by physical identity), in
+   this process and in a forked child's copy; and dispatching through
+   the fused machinery returns exactly what the generic walk returns.
+   Ops are (kind, numbers) pairs; numbers run a little past
+   [max_sysno] so the out-of-range-is-ignored paths get exercised
+   too. *)
 let consistency_after_ops ops =
   let passthrough = Some (fun env -> Kernel.Uspace.htg_trap env) in
   let ok = ref true in
@@ -454,6 +477,14 @@ let consistency_after_ops ops =
           | _ -> Toolkit.Downlink.capture dl ~numbers)
         ops;
       ok := here ();
+      (* differential: fused vs generic dispatch of the same trap *)
+      let k = Kernel.current_exn () in
+      Kernel.set_fused k true;
+      let r_fused = Libc.Unistd.getpid () in
+      Kernel.set_fused k false;
+      let r_generic = Libc.Unistd.getpid () in
+      Kernel.set_fused k true;
+      if r_fused <> r_generic then ok := false;
       let pid =
         check_ok "fork"
           (Libc.Unistd.fork ~child:(fun () -> if here () then 0 else 1))
@@ -514,4 +545,6 @@ let () =
           test_fast_path_uninterested;
         Alcotest.test_case "interested traps" `Quick
           test_fast_path_interested;
+        Alcotest.test_case "interested traps (generic)" `Quick
+          test_fast_path_interested_generic;
         qtest test_bitmap_matches_vector ] ]
