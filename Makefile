@@ -1,4 +1,4 @@
-.PHONY: all check test lint-globals bench-smoke bench-host clean
+.PHONY: all check test lint-globals bench-smoke bench-host bench-causal clean
 
 all:
 	dune build @all
@@ -27,7 +27,14 @@ test:
 # dispatch must beat the generic walk on depth-4 traps/sec, envelope
 # pooling must keep minor words/trap below the PR 3 wires-only
 # baselines, the fused counters must prove the generic vector is never
-# probed, and BENCH_hostspeed.json must validate.
+# probed, and BENCH_hostspeed.json must validate.  The `causal` section
+# is the observability gate (DESIGN.md 3.9): fork/signal/pipe edge
+# tables and slices must reproduce byte-identically (incl. cross-shard
+# signal mail over 2 shards), chrome flow events must bind balanced,
+# flame folds must conserve segment self time, the live stream cursor
+# must deliver every record exactly once, the watchdogs block must trip
+# honestly, and all seven BENCH_*.json files must pass the one shared
+# schema validator.
 check: all test lint-globals bench-smoke
 
 # The wall-clock harness alone (ns/trap, traps/sec, GC deltas; writes
@@ -44,7 +51,12 @@ lint-globals:
 	tools/lint_globals.sh
 
 bench-smoke:
-	dune exec bench/main.exe -- ablations faults conformance smoke scale hostspeed
+	dune exec bench/main.exe -- ablations faults conformance smoke scale hostspeed causal
+
+# The causal-observability gate alone (edge tables, slices, flame
+# folds, stream completeness, watchdogs; writes BENCH_causal.json).
+bench-causal:
+	dune exec bench/main.exe -- causal
 
 clean:
 	dune clean

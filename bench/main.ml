@@ -1019,83 +1019,43 @@ let smoke_uninterested_baseline_us = 25.0
    absorbs compiler drift. *)
 let smoke_minor_words_ceiling = 70.0
 
-(* Minimal schema check over a BENCH_*.json document. *)
-let validate_bench_json json =
-  let open Obs.Json in
-  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
-  let require_fields kind fields j =
-    List.fold_left
-      (fun acc (field, check) ->
-        match acc with
-        | Error _ -> acc
-        | Ok () ->
-          (match member field j with
-           | None -> err "%s: missing field %S" kind field
-           | Some v ->
-             if check v then Ok () else err "%s: field %S has wrong type" kind field))
-      (Ok ()) fields
-  in
-  let is_num v = to_number v <> None in
-  let is_int v = to_int v <> None in
-  let is_str v = to_str v <> None in
-  let arr_of kind fields j =
-    match to_list j with
-    | None -> err "%s: expected an array" kind
-    | Some items ->
-      List.fold_left
-        (fun acc item ->
-          match acc with
-          | Error _ -> acc
-          | Ok () -> require_fields kind fields item)
-        (Ok ()) items
-  in
-  match require_fields "document" [ ("name", is_str) ] json with
-  | Error _ as e -> e
-  | Ok () ->
-    let five_numbers field j =
-      match to_list j with
-      | Some l when List.length l = 5 && List.for_all is_num l -> Ok ()
-      | Some _ -> err "%s: want 5 numbers" field
-      | None -> err "%s: expected an array" field
-    in
-    let sections =
-      [ ("stacked_getpid_us", five_numbers "stacked_getpid_us");
-        ("uninterested_getpid_us", five_numbers "uninterested_getpid_us");
-        ( "uninterested_alloc",
-          require_fields "uninterested_alloc"
-            [ ("traps", is_int); ("minor_words_per_trap", is_num);
-              ("fast_path", is_int); ("pool_hits", is_int);
-              ("pool_misses", is_int); ("pool_recycled", is_int);
-              ("pool_dropped", is_int) ] );
-        ( "codec_per_trap",
-          arr_of "codec_per_trap"
-            [ ("depth", is_int); ("traps", is_int); ("decodes", is_int);
-              ("encodes", is_int); ("crossings", is_int) ] );
-        ( "layers",
-          arr_of "layers"
-            [ ("depth", is_int); ("layer", is_str); ("traps", is_int);
-              ("decodes", is_int); ("encodes", is_int); ("self_us", is_int);
-              ("total_us", is_int) ] );
-        ( "attribution_checks",
-          arr_of "attribution_checks"
-            [ ("depth", is_int); ("layer_decodes", is_int);
-              ("layer_encodes", is_int); ("self_us", is_int);
-              ("span_us", is_int) ] );
-        ( "sampling",
-          arr_of "sampling"
-            [ ("n", is_int); ("getpid_us", is_num); ("calls", is_int);
-              ("spans", is_int); ("est_spans", is_int); ("p50_us", is_int);
-              ("p90_us", is_int); ("p99_us", is_int) ] ) ]
-    in
-    List.fold_left
-      (fun acc (field, check) ->
-        match acc with
-        | Error _ -> acc
-        | Ok () ->
-          (match member field json with
-           | None -> err "document: missing field %S" field
-           | Some v -> check v))
-      (Ok ()) sections
+(* The smoke/ablations document shape, stated declaratively — the
+   shared [Report.Schema] walker does the checking (one validator for
+   all seven BENCH_*.json files; see [causal ()], which re-validates
+   the full set). *)
+let smoke_schema =
+  let open Report.Schema in
+  Obj
+    [ ("name", Str);
+      ("stacked_getpid_us", Numbers 5);
+      ("uninterested_getpid_us", Numbers 5);
+      ( "uninterested_alloc",
+        Obj
+          [ ("traps", Int); ("minor_words_per_trap", Num);
+            ("fast_path", Int); ("pool_hits", Int); ("pool_misses", Int);
+            ("pool_recycled", Int); ("pool_dropped", Int) ] );
+      ( "codec_per_trap",
+        Arr
+          (Obj
+             [ ("depth", Int); ("traps", Int); ("decodes", Int);
+               ("encodes", Int); ("crossings", Int) ]) );
+      ( "layers",
+        Arr
+          (Obj
+             [ ("depth", Int); ("layer", Str); ("traps", Int);
+               ("decodes", Int); ("encodes", Int); ("self_us", Int);
+               ("total_us", Int) ]) );
+      ( "attribution_checks",
+        Arr
+          (Obj
+             [ ("depth", Int); ("layer_decodes", Int);
+               ("layer_encodes", Int); ("self_us", Int); ("span_us", Int) ]) );
+      ( "sampling",
+        Arr
+          (Obj
+             [ ("n", Int); ("getpid_us", Num); ("calls", Int);
+               ("spans", Int); ("est_spans", Int); ("p50_us", Int);
+               ("p90_us", Int); ("p99_us", Int) ]) ) ]
 
 let smoke () =
   Report.print_title "Smoke: tracing-off guard + metrics schema validation";
@@ -1313,24 +1273,11 @@ let smoke () =
                   List.find (fun (d, _, _, _) -> d = 4) sampled_rows
                 in
                 (256, us, m)) ] ) ]);
-  let validate_file path =
-    if Sys.file_exists path then begin
-      let ic = open_in_bin path in
-      let content =
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      in
-      match of_string (String.trim content) with
-      | Error e -> fail "%s: malformed JSON: %s" path e
-      | Ok json ->
-        (match validate_bench_json json with
-         | Error e -> fail "%s: schema: %s" path e
-         | Ok () -> Printf.printf "[smoke] %s: schema ok\n" path)
-    end
-  in
-  validate_file "BENCH_smoke.json";
-  validate_file "BENCH_ablations.json";
+  let vfail s = fail "%s" s in
+  Report.validate_file ~tag:"smoke" ~fail:vfail "BENCH_smoke.json"
+    smoke_schema;
+  Report.validate_file ~tag:"smoke" ~fail:vfail "BENCH_ablations.json"
+    smoke_schema;
   match !failures with
   | [] -> Printf.printf "[smoke] all checks passed\n"
   | fs ->
@@ -1373,79 +1320,25 @@ let outcome_count cases o =
          c.c_run.Fault.Campaign.r_outcome = o)
        cases)
 
-let validate_faults_json json =
-  let open Obs.Json in
-  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
-  let is_num v = to_number v <> None in
-  let is_int v = to_int v <> None in
-  let is_str v = to_str v <> None in
-  let is_bool v = match v with Bool _ -> true | _ -> false in
-  let require kind fields j =
-    List.fold_left
-      (fun acc (field, check) ->
-        match acc with
-        | Error _ -> acc
-        | Ok () ->
-          (match member field j with
-           | None -> err "%s: missing field %S" kind field
-           | Some v ->
-             if check v then Ok ()
-             else err "%s: field %S has wrong type" kind field))
-      (Ok ()) fields
-  in
-  match
-    require "document"
-      [ ("name", is_str); ("intercept_us", is_int);
-        ("injected_failed_read_us", is_num) ]
-      json
-  with
-  | Error _ as e -> e
-  | Ok () ->
-    (match member "workloads" json with
-     | None -> err "document: missing field \"workloads\""
-     | Some w ->
-       (match to_list w with
-        | None -> err "workloads: expected an array"
-        | Some items ->
-          let per_workload acc item =
-            match acc with
-            | Error _ -> acc
-            | Ok () ->
-              (match
-                 require "workload"
-                   [ ("workload", is_str); ("runs", is_int);
-                     ("tolerated", is_int); ("wrong_result", is_int);
-                     ("hang", is_int); ("crash", is_int) ]
-                   item
-               with
-               | Error _ as e -> e
-               | Ok () ->
-                 (match Option.bind (member "cases" item) to_list with
-                  | None -> err "workload: missing \"cases\" array"
-                  | Some cases ->
-                    List.fold_left
-                      (fun acc c ->
-                        match acc with
-                        | Error _ -> acc
-                        | Ok () ->
-                          require "case"
-                            [ ("site", is_str); ("outcome", is_str);
-                              ("detail", is_str); ("injected", is_int);
-                              ("restarted", is_int) ]
-                            c)
-                      (Ok ()) cases))
-          in
-          (match List.fold_left per_workload (Ok ()) items with
-           | Error _ as e -> e
-           | Ok () ->
-             (match member "repro" json with
-              | None -> err "document: missing field \"repro\""
-              | Some r ->
-                require "repro"
-                  [ ("workload", is_str); ("site", is_str);
-                    ("outcome", is_str); ("replay_ok", is_bool);
-                    ("desyncs", is_int) ]
-                  r))))
+let faults_schema =
+  let open Report.Schema in
+  Obj
+    [ ("name", Str); ("intercept_us", Int);
+      ("injected_failed_read_us", Num);
+      ( "workloads",
+        Arr
+          (Obj
+             [ ("workload", Str); ("runs", Int); ("tolerated", Int);
+               ("wrong_result", Int); ("hang", Int); ("crash", Int);
+               ( "cases",
+                 Arr
+                   (Obj
+                      [ ("site", Str); ("outcome", Str); ("detail", Str);
+                        ("injected", Int); ("restarted", Int) ]) ) ]) );
+      ( "repro",
+        Obj
+          [ ("workload", Str); ("site", Str); ("outcome", Str);
+            ("replay_ok", Bool); ("desyncs", Int) ] ) ]
 
 let faults () =
   Report.print_title
@@ -1602,20 +1495,9 @@ let faults () =
          ("repro", repro_json) ]);
   (let path = "BENCH_faults.json" in
    if not (Sys.file_exists path) then fail "%s: not written" path
-   else begin
-     let ic = open_in_bin path in
-     let content =
-       Fun.protect
-         ~finally:(fun () -> close_in_noerr ic)
-         (fun () -> really_input_string ic (in_channel_length ic))
-     in
-     match of_string (String.trim content) with
-     | Error e -> fail "%s: malformed JSON: %s" path e
-     | Ok json ->
-       (match validate_faults_json json with
-        | Error e -> fail "%s: schema: %s" path e
-        | Ok () -> Printf.printf "[faults] %s: schema ok\n" path)
-   end);
+   else
+     Report.validate_file ~tag:"faults" ~fail:(fun s -> fail "%s" s) path
+       faults_schema);
   Report.print_note
     "Deterministic campaigns: injection sites come from an obs-profiled\n\
      fault-free run, every site x errno run is classified by the\n\
@@ -1805,64 +1687,18 @@ let scale_once n =
     so_status =
       List.map (fun (p : Kernel.Proc.t) -> p.Kernel.Proc.exit_status) inits }
 
-let validate_scale_json json =
-  let open Obs.Json in
-  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
-  let is_num v = to_number v <> None in
-  let is_int v = to_int v <> None in
-  let is_str v = to_str v <> None in
-  let is_bool v = to_bool v <> None in
-  let is_int_arr v =
-    match to_list v with
-    | Some l -> l <> [] && List.for_all is_int l
-    | None -> false
-  in
-  let require kind fields j =
-    List.fold_left
-      (fun acc (field, check) ->
-        match acc with
-        | Error _ -> acc
-        | Ok () ->
-          (match member field j with
-           | None -> err "%s: missing field %S" kind field
-           | Some v ->
-             if check v then Ok ()
-             else err "%s: field %S has wrong type" kind field))
-      (Ok ()) fields
-  in
-  match
-    require "document"
-      [ ("name", is_str); ("total_procs", is_int) ]
-      json
-  with
-  | Error _ as e -> e
-  | Ok () ->
-    (match member "stacked_getpid_us" json with
-     | Some v
-       when (match to_list v with
-             | Some l -> List.length l = 5 && List.for_all is_num l
-             | None -> false) ->
-       (match member "runs" json with
-        | None -> err "document: missing field \"runs\""
-        | Some runs ->
-          (match to_list runs with
-           | None -> err "runs: expected an array"
-           | Some items ->
-             List.fold_left
-               (fun acc item ->
-                 match acc with
-                 | Error _ -> acc
-                 | Ok () ->
-                   require "runs"
-                     [ ("shards", is_int); ("wall_s", is_num);
-                       ("traps", is_int); ("traps_per_sec", is_num);
-                       ("per_shard_traps", is_int_arr);
-                       ("per_shard_virtual_us", is_int_arr);
-                       ("balance_dev", is_num); ("reproducible", is_bool) ]
-                     item)
-               (Ok ()) items))
-     | Some _ -> err "stacked_getpid_us: want 5 numbers"
-     | None -> err "document: missing field \"stacked_getpid_us\"")
+let scale_schema =
+  let open Report.Schema in
+  Obj
+    [ ("name", Str); ("total_procs", Int);
+      ("stacked_getpid_us", Numbers 5);
+      ( "runs",
+        Arr
+          (Obj
+             [ ("shards", Int); ("wall_s", Num); ("traps", Int);
+               ("traps_per_sec", Num); ("per_shard_traps", Ints);
+               ("per_shard_virtual_us", Ints); ("balance_dev", Num);
+               ("reproducible", Bool) ]) ) ]
 
 let scale () =
   Report.print_title
@@ -1950,20 +1786,9 @@ let scale () =
                 runs) ) ]);
   (let path = "BENCH_scale.json" in
    if not (Sys.file_exists path) then fail "%s: not written" path
-   else begin
-     let ic = open_in_bin path in
-     let content =
-       Fun.protect
-         ~finally:(fun () -> close_in_noerr ic)
-         (fun () -> really_input_string ic (in_channel_length ic))
-     in
-     match of_string (String.trim content) with
-     | Error e -> fail "%s: malformed JSON: %s" path e
-     | Ok json ->
-       (match validate_scale_json json with
-        | Error e -> fail "%s: schema: %s" path e
-        | Ok () -> Printf.printf "[scale] %s: schema ok\n" path)
-   end);
+   else
+     Report.validate_file ~tag:"scale" ~fail:(fun s -> fail "%s" s) path
+       scale_schema);
   Report.print_note
     "Each shard is a kernel handle owning its clock, proc table, registry,\n\
      obs engine and counters (DESIGN.md 3.6); the cluster steps shards\n\
@@ -1977,61 +1802,20 @@ let scale () =
 
 (* --- conformance: signature transparency (ablation 9, `make check` gate) ------- *)
 
-let validate_conformance_json json =
-  let open Obs.Json in
-  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
-  let is_int v = to_int v <> None in
-  let is_str v = to_str v <> None in
-  let is_bool v = match v with Bool _ -> true | _ -> false in
-  let require kind fields j =
-    List.fold_left
-      (fun acc (field, check) ->
-        match acc with
-        | Error _ -> acc
-        | Ok () ->
-          (match member field j with
-           | None -> err "%s: missing field %S" kind field
-           | Some v ->
-             if check v then Ok ()
-             else err "%s: field %S has wrong type" kind field))
-      (Ok ()) fields
-  in
-  match require "document" [ ("name", is_str) ] json with
-  | Error _ as e -> e
-  | Ok () ->
-    (match Option.bind (member "matrix" json) to_list with
-     | None -> err "document: missing \"matrix\" array"
-     | Some rows ->
-       let per_row acc row =
-         match acc with
-         | Error _ -> acc
-         | Ok () ->
-           require "row"
-             [ ("workload", is_str); ("stack", is_str); ("delta", is_str);
-               ("bare_events", is_int); ("under_events", is_int);
-               ("masked", is_int); ("conformant", is_bool) ]
-             row
-       in
-       (match List.fold_left per_row (Ok ()) rows with
-        | Error _ as e -> e
-        | Ok () ->
-          (match member "mutation" json with
-           | None -> err "document: missing field \"mutation\""
-           | Some m ->
-             (match
-                require "mutation"
-                  [ ("workload", is_str); ("stack", is_str);
-                    ("conformant", is_bool) ]
-                  m
-              with
-              | Error _ as e -> e
-              | Ok () ->
-                (match member "violation" m with
-                 | None -> err "mutation: missing field \"violation\""
-                 | Some v ->
-                   require "violation"
-                     [ ("index", is_int); ("reason", is_str) ]
-                     v)))))
+let conformance_schema =
+  let open Report.Schema in
+  Obj
+    [ ("name", Str);
+      ( "matrix",
+        Arr
+          (Obj
+             [ ("workload", Str); ("stack", Str); ("delta", Str);
+               ("bare_events", Int); ("under_events", Int);
+               ("masked", Int); ("conformant", Bool) ]) );
+      ( "mutation",
+        Obj
+          [ ("workload", Str); ("stack", Str); ("conformant", Bool);
+            ("violation", Obj [ ("index", Int); ("reason", Str) ]) ] ) ]
 
 let conformance () =
   Report.print_title
@@ -2123,20 +1907,9 @@ let conformance () =
          ("mutation", Conformance.verdict_to_json mv) ]);
   (let path = "BENCH_conformance.json" in
    if not (Sys.file_exists path) then fail "%s: not written" path
-   else begin
-     let ic = open_in_bin path in
-     let content =
-       Fun.protect
-         ~finally:(fun () -> close_in_noerr ic)
-         (fun () -> really_input_string ic (in_channel_length ic))
-     in
-     match of_string (String.trim content) with
-     | Error e -> fail "%s: malformed JSON: %s" path e
-     | Ok json ->
-       (match validate_conformance_json json with
-        | Error e -> fail "%s: schema: %s" path e
-        | Ok () -> Printf.printf "[conformance] %s: schema ok\n" path)
-   end);
+   else
+     Report.validate_file ~tag:"conformance" ~fail:(fun s -> fail "%s" s)
+       path conformance_schema);
   Report.print_note
     "Transparency is checked, not assumed: each workload runs bare and\n\
      under each stack, both syscall signatures are normalized by the\n\
@@ -2346,65 +2119,26 @@ let host_case_json ~workload ~mode ~depth (r : host_run) =
       ("env_pool_misses", Int r.hr_env_pool.Envelope.Pool.Stats.misses);
       ("wire_pool_hits", Int r.hr_wire_pool.Value.Pool.Stats.hits) ]
 
-let validate_hostspeed_json json =
-  let open Obs.Json in
-  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
-  let is_num v = to_number v <> None in
-  let is_int v = to_int v <> None in
-  let is_str v = to_str v <> None in
-  let require kind fields j =
-    List.fold_left
-      (fun acc (field, check) ->
-        match acc with
-        | Error _ -> acc
-        | Ok () ->
-          (match member field j with
-           | None -> err "%s: missing field %S" kind field
-           | Some v ->
-             if check v then Ok ()
-             else err "%s: field %S has wrong type" kind field))
-      (Ok ()) fields
-  in
-  match
-    require "document"
-      [ ("name", is_str); ("iters", is_int); ("rounds", is_int);
-        ("speedup_depth4", is_num) ]
-      json
-  with
-  | Error _ as e -> e
-  | Ok () ->
-    (match
-       match member "boundary" json with
-       | None -> err "document: missing \"boundary\" object"
-       | Some b ->
-         require "boundary"
-           [ ("getpid_words_per_trap", is_num); ("getpid_baseline", is_num);
-             ("read_words_per_trap", is_num); ("read_baseline", is_num);
-             ("env_pool_hits", is_int); ("env_pool_misses", is_int) ]
-           b
-     with
-     | Error _ as e -> e
-     | Ok () ->
-    (match Option.bind (member "cases" json) to_list with
-     | None -> err "document: missing \"cases\" array"
-     | Some cases ->
-       if cases = [] then err "cases: empty"
-       else
-         List.fold_left
-           (fun acc c ->
-             match acc with
-             | Error _ -> acc
-             | Ok () ->
-               require "case"
-                 [ ("workload", is_str); ("mode", is_str); ("depth", is_int);
-                   ("ns_per_trap", is_num); ("traps_per_sec", is_num);
-                   ("minor_words_per_trap", is_num);
-                   ("promoted_words", is_num); ("major_collections", is_int);
-                   ("fused", is_int); ("intercepted", is_int);
-                   ("fast_path", is_int); ("env_pool_hits", is_int);
-                   ("env_pool_misses", is_int); ("wire_pool_hits", is_int) ]
-                 c)
-           (Ok ()) cases))
+let hostspeed_schema =
+  let open Report.Schema in
+  Obj
+    [ ("name", Str); ("iters", Int); ("rounds", Int);
+      ("speedup_depth4", Num);
+      ( "boundary",
+        Obj
+          [ ("getpid_words_per_trap", Num); ("getpid_baseline", Num);
+            ("read_words_per_trap", Num); ("read_baseline", Num);
+            ("env_pool_hits", Int); ("env_pool_misses", Int) ] );
+      ( "cases",
+        Arr_nonempty
+          (Obj
+             [ ("workload", Str); ("mode", Str); ("depth", Int);
+               ("ns_per_trap", Num); ("traps_per_sec", Num);
+               ("minor_words_per_trap", Num); ("promoted_words", Num);
+               ("major_collections", Int); ("fused", Int);
+               ("intercepted", Int); ("fast_path", Int);
+               ("env_pool_hits", Int); ("env_pool_misses", Int);
+               ("wire_pool_hits", Int) ]) ) ]
 
 let hostspeed () =
   Report.print_title
@@ -2574,20 +2308,9 @@ let hostspeed () =
                   mixed_cases) ) ]);
   (let path = "BENCH_hostspeed.json" in
    if not (Sys.file_exists path) then fail "%s: not written" path
-   else begin
-     let ic = open_in_bin path in
-     let content =
-       Fun.protect
-         ~finally:(fun () -> close_in_noerr ic)
-         (fun () -> really_input_string ic (in_channel_length ic))
-     in
-     match of_string (String.trim content) with
-     | Error e -> fail "%s: malformed JSON: %s" path e
-     | Ok json ->
-       (match validate_hostspeed_json json with
-        | Error e -> fail "%s: schema: %s" path e
-        | Ok () -> Printf.printf "[hostspeed] %s: schema ok\n" path)
-   end);
+   else
+     Report.validate_file ~tag:"hostspeed" ~fail:(fun s -> fail "%s" s)
+       path hostspeed_schema);
   Report.print_note
     "Fused chains pre-link each (pid, sysno) handler stack into direct\n\
      closure calls and charge CPU inline when no scheduling point is\n\
@@ -2598,6 +2321,339 @@ let hostspeed () =
   | [] -> Printf.printf "[hostspeed] all gates passed\n"
   | fs ->
     List.iter (fun f -> Printf.printf "[hostspeed] FAIL: %s\n" f) (List.rev fs);
+    exit 1
+
+(* --- causal: the cross-process event graph (PR 9, `make check` gate) --------- *)
+
+(* One deterministic session exercising all three edge kinds under a
+   depth-4 stack: the parent forks three children, each child pipes a
+   message back, and the parent signals each child awake before
+   reaping it.  Every fork, kill->delivery and pipe byte-flow becomes
+   an edge; two identical runs must produce byte-identical edge tables
+   and slices. *)
+
+type causal_run = {
+  cz_status : int;
+  cz_edges : Obs.Causal.edge list;      (* drained, in table order *)
+  cz_records : Obs.Span.record list;    (* drained flight recorder *)
+  cz_slice : (int * int) list;          (* reachable from the first fork *)
+  cz_streamed : int;                    (* records seen by live polling *)
+  cz_lost : int;
+  cz_polls : int;
+  cz_watchdogs : Obs.Json.t;            (* metrics_json "watchdogs" block *)
+}
+
+let causal_msg i = Printf.sprintf "child %d reporting in\n" i
+
+let causal_once () =
+  Obs.reset ();
+  let k = fresh () in
+  (* two rules: one that cannot trip, one that must (p99 of any
+     running workload exceeds 0µs) — proving the block both passes
+     and fails honestly *)
+  Kernel.set_watch k
+    [ { Obs.Watch.w_name = "no-errors"; w_target = "*";
+        w_pred = Obs.Watch.Error_rate (None, 1.0) };
+      { Obs.Watch.w_name = "impossible-p99"; w_target = "*";
+        w_pred = Obs.Watch.P99_us (None, 0) } ];
+  (* live streaming rides the zero-cost trace hook, exactly as
+     `agentrun --follow` wires it: every record exactly once *)
+  let cursor = Obs.Stream.cursor () in
+  let streamed = ref 0 and lost = ref 0 and polls = ref 0 in
+  Kernel.set_trace_hook k ~cost_us:0
+    (Some
+       (fun _ _ _ ->
+         incr polls;
+         let fresh, l = Obs.poll cursor in
+         streamed := !streamed + List.length fresh;
+         lost := !lost + l));
+  let status =
+    Kernel.boot k ~name:"causal" (fun () ->
+      for _ = 1 to 4 do
+        Itoolkit.Loader.install (Agents.Time_symbolic.create ()) ~argv:[||]
+      done;
+      Obs.enable ();
+      let r, w = Libc.Unistd.ok_exn "pipe" (Libc.Unistd.pipe ()) in
+      let children =
+        List.init 3 (fun i ->
+          Libc.Unistd.ok_exn "fork"
+            (Libc.Unistd.fork ~child:(fun () ->
+               ignore
+                 (Libc.Unistd.signal Signal.sigusr1
+                    (Value.H_fn (fun _ -> ())));
+               ignore (Libc.Unistd.write w (causal_msg i));
+               ignore (Libc.Unistd.sigsuspend 0);
+               0)))
+      in
+      let want =
+        List.fold_left
+          (fun acc i -> acc + String.length (causal_msg i))
+          0 [ 0; 1; 2 ]
+      in
+      let buf = Bytes.create 64 in
+      let got = ref 0 in
+      while !got < want do
+        match Libc.Unistd.read r buf 64 with
+        | Ok n when n > 0 -> got := !got + n
+        | _ -> got := want
+      done;
+      List.iter
+        (fun pid ->
+          ignore (Libc.Unistd.kill pid Signal.sigusr1);
+          ignore (Libc.Unistd.waitpid pid 0))
+        children;
+      ignore (Libc.Unistd.close r);
+      ignore (Libc.Unistd.close w);
+      Obs.disable ();
+      0)
+  in
+  (* flush the live cursor before the drain empties the ring *)
+  let final_fresh, final_lost = Obs.poll_of (Kernel.obs_engine k) cursor in
+  let edges = Kernel.drain_causal k in
+  let records = Kernel.drain_obs k in
+  (* slice roots: every fork trap the parent issued — "all the spans
+     this spawn fan-out caused" (edges are span-granular, so each root
+     reaches its own child's first span) *)
+  let roots =
+    List.filter_map
+      (fun (e : Obs.Causal.edge) ->
+        if e.Obs.Causal.ed_kind = Obs.Causal.Fork then
+          Some (e.Obs.Causal.ed_src_shard, e.Obs.Causal.ed_src_span)
+        else None)
+      edges
+  in
+  let watchdogs =
+    match Obs.Json.member "watchdogs" (Kernel.metrics_json k) with
+    | Some j -> j
+    | None -> Obs.Json.Null
+  in
+  { cz_status = status;
+    cz_edges = edges;
+    cz_records = records;
+    cz_slice = Obs.Causal.slice ~roots edges;
+    cz_streamed = !streamed + List.length final_fresh;
+    cz_lost = !lost + final_lost;
+    cz_polls = !polls;
+    cz_watchdogs = watchdogs }
+
+(* Cross-shard: a 2-shard ring where each init mails SIGUSR1 to the
+   other; the receiving shard records the Signal edge with the
+   sender's (shard, span) origin. *)
+let causal_cluster_once () =
+  Obs.reset ();
+  let c = Kernel.Cluster.create ~shards:2 () in
+  for i = 0 to 1 do
+    Kernel.populate_standard (Kernel.Cluster.shard c i)
+  done;
+  let _inits =
+    List.init 2 (fun i ->
+      Kernel.Cluster.boot_shard c i ~name:(Printf.sprintf "cz%d" i)
+        (fun () ->
+          Obs.enable ();
+          ignore
+            (Libc.Unistd.ok_exn "signal"
+               (Libc.Unistd.signal Signal.sigusr1 (Value.H_fn (fun _ -> ()))));
+          for _ = 1 to 2 + i do
+            ignore (Libc.Unistd.getpid ())
+          done;
+          Kernel.Cluster.send ~dst:(1 - i) ~pid:1 ~signal:Signal.sigusr1;
+          ignore (Libc.Unistd.sigsuspend 0);
+          Obs.disable ();
+          0))
+  in
+  Kernel.Cluster.run c;
+  Kernel.Cluster.drain_causal c
+
+let causal_schema =
+  let open Report.Schema in
+  Obj
+    [ ("name", Str);
+      ( "edges",
+        Obj [ ("fork", Int); ("signal", Int); ("pipe", Int); ("total", Int) ] );
+      ( "slice",
+        Obj [ ("nodes", Int); ("reproducible", Bool) ] );
+      ( "cluster",
+        Obj
+          [ ("shards", Int); ("cross_shard_signal_edges", Int);
+            ("reproducible", Bool) ] );
+      ( "flame",
+        Obj
+          [ ("stacks", Int); ("total_self_us", Int); ("span_self_us", Int);
+            ("consistent", Bool) ] );
+      ( "stream",
+        Obj
+          [ ("polls", Int); ("streamed", Int); ("drained", Int);
+            ("lost", Int); ("complete", Bool) ] );
+      ("watchdogs", Obj [ ("rules", Int); ("tripped", Int) ]) ]
+
+let causal () =
+  Report.print_title
+    "Causal: cross-process event graph, flame folds, live stream, watchdogs";
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let a = causal_once () in
+  let b = causal_once () in
+  if a.cz_status <> 0 then fail "causal session exited %d" a.cz_status;
+  (* 1. every edge kind present, and the table byte-identical across
+        two identical runs *)
+  let count kind =
+    List.length
+      (List.filter
+         (fun (e : Obs.Causal.edge) -> e.Obs.Causal.ed_kind = kind)
+         a.cz_edges)
+  in
+  let forks = count Obs.Causal.Fork in
+  let signals = count Obs.Causal.Signal in
+  let pipes = count Obs.Causal.Pipe in
+  if forks < 3 then fail "want >=3 fork edges, got %d" forks;
+  if signals < 3 then fail "want >=3 signal edges, got %d" signals;
+  if pipes < 3 then fail "want >=3 pipe edges, got %d" pipes;
+  let render es = List.map Obs.Causal.to_line es in
+  let edges_repro = render a.cz_edges = render b.cz_edges in
+  if not edges_repro then fail "edge tables differ between identical runs";
+  Printf.printf
+    "edge table: %d fork, %d signal, %d pipe (%d total); two runs \
+     byte-identical: %b\n"
+    forks signals pipes (List.length a.cz_edges) edges_repro;
+  (* 2. the slice from the fork roots reaches every child's first
+        span, deterministically *)
+  let slice_repro = a.cz_slice = b.cz_slice in
+  if List.length a.cz_slice < 2 * forks then
+    fail "slice from %d fork root(s) reaches only %d node(s)" forks
+      (List.length a.cz_slice);
+  if not slice_repro then fail "slices differ between identical runs";
+  Printf.printf "slice from fork roots: %d reachable node(s), reproducible: %b\n"
+    (List.length a.cz_slice) slice_repro;
+  (* 3. chrome export binds flow events for the recorded edges *)
+  let chrome =
+    Obs.Chrome.to_string ~name:Sysno.name ~edges:a.cz_edges a.cz_records
+  in
+  let occurrences needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let n = ref 0 in
+    for i = 0 to hl - nl do
+      if String.sub hay i nl = needle then incr n
+    done;
+    !n
+  in
+  let starts = occurrences "\"ph\":\"s\"" chrome in
+  let finishes = occurrences "\"ph\":\"f\"" chrome in
+  if starts = 0 then fail "chrome export has no flow-start events";
+  if starts <> finishes then
+    fail "chrome flow events unbalanced: %d starts, %d finishes" starts
+      finishes;
+  Printf.printf "chrome export: %d flow arrow(s) bound\n" starts;
+  (* 4. flame folds conserve self time: fold total = segment self sum *)
+  let segments =
+    List.filter_map
+      (function Obs.Span.Segment s -> Some s | _ -> None)
+      a.cz_records
+  in
+  let folds = Obs.Flame.fold segments in
+  let fold_total = Obs.Flame.total folds in
+  let seg_total =
+    List.fold_left (fun acc (s : Obs.Span.segment) -> acc + s.Obs.Span.self_us)
+      0 segments
+  in
+  let flame_ok = fold_total = seg_total in
+  if not flame_ok then
+    fail "flame folds total %dus but segments sum %dus" fold_total seg_total;
+  Printf.printf "flame: %d stack(s), %dus folded = %dus segment self time\n"
+    (List.length folds) fold_total seg_total;
+  (* 5. the live stream saw every record exactly once *)
+  let drained = List.length a.cz_records in
+  let stream_ok = a.cz_streamed = drained && a.cz_lost = 0 in
+  if not stream_ok then
+    fail "stream: %d streamed + %d lost vs %d drained" a.cz_streamed
+      a.cz_lost drained;
+  Printf.printf "stream: %d poll(s) delivered %d/%d record(s), %d lost\n"
+    a.cz_polls a.cz_streamed drained a.cz_lost;
+  (* 6. watchdogs: the impossible rule trips, the lax one does not *)
+  let wd_rules, wd_tripped =
+    match
+      ( Option.bind (Obs.Json.member "rules" a.cz_watchdogs) Obs.Json.to_int,
+        Option.bind (Obs.Json.member "tripped" a.cz_watchdogs) Obs.Json.to_int
+      )
+    with
+    | Some r, Some t -> (r, t)
+    | _ ->
+      fail "metrics_json watchdogs block malformed";
+      (0, 0)
+  in
+  if wd_rules <> 2 || wd_tripped <> 1 then
+    fail "watchdogs: want 2 rules / 1 tripped, got %d/%d" wd_rules wd_tripped;
+  Printf.printf "watchdogs: %d rule(s), %d tripped\n" wd_rules wd_tripped;
+  (* 7. cross-shard: both shards record the other's signal edge, and
+        the merged table is byte-stable *)
+  let ca = causal_cluster_once () in
+  let cb = causal_cluster_once () in
+  let cross =
+    List.filter
+      (fun (e : Obs.Causal.edge) ->
+        e.Obs.Causal.ed_kind = Obs.Causal.Signal
+        && e.Obs.Causal.ed_src_shard <> e.Obs.Causal.ed_shard)
+      ca
+  in
+  if List.length cross < 2 then
+    fail "want >=2 cross-shard signal edges, got %d" (List.length cross);
+  let cluster_repro = render ca = render cb in
+  if not cluster_repro then
+    fail "cluster edge tables differ between identical runs";
+  Printf.printf
+    "cluster: %d cross-shard signal edge(s) over 2 shards, reproducible: %b\n"
+    (List.length cross) cluster_repro;
+  (* 8. machine-readable companion + the full seven-document sweep
+        through the one shared validator *)
+  let open Obs.Json in
+  Report.write_json ~name:"causal"
+    (Obj
+       [ ("name", Str "causal");
+         ( "edges",
+           Obj
+             [ ("fork", Int forks); ("signal", Int signals);
+               ("pipe", Int pipes); ("total", Int (List.length a.cz_edges)) ] );
+         ( "slice",
+           Obj
+             [ ("nodes", Int (List.length a.cz_slice));
+               ("reproducible", Bool slice_repro) ] );
+         ( "cluster",
+           Obj
+             [ ("shards", Int 2);
+               ("cross_shard_signal_edges", Int (List.length cross));
+               ("reproducible", Bool cluster_repro) ] );
+         ( "flame",
+           Obj
+             [ ("stacks", Int (List.length folds));
+               ("total_self_us", Int fold_total);
+               ("span_self_us", Int seg_total);
+               ("consistent", Bool flame_ok) ] );
+         ( "stream",
+           Obj
+             [ ("polls", Int a.cz_polls); ("streamed", Int a.cz_streamed);
+               ("drained", Int drained); ("lost", Int a.cz_lost);
+               ("complete", Bool stream_ok) ] );
+         ( "watchdogs",
+           Obj [ ("rules", Int wd_rules); ("tripped", Int wd_tripped) ] ) ]);
+  let vfail s = fail "%s" s in
+  List.iter
+    (fun (path, schema) ->
+      Report.validate_file ~tag:"causal" ~fail:vfail path schema)
+    [ ("BENCH_causal.json", causal_schema);
+      ("BENCH_smoke.json", smoke_schema);
+      ("BENCH_ablations.json", smoke_schema);
+      ("BENCH_faults.json", faults_schema);
+      ("BENCH_scale.json", scale_schema);
+      ("BENCH_conformance.json", conformance_schema);
+      ("BENCH_hostspeed.json", hostspeed_schema) ];
+  Report.print_note
+    "Causal edges are events of record (exact at any sampling rate,\n\
+     zero virtual cost): fork edges resolve at the child's first trap,\n\
+     signal edges at delivery (kill-originated, incl. cross-shard\n\
+     mail), pipe edges by byte-offset watermark (DESIGN.md 3.9).";
+  match !failures with
+  | [] -> Printf.printf "[causal] all gates passed\n"
+  | fs ->
+    List.iter (fun f -> Printf.printf "[causal] FAIL: %s\n" f) (List.rev fs);
     exit 1
 
 (* --- driver -------------------------------------------------------------------------------- *)
@@ -2615,6 +2671,7 @@ let sections =
     "smoke", smoke;
     "scale", scale;
     "hostspeed", hostspeed;
+    "causal", causal;
     "wallclock", wallclock ]
 
 let () =
@@ -2631,10 +2688,11 @@ let () =
           !n')
         names
     | _ ->
-      (* `smoke`, `scale` and `hostspeed` are CI guards, not reports:
-         only on request *)
+      (* `smoke`, `scale`, `hostspeed` and `causal` are CI guards, not
+         reports: only on request *)
       List.filter
-        (fun n -> n <> "smoke" && n <> "scale" && n <> "hostspeed")
+        (fun n ->
+          n <> "smoke" && n <> "scale" && n <> "hostspeed" && n <> "causal")
         (List.map fst sections)
   in
   Printf.printf

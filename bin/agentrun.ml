@@ -422,8 +422,8 @@ let run_conform spec setups prog_args =
        if Conformance.conforms v then 0 else 1)
 
 let run agents setups stats feed record replay metrics trace_out trace_format
-    sample sample_seed campaign campaign_out repro signature conform
-    prog_args =
+    sample sample_seed flame flame_weight follow watch campaign campaign_out
+    repro signature conform prog_args =
   match prog_args with
   | _ when repro <> "" -> run_repro repro
   | _ when campaign <> "" -> run_campaign campaign campaign_out
@@ -435,8 +435,32 @@ let run agents setups stats feed record replay metrics trace_out trace_format
     log_err "agentrun: --trace-format must be jsonl or chrome (got %S)\n"
       trace_format;
     2
+  | _ when flame_weight <> "virtual" && flame_weight <> "host" ->
+    log_err "agentrun: --flame-weight must be virtual or host (got %S)\n"
+      flame_weight;
+    2
   | prog :: _ ->
-    let observing = metrics || trace_out <> "" || signature <> "" in
+    (* watchdog rules parse before anything boots: a bad file is a
+       usage error, not a mid-run surprise *)
+    let watch_rules =
+      if watch = "" then []
+      else
+        let text =
+          try read_host_file watch with
+          | Sys_error msg ->
+            log_err "agentrun: --watch: %s\n" msg;
+            exit 2
+        in
+        match Obs.Watch.of_spec ~sysno:Sysno.of_name text with
+        | Ok rules -> rules
+        | Error msg ->
+          log_err "agentrun: --watch: %s\n" msg;
+          exit 2
+    in
+    let observing =
+      metrics || trace_out <> "" || signature <> "" || flame <> ""
+      || follow || watch <> ""
+    in
     if observing then begin
       Obs.reset ();
       Obs.set_sampling ~seed:sample_seed sample;
@@ -453,6 +477,31 @@ let run agents setups stats feed record replay metrics trace_out trace_format
        exit 2);
     if feed <> "" then Kernel.feed_console k (feed ^ "\n");
     Kernel.echo_console_to k print_string;
+    if watch_rules <> [] then Kernel.set_watch k watch_rules;
+    (* Live streaming and pid labelling piggyback on the kernel trace
+       hook at zero virtual cost: per retired syscall we remember the
+       caller's image name (processes are reaped from the table before
+       the post-run export runs) and, under --follow, drain the
+       incremental cursor to stderr as JSONL. *)
+    let pid_names : (int, string) Hashtbl.t = Hashtbl.create 16 in
+    let follow_cursor = Obs.Stream.cursor () in
+    let follow_flush () =
+      let fresh, lost = Obs.poll follow_cursor in
+      if lost > 0 then Printf.eprintf "# lost %d\n" lost;
+      List.iter (fun r -> Printf.eprintf "%s\n" (Obs.Span.to_line r)) fresh
+    in
+    let want_labels = trace_out <> "" && trace_format = "chrome" in
+    if follow || want_labels then
+      Kernel.set_trace_hook k ~cost_us:0
+        (Some
+           (fun p _ _ ->
+             Hashtbl.replace pid_names p.Kernel.Proc.pid p.Kernel.Proc.name;
+             if follow then follow_flush ()));
+    let pid_label pid =
+      match Hashtbl.find_opt pid_names pid with
+      | Some name -> Printf.sprintf "pid %d %s" pid name
+      | None -> Kernel.pid_label k pid
+    in
     let installers_reporters =
       try List.map (build_agent k) agents with
       | Invalid_argument msg ->
@@ -545,34 +594,96 @@ let run agents setups stats feed record replay metrics trace_out trace_format
             (Conformance.Signature.length s)
             signature
       end;
-      if trace_out <> "" then begin
+      (* the hook only fires on retired syscalls, so records pushed
+         after the last one still need a final flush — before the
+         drain below empties the ring *)
+      if follow then follow_flush ();
+      if trace_out <> "" || flame <> "" then begin
         let records = Kernel.drain_obs k in
-        let rendered =
-          match trace_format with
-          | "chrome" ->
-            (* one trace_event JSON array — loads directly in
-               chrome://tracing and Perfetto *)
-            Obs.Chrome.to_string ~name:Sysno.name records ^ "\n"
-          | _ ->
-            String.concat ""
-              (List.map (fun r -> Obs.Span.to_line r ^ "\n") records)
-        in
-        (try write_host_file trace_out rendered with
-         | Sys_error msg -> log_err "agentrun: --trace-out: %s\n" msg);
-        if stats then
-          Printf.eprintf "[agentrun] wrote %d span record(s) to %s (%s)\n"
-            (List.length records) trace_out trace_format
+        if trace_out <> "" then begin
+          let rendered =
+            match trace_format with
+            | "chrome" ->
+              (* one trace_event JSON array — loads directly in
+                 chrome://tracing and Perfetto; causal fork/signal/pipe
+                 edges render as flow arrows between span slices *)
+              Obs.Chrome.to_string ~name:Sysno.name ~pid_label
+                ~edges:(Kernel.causal_edges k) records
+              ^ "\n"
+            | _ ->
+              String.concat ""
+                (List.map (fun r -> Obs.Span.to_line r ^ "\n") records)
+          in
+          (try write_host_file trace_out rendered with
+           | Sys_error msg -> log_err "agentrun: --trace-out: %s\n" msg);
+          if stats then
+            Printf.eprintf "[agentrun] wrote %d span record(s) to %s (%s)\n"
+              (List.length records) trace_out trace_format
+        end;
+        if flame <> "" then begin
+          let segments =
+            List.filter_map
+              (function Obs.Span.Segment s -> Some s | _ -> None)
+              records
+          in
+          let folds = Obs.Flame.fold segments in
+          let scale =
+            match flame_weight with
+            | "host" ->
+              (* reweight virtual µs by measured host ns per virtual
+                 µs: the same stacks, at raw-machine cost *)
+              let h = Kernel.host_stats k in
+              let tot = Obs.Flame.total folds in
+              if tot > 0 then h.Kernel.h_cpu_s *. 1e9 /. float_of_int tot
+              else 1.0
+            | _ -> 1.0
+          in
+          (try
+             write_host_file flame
+               (Obs.Flame.to_string ~name:Sysno.name ~scale folds)
+           with
+           | Sys_error msg -> log_err "agentrun: --flame: %s\n" msg);
+          if stats then
+            Printf.eprintf
+              "[agentrun] wrote %d flame stack(s) (%s-weighted) to %s\n"
+              (List.length folds) flame_weight flame
+        end
       end;
       if metrics then print_metrics k
     end;
+    (* watchdog verdicts come last: a trip turns an otherwise clean
+       exit into failure, so CI gates can watch exit codes alone *)
+    let tripped =
+      if watch = "" then []
+      else begin
+        let vs = Kernel.watch_verdicts k in
+        List.iter
+          (fun (v : Obs.Watch.verdict) ->
+            Printf.eprintf "[watch] %-20s %s: value %g bound %g — %s\n"
+              v.Obs.Watch.wr_rule.Obs.Watch.w_name
+              (Obs.Watch.pred_to_string v.Obs.Watch.wr_rule)
+              v.Obs.Watch.wr_value v.Obs.Watch.wr_bound
+              (if v.Obs.Watch.wr_tripped then "TRIPPED" else "ok"))
+          vs;
+        Obs.Watch.tripped vs
+      end
+    in
     if stats then
       Printf.eprintf
         "[agentrun] virtual time %.3fs, %d syscalls, exit status 0x%x\n"
         (Kernel.elapsed_seconds k)
         (Kernel.total_syscalls k)
         status;
-    if Flags.Wait.wifexited status then Flags.Wait.wexitstatus status
-    else 128
+    let code =
+      if Flags.Wait.wifexited status then Flags.Wait.wexitstatus status
+      else 128
+    in
+    if code = 0 && tripped <> [] then begin
+      Printf.eprintf "agentrun: %d watchdog rule(s) tripped\n"
+        (List.length tripped);
+      1
+    end
+    else code
 
 (* --- cmdliner ------------------------------------------------------------------- *)
 
@@ -653,6 +764,42 @@ let sample_seed_arg =
   in
   Arg.(value & opt int 0 & info [ "sample-seed" ] ~docv:"SEED" ~doc)
 
+let flame_arg =
+  let doc =
+    "Enable the observability engine and write a collapsed-stack \
+     flamegraph profile (one 'frames... weight' line per distinct \
+     syscall × layer-path stack) to this host file after the run; \
+     feed it to any flamegraph renderer."
+  in
+  Arg.(value & opt string "" & info [ "flame" ] ~docv:"FILE" ~doc)
+
+let flame_weight_arg =
+  let doc =
+    "Weights for --flame: 'virtual' (virtual-clock self µs, \
+     deterministic) or 'host' (the same stacks reweighted by measured \
+     host ns per virtual µs from the host counters)."
+  in
+  Arg.(value & opt string "virtual" & info [ "flame-weight" ] ~docv:"W" ~doc)
+
+let follow_arg =
+  let doc =
+    "Enable the observability engine and stream flight-recorder \
+     records to stderr as JSONL while the program runs (an \
+     incremental cursor: each record once, overwritten records \
+     reported as '# lost N')."
+  in
+  Arg.(value & flag & info [ "follow" ] ~doc)
+
+let watch_arg =
+  let doc =
+    "Evaluate watchdog rules from this file against the run's metrics \
+     (one rule per line: NAME = error_rate(SYS|*) <= F, p99_us(SYS|*) \
+     <= N, aborts <= N, or env_pool_misses <= N).  Verdicts print to \
+     stderr; any tripped rule turns an otherwise clean exit into \
+     exit 1."
+  in
+  Arg.(value & opt string "" & info [ "watch" ] ~docv:"FILE" ~doc)
+
 let campaign_arg =
   let doc =
     "Run a deterministic fault-injection campaign over this workload \
@@ -723,7 +870,8 @@ let cmd =
     Term.(
       const run $ agents_arg $ setup_arg $ stats_arg $ feed_arg
       $ record_arg $ replay_arg $ metrics_arg $ trace_out_arg
-      $ trace_format_arg $ sample_arg $ sample_seed_arg $ campaign_arg
+      $ trace_format_arg $ sample_arg $ sample_seed_arg $ flame_arg
+      $ flame_weight_arg $ follow_arg $ watch_arg $ campaign_arg
       $ campaign_out_arg $ repro_arg $ signature_arg $ conform_arg
       $ prog_arg)
 

@@ -17,9 +17,30 @@ let codec_text () =
   Format.asprintf "%a\n" Abi.Envelope.Stats.pp
     (Kernel.codec_stats (Kernel.current_exn ()))
 
+(* the causal edge table (fork/signal/pipe), one edge per line — read
+   without draining, so the host's exporter still sees every edge *)
+let causal_text () =
+  String.concat ""
+    (List.map (fun e -> Obs.Causal.to_line e ^ "\n") (Obs.causal_edges ()))
+
+(* /obs/stream: a tail file.  The cursor persists across opens (it
+   lives in the [create] closure), so each open serves exactly the
+   records pushed since the previous open — a live incremental feed
+   with no double delivery.  Records overwritten before being read are
+   counted in a leading "lost" line rather than silently skipped. *)
+let stream_text cursor () =
+  let fresh, lost = Obs.poll cursor in
+  let body =
+    String.concat ""
+      (List.map (fun r -> Obs.Span.to_line r ^ "\n") fresh)
+  in
+  if lost > 0 then Printf.sprintf "# lost %d\n%s" lost body else body
+
 let create ?(mount = "/obs") () =
   let a = new Synthfs.agent ~mount () in
   a#register_file "spans" spans_text;
   a#register_file "metrics" metrics_text;
   a#register_file "codec" codec_text;
+  a#register_file "causal" causal_text;
+  a#register_file "stream" (stream_text (Obs.Stream.cursor ()));
   a

@@ -1,13 +1,20 @@
 (** [/obs]: live telemetry through the file namespace.
 
-    A {!Synthfs.agent} preloaded with three read-only synthetic files
+    A {!Synthfs.agent} preloaded with read-only synthetic files
     (default mount [/obs]) so traced programs — and tests — can [open]
     and [read] their own observability data:
 
     - [spans]: the flight recorder, one JSONL record per line
       (non-destructive snapshot, oldest first);
-    - [metrics]: the aggregated [Kernel.metrics_json] snapshot;
-    - [codec]: the global envelope codec counters, pretty-printed.
+    - [metrics]: the aggregated [Kernel.metrics_json] snapshot
+      (including the [watchdogs] block);
+    - [codec]: the global envelope codec counters, pretty-printed;
+    - [causal]: the causal edge table, one JSONL edge per line
+      (non-destructive snapshot);
+    - [stream]: a {e tail} file — each open serves exactly the span
+      records pushed since the previous open (the cursor persists for
+      the agent's lifetime); records overwritten before being read
+      appear as a leading ["# lost N"] line.
 
     Contents reflect whatever [Obs] has accumulated; with tracing off
     the files exist but are empty(ish).  Reading them is itself made of

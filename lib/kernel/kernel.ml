@@ -430,7 +430,10 @@ let create ?shard_id ?fused () =
   Obs.with_engine t.obs (fun () ->
     Obs.set_clock (fun () -> Sim.Clock.now_us t.clock);
     Obs.set_context (fun () ->
-        match Proc.Cur.get () with Some p -> p.Proc.pid | None -> 0));
+        match Proc.Cur.get () with Some p -> p.Proc.pid | None -> 0);
+    (* causal edge endpoints carry the shard id — span ids are unique
+       only per engine (DESIGN.md §3.9) *)
+    Obs.set_shard t.shard_id);
   (* a fresh kernel becomes the current shard, so the established
      create-configure-boot sequences keep addressing it *)
   enter t;
@@ -635,6 +638,34 @@ let host_stats_json (h : host_stats) =
    [fused]), wire-pool, envelope-pool and host-side counters.
    [/obs/metrics] serves exactly this JSON, so programs inside the
    simulation and hosts outside it read the same numbers. *)
+(* --- watchdogs ---------------------------------------------------------------- *)
+
+(* Rules live on the shard handle (never the obs engine), so they
+   survive [Obs.reset] between workload phases and each shard of a
+   cluster can carry its own set.  Evaluation adapts the metrics
+   snapshot into the plain rows [Obs.Watch.eval] consumes — obs stays
+   below the kernel and below abi. *)
+let set_watch (t : t) rules = t.watch <- rules
+let watch_rules (t : t) = t.watch
+
+let watch_input_of (m : Obs.metrics) ~env_pool_misses =
+  { Obs.Watch.wi_sys =
+      List.map
+        (fun (s : Obs.syscall_metrics) ->
+          { Obs.Watch.ws_sysno = s.Obs.sm_sysno;
+            ws_calls = s.Obs.sm_calls;
+            ws_errors = s.Obs.sm_errors;
+            ws_p99_us = Obs.Hist.quantile s.Obs.sm_hist 0.99 })
+        m.Obs.m_syscalls;
+    wi_aborted = m.Obs.m_aborted;
+    wi_env_pool_misses = env_pool_misses }
+
+let watch_verdicts (t : t) =
+  let misses =
+    (Envelope.Pool.Stats.snapshot_of t.epool_stats).Envelope.Pool.Stats.misses
+  in
+  Obs.Watch.eval t.watch (watch_input_of (Obs.metrics_of t.obs) ~env_pool_misses:misses)
+
 let metrics_json (t : t) =
   let base = Obs.metrics_to_json ~name:Abi.Sysno.name (Obs.metrics_of t.obs) in
   let codec = Envelope.Stats.to_json (Envelope.Stats.snapshot_of t.codec) in
@@ -643,14 +674,27 @@ let metrics_json (t : t) =
     Envelope.Pool.Stats.to_json (Envelope.Pool.Stats.snapshot_of t.epool_stats)
   in
   let host = host_stats_json (host_stats t) in
+  let watchdogs = Obs.Watch.verdicts_to_json (watch_verdicts t) in
   match base with
   | Obs.Json.Obj fields ->
     Obs.Json.Obj
       (fields
       @ [ ("codec", codec); ("wire_pool", pool); ("env_pool", epool);
-          ("host", host) ])
+          ("host", host); ("watchdogs", watchdogs) ])
   | other -> other
 let drain_obs (t : t) = Obs.drain_of t.obs
+let obs_engine (t : t) = t.obs
+
+let causal_edges (t : t) = Obs.causal_edges_of t.obs
+let drain_causal (t : t) = Obs.causal_drain_of t.obs
+
+(* A human label for chrome's process rows: the image (or init-body)
+   name when the pid is still in the table, the bare pid otherwise
+   (exited processes keep their spans). *)
+let pid_label (t : t) pid =
+  match Kstate.proc t pid with
+  | Some p -> Printf.sprintf "pid %d %s" pid p.Proc.name
+  | None -> Printf.sprintf "pid %d" pid
 
 let post_signal (t : t) ~pid s =
   match Kstate.proc t pid with
@@ -669,7 +713,14 @@ let set_trace_hook = Kstate.set_trace_hook
    of simulation state alone, so an N-shard run is byte-reproducible
    (DESIGN.md §3.6). *)
 module Cluster = struct
-  type event = Post_signal of { pid : int; signal : int }
+  (* Besides the delivery payload, a signal mail carries its causal
+     origin — (shard, span, pid) of the sender at [send] time — so the
+     receiving shard can record a cross-shard Signal edge before
+     posting (DESIGN.md §3.9).  [o_span] may be a sampler sentinel;
+     edge recording keeps it verbatim. *)
+  type event =
+    | Post_signal of
+        { pid : int; signal : int; o_shard : int; o_span : int; o_pid : int }
 
   type mail = {
     m_ts : int;   (* sender's virtual clock at send *)
@@ -712,13 +763,16 @@ module Cluster = struct
       if dst < 0 || dst >= Array.length c.shards then
         invalid_arg "Cluster.send: no such shard";
       let src = current_exn () in
+      (* runs in the sending fibre, its engine installed: the origin
+         stamp is the sender's innermost open span *)
+      let o_shard, o_span, o_pid = Obs.causal_origin () in
       c.seq <- c.seq + 1;
       c.mailbox <-
         { m_ts = Sim.Clock.now_us src.Kstate.clock;
           m_src = src.Kstate.shard_id;
           m_seq = c.seq;
           m_dst = dst;
-          m_ev = Post_signal { pid; signal } }
+          m_ev = Post_signal { pid; signal; o_shard; o_span; o_pid } }
         :: c.mailbox
 
   let deliver c horizon =
@@ -740,7 +794,13 @@ module Cluster = struct
           let dst = c.shards.(m.m_dst) in
           with_shard dst (fun () ->
             match m.m_ev with
-            | Post_signal { pid; signal } -> post_signal dst ~pid signal))
+            | Post_signal { pid; signal; o_shard; o_span; o_pid } ->
+              (* queue the sender's half-edge under the *receiving*
+                 shard's engine before posting: delivery in uspace then
+                 completes it exactly as a local kill would *)
+              Obs.causal_signal_send_remote ~src_shard:o_shard
+                ~src_span:o_span ~src_pid:o_pid ~dst_pid:pid ~signal;
+              post_signal dst ~pid signal))
         due;
       true
 
@@ -844,6 +904,16 @@ module Cluster = struct
           dropped = 0 }
         c.shards
     in
+    (* Cluster watchdogs: shard 0's rules (the cluster driver installs
+       rule sets shard-by-shard; by convention shard 0 carries the
+       cluster-wide set) evaluated over the *merged* metrics and the
+       summed envelope-pool misses. *)
+    let watchdogs =
+      Obs.Watch.verdicts_to_json
+        (Obs.Watch.eval c.shards.(0).Kstate.watch
+           (watch_input_of (metrics c)
+              ~env_pool_misses:epool.Envelope.Pool.Stats.misses))
+    in
     match base with
     | Obs.Json.Obj fields ->
       Obs.Json.Obj
@@ -853,6 +923,7 @@ module Cluster = struct
             ("wire_pool", Value.Pool.Stats.to_json pool);
             ("env_pool", Envelope.Pool.Stats.to_json epool);
             ("shards", Obs.Json.Int (Array.length c.shards));
+            ("watchdogs", watchdogs);
           ])
     | other -> other
 
@@ -861,4 +932,20 @@ module Cluster = struct
   let drain_obs c =
     Array.to_list
       (Array.mapi (fun i s -> (i, Obs.drain_of s.Kstate.obs)) c.shards)
+
+  (* The cluster-wide causal graph: every shard's edge table, merged
+     and sorted by (virtual time, recording shard, seq) — the same
+     total order the mailbox uses, so two same-seed runs produce
+     byte-identical edge lists. *)
+  let causal_edges c =
+    Obs.Causal.sort
+      (List.concat_map
+         (fun s -> Obs.causal_edges_of s.Kstate.obs)
+         (Array.to_list c.shards))
+
+  let drain_causal c =
+    Obs.Causal.sort
+      (List.concat_map
+         (fun s -> Obs.causal_drain_of s.Kstate.obs)
+         (Array.to_list c.shards))
 end

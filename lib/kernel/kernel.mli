@@ -169,17 +169,48 @@ val metrics : t -> Obs.metrics
     (per-syscall counters and latency histograms, per-layer
     attribution) accumulated while [Obs.enable]d. *)
 
+val set_watch : t -> Obs.Watch.rule list -> unit
+(** Install this shard's watchdog rules (replacing any previous set).
+    Rules live on the shard handle, so they survive [Obs.reset]
+    between workload phases. *)
+
+val watch_rules : t -> Obs.Watch.rule list
+
+val watch_input_of : Obs.metrics -> env_pool_misses:int -> Obs.Watch.input
+(** Adapt a metrics snapshot into watchdog-evaluation rows (p99 read
+    from each syscall's histogram). *)
+
+val watch_verdicts : t -> Obs.Watch.verdict list
+(** Evaluate the installed rules against this shard's current metrics
+    and envelope-pool counters — one verdict per rule, in rule
+    order. *)
+
 val metrics_json : t -> Obs.Json.t
 (** {!metrics} rendered with syscall names resolved via
     [Abi.Sysno.name], plus ["codec"] ({!codec_stats}, incl.
     [fast_path] and [fused]), ["wire_pool"] ({!pool_stats}),
-    ["env_pool"] ({!env_pool_stats}) and ["host"] ({!host_stats})
-    blocks — every runtime statistic of one shard in one document.
-    The [/obs/metrics] synthetic file serves exactly this JSON inside
-    the simulation. *)
+    ["env_pool"] ({!env_pool_stats}), ["host"] ({!host_stats}) and
+    ["watchdogs"] ({!watch_verdicts}) blocks — every runtime statistic
+    of one shard in one document.  The [/obs/metrics] synthetic file
+    serves exactly this JSON inside the simulation. *)
 
 val drain_obs : t -> Obs.Span.record list
 (** Drain this shard's flight recorder (oldest first). *)
+
+val obs_engine : t -> Obs.engine
+(** The shard's own engine — for host-side incremental reads
+    ([Obs.poll_of], [Obs.causal_edges_of]) without draining. *)
+
+val causal_edges : t -> Obs.Causal.edge list
+(** This shard's causal edge table (fork / signal / pipe), oldest
+    first, without draining it. *)
+
+val drain_causal : t -> Obs.Causal.edge list
+(** Drain the edge table (returned oldest first). *)
+
+val pid_label : t -> int -> string
+(** ["pid N name"] when the process is still in the table, ["pid N"]
+    otherwise — a [?pid_label] for {!Obs.Chrome.to_json}. *)
 
 val post_signal : t -> pid:int -> int -> unit
 (** Inject a signal from outside the simulation (like a console ^C). *)
@@ -207,10 +238,16 @@ module Cluster : sig
 
   type t
 
-  type event = Post_signal of { pid : int; signal : int }
+  type event =
+    | Post_signal of
+        { pid : int; signal : int; o_shard : int; o_span : int; o_pid : int }
   (** The cross-shard event vocabulary (signals, for now — the paper's
       agents communicate through the system interface, and the asynchronous
-      half of that interface is exactly signal delivery). *)
+      half of that interface is exactly signal delivery).  The [o_*]
+      fields stamp the sender's causal origin — shard, innermost open
+      span (possibly a sampler sentinel) and pid at [send] time — so
+      the receiving shard records a cross-shard Signal edge before
+      posting. *)
 
   val create : ?quantum_us:int -> shards:int -> unit -> t
   (** [shards] ≥ 1 fresh kernels with shard ids [0 .. shards-1];
@@ -248,10 +285,19 @@ module Cluster : sig
   val metrics_json : t -> Obs.Json.t
   (** The aggregate as the same JSON document shape a single kernel's
       [metrics_json] produces — codec and wire-pool counters summed
-      across shards — plus a [shards] field with the fan-in. *)
+      across shards — plus a [shards] field with the fan-in and a
+      [watchdogs] block evaluating shard 0's rules over the merged
+      metrics. *)
 
   val drain_obs : t -> (int * Obs.Span.record list) list
   (** Drain every shard's flight recorder, tagged with shard ids —
       feed directly to {!Obs.Chrome.to_json_sharded} for a trace with
       disjoint per-shard process lanes. *)
+
+  val causal_edges : t -> Obs.Causal.edge list
+  (** Every shard's edge table, merged and sorted by (virtual time,
+      recording shard, seq) — the mailbox's total order, so two
+      same-seed runs produce byte-identical lists. *)
+
+  val drain_causal : t -> Obs.Causal.edge list
 end

@@ -54,6 +54,7 @@ type t = {
   mutable trace_hook_cost_us : int;
   mutable retired_syscalls : int;
   mutable deadlock_kills : int;
+  mutable watch : Obs.Watch.rule list;
 }
 
 let no_hooks = {
@@ -102,7 +103,8 @@ let create ?(shard_id = 0) ?(fused = true) () =
     trace_hook = None;
     trace_hook_cost_us = 0;
     retired_syscalls = 0;
-    deadlock_kills = 0 }
+    deadlock_kills = 0;
+    watch = [] }
 
 (* --- the ambient current shard ----------------------------------------- *)
 

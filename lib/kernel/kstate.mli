@@ -69,6 +69,10 @@ type t = {
   mutable trace_hook_cost_us : int;
   mutable retired_syscalls : int;
   mutable deadlock_kills : int;
+  mutable watch : Obs.Watch.rule list;
+      (** watchdog rules evaluated over this shard's metrics; stored on
+          the shard handle, not the obs engine, so rules survive
+          [Obs.reset] and stay per-shard in a cluster *)
 }
 
 val create : ?shard_id:int -> ?fused:bool -> unit -> t

@@ -33,9 +33,14 @@ let driver t (inode : Vfs.Inode.t) =
 
 let nonblocking (f : File.t) = f.flags land Flags.Open.o_nonblock <> 0
 
-let pipe_read t (f : File.t) buf cnt ~(buffer : Vfs.Pipebuf.t) ~wake ~cond =
+let pipe_read t (p : Proc.t) (f : File.t) buf cnt ~(buffer : Vfs.Pipebuf.t)
+    ~chan ~wake ~cond =
   let n = Vfs.Pipebuf.read buffer buf ~off:0 ~len:cnt in
   if n > 0 then begin
+    (* causal hook (DESIGN.md §3.9): advance the channel's consume
+       watermark — links this read's span to the writes that produced
+       these bytes.  Pure bookkeeping, charges no virtual time. *)
+    Obs.causal_pipe_read ~chan ~pid:p.pid ~bytes:n;
     wake_key t wake;
     done_ret n
   end
@@ -68,15 +73,18 @@ let do_read t (p : Proc.t) fd buf cnt =
            | Vfs.Inode.Symlink _ -> fail Errno.EINVAL
            | Vfs.Inode.Fifo _ -> fail Errno.EBADF)
         | File.Pipe_read pipe ->
-          pipe_read t f buf cnt ~buffer:pipe.buf
+          pipe_read t p f buf cnt ~buffer:pipe.buf
+            ~chan:("pipe", pipe.pipe_id)
             ~wake:(K_pipe_w pipe.pipe_id)
             ~cond:(Proc.On_pipe_read pipe.pipe_id)
         | File.Fifo_read (inode, buffer) ->
-          pipe_read t f buf cnt ~buffer
+          pipe_read t p f buf cnt ~buffer
+            ~chan:("fifo", inode.ino)
             ~wake:(K_fifo_w inode.ino)
             ~cond:(Proc.On_fifo_read inode.ino)
         | File.Sock { rx; _ } ->
-          pipe_read t f buf cnt ~buffer:rx.buf
+          pipe_read t p f buf cnt ~buffer:rx.buf
+            ~chan:("pipe", rx.pipe_id)
             ~wake:(K_pipe_w rx.pipe_id)
             ~cond:(Proc.On_pipe_read rx.pipe_id)
         | File.Pipe_write _ | File.Fifo_write _ -> fail Errno.EBADF
@@ -85,7 +93,7 @@ let do_read t (p : Proc.t) fd buf cnt =
 (* --- write -------------------------------------------------------------- *)
 
 let pipe_write t (p : Proc.t) (f : File.t) data ~(buffer : Vfs.Pipebuf.t)
-    ~wake ~cond =
+    ~chan ~wake ~cond =
   if Vfs.Pipebuf.readers buffer = 0 then begin
     post_signal t p Signal.sigpipe;
     fail Errno.EPIPE
@@ -93,6 +101,9 @@ let pipe_write t (p : Proc.t) (f : File.t) data ~(buffer : Vfs.Pipebuf.t)
   else begin
     let n = Vfs.Pipebuf.write buffer data ~pos:0 in
     if n > 0 then begin
+      (* causal hook: stamp the accepted byte interval with this
+         write's span so the consuming read can link back to it *)
+      Obs.causal_pipe_write ~chan ~pid:p.pid ~bytes:n;
       wake_key t wake;
       done_ret n
     end
@@ -127,14 +138,17 @@ let do_write t (p : Proc.t) fd data =
          | Vfs.Inode.Symlink _ | Vfs.Inode.Fifo _ -> fail Errno.EBADF)
       | File.Pipe_write pipe ->
         pipe_write t p f data ~buffer:pipe.buf
+          ~chan:("pipe", pipe.pipe_id)
           ~wake:(K_pipe_r pipe.pipe_id)
           ~cond:(Proc.On_pipe_write pipe.pipe_id)
       | File.Fifo_write (inode, buffer) ->
         pipe_write t p f data ~buffer
+          ~chan:("fifo", inode.ino)
           ~wake:(K_fifo_r inode.ino)
           ~cond:(Proc.On_fifo_write inode.ino)
       | File.Sock { tx; _ } ->
         pipe_write t p f data ~buffer:tx.buf
+          ~chan:("pipe", tx.pipe_id)
           ~wake:(K_pipe_r tx.pipe_id)
           ~cond:(Proc.On_pipe_write tx.pipe_id)
       | File.Pipe_read _ | File.Fifo_read _ -> fail Errno.EBADF
@@ -371,6 +385,9 @@ let do_fork t (p : Proc.t) body =
       | None -> ())
     child.fds;
   add_proc t child;
+  (* causal hook: the parent's fork trap is the open span here; the
+     edge completes at the child's first trap *)
+  Obs.causal_fork ~parent:p.pid ~child:pid;
   t.hooks.spawn child body;
   Done (Value.ret pid ~r1:1)
 
@@ -450,7 +467,13 @@ let do_kill t (p : Proc.t) pid s =
       else begin
         if s <> 0 then
           List.iter
-            (fun q -> if may_signal p q then post_signal t q s)
+            (fun q ->
+              if may_signal p q then begin
+                (* causal hook: kill-originated signals carry a sender
+                   span; delivery completes the edge *)
+                Obs.causal_signal_send ~src_pid:p.pid ~dst_pid:q.pid ~signal:s;
+                post_signal t q s
+              end)
             targets;
         done_ret 0
       end

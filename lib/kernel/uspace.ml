@@ -7,9 +7,15 @@ let self () = Proc.Cur.get_exn ()
 let deliver_app (proc : Proc.t) s =
   (* one instant mark per signal that reaches the application, whatever
      its disposition — chrome export renders these as instants *)
-  if Obs.enabled () then
-    Obs.record_mark ~span:(Obs.current ()) ~pid:proc.Proc.pid ~kind:"signal"
+  if Obs.enabled () then begin
+    let span = Obs.current () in
+    Obs.record_mark ~span ~pid:proc.Proc.pid ~kind:"signal"
       ~detail:(Signal.name s) ();
+    (* completes the sender's pending half-edge when this delivery was
+       kill-originated (DESIGN.md §3.9); no-op otherwise *)
+    Obs.causal_signal_delivered ~pid:proc.Proc.pid ~signal:s ~span
+      ~detail:(Signal.name s)
+  end;
   match Proc.handler proc s with
   | Value.H_fn f -> f s
   | Value.H_default | Value.H_ignore -> ()

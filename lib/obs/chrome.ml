@@ -59,7 +59,89 @@ let meta_event ~pid ~tid ~which name =
 
 let default_pid_label pid = Printf.sprintf "pid %d" pid
 
-let to_json ?(name = default_name) ?(pid_label = default_pid_label) records =
+(* Causal edges render as flow events: a [ph:"s"] start bound to the
+   source span's slice and a [ph:"f"] (binding point "e") on the
+   destination span's slice, matched by id — the arrows Perfetto draws
+   across process lanes.  Binding needs a concrete slice, so each
+   endpoint is looked up among the records' outermost segments (keyed
+   by (pid, span): span ids are unique per shard only, pids are
+   already shard-disjoint here) and its timestamp clamped into that
+   slice; edges whose endpoints the ring dropped or the sampler
+   skipped are omitted. *)
+let flow_events edges records ~by_track =
+  let slices : (int * int, int * string * int * int) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  (* (pid, span) -> (depth, layer, start_us, total_us) for the
+     outermost segment seen *)
+  List.iter
+    (function
+      | Span.Segment s ->
+        let key = (s.Span.pid, s.Span.span) in
+        let keep =
+          match Hashtbl.find_opt slices key with
+          | Some (d, _, _, _) -> s.Span.depth < d
+          | None -> true
+        in
+        if keep then
+          Hashtbl.replace slices key
+            (s.Span.depth, s.Span.layer, s.Span.start_us, s.Span.total_us)
+      | Span.Call _ | Span.Mark _ -> ())
+    records;
+  let clamp ts (_, _, lo, dur) = max lo (min ts (lo + dur)) in
+  let tid_for pid (depth, layer, _, _) =
+    match Hashtbl.find_opt by_track (pid, (depth, layer)) with
+    | Some tid -> tid
+    | None -> 0
+  in
+  List.concat_map
+    (fun ed ->
+      if ed.Causal.ed_src_span <= 0 || ed.Causal.ed_dst_span <= 0 then []
+      else
+        match
+          ( Hashtbl.find_opt slices (ed.Causal.ed_src_pid, ed.Causal.ed_src_span),
+            Hashtbl.find_opt slices (ed.Causal.ed_dst_pid, ed.Causal.ed_dst_span) )
+        with
+        | Some src_slice, Some dst_slice ->
+          let id = (ed.Causal.ed_shard * 1_000_000_000) + ed.Causal.ed_seq in
+          let name = Causal.kind_name ed.Causal.ed_kind in
+          let point ~ph ~extra ~pid ~tid ~ts =
+            ( ts,
+              Json.Obj
+                ([
+                   ("name", Json.Str name);
+                   ("cat", Json.Str "causal");
+                   ("ph", Json.Str ph);
+                 ]
+                @ extra
+                @ [
+                    ("id", Json.Int id);
+                    ("ts", Json.Int ts);
+                    ("pid", Json.Int pid);
+                    ("tid", Json.Int tid);
+                    ( "args",
+                      Json.Obj
+                        [
+                          ("src_span", Json.Int ed.Causal.ed_src_span);
+                          ("dst_span", Json.Int ed.Causal.ed_dst_span);
+                          ("detail", Json.Str ed.Causal.ed_detail);
+                        ] );
+                  ]) )
+          in
+          [
+            point ~ph:"s" ~extra:[] ~pid:ed.Causal.ed_src_pid
+              ~tid:(tid_for ed.Causal.ed_src_pid src_slice)
+              ~ts:(clamp ed.Causal.ed_t_us src_slice);
+            point ~ph:"f" ~extra:[ ("bp", Json.Str "e") ]
+              ~pid:ed.Causal.ed_dst_pid
+              ~tid:(tid_for ed.Causal.ed_dst_pid dst_slice)
+              ~ts:(clamp ed.Causal.ed_t_us dst_slice);
+          ]
+        | _ -> [])
+    edges
+
+let to_json ?(name = default_name) ?(pid_label = default_pid_label)
+    ?(edges = []) records =
   let pid_list, by_track = tid_tables records in
   let metadata =
     List.concat_map
@@ -143,14 +225,14 @@ let to_json ?(name = default_name) ?(pid_label = default_pid_label) records =
           ] )
   in
   let events =
-    List.map event_of records
+    List.map event_of records @ flow_events edges records ~by_track
     |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
     |> List.map snd
   in
   Json.Arr (metadata @ events)
 
-let to_string ?name ?pid_label records =
-  Json.to_string (to_json ?name ?pid_label records)
+let to_string ?name ?pid_label ?edges records =
+  Json.to_string (to_json ?name ?pid_label ?edges records)
 
 (* Cluster export: shards reuse pid numbers (each runs its own init as
    pid 1), so lanes from different shards would collide in the viewer.
@@ -163,17 +245,31 @@ let map_pid f = function
   | Span.Call c -> Span.Call { c with Span.c_pid = f c.Span.c_pid }
   | Span.Mark m -> Span.Mark { m with Span.m_pid = f m.Span.m_pid }
 
-let to_json_sharded ?name shards =
+let default_sharded_pid_label pid =
+  Printf.sprintf "s%d pid %d" (pid / shard_stride) (pid mod shard_stride)
+
+let to_json_sharded ?name ?(pid_label = default_sharded_pid_label)
+    ?(edges = []) shards =
   let records =
     List.concat_map
       (fun (shard, records) ->
         List.map (map_pid (fun pid -> (shard * shard_stride) + pid)) records)
       shards
   in
-  let pid_label pid =
-    Printf.sprintf "s%d pid %d" (pid / shard_stride) (pid mod shard_stride)
+  (* edge endpoints follow the same per-shard pid offsetting as the
+     records they bind to; each side maps through its own shard *)
+  let edges =
+    List.map
+      (fun ed ->
+        {
+          ed with
+          Causal.ed_src_pid =
+            (ed.Causal.ed_src_shard * shard_stride) + ed.Causal.ed_src_pid;
+          ed_dst_pid = (ed.Causal.ed_shard * shard_stride) + ed.Causal.ed_dst_pid;
+        })
+      edges
   in
-  to_json ?name ~pid_label records
+  to_json ?name ~pid_label ~edges records
 
-let to_string_sharded ?name shards =
-  Json.to_string (to_json_sharded ?name shards)
+let to_string_sharded ?name ?pid_label ?edges shards =
+  Json.to_string (to_json_sharded ?name ?pid_label ?edges shards)

@@ -42,6 +42,10 @@ module Hist = Hist
 module Json = Json
 module Span = Span
 module Chrome = Chrome
+module Causal = Causal
+module Flame = Flame
+module Stream = Stream
+module Watch = Watch
 
 (* ---------- live per-span state ---------- *)
 
@@ -98,6 +102,20 @@ type sig_event = {
 
 let sig_pending = -1
 
+(* ---------- causal bookkeeping (DESIGN.md §3.9) ---------- *)
+
+(* Per-pipe byte-offset watermarks.  Writes append absolute byte
+   intervals stamped with the writing span; reads advance a consume
+   watermark and emit one Pipe edge per distinct writer span whose
+   interval the read overlapped.  Bounded by the pipe's unread bytes:
+   fully consumed intervals are discarded as the watermark passes. *)
+type pipe_chan = {
+  mutable pc_wrote : int; (* absolute bytes ever written *)
+  mutable pc_read : int;  (* absolute bytes ever consumed *)
+  mutable pc_writes : (int * int * int * int) list;
+      (* (start, stop, writer span, writer pid), oldest first *)
+}
+
 (* ---------- the engine ---------- *)
 
 let default_ring_capacity = 4096
@@ -127,6 +145,24 @@ type engine = {
   mutable e_sig_on : bool;
   mutable e_sig_rev : sig_event list;
   mutable e_sig_n : int;
+  (* causal edge table (DESIGN.md §3.9): which shard this engine
+     belongs to (stamped into every edge it records), the edges
+     themselves (newest first), the emission counter that orders them
+     under the cluster merge rule, and the pending half-edges — forks
+     waiting for the child's first span, kill-originated signals
+     waiting for delivery, pipe byte watermarks waiting for a read.
+     Like signature capture, edges are events of record, not latency
+     samples; endpoints the sampler skipped carry their sentinel and
+     drop out of slice/flow views. *)
+  mutable e_shard : int;
+  mutable e_causal_rev : Causal.edge list;
+  mutable e_causal_n : int;
+  e_pending_fork : (int, int * int) Hashtbl.t;
+      (* child pid -> (src span, src pid) *)
+  e_pending_sig : (int * int, (int * int * int) Queue.t) Hashtbl.t;
+      (* (dst pid, signal) -> (src shard, src span, src pid) fifo *)
+  e_pipes : (string * int, pipe_chan) Hashtbl.t;
+      (* ("pipe"|"fifo", id) -> watermarks *)
 }
 
 let engine ?(ring_capacity = default_ring_capacity) () =
@@ -150,6 +186,12 @@ let engine ?(ring_capacity = default_ring_capacity) () =
     e_sig_on = false;
     e_sig_rev = [];
     e_sig_n = 0;
+    e_shard = 0;
+    e_causal_rev = [];
+    e_causal_n = 0;
+    e_pending_fork = Hashtbl.create 16;
+    e_pending_sig = Hashtbl.create 16;
+    e_pipes = Hashtbl.create 16;
   }
 
 (* A fresh engine carrying the *configuration* of [src] — on/off
@@ -285,10 +327,168 @@ let reset () =
   e.e_injected <- 0;
   e.e_sig_rev <- [];
   e.e_sig_n <- 0;
+  e.e_causal_rev <- [];
+  e.e_causal_n <- 0;
+  Hashtbl.reset e.e_pending_fork;
+  Hashtbl.reset e.e_pending_sig;
+  Hashtbl.reset e.e_pipes;
   (* keep the configured rate but restart the decision stream, so a
      reset window replays the same sampling choices *)
   e.e_sample_rng <- Sim.Rng.create e.e_sample_seed;
   Ring.clear e.e_ring
+
+(* ---------- causal edges (DESIGN.md §3.9) ---------- *)
+
+let set_shard i = !cur.e_shard <- i
+let shard () = !cur.e_shard
+
+(* Innermost open span of [pid] — [current ()] without the ambient
+   context: the causal hooks run inside the kernel dispatcher, where
+   the current-process register is cleared, but they know the pid. *)
+let innermost e pid =
+  match Hashtbl.find_opt e.e_open_by_pid pid with
+  | Some { contents = s :: _ } -> s
+  | _ -> 0
+
+let emit_edge e ~kind ~src_shard ~src_span ~src_pid ~dst_span ~dst_pid ~detail =
+  e.e_causal_n <- e.e_causal_n + 1;
+  e.e_causal_rev <-
+    {
+      Causal.ed_kind = kind;
+      ed_src_shard = src_shard;
+      ed_src_span = src_span;
+      ed_src_pid = src_pid;
+      ed_shard = e.e_shard;
+      ed_dst_span = dst_span;
+      ed_dst_pid = dst_pid;
+      ed_t_us = e.e_clock_fn ();
+      ed_seq = e.e_causal_n;
+      ed_detail = detail;
+    }
+    :: e.e_causal_rev
+
+(* Fork: the parent's fork trap is still open when the kernel clones
+   the process; the edge completes at the child's first span_begin. *)
+let causal_fork ~parent ~child =
+  let e = !cur in
+  if e.e_on then
+    Hashtbl.replace e.e_pending_fork child (innermost e parent, parent)
+
+(* Signals: only kill-originated signals make edges (an alarm or a
+   kernel-raised SIGPIPE has no sender span).  The sender side files a
+   pending half-edge; delivery into the receiver's current trap
+   completes it.  Dispositions that never deliver to the application
+   (ignore, terminate) leave the half-edge pending, harmlessly. *)
+let causal_signal_send ~src_pid ~dst_pid ~signal =
+  let e = !cur in
+  if e.e_on then begin
+    let q =
+      match Hashtbl.find_opt e.e_pending_sig (dst_pid, signal) with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.replace e.e_pending_sig (dst_pid, signal) q;
+        q
+    in
+    Queue.push (e.e_shard, innermost e src_pid, src_pid) q
+  end
+
+(* Cross-shard variant: runs on the *destination* shard's engine with
+   the origin captured on the source shard ([causal_origin]) and
+   shipped with the cluster mail. *)
+let causal_signal_send_remote ~src_shard ~src_span ~src_pid ~dst_pid ~signal =
+  let e = !cur in
+  if e.e_on then begin
+    let q =
+      match Hashtbl.find_opt e.e_pending_sig (dst_pid, signal) with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.replace e.e_pending_sig (dst_pid, signal) q;
+        q
+    in
+    Queue.push (src_shard, src_span, src_pid) q
+  end
+
+(* (shard, innermost span, pid) of the ambient process — what
+   [Cluster.send] stamps into cross-shard mail on the source shard. *)
+let causal_origin () =
+  let e = !cur in
+  let pid = e.e_context_fn () in
+  (e.e_shard, (if e.e_on then innermost e pid else 0), pid)
+
+let causal_signal_delivered ~pid ~signal ~span ~detail =
+  let e = !cur in
+  if e.e_on then
+    match Hashtbl.find_opt e.e_pending_sig (pid, signal) with
+    | Some q when not (Queue.is_empty q) ->
+      let src_shard, src_span, src_pid = Queue.pop q in
+      emit_edge e ~kind:Causal.Signal ~src_shard ~src_span ~src_pid
+        ~dst_span:span ~dst_pid:pid ~detail
+    | _ -> ()
+
+let pipe_chan_for e key =
+  match Hashtbl.find_opt e.e_pipes key with
+  | Some c -> c
+  | None ->
+    let c = { pc_wrote = 0; pc_read = 0; pc_writes = [] } in
+    Hashtbl.replace e.e_pipes key c;
+    c
+
+let causal_pipe_write ~chan ~pid ~bytes =
+  let e = !cur in
+  if e.e_on && bytes > 0 then begin
+    let c = pipe_chan_for e chan in
+    let span = innermost e pid in
+    c.pc_writes <- c.pc_writes @ [ (c.pc_wrote, c.pc_wrote + bytes, span, pid) ];
+    c.pc_wrote <- c.pc_wrote + bytes
+  end
+
+let causal_pipe_read ~chan ~pid ~bytes =
+  let e = !cur in
+  if e.e_on && bytes > 0 then begin
+    let c = pipe_chan_for e chan in
+    let lo = c.pc_read in
+    let hi = lo + bytes in
+    c.pc_read <- hi;
+    let dst_span = innermost e pid in
+    (* one edge per distinct writer span this read consumed from *)
+    let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 4 in
+    let rec consume = function
+      | [] -> []
+      | ((s, t, wspan, wpid) as iv) :: tl ->
+        if t <= lo then consume tl (* fully consumed by earlier reads *)
+        else if s >= hi then iv :: tl (* past this read's window *)
+        else begin
+          if not (Hashtbl.mem seen (wspan, wpid)) then begin
+            Hashtbl.replace seen (wspan, wpid) ();
+            let o_lo = max s lo and o_hi = min t hi in
+            emit_edge e ~kind:Causal.Pipe ~src_shard:e.e_shard ~src_span:wspan
+              ~src_pid:wpid ~dst_span ~dst_pid:pid
+              ~detail:
+                (Printf.sprintf "%s#%d bytes %d..%d" (fst chan) (snd chan)
+                   o_lo o_hi)
+          end;
+          if t <= hi then consume tl else iv :: tl
+        end
+    in
+    c.pc_writes <- consume c.pc_writes
+  end
+
+let causal_edges_of e = List.rev e.e_causal_rev
+let causal_edges () = causal_edges_of !cur
+
+let causal_drain_of e =
+  let l = List.rev e.e_causal_rev in
+  e.e_causal_rev <- [];
+  l
+
+let causal_drain () = causal_drain_of !cur
+
+(* ---------- streaming ---------- *)
+
+let poll_of e c = Stream.poll c e.e_ring
+let poll c = poll_of !cur c
 
 (* ---------- span lifecycle ---------- *)
 
@@ -317,18 +517,30 @@ let span_begin ~pid ~sysno =
     let sampled =
       e.e_sample_n <= 1 || Sim.Rng.int e.e_sample_rng e.e_sample_n = 0
     in
-    if not sampled then unsampled_sentinel sysno
-    else begin
-      e.e_next_span <- e.e_next_span + 1;
-      let id = e.e_next_span in
-      Hashtbl.replace e.e_spans id
-        { s_id = id; s_pid = pid; s_sysno = sysno;
-          s_begin_us = e.e_clock_fn (); s_frames = []; s_rewrites = 0 };
-      (match Hashtbl.find_opt e.e_open_by_pid pid with
-       | Some stack -> stack := id :: !stack
-       | None -> Hashtbl.replace e.e_open_by_pid pid (ref [ id ]));
-      id
-    end
+    let id =
+      if not sampled then unsampled_sentinel sysno
+      else begin
+        e.e_next_span <- e.e_next_span + 1;
+        let id = e.e_next_span in
+        Hashtbl.replace e.e_spans id
+          { s_id = id; s_pid = pid; s_sysno = sysno;
+            s_begin_us = e.e_clock_fn (); s_frames = []; s_rewrites = 0 };
+        (match Hashtbl.find_opt e.e_open_by_pid pid with
+         | Some stack -> stack := id :: !stack
+         | None -> Hashtbl.replace e.e_open_by_pid pid (ref [ id ]));
+        id
+      end
+    in
+    (* a pending fork half-edge completes at the child's first trap,
+       sampled or not — an unsampled first trap yields a sentinel
+       endpoint, which slice/flow views skip *)
+    (match Hashtbl.find_opt e.e_pending_fork pid with
+     | Some (src_span, src_pid) ->
+       Hashtbl.remove e.e_pending_fork pid;
+       emit_edge e ~kind:Causal.Fork ~src_shard:e.e_shard ~src_span ~src_pid
+         ~dst_span:id ~dst_pid:pid ~detail:""
+     | None -> ());
+    id
   end
 
 (* Pop the top frame, fold its duration into the parent's child time,

@@ -32,6 +32,10 @@ module Hist = Hist
 module Json = Json
 module Span = Span
 module Chrome = Chrome
+module Causal = Causal
+module Flame = Flame
+module Stream = Stream
+module Watch = Watch
 
 (** {1 Engines}
 
@@ -245,6 +249,83 @@ val note_injected : unit -> unit
     sample); reported as [m_injected] / the ["injected"] metrics
     field.  Fault agents pair this with a {!record_mark}
     [~kind:"inject"] instant on the trap's span. *)
+
+(** {1 Causal edges}
+
+    The cross-process event graph (DESIGN.md §3.9): fork, signal and
+    pipe edges between spans, recorded by kernel hooks as {e events of
+    record} (like signature capture, the sampler does not thin them —
+    but an endpoint the sampler skipped carries its negative sentinel
+    and drops out of {!Causal.slice} and Chrome flow views).  Each
+    hook is pure bookkeeping on the installed engine: edges charge
+    zero virtual time, so no published µs figure moves.
+
+    Fork and signal edges resolve in two halves — the source files a
+    pending half-edge (the fork trap, the kill trap), the destination
+    completes it (the child's first {!span_begin}, the delivery into
+    the receiver's current trap).  Pipe edges resolve through per-pipe
+    byte-offset watermarks: writes append byte intervals stamped with
+    the writing span, reads consume them.  Cross-shard signal edges
+    ship their origin with the cluster mail and complete on the
+    destination shard, ordered by the same (ts, shard, seq) merge rule
+    as the mail itself. *)
+
+val set_shard : int -> unit
+(** Stamp the installed engine with its owning shard id
+    ([Kernel.create] does this); edge endpoints carry it because span
+    ids are unique only per engine. *)
+
+val shard : unit -> int
+
+val causal_fork : parent:int -> child:int -> unit
+(** The kernel cloned [child] inside [parent]'s (still open) fork
+    trap; the edge completes at the child's first span. *)
+
+val causal_signal_send : src_pid:int -> dst_pid:int -> signal:int -> unit
+(** [src_pid]'s kill trap posted [signal] to [dst_pid] (same shard). *)
+
+val causal_signal_send_remote :
+  src_shard:int -> src_span:int -> src_pid:int -> dst_pid:int -> signal:int -> unit
+(** Cross-shard variant, run on the {e destination} shard's engine
+    with the origin captured by {!causal_origin} on the source shard
+    and shipped with the cluster mail. *)
+
+val causal_origin : unit -> int * int * int
+(** [(shard, innermost open span, pid)] of the ambient process — what
+    [Cluster.send] stamps into cross-shard mail. *)
+
+val causal_signal_delivered :
+  pid:int -> signal:int -> span:int -> detail:string -> unit
+(** A signal reached [pid]'s application handler inside span [span];
+    completes the oldest matching pending half-edge, if any (signals
+    without a sender span — alarms, kernel-raised SIGPIPE — have
+    none). *)
+
+val causal_pipe_write : chan:string * int -> pid:int -> bytes:int -> unit
+(** [pid]'s current trap wrote [bytes] accepted bytes to channel
+    [chan] ([("pipe"|"fifo", id)]). *)
+
+val causal_pipe_read : chan:string * int -> pid:int -> bytes:int -> unit
+(** [pid]'s current trap consumed [bytes] from [chan]; emits one Pipe
+    edge per distinct writer span those bytes came from. *)
+
+val causal_edges : unit -> Causal.edge list
+(** Recorded edges, oldest first; non-destructive. *)
+
+val causal_edges_of : engine -> Causal.edge list
+val causal_drain : unit -> Causal.edge list
+val causal_drain_of : engine -> Causal.edge list
+
+(** {1 Streaming} *)
+
+val poll : Stream.cursor -> Span.record list * int
+(** Incremental drain of the installed engine's ring: records pushed
+    since the cursor's last poll (each delivered at most once) and
+    the count lost to ring overwrite or an interleaved full
+    {!drain}.  Non-destructive — followers never steal records from
+    the final drain. *)
+
+val poll_of : engine -> Stream.cursor -> Span.record list * int
 
 (** {1 Reading the flight recorder} *)
 

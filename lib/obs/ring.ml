@@ -9,22 +9,27 @@ type 'a t = {
   mutable next : int;    (* next write position *)
   mutable stored : int;  (* live entries, <= capacity *)
   mutable dropped : int; (* overwritten-before-drained count *)
+  mutable pushed : int;  (* total pushes ever; survives clear/drain so
+                            stream cursors keep a stable coordinate *)
 }
 
 let create ~capacity =
   let capacity = max 1 capacity in
-  { slots = Array.make capacity None; next = 0; stored = 0; dropped = 0 }
+  { slots = Array.make capacity None; next = 0; stored = 0; dropped = 0;
+    pushed = 0 }
 
 let capacity t = Array.length t.slots
 let length t = t.stored
 let dropped t = t.dropped
+let pushed t = t.pushed
 
 let push t x =
   let cap = Array.length t.slots in
   if t.stored = cap then t.dropped <- t.dropped + 1
   else t.stored <- t.stored + 1;
   t.slots.(t.next) <- Some x;
-  t.next <- (t.next + 1) mod cap
+  t.next <- (t.next + 1) mod cap;
+  t.pushed <- t.pushed + 1
 
 let to_list t =
   let cap = Array.length t.slots in

@@ -18,6 +18,12 @@ val length : 'a t -> int
 val dropped : 'a t -> int
 (** Entries overwritten since the last {!clear}/{!drain}. *)
 
+val pushed : 'a t -> int
+(** Total entries ever pushed, monotone across {!clear}/{!drain}: the
+    stable coordinate a {!Stream} cursor measures its position in.  A
+    record's index in push order is [pushed - length .. pushed - 1]
+    while it is still live. *)
+
 val push : 'a t -> 'a -> unit
 
 val to_list : 'a t -> 'a list

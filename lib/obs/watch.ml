@@ -1,0 +1,213 @@
+(* Declarative watchdog rules over a metrics snapshot (DESIGN.md §3.9).
+
+   A rule is a named ceiling on one observable:
+
+     # comments and blank lines are ignored
+     read-errors  = error_rate(read) <= 0.05
+     tail-latency = p99_us( * ) <= 400
+     no-aborts    = aborts <= 0
+     pool-misses  = env_pool_misses <= 100
+
+   The target in parentheses is a syscall name or [*] for all
+   syscalls.  A rule *trips* when the observed value exceeds its
+   bound.  Rules are evaluated against plain rows the caller adapts
+   from its metrics snapshot — obs sits below [abi], so syscall names
+   resolve through a caller-supplied lookup at parse time and rules
+   hold numbers from then on.  Evaluation is pure: the kernel runs it
+   on every [metrics_json] and agentrun turns any trip into a nonzero
+   exit. *)
+
+type pred =
+  | Error_rate of int option * float  (* sysno (None = all), max rate *)
+  | P99_us of int option * int        (* sysno (None = worst), max µs *)
+  | Aborts of int
+  | Env_pool_misses of int
+
+type rule = {
+  w_name : string;
+  w_target : string; (* as written: a syscall name or "*" *)
+  w_pred : pred;
+}
+
+let pred_to_string r =
+  match r.w_pred with
+  | Error_rate (_, bound) ->
+    Printf.sprintf "error_rate(%s) <= %g" r.w_target bound
+  | P99_us (_, bound) -> Printf.sprintf "p99_us(%s) <= %d" r.w_target bound
+  | Aborts bound -> Printf.sprintf "aborts <= %d" bound
+  | Env_pool_misses bound -> Printf.sprintf "env_pool_misses <= %d" bound
+
+(* ---------- parsing ---------- *)
+
+let parse_target ~sysno ~line what inside =
+  let inside = String.trim inside in
+  if inside = "*" then Ok None
+  else
+    match sysno inside with
+    | Some n -> Ok (Some n)
+    | None ->
+      Error (Printf.sprintf "line %d: unknown syscall %S in %s" line inside what)
+
+let split_on_le s =
+  let n = String.length s in
+  let rec find i =
+    if i + 1 >= n then None
+    else if s.[i] = '<' && s.[i + 1] = '=' then Some i
+    else find (i + 1)
+  in
+  Option.map
+    (fun i -> (String.sub s 0 i, String.sub s (i + 2) (n - i - 2)))
+    (find 0)
+
+let parse_fn lhs =
+  (* "error_rate(read)" -> Some ("error_rate", "read") *)
+  match String.index_opt lhs '(' with
+  | None -> None
+  | Some i when String.length lhs > 0 && lhs.[String.length lhs - 1] = ')' ->
+    Some
+      ( String.trim (String.sub lhs 0 i),
+        String.sub lhs (i + 1) (String.length lhs - i - 2) )
+  | Some _ -> None
+
+let parse_line ~sysno ~line s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "line %d: expected 'name = predicate'" line)
+  | Some eq ->
+    let name = String.trim (String.sub s 0 eq) in
+    let rest = String.sub s (eq + 1) (String.length s - eq - 1) in
+    if name = "" then Error (Printf.sprintf "line %d: empty rule name" line)
+    else begin
+      match split_on_le rest with
+      | None ->
+        Error (Printf.sprintf "line %d: expected '<observable> <= <bound>'" line)
+      | Some (lhs, bound_s) -> (
+        let lhs = String.trim lhs and bound_s = String.trim bound_s in
+        let int_bound mk =
+          match int_of_string_opt bound_s with
+          | Some b -> Ok (mk b)
+          | None -> Error (Printf.sprintf "line %d: bad integer bound %S" line bound_s)
+        in
+        match parse_fn lhs with
+        | Some ("error_rate", tgt) -> (
+          match parse_target ~sysno ~line "error_rate" tgt with
+          | Error e -> Error e
+          | Ok t -> (
+            match float_of_string_opt bound_s with
+            | Some b ->
+              Ok { w_name = name; w_target = String.trim tgt;
+                   w_pred = Error_rate (t, b) }
+            | None ->
+              Error (Printf.sprintf "line %d: bad rate bound %S" line bound_s)))
+        | Some ("p99_us", tgt) -> (
+          match parse_target ~sysno ~line "p99_us" tgt with
+          | Error e -> Error e
+          | Ok t ->
+            Result.map
+              (fun p -> { w_name = name; w_target = String.trim tgt; w_pred = p })
+              (int_bound (fun b -> P99_us (t, b))))
+        | Some (fn, _) ->
+          Error (Printf.sprintf "line %d: unknown observable %S" line fn)
+        | None ->
+          if lhs = "aborts" then
+            Result.map
+              (fun p -> { w_name = name; w_target = ""; w_pred = p })
+              (int_bound (fun b -> Aborts b))
+          else if lhs = "env_pool_misses" then
+            Result.map
+              (fun p -> { w_name = name; w_target = ""; w_pred = p })
+              (int_bound (fun b -> Env_pool_misses b))
+          else Error (Printf.sprintf "line %d: unknown observable %S" line lhs))
+    end
+
+let of_spec ~sysno text =
+  let lines = String.split_on_char '\n' text in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: tl ->
+      let t = String.trim l in
+      if t = "" || t.[0] = '#' then go (n + 1) acc tl
+      else (
+        match parse_line ~sysno ~line:n t with
+        | Ok r -> go (n + 1) (r :: acc) tl
+        | Error e -> Error e)
+  in
+  go 1 [] lines
+
+(* ---------- evaluation ---------- *)
+
+type sys_row = {
+  ws_sysno : int;
+  ws_calls : int;
+  ws_errors : int;
+  ws_p99_us : int;
+}
+
+type input = {
+  wi_sys : sys_row list;
+  wi_aborted : int;
+  wi_env_pool_misses : int;
+}
+
+type verdict = {
+  wr_rule : rule;
+  wr_value : float; (* observed *)
+  wr_bound : float;
+  wr_tripped : bool;
+}
+
+let eval_rule input r =
+  let value =
+    match r.w_pred with
+    | Error_rate (target, _) ->
+      let calls, errors =
+        List.fold_left
+          (fun (c, e) row ->
+            if target = None || target = Some row.ws_sysno then
+              (c + row.ws_calls, e + row.ws_errors)
+            else (c, e))
+          (0, 0) input.wi_sys
+      in
+      if calls = 0 then 0.0 else float_of_int errors /. float_of_int calls
+    | P99_us (target, _) ->
+      float_of_int
+        (List.fold_left
+           (fun acc row ->
+             if target = None || target = Some row.ws_sysno then
+               max acc row.ws_p99_us
+             else acc)
+           0 input.wi_sys)
+    | Aborts _ -> float_of_int input.wi_aborted
+    | Env_pool_misses _ -> float_of_int input.wi_env_pool_misses
+  in
+  let bound =
+    match r.w_pred with
+    | Error_rate (_, b) -> b
+    | P99_us (_, b) -> float_of_int b
+    | Aborts b -> float_of_int b
+    | Env_pool_misses b -> float_of_int b
+  in
+  { wr_rule = r; wr_value = value; wr_bound = bound;
+    wr_tripped = value > bound }
+
+let eval rules input = List.map (eval_rule input) rules
+let tripped verdicts = List.filter (fun v -> v.wr_tripped) verdicts
+
+let verdicts_to_json verdicts =
+  Json.Obj
+    [
+      ("rules", Json.Int (List.length verdicts));
+      ("tripped", Json.Int (List.length (tripped verdicts)));
+      ( "results",
+        Json.Arr
+          (List.map
+             (fun v ->
+               Json.Obj
+                 [
+                   ("name", Json.Str v.wr_rule.w_name);
+                   ("pred", Json.Str (pred_to_string v.wr_rule));
+                   ("value", Json.Float v.wr_value);
+                   ("bound", Json.Float v.wr_bound);
+                   ("tripped", Json.Bool v.wr_tripped);
+                 ])
+             verdicts) );
+    ]

@@ -1,0 +1,67 @@
+(** Declarative watchdog rules over a metrics snapshot
+    (DESIGN.md §3.9).
+
+    One rule per line, ['#'] comments and blank lines ignored:
+    {v
+    read-errors  = error_rate(read) <= 0.05
+    tail-latency = p99_us( * ) <= 400
+    no-aborts    = aborts <= 0
+    pool-misses  = env_pool_misses <= 100
+    v}
+    The parenthesised target is a syscall name (resolved through the
+    caller's [sysno] lookup — obs sits below [abi]) or [*] for all.
+    A rule {e trips} when the observed value exceeds its bound.
+    Evaluation is pure over rows the caller adapts from its metrics;
+    the kernel surfaces verdicts as the [watchdogs] block of
+    [metrics_json] and agentrun exits nonzero on any trip. *)
+
+type pred =
+  | Error_rate of int option * float
+      (** errors/calls for one sysno ([None] = all), max rate *)
+  | P99_us of int option * int
+      (** p99 latency for one sysno ([None] = worst of any), max µs *)
+  | Aborts of int             (** span-abort count ceiling *)
+  | Env_pool_misses of int    (** envelope-pool miss ceiling *)
+
+type rule = {
+  w_name : string;
+  w_target : string;  (** target as written: a syscall name or ["*"] *)
+  w_pred : pred;
+}
+
+val pred_to_string : rule -> string
+(** The predicate in rule-file syntax, e.g.
+    ["error_rate(read) <= 0.05"]. *)
+
+val of_spec : sysno:(string -> int option) -> string -> (rule list, string) result
+(** Parse a rules file.  [Error] carries a message naming the first
+    bad line. *)
+
+type sys_row = {
+  ws_sysno : int;
+  ws_calls : int;
+  ws_errors : int;
+  ws_p99_us : int;
+}
+
+type input = {
+  wi_sys : sys_row list;
+  wi_aborted : int;
+  wi_env_pool_misses : int;
+}
+
+type verdict = {
+  wr_rule : rule;
+  wr_value : float;  (** observed *)
+  wr_bound : float;
+  wr_tripped : bool;
+}
+
+val eval : rule list -> input -> verdict list
+(** One verdict per rule, in rule order. *)
+
+val tripped : verdict list -> verdict list
+
+val verdicts_to_json : verdict list -> Json.t
+(** The [watchdogs] block: [{"rules": n, "tripped": m, "results":
+    [{name, pred, value, bound, tripped} ...]}]. *)

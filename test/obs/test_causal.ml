@@ -1,0 +1,508 @@
+(* Causal-observability tests (DESIGN.md §3.9): fork/signal/pipe edge
+   recording with byte-stable reruns, slice reachability, chrome flow
+   events, cross-shard signal edges through Cluster mail, flamegraph
+   fold conservation, stream cursors delivering every record exactly
+   once, and watchdog rules from parsing through the metrics_json
+   block to the shipped examples file tripping on the EIO fault
+   campaign. *)
+
+open Abi
+open Tharness
+module F = Agents.Faultinject
+
+let occurrences needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i acc =
+    if i + nl > hl then acc
+    else if String.sub hay i nl = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  if nl = 0 then 0 else go 0 0
+
+(* --- the shared workload -------------------------------------------------
+
+   The depth-0 fork / pipe / signal fan-out the bench gate runs: three
+   children each write one line down a shared pipe and sigsuspend; the
+   parent reads every byte, then kills and reaps each child.  Every
+   edge kind appears at least three times. *)
+
+let msg i = Printf.sprintf "child %d reporting in\n" i
+
+let causal_session () =
+  Obs.reset ();
+  let k = fresh_kernel () in
+  let status =
+    boot_k k (fun () ->
+        Obs.enable ();
+        let r, w = Libc.Unistd.ok_exn "pipe" (Libc.Unistd.pipe ()) in
+        let children =
+          List.init 3 (fun i ->
+              Libc.Unistd.ok_exn "fork"
+                (Libc.Unistd.fork ~child:(fun () ->
+                     ignore
+                       (Libc.Unistd.signal Signal.sigusr1
+                          (Value.H_fn (fun _ -> ())));
+                     ignore (Libc.Unistd.write w (msg i));
+                     ignore (Libc.Unistd.sigsuspend 0);
+                     0)))
+        in
+        let want =
+          List.fold_left (fun acc i -> acc + String.length (msg i)) 0 [ 0; 1; 2 ]
+        in
+        let buf = Bytes.create 64 in
+        let got = ref 0 in
+        while !got < want do
+          match Libc.Unistd.read r buf 64 with
+          | Ok n when n > 0 -> got := !got + n
+          | _ -> got := want
+        done;
+        List.iter
+          (fun pid ->
+            ignore (Libc.Unistd.kill pid Signal.sigusr1);
+            ignore (Libc.Unistd.waitpid pid 0))
+          children;
+        ignore (Libc.Unistd.close r);
+        ignore (Libc.Unistd.close w);
+        Obs.disable ();
+        0)
+  in
+  check_exit "causal session" 0 status;
+  k
+
+let count kind edges =
+  List.length
+    (List.filter (fun (e : Obs.Causal.edge) -> e.Obs.Causal.ed_kind = kind) edges)
+
+(* --- the edge table ------------------------------------------------------ *)
+
+let test_edge_kinds () =
+  let k = causal_session () in
+  let edges = Kernel.drain_causal k in
+  Alcotest.(check int) "three fork edges" 3 (count Obs.Causal.Fork edges);
+  Alcotest.(check int) "three signal edges" 3 (count Obs.Causal.Signal edges);
+  Alcotest.(check bool) "at least three pipe edges" true
+    (count Obs.Causal.Pipe edges >= 3);
+  List.iter
+    (fun (e : Obs.Causal.edge) ->
+      Alcotest.(check int) "single shard: src" 0 e.Obs.Causal.ed_src_shard;
+      Alcotest.(check int) "single shard: dst" 0 e.Obs.Causal.ed_shard;
+      match e.Obs.Causal.ed_kind with
+      | Obs.Causal.Fork | Obs.Causal.Signal ->
+        Alcotest.(check int) "pid 1 is the cause" 1 e.Obs.Causal.ed_src_pid
+      | Obs.Causal.Pipe ->
+        Alcotest.(check int) "pid 1 consumes the pipe" 1 e.Obs.Causal.ed_dst_pid)
+    edges;
+  List.iter
+    (fun (e : Obs.Causal.edge) ->
+      if e.Obs.Causal.ed_kind = Obs.Causal.Signal then
+        Alcotest.(check string) "signal edge names the signal" "SIGUSR1"
+          e.Obs.Causal.ed_detail)
+    edges;
+  Alcotest.(check bool) "table already in merge order" true
+    (Obs.Causal.sort edges = edges);
+  Alcotest.(check int) "drain emptied the table" 0
+    (List.length (Kernel.causal_edges k))
+
+let test_edges_byte_identical () =
+  let render k = List.map Obs.Causal.to_line (Kernel.drain_causal k) in
+  let a = render (causal_session ()) in
+  let b = render (causal_session ()) in
+  Alcotest.(check bool) "non-empty" true (a <> []);
+  Alcotest.(check (list string)) "two same-seed runs render identically" a b
+
+let test_edge_jsonl_roundtrip () =
+  let edges = Kernel.drain_causal (causal_session ()) in
+  List.iter
+    (fun e ->
+      match Obs.Causal.of_line (Obs.Causal.to_line e) with
+      | Some e' -> Alcotest.(check bool) "line round-trips" true (e = e')
+      | None -> Alcotest.failf "unparseable edge line: %s" (Obs.Causal.to_line e))
+    edges
+
+(* --- slices -------------------------------------------------------------- *)
+
+let test_slice_reachability () =
+  let edges = Kernel.drain_causal (causal_session ()) in
+  let roots =
+    List.filter_map
+      (fun (e : Obs.Causal.edge) ->
+        if e.Obs.Causal.ed_kind = Obs.Causal.Fork then
+          Some (e.Obs.Causal.ed_src_shard, e.Obs.Causal.ed_src_span)
+        else None)
+      edges
+  in
+  Alcotest.(check int) "three fork roots" 3 (List.length roots);
+  let nodes = Obs.Causal.slice ~roots edges in
+  (* span-granular graph: each fork root reaches at least its own
+     child's first span *)
+  Alcotest.(check bool) "roots plus a child span each" true
+    (List.length nodes >= 2 * List.length roots);
+  List.iter
+    (fun (_, span) ->
+      Alcotest.(check bool) "no sentinel spans in a slice" true (span > 0))
+    nodes;
+  Alcotest.(check (list (pair int int))) "no roots, no nodes" []
+    (Obs.Causal.slice ~roots:[] edges)
+
+(* --- chrome flow events --------------------------------------------------- *)
+
+let test_chrome_flow_events () =
+  let k = causal_session () in
+  let edges = Kernel.drain_causal k in
+  let records = Kernel.drain_obs k in
+  let trace = Obs.Chrome.to_string ~name:Sysno.name ~edges records in
+  let starts = occurrences "\"ph\":\"s\"" trace in
+  let finishes = occurrences "\"ph\":\"f\"" trace in
+  Alcotest.(check bool) "flow events present" true (starts > 0);
+  Alcotest.(check int) "every start binds a finish" starts finishes;
+  (* without edges the same records render no flow events *)
+  let bare = Obs.Chrome.to_string ~name:Sysno.name records in
+  Alcotest.(check int) "no edges, no flows" 0 (occurrences "\"ph\":\"s\"" bare)
+
+(* --- cross-shard signal edges --------------------------------------------- *)
+
+let cluster_session () =
+  Obs.reset ();
+  let c = Kernel.Cluster.create ~shards:2 () in
+  for i = 0 to 1 do
+    Kernel.populate_standard (Kernel.Cluster.shard c i)
+  done;
+  let _inits =
+    List.init 2 (fun i ->
+        Kernel.Cluster.boot_shard c i ~name:(Printf.sprintf "cz%d" i)
+          (fun () ->
+            Obs.enable ();
+            ignore
+              (Libc.Unistd.ok_exn "signal"
+                 (Libc.Unistd.signal Signal.sigusr1 (Value.H_fn (fun _ -> ()))));
+            for _ = 1 to 2 + i do
+              ignore (Libc.Unistd.getpid ())
+            done;
+            Kernel.Cluster.send ~dst:(1 - i) ~pid:1 ~signal:Signal.sigusr1;
+            ignore (Libc.Unistd.sigsuspend 0);
+            Obs.disable ();
+            0))
+  in
+  Kernel.Cluster.run c;
+  Kernel.Cluster.drain_causal c
+
+let test_cluster_cross_shard () =
+  let edges = cluster_session () in
+  let cross =
+    List.filter
+      (fun (e : Obs.Causal.edge) ->
+        e.Obs.Causal.ed_kind = Obs.Causal.Signal
+        && e.Obs.Causal.ed_src_shard <> e.Obs.Causal.ed_shard)
+      edges
+  in
+  Alcotest.(check int) "one cross-shard edge per direction" 2
+    (List.length cross);
+  List.iter
+    (fun (e : Obs.Causal.edge) ->
+      Alcotest.(check string) "mail carries the signal name" "SIGUSR1"
+        e.Obs.Causal.ed_detail;
+      (* [Cluster.send] runs between traps, so no span is open at the
+         origin: the stamp degrades to (shard, 0, pid) and the edge
+         still names the sending process *)
+      Alcotest.(check int) "origin pid survived the mail" 1
+        e.Obs.Causal.ed_src_pid)
+    cross;
+  Alcotest.(check bool) "merged table is in merge order" true
+    (Obs.Causal.sort edges = edges);
+  let again = cluster_session () in
+  Alcotest.(check (list string)) "two cluster runs render identically"
+    (List.map Obs.Causal.to_line edges)
+    (List.map Obs.Causal.to_line again)
+
+(* --- flame folds ---------------------------------------------------------- *)
+
+let test_flame_conservation () =
+  let records = Kernel.drain_obs (causal_session ()) in
+  let segments =
+    List.filter_map
+      (function Obs.Span.Segment s -> Some s | _ -> None)
+      records
+  in
+  let folds = Obs.Flame.fold segments in
+  Alcotest.(check bool) "folds exist" true (folds <> []);
+  let span_self =
+    List.fold_left (fun acc (s : Obs.Span.segment) -> acc + s.Obs.Span.self_us)
+      0 segments
+  in
+  Alcotest.(check int) "fold total conserves segment self time" span_self
+    (Obs.Flame.total folds);
+  Alcotest.(check int) "combine of two copies doubles the total"
+    (2 * span_self)
+    (Obs.Flame.total (Obs.Flame.combine [ folds; folds ]));
+  let lines =
+    String.split_on_char '\n' (String.trim (Obs.Flame.to_string ~name:Sysno.name folds))
+  in
+  Alcotest.(check int) "one collapsed-stack line per fold"
+    (List.length folds) (List.length lines);
+  let weight line =
+    match String.rindex_opt line ' ' with
+    | None -> Alcotest.failf "no weight on line %S" line
+    | Some i ->
+      int_of_string (String.sub line (i + 1) (String.length line - i - 1))
+  in
+  Alcotest.(check int) "line weights sum to the total" span_self
+    (List.fold_left (fun acc l -> acc + weight l) 0 lines)
+
+(* --- stream cursors -------------------------------------------------------- *)
+
+let test_stream_exactly_once () =
+  let r = Obs.Ring.create ~capacity:3 in
+  let c = Obs.Stream.cursor () in
+  List.iter (Obs.Ring.push r) [ 1; 2; 3; 4; 5 ];
+  let fresh, lost = Obs.Stream.poll c r in
+  Alcotest.(check (list int)) "live records delivered oldest first" [ 3; 4; 5 ]
+    fresh;
+  Alcotest.(check int) "overwritten records counted lost" 2 lost;
+  Alcotest.(check (pair (list int) int)) "second poll sees nothing" ([], 0)
+    (Obs.Stream.poll c r);
+  Obs.Ring.push r 6;
+  Alcotest.(check (pair (list int) int)) "incremental delivery" ([ 6 ], 0)
+    (Obs.Stream.poll c r);
+  (* a full drain removes records the cursor already consumed without
+     charging them as lost *)
+  ignore (Obs.Ring.drain r);
+  Obs.Ring.push r 7;
+  Alcotest.(check (pair (list int) int)) "drain of consumed records is free"
+    ([ 7 ], 0)
+    (Obs.Stream.poll c r);
+  Obs.Ring.push r 8;
+  ignore (Obs.Ring.drain r);
+  Alcotest.(check (pair (list int) int)) "drained-unseen records count lost"
+    ([], 1)
+    (Obs.Stream.poll c r)
+
+let test_stream_session_complete () =
+  Obs.reset ();
+  let k = fresh_kernel () in
+  let cursor = Obs.Stream.cursor () in
+  let streamed = ref 0 and lost = ref 0 in
+  Kernel.set_trace_hook k ~cost_us:0
+    (Some
+       (fun _ _ _ ->
+         let fresh, l = Obs.poll cursor in
+         streamed := !streamed + List.length fresh;
+         lost := !lost + l));
+  let status =
+    boot_k k (fun () ->
+        Obs.enable ();
+        for _ = 1 to 20 do
+          ignore (Libc.Unistd.getpid ())
+        done;
+        Obs.disable ();
+        0)
+  in
+  check_exit "session" 0 status;
+  let final, final_lost = Obs.poll_of (Kernel.obs_engine k) cursor in
+  let drained = Kernel.drain_obs k in
+  Alcotest.(check int) "every drained record was streamed exactly once"
+    (List.length drained)
+    (!streamed + List.length final);
+  Alcotest.(check int) "nothing lost" 0 (!lost + final_lost);
+  Alcotest.(check (pair int int)) "post-drain poll is empty and free" (0, 0)
+    (let fresh, l = Obs.poll_of (Kernel.obs_engine k) cursor in
+     (List.length fresh, l))
+
+(* --- watchdog rules --------------------------------------------------------- *)
+
+let test_watch_parse () =
+  let text =
+    "# ceilings\n\
+     read-errors = error_rate(read) <= 0.05\n\n\
+     tail = p99_us(*) <= 400\n\
+     no-aborts = aborts <= 0\n\
+     pool = env_pool_misses <= 100\n"
+  in
+  match Obs.Watch.of_spec ~sysno:Sysno.of_name text with
+  | Error e -> Alcotest.failf "spec did not parse: %s" e
+  | Ok rules ->
+    Alcotest.(check (list string)) "names in file order"
+      [ "read-errors"; "tail"; "no-aborts"; "pool" ]
+      (List.map (fun r -> r.Obs.Watch.w_name) rules);
+    Alcotest.(check (list string)) "predicates render back"
+      [ "error_rate(read) <= 0.05"; "p99_us(*) <= 400"; "aborts <= 0";
+        "env_pool_misses <= 100" ]
+      (List.map Obs.Watch.pred_to_string rules)
+
+let test_watch_rejects_garbage () =
+  List.iter
+    (fun spec ->
+      match Obs.Watch.of_spec ~sysno:Sysno.of_name spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "spec %S should not parse" spec)
+    [ "just words"; "r = error_rate(nosuchcall) <= 0.1"; "r = p99_us(*) <= x";
+      "r = frobs(read) <= 1"; " = aborts <= 0"; "r = aborts >= 0" ]
+
+let test_watch_eval () =
+  let rules =
+    match
+      Obs.Watch.of_spec ~sysno:Sysno.of_name
+        "reads = error_rate(read) <= 0.5\n\
+         tail = p99_us(*) <= 100\n\
+         aborts = aborts <= 2\n"
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  let input =
+    { Obs.Watch.wi_sys =
+        [ { Obs.Watch.ws_sysno = Sysno.sys_read; ws_calls = 10; ws_errors = 6;
+            ws_p99_us = 40 };
+          { Obs.Watch.ws_sysno = Sysno.sys_write; ws_calls = 10; ws_errors = 0;
+            ws_p99_us = 90 } ];
+      wi_aborted = 2;
+      wi_env_pool_misses = 0 }
+  in
+  match Obs.Watch.eval rules input with
+  | [ reads; tail; aborts ] ->
+    Alcotest.(check bool) "0.6 > 0.5 trips" true reads.Obs.Watch.wr_tripped;
+    Alcotest.(check bool) "p99 is the max across rows, under bound" false
+      tail.Obs.Watch.wr_tripped;
+    Alcotest.(check (float 1e-9)) "observed p99" 90.0 tail.Obs.Watch.wr_value;
+    Alcotest.(check bool) "at the bound is not over it" false
+      aborts.Obs.Watch.wr_tripped;
+    Alcotest.(check int) "tripped subset" 1
+      (List.length (Obs.Watch.tripped [ reads; tail; aborts ]))
+  | vs -> Alcotest.failf "expected 3 verdicts, got %d" (List.length vs)
+
+let test_watch_metrics_json_block () =
+  Obs.reset ();
+  let k = fresh_kernel () in
+  Kernel.set_watch k
+    [ { Obs.Watch.w_name = "no-errors"; w_target = "*";
+        w_pred = Obs.Watch.Error_rate (None, 1.0) };
+      { Obs.Watch.w_name = "impossible-p99"; w_target = "*";
+        w_pred = Obs.Watch.P99_us (None, 0) } ];
+  let status =
+    boot_k k (fun () ->
+        Obs.enable ();
+        for _ = 1 to 5 do
+          ignore (Libc.Unistd.getpid ())
+        done;
+        Obs.disable ();
+        0)
+  in
+  check_exit "session" 0 status;
+  let block =
+    match Obs.Json.member "watchdogs" (Kernel.metrics_json k) with
+    | Some j -> j
+    | None -> Alcotest.fail "metrics_json has no watchdogs block"
+  in
+  let int_field f =
+    Option.bind (Obs.Json.member f block) Obs.Json.to_int
+    |> Option.value ~default:(-1)
+  in
+  Alcotest.(check int) "both rules evaluated" 2 (int_field "rules");
+  Alcotest.(check int) "exactly the impossible rule trips" 1
+    (int_field "tripped");
+  let names_tripped =
+    match Option.bind (Obs.Json.member "results" block) Obs.Json.to_list with
+    | None -> Alcotest.fail "watchdogs block has no results"
+    | Some rs ->
+      List.filter_map
+        (fun r ->
+          match Option.bind (Obs.Json.member "tripped" r) Obs.Json.to_bool with
+          | Some true -> Option.bind (Obs.Json.member "name" r) Obs.Json.to_str
+          | _ -> None)
+        rs
+  in
+  Alcotest.(check (list string)) "the trip names its rule"
+    [ "impossible-p99" ] names_tripped
+
+(* The shipped rules file: under the PR 5 EIO campaign the read
+   error-rate ceiling must trip (and be the only trip); on a clean run
+   of the same workload every ceiling holds. *)
+
+(* resolve next to the executable: cwd differs between `dune exec`
+   (project root) and `dune runtest` (the test's build directory) *)
+let examples_rules_path =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    "../../examples/watchdog_eio.rules"
+
+let load_example_rules () =
+  let ic = open_in_bin examples_rules_path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Obs.Watch.of_spec ~sysno:Sysno.of_name text with
+  | Ok rules -> rules
+  | Error e -> Alcotest.failf "examples/watchdog_eio.rules: %s" e
+
+let eio_workload () =
+  Obs.enable ();
+  ignore (check_ok "write" (Libc.Stdio.write_file "/tmp/victim" "payload"));
+  let fd = check_ok "open" (Libc.Unistd.open_ "/tmp/victim" 0 0) in
+  for _ = 1 to 5 do
+    ignore (Libc.Unistd.read fd (Bytes.create 8) 8)
+  done;
+  ignore (Libc.Unistd.close fd);
+  Obs.disable ();
+  0
+
+let tripped_names k rules =
+  Kernel.set_watch k rules;
+  List.map
+    (fun v -> v.Obs.Watch.wr_rule.Obs.Watch.w_name)
+    (Obs.Watch.tripped (Kernel.watch_verdicts k))
+
+let test_watch_examples_file_trips_on_campaign () =
+  let rules = load_example_rules () in
+  Alcotest.(check int) "five rules ship" 5 (List.length rules);
+  Obs.reset ();
+  let agent = F.create_planned [ F.site Sysno.sys_read (F.Fail Errno.EIO) ] in
+  let k, status = boot_under_agent agent eio_workload in
+  check_exit "campaign session" 0 status;
+  Alcotest.(check bool) "the campaign injected" true (agent#total_injected >= 5);
+  Alcotest.(check (list string))
+    "exactly the read error-rate ceiling trips, by name"
+    [ "read-error-rate" ] (tripped_names k rules)
+
+let test_watch_examples_file_clean_run () =
+  let rules = load_example_rules () in
+  Obs.reset ();
+  let k, status = boot eio_workload in
+  check_exit "clean session" 0 status;
+  Alcotest.(check (list string)) "no trips without the campaign" []
+    (tripped_names k rules)
+
+let () =
+  Alcotest.run "causal"
+    [ ( "edges",
+        [ Alcotest.test_case "fork/signal/pipe kinds" `Quick test_edge_kinds;
+          Alcotest.test_case "byte-identical reruns" `Quick
+            test_edges_byte_identical;
+          Alcotest.test_case "JSONL round-trip" `Quick test_edge_jsonl_roundtrip ] );
+      ( "slice",
+        [ Alcotest.test_case "reachability from fork roots" `Quick
+            test_slice_reachability ] );
+      ( "chrome",
+        [ Alcotest.test_case "flow events bind balanced" `Quick
+            test_chrome_flow_events ] );
+      ( "cluster",
+        [ Alcotest.test_case "cross-shard signal edges" `Quick
+            test_cluster_cross_shard ] );
+      ( "flame",
+        [ Alcotest.test_case "fold conserves self time" `Quick
+            test_flame_conservation ] );
+      ( "stream",
+        [ Alcotest.test_case "ring cursor exactly-once" `Quick
+            test_stream_exactly_once;
+          Alcotest.test_case "session stream is complete" `Quick
+            test_stream_session_complete ] );
+      ( "watch",
+        [ Alcotest.test_case "parse" `Quick test_watch_parse;
+          Alcotest.test_case "rejects garbage" `Quick test_watch_rejects_garbage;
+          Alcotest.test_case "eval semantics" `Quick test_watch_eval;
+          Alcotest.test_case "metrics_json block" `Quick
+            test_watch_metrics_json_block;
+          Alcotest.test_case "examples file trips on the EIO campaign" `Quick
+            test_watch_examples_file_trips_on_campaign;
+          Alcotest.test_case "examples file green on a clean run" `Quick
+            test_watch_examples_file_clean_run ] ) ]
