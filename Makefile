@@ -1,4 +1,4 @@
-.PHONY: all check test lint-globals bench-smoke bench-host bench-causal clean
+.PHONY: all check test lint-globals bench-smoke bench-host bench-causal bench-net clean
 
 all:
 	dune build @all
@@ -33,8 +33,12 @@ test:
 # signal mail over 2 shards), chrome flow events must bind balanced,
 # flame folds must conserve segment self time, the live stream cursor
 # must deliver every record exactly once, the watchdogs block must trip
-# honestly, and all seven BENCH_*.json files must pass the one shared
-# schema validator.
+# honestly, and all eight BENCH_*.json files must pass the one shared
+# schema validator.  The `netbench` section is the socket gate: the kvd
+# key-value server must serve all 1000 clients under every agent stack
+# in both fork-per-connection and prefork modes with zero request
+# errors, monotone latency percentiles, no stack faster than bare, and
+# a byte-reproducible two-sweep matrix in BENCH_net.json.
 check: all test lint-globals bench-smoke
 
 # The wall-clock harness alone (ns/trap, traps/sec, GC deltas; writes
@@ -51,7 +55,12 @@ lint-globals:
 	tools/lint_globals.sh
 
 bench-smoke:
-	dune exec bench/main.exe -- ablations faults conformance smoke scale hostspeed causal
+	dune exec bench/main.exe -- ablations faults conformance netbench smoke scale hostspeed causal
+
+# The socket-workload gate alone (kvd under agent stacks, both server
+# modes; writes BENCH_net.json).
+bench-net:
+	dune exec bench/main.exe -- netbench
 
 # The causal-observability gate alone (edge tables, slices, flame
 # folds, stream completeness, watchdogs; writes BENCH_causal.json).

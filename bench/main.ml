@@ -1825,7 +1825,8 @@ let conformance () =
   (* 1. the matrix: every declared stack must leave every workload's
         signature unchanged modulo its declared delta *)
   let workloads =
-    [ Fault.Campaign.scribe; Fault.Campaign.make; Fault.Campaign.afs ]
+    [ Fault.Campaign.scribe; Fault.Campaign.make; Fault.Campaign.afs;
+      Fault.Campaign.kvd ]
   in
   let stacks = Conformance.bare :: Conformance.stacks in
   let verdicts =
@@ -1836,9 +1837,14 @@ let conformance () =
         if Conformance.Signature.length baseline.Conformance.cap_sig = 0 then
           fail "%s: bare run produced an empty signature"
             w.Fault.Campaign.w_name;
+        (* kvd is concurrent: its global interleaving is scheduler
+           state, so its cell compares per-process streams instead *)
+        let scope =
+          if w.Fault.Campaign.w_name = "kvd" then `Per_process else `Global
+        in
         List.map
           (fun s ->
-            let v = Conformance.check ~baseline w s in
+            let v = Conformance.check ~baseline ~scope w s in
             if not (Conformance.conforms v) then
               fail "%s under %s: %s" v.Conformance.c_workload
                 v.Conformance.c_stack
@@ -1921,6 +1927,178 @@ let conformance () =
     List.iter
       (fun f -> Printf.printf "[conformance] FAIL: %s\n" f)
       (List.rev fs);
+    exit 1
+
+(* --- netbench: the socket server under agent stacks (ablation 12, gate) -------- *)
+
+let net_schema =
+  let open Report.Schema in
+  Obj
+    [ ("name", Str);
+      ("clients", Int);
+      ( "rows",
+        Arr_nonempty
+          (Obj
+             [ ("stack", Str); ("depth", Int); ("mode", Str);
+               ("conns", Int); ("ops", Int); ("errors", Int);
+               ("virtual_us", Int); ("ops_per_vsec", Num);
+               ("p50_us", Int); ("p90_us", Int); ("p99_us", Int) ]) );
+      ("reproducible", Bool) ]
+
+(* One cell: the full kvd run (1000 clients) under one agent stack in
+   one server mode, with per-request latency percentiles out of the
+   shared histogram and throughput over the run's virtual duration. *)
+type net_cell = {
+  nc_stack : string;
+  nc_depth : int;
+  nc_mode : string;
+  nc_conns : int;
+  nc_ops : int;
+  nc_errors : int;
+  nc_virtual_us : int;
+  nc_p50 : int;
+  nc_p90 : int;
+  nc_p99 : int;
+}
+
+let netbench () =
+  Report.print_title
+    "Ablation 12: multi-client socket server under agent stacks (netbench)";
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let params = Workloads.Kvd.default_params in
+  let stacks =
+    [ Conformance.bare; Conformance.trace; Conformance.crypt;
+      Conformance.sandbox; Conformance.faultinject; Conformance.stacked ]
+  in
+  let cell (stack : Conformance.stack) mode =
+    let k = Kernel.create () in
+    Workloads.Kvd.setup k;
+    let stats = Workloads.Kvd.fresh_stats () in
+    let depth = ref 0 in
+    let dur_us = ref 0 in
+    let now () =
+      match Libc.Unistd.gettimeofday () with
+      | Ok (s, u) -> (s * 1_000_000) + u
+      | Error _ -> 0
+    in
+    let status =
+      Kernel.boot k ~name:("netbench-" ^ stack.Conformance.sk_name)
+        (fun () ->
+          let agents = stack.Conformance.sk_make () in
+          depth := List.length agents;
+          List.iter (fun a -> Toolkit.Loader.install a ~argv:[||]) agents;
+          let t0 = now () in
+          let rc = Workloads.Kvd.body ~params ~stats ~mode () in
+          dur_us := now () - t0;
+          rc)
+    in
+    if status <> 0 then
+      fail "%s/%s: exit status %d" stack.Conformance.sk_name
+        (Workloads.Kvd.mode_name mode) status;
+    {
+      nc_stack = stack.Conformance.sk_name;
+      nc_depth = !depth;
+      nc_mode = Workloads.Kvd.mode_name mode;
+      nc_conns = stats.Workloads.Kvd.conns;
+      nc_ops = stats.Workloads.Kvd.ops;
+      nc_errors = stats.Workloads.Kvd.errors;
+      nc_virtual_us = !dur_us;
+      nc_p50 = Obs.Hist.quantile stats.Workloads.Kvd.hist 0.5;
+      nc_p90 = Obs.Hist.quantile stats.Workloads.Kvd.hist 0.9;
+      nc_p99 = Obs.Hist.quantile stats.Workloads.Kvd.hist 0.99;
+    }
+  in
+  let throughput c =
+    if c.nc_virtual_us = 0 then 0.
+    else float_of_int c.nc_ops /. (float_of_int c.nc_virtual_us /. 1e6)
+  in
+  let sweep () =
+    List.concat_map
+      (fun s ->
+        List.map (cell s) [ Workloads.Kvd.Fork_per_conn; Workloads.Kvd.Prefork ])
+      stacks
+  in
+  let cells_to_json cells =
+    let open Obs.Json in
+    Arr
+      (List.map
+         (fun c ->
+           Obj
+             [ ("stack", Str c.nc_stack); ("depth", Int c.nc_depth);
+               ("mode", Str c.nc_mode); ("conns", Int c.nc_conns);
+               ("ops", Int c.nc_ops); ("errors", Int c.nc_errors);
+               ("virtual_us", Int c.nc_virtual_us);
+               ("ops_per_vsec", Float (throughput c));
+               ("p50_us", Int c.nc_p50); ("p90_us", Int c.nc_p90);
+               ("p99_us", Int c.nc_p99) ])
+         cells)
+  in
+  (* two full sweeps: the gate is not just that the numbers look sane
+     but that the entire matrix is byte-reproducible *)
+  let cells = sweep () in
+  let again = sweep () in
+  let reproducible =
+    Obs.Json.to_string (cells_to_json cells)
+    = Obs.Json.to_string (cells_to_json again)
+  in
+  if not reproducible then fail "two sweeps differ: virtual run not deterministic";
+  (* every cell must have served every client, cleanly *)
+  List.iter
+    (fun c ->
+      if c.nc_conns <> params.Workloads.Kvd.clients then
+        fail "%s/%s: served %d of %d clients" c.nc_stack c.nc_mode c.nc_conns
+          params.Workloads.Kvd.clients;
+      if c.nc_errors <> 0 then
+        fail "%s/%s: %d request error(s)" c.nc_stack c.nc_mode c.nc_errors;
+      if not (c.nc_p50 <= c.nc_p90 && c.nc_p90 <= c.nc_p99) then
+        fail "%s/%s: percentiles not monotone (%d/%d/%d)" c.nc_stack c.nc_mode
+          c.nc_p50 c.nc_p90 c.nc_p99)
+    cells;
+  (* interposition costs virtual time: no agent stack may finish the
+     same deterministic run faster than bare *)
+  let bare_of m =
+    List.find (fun c -> c.nc_stack = "bare" && c.nc_mode = m) cells
+  in
+  List.iter
+    (fun c ->
+      if c.nc_stack <> "bare" && c.nc_virtual_us < (bare_of c.nc_mode).nc_virtual_us
+      then
+        fail "%s/%s: faster than bare (%d < %d virtual us)" c.nc_stack
+          c.nc_mode c.nc_virtual_us (bare_of c.nc_mode).nc_virtual_us)
+    cells;
+  Report.print_table
+    ~headers:
+      [ "stack"; "depth"; "mode"; "conns"; "ops"; "ops/vsec"; "p50us";
+        "p90us"; "p99us" ]
+    (List.map
+       (fun c ->
+         [ c.nc_stack; string_of_int c.nc_depth; c.nc_mode;
+           string_of_int c.nc_conns; string_of_int c.nc_ops;
+           Printf.sprintf "%.0f" (throughput c); string_of_int c.nc_p50;
+           string_of_int c.nc_p90; string_of_int c.nc_p99 ])
+       cells);
+  let open Obs.Json in
+  Report.write_json ~name:"net"
+    (Obj
+       [ ("name", Str "net");
+         ("clients", Int params.Workloads.Kvd.clients);
+         ("rows", cells_to_json cells);
+         ("reproducible", Bool reproducible) ]);
+  (let path = "BENCH_net.json" in
+   if not (Sys.file_exists path) then fail "%s: not written" path
+   else
+     Report.validate_file ~tag:"netbench" ~fail:(fun s -> fail "%s" s) path
+       net_schema);
+  Report.print_note
+    "1000 simulated clients per cell, fork-per-connection and prefork;\n\
+     latency percentiles are per-request virtual round trips, so each\n\
+     agent layer's decode/dispatch cost is visible in the tail, and the\n\
+     whole matrix must be byte-reproducible run to run.";
+  match !failures with
+  | [] -> Printf.printf "[netbench] all gates passed\n"
+  | fs ->
+    List.iter (fun f -> Printf.printf "[netbench] FAIL: %s\n" f) (List.rev fs);
     exit 1
 
 (* --- hostspeed: ns/trap harness (ablation 10, `make check` gate) --------------- *)
@@ -2644,6 +2822,7 @@ let causal () =
       ("BENCH_faults.json", faults_schema);
       ("BENCH_scale.json", scale_schema);
       ("BENCH_conformance.json", conformance_schema);
+      ("BENCH_net.json", net_schema);
       ("BENCH_hostspeed.json", hostspeed_schema) ];
   Report.print_note
     "Causal edges are events of record (exact at any sampling rate,\n\
@@ -2668,6 +2847,7 @@ let sections =
     "ablations", ablations;
     "faults", faults;
     "conformance", conformance;
+    "netbench", netbench;
     "smoke", smoke;
     "scale", scale;
     "hostspeed", hostspeed;
@@ -2688,11 +2868,12 @@ let () =
           !n')
         names
     | _ ->
-      (* `smoke`, `scale`, `hostspeed` and `causal` are CI guards, not
-         reports: only on request *)
+      (* `smoke`, `scale`, `hostspeed`, `causal` and `netbench` are CI
+         guards, not reports: only on request *)
       List.filter
         (fun n ->
-          n <> "smoke" && n <> "scale" && n <> "hostspeed" && n <> "causal")
+          n <> "smoke" && n <> "scale" && n <> "hostspeed" && n <> "causal"
+          && n <> "netbench")
         (List.map fst sections)
   in
   Printf.printf

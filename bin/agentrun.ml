@@ -179,6 +179,7 @@ let apply_setup k = function
     let root = Vfs.Fs.root_ino fs in
     ignore (Vfs.Fs.rename fs Vfs.Fs.root_cred ~cwd:root ~src:"/proj" "/srcdir")
   | "afs" -> Workloads.Afs_bench.setup k
+  | "kvd" -> Workloads.Kvd.setup k
   | "demo" ->
     Kernel.mkdir_p k "/home/user";
     Kernel.write_file k ~path:"/home/user/hello.txt" "hello from the inside\n";
@@ -699,7 +700,7 @@ let agents_arg =
 let setup_arg =
   let doc =
     "Populate the filesystem for a workload before running \
-     (scribe, make, make-split, afs; repeatable)."
+     (scribe, make, make-split, afs, kvd; repeatable)."
   in
   Arg.(value & opt_all string [] & info [ "setup" ] ~docv:"WORKLOAD" ~doc)
 
@@ -803,7 +804,7 @@ let watch_arg =
 let campaign_arg =
   let doc =
     "Run a deterministic fault-injection campaign over this workload \
-     (scribe, make, afs) instead of a program: discover injection \
+     (scribe, make, afs, kvd) instead of a program: discover injection \
      sites from an obs-profiled fault-free run, sweep sites × errnos, \
      classify every run (tolerated / wrong-result / hang / crash) \
      against divergence oracles, and write a repro bundle for every \
@@ -862,6 +863,8 @@ let cmd =
         \  agentrun --setup make-split -a union:/proj=/objdir:/srcdir --stats -- make\n\
         \  agentrun -a sandbox:emulate -a syscount -- rm /etc/motd\n\
         \  agentrun -a faultinject:read#3=fail:EIO --setup scribe -- scribe ...\n\
+        \  agentrun --setup kvd -a trace --stats -- kvd prefork 32\n\
+        \  agentrun --campaign kvd --campaign-out /tmp/bundles\n\
         \  agentrun --campaign scribe --campaign-out /tmp/bundles\n\
         \  agentrun --repro /tmp/bundles/repro-scribe-04-wrong-result.fault" ]
   in

@@ -51,6 +51,14 @@ type t =
   | Dup2 of int * int
   | Fcntl of int * int * int
   | Fsync of int
+  | Socket
+  | Bind of int * string
+  | Listen of int * int
+  | Accept of int
+  | Connect of int * string
+  | Send of int * string
+  | Recv of int * Bytes.t * int
+  | Shutdown of int * int
   | Select of int * int * int
   | Gettimeofday of (int * int) option ref
   | Getrusage of (int * int) option ref
@@ -116,6 +124,14 @@ let number = function
   | Dup2 _ -> Sysno.sys_dup2
   | Fcntl _ -> Sysno.sys_fcntl
   | Fsync _ -> Sysno.sys_fsync
+  | Socket -> Sysno.sys_socket
+  | Bind _ -> Sysno.sys_bind
+  | Listen _ -> Sysno.sys_listen
+  | Accept _ -> Sysno.sys_accept
+  | Connect _ -> Sysno.sys_connect
+  | Send _ -> Sysno.sys_send
+  | Recv _ -> Sysno.sys_recv
+  | Shutdown _ -> Sysno.sys_shutdown
   | Select _ -> Sysno.sys_select
   | Gettimeofday _ -> Sysno.sys_gettimeofday
   | Getrusage _ -> Sysno.sys_getrusage
@@ -216,6 +232,14 @@ let encode_into (w : Value.wire) c =
   | Dup2 (o, n) -> fill2 w (Int o) (Int n)
   | Fcntl (fd, cmd, arg) -> fill3 w (Int fd) (Int cmd) (Int arg)
   | Fsync fd -> fill1 w (Int fd)
+  | Socket -> fill0 w
+  | Bind (fd, addr) -> fill2 w (Int fd) (Str addr)
+  | Listen (fd, backlog) -> fill2 w (Int fd) (Int backlog)
+  | Accept fd -> fill1 w (Int fd)
+  | Connect (fd, addr) -> fill2 w (Int fd) (Str addr)
+  | Send (fd, data) -> fill2 w (Int fd) (Str data)
+  | Recv (fd, buf, n) -> fill3 w (Int fd) (Buf buf) (Int n)
+  | Shutdown (fd, how) -> fill2 w (Int fd) (Int how)
   | Select (r, w', tmo) -> fill3 w (Int r) (Int w') (Int tmo)
   | Gettimeofday r -> fill1 w (Tv_ref r)
   | Getrusage r -> fill1 w (Tv_ref r)
@@ -382,6 +406,34 @@ let decode (w : wire) : (t, Errno.t) result =
     Ok (Fcntl (fd, cmd, arg))
   else if n = Sysno.sys_fsync then
     let* fd = G.int w 0 in Ok (Fsync fd)
+  else if n = Sysno.sys_socket then Ok Socket
+  else if n = Sysno.sys_bind then
+    let* fd = G.int w 0 in
+    let* addr = G.str w 1 in
+    Ok (Bind (fd, addr))
+  else if n = Sysno.sys_listen then
+    let* fd = G.int w 0 in
+    let* backlog = G.int w 1 in
+    Ok (Listen (fd, backlog))
+  else if n = Sysno.sys_accept then
+    let* fd = G.int w 0 in Ok (Accept fd)
+  else if n = Sysno.sys_connect then
+    let* fd = G.int w 0 in
+    let* addr = G.str w 1 in
+    Ok (Connect (fd, addr))
+  else if n = Sysno.sys_send then
+    let* fd = G.int w 0 in
+    let* data = G.str w 1 in
+    Ok (Send (fd, data))
+  else if n = Sysno.sys_recv then
+    let* fd = G.int w 0 in
+    let* buf = G.buf w 1 in
+    let* cnt = G.int w 2 in
+    Ok (Recv (fd, buf, cnt))
+  else if n = Sysno.sys_shutdown then
+    let* fd = G.int w 0 in
+    let* how = G.int w 1 in
+    Ok (Shutdown (fd, how))
   else if n = Sysno.sys_select then
     let* rmask = G.int w 0 in
     let* wmask = G.int w 1 in
@@ -440,7 +492,9 @@ let descriptor_of = function
   | Read (fd, _, _) | Write (fd, _) | Close fd | Fchdir fd
   | Lseek (fd, _, _) | Dup fd | Dup2 (fd, _) | Ioctl (fd, _, _)
   | Fstat (fd, _) | Fcntl (fd, _, _) | Fsync fd | Ftruncate (fd, _)
-  | Getdirentries (fd, _) -> Some fd
+  | Getdirentries (fd, _)
+  | Bind (fd, _) | Listen (fd, _) | Accept fd | Connect (fd, _)
+  | Send (fd, _) | Recv (fd, _, _) | Shutdown (fd, _) -> Some fd
   | _ -> None
 
 let pp ppf c =

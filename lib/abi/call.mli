@@ -62,6 +62,20 @@ type t =
   | Dup2 of int * int
   | Fcntl of int * int * int             (** fd, cmd, arg *)
   | Fsync of int
+  | Socket
+      (** a fresh unbound stream socket; the descriptor in r0 *)
+  | Bind of int * string                 (** fd, address name *)
+  | Listen of int * int                  (** fd, backlog (accept-queue
+                                             bound, clamped to ≥ 1) *)
+  | Accept of int
+      (** fd; blocks until a connection is pending, new fd in r0 *)
+  | Connect of int * string
+      (** fd, address name; blocks while the listener's accept queue
+          is full, [ECONNREFUSED] when nothing listens there *)
+  | Send of int * string                 (** fd, data; write semantics *)
+  | Recv of int * Bytes.t * int          (** fd, buffer, byte count;
+                                             read semantics *)
+  | Shutdown of int * int                (** fd, how ({!Flags.Shut}) *)
   | Select of int * int * int
       (** read-fd bitmask, write-fd bitmask, timeout in µs (-1 =
           forever); returns ready read mask in r0, write mask in r1 *)

@@ -54,6 +54,14 @@ let syscall_us (c : Call.t) =
   | Dup _ | Dup2 _ -> 50
   | Pipe -> 300
   | Socketpair -> 450
+  | Socket -> 350
+  | Bind _ -> 110
+  | Listen _ -> 90
+  | Accept _ -> 420
+  | Connect _ -> 480
+  | Send (_, data) -> rw_base_us + io_us (String.length data)
+  | Recv (_, _, n) -> rw_base_us + io_us n
+  | Shutdown _ -> 70
   | Fchdir _ -> 45
   | Kill _ -> 80
   | Sigaction _ -> 60

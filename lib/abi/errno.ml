@@ -31,6 +31,12 @@ type t =
   | EPIPE
   | ERANGE
   | EWOULDBLOCK
+  | ENOTSOCK
+  | EADDRINUSE
+  | ECONNRESET
+  | EISCONN
+  | ENOTCONN
+  | ECONNREFUSED
   | ENAMETOOLONG
   | ENOTEMPTY
   | ELOOP
@@ -70,6 +76,12 @@ let table =
     EPIPE, 32, "EPIPE", "Broken pipe";
     ERANGE, 34, "ERANGE", "Result too large";
     EWOULDBLOCK, 35, "EWOULDBLOCK", "Operation would block";
+    ENOTSOCK, 38, "ENOTSOCK", "Socket operation on non-socket";
+    EADDRINUSE, 48, "EADDRINUSE", "Address already in use";
+    ECONNRESET, 54, "ECONNRESET", "Connection reset by peer";
+    EISCONN, 56, "EISCONN", "Socket is already connected";
+    ENOTCONN, 57, "ENOTCONN", "Socket is not connected";
+    ECONNREFUSED, 61, "ECONNREFUSED", "Connection refused";
     ENAMETOOLONG, 63, "ENAMETOOLONG", "File name too long";
     ENOTEMPTY, 66, "ENOTEMPTY", "Directory not empty";
     ELOOP, 62, "ELOOP", "Too many levels of symbolic links";

@@ -37,6 +37,12 @@ type t =
   | EPIPE
   | ERANGE
   | EWOULDBLOCK
+  | ENOTSOCK
+  | EADDRINUSE
+  | ECONNRESET
+  | EISCONN
+  | ENOTCONN
+  | ECONNREFUSED
   | ENAMETOOLONG
   | ENOTEMPTY
   | ELOOP

@@ -126,6 +126,12 @@ module Wait = struct
   let wtermsig st = st land 0x7f
 end
 
+module Shut = struct
+  let rd = 0
+  let wr = 1
+  let rdwr = 2
+end
+
 module Sighow = struct
   let sig_block = 1
   let sig_unblock = 2

@@ -97,6 +97,13 @@ module Wait : sig
   val wstopsig : int -> int
 end
 
+(** [shutdown(2)] direction codes. *)
+module Shut : sig
+  val rd : int
+  val wr : int
+  val rdwr : int
+end
+
 (** [sigprocmask] operations. *)
 module Sighow : sig
   val sig_block : int

@@ -48,9 +48,17 @@ let sys_dup2 = 90
 let sys_fcntl = 92
 let sys_select = 93
 let sys_fsync = 95
+let sys_socket = 97
+let sys_connect = 98
+let sys_accept = 99
+let sys_send = 101
+let sys_recv = 102
+let sys_bind = 104
+let sys_listen = 106
 let sys_gettimeofday = 116
 let sys_getrusage = 117
 let sys_settimeofday = 122
+let sys_shutdown = 134
 let sys_socketpair = 135
 let sys_rename = 128
 let sys_truncate = 129
@@ -82,6 +90,9 @@ let table =
     sys_getpgrp, "getpgrp"; sys_setpgrp, "setpgrp";
     sys_getdtablesize, "getdtablesize"; sys_dup2, "dup2";
     sys_fcntl, "fcntl"; sys_select, "select"; sys_fsync, "fsync";
+    sys_socket, "socket"; sys_connect, "connect"; sys_accept, "accept";
+    sys_send, "send"; sys_recv, "recv"; sys_bind, "bind";
+    sys_listen, "listen"; sys_shutdown, "shutdown";
     sys_gettimeofday, "gettimeofday"; sys_getrusage, "getrusage";
     sys_socketpair, "socketpair"; sys_settimeofday, "settimeofday";
     sys_rename, "rename"; sys_truncate, "truncate";
@@ -117,7 +128,16 @@ let pathname_calls =
 let descriptor_calls =
   [ sys_read; sys_write; sys_close; sys_fchdir; sys_lseek; sys_dup;
     sys_dup2; sys_pipe; sys_ioctl; sys_fstat; sys_fcntl; sys_fsync;
-    sys_ftruncate; sys_getdirentries; sys_open; sys_creat ]
+    sys_ftruncate; sys_getdirentries; sys_open; sys_creat;
+    sys_bind; sys_listen; sys_accept; sys_connect; sys_send; sys_recv;
+    sys_shutdown ]
+
+(* The socket surface as a set: what a connection-aware agent (or a
+   fault campaign targeting the accept/recv/send path) registers
+   interest in. *)
+let socket_calls =
+  [ sys_socket; sys_bind; sys_listen; sys_accept; sys_connect;
+    sys_send; sys_recv; sys_shutdown ]
 
 let uses_pathname n = List.mem n pathname_calls
 let uses_descriptor n = List.mem n descriptor_calls

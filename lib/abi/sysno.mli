@@ -56,6 +56,14 @@ val sys_dup2 : int
 val sys_fcntl : int
 val sys_select : int
 val sys_fsync : int
+val sys_socket : int
+val sys_connect : int
+val sys_accept : int
+val sys_send : int
+val sys_recv : int
+val sys_bind : int
+val sys_listen : int
+val sys_shutdown : int
 val sys_gettimeofday : int
 val sys_getrusage : int
 val sys_socketpair : int
@@ -100,3 +108,8 @@ val file_calls : int list
     the interest set for agents that care about files and nothing
     else, so [register_interest] stays the cheap path rather than a
     blanket [register_interest_all]. *)
+
+val socket_calls : int list
+(** The socket surface (socket/bind/listen/accept/connect/send/recv/
+    shutdown) — the interest set for connection-aware agents and the
+    site family connection-level fault campaigns sweep. *)

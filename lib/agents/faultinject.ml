@@ -62,7 +62,7 @@ let note_obs env num what =
      it, exactly as a real interruption would. *)
 let deliver ~down ~count ~restart env num errno =
   Toolkit.Boilerplate.charge Cost_model.intercept_us;
-  if errno = Errno.EINTR && Kernel.Syscalls.restartable num then begin
+  if errno = Errno.EINTR && Kernel.Syscalls.restartable ~errno num then begin
     restart ();
     note_obs env num "EINTR-restart";
     down ()

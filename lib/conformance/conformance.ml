@@ -91,6 +91,14 @@ let stacked = {
       ]);
 }
 
+(* an injector with an empty plan: the honest no-op — conformance of
+   this stack is the statement that the injection machinery itself
+   (site matching, restart bookkeeping) leaves no trace *)
+let faultinject = {
+  sk_name = "faultinject";
+  sk_make = (fun () -> [ agent (Agents.Faultinject.create_planned []) ]);
+}
+
 (* The seeded mutation: an injector that fails the second read with
    EIO but declares no delta at all.  Honest fault injectors restate
    their plan as a [May_fail] mask; this one lies by omission, and the
@@ -112,7 +120,7 @@ class undeclared_fault =
 let mutant =
   { sk_name = "mutant"; sk_make = (fun () -> [ agent (new undeclared_fault) ]) }
 
-let stacks = [ trace; crypt; sandbox; remap; timex; stacked ]
+let stacks = [ trace; crypt; sandbox; faultinject; remap; timex; stacked ]
 let all_stacks = (bare :: stacks) @ [ mutant ]
 
 let stack_of_name name =
@@ -171,6 +179,7 @@ let capture ?fused (w : workload) stack =
   let k = Kernel.create ?fused () in
   Workloads.Scribe.register k;
   Workloads.Make_cc.register k;
+  Workloads.Kvd.register k;
   Kernel.populate_standard k;
   w.Fault.Campaign.w_setup k;
   let delta = ref Delta.none in
@@ -208,7 +217,12 @@ type verdict = {
 
 let conforms v = v.c_violation = None
 
-let check ?baseline (w : workload) stack =
+(* [scope] picks the comparison quotient: [`Global] demands the whole
+   interleaved stream match (right for sequential workloads), while
+   [`Per_process] compares each pid's stream in isolation — required
+   for concurrent workloads like kvd, where an agent charging virtual
+   time lawfully reshuffles the cross-process interleaving. *)
+let check ?baseline ?(scope = `Global) (w : workload) stack =
   let b =
     match baseline with Some b -> b | None -> capture w bare
   in
@@ -227,7 +241,10 @@ let check ?baseline (w : workload) stack =
     c_masked = Signature.masked nu;
     c_bare_status = b.cap_status;
     c_under_status = u.cap_status;
-    c_violation = Signature.diff ~bare:nb ~under:nu;
+    c_violation =
+      (match scope with
+       | `Global -> Signature.diff ~bare:nb ~under:nu
+       | `Per_process -> Signature.diff_processes ~bare:nb ~under:nu);
   }
 
 let verdict_to_string v =

@@ -249,6 +249,68 @@ let diff ~bare ~under =
 
 let equal a b = diff ~bare:a ~under:b = None
 
+(* --- per-process differencing --------------------------------------------- *)
+
+(* A concurrent workload's global interleaving is scheduler state, not
+   interface behaviour: an agent that (lawfully) charges virtual time
+   shifts which runnable process traps first without changing what any
+   process does.  The per-process quotient compares each pid's stream
+   in isolation — still exact about every call a process makes, in
+   order, but silent on cross-process ordering.  It is only meaningful
+   when pid assignment itself is deterministic (the workload must
+   serialize its forks). *)
+
+let by_pid t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      Hashtbl.replace tbl ev.x_pid
+        (ev :: Option.value ~default:[] (Hashtbl.find_opt tbl ev.x_pid)))
+    t.sg_events;
+  Hashtbl.fold
+    (fun pid evs acc -> (pid, { sg_events = List.rev evs }) :: acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+
+let diff_processes ~bare ~under =
+  let first s = match s.sg_events with e :: _ -> Some e | [] -> None in
+  let missing pid s =
+    Some
+      {
+        d_index = 0; d_bare = first s; d_under = None;
+        d_reason =
+          Printf.sprintf "process %d (%d call(s)) missing under the stack"
+            pid (length s);
+      }
+  in
+  let extra pid s =
+    Some
+      {
+        d_index = 0; d_bare = None; d_under = first s;
+        d_reason =
+          Printf.sprintf "extra process %d (%d call(s)) under the stack"
+            pid (length s);
+      }
+  in
+  let rec go bs us =
+    match (bs, us) with
+    | [], [] -> None
+    | (pid, s) :: _, [] -> missing pid s
+    | [], (pid, s) :: _ -> extra pid s
+    | (bp, bsig) :: rb, (up, usig) :: ru ->
+      if bp < up then missing bp bsig
+      else if up < bp then extra up usig
+      else (
+        match diff ~bare:bsig ~under:usig with
+        | None -> go rb ru
+        | Some d ->
+          Some
+            { d with d_reason = Printf.sprintf "pid %d: %s" bp d.d_reason })
+  in
+  go (by_pid bare) (by_pid under)
+
+let equal_processes a b = diff_processes ~bare:a ~under:b = None
+
 let divergence_to_string d =
   let span = function
     | Some ev -> event_to_string ev

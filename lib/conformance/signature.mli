@@ -96,5 +96,20 @@ val diff : bare:t -> under:t -> divergence option
 val equal : t -> t -> bool
 (** [diff ~bare:s ~under:s = None] for every [s]. *)
 
+val by_pid : t -> (int * t) list
+(** The signature split into per-process streams (event order
+    preserved within each), sorted by pid. *)
+
+val diff_processes : bare:t -> under:t -> divergence option
+(** {!diff} applied per process: each pid's stream is compared in
+    isolation, so the {e global} interleaving — scheduler state that
+    shifts when an agent lawfully charges virtual time — is quotiented
+    away, while every call each process makes (and its order within
+    that process) is still exact.  A pid present on one side only is a
+    divergence.  Only meaningful for workloads whose fork order (and
+    hence pid assignment) is deterministic. *)
+
+val equal_processes : t -> t -> bool
+
 val divergence_to_string : divergence -> string
 val divergence_to_json : divergence -> Obs.Json.t

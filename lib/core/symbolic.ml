@@ -60,6 +60,14 @@ class symbolic_syscall =
       | Call.Dup fd -> self#sys_dup fd
       | Call.Pipe -> self#sys_pipe ()
       | Call.Socketpair -> self#sys_socketpair ()
+      | Call.Socket -> self#sys_socket ()
+      | Call.Bind (fd, addr) -> self#sys_bind fd addr
+      | Call.Listen (fd, backlog) -> self#sys_listen fd backlog
+      | Call.Accept fd -> self#sys_accept fd
+      | Call.Connect (fd, addr) -> self#sys_connect fd addr
+      | Call.Send (fd, data) -> self#sys_send fd data
+      | Call.Recv (fd, buf, cnt) -> self#sys_recv fd buf cnt
+      | Call.Shutdown (fd, how) -> self#sys_shutdown fd how
       | Call.Getegid -> self#sys_getegid ()
       | Call.Sigaction (s, h, o) -> self#sys_sigaction s h o
       | Call.Getgid -> self#sys_getgid ()
@@ -135,6 +143,14 @@ class symbolic_syscall =
     method sys_dup fd = self#down (Call.Dup fd)
     method sys_pipe () = self#down Call.Pipe
     method sys_socketpair () = self#down Call.Socketpair
+    method sys_socket () = self#down Call.Socket
+    method sys_bind fd addr = self#down (Call.Bind (fd, addr))
+    method sys_listen fd backlog = self#down (Call.Listen (fd, backlog))
+    method sys_accept fd = self#down (Call.Accept fd)
+    method sys_connect fd addr = self#down (Call.Connect (fd, addr))
+    method sys_send fd data = self#down (Call.Send (fd, data))
+    method sys_recv fd buf cnt = self#down (Call.Recv (fd, buf, cnt))
+    method sys_shutdown fd how = self#down (Call.Shutdown (fd, how))
     method sys_getegid () = self#down Call.Getegid
     method sys_sigaction s h o = self#down (Call.Sigaction (s, h, o))
     method sys_getgid () = self#down Call.Getgid

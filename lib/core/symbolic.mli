@@ -48,6 +48,14 @@ class symbolic_syscall : object
   method sys_dup : int -> Abi.Value.res
   method sys_pipe : unit -> Abi.Value.res
   method sys_socketpair : unit -> Abi.Value.res
+  method sys_socket : unit -> Abi.Value.res
+  method sys_bind : int -> string -> Abi.Value.res
+  method sys_listen : int -> int -> Abi.Value.res
+  method sys_accept : int -> Abi.Value.res
+  method sys_connect : int -> string -> Abi.Value.res
+  method sys_send : int -> string -> Abi.Value.res
+  method sys_recv : int -> Bytes.t -> int -> Abi.Value.res
+  method sys_shutdown : int -> int -> Abi.Value.res
   method sys_getegid : unit -> Abi.Value.res
   method sys_sigaction :
     int -> Abi.Value.handler option

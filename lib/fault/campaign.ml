@@ -43,7 +43,22 @@ let afs =
     w_output = "";
   }
 
-let workloads = [ scribe; make; afs ]
+let kvd =
+  (* batch = 1 serializes the client waves, making fork order — hence
+     pid assignment — deterministic; the conformance checker's
+     per-process comparison depends on that *)
+  let params = { Workloads.Kvd.quick_params with Workloads.Kvd.batch = 1 } in
+  {
+    w_name = "kvd";
+    w_seed = 1;
+    w_setup = (fun k -> Workloads.Kvd.setup k);
+    w_body =
+      (fun () ->
+        Workloads.Kvd.body ~params ~mode:Workloads.Kvd.Fork_per_conn ());
+    w_output = Workloads.Kvd.summary_path;
+  }
+
+let workloads = [ scribe; make; afs; kvd ]
 
 let of_name name =
   List.find_opt (fun w -> w.w_name = name) workloads
@@ -70,6 +85,7 @@ let execute w ~mode ~sites =
      workloads' spawned tools resolve in this run's registry *)
   Workloads.Scribe.register k;
   Workloads.Make_cc.register k;
+  Workloads.Kvd.register k;
   Kernel.populate_standard k;
   w.w_setup k;
   let recorder =
@@ -140,6 +156,12 @@ let default_candidates =
   [ Sysno.sys_read; Sysno.sys_write; Sysno.sys_open; Sysno.sys_stat ]
 
 let default_errnos = [ Errno.EIO; Errno.ENOENT; Errno.EINTR ]
+
+(* connection-level sites: faults on the server/client rendezvous path
+   of a socket workload, paired with the errnos a network stack
+   actually produces there *)
+let conn_candidates = [ Sysno.sys_accept; Sysno.sys_recv; Sysno.sys_send ]
+let conn_errnos = [ Errno.ECONNRESET; Errno.EINTR; Errno.EIO ]
 
 type baseline = {
   b_run : run;

@@ -26,6 +26,10 @@ val make : workload
 val afs : workload
 (** quick-params Andrew-benchmark phases *)
 
+val kvd : workload
+(** quick-params key-value daemon (fork-per-connection mode); the
+    oracle pins its deterministic [/kvd/summary] totals *)
+
 val workloads : workload list
 val of_name : string -> workload option
 
@@ -62,6 +66,13 @@ val default_candidates : int list
 
 val default_errnos : Abi.Errno.t list
 (** EIO, ENOENT, EINTR. *)
+
+val conn_candidates : int list
+(** accept, recv, send — the connection-level sites of a socket
+    workload. *)
+
+val conn_errnos : Abi.Errno.t list
+(** ECONNRESET, EINTR, EIO. *)
 
 type baseline = {
   b_run : run;              (** the fault-free run, [Record]ed *)

@@ -3,13 +3,44 @@ type pipe = {
   buf : Vfs.Pipebuf.t;
 }
 
+(* One direction-pair of a stream connection.  The two endpoints hold
+   the same pipes crossed: this side reads [rx] and writes [tx], the
+   peer reads [tx] and writes [rx].  The shut flags remember which of
+   this endpoint's pipe references [shutdown] already dropped, so the
+   final close releases each side exactly once. *)
+type conn = {
+  rx : pipe;
+  tx : pipe;
+  mutable shut_rd : bool;
+  mutable shut_wr : bool;
+}
+
+(* A listening socket's accept queue: connections [connect] has
+   established (their pipes already referenced for the server side)
+   that no [accept] has adopted yet. *)
+type listener = {
+  lid : int;                     (* wait-queue / select identity *)
+  backlog : int;                 (* accept-queue bound, ≥ 1 *)
+  pending : conn Queue.t;
+  mutable lclosed : bool;
+}
+
+(* The socket lifecycle, driven by bind/listen/connect/accept. *)
+type sock_state =
+  | S_fresh
+  | S_bound of string
+  | S_listening of string * listener
+  | S_conn of conn
+
+type sock = { mutable sock : sock_state }
+
 type kind =
   | Vnode of Vfs.Inode.t
   | Pipe_read of pipe
   | Pipe_write of pipe
   | Fifo_read of Vfs.Inode.t * Vfs.Pipebuf.t
   | Fifo_write of Vfs.Inode.t * Vfs.Pipebuf.t
-  | Sock of { rx : pipe; tx : pipe }
+  | Sock of sock
 
 type t = {
   id : int;
@@ -37,6 +68,17 @@ let inode t =
   match t.kind with
   | Vnode i | Fifo_read (i, _) | Fifo_write (i, _) -> Some i
   | Pipe_read _ | Pipe_write _ | Sock _ -> None
+
+(* The established connection behind a socket descriptor, if any. *)
+let conn_of t =
+  match t.kind with
+  | Sock { sock = S_conn c } -> Some c
+  | _ -> None
+
+let listener_of t =
+  match t.kind with
+  | Sock { sock = S_listening (_, l) } -> Some l
+  | _ -> None
 
 type fd_entry = {
   file : t;

@@ -95,6 +95,8 @@ let keys_of_cond (cond : Proc.cond) : Kstate.wait_key list =
   | Proc.On_pipe_write i -> [ Kstate.K_pipe_w i ]
   | Proc.On_fifo_read i -> [ Kstate.K_fifo_r i ]
   | Proc.On_fifo_write i -> [ Kstate.K_fifo_w i ]
+  | Proc.On_accept i -> [ Kstate.K_accept i ]
+  | Proc.On_connq i -> [ Kstate.K_connq i ]
   | Proc.On_time _ -> []         (* woken by the timer wheel *)
   | Proc.On_signal -> []         (* woken by signal posting *)
   | Proc.On_select s ->
@@ -102,6 +104,7 @@ let keys_of_cond (cond : Proc.cond) : Kstate.wait_key list =
     @ List.map (fun i -> Kstate.K_pipe_w i) s.wpipes
     @ List.map (fun i -> Kstate.K_fifo_r i) s.rfifos
     @ List.map (fun i -> Kstate.K_fifo_w i) s.wfifos
+    @ List.map (fun i -> Kstate.K_accept i) s.rlisten
 
 let base_cost (via : Events.via) call =
   Cost_model.syscall_us call
@@ -142,8 +145,8 @@ let rec process_trap (t : t) (proc : Proc.t) (env : Envelope.t)
          match cond with
          | Proc.On_signal -> Some pre_mask
          | Proc.On_child | Proc.On_pipe_read _ | Proc.On_pipe_write _
-         | Proc.On_fifo_read _ | Proc.On_fifo_write _ | Proc.On_time _
-         | Proc.On_select _ ->
+         | Proc.On_fifo_read _ | Proc.On_fifo_write _ | Proc.On_accept _
+         | Proc.On_connq _ | Proc.On_time _ | Proc.On_select _ ->
            None
        in
        proc.state <- Proc.Parked { k; env; via; cond; saved_mask };

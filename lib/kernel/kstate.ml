@@ -6,6 +6,8 @@ type wait_key =
   | K_pipe_w of int
   | K_fifo_r of int
   | K_fifo_w of int
+  | K_accept of int
+  | K_connq of int
   | K_signal of int
 
 type timer_event =
@@ -33,6 +35,7 @@ type t = {
   procs : (int, Proc.t) Hashtbl.t;
   runq : (unit -> unit) Queue.t;
   waitqs : (wait_key, int list ref) Hashtbl.t;
+  bindings : (string, File.sock) Hashtbl.t;
   registry : Registry.t;
   obs : Obs.engine;
   codec : Envelope.Stats.t;
@@ -48,6 +51,7 @@ type t = {
   mutable next_pid : int;
   mutable next_file_id : int;
   mutable next_pipe_id : int;
+  mutable next_listener_id : int;
   mutable tod_offset_us : int;
   mutable hooks : hooks;
   mutable trace_hook : (Proc.t -> Call.t -> Value.res -> unit) option;
@@ -77,6 +81,7 @@ let create ?(shard_id = 0) ?(fused = true) () =
     procs = Hashtbl.create 32;
     runq = Queue.create ();
     waitqs = Hashtbl.create 32;
+    bindings = Hashtbl.create 16;
     (* the shard-owned pieces that used to be module globals
        (DESIGN.md §3.6): each kernel gets fresh ones; the obs engine
        inherits the installed engine's configuration so observation
@@ -98,6 +103,7 @@ let create ?(shard_id = 0) ?(fused = true) () =
     next_pid = 1;
     next_file_id = 1;
     next_pipe_id = 1;
+    next_listener_id = 1;
     tod_offset_us = 0;
     hooks = no_hooks;
     trace_hook = None;
@@ -176,11 +182,14 @@ let cond_matches (cond : Proc.cond) (key : wait_key) =
   | Proc.On_pipe_write i, K_pipe_w j -> i = j
   | Proc.On_fifo_read i, K_fifo_r j -> i = j
   | Proc.On_fifo_write i, K_fifo_w j -> i = j
+  | Proc.On_accept i, K_accept j -> i = j
+  | Proc.On_connq i, K_connq j -> i = j
   | Proc.On_signal, K_signal _ -> true
   | Proc.On_select s, K_pipe_r j -> List.mem j s.rpipes
   | Proc.On_select s, K_pipe_w j -> List.mem j s.wpipes
   | Proc.On_select s, K_fifo_r j -> List.mem j s.rfifos
   | Proc.On_select s, K_fifo_w j -> List.mem j s.wfifos
+  | Proc.On_select s, K_accept j -> List.mem j s.rlisten
   | _ -> false
 
 let wake_key t key =
@@ -250,9 +259,13 @@ let new_file t kind ~flags =
    | File.Pipe_write p -> Vfs.Pipebuf.add_writer p.buf
    | File.Fifo_read (_, b) -> Vfs.Pipebuf.add_reader b
    | File.Fifo_write (_, b) -> Vfs.Pipebuf.add_writer b
-   | File.Sock { rx; tx } ->
-     Vfs.Pipebuf.add_reader rx.buf;
-     Vfs.Pipebuf.add_writer tx.buf
+   | File.Sock _ ->
+     (* a connection's pipe references belong to the conn from the
+        moment it is established ([new_conn_pair]), not to the file
+        wrapping it — accept adopts a pending conn whose references
+        connect already took, so taking them again here would double
+        count *)
+     ()
    | File.Vnode _ -> ());
   File.make ~id kind ~flags
 
@@ -264,7 +277,10 @@ let new_pipe t =
   let w = new_file t (File.Pipe_write pipe) ~flags:Flags.Open.o_wronly in
   r, w
 
-let new_socketpair t =
+(* A crossed pair of fresh pipes forming both endpoints of a stream
+   connection, references for both sides already taken: the first conn
+   reads p1 / writes p2, the second the reverse. *)
+let new_conn_pair t =
   let mk () =
     let pipe_id = t.next_pipe_id in
     t.next_pipe_id <- pipe_id + 1;
@@ -272,8 +288,29 @@ let new_socketpair t =
   in
   let p1 = mk () in
   let p2 = mk () in
-  let a = new_file t (File.Sock { rx = p1; tx = p2 }) ~flags:Flags.Open.o_rdwr in
-  let b = new_file t (File.Sock { rx = p2; tx = p1 }) ~flags:Flags.Open.o_rdwr in
+  Vfs.Pipebuf.add_reader p1.buf;
+  Vfs.Pipebuf.add_writer p1.buf;
+  Vfs.Pipebuf.add_reader p2.buf;
+  Vfs.Pipebuf.add_writer p2.buf;
+  { File.rx = p1; tx = p2; shut_rd = false; shut_wr = false },
+  { File.rx = p2; tx = p1; shut_rd = false; shut_wr = false }
+
+let new_listener t ~backlog =
+  let lid = t.next_listener_id in
+  t.next_listener_id <- lid + 1;
+  { File.lid; backlog = max 1 backlog; pending = Queue.create ();
+    lclosed = false }
+
+let new_socketpair t =
+  let c1, c2 = new_conn_pair t in
+  let a =
+    new_file t (File.Sock { File.sock = File.S_conn c1 })
+      ~flags:Flags.Open.o_rdwr
+  in
+  let b =
+    new_file t (File.Sock { File.sock = File.S_conn c2 })
+      ~flags:Flags.Open.o_rdwr
+  in
   a, b
 
 let install_fd t p ?(cloexec = false) ?(from = 0) file =
@@ -285,6 +322,36 @@ let install_fd t p ?(cloexec = false) ?(from = 0) file =
     Ok fd
 
 let retain_file (f : File.t) = f.refs <- f.refs + 1
+
+(* Release one direction of a connection endpoint.  The shut flags make
+   these idempotent: [shutdown] drops a direction early, and the final
+   close must then skip it — each pipe reference is dropped exactly
+   once over the endpoint's lifetime. *)
+let shut_conn_rd t (c : File.conn) =
+  if not c.File.shut_rd then begin
+    c.File.shut_rd <- true;
+    Vfs.Pipebuf.drop_reader c.File.rx.buf;
+    (* the peer may be blocked writing into our receive pipe *)
+    wake_key t (K_pipe_w c.File.rx.pipe_id)
+  end
+
+let shut_conn_wr t (c : File.conn) =
+  if not c.File.shut_wr then begin
+    c.File.shut_wr <- true;
+    Vfs.Pipebuf.drop_writer c.File.tx.buf;
+    (* the peer may be blocked reading from our send pipe *)
+    wake_key t (K_pipe_r c.File.tx.pipe_id)
+  end
+
+let release_conn t (c : File.conn) =
+  shut_conn_rd t c;
+  shut_conn_wr t c
+
+(* Drop [addr]'s binding iff it still belongs to this socket. *)
+let unbind t addr (s : File.sock) =
+  match Hashtbl.find_opt t.bindings addr with
+  | Some s' when s' == s -> Hashtbl.remove t.bindings addr
+  | _ -> ()
 
 let release_file t (f : File.t) =
   f.refs <- f.refs - 1;
@@ -306,12 +373,23 @@ let release_file t (f : File.t) =
       Vfs.Pipebuf.drop_writer b;
       Vfs.Fs.decr_opens t.fs inode.Vfs.Inode.ino;
       wake_key t (K_fifo_r inode.Vfs.Inode.ino)
-    | File.Sock { rx; tx } ->
-      Vfs.Pipebuf.drop_reader rx.buf;
-      Vfs.Pipebuf.drop_writer tx.buf;
-      (* wake the peer on both directions *)
-      wake_key t (K_pipe_w rx.pipe_id);
-      wake_key t (K_pipe_r tx.pipe_id)
+    | File.Sock s ->
+      (match s.File.sock with
+       | File.S_fresh -> ()
+       | File.S_bound addr -> unbind t addr s
+       | File.S_conn c -> release_conn t c
+       | File.S_listening (addr, l) ->
+         unbind t addr s;
+         l.File.lclosed <- true;
+         (* connections established but never accepted are reset: both
+            directions of each pending server endpoint go away, so the
+            peer reads EOF and its writes raise EPIPE *)
+         Queue.iter (release_conn t) l.File.pending;
+         Queue.clear l.File.pending;
+         (* blocked accepters must fail with EINVAL, blocked connectors
+            with ECONNRESET — both re-check on retry *)
+         wake_key t (K_accept l.File.lid);
+         wake_key t (K_connq l.File.lid))
   end
 
 let close_fd t p fd =
@@ -394,8 +472,12 @@ and act_on_pending t (p : Proc.t) s =
     | `Handler ->
       (match p.state with
        | Proc.Parked park ->
-         (* interrupt the slow call: EINTR plus handler delivery *)
+         (* interrupt the slow call: EINTR plus handler delivery.  If
+            the call was a select with a timeout armed, its T_select
+            timer must die with it — a stale one would later fire into
+            whatever call the process makes next *)
          clear_pending p s;
+         cancel_select_timers t p.pid;
          (match park.saved_mask with
           | Some m -> p.sigs.mask <- m
           | None -> ());

@@ -9,6 +9,8 @@ type wait_key =
   | K_pipe_w of int
   | K_fifo_r of int       (** fifo ino *)
   | K_fifo_w of int
+  | K_accept of int       (** listener id: a connection arrived *)
+  | K_connq of int        (** listener id: the accept queue drained *)
   | K_signal of int       (** pid in sigsuspend *)
 
 type timer_event =
@@ -41,6 +43,10 @@ type t = {
   procs : (int, Proc.t) Hashtbl.t;
   runq : (unit -> unit) Queue.t;
   waitqs : (wait_key, int list ref) Hashtbl.t;
+  bindings : (string, File.sock) Hashtbl.t;
+      (** socket address namespace: [bind] claims a name (EADDRINUSE on
+          conflict), [connect] resolves one, closing the bound or
+          listening socket releases it *)
   registry : Registry.t;           (** shard-owned executable images *)
   obs : Obs.engine;                (** shard-owned observability engine *)
   codec : Abi.Envelope.Stats.t;    (** shard-owned codec counters *)
@@ -63,6 +69,7 @@ type t = {
   mutable next_pid : int;
   mutable next_file_id : int;
   mutable next_pipe_id : int;
+  mutable next_listener_id : int;
   mutable tod_offset_us : int;   (** settimeofday adjustment *)
   mutable hooks : hooks;
   mutable trace_hook : (Proc.t -> Abi.Call.t -> Abi.Value.res -> unit) option;
@@ -135,6 +142,28 @@ val new_pipe : t -> File.t * File.t
 
 val new_socketpair : t -> File.t * File.t
 (** Two connected bidirectional endpoints. *)
+
+val new_conn_pair : t -> File.conn * File.conn
+(** Both endpoints of a fresh stream connection — two new pipes held
+    crossed, the pipe references for both sides already taken.  The
+    caller owns releasing them (via {!release_file} on a wrapping
+    socket, or {!release_conn} directly). *)
+
+val new_listener : t -> backlog:int -> File.listener
+(** A fresh accept queue with a new listener id; backlog clamped ≥ 1. *)
+
+val shut_conn_rd : t -> File.conn -> unit
+val shut_conn_wr : t -> File.conn -> unit
+(** Release one direction of a connection endpoint and wake the peer;
+    idempotent via the conn's shut flags, so [shutdown] followed by
+    [close] drops each pipe reference exactly once. *)
+
+val release_conn : t -> File.conn -> unit
+(** Release both directions. *)
+
+val unbind : t -> string -> File.sock -> unit
+(** Drop [addr] from {!field-bindings} iff it still belongs to this
+    socket. *)
 
 val install_fd : t -> Proc.t -> ?cloexec:bool -> ?from:int -> File.t
   -> (int, Abi.Errno.t) result

@@ -4,6 +4,8 @@ type cond =
   | On_pipe_write of int
   | On_fifo_read of int
   | On_fifo_write of int
+  | On_accept of int       (* listener id: until a connection is pending *)
+  | On_connq of int        (* listener id: until the accept queue drains *)
   | On_time of int
   | On_signal
   | On_select of {
@@ -11,6 +13,7 @@ type cond =
       wpipes : int list;   (* pipe/sock ids awaited for writability *)
       rfifos : int list;   (* fifo inos awaited for readability *)
       wfifos : int list;   (* fifo inos awaited for writability *)
+      rlisten : int list;  (* listener ids: readable = pending conn *)
     }
 
 type park = {

@@ -7,14 +7,19 @@ type cond =
   | On_pipe_write of int
   | On_fifo_read of int         (** fifo inode number *)
   | On_fifo_write of int
+  | On_accept of int            (** listener id: until a connection is
+                                    pending in the accept queue *)
+  | On_connq of int             (** listener id: until the accept queue
+                                    has room for another connection *)
   | On_time of int              (** absolute virtual deadline, µs *)
-  | On_signal
+  | On_signal                   (** sigsuspend *)
   | On_select of {
       rpipes : int list;   (* pipe/sock ids awaited for readability *)
       wpipes : int list;   (* pipe/sock ids awaited for writability *)
       rfifos : int list;   (* fifo inos awaited for readability *)
       wfifos : int list;   (* fifo inos awaited for writability *)
-    }                   (** sigsuspend *)
+      rlisten : int list;  (* listener ids: readable = pending conn *)
+    }
 
 type park = {
   k : (Events.trap_reply, unit) Effect.Deep.continuation;

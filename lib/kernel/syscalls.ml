@@ -35,18 +35,39 @@ let nonblocking (f : File.t) = f.flags land Flags.Open.o_nonblock <> 0
 
 let pipe_read t (p : Proc.t) (f : File.t) buf cnt ~(buffer : Vfs.Pipebuf.t)
     ~chan ~wake ~cond =
-  let n = Vfs.Pipebuf.read buffer buf ~off:0 ~len:cnt in
-  if n > 0 then begin
-    (* causal hook (DESIGN.md §3.9): advance the channel's consume
-       watermark — links this read's span to the writes that produced
-       these bytes.  Pure bookkeeping, charges no virtual time. *)
-    Obs.causal_pipe_read ~chan ~pid:p.pid ~bytes:n;
-    wake_key t wake;
-    done_ret n
-  end
-  else if Vfs.Pipebuf.writers buffer = 0 then done_ret 0 (* EOF *)
-  else if nonblocking f then fail Errno.EWOULDBLOCK
-  else Block cond
+  (* a zero-length read is complete by definition — without this early
+     return it would fall through the n = 0 branches below and block a
+     blocking reader forever while writers are still alive *)
+  if cnt = 0 then done_ret 0
+  else
+    let n = Vfs.Pipebuf.read buffer buf ~off:0 ~len:cnt in
+    if n > 0 then begin
+      (* causal hook (DESIGN.md §3.9): advance the channel's consume
+         watermark — links this read's span to the writes that produced
+         these bytes.  Pure bookkeeping, charges no virtual time. *)
+      Obs.causal_pipe_read ~chan ~pid:p.pid ~bytes:n;
+      wake_key t wake;
+      done_ret n
+    end
+    (* n = 0 with cnt > 0 means the buffer is drained, so this is EOF
+       exactly when no writer remains: buffered bytes always win over
+       the EOF check, a reader never loses data to a racing close *)
+    else if Vfs.Pipebuf.writers buffer = 0 then done_ret 0 (* EOF *)
+    else if nonblocking f then fail Errno.EWOULDBLOCK
+    else Block cond
+
+(* A connection endpoint reads its receive pipe.  After [shutdown]
+   of the read half our reader reference is gone, so anything still
+   buffered is unreachable: the read side is simply at EOF.  The
+   causal channel is per-connection-direction ("sock", pipe id) so
+   request and reply bytes form distinct lanes in the event graph. *)
+let conn_read t (p : Proc.t) (f : File.t) (c : File.conn) buf cnt =
+  if c.File.shut_rd then done_ret 0
+  else
+    pipe_read t p f buf cnt ~buffer:c.File.rx.buf
+      ~chan:("sock", c.File.rx.pipe_id)
+      ~wake:(K_pipe_w c.File.rx.pipe_id)
+      ~cond:(Proc.On_pipe_read c.File.rx.pipe_id)
 
 let do_read t (p : Proc.t) fd buf cnt =
   if cnt < 0 then fail Errno.EINVAL
@@ -82,11 +103,11 @@ let do_read t (p : Proc.t) fd buf cnt =
             ~chan:("fifo", inode.ino)
             ~wake:(K_fifo_w inode.ino)
             ~cond:(Proc.On_fifo_read inode.ino)
-        | File.Sock { rx; _ } ->
-          pipe_read t p f buf cnt ~buffer:rx.buf
-            ~chan:("pipe", rx.pipe_id)
-            ~wake:(K_pipe_w rx.pipe_id)
-            ~cond:(Proc.On_pipe_read rx.pipe_id)
+        | File.Sock s ->
+          (match s.File.sock with
+           | File.S_conn c -> conn_read t p f c buf cnt
+           | File.S_fresh | File.S_bound _ | File.S_listening _ ->
+             fail Errno.ENOTCONN)
         | File.Pipe_write _ | File.Fifo_write _ -> fail Errno.EBADF
       end
 
@@ -110,6 +131,20 @@ let pipe_write t (p : Proc.t) (f : File.t) data ~(buffer : Vfs.Pipebuf.t)
     else if nonblocking f then fail Errno.EWOULDBLOCK
     else Block cond
   end
+
+(* A connection endpoint writes its send pipe.  A locally shut write
+   half is a broken pipe regardless of the peer's state — the reference
+   that would let these bytes be delivered is already gone. *)
+let conn_write t (p : Proc.t) (f : File.t) (c : File.conn) data =
+  if c.File.shut_wr then begin
+    post_signal t p Signal.sigpipe;
+    fail Errno.EPIPE
+  end
+  else
+    pipe_write t p f data ~buffer:c.File.tx.buf
+      ~chan:("sock", c.File.tx.pipe_id)
+      ~wake:(K_pipe_r c.File.tx.pipe_id)
+      ~cond:(Proc.On_pipe_write c.File.tx.pipe_id)
 
 let do_write t (p : Proc.t) fd data =
   match fd_file p fd with
@@ -146,11 +181,11 @@ let do_write t (p : Proc.t) fd data =
           ~chan:("fifo", inode.ino)
           ~wake:(K_fifo_r inode.ino)
           ~cond:(Proc.On_fifo_write inode.ino)
-      | File.Sock { tx; _ } ->
-        pipe_write t p f data ~buffer:tx.buf
-          ~chan:("pipe", tx.pipe_id)
-          ~wake:(K_pipe_r tx.pipe_id)
-          ~cond:(Proc.On_pipe_write tx.pipe_id)
+      | File.Sock s ->
+        (match s.File.sock with
+         | File.S_conn c -> conn_write t p f c data
+         | File.S_fresh | File.S_bound _ | File.S_listening _ ->
+           fail Errno.ENOTCONN)
       | File.Pipe_read _ | File.Fifo_read _ -> fail Errno.EBADF
     end
 
@@ -311,14 +346,21 @@ let do_fstat t (p : Proc.t) fd r =
       in
       fill_stat r st;
       done_ret 0
-    | File.Sock { rx; _ } ->
+    | File.Sock s ->
+      let ino, size =
+        match s.File.sock with
+        | File.S_conn c ->
+          0x20000 + c.File.rx.pipe_id, Vfs.Pipebuf.available c.File.rx.buf
+        | File.S_fresh | File.S_bound _ | File.S_listening _ ->
+          0x20000 + f.id, 0
+      in
       let st =
         { Stat.zero with
           st_dev = 0;
-          st_ino = 0x20000 + rx.pipe_id;
+          st_ino = ino;
           st_mode = Flags.Mode.ifsock lor 0o600;
           st_nlink = 1;
-          st_size = Vfs.Pipebuf.available rx.buf }
+          st_size = size }
       in
       fill_stat r st;
       done_ret 0
@@ -340,7 +382,14 @@ let do_ioctl t (p : Proc.t) fd op buf =
       match f.kind with
       | File.Pipe_read pipe -> set_int32 (Vfs.Pipebuf.available pipe.buf)
       | File.Fifo_read (_, buffer) -> set_int32 (Vfs.Pipebuf.available buffer)
-      | File.Sock { rx; _ } -> set_int32 (Vfs.Pipebuf.available rx.buf)
+      | File.Sock s ->
+        (match s.File.sock with
+         | File.S_conn c -> set_int32 (Vfs.Pipebuf.available c.File.rx.buf)
+         | File.S_listening (_, l) ->
+           (* by analogy with FIONREAD on a listener: connections ready
+              to accept *)
+           set_int32 (Queue.length l.File.pending)
+         | File.S_fresh | File.S_bound _ -> set_int32 0)
       | File.Vnode inode ->
         (match inode.kind with
          | Vfs.Inode.Reg data ->
@@ -602,6 +651,7 @@ let do_select t (p : Proc.t) rmask wmask tmo =
   let wpipes = ref [] in
   let rfifos = ref [] in
   let wfifos = ref [] in
+  let rlisten = ref [] in
   let buf_read_ready (b : Vfs.Pipebuf.t) =
     Vfs.Pipebuf.available b > 0 || Vfs.Pipebuf.writers b = 0
   in
@@ -623,10 +673,20 @@ let do_select t (p : Proc.t) rmask wmask tmo =
            | File.Fifo_read (inode, b) ->
              if buf_read_ready b then ready_r := !ready_r lor (1 lsl fd)
              else rfifos := inode.ino :: !rfifos
-           | File.Sock { rx; _ } ->
-             if buf_read_ready rx.buf then
-               ready_r := !ready_r lor (1 lsl fd)
-             else rpipes := rx.pipe_id :: !rpipes
+           | File.Sock s ->
+             (match s.File.sock with
+              | File.S_conn c ->
+                if c.File.shut_rd || buf_read_ready c.File.rx.buf then
+                  ready_r := !ready_r lor (1 lsl fd)
+                else rpipes := c.File.rx.pipe_id :: !rpipes
+              | File.S_listening (_, l) ->
+                (* readable = accept would not block *)
+                if not (Queue.is_empty l.File.pending) || l.File.lclosed
+                then ready_r := !ready_r lor (1 lsl fd)
+                else rlisten := l.File.lid :: !rlisten
+              | File.S_fresh | File.S_bound _ ->
+                (* never readable: permanently not ready *)
+                ())
            | File.Pipe_write _ | File.Fifo_write _ ->
              (* never readable: permanently not ready *)
              ()))
@@ -645,10 +705,13 @@ let do_select t (p : Proc.t) rmask wmask tmo =
            | File.Fifo_write (inode, b) ->
              if buf_write_ready b then ready_w := !ready_w lor (1 lsl fd)
              else wfifos := inode.ino :: !wfifos
-           | File.Sock { tx; _ } ->
-             if buf_write_ready tx.buf then
-               ready_w := !ready_w lor (1 lsl fd)
-             else wpipes := tx.pipe_id :: !wpipes
+           | File.Sock s ->
+             (match s.File.sock with
+              | File.S_conn c ->
+                if c.File.shut_wr || buf_write_ready c.File.tx.buf then
+                  ready_w := !ready_w lor (1 lsl fd)
+                else wpipes := c.File.tx.pipe_id :: !wpipes
+              | File.S_fresh | File.S_bound _ | File.S_listening _ -> ())
            | File.Pipe_read _ | File.Fifo_read _ -> ()))
       (fds_of_mask wmask)
   with
@@ -658,7 +721,13 @@ let do_select t (p : Proc.t) rmask wmask tmo =
       cancel_select_timers t p.pid;
       Done (Value.ret !ready_r ~r1:!ready_w)
     end
-    else if tmo = 0 then Done (Value.ret 0 ~r1:0)
+    else if tmo = 0 then begin
+      (* a pure poll: never arms a timer, but a retried select that
+         polled its way out must still drop the deadline its original
+         blocking incarnation armed *)
+      cancel_select_timers t p.pid;
+      Done (Value.ret 0 ~r1:0)
+    end
     else begin
       (* arm the timeout once; retries keep the original deadline *)
       if tmo > 0 && not (has_select_timer t p.pid) then
@@ -668,8 +737,184 @@ let do_select t (p : Proc.t) rmask wmask tmo =
       Block
         (Proc.On_select
            { rpipes = !rpipes; wpipes = !wpipes; rfifos = !rfifos;
-             wfifos = !wfifos })
+             wfifos = !wfifos; rlisten = !rlisten })
     end
+
+(* --- sockets ---------------------------------------------------------------- *)
+
+(* Stream sockets over the same machinery as pipes (DESIGN.md §3.10): a
+   connection is a crossed pair of pipe buffers, a listening socket a
+   bounded queue of established-but-unaccepted connections.  Addresses
+   are flat names in a shard-wide namespace ([Kstate.bindings]); they
+   are not filesystem paths, deliberately, so pathname-guarding agents
+   leave them alone. *)
+
+let sock_of (f : File.t) =
+  match f.kind with
+  | File.Sock s -> Ok s
+  | File.Vnode _ | File.Pipe_read _ | File.Pipe_write _
+  | File.Fifo_read _ | File.Fifo_write _ -> Error Errno.ENOTSOCK
+
+let do_socket t (p : Proc.t) =
+  let file =
+    new_file t (File.Sock { File.sock = File.S_fresh })
+      ~flags:Flags.Open.o_rdwr
+  in
+  match install_fd t p file with
+  | Ok fd -> done_ret fd
+  | Error e ->
+    release_file t file;
+    fail e
+
+let do_bind t (p : Proc.t) fd addr =
+  match Result.bind (fd_file p fd) sock_of with
+  | Error e -> fail e
+  | Ok s ->
+    match s.File.sock with
+    | File.S_fresh ->
+      if addr = "" then fail Errno.EINVAL
+      else if Hashtbl.mem t.bindings addr then fail Errno.EADDRINUSE
+      else begin
+        Hashtbl.replace t.bindings addr s;
+        s.File.sock <- File.S_bound addr;
+        done_ret 0
+      end
+    | File.S_bound _ | File.S_listening _ -> fail Errno.EINVAL
+    | File.S_conn _ -> fail Errno.EISCONN
+
+let do_listen t (p : Proc.t) fd backlog =
+  match Result.bind (fd_file p fd) sock_of with
+  | Error e -> fail e
+  | Ok s ->
+    match s.File.sock with
+    | File.S_bound addr ->
+      let l = new_listener t ~backlog in
+      s.File.sock <- File.S_listening (addr, l);
+      done_ret 0
+    | File.S_listening _ -> done_ret 0  (* re-listen keeps the queue *)
+    | File.S_fresh -> fail Errno.EINVAL (* must bind first *)
+    | File.S_conn _ -> fail Errno.EISCONN
+
+let do_accept t (p : Proc.t) fd =
+  match fd_file p fd with
+  | Error e -> fail e
+  | Ok f ->
+    match sock_of f with
+    | Error e -> fail e
+    | Ok s ->
+      match s.File.sock with
+      | File.S_listening (_, l) ->
+        if not (Queue.is_empty l.File.pending) then begin
+          let c = Queue.pop l.File.pending in
+          let file =
+            new_file t (File.Sock { File.sock = File.S_conn c })
+              ~flags:Flags.Open.o_rdwr
+          in
+          match install_fd t p file with
+          | Ok nfd ->
+            (* the queue has room again: blocked connectors retry *)
+            wake_key t (K_connq l.File.lid);
+            done_ret nfd
+          | Error e ->
+            (* no descriptor for it — the adopted connection is reset *)
+            release_file t file;
+            wake_key t (K_connq l.File.lid);
+            fail e
+        end
+        else if l.File.lclosed then fail Errno.EINVAL
+        else if nonblocking f then fail Errno.EWOULDBLOCK
+        else Block (Proc.On_accept l.File.lid)
+      | File.S_fresh | File.S_bound _ -> fail Errno.EINVAL
+      | File.S_conn _ -> fail Errno.EISCONN
+
+let do_connect t (p : Proc.t) fd addr =
+  match fd_file p fd with
+  | Error e -> fail e
+  | Ok f ->
+    match sock_of f with
+    | Error e -> fail e
+    | Ok s ->
+      match s.File.sock with
+      | File.S_conn _ -> fail Errno.EISCONN
+      | File.S_listening _ -> fail Errno.EINVAL
+      | File.S_fresh | File.S_bound _ ->
+        match Hashtbl.find_opt t.bindings addr with
+        | None -> fail Errno.ECONNREFUSED
+        | Some srv ->
+          match srv.File.sock with
+          | File.S_listening (_, l) when not l.File.lclosed ->
+            if Queue.length l.File.pending >= l.File.backlog then begin
+              if nonblocking f then fail Errno.EWOULDBLOCK
+              else
+                (* woken when an accept drains the queue (or the
+                   listener dies — the retry then lands in
+                   ECONNREFUSED above) *)
+                Block (Proc.On_connq l.File.lid)
+            end
+            else begin
+              let cli, srv_end = new_conn_pair t in
+              (* a client that bound a name gives it up on connecting:
+                 the S_conn state no longer carries the address the
+                 final close would need to release *)
+              (match s.File.sock with
+               | File.S_bound a -> unbind t a s
+               | _ -> ());
+              s.File.sock <- File.S_conn cli;
+              Queue.push srv_end l.File.pending;
+              wake_key t (K_accept l.File.lid);
+              done_ret 0
+            end
+          | _ ->
+            (* bound but never listened, or already torn down *)
+            fail Errno.ECONNREFUSED
+
+let do_send t (p : Proc.t) fd data =
+  match fd_file p fd with
+  | Error e -> fail e
+  | Ok f ->
+    match sock_of f with
+    | Error e -> fail e
+    | Ok s ->
+      match s.File.sock with
+      | File.S_conn c -> conn_write t p f c data
+      | File.S_fresh | File.S_bound _ | File.S_listening _ ->
+        fail Errno.ENOTCONN
+
+let do_recv t (p : Proc.t) fd buf cnt =
+  if cnt < 0 then fail Errno.EINVAL
+  else
+    match fd_file p fd with
+    | Error e -> fail e
+    | Ok f ->
+      match sock_of f with
+      | Error e -> fail e
+      | Ok s ->
+        match s.File.sock with
+        | File.S_conn c -> conn_read t p f c buf (min cnt (Bytes.length buf))
+        | File.S_fresh | File.S_bound _ | File.S_listening _ ->
+          fail Errno.ENOTCONN
+
+let do_shutdown t (p : Proc.t) fd how =
+  match Result.bind (fd_file p fd) sock_of with
+  | Error e -> fail e
+  | Ok s ->
+    match s.File.sock with
+    | File.S_conn c ->
+      if how = Flags.Shut.rd then begin
+        shut_conn_rd t c;
+        done_ret 0
+      end
+      else if how = Flags.Shut.wr then begin
+        shut_conn_wr t c;
+        done_ret 0
+      end
+      else if how = Flags.Shut.rdwr then begin
+        release_conn t c;
+        done_ret 0
+      end
+      else fail Errno.EINVAL
+    | File.S_fresh | File.S_bound _ | File.S_listening _ ->
+      fail Errno.ENOTCONN
 
 (* --- the dispatcher -------------------------------------------------------------- *)
 
@@ -811,6 +1056,14 @@ let dispatch t (p : Proc.t) (call : Call.t) : outcome =
   | Call.Getrusage r ->
     r := Some (p.utime_us, p.stime_us);
     done_ret 0
+  | Call.Socket -> do_socket t p
+  | Call.Bind (fd, addr) -> do_bind t p fd addr
+  | Call.Listen (fd, backlog) -> do_listen t p fd backlog
+  | Call.Accept fd -> do_accept t p fd
+  | Call.Connect (fd, addr) -> do_connect t p fd addr
+  | Call.Send (fd, data) -> do_send t p fd data
+  | Call.Recv (fd, buf, cnt) -> do_recv t p fd buf cnt
+  | Call.Shutdown (fd, how) -> do_shutdown t p fd how
   | Call.Socketpair ->
     let a, b = new_socketpair t in
     (match install_fd t p a with
@@ -883,8 +1136,15 @@ let dispatch t (p : Proc.t) (call : Call.t) : outcome =
    an interruption legitimately ends).  Agents that inject EINTR must
    consult this policy so an injected interruption is no more visible
    than a real one. *)
-let restartable num =
-  not
-    (num = Abi.Sysno.sys_sleepus
-     || num = Abi.Sysno.sys_select
-     || num = Abi.Sysno.sys_sigsuspend)
+let restartable ?errno num =
+  match errno with
+  | Some Errno.EPIPE ->
+    (* a broken pipe is never restartable, whatever the call: the
+       producing write/send already raised SIGPIPE, and re-issuing it
+       can only break the pipe again *)
+    false
+  | Some _ | None ->
+    not
+      (num = Abi.Sysno.sys_sleepus
+       || num = Abi.Sysno.sys_select
+       || num = Abi.Sysno.sys_sigsuspend)

@@ -8,7 +8,7 @@
 
 val dispatch : Kstate.t -> Proc.t -> Abi.Call.t -> Kstate.outcome
 
-val restartable : int -> bool
+val restartable : ?errno:Abi.Errno.t -> int -> bool
 (** The restart policy itself, as a predicate on syscall numbers:
     [true] for the calls an interruption transparently re-issues
     (read, write, wait4, ...), [false] for the [sleepus]-class calls
@@ -17,4 +17,9 @@ val restartable : int -> bool
     injected [EINTR] through this predicate: on a restartable call the
     injected interruption becomes an invisible restart (the call is
     re-issued down the stack), exactly as the kernel itself would
-    behave. *)
+    behave.
+
+    [errno] is the error about to be surfaced, when it is not EINTR
+    itself: a call that failed with [EPIPE] is never restartable —
+    the write/send already broke the pipe and raised SIGPIPE, so
+    re-issuing it would only multiply the damage. *)

@@ -65,6 +65,26 @@ let socketpair () =
   | Ok { Value.r0; r1 } -> Ok (r0, r1)
   | Error e -> Error e
 
+(* --- sockets -------------------------------------------------------------- *)
+
+let socket () = int_of (call Call.Socket)
+let bind fd addr = unit_of (call (Call.Bind (fd, addr)))
+let listen fd backlog = unit_of (call (Call.Listen (fd, backlog)))
+let accept fd = int_of (call (Call.Accept fd))
+let connect fd addr = unit_of (call (Call.Connect (fd, addr)))
+let send fd data = int_of (call (Call.Send (fd, data)))
+let recv fd buf cnt = int_of (call (Call.Recv (fd, buf, cnt)))
+let shutdown fd how = unit_of (call (Call.Shutdown (fd, how)))
+
+let rec send_all fd data =
+  if data = "" then Ok ()
+  else
+    match send fd data with
+    | Error e -> Error e
+    | Ok n ->
+      if n >= String.length data then Ok ()
+      else send_all fd (String.sub data n (String.length data - n))
+
 let fcntl fd cmd arg = int_of (call (Call.Fcntl (fd, cmd, arg)))
 
 let set_cloexec fd on =

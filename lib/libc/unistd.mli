@@ -36,6 +36,45 @@ val pipe : unit -> (int * int) r
 val socketpair : unit -> (int * int) r
 (** A connected bidirectional pair of descriptors. *)
 
+(** {1 Sockets}
+
+    Stream sockets in a flat, shard-wide name space: addresses are
+    arbitrary strings (conventionally not starting with ['/'] — they
+    are not filesystem paths and pathname agents ignore them). *)
+
+val socket : unit -> int r
+(** A fresh unbound stream socket. *)
+
+val bind : int -> string -> unit r
+(** Claim an address; [EADDRINUSE] if another socket holds it. *)
+
+val listen : int -> int -> unit r
+(** [listen fd backlog] turns a bound socket into a listener with a
+    bounded accept queue (backlog clamped ≥ 1). *)
+
+val accept : int -> int r
+(** Pop the next pending connection as a new descriptor; blocks while
+    the queue is empty. *)
+
+val connect : int -> string -> unit r
+(** Establish a connection to a listening address: [ECONNREFUSED] if
+    nothing listens there, blocks while the accept queue is full. *)
+
+val send : int -> string -> int r
+(** Like {!write} on a connected socket ([EPIPE]/SIGPIPE when the peer
+    is gone); may short-write when the buffer is nearly full. *)
+
+val recv : int -> Bytes.t -> int -> int r
+(** Like {!read} on a connected socket; 0 means the peer closed or
+    shut down its write half. *)
+
+val shutdown : int -> int -> unit r
+(** Close one or both directions early ({!Abi.Flags.Shut}); the final
+    [close] releases only what shutdown has not already dropped. *)
+
+val send_all : int -> string -> unit r
+(** Loop until the whole string is sent. *)
+
 val fcntl : int -> int -> int -> int r
 val set_cloexec : int -> bool -> unit r
 

@@ -197,6 +197,14 @@ let call_cases : Call.t list =
     Call.Dup 1;
     Call.Pipe;
     Call.Socketpair;
+    Call.Socket;
+    Call.Bind (3, "svc.kv");
+    Call.Listen (3, 8);
+    Call.Accept 3;
+    Call.Connect (4, "svc.kv");
+    Call.Send (4, "ping");
+    Call.Recv (4, Bytes.create 8, 8);
+    Call.Shutdown (4, 1);
     Call.Sigprocmask (1, 0xF);
     Call.Ioctl (0, Flags.Ioctl.fionread, Bytes.create 4);
     Call.Symlink ("target", "/link");
@@ -297,6 +305,8 @@ let call_builders : (int * Call.t QCheck.Gen.t) list =
   let open QCheck.Gen in
   let i = small_nat in
   let s = map (Printf.sprintf "/p/%d") small_nat in
+  (* socket addresses are flat names, deliberately not "/"-prefixed *)
+  let addr = map (Printf.sprintf "svc%d") small_nat in
   let buf = map (fun n -> Bytes.create (n + 1)) (int_bound 63) in
   let strs = array_size (int_bound 3) (map string_of_int small_nat) in
   let body = (fun () -> 0) in
@@ -335,6 +345,14 @@ let call_builders : (int * Call.t QCheck.Gen.t) list =
     Sysno.sys_dup, map (fun fd -> Call.Dup fd) i;
     Sysno.sys_pipe, return Call.Pipe;
     Sysno.sys_socketpair, return Call.Socketpair;
+    Sysno.sys_socket, return Call.Socket;
+    Sysno.sys_bind, map2 (fun fd a -> Call.Bind (fd, a)) i addr;
+    Sysno.sys_listen, map2 (fun fd b -> Call.Listen (fd, b)) i (int_range 1 16);
+    Sysno.sys_accept, map (fun fd -> Call.Accept fd) i;
+    Sysno.sys_connect, map2 (fun fd a -> Call.Connect (fd, a)) i addr;
+    Sysno.sys_send, map2 (fun fd d -> Call.Send (fd, d)) i (map string_of_int i);
+    Sysno.sys_recv, map2 (fun fd b -> Call.Recv (fd, b, Bytes.length b)) i buf;
+    Sysno.sys_shutdown, map2 (fun fd h -> Call.Shutdown (fd, h)) i (int_bound 2);
     Sysno.sys_getegid, return Call.Getegid;
     Sysno.sys_sigaction,
     (map3

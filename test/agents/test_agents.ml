@@ -1128,6 +1128,63 @@ let test_dfs_record_roundtrip =
       in
       Agents.Dfs_record.parse (Agents.Dfs_record.encode r) = Some r)
 
+(* --- sockets under a fused agent chain ----------------------------------- *)
+
+let test_sock_inherit_under_stack () =
+  (* the full socket rendezvous across fork, under a depth-2 fused
+     chain: a child forked before the parent parks in accept inherits
+     the listening descriptor's world and connects to it; a second
+     child serves the accepted connection it inherited.  The chain must
+     actually have run — [fused] proves the traps took the pre-linked
+     path, not the generic vector. *)
+  let k, status =
+    boot_under_agent (Agents.Timex.create ~offset_seconds:60 ())
+      (fun () ->
+        Toolkit.Loader.install (Agents.Syscount.create ()) ~argv:[||];
+        let lfd = check_ok "socket" (Libc.Unistd.socket ()) in
+        check_ok "bind" (Libc.Unistd.bind lfd "stacked.svc");
+        check_ok "listen" (Libc.Unistd.listen lfd 2);
+        let client =
+          check_ok "fork"
+            (Libc.Unistd.fork ~child:(fun () ->
+               ignore (Libc.Unistd.close lfd);
+               let c = check_ok "socket(c)" (Libc.Unistd.socket ()) in
+               check_ok "connect" (Libc.Unistd.connect c "stacked.svc");
+               check_ok "send" (Libc.Unistd.send_all c "ping");
+               let buf = Bytes.create 4 in
+               let n = check_ok "recv" (Libc.Unistd.recv c buf 4) in
+               ignore (Libc.Unistd.close c);
+               if n = 4 && Bytes.to_string buf = "pong" then 0 else 1))
+        in
+        (* parked in accept until the child's connect arrives *)
+        let s = check_ok "accept" (Libc.Unistd.accept lfd) in
+        ignore (Libc.Unistd.close lfd);
+        let server =
+          check_ok "fork2"
+            (Libc.Unistd.fork ~child:(fun () ->
+               let buf = Bytes.create 4 in
+               let n = check_ok "recv(s)" (Libc.Unistd.recv s buf 4) in
+               if n <> 4 || Bytes.to_string buf <> "ping" then 2
+               else begin
+                 check_ok "send(s)" (Libc.Unistd.send_all s "pong");
+                 ignore (Libc.Unistd.close s);
+                 0
+               end))
+        in
+        ignore (Libc.Unistd.close s);
+        let _, st1 = check_ok "wait" (Libc.Unistd.waitpid client 0) in
+        let _, st2 = check_ok "wait2" (Libc.Unistd.waitpid server 0) in
+        if Flags.Wait.wexitstatus st1 = 0 && Flags.Wait.wexitstatus st2 = 0
+        then 0
+        else 3)
+  in
+  check_exit "rendezvous under stack" 0 status;
+  let d = Kernel.codec_stats k in
+  Alcotest.(check bool) "fused chain engaged" true
+    (d.Envelope.Stats.fused > 0);
+  Alcotest.(check int) "generic vector never probed" 0
+    d.Envelope.Stats.intercepted
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let () =
@@ -1220,4 +1277,7 @@ let () =
         Alcotest.test_case "custom generator" `Quick
           test_synthfs_custom_generator;
         Alcotest.test_case "pass-through" `Quick
-          test_synthfs_other_paths_untouched ] ]
+          test_synthfs_other_paths_untouched ];
+      "sockets-under-stack",
+      [ Alcotest.test_case "fork inherit + rendezvous" `Quick
+          test_sock_inherit_under_stack ] ]

@@ -169,6 +169,36 @@ let test_eintr_restart_pair () =
   Alcotest.(check int) "sleepus injection surfaced" 1 agent#total_injected;
   Alcotest.(check int) "no restart" 0 agent#restarted
 
+let test_epipe_never_restarted () =
+  (* writes restart under injected EINTR, but EPIPE pierces the restart
+     policy whatever the call: re-issuing a write that broke the pipe
+     can only break it again *)
+  Alcotest.(check bool) "EINTR write restarts" true
+    (Kernel.Syscalls.restartable ~errno:Errno.EINTR Sysno.sys_write);
+  Alcotest.(check bool) "EPIPE write does not" false
+    (Kernel.Syscalls.restartable ~errno:Errno.EPIPE Sysno.sys_write);
+  Alcotest.(check bool) "EPIPE send does not" false
+    (Kernel.Syscalls.restartable ~errno:Errno.EPIPE Sysno.sys_send);
+  let agent =
+    F.create_planned [ F.site ~kth:1 Sysno.sys_write (F.Fail Errno.EPIPE) ]
+  in
+  let _, status =
+    boot_under_agent agent (fun () ->
+      let fd =
+        check_ok "open"
+          (Libc.Unistd.open_ "/tmp/out"
+             Flags.Open.(o_wronly lor o_creat) 0o644)
+      in
+      match Libc.Unistd.write fd "data" with
+      | Error Errno.EPIPE ->
+        (match Libc.Unistd.close fd with Ok () -> 0 | Error _ -> 3)
+      | Ok _ -> 1
+      | Error _ -> 2)
+  in
+  check_exit "EPIPE surfaced to the caller" 0 status;
+  Alcotest.(check int) "surfaced, not absorbed" 1 agent#total_injected;
+  Alcotest.(check int) "never restarted" 0 agent#restarted
+
 let elapsed_us k = int_of_float (Kernel.elapsed_seconds k *. 1e6 +. 0.5)
 
 let test_injected_failure_charges_time () =
@@ -401,6 +431,36 @@ let test_sweep_classifies_everything () =
   Alcotest.(check bool) "some faults break the run silently" true
     (count Fault.Oracle.Wrong_result > 0)
 
+let test_kvd_conn_sweep () =
+  (* connection-level sites over the socket workload: discovery must
+     find accept/recv/send traffic, and every injected run must come
+     back classified with the workload still terminating *)
+  let baseline, cases =
+    Fault.Campaign.sweep ~candidates:Fault.Campaign.conn_candidates
+      ~per_sysno:2 ~errnos:[ Errno.ECONNRESET; Errno.EINTR ]
+      Fault.Campaign.kvd
+  in
+  let calls n =
+    Option.value ~default:0
+      (List.assoc_opt n baseline.Fault.Campaign.b_profile)
+  in
+  Alcotest.(check bool) "accepts discovered" true
+    (calls Sysno.sys_accept > 0);
+  Alcotest.(check bool) "recvs discovered" true (calls Sysno.sys_recv > 0);
+  Alcotest.(check bool) "sends discovered" true (calls Sysno.sys_send > 0);
+  Alcotest.(check bool) "swept a real grid" true (List.length cases >= 6);
+  List.iter
+    (fun (c : Fault.Campaign.case) ->
+      Alcotest.(check bool) "has detail" true
+        (String.length c.c_run.Fault.Campaign.r_detail > 0))
+    cases;
+  (* an injected EINTR on a restartable call must be absorbable *)
+  Alcotest.(check bool) "some faults tolerated" true
+    (List.exists
+       (fun (c : Fault.Campaign.case) ->
+         c.c_run.Fault.Campaign.r_outcome = Fault.Oracle.Tolerated)
+       cases)
+
 let test_shrink_to_minimal () =
   let w =
     wl "crash" (fun () ->
@@ -508,6 +568,8 @@ let () =
         Alcotest.test_case "duplicated candidates" `Quick
           test_duplicated_candidates;
         Alcotest.test_case "EINTR restart pair" `Quick test_eintr_restart_pair;
+        Alcotest.test_case "EPIPE never restarted" `Quick
+          test_epipe_never_restarted;
         Alcotest.test_case "failure charges time" `Quick
           test_injected_failure_charges_time;
         Alcotest.test_case "delay charges latency" `Quick
@@ -526,6 +588,7 @@ let () =
       [ Alcotest.test_case "baseline profile" `Quick test_baseline_profile;
         Alcotest.test_case "sweep classifies" `Quick
           test_sweep_classifies_everything;
+        Alcotest.test_case "kvd connection sweep" `Quick test_kvd_conn_sweep;
         Alcotest.test_case "shrink" `Quick test_shrink_to_minimal ];
       "bundle",
       [ Alcotest.test_case "round-trip + replay" `Quick

@@ -695,6 +695,225 @@ let test_sock_bidirectional_streams =
       in
       Flags.Wait.wexitstatus status = 0 && !got = pong)
 
+(* --- stream sockets: the bound/listening surface (DESIGN.md 3.10) ------- *)
+
+(* establish a connected pair through the rendezvous machinery inside a
+   single process: while the accept queue has room, connect succeeds
+   immediately and accept adopts the queued peer *)
+let conn_pair name =
+  let lfd = u "socket(l)" (Libc.Unistd.socket ()) in
+  u "bind" (Libc.Unistd.bind lfd name);
+  u "listen" (Libc.Unistd.listen lfd 4);
+  let c = u "socket(c)" (Libc.Unistd.socket ()) in
+  u "connect" (Libc.Unistd.connect c name);
+  let s = u "accept" (Libc.Unistd.accept lfd) in
+  u "close(l)" (Libc.Unistd.close lfd);
+  (c, s)
+
+let test_bind_address_lifecycle () =
+  let _, status = boot (fun () ->
+    let a = u "socket" (Libc.Unistd.socket ()) in
+    (match Libc.Unistd.bind a "" with
+     | Error Errno.EINVAL -> ()
+     | Ok () | Error _ -> Libc.Unistd._exit 1);
+    u "bind" (Libc.Unistd.bind a "svc");
+    let b = u "socket2" (Libc.Unistd.socket ()) in
+    (match Libc.Unistd.bind b "svc" with
+     | Error Errno.EADDRINUSE -> ()
+     | Ok () | Error _ -> Libc.Unistd._exit 2);
+    (* the name dies with its socket: close, and the address is free *)
+    u "close(a)" (Libc.Unistd.close a);
+    u "rebind" (Libc.Unistd.bind b "svc");
+    u "close(b)" (Libc.Unistd.close b);
+    0)
+  in
+  check_exit "EADDRINUSE then released" 0 status
+
+let test_connect_refused () =
+  let _, status = boot (fun () ->
+    let c = u "socket" (Libc.Unistd.socket ()) in
+    (match Libc.Unistd.connect c "nobody-home" with
+     | Error Errno.ECONNREFUSED -> ()
+     | Ok () | Error _ -> Libc.Unistd._exit 1);
+    (* bound but never listening refuses just like an absent name *)
+    let s = u "socket(b)" (Libc.Unistd.socket ()) in
+    u "bind" (Libc.Unistd.bind s "deaf");
+    (match Libc.Unistd.connect c "deaf" with
+     | Error Errno.ECONNREFUSED -> ()
+     | Ok () | Error _ -> Libc.Unistd._exit 2);
+    u "close(s)" (Libc.Unistd.close s);
+    u "close(c)" (Libc.Unistd.close c);
+    0)
+  in
+  check_exit "ECONNREFUSED" 0 status
+
+let test_shutdown_directions () =
+  let _, status = boot (fun () ->
+    let c, s = conn_pair "shut.svc" in
+    ignore (Libc.Unistd.signal Signal.sigpipe Value.H_ignore);
+    u "send" (Libc.Unistd.send_all s "tail");
+    u "shutdown(wr)" (Libc.Unistd.shutdown s Flags.Shut.wr);
+    (* bytes queued before the shutdown arrive ahead of the EOF *)
+    let buf = Bytes.create 8 in
+    (match Libc.Unistd.recv c buf 8 with
+     | Ok 4 when Bytes.sub_string buf 0 4 = "tail" -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 1);
+    (match Libc.Unistd.recv c buf 8 with
+     | Ok 0 -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 2);
+    (* the closed direction refuses writes; the other still flows *)
+    (match Libc.Unistd.send s "x" with
+     | Error Errno.EPIPE -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 3);
+    u "send(back)" (Libc.Unistd.send_all c "up");
+    (match Libc.Unistd.recv s buf 8 with
+     | Ok 2 when Bytes.sub_string buf 0 2 = "up" -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 4);
+    (* shutting down our own read side is an immediate local EOF *)
+    u "shutdown(rd)" (Libc.Unistd.shutdown c Flags.Shut.rd);
+    (match Libc.Unistd.recv c buf 8 with
+     | Ok 0 -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 5);
+    u "close(c)" (Libc.Unistd.close c);
+    u "close(s)" (Libc.Unistd.close s);
+    0)
+  in
+  check_exit "shutdown semantics" 0 status
+
+let test_send_sigpipe_and_epipe () =
+  let _, status = boot (fun () ->
+    let c, s = conn_pair "pipe.svc" in
+    u "close(s)" (Libc.Unistd.close s);
+    (* default disposition: sending to a dead peer kills the sender *)
+    let pid =
+      u "fork"
+        (Libc.Unistd.fork ~child:(fun () ->
+           ignore (Libc.Unistd.send c "x");
+           0))
+    in
+    let _, st = u "wait" (Libc.Unistd.waitpid pid 0) in
+    if not (Flags.Wait.wifsignaled st
+            && Flags.Wait.wtermsig st = Signal.sigpipe)
+    then 1
+    else begin
+      ignore (Libc.Unistd.signal Signal.sigpipe Value.H_ignore);
+      match Libc.Unistd.send c "x" with
+      | Error Errno.EPIPE -> u "close(c)" (Libc.Unistd.close c); 0
+      | Ok _ -> 2
+      | Error _ -> 3
+    end)
+  in
+  check_exit "SIGPIPE then EPIPE" 0 status
+
+let test_recv_drains_before_eof () =
+  let _, status = boot (fun () ->
+    let c, s = conn_pair "drain.svc" in
+    u "send" (Libc.Unistd.send_all s "hello");
+    (* a zero-length recv is a no-op, never an EOF claim *)
+    let buf = Bytes.create 8 in
+    (match Libc.Unistd.recv c buf 0 with
+     | Ok 0 -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 1);
+    u "close(s)" (Libc.Unistd.close s);
+    (* bytes in flight when the peer closed arrive before the EOF *)
+    (match Libc.Unistd.recv c buf 8 with
+     | Ok 5 when Bytes.sub_string buf 0 5 = "hello" -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 2);
+    (match Libc.Unistd.recv c buf 8 with
+     | Ok 0 -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 3);
+    u "close(c)" (Libc.Unistd.close c);
+    0)
+  in
+  check_exit "drain then EOF" 0 status
+
+let test_sock_not_connected_errors () =
+  let _, status = boot (fun () ->
+    let s = u "socket" (Libc.Unistd.socket ()) in
+    let buf = Bytes.create 4 in
+    (match Libc.Unistd.recv s buf 4 with
+     | Error Errno.ENOTCONN -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 1);
+    (match Libc.Unistd.send s "x" with
+     | Error Errno.ENOTCONN -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 2);
+    (match Libc.Unistd.accept s with
+     | Error Errno.EINVAL -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 3);
+    (* socket calls on a plain file are ENOTSOCK across the board *)
+    let fd = u "open" (Libc.Unistd.open_ "/tmp/plain"
+                         Flags.Open.(o_wronly lor o_creat) 0o644) in
+    (match Libc.Unistd.send fd "x" with
+     | Error Errno.ENOTSOCK -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 4);
+    u "close(fd)" (Libc.Unistd.close fd);
+    u "close(s)" (Libc.Unistd.close s);
+    0)
+  in
+  check_exit "ENOTCONN/ENOTSOCK" 0 status
+
+let test_sock_cloexec_across_exec () =
+  let k = fresh_kernel () in
+  Kernel.register_image k "sockprobe" (fun ~argv ~envp:_ () ->
+    (* argv.(1) carried close-on-exec and must be gone; argv.(2) is a
+       connected socket with a byte already queued *)
+    let closed = int_of_string argv.(1) in
+    let still = int_of_string argv.(2) in
+    let buf = Bytes.create 4 in
+    let closed_gone =
+      match Libc.Unistd.recv closed buf 4 with
+      | Error Errno.EBADF -> true
+      | Error _ | Ok _ -> false
+    in
+    let alive =
+      match Libc.Unistd.recv still buf 4 with
+      | Ok 1 when Bytes.get buf 0 = 'x' -> true
+      | Ok _ | Error _ -> false
+    in
+    if closed_gone && alive then 0 else 1);
+  Kernel.install_image k ~path:"/bin/sockprobe" ~image:"sockprobe";
+  let status =
+    boot_k k (fun () ->
+      let c, s = conn_pair "exec.svc" in
+      u "send" (Libc.Unistd.send_all s "x");
+      u "cloexec" (Libc.Unistd.set_cloexec s true);
+      match
+        Libc.Unistd.execv "/bin/sockprobe"
+          [| "sockprobe"; string_of_int s; string_of_int c |]
+      with
+      | Error _ -> 99
+      | Ok _ -> assert false)
+  in
+  check_exit "socket cloexec honoured" 0 status
+
+(* --- pipe EOF ordering and zero-length reads ----------------------------- *)
+
+let test_pipe_drain_then_eof () =
+  let _, status = boot (fun () ->
+    let r, w = u "pipe" (Libc.Unistd.pipe ()) in
+    (* a zero-length read with a live writer returns 0 immediately
+       without meaning EOF — it must neither block nor consume *)
+    let buf = Bytes.create 8 in
+    (match Libc.Unistd.read r buf 0 with
+     | Ok 0 -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 1);
+    u "write" (Libc.Unistd.write_all w "abc");
+    (match Libc.Unistd.read r buf 0 with
+     | Ok 0 -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 2);
+    u "close(w)" (Libc.Unistd.close w);
+    (* bytes buffered when the writer closed arrive before the EOF *)
+    (match Libc.Unistd.read r buf 8 with
+     | Ok 3 when Bytes.sub_string buf 0 3 = "abc" -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 3);
+    (match Libc.Unistd.read r buf 8 with
+     | Ok 0 -> ()
+     | Ok _ | Error _ -> Libc.Unistd._exit 4);
+    u "close(r)" (Libc.Unistd.close r);
+    0)
+  in
+  check_exit "bytes before EOF" 0 status
+
 let () =
   Alcotest.run "kernel-extra"
     [ "process-groups",
@@ -729,6 +948,21 @@ let () =
           test_socketpair_bidirectional;
         Alcotest.test_case "EOF/EPIPE" `Quick test_socketpair_eof_and_epipe;
         Alcotest.test_case "stat kind" `Quick test_socketpair_stat_kind ];
+      "sockets",
+      [ Alcotest.test_case "bind lifecycle" `Quick
+          test_bind_address_lifecycle;
+        Alcotest.test_case "ECONNREFUSED" `Quick test_connect_refused;
+        Alcotest.test_case "shutdown" `Quick test_shutdown_directions;
+        Alcotest.test_case "SIGPIPE/EPIPE" `Quick
+          test_send_sigpipe_and_epipe;
+        Alcotest.test_case "drain then EOF" `Quick
+          test_recv_drains_before_eof;
+        Alcotest.test_case "ENOTCONN/ENOTSOCK" `Quick
+          test_sock_not_connected_errors;
+        Alcotest.test_case "cloexec across exec" `Quick
+          test_sock_cloexec_across_exec ];
+      "pipe-eof",
+      [ Alcotest.test_case "drain then EOF" `Quick test_pipe_drain_then_eof ];
       "getrusage",
       [ Alcotest.test_case "time deltas" `Quick test_getrusage_accounts_time;
         Alcotest.test_case "per-process" `Quick test_getrusage_per_process ];

@@ -337,6 +337,95 @@ let test_cluster_chrome_lanes () =
        (List.exists (fun p -> p >= Obs.Chrome.shard_stride) pids)
    | _ -> Alcotest.fail "sharded trace is not a JSON array")
 
+(* --- select timer hygiene ------------------------------------------------ *)
+
+(* Every way out of a timed select must drop its armed deadline: the
+   timer list is shard state the test body can inspect directly (the
+   simulation shares the host heap), so park a child in select, wake it
+   each possible way, and look while the child is still alive — a
+   leaked [T_select] would still be armed then. *)
+let test_select_timer_hygiene () =
+  let k = Tharness.fresh_kernel () in
+  let select_timers () =
+    List.length
+      (List.filter
+         (fun (_, ev) ->
+           match ev with Kernel.Kstate.T_select _ -> true | _ -> false)
+         k.Kernel.Kstate.timers)
+  in
+  let u = Tharness.check_ok in
+  let status =
+    Tharness.boot_k k (fun () ->
+      let r, w = u "pipe" (Libc.Unistd.pipe ()) in
+      (* a pure poll never arms a deadline at all *)
+      ignore (u "poll" (Libc.Unistd.select ~read:[ r ] ~timeout_us:0 ()));
+      if select_timers () <> 0 then 1
+      else begin
+        let ar, aw = u "pipe2" (Libc.Unistd.pipe ()) in
+        let spawn sel =
+          u "fork"
+            (Libc.Unistd.fork ~child:(fun () ->
+               sel ();
+               ignore (Libc.Unistd.write aw "k");
+               (* stay alive: a leaked deadline would still be armed
+                  when the driver looks *)
+               ignore (Libc.Unistd.sleep_us 30_000);
+               0))
+        in
+        let awake_leaks pid =
+          let b = Bytes.create 1 in
+          ignore (u "ack" (Libc.Unistd.read ar b 1));
+          let leaked = select_timers () in
+          ignore (u "reap" (Libc.Unistd.waitpid pid 0));
+          leaked
+        in
+        (* data arrives before the deadline *)
+        let pid =
+          spawn (fun () ->
+            ignore (Libc.Unistd.select ~read:[ r ] ~timeout_us:1_000_000 ()))
+        in
+        ignore (Libc.Unistd.sleep_us 2_000);
+        ignore (u "wake" (Libc.Unistd.write w "x"));
+        if awake_leaks pid <> 0 then 2
+        else begin
+          let b = Bytes.create 1 in
+          ignore (u "drain" (Libc.Unistd.read r b 1));
+          (* the deadline itself expires *)
+          let pid =
+            spawn (fun () ->
+              ignore (Libc.Unistd.select ~read:[ r ] ~timeout_us:3_000 ()))
+          in
+          if awake_leaks pid <> 0 then 3
+          else begin
+            (* a signal ends the wait: select is not restartable, the
+               EINTR surfaces, and the deadline dies with the wait *)
+            let pid =
+              spawn (fun () ->
+                ignore
+                  (Libc.Unistd.signal Signal.sigusr1
+                     (Value.H_fn (fun _ -> ())));
+                match
+                  Libc.Unistd.select ~read:[ r ] ~timeout_us:1_000_000 ()
+                with
+                | Error Errno.EINTR -> ()
+                | Ok _ | Error _ -> Libc.Unistd._exit 9)
+            in
+            ignore (Libc.Unistd.sleep_us 2_000);
+            u "kill" (Libc.Unistd.kill pid Signal.sigusr1);
+            if awake_leaks pid <> 0 then 4
+            else begin
+              ignore (Libc.Unistd.close r);
+              ignore (Libc.Unistd.close w);
+              ignore (Libc.Unistd.close ar);
+              ignore (Libc.Unistd.close aw);
+              0
+            end
+          end
+        end
+      end)
+  in
+  Tharness.check_exit "no leaked select deadlines" 0 status
+
 let () =
   Alcotest.run "shard"
     [ ( "isolation",
@@ -357,4 +446,7 @@ let () =
         [ Alcotest.test_case "counters sum, histograms merge" `Quick
             test_cluster_metrics_merge;
           Alcotest.test_case "chrome export gets per-shard lanes" `Quick
-            test_cluster_chrome_lanes ] ) ]
+            test_cluster_chrome_lanes ] );
+      ( "timer-hygiene",
+        [ Alcotest.test_case "select deadlines never leak" `Quick
+            test_select_timer_hygiene ] ) ]

@@ -408,6 +408,96 @@ let test_scribe_under_timex_identical_output () =
     (run None)
     (run (Some (Agents.Timex.create ~offset_seconds:99999 () :> Toolkit.Numeric.numeric_syscall)))
 
+(* --- kvd: the multi-client socket server -------------------------------------- *)
+
+let check_kvd_clean ~mode p (stats : Workloads.Kvd.stats) k =
+  let open Workloads.Kvd in
+  Alcotest.(check int) "every client connected" p.clients stats.conns;
+  Alcotest.(check int) "no errors" 0 stats.errors;
+  Alcotest.(check int) "all ops answered" (p.clients * p.ops_per_client)
+    stats.ops;
+  (* every request (the mix plus the final Q) lands one latency sample *)
+  Alcotest.(check int) "hist count"
+    (p.clients * (p.ops_per_client + 1))
+    (Obs.Hist.count stats.hist);
+  Alcotest.(check string) "summary"
+    (Printf.sprintf "mode=%s clients=%d conns=%d ops=%d errors=%d\n"
+       (mode_name mode) p.clients stats.conns stats.ops stats.errors)
+    (read_file_exn k summary_path)
+
+let test_kvd_fork_quick () =
+  let k = fresh_kernel () in
+  let p = Workloads.Kvd.quick_params in
+  let stats = Workloads.Kvd.run ~params:p ~mode:Workloads.Kvd.Fork_per_conn k in
+  check_kvd_clean ~mode:Workloads.Kvd.Fork_per_conn p stats k
+
+let test_kvd_prefork_quick () =
+  let k = fresh_kernel () in
+  let p = Workloads.Kvd.quick_params in
+  let stats = Workloads.Kvd.run ~params:p ~mode:Workloads.Kvd.Prefork k in
+  check_kvd_clean ~mode:Workloads.Kvd.Prefork p stats k
+
+let test_kvd_fork_1000 () =
+  let k = fresh_kernel () in
+  let p = Workloads.Kvd.default_params in
+  let stats = Workloads.Kvd.run ~params:p ~mode:Workloads.Kvd.Fork_per_conn k in
+  Alcotest.(check int) "1000 clients served" 1000 stats.Workloads.Kvd.conns;
+  Alcotest.(check int) "no errors" 0 stats.Workloads.Kvd.errors
+
+let test_kvd_prefork_1000 () =
+  let k = fresh_kernel () in
+  let p = Workloads.Kvd.default_params in
+  let stats = Workloads.Kvd.run ~params:p ~mode:Workloads.Kvd.Prefork k in
+  Alcotest.(check int) "1000 clients served" 1000 stats.Workloads.Kvd.conns;
+  Alcotest.(check int) "no errors" 0 stats.Workloads.Kvd.errors
+
+let test_kvd_causal_deterministic () =
+  let edges () =
+    Obs.reset ();
+    let k = fresh_kernel () in
+    Workloads.Kvd.setup k;
+    let _ =
+      boot_k k (fun () ->
+        Obs.enable ();
+        let rc =
+          Workloads.Kvd.body ~params:Workloads.Kvd.quick_params
+            ~mode:Workloads.Kvd.Fork_per_conn ()
+        in
+        Obs.disable ();
+        rc)
+    in
+    Kernel.causal_edges k
+  in
+  let a = edges () and b = edges () in
+  Alcotest.(check bool) "pipe edges present" true
+    (List.exists (fun e -> e.Obs.Causal.ed_kind = Obs.Causal.Pipe) a);
+  Alcotest.(check string) "edge table byte-identical"
+    (String.concat "\n" (List.map Obs.Causal.to_line (Obs.Causal.sort a)))
+    (String.concat "\n" (List.map Obs.Causal.to_line (Obs.Causal.sort b)))
+
+let test_kvd_under_trace_equivalent () =
+  let summary agent_opt =
+    let k = fresh_kernel () in
+    Workloads.Kvd.setup k;
+    let _ =
+      boot_k k (fun () ->
+        (match agent_opt with
+         | Some agent -> Toolkit.Loader.install agent ~argv:[||]
+         | None -> ());
+        Workloads.Kvd.body ~params:Workloads.Kvd.quick_params
+          ~mode:Workloads.Kvd.Prefork ())
+    in
+    read_file_exn k Workloads.Kvd.summary_path
+  in
+  Alcotest.(check string) "same totals under trace"
+    (summary None)
+    (summary
+       (Some
+          (let a = Agents.Trace.create () in
+           a#init [||];
+           a#set_output 2;
+           (a :> Toolkit.Numeric.numeric_syscall))))
+
 let () =
   Alcotest.run "workloads"
     [ "utilities",
@@ -438,6 +528,17 @@ let () =
       "afs",
       [ Alcotest.test_case "five phases" `Quick test_afs_bench_runs;
         Alcotest.test_case "copy faithful" `Quick test_afs_copy_faithful ];
+      ( "kvd",
+        [ Alcotest.test_case "fork-per-conn quick" `Quick test_kvd_fork_quick;
+          Alcotest.test_case "prefork quick" `Quick test_kvd_prefork_quick;
+          Alcotest.test_case "fork-per-conn 1000 clients" `Slow
+            test_kvd_fork_1000;
+          Alcotest.test_case "prefork 1000 clients" `Slow
+            test_kvd_prefork_1000;
+          Alcotest.test_case "causal edges deterministic" `Quick
+            test_kvd_causal_deterministic;
+          Alcotest.test_case "under trace equivalent" `Quick
+            test_kvd_under_trace_equivalent ] );
       "under-agents",
       [ Alcotest.test_case "make under trace" `Quick
           test_make_under_trace_is_equivalent;
